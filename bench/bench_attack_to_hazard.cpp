@@ -1,0 +1,182 @@
+// §III-B reproduction (ComFASE-style): attacks on communication can lead
+// to unsafe behaviour of the autonomous machine — and the defence stack
+// restores safety.
+//
+// The sharpest interplay scenario is *cover forgery*: the attacker
+// de-auth-drops the drone's genuine detection reports while injecting
+// forged "drone alive" heartbeats. On plaintext links the forwarder
+// believes its collaborative safety cover is intact and keeps full speed
+// with only its occludable own sensing — hazardous exposures rise. With
+// authenticated links the forgeries are rejected, the cover goes stale,
+// and the machine falls back to its safe degraded mode.
+#include <cstdio>
+#include <string>
+
+#include "integration/secured_worksite.h"
+
+using namespace agrarsec;
+
+namespace {
+
+enum class AttackKind {
+  kNone,
+  kCoverForgery,   ///< drop real drone traffic + spoof heartbeats
+  kStaleReplay,    ///< drop real drone traffic + replay old frames
+  kJamming,        ///< wideband availability attack
+  kDeauthDrop,     ///< drop drone traffic only (no forgery)
+};
+
+const char* attack_name(AttackKind k) {
+  switch (k) {
+    case AttackKind::kNone: return "no attack";
+    case AttackKind::kCoverForgery: return "cover forgery";
+    case AttackKind::kStaleReplay: return "stale replay";
+    case AttackKind::kJamming: return "jamming";
+    case AttackKind::kDeauthDrop: return "de-auth drop";
+  }
+  return "?";
+}
+
+struct RunResult {
+  std::uint64_t blind_fast = 0;
+  std::uint64_t hazardous = 0;
+  std::uint64_t estops = 0;
+  double coverage = 1.0;
+  double delivered = 0.0;
+};
+
+RunResult run(AttackKind attack, bool secure, std::uint64_t seed,
+              core::SimDuration duration) {
+  integration::SecuredWorksiteConfig config;
+  config.seed = seed;
+  config.secure_links = secure;
+  config.ids_enabled = false;  // isolate the channel-protection effect
+  config.worksite.forest.boulders_per_hectare = 64;
+  config.worksite.forest.brush_per_hectare = 96;
+  config.worksite.forest.boulder_height_mean = 2.2;
+  config.worksite.forest.brush_height_mean = 1.8;
+  config.monitor.cover_timeout = 2 * core::kSecond;
+
+  integration::SecuredWorksite site{config};
+  for (int i = 0; i < 4; ++i) {
+    site.worksite().add_worker("w" + std::to_string(i), {70.0 + 12 * i, 65.0},
+                               {90, 90});
+  }
+  site.run_for(core::kMinute);  // clean warm-up: cover established
+
+  net::AttackerNode* attacker = nullptr;
+  if (attack == AttackKind::kCoverForgery || attack == AttackKind::kStaleReplay) {
+    attacker = &site.add_attacker({110, 110}, 3);
+    site.radio().add_drop_rule(net::DropRule{site.drone_node(), 1.0, true});
+  }
+  if (attack == AttackKind::kDeauthDrop) {
+    site.radio().add_drop_rule(net::DropRule{site.drone_node(), 1.0, true});
+  }
+  if (attack == AttackKind::kJamming) {
+    net::Jammer jammer;
+    jammer.position = {150, 150};
+    jammer.radius_m = 1000.0;
+    jammer.effectiveness = 0.95;
+    jammer.active = true;
+    site.radio().add_jammer(jammer);
+  }
+
+  const core::SimTime end = site.worksite().clock().now() + duration;
+  const NodeId fwd = site.forwarder_node();
+  while (site.worksite().clock().now() < end) {
+    site.step();
+    const core::SimTime now = site.worksite().clock().now();
+    if (attacker != nullptr && now % 200 == 0) {
+      if (attack == AttackKind::kCoverForgery) {
+        attacker->spoof(site.radio(), now, 2 /*drone*/,
+                        net::MessageType::kHeartbeat, {}, fwd);
+      } else {
+        // Hold-back replay: release frames captured >= 10 s ago, with the
+        // timestamp refreshed. Trivial on plaintext; useless against the
+        // authenticated record content (inner timestamp is stale).
+        attacker->replay_latest(
+            site.radio(), now,
+            [fwd, now](const net::Frame& f) {
+              return f.dst == fwd && f.sent_at + 10 * core::kSecond <= now;
+            },
+            /*refresh_timestamp=*/true);
+      }
+    }
+  }
+
+  RunResult r;
+  r.blind_fast = site.safety_outcome().blind_fast_steps;
+  r.hazardous = site.safety_outcome().hazardous_exposures;
+  r.estops = site.monitor().stats().estops;
+  r.coverage = site.safety_outcome().coverage();
+  r.delivered = site.worksite().delivered_m3();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const core::SimDuration duration = (quick ? 8 : 20) * core::kMinute;
+  const std::uint64_t kSeed = 7;
+
+  std::printf("=== attack -> hazard propagation (§III-B) ===\n");
+  std::printf("%lld sim-minutes per cell, 4 workers, occluded stand;\n"
+              "hazard = steps with a person in the critical zone while the\n"
+              "machine still moves\n\n",
+              static_cast<long long>(duration / core::kMinute));
+
+  std::printf("%-16s | %-30s | %-30s\n", "", "plaintext links", "secure links");
+  std::printf("%-16s | %9s %7s %10s | %9s %7s %10s\n", "attack", "blindfast",
+              "estops", "coverage", "blindfast", "estops", "coverage");
+  std::printf("-----------------+--------------------------------+--------------"
+              "------------------\n");
+
+  for (const AttackKind attack :
+       {AttackKind::kNone, AttackKind::kCoverForgery, AttackKind::kStaleReplay,
+        AttackKind::kJamming, AttackKind::kDeauthDrop}) {
+    const RunResult open = run(attack, false, kSeed, duration);
+    const RunResult hard = run(attack, true, kSeed, duration);
+    std::printf("%-16s | %9lu %7lu %9.1f%% | %9lu %7lu %9.1f%%\n",
+                attack_name(attack), static_cast<unsigned long>(open.blind_fast),
+                static_cast<unsigned long>(open.estops), 100.0 * open.coverage,
+                static_cast<unsigned long>(hard.blind_fast),
+                static_cast<unsigned long>(hard.estops), 100.0 * hard.coverage);
+  }
+
+  std::printf("\n--- ablation: e-stop arbitration under jamming ---\n");
+  std::printf("%-28s %8s %8s %10s\n", "cover-loss policy", "hazard", "estops",
+              "delivered");
+  for (const bool stop_on_loss : {false, true}) {
+    integration::SecuredWorksiteConfig config;
+    config.seed = kSeed;
+    config.monitor.cover_timeout = 2 * core::kSecond;
+    config.monitor.stop_on_cover_loss = stop_on_loss;
+    integration::SecuredWorksite site{config};
+    for (int i = 0; i < 4; ++i) {
+      site.worksite().add_worker("w" + std::to_string(i), {70.0 + 12 * i, 65.0},
+                                 {90, 90});
+    }
+    site.run_for(core::kMinute);
+    net::Jammer jammer;
+    jammer.position = {150, 150};
+    jammer.radius_m = 1000.0;
+    jammer.effectiveness = 0.95;
+    jammer.active = true;
+    site.radio().add_jammer(jammer);
+    site.run_for(duration);
+    std::printf("%-28s %8lu %8lu %8.1fm3\n",
+                stop_on_loss ? "stop on cover loss" : "degrade to crawl",
+                static_cast<unsigned long>(site.safety_outcome().hazardous_exposures),
+                static_cast<unsigned long>(site.monitor().stats().estops),
+                site.worksite().delivered_m3());
+  }
+
+  std::printf("\nshape check: cover forgery / stale replay raise hazardous\n"
+              "exposure on plaintext links (machine keeps full speed on forged\n"
+              "cover) and are neutralized by authenticated records; jamming and\n"
+              "plain de-auth cost availability in both configurations because\n"
+              "the stale-cover fallback degrades the machine safely — exactly\n"
+              "the safety/cybersecurity interplay of §III-B.\n");
+  return 0;
+}

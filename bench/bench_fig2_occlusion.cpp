@@ -1,0 +1,183 @@
+// Figure 2 reproduction: "the collaborative drone allows for an additional
+// point of view to eliminate occlusions caused by terrain obstacles."
+//
+// Sweep: occlusion density (boulders+brush per hectare) x configuration
+// (forwarder-only vs forwarder+drone), matched seeds. Reported series:
+//   - encounter miss rate (person entered the warning zone, never fused)
+//   - median time-to-detect
+//   - hazardous exposure steps (person in critical zone, machine moving)
+//
+// Expected shape (the paper's qualitative claim): forwarder-only miss rate
+// climbs with occlusion density; adding the drone keeps it near flat.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "integration/secured_worksite.h"
+
+using namespace agrarsec;
+
+namespace {
+
+struct CellResult {
+  std::uint64_t encounters = 0;
+  std::uint64_t missed = 0;
+  core::SampleSet ttd;
+  std::uint64_t hazardous = 0;
+  std::uint64_t zone_steps = 0;
+  std::uint64_t covered_steps = 0;
+
+  [[nodiscard]] double miss_rate() const {
+    return encounters == 0 ? 0.0
+                           : static_cast<double>(missed) /
+                                 static_cast<double>(encounters);
+  }
+  [[nodiscard]] double coverage() const {
+    return zone_steps == 0 ? 1.0
+                           : static_cast<double>(covered_steps) /
+                                 static_cast<double>(zone_steps);
+  }
+};
+
+CellResult run_cell(double occlusion_per_ha, bool drone, std::uint64_t seeds,
+                    core::SimDuration duration) {
+  CellResult cell;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    integration::SecuredWorksiteConfig config;
+    config.seed = seed * 1000 + (drone ? 0 : 1);  // matched terrain via worksite seed
+    config.seed = seed;  // identical worksite for both arms
+    config.drone_enabled = drone;
+    config.worksite.forest.trees_per_hectare = 200;
+    config.worksite.forest.boulders_per_hectare = occlusion_per_ha * 0.4;
+    config.worksite.forest.brush_per_hectare = occlusion_per_ha * 0.6;
+    // Sight-blocking occluders: glacial boulders and tall regen understory
+    // (above the torso line the forwarder mast must see).
+    config.worksite.forest.boulder_height_mean = 2.2;
+    config.worksite.forest.brush_height_mean = 1.8;
+    config.worksite.forest.hill_count = 4;
+
+    integration::SecuredWorksite site{config};
+    for (int i = 0; i < 4; ++i) {
+      site.worksite().add_worker("w" + std::to_string(i),
+                                 {70.0 + 12 * i, 65.0}, {90, 90});
+    }
+    site.run_for(duration);
+
+    const auto& outcome = site.safety_outcome();
+    cell.encounters += outcome.encounters;
+    cell.missed += outcome.missed_encounters;
+    cell.hazardous += outcome.hazardous_exposures;
+    cell.zone_steps += outcome.person_zone_steps;
+    cell.covered_steps += outcome.person_covered_steps;
+    for (double v : outcome.time_to_detect_ms.samples()) cell.ttd.add(v);
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::uint64_t seeds = quick ? 2 : 5;
+  const core::SimDuration duration = (quick ? 5 : 12) * core::kMinute;
+
+  std::printf("=== Figure 2: drone viewpoint vs terrain occlusion ===\n");
+  std::printf("%u seeds x %lld sim-minutes per cell; matched worksites\n\n",
+              static_cast<unsigned>(seeds),
+              static_cast<long long>(duration / core::kMinute));
+  std::printf("%-10s | %-38s | %-38s\n", "", "forwarder-only", "forwarder + drone");
+  std::printf("%-10s | %9s %9s %8s %7s | %9s %9s %8s %7s\n", "occl./ha",
+              "coverage", "miss", "ttd-med", "hazard", "coverage", "miss",
+              "ttd-med", "hazard");
+  std::printf("-----------+----------------------------------------+--------------"
+              "--------------------------\n");
+
+  for (const double density : {0.0, 40.0, 80.0, 160.0, 320.0}) {
+    const CellResult solo = run_cell(density, false, seeds, duration);
+    const CellResult duo = run_cell(density, true, seeds, duration);
+    std::printf("%-10.0f | %8.1f%% %8.1f%% %6.0fms %7lu | %8.1f%% %8.1f%% %6.0fms %7lu\n",
+                density, 100.0 * solo.coverage(), 100.0 * solo.miss_rate(),
+                solo.ttd.empty() ? 0.0 : solo.ttd.median(),
+                static_cast<unsigned long>(solo.hazardous),
+                100.0 * duo.coverage(), 100.0 * duo.miss_rate(),
+                duo.ttd.empty() ? 0.0 : duo.ttd.median(),
+                static_cast<unsigned long>(duo.hazardous));
+  }
+
+  std::printf("\nshape check (paper claim): forwarder-only coverage of people in\n"
+              "the warning zone falls as occlusion density grows; the elevated\n"
+              "drone viewpoint keeps coverage nearly flat — the additional point\n"
+              "of view eliminates terrain-occlusion blind spots.\n");
+
+  // SOTIF attribution (§III-C): where do the ground-level blind steps come
+  // from? One high-occlusion forwarder-only run, per triggering condition.
+  {
+    integration::SecuredWorksiteConfig config;
+    config.seed = 3;
+    config.drone_enabled = false;
+    config.worksite.forest.trees_per_hectare = 200;
+    config.worksite.forest.boulders_per_hectare = 128;
+    config.worksite.forest.brush_per_hectare = 192;
+    config.worksite.forest.boulder_height_mean = 2.2;
+    config.worksite.forest.brush_height_mean = 1.8;
+    integration::SecuredWorksite site{config};
+    for (int i = 0; i < 4; ++i) {
+      site.worksite().add_worker("w" + std::to_string(i), {70.0 + 12 * i, 65.0},
+                                 {90, 90});
+    }
+    site.run_for(duration);
+
+    std::printf("\n--- SOTIF triggering-condition census (forwarder-only, "
+                "320 occl./ha) ---\n");
+    std::printf("%-22s %12s %12s %12s\n", "condition", "encounters", "hazardous",
+                "hazard-rate");
+    for (const auto& condition : site.sotif().conditions()) {
+      const auto ev = site.sotif().evidence(condition.id);
+      if (ev.encounters == 0) continue;
+      std::printf("%-22s %12lu %12lu %11.1f%%\n", condition.id.c_str(),
+                  static_cast<unsigned long>(ev.encounters),
+                  static_cast<unsigned long>(ev.hazardous),
+                  100.0 * ev.hazard_rate());
+    }
+    const auto census = site.sotif().census();
+    std::printf("scenario areas: known-safe %lu, known-hazardous %lu, "
+                "unknown %lu\n",
+                static_cast<unsigned long>(census.known_safe),
+                static_cast<unsigned long>(census.known_hazardous),
+                static_cast<unsigned long>(census.unknown_safe +
+                                           census.unknown_hazardous));
+  }
+
+  // Ablation: fusion policy (design choice flagged in DESIGN.md).
+  std::printf("\n--- ablation: fusion policy at high occlusion (160/ha) ---\n");
+  for (const auto policy : {safety::FusionPolicy::kUnion,
+                            safety::FusionPolicy::kConfidenceWeighted}) {
+    CellResult cell;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      integration::SecuredWorksiteConfig config;
+      config.seed = seed;
+      config.worksite.forest.boulders_per_hectare = 64;
+      config.worksite.forest.brush_per_hectare = 96;
+      config.worksite.forest.boulder_height_mean = 2.2;
+      config.worksite.forest.brush_height_mean = 1.8;
+      config.drone_enabled = false;  // policy differences show ground-level
+      config.fusion.policy = policy;
+      integration::SecuredWorksite site{config};
+      for (int i = 0; i < 4; ++i) {
+        site.worksite().add_worker("w" + std::to_string(i),
+                                   {70.0 + 12 * i, 65.0}, {90, 90});
+      }
+      site.run_for(duration);
+      cell.encounters += site.safety_outcome().encounters;
+      cell.missed += site.safety_outcome().missed_encounters;
+      cell.zone_steps += site.safety_outcome().person_zone_steps;
+      cell.covered_steps += site.safety_outcome().person_covered_steps;
+    }
+    std::printf("%-22s coverage %5.1f%%, miss-rate %5.1f%% (%lu/%lu)\n",
+                policy == safety::FusionPolicy::kUnion ? "union" : "conf-weighted",
+                100.0 * cell.coverage(), 100.0 * cell.miss_rate(),
+                static_cast<unsigned long>(cell.missed),
+                static_cast<unsigned long>(cell.encounters));
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// IDS detection quality across attack classes: detection rate (per attack
+// event) and false-alarm rate (per benign hour), under signature-only /
+// anomaly-only / combined configurations — the DESIGN.md IDS ablation.
+#include <cstdio>
+#include <string>
+
+#include "integration/secured_worksite.h"
+
+using namespace agrarsec;
+
+namespace {
+
+enum class AttackClass { kSpoofEstop, kReplay, kFlood, kTeleportTelemetry };
+
+const char* attack_class_name(AttackClass a) {
+  switch (a) {
+    case AttackClass::kSpoofEstop: return "spoofed e-stop";
+    case AttackClass::kReplay: return "replay";
+    case AttackClass::kFlood: return "flood";
+    case AttackClass::kTeleportTelemetry: return "telemetry spoof";
+  }
+  return "?";
+}
+
+struct RocPoint {
+  std::uint64_t attacks_launched = 0;
+  std::uint64_t alerts_during_attack = 0;
+  std::uint64_t benign_alerts = 0;
+};
+
+RocPoint measure(AttackClass attack, bool signatures, bool anomaly,
+                 core::SimDuration duration, std::uint64_t seed) {
+  integration::SecuredWorksiteConfig config;
+  config.seed = seed;
+  config.secure_links = false;  // IDS watches the attackable baseline
+  config.ids_enabled = false;   // we drive a dedicated IDS with custom config
+  integration::SecuredWorksite site{config};
+  site.worksite().add_worker("w", {75, 60}, {90, 90});
+
+  ids::IdsConfig ids_config;
+  ids_config.enable_signatures = signatures;
+  ids_config.enable_anomaly = anomaly;
+  ids::IntrusionDetectionSystem ids{ids_config};
+  ids.register_node(1, false);
+  ids.register_node(2, false);
+  ids.register_node(3, true);
+  site.radio().add_sniffer([&](const net::Frame& frame) {
+    ids.observe(frame, site.worksite().clock().now());
+  });
+
+  // Benign phase: measure false alarms.
+  const core::SimTime benign_end = site.worksite().clock().now() + duration;
+  while (site.worksite().clock().now() < benign_end) {
+    site.step();
+    ids.tick(site.worksite().clock().now());
+  }
+  RocPoint point;
+  point.benign_alerts = ids.total_alerts();
+
+  // Attack phase: one attack burst every 5 s.
+  auto& attacker = site.add_attacker({110, 110}, 2);
+  const NodeId fwd = site.forwarder_node();
+  const core::SimTime attack_end = site.worksite().clock().now() + duration;
+  std::uint64_t alerts_at_phase_start = ids.total_alerts();
+  while (site.worksite().clock().now() < attack_end) {
+    site.step();
+    const core::SimTime now = site.worksite().clock().now();
+    ids.tick(now);
+    if (now % (5 * core::kSecond) == 0) {
+      ++point.attacks_launched;
+      switch (attack) {
+        case AttackClass::kSpoofEstop:
+          attacker.spoof(site.radio(), now, 1 /*unauthorized machine id*/,
+                         net::MessageType::kEstopCommand,
+                         net::EstopBody{1, 0}.encode(), fwd);
+          break;
+        case AttackClass::kReplay:
+          attacker.replay_latest(site.radio(), now);
+          break;
+        case AttackClass::kFlood:
+          attacker.flood(site.radio(), now, 3, 150);
+          break;
+        case AttackClass::kTeleportTelemetry:
+          attacker.spoof(site.radio(), now, 1,
+                         net::MessageType::kTelemetry,
+                         net::TelemetryBody{5000.0, 5000.0, 0.0, 3.0}.encode(),
+                         NodeId::invalid());
+          break;
+      }
+    }
+  }
+  point.alerts_during_attack = ids.total_alerts() - alerts_at_phase_start;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const core::SimDuration phase = (quick ? 2 : 6) * core::kMinute;
+
+  struct Mode {
+    const char* name;
+    bool signatures;
+    bool anomaly;
+  };
+  const Mode modes[] = {{"signatures-only", true, false},
+                        {"anomaly-only", false, true},
+                        {"combined", true, true}};
+
+  std::printf("=== IDS detection quality by attack class ===\n");
+  std::printf("benign + attack phases of %lld min each; attack burst every 5 s\n\n",
+              static_cast<long long>(phase / core::kMinute));
+  std::printf("%-18s %-18s %9s %13s %13s\n", "attack class", "IDS mode", "attacks",
+              "attack-alerts", "benign-alerts");
+  std::printf("--------------------------------------------------------------------"
+              "-----\n");
+
+  for (const AttackClass attack :
+       {AttackClass::kSpoofEstop, AttackClass::kReplay, AttackClass::kFlood,
+        AttackClass::kTeleportTelemetry}) {
+    for (const Mode& mode : modes) {
+      const RocPoint p = measure(attack, mode.signatures, mode.anomaly, phase, 13);
+      std::printf("%-18s %-18s %9lu %13lu %13lu\n", attack_class_name(attack),
+                  mode.name, static_cast<unsigned long>(p.attacks_launched),
+                  static_cast<unsigned long>(p.alerts_during_attack),
+                  static_cast<unsigned long>(p.benign_alerts));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("shape check: signature rules catch the protocol-level attacks\n"
+              "(spoof/replay/teleport) with near-zero benign alerts; the anomaly\n"
+              "detectors add coverage for volumetric attacks (flood); combined\n"
+              "dominates both — the standard IDS layering argument.\n");
+  return 0;
+}

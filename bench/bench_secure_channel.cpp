@@ -1,0 +1,114 @@
+// Secure-channel cost ablation (google-benchmark): full handshake,
+// per-record seal/open across protection levels (plaintext copy vs
+// MAC-only vs full AEAD record), and certificate-chain validation — the
+// DESIGN.md ablation for the record-layer design choice.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/random.h"
+#include "pki/identity.h"
+#include "pki/trust_store.h"
+#include "secure/handshake.h"
+
+using namespace agrarsec;
+
+namespace {
+
+struct Env {
+  crypto::Drbg drbg{5, "bench-secure"};
+  pki::CertificateAuthority ca = pki::CertificateAuthority::create_root(
+      "bench-root", drbg.generate32(), 0, 1000 * core::kHour);
+  pki::TrustStore trust;
+  pki::Identity a;
+  pki::Identity b;
+
+  Env() {
+    (void)trust.add_root(ca.certificate());
+    a = pki::enroll(ca, drbg, "a", pki::CertRole::kMachine, 0, 1000 * core::kHour)
+            .take();
+    b = pki::enroll(ca, drbg, "b", pki::CertRole::kDrone, 0, 1000 * core::kHour)
+            .take();
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+void BM_FullHandshake(benchmark::State& state) {
+  Env& e = env();
+  for (auto _ : state) {
+    auto pair = secure::establish(e.a, e.b, e.trust, 10, e.drbg);
+    benchmark::DoNotOptimize(pair);
+  }
+}
+BENCHMARK(BM_FullHandshake);
+
+void BM_ChainValidation(benchmark::State& state) {
+  Env& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.trust.validate(e.a.chain, 10));
+  }
+}
+BENCHMARK(BM_ChainValidation);
+
+void BM_RecordPlaintextCopy(benchmark::State& state) {
+  crypto::Drbg drbg{6, "payload"};
+  const auto payload = drbg.generate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Bytes copy = payload;  // the "no protection" baseline
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RecordPlaintextCopy)->Arg(64)->Arg(1024);
+
+void BM_RecordMacOnly(benchmark::State& state) {
+  crypto::Drbg drbg{6, "payload"};
+  const auto key = drbg.generate32();
+  const auto payload = drbg.generate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HmacSha256::mac(key, payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RecordMacOnly)->Arg(64)->Arg(1024);
+
+void BM_RecordAeadSealOpen(benchmark::State& state) {
+  Env& e = env();
+  auto pair = secure::establish(e.a, e.b, e.trust, 10, e.drbg);
+  auto& sessions = pair.value();
+  crypto::Drbg drbg{6, "payload"};
+  const auto payload = drbg.generate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const secure::Record record = sessions.initiator.seal(payload);
+    auto opened = sessions.responder.open(record);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RecordAeadSealOpen)->Arg(64)->Arg(1024);
+
+void BM_SessionThroughputMessagesPerSec(benchmark::State& state) {
+  // Realistic machine message: 86-byte detection record.
+  Env& e = env();
+  auto pair = secure::establish(e.a, e.b, e.trust, 10, e.drbg);
+  auto& sessions = pair.value();
+  crypto::Drbg drbg{7, "msg"};
+  const auto payload = drbg.generate(86);
+  for (auto _ : state) {
+    const secure::Record record = sessions.initiator.seal(payload);
+    auto opened = sessions.responder.open(record);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SessionThroughputMessagesPerSec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

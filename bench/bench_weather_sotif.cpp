@@ -1,0 +1,108 @@
+// §III-D reproduction: sensing validity across environmental conditions.
+// The paper argues that validating perception across weather is a core
+// challenge for simulation-based development; this bench produces the
+// sensitivity tables such a validation campaign would target:
+//   (a) raw per-modality detection probability vs distance and weather,
+//   (b) end-to-end safety coverage of the worksite per weather, with the
+//       SOTIF attribution of the blind steps.
+#include <cstdio>
+#include <string>
+
+#include "integration/secured_worksite.h"
+
+using namespace agrarsec;
+
+namespace {
+
+double detection_rate(sensors::Modality modality, sim::Weather weather,
+                      double distance) {
+  sim::WorksiteConfig site_config;
+  site_config.forest.bounds = {{0, 0}, {300, 300}};
+  site_config.forest.trees_per_hectare = 0;
+  site_config.forest.boulders_per_hectare = 0;
+  site_config.forest.brush_per_hectare = 0;
+  site_config.forest.hill_count = 0;
+  site_config.weather = weather;
+  sim::Worksite site{site_config, 5};
+  const auto fw = site.add_forwarder("f", {50, 50});
+  site.add_worker("w", {50 + distance, 50}, {50 + distance, 50});
+
+  sensors::PerceptionConfig config;
+  config.modality = modality;
+  config.range_m = 40.0;
+  sensors::PerceptionSensor sensor{SensorId{1}, config};
+  core::Rng rng{7};
+  int hits = 0;
+  constexpr int kFrames = 1000;
+  for (int i = 0; i < kFrames; ++i) {
+    hits += static_cast<int>(
+        !sensor.sense(site, *site.machine(fw), i, rng).empty());
+  }
+  return static_cast<double>(hits) / kFrames;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const core::SimDuration duration = (quick ? 5 : 12) * core::kMinute;
+
+  std::printf("=== weather sensitivity of the perception stack (§III-D) ===\n\n");
+
+  std::printf("(a) raw per-frame detection probability, open field:\n");
+  std::printf("%-8s %-8s | %7s %7s %7s %7s\n", "sensor", "weather", "10m", "20m",
+              "30m", "38m");
+  for (const auto modality : {sensors::Modality::kLidar, sensors::Modality::kCamera}) {
+    for (const auto weather : {sim::Weather::kClear, sim::Weather::kRain,
+                               sim::Weather::kFog, sim::Weather::kSnow}) {
+      std::printf("%-8s %-8s |", std::string(sensors::modality_name(modality)).c_str(),
+                  std::string(sim::weather_name(weather)).c_str());
+      for (const double d : {10.0, 20.0, 30.0, 38.0}) {
+        std::printf(" %6.2f", detection_rate(modality, weather, d));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n(b) end-to-end zone coverage per weather "
+              "(occluded stand, %lld min):\n",
+              static_cast<long long>(duration / core::kMinute));
+  std::printf("%-8s | %-22s | %-22s\n", "", "forwarder-only", "forwarder + drone");
+  std::printf("%-8s | %10s %10s | %10s %10s\n", "weather", "coverage", "blindfast",
+              "coverage", "blindfast");
+  for (const auto weather : {sim::Weather::kClear, sim::Weather::kRain,
+                             sim::Weather::kFog, sim::Weather::kSnow}) {
+    double coverage[2];
+    std::uint64_t blind[2];
+    for (const bool drone : {false, true}) {
+      integration::SecuredWorksiteConfig config;
+      config.seed = 11;
+      config.drone_enabled = drone;
+      config.worksite.weather = weather;
+      config.worksite.forest.boulders_per_hectare = 64;
+      config.worksite.forest.brush_per_hectare = 96;
+      config.worksite.forest.boulder_height_mean = 2.2;
+      config.worksite.forest.brush_height_mean = 1.8;
+      integration::SecuredWorksite site{config};
+      for (int i = 0; i < 4; ++i) {
+        site.worksite().add_worker("w" + std::to_string(i), {70.0 + 12 * i, 65.0},
+                                   {90, 90});
+      }
+      site.run_for(duration);
+      coverage[drone ? 1 : 0] = site.safety_outcome().coverage();
+      blind[drone ? 1 : 0] = site.safety_outcome().blind_fast_steps;
+    }
+    std::printf("%-8s | %9.1f%% %10lu | %9.1f%% %10lu\n",
+                std::string(sim::weather_name(weather)).c_str(), 100.0 * coverage[0],
+                static_cast<unsigned long>(blind[0]), 100.0 * coverage[1],
+                static_cast<unsigned long>(blind[1]));
+  }
+
+  std::printf("\nshape check: table (a) exposes the per-modality asymmetry (fog\n"
+              "collapses the camera's envelope far sooner than the lidar's);\n"
+              "table (b) shows the close-orbit drone still covers the warning\n"
+              "zone in all weathers because its stand-off stays inside the\n"
+              "shrunken envelope — the kind of interaction a §III-D validation\n"
+              "matrix must cover before crediting the drone as a safety function.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Incident response walkthrough: a fleet worksite is attacked mid-shift;
+// afterwards the operator reconstructs what happened from the machine's
+// own artifacts — correlated IDS incidents, the tamper-evident audit
+// trail (EU 2023/1230 Annex III 1.1.9 evidence duty), emergent-behaviour
+// findings and the SOTIF census. Ends with a tamper check: a manipulated
+// log is caught by the signed hash chain.
+//
+//   build/examples/incident_response
+#include <cstdio>
+
+#include "integration/secured_worksite.h"
+
+using namespace agrarsec;
+
+int main() {
+  integration::SecuredWorksiteConfig config;
+  config.seed = 404;
+  config.forwarder_count = 2;
+  config.worksite.forest.boulders_per_hectare = 40;
+  config.monitor.restart_delay = 2 * core::kSecond;
+  config.fusion.freshness_window = 500;
+
+  integration::SecuredWorksite site{config};
+  site.worksite().add_worker("feller-1", {230, 240}, {250, 250});
+  site.worksite().add_worker("feller-2", {260, 250}, {250, 250});
+
+  std::printf("incident response walkthrough — 2 forwarders, secured links\n");
+  std::printf("============================================================\n\n");
+
+  std::printf("[shift] 5 quiet minutes...\n");
+  site.run_for(5 * core::kMinute);
+
+  std::printf("[attack] spoof burst + flood from a roadside attacker...\n");
+  auto& attacker = site.add_attacker({150, 150}, 2);
+  for (int i = 0; i < 20; ++i) {
+    attacker.spoof(site.radio(), site.worksite().clock().now(), 3 /*operator*/,
+                   net::MessageType::kEstopCommand, net::EstopBody{1, 0}.encode(),
+                   site.forwarder_node());
+    site.run_for(2 * core::kSecond);
+  }
+  attacker.flood(site.radio(), site.worksite().clock().now(), 3, 400);
+  site.run_for(core::kMinute);
+
+  std::printf("[attack] pulsed lidar ghosting against forwarder-2...\n");
+  sensors::SensorAttack on;
+  on.ghosts = 2;
+  on.ghost_radius_m = 9.0;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    site.attack_forwarder_sensor(on, 1);
+    site.run_for(3 * core::kSecond);
+    site.attack_forwarder_sensor({}, 1);
+    site.run_for(5 * core::kSecond);
+  }
+  site.run_for(2 * core::kMinute);  // quiet tail closes incidents
+
+  // --- the operator's reconstruction ---
+  std::printf("\n--- correlated incidents (%zu total, %zu still open) ---\n",
+              site.incidents().incidents().size(), site.incidents().open_count());
+  for (const auto& incident : site.incidents().incidents()) {
+    std::printf("  %s\n", ids::AlertCorrelator::summarize(incident).c_str());
+  }
+
+  std::printf("\n--- audit trail (%zu entries) ---\n", site.audit().size());
+  std::printf("  e-stop events:   %zu\n", site.audit().by_category("estop").size());
+  std::printf("  degradations:    %zu\n", site.audit().by_category("degraded").size());
+  std::printf("  critical alerts: %zu\n", site.audit().by_category("ids-alert").size());
+  const auto checkpoint = site.audit().checkpoint();
+  const auto verdict = secure::AuditLog::verify(site.audit().entries(), checkpoint,
+                                                site.audit().public_key());
+  std::printf("  chain verification against signed checkpoint: %s\n",
+              verdict ? "BROKEN" : "intact");
+
+  std::printf("\n--- tamper attempt: defence counsel edits entry #2 ---\n");
+  auto tampered = site.audit().entries();
+  if (tampered.size() > 2) {
+    tampered[2].detail = "routine stop (nothing to see)";
+    const auto broken =
+        secure::AuditLog::verify(tampered, checkpoint, site.audit().public_key());
+    if (broken) {
+      std::printf("  verification fails at entry %lu — manipulation detected\n",
+                  static_cast<unsigned long>(*broken));
+    } else {
+      std::printf("  verification unexpectedly passed (BUG)\n");
+    }
+  }
+
+  std::printf("\n--- emergent behaviour (SoS view) ---\n");
+  std::printf("  stop-start oscillations: %lu\n",
+              static_cast<unsigned long>(
+                  site.emergent().count("stop-start-oscillation")));
+  std::printf("  cascade degradations:    %lu\n",
+              static_cast<unsigned long>(site.emergent().count("cascade-degradation")));
+
+  std::printf("\n--- per-machine stops ---\n");
+  for (std::size_t i = 0; i < site.forwarder_count(); ++i) {
+    std::printf("  forwarder-%zu: %lu e-stops\n", i + 1,
+                static_cast<unsigned long>(site.monitor(i).stats().estops));
+  }
+
+  std::printf("\n--- SOTIF census of blind steps during the shift ---\n");
+  for (const auto& condition : site.sotif().conditions()) {
+    const auto ev = site.sotif().evidence(condition.id);
+    if (ev.encounters == 0) continue;
+    std::printf("  %-20s %lu\n", condition.id.c_str(),
+                static_cast<unsigned long>(ev.encounters));
+  }
+
+  std::printf("\nconclusion: every operator-facing artifact above was produced\n"
+              "by the machines themselves, survives the uplink outage typical\n"
+              "of remote sites, and is evidence-grade (signed, tamper-evident)\n"
+              "— the §V/Annex-III story, executed.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Runs the forestry-adapted risk assessment methodology end to end:
+// ISO/SAE 21434 TARA over the Table I threat catalogue, IEC 62443
+// zone/conduit gap analysis, and the safety-security co-analysis — the
+// workflow the paper sketches as its future methodology (§VI).
+//
+//   build/examples/risk_assessment
+#include <cstdio>
+
+#include "risk/attack_path.h"
+#include "risk/catalog.h"
+#include "risk/coanalysis.h"
+#include "risk/iec62443.h"
+
+using namespace agrarsec;
+
+int main() {
+  std::printf("forestry worksite risk assessment (ISO/SAE 21434 + IEC 62443)\n");
+  std::printf("==============================================================\n\n");
+
+  const risk::Tara tara = risk::build_forestry_tara();
+  std::printf("item: %s\n", tara.item().name.c_str());
+  std::printf("assets: %zu, threat scenarios: %zu\n\n", tara.item().assets.size(),
+              tara.results().size());
+
+  std::printf("%-26s %-22s %5s %5s %5s %s\n", "threat", "asset", "risk", "resid",
+              "CAL", "treatment");
+  for (const auto& r : tara.results()) {
+    const risk::Asset* asset = tara.item().find(r.scenario.asset);
+    std::printf("%-26s %-22s %5d %5d %5s %s\n", r.scenario.name.c_str(),
+                asset != nullptr ? asset->name.c_str() : "?", r.initial_risk,
+                r.residual_risk, std::string(risk::cal_name(r.cal)).c_str(),
+                std::string(risk::treatment_name(r.treatment)).c_str());
+  }
+
+  std::printf("\nmax risk: initial %d -> residual %d; highest CAL: %s\n",
+              tara.max_initial_risk(), tara.max_residual_risk(),
+              std::string(risk::cal_name(tara.max_cal())).c_str());
+
+  // IEC 62443 zones & conduits.
+  std::printf("\nIEC 62443 zone/conduit security levels\n");
+  std::printf("--------------------------------------\n");
+  const risk::ZoneModel zones = risk::forestry_zone_model(tara.item());
+  const auto catalogue = risk::countermeasure_catalogue();
+  for (const risk::Zone& z : zones.zones()) {
+    std::printf("zone %-10s SL-T %s\n                SL-A %s\n", z.name.c_str(),
+                risk::sl_vector_to_string(z.target).c_str(),
+                risk::sl_vector_to_string(zones.achieved(z, catalogue)).c_str());
+  }
+  const auto gaps = zones.gaps(catalogue);
+  if (gaps.empty()) {
+    std::printf("no SL gaps — achieved levels meet every target\n");
+  } else {
+    std::printf("open gaps (%zu):\n", gaps.size());
+    for (const auto& gap : gaps) {
+      std::printf("  %-28s %-4s target %d achieved %d\n", gap.subject.c_str(),
+                  std::string(risk::fr_name(gap.fr)).c_str(), gap.target,
+                  gap.achieved);
+    }
+  }
+
+  // Attack-path analysis (clause 15.7) for the headline threats.
+  std::printf("\nattack-path analysis (ISO 21434 clause 15.7)\n");
+  std::printf("---------------------------------------------\n");
+  struct TreeCase {
+    const char* threat;
+    risk::AttackNode::Ptr tree;
+    std::vector<std::string> blocked;
+    const char* control;
+  };
+  const TreeCase tree_cases[] = {
+      {"estop-replay", risk::estop_replay_tree(), {"replay-plaintext"},
+       "secure-channel"},
+      {"malicious-update", risk::malicious_update_tree(), {"push-unsigned"},
+       "signed-firmware"},
+      {"gnss-spoof-walkoff", risk::gnss_walkoff_tree(), {"fast-jump"},
+       "gnss-plausibility"},
+  };
+  for (const TreeCase& c : tree_cases) {
+    const auto before = c.tree->cheapest_path();
+    const auto after = c.tree->cheapest_path(c.blocked);
+    std::printf("%-20s cheapest path: ", c.threat);
+    if (before) {
+      for (std::size_t i = 0; i < before->steps.size(); ++i) {
+        std::printf("%s%s", i ? " -> " : "", before->steps[i].id.c_str());
+      }
+      std::printf(" (%s)\n",
+                  std::string(risk::feasibility_name(
+                                  risk::feasibility_from_potential(before->potential)))
+                      .c_str());
+    } else {
+      std::printf("infeasible\n");
+    }
+    std::printf("%-20s with %-18s: ", "", c.control);
+    if (after) {
+      for (std::size_t i = 0; i < after->steps.size(); ++i) {
+        std::printf("%s%s", i ? " -> " : "", after->steps[i].id.c_str());
+      }
+      std::printf(" (%s)\n",
+                  std::string(risk::feasibility_name(
+                                  risk::feasibility_from_potential(after->potential)))
+                      .c_str());
+    } else {
+      std::printf("no remaining path — scenario infeasible\n");
+    }
+  }
+
+  // Co-analysis.
+  std::printf("\nsafety-security co-analysis (IEC TS 63074 reading)\n");
+  std::printf("---------------------------------------------------\n");
+  const risk::ForestryCoAnalysis fca = risk::build_forestry_coanalysis(tara);
+  for (const auto& v : fca.analysis.analyze(tara)) {
+    std::printf("hazard %-28s requires %s", v.hazard.name.c_str(),
+                std::string(safety::performance_level_name(v.required)).c_str());
+    if (v.achieved) {
+      std::printf(", achieves %s",
+                  std::string(safety::performance_level_name(*v.achieved)).c_str());
+    }
+    if (v.under_attack) {
+      std::printf(" (under attack: %s)",
+                  std::string(safety::performance_level_name(*v.under_attack)).c_str());
+    }
+    std::printf("\n  safety %s | security %s | combined %s\n",
+                v.safety_ok ? "OK" : "OPEN", v.security_ok ? "OK" : "OPEN",
+                v.combined_ok ? "OK" : "OPEN");
+    for (const ThreatId t : v.critical_threats) {
+      for (const auto& r : tara.results()) {
+        if (r.scenario.id == t) {
+          std::printf("    blocking threat: %s (residual risk %d)\n",
+                      r.scenario.name.c_str(), r.residual_risk);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "assurance/compliance.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agrarsec::assurance {
+
+std::vector<Requirement> machinery_requirements() {
+  using RS = RegulationSource;
+  return {
+      {"MR-1.1.9", RS::kMachineryRegulation,
+       "Protection against corruption",
+       "Connection of a device or remote access must not lead to a hazardous "
+       "situation; safety software/data must be protected against accidental "
+       "or intentional corruption; the machinery must collect evidence of a "
+       "lawful or unlawful intervention."},
+      {"MR-1.2.1", RS::kMachineryRegulation,
+       "Safety and reliability of control systems",
+       "Control systems must withstand, where appropriate to the "
+       "circumstances and the risks, intended operating stresses and "
+       "malicious attempts to create a hazardous situation."},
+      {"MR-1.1.6", RS::kMachineryRegulation,
+       "Ergonomics / supervision of autonomous machinery",
+       "Fully or partially autonomous machinery must allow supervisory "
+       "functions including the ability to stop the machinery safely."},
+      {"MR-1.2.2", RS::kMachineryRegulation,
+       "Control devices — remote control",
+       "Where machinery is controlled remotely, loss or degradation of the "
+       "communication link must not lead to a hazardous situation."},
+      {"MR-1.3.7", RS::kMachineryRegulation,
+       "Risks related to moving parts and persons",
+       "Autonomous mobile machinery must be able to detect persons in the "
+       "danger zone and prevent contact hazards."},
+      {"CRA-SUR-1", RS::kCyberResilienceAct,
+       "Secure by default & updates",
+       "Products with digital elements must be delivered secure by default "
+       "and provided with security updates over their lifetime."},
+      {"CRA-SUR-2", RS::kCyberResilienceAct,
+       "Vulnerability handling & logging",
+       "Manufacturers must log and monitor relevant internal activity and "
+       "handle vulnerabilities, with attestable integrity of the logs."},
+  };
+}
+
+ComplianceMap::ComplianceMap(std::vector<Requirement> requirements)
+    : requirements_(std::move(requirements)) {}
+
+void ComplianceMap::map(const std::string& requirement_id,
+                        const std::string& goal_label) {
+  const bool known = std::any_of(
+      requirements_.begin(), requirements_.end(),
+      [&](const Requirement& r) { return r.id == requirement_id; });
+  if (!known) throw std::invalid_argument("unknown requirement: " + requirement_id);
+  mapping_[requirement_id].push_back(goal_label);
+}
+
+std::vector<RequirementStatus> ComplianceMap::evaluate(
+    const ArgumentModel& argument, const EvidenceOracle& oracle) const {
+  const auto evaluations = argument.evaluate(oracle);
+
+  std::vector<RequirementStatus> out;
+  for (const Requirement& r : requirements_) {
+    RequirementStatus status;
+    status.requirement = r;
+    const auto it = mapping_.find(r.id);
+    if (it == mapping_.end() || it->second.empty()) {
+      out.push_back(std::move(status));
+      continue;
+    }
+    status.mapped = true;
+    status.supported = true;
+    status.confidence = 1.0;
+    status.goal_labels = it->second;
+    for (const std::string& label : it->second) {
+      const GsnNode* node = argument.by_label(label);
+      if (node == nullptr) {
+        status.supported = false;
+        status.confidence = 0.0;
+        continue;
+      }
+      const auto ev = evaluations.find(node->id.value());
+      if (ev == evaluations.end() ||
+          ev->second.status != SupportStatus::kSupported) {
+        status.supported = false;
+      }
+      const double c = ev == evaluations.end() ? 0.0 : ev->second.confidence;
+      status.confidence = std::min(status.confidence, c);
+    }
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+double ComplianceMap::coverage(const ArgumentModel& argument,
+                               const EvidenceOracle& oracle) const {
+  const auto statuses = evaluate(argument, oracle);
+  if (statuses.empty()) return 0.0;
+  const auto supported = std::count_if(
+      statuses.begin(), statuses.end(),
+      [](const RequirementStatus& s) { return s.mapped && s.supported; });
+  return static_cast<double>(supported) / static_cast<double>(statuses.size());
+}
+
+}  // namespace agrarsec::assurance

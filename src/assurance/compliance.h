@@ -1,0 +1,66 @@
+// Compliance mapping against Regulation (EU) 2023/1230 (the new Machinery
+// Regulation, in force for the paper's timeframe) — specifically its
+// cybersecurity-relevant essential health and safety requirements (EHSR,
+// Annex III), plus hooks for the Cyber Resilience Act obligations the
+// paper lists as "may also need to be considered". Each requirement maps
+// to the GSN goals that argue it; coverage is the fraction of mapped
+// requirements whose goals evaluate as supported.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assurance/evidence.h"
+#include "assurance/gsn.h"
+
+namespace agrarsec::assurance {
+
+enum class RegulationSource : std::uint8_t {
+  kMachineryRegulation = 0,  ///< Regulation (EU) 2023/1230
+  kCyberResilienceAct = 1,   ///< CRA proposal obligations
+};
+
+struct Requirement {
+  std::string id;           ///< e.g. "MR-1.1.9"
+  RegulationSource source = RegulationSource::kMachineryRegulation;
+  std::string title;
+  std::string text;
+};
+
+/// Cybersecurity-relevant requirement set for autonomous machinery.
+[[nodiscard]] std::vector<Requirement> machinery_requirements();
+
+struct RequirementStatus {
+  Requirement requirement;
+  std::vector<std::string> goal_labels;  ///< mapped GSN goals
+  bool mapped = false;
+  bool supported = false;   ///< all mapped goals supported
+  double confidence = 0.0;  ///< min over mapped goals
+};
+
+class ComplianceMap {
+ public:
+  explicit ComplianceMap(std::vector<Requirement> requirements);
+
+  /// Maps a requirement to a GSN goal label.
+  void map(const std::string& requirement_id, const std::string& goal_label);
+
+  /// Evaluates coverage against an argument + evidence.
+  [[nodiscard]] std::vector<RequirementStatus> evaluate(
+      const ArgumentModel& argument, const EvidenceOracle& oracle) const;
+
+  /// Fraction of requirements fully supported.
+  [[nodiscard]] double coverage(const ArgumentModel& argument,
+                                const EvidenceOracle& oracle) const;
+
+  [[nodiscard]] const std::vector<Requirement>& requirements() const {
+    return requirements_;
+  }
+
+ private:
+  std::vector<Requirement> requirements_;
+  std::unordered_map<std::string, std::vector<std::string>> mapping_;
+};
+
+}  // namespace agrarsec::assurance

@@ -1,0 +1,62 @@
+#include "assurance/evidence.h"
+
+#include <stdexcept>
+
+namespace agrarsec::assurance {
+
+std::string_view evidence_kind_name(EvidenceKind kind) {
+  switch (kind) {
+    case EvidenceKind::kTestResult: return "test-result";
+    case EvidenceKind::kAnalysis: return "analysis";
+    case EvidenceKind::kReview: return "review";
+    case EvidenceKind::kFieldData: return "field-data";
+    case EvidenceKind::kCertification: return "certification";
+  }
+  return "?";
+}
+
+EvidenceId EvidenceRegistry::add(EvidenceKind kind, const std::string& name,
+                                 const std::string& description, double confidence,
+                                 core::SimTime produced_at,
+                                 std::optional<core::SimDuration> validity) {
+  if (confidence < 0.0 || confidence > 1.0) {
+    throw std::invalid_argument("evidence confidence must lie in [0,1]");
+  }
+  EvidenceItem item;
+  item.id = ids_.next();
+  item.kind = kind;
+  item.name = name;
+  item.description = description;
+  item.confidence = confidence;
+  item.produced_at = produced_at;
+  item.validity = validity;
+  by_id_[item.id.value()] = items_.size();
+  items_.push_back(std::move(item));
+  return items_.back().id;
+}
+
+void EvidenceRegistry::update_confidence(EvidenceId id, double confidence) {
+  const auto it = by_id_.find(id.value());
+  if (it == by_id_.end()) throw std::invalid_argument("unknown evidence id");
+  if (confidence < 0.0 || confidence > 1.0) {
+    throw std::invalid_argument("evidence confidence must lie in [0,1]");
+  }
+  items_[it->second].confidence = confidence;
+}
+
+std::optional<double> EvidenceRegistry::confidence(EvidenceId id) const {
+  const auto it = by_id_.find(id.value());
+  if (it == by_id_.end()) return std::nullopt;
+  const EvidenceItem& item = items_[it->second];
+  if (item.validity && item.produced_at + *item.validity < now_) {
+    return std::nullopt;  // aged out
+  }
+  return item.confidence;
+}
+
+const EvidenceItem* EvidenceRegistry::item(EvidenceId id) const {
+  const auto it = by_id_.find(id.value());
+  return it == by_id_.end() ? nullptr : &items_[it->second];
+}
+
+}  // namespace agrarsec::assurance

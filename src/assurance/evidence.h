@@ -1,0 +1,63 @@
+// Evidence registry for assurance cases: typed evidence items with
+// freshness and trust, acting as the EvidenceOracle the GSN evaluator
+// consumes. Benches register live artifacts (test tallies, IDS stats,
+// boot reports) so the evaluated case reflects the actual system state —
+// the "continuous incremental assurance" direction (paper §V).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assurance/gsn.h"
+#include "core/time.h"
+#include "core/types.h"
+
+namespace agrarsec::assurance {
+
+enum class EvidenceKind : std::uint8_t {
+  kTestResult = 0,
+  kAnalysis = 1,
+  kReview = 2,
+  kFieldData = 3,
+  kCertification = 4,
+};
+
+[[nodiscard]] std::string_view evidence_kind_name(EvidenceKind kind);
+
+struct EvidenceItem {
+  EvidenceId id;
+  EvidenceKind kind = EvidenceKind::kTestResult;
+  std::string name;
+  std::string description;
+  double confidence = 0.0;     ///< [0,1]; 0 marks failed/withdrawn evidence
+  core::SimTime produced_at = 0;
+  std::optional<core::SimDuration> validity;  ///< evidence ages out
+};
+
+class EvidenceRegistry final : public EvidenceOracle {
+ public:
+  EvidenceId add(EvidenceKind kind, const std::string& name,
+                 const std::string& description, double confidence,
+                 core::SimTime produced_at = 0,
+                 std::optional<core::SimDuration> validity = std::nullopt);
+
+  /// Updates the confidence of an existing item (re-running tests etc.).
+  void update_confidence(EvidenceId id, double confidence);
+
+  /// Sets "now" for freshness checks; stale evidence reports nullopt.
+  void set_now(core::SimTime now) { now_ = now; }
+
+  [[nodiscard]] std::optional<double> confidence(EvidenceId id) const override;
+  [[nodiscard]] const EvidenceItem* item(EvidenceId id) const;
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<EvidenceItem> items_;
+  std::unordered_map<std::uint64_t, std::size_t> by_id_;
+  IdAllocator<EvidenceId> ids_;
+  core::SimTime now_ = 0;
+};
+
+}  // namespace agrarsec::assurance

@@ -1,0 +1,105 @@
+// Goal Structuring Notation (GSN) argument model with CAE-compatible
+// semantics — the Security Assurance Case machinery of the paper's §V.
+// Supports construction, structural validation, evidence-driven
+// evaluation with confidence propagation, and DOT export.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace agrarsec::assurance {
+
+enum class GsnType : std::uint8_t {
+  kGoal = 0,        ///< claim to be supported
+  kStrategy = 1,    ///< argument decomposition
+  kSolution = 2,    ///< evidence reference (CAE: Evidence)
+  kContext = 3,
+  kAssumption = 4,
+  kJustification = 5,
+};
+
+[[nodiscard]] std::string_view gsn_type_name(GsnType type);
+
+struct GsnNode {
+  GsnId id;
+  GsnType type = GsnType::kGoal;
+  std::string label;       ///< short identifier, e.g. "G1"
+  std::string statement;
+  std::vector<GsnId> supported_by;   ///< goals/strategies/solutions
+  std::vector<GsnId> in_context_of;  ///< context/assumption/justification
+  std::optional<EvidenceId> evidence;  ///< solutions only
+  bool undeveloped = false;            ///< explicitly marked open point
+};
+
+/// Evaluation status of a node after propagation.
+enum class SupportStatus : std::uint8_t {
+  kSupported = 0,
+  kPartial = 1,      ///< some but not all children supported
+  kUnsupported = 2,
+  kUndeveloped = 3,  ///< marked undeveloped or no children at all
+};
+
+[[nodiscard]] std::string_view support_status_name(SupportStatus status);
+
+struct Evaluation {
+  SupportStatus status = SupportStatus::kUndeveloped;
+  double confidence = 0.0;  ///< [0,1] product/min-combination up the tree
+};
+
+/// Evidence lookup the evaluator uses for solution nodes.
+class EvidenceOracle {
+ public:
+  virtual ~EvidenceOracle() = default;
+  /// Returns the confidence [0,1] in an evidence item; nullopt = missing.
+  [[nodiscard]] virtual std::optional<double> confidence(EvidenceId id) const = 0;
+};
+
+class ArgumentModel {
+ public:
+  /// Creates a node; label must be unique.
+  GsnId add(GsnType type, std::string label, std::string statement);
+
+  /// child supports parent (GSN "supported by").
+  void support(GsnId parent, GsnId child);
+  /// context attachment.
+  void in_context(GsnId subject, GsnId context);
+  void bind_evidence(GsnId solution, EvidenceId evidence);
+  void mark_undeveloped(GsnId goal);
+
+  [[nodiscard]] const GsnNode* node(GsnId id) const;
+  [[nodiscard]] const GsnNode* by_label(const std::string& label) const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<const GsnNode*> roots() const;
+
+  /// Structural validation: returns human-readable problems (empty = ok).
+  /// Checks: type rules on edges, acyclicity, solutions have no children,
+  /// non-undeveloped goals have support, labels unique (enforced on add).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Evaluates the whole argument against an evidence oracle. Goal /
+  /// strategy nodes AND over their support; confidence is the product of
+  /// children's confidences (weakest-link flavored).
+  [[nodiscard]] std::unordered_map<std::uint64_t, Evaluation> evaluate(
+      const EvidenceOracle& oracle) const;
+
+  /// Graphviz DOT rendering (shapes per GSN symbol conventions).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  [[nodiscard]] Evaluation evaluate_node(
+      const GsnNode& node, const EvidenceOracle& oracle,
+      std::unordered_map<std::uint64_t, Evaluation>& memo,
+      std::vector<std::uint64_t>& stack) const;
+
+  std::vector<GsnNode> nodes_;
+  std::unordered_map<std::uint64_t, std::size_t> by_id_;
+  std::unordered_map<std::string, std::size_t> by_label_;
+  IdAllocator<GsnId> ids_;
+};
+
+}  // namespace agrarsec::assurance

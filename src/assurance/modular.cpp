@@ -1,0 +1,99 @@
+#include "assurance/modular.h"
+
+#include <algorithm>
+
+namespace agrarsec::assurance {
+
+AssuranceModule summarize_module(const std::string& system_name,
+                                 const std::string& owner,
+                                 const ArgumentModel& argument, GsnId top_goal,
+                                 const EvidenceOracle& oracle) {
+  AssuranceModule module;
+  module.system_name = system_name;
+  module.owner = owner;
+  const GsnNode* top = argument.node(top_goal);
+  module.top_claim = top != nullptr ? top->statement : "(missing top goal)";
+  const auto eval = argument.evaluate(oracle);
+  if (const auto it = eval.find(top_goal.value()); it != eval.end()) {
+    module.status = it->second.status;
+    module.confidence = it->second.confidence;
+  }
+  return module;
+}
+
+SosCaseResult build_sos_case(const sos::SosComposition& composition,
+                             const std::vector<AssuranceModule>& modules,
+                             EvidenceRegistry& registry) {
+  SosCaseResult out;
+  ArgumentModel& arg = out.argument;
+
+  out.top_goal = arg.add(GsnType::kGoal, "G-sos",
+                         "The worksite system-of-systems is acceptably secure "
+                         "as composed");
+  const GsnId ctx = arg.add(
+      GsnType::kContext, "C-sos",
+      std::to_string(composition.systems().size()) + " constituent systems, " +
+          std::to_string(composition.contracts().size()) + " interface contracts");
+  arg.in_context(out.top_goal, ctx);
+
+  // Leg 1: each constituent is secure by its own (imported) case.
+  const GsnId s_modules = arg.add(GsnType::kStrategy, "S-modules",
+                                  "Argue over the constituents' own assurance "
+                                  "cases (modular, separately owned)");
+  arg.support(out.top_goal, s_modules);
+  for (const AssuranceModule& m : modules) {
+    const GsnId g = arg.add(GsnType::kGoal, "G-module-" + m.system_name,
+                            "'" + m.system_name + "' (owner: " + m.owner +
+                                ") upholds its module claim: " + m.top_claim);
+    arg.support(s_modules, g);
+    const GsnId sol = arg.add(GsnType::kSolution, "Sn-module-" + m.system_name,
+                              "imported evaluation of the module's top claim");
+    const double conf =
+        m.status == SupportStatus::kSupported ? std::max(m.confidence, 0.01) : 0.0;
+    const EvidenceId ev =
+        registry.add(EvidenceKind::kCertification, "module-" + m.system_name,
+                     "standalone evaluation result of the constituent's case", conf);
+    arg.bind_evidence(sol, ev);
+    arg.support(g, sol);
+    out.module_evidence.emplace_back(m.system_name, ev);
+  }
+
+  // Leg 2: the composition itself is sound (static checks).
+  const GsnId s_composition =
+      arg.add(GsnType::kStrategy, "S-composition",
+              "Argue over the five SoS problem areas (Waller & Craddock)");
+  arg.support(out.top_goal, s_composition);
+
+  struct Check {
+    const char* label;
+    std::vector<sos::CompositionIssue> issues;
+  };
+  const Check checks[] = {
+      {"capabilities", composition.check_capabilities()},
+      {"operational-independence", composition.check_operational_independence()},
+      {"management-independence", composition.check_management_independence()},
+      {"evolution", composition.check_evolution()},
+      {"geographic", composition.check_geographic()},
+  };
+  for (const Check& check : checks) {
+    const GsnId g = arg.add(GsnType::kGoal, std::string("G-sos-") + check.label,
+                            std::string("no unresolved ") + check.label +
+                                " issues in the composition");
+    arg.support(s_composition, g);
+    if (check.issues.empty()) {
+      const GsnId sol =
+          arg.add(GsnType::kSolution, std::string("Sn-sos-") + check.label,
+                  "composition check passed");
+      const EvidenceId ev = registry.add(EvidenceKind::kAnalysis,
+                                         std::string("sos-check-") + check.label,
+                                         "static composition analysis", 0.95);
+      arg.bind_evidence(sol, ev);
+      arg.support(g, sol);
+    } else {
+      arg.mark_undeveloped(g);  // open point: the issues must be resolved
+    }
+  }
+  return out;
+}
+
+}  // namespace agrarsec::assurance

@@ -1,0 +1,57 @@
+// Modular assurance for a System of Systems (paper §V: "compliance
+// requirements necessitate the separation of concerns, which calls for ...
+// a modular approach for an assurance framework"). Each constituent system
+// brings its own assurance case (module); the SoS-level case claims the
+// composition is secure, supported by
+//   (a) each module's top claim (contract: the module must expose it),
+//   (b) the static composition checks (sos::SosComposition), and
+//   (c) the interface contracts being protected end-to-end.
+// Modules remain independently owned and re-evaluable — replacing one
+// constituent's case does not touch the others, which is the property
+// management independence demands.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assurance/evidence.h"
+#include "assurance/gsn.h"
+#include "sos/system.h"
+
+namespace agrarsec::assurance {
+
+/// A constituent's contribution to the SoS case.
+struct AssuranceModule {
+  std::string system_name;          ///< matches sos::ConstituentSystem::name
+  std::string owner;                ///< managing organization
+  /// The module's public top claim, with its standalone evaluation.
+  std::string top_claim;
+  SupportStatus status = SupportStatus::kUndeveloped;
+  double confidence = 0.0;
+};
+
+/// Extracts a module summary from a constituent's evaluated case.
+[[nodiscard]] AssuranceModule summarize_module(const std::string& system_name,
+                                               const std::string& owner,
+                                               const ArgumentModel& argument,
+                                               GsnId top_goal,
+                                               const EvidenceOracle& oracle);
+
+struct SosCaseResult {
+  ArgumentModel argument;
+  GsnId top_goal;
+  /// Evidence ids for each module's imported claim — update these when a
+  /// constituent re-evaluates, then re-evaluate the SoS case.
+  std::vector<std::pair<std::string, EvidenceId>> module_evidence;
+};
+
+/// Builds the SoS-level case over the composition and the modules.
+/// Composition issues found by the static checks become undeveloped goals
+/// (open points); module claims are imported as evidence whose confidence
+/// is the module's standalone confidence (zero when the module's own top
+/// claim is not supported).
+[[nodiscard]] SosCaseResult build_sos_case(const sos::SosComposition& composition,
+                                           const std::vector<AssuranceModule>& modules,
+                                           EvidenceRegistry& registry);
+
+}  // namespace agrarsec::assurance

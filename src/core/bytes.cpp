@@ -1,0 +1,122 @@
+#include "core/bytes.h"
+
+#include <stdexcept>
+
+namespace agrarsec::core {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex digit");
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_nibble(hex[i]) << 4) |
+                                            hex_nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes from_string(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_le32(p)) |
+         (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t load_be64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(load_be32(p)) << 32) |
+         static_cast<std::uint64_t>(load_be32(p + 4));
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+void append(Bytes& dst, std::span<const std::uint8_t> src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void append_le64(Bytes& dst, std::uint64_t v) {
+  std::uint8_t buf[8];
+  store_le64(buf, v);
+  dst.insert(dst.end(), buf, buf + 8);
+}
+
+void append_be32(Bytes& dst, std::uint32_t v) {
+  std::uint8_t buf[4];
+  store_be32(buf, v);
+  dst.insert(dst.end(), buf, buf + 4);
+}
+
+void append_framed(Bytes& dst, std::span<const std::uint8_t> field) {
+  append_be32(dst, static_cast<std::uint32_t>(field.size()));
+  append(dst, field);
+}
+
+}  // namespace agrarsec::core

@@ -1,0 +1,60 @@
+#include "core/event_bus.h"
+
+#include <algorithm>
+
+namespace agrarsec::core {
+
+EventBus::Subscription EventBus::subscribe(const std::string& topic, Handler handler) {
+  const Subscription handle = next_handle_++;
+  by_topic_[topic].push_back(Entry{handle, std::move(handler)});
+  return handle;
+}
+
+EventBus::Subscription EventBus::subscribe_all(Handler handler) {
+  const Subscription handle = next_handle_++;
+  wildcard_.push_back(Entry{handle, std::move(handler)});
+  return handle;
+}
+
+void EventBus::unsubscribe(Subscription handle) {
+  auto erase_from = [handle](std::vector<Entry>& entries) {
+    std::erase_if(entries, [handle](const Entry& e) { return e.handle == handle; });
+  };
+  for (auto& [topic, entries] : by_topic_) erase_from(entries);
+  erase_from(wildcard_);
+}
+
+void EventBus::publish(Event event) {
+  ++published_;
+  if (delivering_) {
+    pending_.push_back(std::move(event));
+    return;
+  }
+  delivering_ = true;
+  deliver(event);
+  // Drain events published from inside handlers, breadth-first.
+  while (!pending_.empty()) {
+    std::vector<Event> batch;
+    batch.swap(pending_);
+    for (const Event& e : batch) deliver(e);
+  }
+  delivering_ = false;
+}
+
+void EventBus::deliver(const Event& event) {
+  if (auto it = by_topic_.find(event.topic); it != by_topic_.end()) {
+    // Copy: handlers may (un)subscribe while we iterate.
+    const std::vector<Entry> entries = it->second;
+    for (const Entry& e : entries) e.handler(event);
+  }
+  const std::vector<Entry> taps = wildcard_;
+  for (const Entry& e : taps) e.handler(event);
+}
+
+std::size_t EventBus::subscriber_count() const {
+  std::size_t n = wildcard_.size();
+  for (const auto& [topic, entries] : by_topic_) n += entries.size();
+  return n;
+}
+
+}  // namespace agrarsec::core

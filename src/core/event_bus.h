@@ -1,0 +1,62 @@
+// Topic-based publish/subscribe bus. Machines, safety monitors, the IDS and
+// the SoS layer communicate through the bus when they live on the same
+// compute node; cross-machine traffic instead goes through net::RadioMedium.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/time.h"
+
+namespace agrarsec::core {
+
+/// An event on the bus: topic + opaque payload + origin tag.
+struct Event {
+  std::string topic;
+  std::string payload;   ///< compact text encoding (key=value;...)
+  std::uint64_t origin;  ///< publisher identifier (machine/system id value)
+  SimTime time = 0;
+};
+
+/// Synchronous pub/sub with subscription handles for removal.
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+  using Subscription = std::uint64_t;
+
+  /// Subscribes `handler` to an exact topic. Returns a handle.
+  Subscription subscribe(const std::string& topic, Handler handler);
+
+  /// Subscribes to every topic (IDS taps use this).
+  Subscription subscribe_all(Handler handler);
+
+  void unsubscribe(Subscription handle);
+
+  /// Delivers synchronously to all matching subscribers, in subscription
+  /// order. Reentrant publishes are queued and drained afterwards so a
+  /// handler chain cannot recurse unboundedly.
+  void publish(Event event);
+
+  [[nodiscard]] std::size_t subscriber_count() const;
+  [[nodiscard]] std::uint64_t published_count() const { return published_; }
+
+ private:
+  struct Entry {
+    Subscription handle;
+    Handler handler;
+  };
+
+  void deliver(const Event& event);
+
+  std::unordered_map<std::string, std::vector<Entry>> by_topic_;
+  std::vector<Entry> wildcard_;
+  std::vector<Event> pending_;
+  bool delivering_ = false;
+  Subscription next_handle_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace agrarsec::core

@@ -1,0 +1,96 @@
+// 2D/2.5D geometry used by the worksite simulator and the sensor
+// ray-casting models. The worksite is a plane with a height field; an
+// elevated drone viewpoint is modelled by 3D line-of-sight against
+// obstacle heights (which is exactly the occlusion property Figure 2 of
+// the paper is about).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace agrarsec::core {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] double norm_sq() const { return x * x + y * y; }
+  [[nodiscard]] double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  [[nodiscard]] double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  [[nodiscard]] Vec2 rotated(double radians) const {
+    const double c = std::cos(radians), s = std::sin(radians);
+    return {x * c - y * s, x * s + y * c};
+  }
+};
+
+/// 3D point: planar position + height above terrain datum (metres).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  [[nodiscard]] Vec2 xy() const { return {x, y}; }
+};
+
+[[nodiscard]] double distance(Vec2 a, Vec2 b);
+[[nodiscard]] double distance(const Vec3& a, const Vec3& b);
+
+/// Wraps an angle to (-pi, pi].
+[[nodiscard]] double wrap_angle(double radians);
+
+/// Smallest absolute angular difference between two headings.
+[[nodiscard]] double angular_distance(double a, double b);
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec2 min;
+  Vec2 max;
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  [[nodiscard]] double width() const { return max.x - min.x; }
+  [[nodiscard]] double height() const { return max.y - min.y; }
+  [[nodiscard]] Vec2 clamp(Vec2 p) const;
+};
+
+/// Circle obstacle footprint (tree stems, boulders).
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return distance(center, p) <= radius;
+  }
+};
+
+/// True iff segment [a,b] intersects the circle (strictly closer than the
+/// radius at some point of the segment).
+[[nodiscard]] bool segment_intersects_circle(Vec2 a, Vec2 b, const Circle& c);
+
+/// Distance from point p to segment [a,b].
+[[nodiscard]] double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+/// Visits grid cells of size `cell` crossed by segment [a,b] (2D DDA).
+/// Callback returns false to stop traversal early.
+void traverse_grid(Vec2 a, Vec2 b, double cell,
+                   const std::function<bool(std::int64_t cx, std::int64_t cy)>& visit);
+
+}  // namespace agrarsec::core

@@ -1,0 +1,39 @@
+#include "core/log.h"
+
+#include <cstdio>
+
+namespace agrarsec::core {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty => default stderr sink
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, component, message);
+    return;
+  }
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace agrarsec::core

@@ -1,0 +1,45 @@
+// Leveled, sink-pluggable logger. Kept deliberately simple: the simulator
+// and examples log human-readable lines; tests install a capturing sink.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace agrarsec::core {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view log_level_name(LogLevel level);
+
+/// Process-wide logger configuration. Not thread-safe by design — the
+/// simulation is single-threaded and benchmarks set it up once.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component, std::string_view message)>;
+
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore
+  /// the default.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view component, std::string_view message);
+
+  static void debug(std::string_view component, std::string_view message) {
+    write(LogLevel::kDebug, component, message);
+  }
+  static void info(std::string_view component, std::string_view message) {
+    write(LogLevel::kInfo, component, message);
+  }
+  static void warn(std::string_view component, std::string_view message) {
+    write(LogLevel::kWarn, component, message);
+  }
+  static void error(std::string_view component, std::string_view message) {
+    write(LogLevel::kError, component, message);
+  }
+};
+
+}  // namespace agrarsec::core

@@ -1,0 +1,82 @@
+// Minimal expected-style result type. C++20 has no std::expected, and the
+// protocol/crypto paths want error returns without exceptions on the hot
+// path (Core Guidelines E.intro: use error codes where failure is normal).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace agrarsec::core {
+
+/// Error payload: a machine-readable code plus a human-readable message.
+struct Error {
+  std::string code;     ///< stable identifier, e.g. "bad_mac"
+  std::string message;  ///< human-readable detail
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+/// Result<T>: either a value or an Error. Intentionally tiny — just what
+/// the handshake/record/boot layers need.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access. Throws std::logic_error when called on an error result —
+  /// callers must check ok() first.
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take on error: " + error().to_string());
+    return std::move(std::get<T>(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error on value");
+    return std::get<Error>(state_);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error on ok");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience factory.
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace agrarsec::core

@@ -1,0 +1,135 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace agrarsec::core {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound must be > 0");
+  // Lemire's nearly-divisionless method.
+  __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next_u64()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::chance(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return next_double() < probability;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  double u = 0.0;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("Rng::poisson: lambda must be >= 0");
+  if (lambda == 0.0) return 0;
+  if (lambda > 30.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // traffic-volume models that use large lambdas.
+    const double v = normal(lambda, std::sqrt(lambda));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::vector<std::uint8_t> Rng::bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    const std::uint64_t v = next_u64();
+    for (int b = 0; b < 8; ++b) out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    i += 8;
+  }
+  if (i < n) {
+    const std::uint64_t v = next_u64();
+    for (int b = 0; i < n; ++i, ++b) out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  return out;
+}
+
+Rng Rng::fork(std::uint64_t label) {
+  // Mix the label through the stream so fork(0) != parent continuation.
+  const std::uint64_t child_seed = next_u64() ^ (label * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  return Rng{child_seed};
+}
+
+}  // namespace agrarsec::core

@@ -1,0 +1,44 @@
+// Simulation time. The worksite runs on a fixed-step discrete clock;
+// everything that needs "now" (sensor frames, radio slots, certificate
+// validity, IDS windows) reads the same SimClock, which keeps the whole
+// stack deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace agrarsec::core {
+
+/// Simulation timestamp in milliseconds since worksite start.
+using SimTime = std::int64_t;
+
+/// Duration in milliseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMillisecond = 1;
+constexpr SimDuration kSecond = 1000;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+
+/// Fixed-step clock advanced by the worksite scheduler.
+class SimClock {
+ public:
+  explicit SimClock(SimDuration step = 100 /*ms*/) : step_(step) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimDuration step() const { return step_; }
+  [[nodiscard]] double now_seconds() const { return static_cast<double>(now_) / kSecond; }
+
+  /// Advances by one fixed step and returns the new time.
+  SimTime tick() { return now_ += step_; }
+
+  /// Advances to an absolute time (monotonicity enforced).
+  void advance_to(SimTime t) {
+    if (t >= now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0;
+  SimDuration step_;
+};
+
+}  // namespace agrarsec::core

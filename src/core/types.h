@@ -1,0 +1,86 @@
+// Strongly-typed identifiers and fundamental value types shared by every
+// agrarsec module. Identifiers are phantom-tagged integers so that, e.g., a
+// NodeId cannot be passed where an AssetId is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace agrarsec {
+
+/// Phantom-typed 64-bit identifier. `Tag` is never instantiated; it only
+/// distinguishes identifier families at compile time.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  auto operator<=>(const Id&) const = default;
+
+  /// Sentinel meaning "no such entity".
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+  static constexpr Id invalid() { return Id{kInvalid}; }
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct NodeIdTag {};
+struct MachineIdTag {};
+struct HumanIdTag {};
+struct SensorIdTag {};
+struct AssetIdTag {};
+struct ThreatIdTag {};
+struct HazardIdTag {};
+struct ZoneIdTag {};
+struct ConduitIdTag {};
+struct GsnIdTag {};
+struct EvidenceIdTag {};
+struct CertSerialTag {};
+struct SessionIdTag {};
+struct AlertIdTag {};
+struct SystemIdTag {};
+
+using NodeId = Id<NodeIdTag>;          ///< network participant (radio node)
+using MachineId = Id<MachineIdTag>;    ///< forwarder / harvester / drone
+using HumanId = Id<HumanIdTag>;        ///< human worker in the worksite
+using SensorId = Id<SensorIdTag>;      ///< sensor instance on a machine
+using AssetId = Id<AssetIdTag>;        ///< ISO 21434 item/asset
+using ThreatId = Id<ThreatIdTag>;      ///< threat scenario
+using HazardId = Id<HazardIdTag>;      ///< safety hazard
+using ZoneId = Id<ZoneIdTag>;          ///< IEC 62443 zone
+using ConduitId = Id<ConduitIdTag>;    ///< IEC 62443 conduit
+using GsnId = Id<GsnIdTag>;            ///< GSN/CAE argument element
+using EvidenceId = Id<EvidenceIdTag>;  ///< assurance evidence artifact
+using CertSerial = Id<CertSerialTag>;  ///< PKI certificate serial
+using SessionId = Id<SessionIdTag>;    ///< secure-channel session
+using AlertId = Id<AlertIdTag>;        ///< IDS alert
+using SystemId = Id<SystemIdTag>;      ///< SoS constituent system
+
+/// Monotonically increasing id generator, one per id family per container.
+template <typename IdType>
+class IdAllocator {
+ public:
+  IdType next() { return IdType{next_++}; }
+  [[nodiscard]] std::uint64_t allocated() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 1;  // 0 is reserved for "well-known" entities
+};
+
+}  // namespace agrarsec
+
+namespace std {
+template <typename Tag>
+struct hash<agrarsec::Id<Tag>> {
+  size_t operator()(const agrarsec::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

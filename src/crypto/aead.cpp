@@ -1,0 +1,69 @@
+#include "crypto/aead.h"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+
+namespace agrarsec::crypto {
+
+namespace {
+
+Poly1305::Tag compute_tag(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> nonce,
+                          std::span<const std::uint8_t> aad,
+                          std::span<const std::uint8_t> ciphertext) {
+  // One-time Poly1305 key = first 32 bytes of ChaCha20 block 0.
+  const auto block0 = ChaCha20::block(key, nonce, 0);
+  Poly1305 mac{std::span(block0.data(), 32)};
+
+  static constexpr std::uint8_t kZeros[16] = {0};
+  mac.update(aad);
+  if (aad.size() % 16 != 0) mac.update({kZeros, 16 - aad.size() % 16});
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0) mac.update({kZeros, 16 - ciphertext.size() % 16});
+
+  std::uint8_t lengths[16];
+  core::store_le64(lengths, aad.size());
+  core::store_le64(lengths + 8, ciphertext.size());
+  mac.update(lengths);
+  return mac.finish();
+}
+
+}  // namespace
+
+core::Bytes aead_seal(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> nonce,
+                      std::span<const std::uint8_t> aad,
+                      std::span<const std::uint8_t> plaintext) {
+  if (key.size() != kAeadKeySize) throw std::invalid_argument("aead_seal: bad key size");
+  if (nonce.size() != kAeadNonceSize) throw std::invalid_argument("aead_seal: bad nonce size");
+
+  core::Bytes out = ChaCha20::crypt(key, nonce, 1, plaintext);
+  const auto tag = compute_tag(key, nonce, aad, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+core::Result<core::Bytes> aead_open(std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> nonce,
+                                    std::span<const std::uint8_t> aad,
+                                    std::span<const std::uint8_t> sealed) {
+  if (key.size() != kAeadKeySize) return core::make_error("bad_key", "aead_open: bad key size");
+  if (nonce.size() != kAeadNonceSize) {
+    return core::make_error("bad_nonce", "aead_open: bad nonce size");
+  }
+  if (sealed.size() < kAeadTagSize) {
+    return core::make_error("bad_length", "aead_open: input shorter than tag");
+  }
+  const auto ciphertext = sealed.subspan(0, sealed.size() - kAeadTagSize);
+  const auto tag = sealed.subspan(sealed.size() - kAeadTagSize);
+
+  const auto expected = compute_tag(key, nonce, aad, ciphertext);
+  if (!core::constant_time_equal(expected, tag)) {
+    return core::make_error("bad_mac", "aead_open: authentication failed");
+  }
+  return ChaCha20::crypt(key, nonce, 1, ciphertext);
+}
+
+}  // namespace agrarsec::crypto

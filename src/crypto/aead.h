@@ -1,0 +1,31 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8). The secure-channel record layer
+// and the firmware-update container both use this construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/bytes.h"
+#include "core/result.h"
+
+namespace agrarsec::crypto {
+
+inline constexpr std::size_t kAeadKeySize = 32;
+inline constexpr std::size_t kAeadNonceSize = 12;
+inline constexpr std::size_t kAeadTagSize = 16;
+
+/// Encrypts `plaintext`; returns ciphertext || 16-byte tag.
+[[nodiscard]] core::Bytes aead_seal(std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> nonce,
+                                    std::span<const std::uint8_t> aad,
+                                    std::span<const std::uint8_t> plaintext);
+
+/// Decrypts and authenticates ciphertext || tag. Returns an error Result
+/// ("bad_mac") when authentication fails — callers must not inspect any
+/// plaintext in that case (none is returned).
+[[nodiscard]] core::Result<core::Bytes> aead_open(std::span<const std::uint8_t> key,
+                                                  std::span<const std::uint8_t> nonce,
+                                                  std::span<const std::uint8_t> aad,
+                                                  std::span<const std::uint8_t> sealed);
+
+}  // namespace agrarsec::crypto

@@ -1,0 +1,80 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace agrarsec::crypto {
+
+namespace {
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+void core_block(const std::array<std::uint32_t, 16>& input,
+                std::array<std::uint8_t, ChaCha20::kBlockSize>& out) {
+  std::array<std::uint32_t, 16> x = input;
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    core::store_le32(out.data() + 4 * i, x[i] + input[i]);
+  }
+}
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+                   std::uint32_t initial_counter) {
+  if (key.size() != kKeySize) throw std::invalid_argument("ChaCha20: key must be 32 bytes");
+  if (nonce.size() != kNonceSize) throw std::invalid_argument("ChaCha20: nonce must be 12 bytes");
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = core::load_le32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = core::load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() {
+  core_block(state_, keystream_);
+  ++state_[12];
+  keystream_used_ = 0;
+}
+
+void ChaCha20::apply(std::span<std::uint8_t> data) {
+  for (std::uint8_t& byte : data) {
+    if (keystream_used_ == kBlockSize) refill();
+    byte ^= keystream_[keystream_used_++];
+  }
+}
+
+std::array<std::uint8_t, ChaCha20::kBlockSize> ChaCha20::block(
+    std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+    std::uint32_t counter) {
+  ChaCha20 c{key, nonce, counter};
+  std::array<std::uint8_t, kBlockSize> out;
+  core_block(c.state_, out);
+  return out;
+}
+
+core::Bytes ChaCha20::crypt(std::span<const std::uint8_t> key,
+                            std::span<const std::uint8_t> nonce, std::uint32_t counter,
+                            std::span<const std::uint8_t> data) {
+  core::Bytes out(data.begin(), data.end());
+  ChaCha20 c{key, nonce, counter};
+  c.apply(out);
+  return out;
+}
+
+}  // namespace agrarsec::crypto

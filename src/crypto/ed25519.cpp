@@ -1,0 +1,434 @@
+#include "crypto/ed25519.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/field25519.h"
+#include "crypto/sha512.h"
+
+namespace agrarsec::crypto {
+
+namespace {
+
+using detail::Fe;
+
+// --- Edwards curve points, extended coordinates (X:Y:Z:T), x*y = T*Z. ---
+
+struct GePoint {
+  Fe x, y, z, t;
+};
+
+// d = -121665/121666 mod p.
+const Fe kD = {{0x34dca135978a3ULL, 0x1a8283b156ebdULL, 0x5e7a26001c029ULL,
+                0x739c663a03cbbULL, 0x52036cee2b6ffULL}};
+// 2*d
+const Fe kD2 = {{0x69b9426b2f159ULL, 0x35050762add7aULL, 0x3cf44c0038052ULL,
+                 0x6738cc7407977ULL, 0x2406d9dc56dffULL}};
+// sqrt(-1) = 2^((p-1)/4)
+const Fe kSqrtM1 = {{0x61b274a0ea0b0ULL, 0xd5a5fc8f189dULL, 0x7ef5e9cbd0c60ULL,
+                     0x78595a6804c9eULL, 0x2b8324804fc1dULL}};
+
+GePoint ge_identity() {
+  return GePoint{detail::fe_zero(), detail::fe_one(), detail::fe_one(), detail::fe_zero()};
+}
+
+/// Base point B (x, 4/5) with x positive.
+GePoint ge_base() {
+  // Canonical encoding of B's y = 4/5; x recovered sign-positive.
+  static const Fe bx = {{0x62d608f25d51aULL, 0x412a4b4f6592aULL, 0x75b7171a4b31dULL,
+                         0x1ff60527118feULL, 0x216936d3cd6e5ULL}};
+  static const Fe by = {{0x6666666666658ULL, 0x4ccccccccccccULL, 0x1999999999999ULL,
+                         0x3333333333333ULL, 0x6666666666666ULL}};
+  GePoint p;
+  p.x = bx;
+  p.y = by;
+  p.z = detail::fe_one();
+  detail::fe_mul(p.t, bx, by);
+  return p;
+}
+
+/// Unified point addition (RFC 8032 §5.1.4 formulas, extended coords).
+GePoint ge_add(const GePoint& p, const GePoint& q) {
+  Fe a, b, c, d, e, f, g, h, t;
+  detail::fe_sub(t, p.y, p.x);
+  detail::fe_carry(t);
+  Fe t2;
+  detail::fe_sub(t2, q.y, q.x);
+  detail::fe_carry(t2);
+  detail::fe_mul(a, t, t2);                    // A = (Y1-X1)(Y2-X2)
+  detail::fe_add(t, p.y, p.x);
+  detail::fe_carry(t);
+  detail::fe_add(t2, q.y, q.x);
+  detail::fe_carry(t2);
+  detail::fe_mul(b, t, t2);                    // B = (Y1+X1)(Y2+X2)
+  detail::fe_mul(c, p.t, q.t);
+  detail::fe_mul(c, c, kD2);                   // C = 2 d T1 T2
+  detail::fe_mul(d, p.z, q.z);
+  detail::fe_add(d, d, d);                     // D = 2 Z1 Z2
+  detail::fe_carry(d);
+  detail::fe_sub(e, b, a);                     // E = B - A
+  detail::fe_carry(e);
+  detail::fe_sub(f, d, c);                     // F = D - C
+  detail::fe_carry(f);
+  detail::fe_add(g, d, c);                     // G = D + C
+  detail::fe_carry(g);
+  detail::fe_add(h, b, a);                     // H = B + A
+  detail::fe_carry(h);
+
+  GePoint r;
+  detail::fe_mul(r.x, e, f);
+  detail::fe_mul(r.y, g, h);
+  detail::fe_mul(r.t, e, h);
+  detail::fe_mul(r.z, f, g);
+  return r;
+}
+
+GePoint ge_double(const GePoint& p) { return ge_add(p, p); }
+
+GePoint ge_neg(const GePoint& p) {
+  GePoint r;
+  detail::fe_neg(r.x, p.x);
+  r.y = p.y;
+  r.z = p.z;
+  detail::fe_neg(r.t, p.t);
+  return r;
+}
+
+/// scalar (little-endian 32 bytes) * point, simple double-and-add MSB-first.
+/// Not constant-time; adequate for the simulated ECUs (constant-time
+/// scalar-base multiplication would use a fixed window table).
+GePoint ge_scalar_mul(std::span<const std::uint8_t> scalar, const GePoint& p) {
+  GePoint r = ge_identity();
+  for (int i = 255; i >= 0; --i) {
+    r = ge_double(r);
+    if ((scalar[static_cast<std::size_t>(i / 8)] >> (i & 7)) & 1) {
+      r = ge_add(r, p);
+    }
+  }
+  return r;
+}
+
+void ge_tobytes(std::uint8_t out[32], const GePoint& p) {
+  Fe recip, x, y;
+  detail::fe_invert(recip, p.z);
+  detail::fe_mul(x, p.x, recip);
+  detail::fe_mul(y, p.y, recip);
+  detail::fe_tobytes(out, y);
+  out[31] ^= static_cast<std::uint8_t>(detail::fe_is_negative(x) ? 0x80 : 0x00);
+}
+
+/// Decompresses a point; returns false when no square root exists.
+bool ge_frombytes(GePoint& p, const std::uint8_t in[32]) {
+  Fe y;
+  detail::fe_frombytes(y, in);
+  const bool x_sign = (in[31] & 0x80) != 0;
+
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  Fe y2, u, v;
+  detail::fe_sq(y2, y);
+  detail::fe_sub(u, y2, detail::fe_one());
+  detail::fe_carry(u);
+  detail::fe_mul(v, y2, kD);
+  detail::fe_add(v, v, detail::fe_one());
+  detail::fe_carry(v);
+
+  // Candidate root: x = u v^3 (u v^7)^((p-5)/8)
+  Fe v3, v7, t, x;
+  detail::fe_sq(v3, v);
+  detail::fe_mul(v3, v3, v);
+  detail::fe_sq(v7, v3);
+  detail::fe_mul(v7, v7, v);
+  detail::fe_mul(t, u, v7);
+  detail::fe_pow22523(t, t);
+  detail::fe_mul(x, t, v3);
+  detail::fe_mul(x, x, u);
+
+  // Check v x^2 == u or v x^2 == -u.
+  Fe vx2, diff, sum;
+  detail::fe_sq(vx2, x);
+  detail::fe_mul(vx2, vx2, v);
+  detail::fe_sub(diff, vx2, u);
+  detail::fe_carry(diff);
+  detail::fe_add(sum, vx2, u);
+  detail::fe_carry(sum);
+
+  if (!detail::fe_is_zero(diff)) {
+    if (!detail::fe_is_zero(sum)) return false;
+    detail::fe_mul(x, x, kSqrtM1);
+  }
+
+  if (detail::fe_is_zero(x) && x_sign) return false;  // x = 0 with sign bit: invalid
+  if (detail::fe_is_negative(x) != x_sign) {
+    detail::fe_neg(x, x);
+  }
+
+  p.x = x;
+  p.y = y;
+  p.z = detail::fe_one();
+  detail::fe_mul(p.t, x, y);
+  return true;
+}
+
+// --- Scalar arithmetic modulo the group order L. ---
+// L = 2^252 + 27742317777372353535851937790883648493.
+
+// Minimal big-unsigned helpers over base-2^32 little-endian vectors, only
+// what mod-L arithmetic needs. Sizes are tiny (<= 16 words), so schoolbook
+// algorithms are plenty.
+using Big = std::vector<std::uint32_t>;
+
+Big big_from_bytes_le(std::span<const std::uint8_t> bytes) {
+  Big out((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out[i / 4] |= static_cast<std::uint32_t>(bytes[i]) << (8 * (i % 4));
+  }
+  while (out.size() > 1 && out.back() == 0) out.pop_back();
+  return out;
+}
+
+void big_to_bytes32_le(const Big& x, std::uint8_t out[32]) {
+  std::memset(out, 0, 32);
+  for (std::size_t i = 0; i < x.size() && i * 4 < 32; ++i) {
+    for (std::size_t b = 0; b < 4 && i * 4 + b < 32; ++b) {
+      out[i * 4 + b] = static_cast<std::uint8_t>(x[i] >> (8 * b));
+    }
+  }
+}
+
+int big_cmp(const Big& a, const Big& b) {
+  std::size_t na = a.size(), nb = b.size();
+  while (na > 1 && a[na - 1] == 0) --na;
+  while (nb > 1 && b[nb - 1] == 0) --nb;
+  if (na != nb) return na < nb ? -1 : 1;
+  for (std::size_t i = na; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Big big_add(const Big& a, const Big& b) {
+  Big out(std::max(a.size(), b.size()) + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t s = carry;
+    if (i < a.size()) s += a[i];
+    if (i < b.size()) s += b[i];
+    out[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  while (out.size() > 1 && out.back() == 0) out.pop_back();
+  return out;
+}
+
+/// a - b; requires a >= b.
+Big big_sub(const Big& a, const Big& b) {
+  Big out(a.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a[i]) - borrow -
+                     (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (d < 0) {
+      d += std::int64_t{1} << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<std::uint32_t>(d);
+  }
+  while (out.size() > 1 && out.back() == 0) out.pop_back();
+  return out;
+}
+
+Big big_mul(const Big& a, const Big& b) {
+  Big out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = out[i + j] + static_cast<std::uint64_t>(a[i]) * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (out.size() > 1 && out.back() == 0) out.pop_back();
+  return out;
+}
+
+Big big_shift_words(const Big& a, std::size_t words) {
+  Big out(a.size() + words, 0);
+  std::copy(a.begin(), a.end(), out.begin() + static_cast<std::ptrdiff_t>(words));
+  return out;
+}
+
+const Big& big_l() {
+  // L little-endian.
+  static const Big l = [] {
+    const std::uint8_t bytes[32] = {
+        0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+        0xa2, 0xde, 0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+    return big_from_bytes_le(bytes);
+  }();
+  return l;
+}
+
+/// x mod L via binary long division (shift-and-subtract on word blocks).
+Big big_mod_l(Big x) {
+  const Big& l = big_l();
+  if (big_cmp(x, l) < 0) return x;
+  // Find the highest word offset such that l << offset <= x, then subtract
+  // the largest multiples. Classic schoolbook; inputs are <= 64 bytes.
+  while (big_cmp(x, l) >= 0) {
+    std::size_t shift = x.size() > l.size() ? x.size() - l.size() : 0;
+    Big shifted = big_shift_words(l, shift);
+    while (shift > 0 && big_cmp(shifted, x) > 0) {
+      --shift;
+      shifted = big_shift_words(l, shift);
+    }
+    // Subtract shifted * q where q reduces the leading words; do it simply:
+    // subtract the largest power-of-two multiple repeatedly.
+    Big multiple = shifted;
+    Big doubled = big_add(multiple, multiple);
+    while (big_cmp(doubled, x) <= 0) {
+      multiple = doubled;
+      doubled = big_add(multiple, multiple);
+    }
+    x = big_sub(x, multiple);
+  }
+  return x;
+}
+
+using Scalar = std::array<std::uint8_t, 32>;
+
+Scalar scalar_mod_l(std::span<const std::uint8_t> bytes) {
+  Big x = big_from_bytes_le(bytes);
+  x = big_mod_l(std::move(x));
+  Scalar out{};
+  big_to_bytes32_le(x, out.data());
+  return out;
+}
+
+/// (a * b + c) mod L.
+Scalar scalar_muladd(const Scalar& a, const Scalar& b, const Scalar& c) {
+  Big prod = big_mul(big_from_bytes_le(a), big_from_bytes_le(b));
+  Big sum = big_add(prod, big_from_bytes_le(c));
+  sum = big_mod_l(std::move(sum));
+  Scalar out{};
+  big_to_bytes32_le(sum, out.data());
+  return out;
+}
+
+bool scalar_is_canonical(std::span<const std::uint8_t> s) {
+  Big x = big_from_bytes_le(s);
+  return big_cmp(x, big_l()) < 0;
+}
+
+struct ExpandedKey {
+  Scalar a;                         // clamped scalar
+  std::array<std::uint8_t, 32> prefix;
+};
+
+ExpandedKey expand_seed(std::span<const std::uint8_t> seed) {
+  const auto h = Sha512::hash(seed);
+  ExpandedKey out{};
+  std::memcpy(out.a.data(), h.data(), 32);
+  std::memcpy(out.prefix.data(), h.data() + 32, 32);
+  out.a[0] &= 248;
+  out.a[31] &= 63;
+  out.a[31] |= 64;
+  return out;
+}
+
+}  // namespace
+
+Ed25519PublicKey ed25519_public_key(std::span<const std::uint8_t> seed) {
+  if (seed.size() != kEd25519SeedSize) {
+    throw std::invalid_argument("ed25519: seed must be 32 bytes");
+  }
+  const ExpandedKey key = expand_seed(seed);
+  const GePoint a_point = ge_scalar_mul(key.a, ge_base());
+  Ed25519PublicKey out{};
+  ge_tobytes(out.data(), a_point);
+  return out;
+}
+
+Ed25519KeyPair ed25519_keypair(std::span<const std::uint8_t> seed) {
+  Ed25519KeyPair kp{};
+  std::memcpy(kp.seed.data(), seed.data(), kEd25519SeedSize);
+  kp.public_key = ed25519_public_key(seed);
+  return kp;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519KeyPair& keypair,
+                              std::span<const std::uint8_t> message) {
+  const ExpandedKey key = expand_seed(keypair.seed);
+
+  // r = SHA512(prefix || M) mod L
+  Sha512 h;
+  h.update(key.prefix);
+  h.update(message);
+  const Scalar r = scalar_mod_l(h.finish());
+
+  // R = r * B
+  const GePoint r_point = ge_scalar_mul(r, ge_base());
+  std::uint8_t r_bytes[32];
+  ge_tobytes(r_bytes, r_point);
+
+  // k = SHA512(R || A || M) mod L
+  h.reset();
+  h.update({r_bytes, 32});
+  h.update(keypair.public_key);
+  h.update(message);
+  const Scalar k = scalar_mod_l(h.finish());
+
+  // S = (r + k * a) mod L
+  const Scalar s = scalar_muladd(k, key.a, r);
+
+  Ed25519Signature sig{};
+  std::memcpy(sig.data(), r_bytes, 32);
+  std::memcpy(sig.data() + 32, s.data(), 32);
+  return sig;
+}
+
+bool ed25519_verify(std::span<const std::uint8_t> public_key,
+                    std::span<const std::uint8_t> message,
+                    std::span<const std::uint8_t> signature) {
+  if (public_key.size() != kEd25519PublicKeySize ||
+      signature.size() != kEd25519SignatureSize) {
+    return false;
+  }
+  const std::span<const std::uint8_t> r_bytes = signature.subspan(0, 32);
+  const std::span<const std::uint8_t> s_bytes = signature.subspan(32, 32);
+  if (!scalar_is_canonical(s_bytes)) return false;
+
+  GePoint a_point;
+  if (!ge_frombytes(a_point, public_key.data())) return false;
+
+  // k = SHA512(R || A || M) mod L
+  Sha512 h;
+  h.update(r_bytes);
+  h.update(public_key);
+  h.update(message);
+  const Scalar k = scalar_mod_l(h.finish());
+
+  // Check [S]B = R + [k]A  <=>  [S]B + [k](-A) = R.
+  Scalar s{};
+  std::memcpy(s.data(), s_bytes.data(), 32);
+  const GePoint sb = ge_scalar_mul(s, ge_base());
+  const GePoint ka = ge_scalar_mul(k, ge_neg(a_point));
+  const GePoint check = ge_add(sb, ka);
+
+  std::uint8_t check_bytes[32];
+  ge_tobytes(check_bytes, check);
+  return std::memcmp(check_bytes, r_bytes.data(), 32) == 0;
+}
+
+}  // namespace agrarsec::crypto

@@ -1,0 +1,48 @@
+#include "crypto/hkdf.h"
+
+#include <stdexcept>
+
+namespace agrarsec::crypto {
+
+HmacSha256::Tag hkdf_extract(std::span<const std::uint8_t> salt,
+                             std::span<const std::uint8_t> ikm) {
+  // Per RFC 5869: empty salt means a string of HashLen zeros.
+  if (salt.empty()) {
+    static constexpr std::array<std::uint8_t, Sha256::kDigestSize> kZeros{};
+    return HmacSha256::mac(kZeros, ikm);
+  }
+  return HmacSha256::mac(salt, ikm);
+}
+
+core::Bytes hkdf_expand(std::span<const std::uint8_t> prk,
+                        std::span<const std::uint8_t> info, std::size_t length) {
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+  if (length > 255 * kHashLen) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  core::Bytes okm;
+  okm.reserve(length);
+  HmacSha256::Tag t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 h{prk};
+    h.update(std::span(t.data(), t_len));
+    h.update(info);
+    h.update({&counter, 1});
+    t = h.finish();
+    t_len = kHashLen;
+    const std::size_t take = std::min(kHashLen, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return okm;
+}
+
+core::Bytes hkdf(std::span<const std::uint8_t> salt, std::span<const std::uint8_t> ikm,
+                 std::span<const std::uint8_t> info, std::size_t length) {
+  const auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace agrarsec::crypto

@@ -1,0 +1,27 @@
+// HKDF-SHA256 (RFC 5869). Used by the secure-channel handshake to derive
+// session keys from the X25519 shared secret and the handshake transcript.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/bytes.h"
+#include "crypto/hmac.h"
+
+namespace agrarsec::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+[[nodiscard]] HmacSha256::Tag hkdf_extract(std::span<const std::uint8_t> salt,
+                                           std::span<const std::uint8_t> ikm);
+
+/// HKDF-Expand: OKM of `length` bytes (length <= 255*32).
+[[nodiscard]] core::Bytes hkdf_expand(std::span<const std::uint8_t> prk,
+                                      std::span<const std::uint8_t> info,
+                                      std::size_t length);
+
+/// Extract-then-expand convenience.
+[[nodiscard]] core::Bytes hkdf(std::span<const std::uint8_t> salt,
+                               std::span<const std::uint8_t> ikm,
+                               std::span<const std::uint8_t> info, std::size_t length);
+
+}  // namespace agrarsec::crypto

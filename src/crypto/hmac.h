@@ -1,0 +1,34 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1). Verified against RFC 4231 vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace agrarsec::crypto {
+
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kTagSize = Sha256::kDigestSize;
+  using Tag = Sha256::Digest;
+
+  explicit HmacSha256(std::span<const std::uint8_t> key);
+
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] Tag finish();
+
+  /// One-shot MAC.
+  static Tag mac(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
+
+  /// Constant-time verification of a received tag.
+  static bool verify(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data,
+                     std::span<const std::uint8_t> tag);
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, Sha256::kBlockSize> opad_key_{};
+};
+
+}  // namespace agrarsec::crypto

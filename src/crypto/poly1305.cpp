@@ -1,0 +1,150 @@
+#include "crypto/poly1305.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "core/bytes.h"
+
+namespace agrarsec::crypto {
+
+Poly1305::Poly1305(std::span<const std::uint8_t> key) {
+  if (key.size() != kKeySize) throw std::invalid_argument("Poly1305: key must be 32 bytes");
+  // r with clamping (RFC 8439 §2.5.1), split into 26-bit limbs.
+  const std::uint32_t t0 = core::load_le32(key.data() + 0);
+  const std::uint32_t t1 = core::load_le32(key.data() + 4);
+  const std::uint32_t t2 = core::load_le32(key.data() + 8);
+  const std::uint32_t t3 = core::load_le32(key.data() + 12);
+  r_[0] = t0 & 0x3ffffff;
+  r_[1] = ((t0 >> 26) | (t1 << 6)) & 0x3ffff03;
+  r_[2] = ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff;
+  r_[3] = ((t2 >> 14) | (t3 << 18)) & 0x3f03fff;
+  r_[4] = (t3 >> 8) & 0x00fffff;
+
+  h_[0] = h_[1] = h_[2] = h_[3] = h_[4] = 0;
+  for (int i = 0; i < 4; ++i) pad_[i] = core::load_le32(key.data() + 16 + 4 * i);
+}
+
+void Poly1305::process_block(const std::uint8_t* block, bool final_partial,
+                             std::size_t len) {
+  std::uint8_t padded[17] = {0};
+  std::uint32_t hibit = 1 << 24;  // 2^128 bit for full blocks
+  const std::uint8_t* p = block;
+  if (final_partial) {
+    std::memcpy(padded, block, len);
+    padded[len] = 1;  // append the 1 byte, hibit folded into limb math below
+    hibit = 0;
+    p = padded;
+  }
+
+  h_[0] += core::load_le32(p + 0) & 0x3ffffff;
+  h_[1] += (core::load_le32(p + 3) >> 2) & 0x3ffffff;
+  h_[2] += (core::load_le32(p + 6) >> 4) & 0x3ffffff;
+  h_[3] += (core::load_le32(p + 9) >> 6) & 0x3ffffff;
+  h_[4] += (core::load_le32(p + 12) >> 8) | hibit;
+  if (final_partial) {
+    // The appended 0x01 byte lives at position len; bytes beyond are zero,
+    // so the loads above already account for it.
+  }
+
+  const std::uint64_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3], r4 = r_[4];
+  const std::uint64_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+  const std::uint64_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  std::uint64_t d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+  std::uint64_t d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+  std::uint64_t d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+  std::uint64_t d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+  std::uint64_t d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+  std::uint64_t c = d0 >> 26; d0 &= 0x3ffffff;
+  d1 += c; c = d1 >> 26; d1 &= 0x3ffffff;
+  d2 += c; c = d2 >> 26; d2 &= 0x3ffffff;
+  d3 += c; c = d3 >> 26; d3 &= 0x3ffffff;
+  d4 += c; c = d4 >> 26; d4 &= 0x3ffffff;
+  d0 += c * 5; c = d0 >> 26; d0 &= 0x3ffffff;
+  d1 += c;
+
+  h_[0] = static_cast<std::uint32_t>(d0);
+  h_[1] = static_cast<std::uint32_t>(d1);
+  h_[2] = static_cast<std::uint32_t>(d2);
+  h_[3] = static_cast<std::uint32_t>(d3);
+  h_[4] = static_cast<std::uint32_t>(d4);
+}
+
+void Poly1305::update(std::span<const std::uint8_t> data) {
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min<std::size_t>(16 - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 16) {
+      process_block(buffer_.data(), false, 16);
+      buffered_ = 0;
+    }
+  }
+  while (offset + 16 <= data.size()) {
+    process_block(data.data() + offset, false, 16);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Poly1305::Tag Poly1305::finish() {
+  if (buffered_ > 0) {
+    process_block(buffer_.data(), true, buffered_);
+    buffered_ = 0;
+  }
+
+  // Full carry propagation.
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  std::uint32_t c = h1 >> 26; h1 &= 0x3ffffff;
+  h2 += c; c = h2 >> 26; h2 &= 0x3ffffff;
+  h3 += c; c = h3 >> 26; h3 &= 0x3ffffff;
+  h4 += c; c = h4 >> 26; h4 &= 0x3ffffff;
+  h0 += c * 5; c = h0 >> 26; h0 &= 0x3ffffff;
+  h1 += c;
+
+  // Compute h + -p and select.
+  std::uint32_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1 << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // Serialize to 128 bits and add the pad.
+  const std::uint32_t w0 = h0 | (h1 << 26);
+  const std::uint32_t w1 = (h1 >> 6) | (h2 << 20);
+  const std::uint32_t w2 = (h2 >> 12) | (h3 << 14);
+  const std::uint32_t w3 = (h3 >> 18) | (h4 << 8);
+
+  std::uint64_t f = static_cast<std::uint64_t>(w0) + pad_[0];
+  Tag tag{};
+  core::store_le32(tag.data() + 0, static_cast<std::uint32_t>(f));
+  f = (f >> 32) + static_cast<std::uint64_t>(w1) + pad_[1];
+  core::store_le32(tag.data() + 4, static_cast<std::uint32_t>(f));
+  f = (f >> 32) + static_cast<std::uint64_t>(w2) + pad_[2];
+  core::store_le32(tag.data() + 8, static_cast<std::uint32_t>(f));
+  f = (f >> 32) + static_cast<std::uint64_t>(w3) + pad_[3];
+  core::store_le32(tag.data() + 12, static_cast<std::uint32_t>(f));
+  return tag;
+}
+
+Poly1305::Tag Poly1305::mac(std::span<const std::uint8_t> key,
+                            std::span<const std::uint8_t> data) {
+  Poly1305 p{key};
+  p.update(data);
+  return p.finish();
+}
+
+}  // namespace agrarsec::crypto

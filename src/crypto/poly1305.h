@@ -1,0 +1,34 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5). Implemented with 26-bit
+// limbs over 64-bit accumulators (the donna-style schoolbook approach).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace agrarsec::crypto {
+
+class Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kTagSize = 16;
+  using Tag = std::array<std::uint8_t, kTagSize>;
+
+  explicit Poly1305(std::span<const std::uint8_t> key);
+
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] Tag finish();
+
+  static Tag mac(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block, bool final_partial, std::size_t len);
+
+  std::uint32_t r_[5];
+  std::uint32_t h_[5];
+  std::uint32_t pad_[4];
+  std::array<std::uint8_t, 16> buffer_;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace agrarsec::crypto

@@ -1,0 +1,38 @@
+#include "crypto/random.h"
+
+#include <array>
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace agrarsec::crypto {
+
+Drbg::Drbg(std::uint64_t seed, std::string_view label) {
+  core::Bytes ikm;
+  core::append_le64(ikm, seed);
+  ikm.insert(ikm.end(), label.begin(), label.end());
+  const auto digest = HmacSha256::mac(core::from_string("agrarsec-drbg-v1"), ikm);
+  std::memcpy(key_.data(), digest.data(), key_.size());
+}
+
+core::Bytes Drbg::generate(std::size_t n) {
+  core::Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    core::Bytes block_input;
+    core::append_le64(block_input, counter_++);
+    const auto block = HmacSha256::mac(key_, block_input);
+    const std::size_t take = std::min(block.size(), n - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 32> Drbg::generate32() {
+  const auto bytes = generate(32);
+  std::array<std::uint8_t, 32> out{};
+  std::memcpy(out.data(), bytes.data(), 32);
+  return out;
+}
+
+}  // namespace agrarsec::crypto

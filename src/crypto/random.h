@@ -1,0 +1,31 @@
+// Deterministic DRBG for the simulation: HMAC-SHA256 in counter mode
+// (an HKDF-expand stream). Real deployments would seed from hardware
+// entropy; the simulator seeds from the run seed so that handshakes and
+// nonces are reproducible, which the experiment harnesses rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "core/bytes.h"
+
+namespace agrarsec::crypto {
+
+class Drbg {
+ public:
+  /// Seeds from a 64-bit simulation seed plus a domain-separation label.
+  Drbg(std::uint64_t seed, std::string_view label);
+
+  /// Fills `n` pseudo-random bytes.
+  core::Bytes generate(std::size_t n);
+
+  /// Convenience: 32-byte value (key/seed sized).
+  std::array<std::uint8_t, 32> generate32();
+
+ private:
+  std::array<std::uint8_t, 32> key_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace agrarsec::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4). Incremental interface plus one-shot helpers.
+// Verified against the FIPS/NIST test vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "core/bytes.h"
+
+namespace agrarsec::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] Digest finish();  ///< finalizes; object must be reset() before reuse
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace agrarsec::crypto

@@ -1,0 +1,35 @@
+// SHA-512 (FIPS 180-4). Required by Ed25519 (RFC 8032). Incremental
+// interface mirrors Sha256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace agrarsec::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512();
+
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] Digest finish();
+  void reset();
+
+  static Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;  // messages < 2^64 bytes (ample here)
+};
+
+}  // namespace agrarsec::crypto

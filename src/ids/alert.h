@@ -1,0 +1,27 @@
+// IDS alert model. Alerts feed the safety monitor (which may degrade to a
+// safe state), the SoS coordination layer, and the assurance evidence
+// registry (alert statistics become operational evidence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time.h"
+#include "core/types.h"
+
+namespace agrarsec::ids {
+
+enum class AlertSeverity : std::uint8_t { kInfo = 0, kWarning = 1, kCritical = 2 };
+
+[[nodiscard]] std::string_view alert_severity_name(AlertSeverity severity);
+
+struct Alert {
+  AlertId id;
+  core::SimTime time = 0;
+  std::string rule;          ///< stable rule identifier, e.g. "replay"
+  AlertSeverity severity = AlertSeverity::kWarning;
+  std::uint64_t subject;     ///< implicated sender id (0 = unknown)
+  std::string detail;
+};
+
+}  // namespace agrarsec::ids

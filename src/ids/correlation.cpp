@@ -1,0 +1,70 @@
+#include "ids/correlation.h"
+
+#include <algorithm>
+
+namespace agrarsec::ids {
+
+AlertCorrelator::AlertCorrelator(CorrelatorConfig config) : config_(config) {}
+
+Incident* AlertCorrelator::find_open(const Alert& alert) {
+  // Prefer the most recent matching open incident.
+  for (auto it = incidents_.rbegin(); it != incidents_.rend(); ++it) {
+    Incident& incident = *it;
+    if (incident.closed) continue;
+    if (alert.time > incident.last_alert + config_.gap_timeout) continue;
+    const bool same_subject =
+        alert.subject != 0 && incident.subjects.contains(alert.subject);
+    const bool same_rule = incident.rules.contains(alert.rule);
+    if (same_subject || same_rule) return &incident;
+  }
+  return nullptr;
+}
+
+void AlertCorrelator::ingest(const Alert& alert) {
+  Incident* incident = find_open(alert);
+  if (incident == nullptr) {
+    Incident fresh;
+    fresh.id = next_id_++;
+    fresh.first_alert = alert.time;
+    incidents_.push_back(std::move(fresh));
+    incident = &incidents_.back();
+  }
+  incident->last_alert = std::max(incident->last_alert, alert.time);
+  if (incident->alert_count == 0) incident->last_alert = alert.time;
+  incident->rules.insert(alert.rule);
+  if (alert.subject != 0) incident->subjects.insert(alert.subject);
+  ++incident->alert_count;
+  incident->max_severity = std::max(incident->max_severity, alert.severity);
+}
+
+void AlertCorrelator::tick(core::SimTime now) {
+  for (Incident& incident : incidents_) {
+    if (!incident.closed && incident.last_alert + config_.gap_timeout < now) {
+      incident.closed = true;
+    }
+  }
+}
+
+std::size_t AlertCorrelator::open_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(incidents_.begin(), incidents_.end(),
+                    [](const Incident& i) { return !i.closed; }));
+}
+
+std::size_t AlertCorrelator::closed_count() const {
+  return incidents_.size() - open_count();
+}
+
+std::string AlertCorrelator::summarize(const Incident& incident) {
+  std::string rules;
+  for (const std::string& rule : incident.rules) {
+    if (!rules.empty()) rules += ",";
+    rules += rule;
+  }
+  return "incident#" + std::to_string(incident.id) + " " +
+         std::string(alert_severity_name(incident.max_severity)) + " x" +
+         std::to_string(incident.alert_count) + " rules=[" + rules + "] over " +
+         std::to_string(incident.duration() / core::kSecond) + "s";
+}
+
+}  // namespace agrarsec::ids

@@ -1,0 +1,61 @@
+// Alert correlation: individual IDS alerts are grouped into *incidents*
+// so a flood of 3 000 malformed-frame alerts reaches the operator (over
+// the thin site uplink, Table I) as one incident with a count, not as
+// 3 000 messages. Alerts join an open incident when they arrive within
+// the gap window and share a subject or a rule with it; incidents close
+// after the gap window passes silently.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "ids/alert.h"
+
+namespace agrarsec::ids {
+
+struct Incident {
+  std::uint64_t id = 0;
+  core::SimTime first_alert = 0;
+  core::SimTime last_alert = 0;
+  std::set<std::string> rules;
+  std::set<std::uint64_t> subjects;
+  std::uint64_t alert_count = 0;
+  AlertSeverity max_severity = AlertSeverity::kInfo;
+  bool closed = false;
+
+  [[nodiscard]] core::SimDuration duration() const { return last_alert - first_alert; }
+};
+
+struct CorrelatorConfig {
+  core::SimDuration gap_timeout = 30 * core::kSecond;
+};
+
+class AlertCorrelator {
+ public:
+  explicit AlertCorrelator(CorrelatorConfig config = {});
+
+  /// Feeds one alert (call from the IDS alert handler).
+  void ingest(const Alert& alert);
+
+  /// Advances time: closes incidents whose gap window expired.
+  void tick(core::SimTime now);
+
+  [[nodiscard]] const std::vector<Incident>& incidents() const { return incidents_; }
+  [[nodiscard]] std::size_t open_count() const;
+  [[nodiscard]] std::size_t closed_count() const;
+
+  /// Compact operator line for an incident.
+  [[nodiscard]] static std::string summarize(const Incident& incident);
+
+ private:
+  [[nodiscard]] Incident* find_open(const Alert& alert);
+
+  CorrelatorConfig config_;
+  std::vector<Incident> incidents_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace agrarsec::ids

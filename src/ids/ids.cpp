@@ -1,0 +1,164 @@
+#include "ids/ids.h"
+
+#include <cmath>
+
+#include "core/geometry.h"
+
+namespace agrarsec::ids {
+
+std::string_view alert_severity_name(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kInfo: return "info";
+    case AlertSeverity::kWarning: return "warning";
+    case AlertSeverity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+IntrusionDetectionSystem::IntrusionDetectionSystem(IdsConfig config)
+    : config_(config),
+      ewma_(config.ewma_alpha, config.ewma_k),
+      cusum_(0.0, config.cusum_slack, config.cusum_threshold) {}
+
+void IntrusionDetectionSystem::register_node(std::uint64_t sender_id, bool may_estop) {
+  auto& s = senders_[sender_id];
+  s.known = true;
+  s.may_estop = may_estop;
+}
+
+IntrusionDetectionSystem::SenderState& IntrusionDetectionSystem::state_for(
+    std::uint64_t sender_id) {
+  return senders_[sender_id];
+}
+
+void IntrusionDetectionSystem::raise(core::SimTime now, std::string rule,
+                                     AlertSeverity severity, std::uint64_t subject,
+                                     std::string detail) {
+  Alert alert;
+  alert.id = alert_ids_.next();
+  alert.time = now;
+  alert.rule = std::move(rule);
+  alert.severity = severity;
+  alert.subject = subject;
+  alert.detail = std::move(detail);
+
+  ++counts_[alert.rule];
+  if (alerts_.size() < config_.alert_capacity) alerts_.push_back(alert);
+  if (handler_) handler_(alert);
+}
+
+void IntrusionDetectionSystem::check_signatures(const net::Message& message,
+                                                core::SimTime now) {
+  SenderState& sender = state_for(message.sender);
+
+  if (!sender.known) {
+    raise(now, "unknown-sender", AlertSeverity::kWarning, message.sender,
+          "message type " + std::string(net::message_type_name(message.type)) +
+              " from unregistered id");
+  }
+
+  // Replay / sequence regression. Handshake and secure records manage
+  // their own sequence spaces, so only plaintext app messages are checked.
+  if (message.type != net::MessageType::kHandshake &&
+      message.type != net::MessageType::kSecureRecord) {
+    if (sender.seen_sequence && message.sequence <= sender.last_sequence) {
+      raise(now, "replay", AlertSeverity::kCritical, message.sender,
+            "sequence " + std::to_string(message.sequence) + " <= high-water " +
+                std::to_string(sender.last_sequence));
+    } else {
+      sender.last_sequence = message.sequence;
+      sender.seen_sequence = true;
+    }
+
+    if (message.timestamp + config_.max_timestamp_lag < now) {
+      raise(now, "stale-timestamp", AlertSeverity::kWarning, message.sender,
+            "timestamp lags site time by " +
+                std::to_string(now - message.timestamp) + " ms");
+    }
+  }
+
+  if (message.type == net::MessageType::kTelemetry) {
+    if (const auto body = net::TelemetryBody::decode(message.body)) {
+      if (sender.last_telemetry) {
+        const double dt =
+            static_cast<double>(now - sender.last_telemetry_time) / core::kSecond;
+        if (dt > 1e-3) {
+          const double dist = core::distance(
+              core::Vec2{body->x, body->y},
+              core::Vec2{sender.last_telemetry->x, sender.last_telemetry->y});
+          if (dist / dt > config_.max_speed_mps * 2.0) {
+            raise(now, "spoofed-position", AlertSeverity::kCritical, message.sender,
+                  "implied speed " + std::to_string(dist / dt) + " m/s");
+          }
+        }
+      }
+      sender.last_telemetry = *body;
+      sender.last_telemetry_time = now;
+    } else {
+      raise(now, "malformed", AlertSeverity::kWarning, message.sender,
+            "undecodable telemetry body");
+    }
+  }
+
+  if (message.type == net::MessageType::kEstopCommand && !sender.may_estop) {
+    raise(now, "unauthorized-estop", AlertSeverity::kCritical, message.sender,
+          "e-stop command from sender without authority");
+  }
+}
+
+void IntrusionDetectionSystem::observe(const net::Frame& frame, core::SimTime now) {
+  ++frames_this_tick_;
+
+  const auto message = net::Message::decode(frame.payload);
+  if (config_.enable_signatures) {
+    if (!message) {
+      raise(now, "malformed", AlertSeverity::kInfo, 0, "undecodable frame payload");
+    } else {
+      check_signatures(*message, now);
+    }
+  }
+
+  if (message) {
+    SenderState& sender = state_for(message->sender);
+    sender.rate.add(now);
+    if (config_.enable_signatures &&
+        sender.rate.count(now) > config_.flood_threshold) {
+      raise(now, "flood", AlertSeverity::kWarning, message->sender,
+            "per-source rate above " + std::to_string(config_.flood_threshold) +
+                " frames/s");
+    }
+  }
+}
+
+void IntrusionDetectionSystem::tick(core::SimTime now) {
+  if (!config_.enable_anomaly) {
+    frames_this_tick_ = 0;
+    return;
+  }
+  const auto sample = static_cast<double>(frames_this_tick_);
+  frames_this_tick_ = 0;
+
+  if (ewma_.update(sample)) {
+    raise(now, "rate-anomaly", AlertSeverity::kWarning, 0,
+          "aggregate rate " + std::to_string(sample) + " above EWMA band (mean " +
+              std::to_string(ewma_.mean()) + ")");
+  }
+  // CUSUM drifts against the learned EWMA baseline.
+  cusum_.set_target(ewma_.mean());
+  if (cusum_.update(sample)) {
+    raise(now, "rate-shift", AlertSeverity::kWarning, 0,
+          "sustained aggregate rate shift detected");
+  }
+}
+
+std::uint64_t IntrusionDetectionSystem::alert_count(const std::string& rule) const {
+  const auto it = counts_.find(rule);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void IntrusionDetectionSystem::set_alert_handler(
+    std::function<void(const Alert&)> handler) {
+  handler_ = std::move(handler);
+}
+
+}  // namespace agrarsec::ids

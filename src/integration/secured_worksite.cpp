@@ -1,0 +1,484 @@
+#include "integration/secured_worksite.h"
+
+#include <algorithm>
+
+#include "core/log.h"
+
+namespace agrarsec::integration {
+
+namespace {
+// Application-level sender ids: drone and operator are fixed; forwarder i
+// uses 1 for the primary (legacy convention) and 10+i for the rest.
+constexpr std::uint64_t kDroneSender = 2;
+constexpr std::uint64_t kOperatorSender = 3;
+
+std::uint64_t forwarder_sender_id(std::size_t index) {
+  return index == 0 ? 1 : 10 + index;
+}
+}  // namespace
+
+SecuredWorksiteConfig::SecuredWorksiteConfig() {
+  worksite.forest.bounds = {{0, 0}, {400, 400}};
+  worksite.forest.trees_per_hectare = 350;
+  worksite.landing_area = {40, 40};
+
+  forwarder_sensor.modality = sensors::Modality::kLidar;
+  forwarder_sensor.range_m = 40.0;
+
+  drone_sensor.modality = sensors::Modality::kCamera;
+  drone_sensor.range_m = 90.0;  // elevated camera covers a wide footprint
+  drone_sensor.fov_rad = 6.283185307179586;  // gimbal sweeps the full orbit
+  drone_sensor.base_detect_prob = 0.9;
+}
+
+SecuredWorksite::SecuredWorksite(SecuredWorksiteConfig config)
+    : config_(std::move(config)) {
+  if (config_.forwarder_count == 0) config_.forwarder_count = 1;
+  worksite_ = std::make_unique<sim::Worksite>(config_.worksite, config_.seed);
+
+  setup_units();
+  harvester_id_ = worksite_->add_harvester("harvester-01", {250, 250});
+  if (config_.drone_enabled) {
+    drone_id_ = worksite_->add_drone("drone-01", {60, 60}, config_.drone_altitude_m);
+    // The drone escorts the primary forwarder; its wide camera footprint
+    // covers nearby fleet members as well.
+    worksite_->set_drone_orbit(drone_id_, units_[0]->machine,
+                               config_.drone_orbit_radius_m);
+    drone_sensor_ = std::make_unique<sensors::PerceptionSensor>(
+        SensorId{1000}, config_.drone_sensor);
+  }
+
+  setup_pki();
+  setup_radio();
+
+  // Evidence collection (EU 2023/1230 Annex III 1.1.9) and emergent-
+  // behaviour monitoring over the worksite event bus.
+  for (auto& condition : safety::forestry_triggering_conditions()) {
+    sotif_.add_condition(std::move(condition));
+  }
+  sotif_.add_condition({"sensor-dropout",
+                        "probabilistic per-frame perception miss", true, 10.0});
+
+  audit_ = std::make_unique<secure::AuditLog>(units_[0]->identity->signing);
+  emergent_ = std::make_unique<sos::EmergentBehaviorMonitor>();
+  emergent_->attach(worksite_->bus());
+  worksite_->bus().subscribe("safety/estop", [this](const core::Event& e) {
+    audit_->append(e.time, "estop", e.payload);
+  });
+  worksite_->bus().subscribe("machine/degraded", [this](const core::Event& e) {
+    audit_->append(e.time, "degraded", e.payload);
+  });
+}
+
+SecuredWorksite::~SecuredWorksite() = default;
+
+void SecuredWorksite::setup_units() {
+  for (std::size_t i = 0; i < config_.forwarder_count; ++i) {
+    auto unit = std::make_unique<ForwarderUnit>();
+    unit->index = i;
+    unit->sender_id = forwarder_sender_id(i);
+    unit->node = NodeId{unit->sender_id};
+    const core::Vec2 start{60.0 + 25.0 * static_cast<double>(i % 4),
+                           60.0 + 20.0 * static_cast<double>(i / 4)};
+    unit->machine = worksite_->add_forwarder(
+        "forwarder-" + std::to_string(i + 1), start);
+    unit->sensor = std::make_unique<sensors::PerceptionSensor>(
+        SensorId{100 + i}, config_.forwarder_sensor);
+    unit->fusion = std::make_unique<safety::DetectionFusion>(config_.fusion);
+    unit->monitor = std::make_unique<safety::SafetyMonitor>(
+        *worksite_->machine(unit->machine), config_.monitor, &worksite_->bus());
+    units_.push_back(std::move(unit));
+  }
+}
+
+void SecuredWorksite::setup_pki() {
+  drbg_ = std::make_unique<crypto::Drbg>(config_.seed, "secured-worksite");
+  ca_ = std::make_unique<pki::CertificateAuthority>(
+      pki::CertificateAuthority::create_root("site-ca", drbg_->generate32(), 0,
+                                             1000 * core::kHour));
+  if (auto status = trust_.add_root(ca_->certificate()); !status.ok()) {
+    throw std::logic_error("trust store rejected own root: " + status.error().to_string());
+  }
+
+  for (auto& unit : units_) {
+    auto id = pki::enroll(*ca_, *drbg_,
+                          "forwarder-" + std::to_string(unit->index + 1),
+                          pki::CertRole::kMachine, 0, 1000 * core::kHour);
+    if (!id.ok()) throw std::logic_error("forwarder enrollment failed");
+    unit->identity = std::move(id).take();
+  }
+
+  if (config_.drone_enabled) {
+    auto drn = pki::enroll(*ca_, *drbg_, "drone-01", pki::CertRole::kDrone, 0,
+                           1000 * core::kHour);
+    if (!drn.ok()) throw std::logic_error("drone enrollment failed");
+    drone_identity_ = std::move(drn).take();
+
+    if (config_.secure_links) {
+      for (auto& unit : units_) {
+        auto pair = secure::establish(*drone_identity_, *unit->identity, trust_, 0,
+                                      *drbg_);
+        if (!pair.ok()) {
+          throw std::logic_error("session establishment failed: " +
+                                 pair.error().to_string());
+        }
+        unit->drone_tx = std::move(pair.value().initiator);
+        unit->rx_session = std::move(pair.value().responder);
+      }
+    }
+  }
+}
+
+void SecuredWorksite::setup_radio() {
+  net::RadioConfig radio_config;
+  radio_config.max_range_m = 800.0;  // site-scale link budget
+  radio_ = std::make_unique<net::RadioMedium>(worksite_->rng().fork(0x52AD1),
+                                              radio_config);
+
+  for (auto& unit : units_) {
+    ForwarderUnit* raw = unit.get();
+    radio_->attach(
+        unit->node,
+        [this, raw] { return worksite_->machine(raw->machine)->position(); },
+        [this, raw](const net::Frame& frame, core::SimTime now) {
+          on_forwarder_frame(*raw, frame, now);
+        });
+  }
+  if (config_.drone_enabled) {
+    radio_->attach(
+        drone_node_, [this] { return worksite_->machine(drone_id_)->position(); },
+        [](const net::Frame&, core::SimTime) {});
+  }
+  radio_->attach(operator_node_, [this] { return config_.worksite.landing_area; },
+                 [](const net::Frame&, core::SimTime) {});
+
+  ids::IdsConfig ids_config;
+  // The drone legitimately emits one report per detection per frame; size
+  // the per-source flood threshold for a full crew in view.
+  ids_config.flood_threshold = 150;
+  ids_ = std::make_unique<ids::IntrusionDetectionSystem>(ids_config);
+  for (auto& unit : units_) ids_->register_node(unit->sender_id, false);
+  ids_->register_node(kDroneSender, false);
+  ids_->register_node(kOperatorSender, true);
+  if (config_.ids_enabled) {
+    radio_->add_sniffer([this](const net::Frame& frame) {
+      ids_->observe(frame, worksite_->clock().now());
+    });
+    ids_->set_alert_handler([this](const ids::Alert& alert) {
+      correlator_.ingest(alert);
+      if (alert.severity == ids::AlertSeverity::kCritical) {
+        ++security_.estops_from_ids;
+        for (auto& unit : units_) unit->monitor->ids_critical(alert.time);
+        if (audit_) {
+          audit_->append(alert.time, "ids-alert",
+                         "rule=" + alert.rule + " subject=" +
+                             std::to_string(alert.subject));
+        }
+      }
+    });
+  }
+}
+
+net::AttackerNode& SecuredWorksite::add_attacker(core::Vec2 position, int level) {
+  const NodeId id{100 + attackers_.size()};
+  attackers_.push_back(std::make_unique<net::AttackerNode>(
+      id, position, worksite_->rng().fork(0xA77 + attackers_.size()),
+      net::attacker_profile_for_level(level)));
+  attackers_.back()->attach(*radio_);
+  return *attackers_.back();
+}
+
+void SecuredWorksite::attack_forwarder_sensor(const sensors::SensorAttack& attack,
+                                              std::size_t index) {
+  units_.at(index)->sensor->set_attack(attack);
+}
+
+std::uint32_t SecuredWorksite::channel_at(core::SimTime time) const {
+  if (!config_.frequency_hopping) return config_.radio_channel;
+  // Time-synchronized pseudo-random hop sequence (splitmix of the slot).
+  std::uint64_t slot = static_cast<std::uint64_t>(time / config_.hop_period);
+  slot += 0x9E3779B97F4A7C15ULL;
+  slot = (slot ^ (slot >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  slot = (slot ^ (slot >> 27)) * 0x94D049BB133111EBULL;
+  return config_.radio_channel +
+         static_cast<std::uint32_t>((slot ^ (slot >> 31)) % config_.hop_channels);
+}
+
+void SecuredWorksite::send_from_drone(ForwarderUnit& unit, const net::Message& message) {
+  net::Frame frame;
+  frame.src = drone_node_;
+  frame.dst = unit.node;
+  frame.channel = channel_at(worksite_->clock().now());
+
+  if (config_.secure_links && unit.drone_tx) {
+    const secure::Record record = unit.drone_tx->seal(message.encode());
+    net::Message outer;
+    outer.type = net::MessageType::kSecureRecord;
+    outer.sender = kDroneSender;
+    outer.sequence = message.sequence;
+    outer.timestamp = message.timestamp;
+    outer.body = record.encode();
+    frame.payload = outer.encode();
+  } else {
+    frame.payload = message.encode();
+  }
+  radio_->send(std::move(frame), worksite_->clock().now());
+}
+
+void SecuredWorksite::drone_report_cycle(core::SimTime now) {
+  if (!config_.drone_enabled || !drone_sensor_) return;
+  const sim::Machine* drone = worksite_->machine(drone_id_);
+  const auto detections =
+      drone_sensor_->sense(*worksite_, *drone, now, worksite_->rng());
+
+  // One report per detection per fleet member, plus a heartbeat carrying
+  // "cover alive" (sessions are per machine, so sealed copies differ).
+  for (auto& unit : units_) {
+    for (const auto& d : detections) {
+      net::Message m;
+      m.type = net::MessageType::kDetectionReport;
+      m.sender = kDroneSender;
+      m.sequence = ++drone_sequence_;
+      m.timestamp = now;
+      m.body = net::DetectionBody{d.position.x, d.position.y, d.confidence, 0}.encode();
+      send_from_drone(*unit, m);
+      ++security_.detection_reports_sent;
+    }
+    net::Message heartbeat;
+    heartbeat.type = net::MessageType::kHeartbeat;
+    heartbeat.sender = kDroneSender;
+    heartbeat.sequence = ++drone_sequence_;
+    heartbeat.timestamp = now;
+    send_from_drone(*unit, heartbeat);
+  }
+}
+
+void SecuredWorksite::on_forwarder_frame(ForwarderUnit& unit, const net::Frame& frame,
+                                         core::SimTime now) {
+  const auto outer = net::Message::decode(frame.payload);
+  if (!outer) return;
+
+  net::Message message = *outer;
+  bool authenticated = false;
+
+  if (outer->type == net::MessageType::kSecureRecord) {
+    if (!unit.rx_session) return;
+    const auto record = secure::Record::decode(outer->body);
+    if (!record) {
+      ++security_.detection_reports_rejected;
+      return;
+    }
+    auto opened = unit.rx_session->open(*record);
+    if (!opened.ok()) {
+      ++security_.detection_reports_rejected;
+      return;
+    }
+    const auto inner = net::Message::decode(opened.value());
+    if (!inner) return;
+    message = *inner;
+    authenticated = true;
+  } else if (config_.secure_links) {
+    // Secure mode: plaintext application messages are not accepted.
+    if (outer->type == net::MessageType::kDetectionReport ||
+        outer->type == net::MessageType::kEstopCommand) {
+      ++security_.detection_reports_rejected;
+    }
+    return;
+  }
+
+  // Freshness gate on safety-relevant messages: the timestamp checked here
+  // is the authenticated inner one in secure mode, so a held-back record
+  // released later is discarded even though its MAC verifies.
+  if (message.type == net::MessageType::kDetectionReport ||
+      message.type == net::MessageType::kHeartbeat ||
+      message.type == net::MessageType::kEstopCommand) {
+    if (message.timestamp + config_.max_message_age < now) {
+      ++security_.detection_reports_rejected;
+      return;
+    }
+  }
+
+  // Spoof accounting (harness-side ground truth: frame.src is physical).
+  const bool claims_known_sender =
+      message.sender == kDroneSender || message.sender == kOperatorSender ||
+      std::any_of(units_.begin(), units_.end(), [&](const auto& u) {
+        return u->sender_id == message.sender;
+      });
+  const bool physically_spoofed =
+      claims_known_sender && frame.src.value() != message.sender;
+  if (!authenticated && physically_spoofed) {
+    ++security_.spoofed_messages_accepted;
+  }
+
+  switch (message.type) {
+    case net::MessageType::kDetectionReport: {
+      const auto body = net::DetectionBody::decode(message.body);
+      if (!body) break;
+      sensors::Detection d;
+      d.target = HumanId::invalid();
+      d.position = {body->x, body->y};
+      d.confidence = body->confidence;
+      d.source = SensorId{1000};
+      d.time = message.timestamp;
+      unit.fusion->add_remote(d);
+      unit.monitor->note_cover(now);
+      ++security_.detection_reports_accepted;
+      break;
+    }
+    case net::MessageType::kHeartbeat:
+      if (message.sender == kDroneSender) unit.monitor->note_cover(now);
+      break;
+    case net::MessageType::kEstopCommand:
+      unit.monitor->command_stop(safety::EstopReason::kRemoteCommand, now);
+      break;
+    default:
+      break;
+  }
+}
+
+void SecuredWorksite::forwarder_sense_cycle(core::SimTime now) {
+  for (auto& unit : units_) {
+    const sim::Machine* forwarder = worksite_->machine(unit->machine);
+    unit->fusion->add_local(
+        unit->sensor->sense(*worksite_, *forwarder, now, worksite_->rng()));
+  }
+}
+
+void SecuredWorksite::telemetry_cycle(core::SimTime now) {
+  for (auto& unit : units_) {
+    if (now - unit->last_telemetry < config_.telemetry_period) continue;
+    unit->last_telemetry = now;
+    const sim::Machine* forwarder = worksite_->machine(unit->machine);
+
+    net::Message m;
+    m.type = net::MessageType::kTelemetry;
+    m.sender = unit->sender_id;
+    m.sequence = ++unit->telemetry_sequence;
+    m.timestamp = now;
+    m.body = net::TelemetryBody{forwarder->position().x, forwarder->position().y,
+                                forwarder->heading(), forwarder->speed()}
+                 .encode();
+    net::Frame frame;
+    frame.src = unit->node;
+    frame.dst = NodeId::invalid();  // broadcast to site
+    frame.channel = channel_at(now);
+    frame.payload = m.encode();
+    radio_->send(std::move(frame), now);
+  }
+}
+
+void SecuredWorksite::track_ground_truth(core::SimTime now) {
+  for (auto& unit : units_) {
+    const sim::Machine* forwarder = worksite_->machine(unit->machine);
+    const auto tracks = unit->fusion->fuse(now);
+
+    auto associated = [&](core::Vec2 person) {
+      for (const auto& track : tracks) {
+        if (core::distance(track.position, person) <= kTrackAssociationM) return true;
+      }
+      return false;
+    };
+
+    bool any_in_critical = false;
+    for (const sim::Human* human : worksite_->humans()) {
+      const double d = core::distance(human->position(), forwarder->position());
+      const bool in_critical = d <= config_.monitor.critical_zone_m;
+      const bool in_warning = d <= config_.monitor.warning_zone_m;
+      any_in_critical |= in_critical;
+
+      EncounterState& state = unit->encounters[human->id().value()];
+
+      if (in_warning) {
+        // Per-step coverage: is this person represented in this machine's
+        // fused picture right now?
+        ++outcome_.person_zone_steps;
+        const bool covered = associated(human->position());
+        if (covered) ++outcome_.person_covered_steps;
+        const bool fast =
+            forwarder->speed() > forwarder->config().degraded_speed_mps + 0.3;
+        if (!covered && fast) ++outcome_.blind_fast_steps;
+
+        // SOTIF: attribute every blind step to its triggering condition.
+        if (!covered) {
+          std::string condition;
+          if (config_.worksite.weather != sim::Weather::kClear) {
+            condition = std::string("weather-") +
+                        std::string(sim::weather_name(config_.worksite.weather));
+          } else {
+            switch (worksite_->terrain().occlusion_cause(
+                forwarder->position(), forwarder->sensor_agl(), human->position(),
+                human->height() * 0.7)) {
+              case sim::Terrain::OcclusionCause::kBoulder:
+                condition = "occlusion-boulder";
+                break;
+              case sim::Terrain::OcclusionCause::kBrush:
+                condition = "occlusion-brush";
+                break;
+              case sim::Terrain::OcclusionCause::kTree:
+                condition = "occlusion-stems";
+                break;
+              case sim::Terrain::OcclusionCause::kTerrain:
+                condition = "occlusion-terrain";
+                break;
+              case sim::Terrain::OcclusionCause::kNone:
+                condition = "sensor-dropout";  // probabilistic frame miss
+                break;
+            }
+          }
+          sotif_.record(condition, fast ? safety::ScenarioOutcome::kHazardous
+                                        : safety::ScenarioOutcome::kSafe);
+        }
+
+        if (!state.active) {
+          state.active = true;
+          state.started = now;
+          state.detected = false;
+          ++outcome_.encounters;
+        }
+        if (!state.detected && covered) {
+          state.detected = true;
+          outcome_.time_to_detect_ms.add(static_cast<double>(now - state.started));
+        }
+      } else if (state.active) {
+        state.active = false;
+        if (!state.detected) ++outcome_.missed_encounters;
+      }
+    }
+
+    if (any_in_critical) {
+      ++outcome_.exposure_steps;
+      // Hazardous only above the occlusion-safe speed: stopping distance at
+      // degraded speed fits the machine's own (occludable) sensing.
+      if (forwarder->speed() > forwarder->config().degraded_speed_mps + 0.3) {
+        ++outcome_.hazardous_exposures;
+      }
+    }
+  }
+}
+
+void SecuredWorksite::step() {
+  worksite_->step();
+  const core::SimTime now = worksite_->clock().now();
+
+  forwarder_sense_cycle(now);
+  drone_report_cycle(now);
+  telemetry_cycle(now);
+
+  radio_->step(now);
+  if (config_.ids_enabled) {
+    ids_->tick(now);
+    correlator_.tick(now);
+  }
+
+  for (auto& unit : units_) {
+    unit->monitor->update(unit->fusion->fuse(now), now);
+  }
+  track_ground_truth(now);
+}
+
+void SecuredWorksite::run_for(core::SimDuration duration) {
+  const core::SimTime end = worksite_->clock().now() + duration;
+  while (worksite_->clock().now() < end) step();
+}
+
+}  // namespace agrarsec::integration

@@ -1,0 +1,259 @@
+// End-to-end composition of the paper's use case (Figures 1 & 2): the
+// worksite simulation wired to the radio medium, PKI-backed secure
+// channels, the on-machine IDS and the collaborative safety stack. This
+// is the top of the library — examples and benches configure it and read
+// its outcome metrics.
+//
+// Dataflow per simulation step (100 ms):
+//   drone + forwarder sensors sense -> drone serializes detections and
+//   radios them to each forwarder (plaintext broadcast or per-session
+//   sealed records, per config) -> forwarders parse/authenticate, feed
+//   their fusion -> each safety monitor decides (e-stop / degrade /
+//   normal) -> telemetry heartbeats -> IDS taps every frame -> radio
+//   applies channel effects/attacks.
+//
+// Supports a fleet: `forwarder_count` autonomous forwarders, each with
+// its own perception, fusion, safety monitor, identity and (in secure
+// mode) its own session with the drone. Single-forwarder accessors
+// (forwarder_id(), monitor(), ...) refer to the primary (first) machine.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "crypto/random.h"
+#include "ids/correlation.h"
+#include "ids/ids.h"
+#include "net/attacker.h"
+#include "net/radio.h"
+#include "pki/identity.h"
+#include "pki/trust_store.h"
+#include "safety/fusion.h"
+#include "safety/monitor.h"
+#include "safety/sotif.h"
+#include "secure/audit_log.h"
+#include "secure/handshake.h"
+#include "sensors/perception.h"
+#include "sim/worksite.h"
+#include "sos/emergent.h"
+
+namespace agrarsec::integration {
+
+struct SecuredWorksiteConfig {
+  sim::WorksiteConfig worksite;
+  std::uint64_t seed = 1;
+
+  /// Number of autonomous forwarders (Figure 1 shows a fleet).
+  std::size_t forwarder_count = 1;
+
+  bool drone_enabled = true;
+  double drone_altitude_m = 45.0;
+  double drone_orbit_radius_m = 25.0;
+
+  /// Link protection: false = plaintext messages (the attackable
+  /// baseline), true = AEAD records over established sessions.
+  bool secure_links = true;
+  bool ids_enabled = true;
+
+  safety::FusionConfig fusion;
+  safety::MonitorConfig monitor;
+  sensors::PerceptionConfig forwarder_sensor;
+  sensors::PerceptionConfig drone_sensor;
+
+  core::SimDuration telemetry_period = core::kSecond;
+  std::uint32_t radio_channel = 3;
+  /// Channel agility: when enabled, all site traffic hops pseudo-randomly
+  /// over `hop_channels` channels per `hop_period` (time-synchronized
+  /// across machines), so a narrowband jammer only ever covers 1/N of the
+  /// traffic — the "frequency-hopping" countermeasure of the catalogue.
+  bool frequency_hopping = false;
+  std::uint32_t hop_channels = 8;
+  core::SimDuration hop_period = 200;
+  /// Application-layer freshness: safety-relevant messages older than this
+  /// are discarded even when cryptographically valid (defeats hold-back /
+  /// delayed-release replay, which sequence monotonicity alone cannot).
+  core::SimDuration max_message_age = 2 * core::kSecond;
+
+  SecuredWorksiteConfig();
+};
+
+/// Outcome counters the experiments read (aggregated over the fleet).
+struct SecurityMetrics {
+  std::uint64_t detection_reports_sent = 0;
+  std::uint64_t detection_reports_accepted = 0;
+  std::uint64_t detection_reports_rejected = 0;  ///< failed auth/replay/freshness
+  std::uint64_t spoofed_messages_accepted = 0;   ///< baseline weakness metric
+  std::uint64_t estops_from_ids = 0;
+};
+
+struct SafetyOutcome {
+  /// Steps with a person inside a machine's critical zone while that
+  /// machine moves faster than its occlusion-safe degraded speed —
+  /// degraded crawling (stopping distance within own-sensor range) is by
+  /// design NOT counted.
+  std::uint64_t hazardous_exposures = 0;
+  std::uint64_t exposure_steps = 0;       ///< steps with a person in a zone
+  core::SampleSet time_to_detect_ms;      ///< first associated track per encounter
+  std::uint64_t missed_encounters = 0;    ///< encounter ended with no detection
+  std::uint64_t encounters = 0;
+  /// Per-step coverage while a person is inside a warning zone: a step is
+  /// covered when that machine's fused picture holds a track within
+  /// association range of the person's true position. Uncovered steps are
+  /// exactly the occlusion blind spots Figure 2 is about. A person inside
+  /// two machines' zones contributes one sample per machine.
+  std::uint64_t person_zone_steps = 0;
+  std::uint64_t person_covered_steps = 0;
+  /// Steps where a machine exceeds its occlusion-safe speed while an
+  /// *undetected* person stands in its warning zone — the precursor event
+  /// §III-B warns about (unsafe behaviour caused by a cyber attack that
+  /// removes or forges the collaborative cover).
+  std::uint64_t blind_fast_steps = 0;
+
+  [[nodiscard]] double coverage() const {
+    return person_zone_steps == 0
+               ? 1.0
+               : static_cast<double>(person_covered_steps) /
+                     static_cast<double>(person_zone_steps);
+  }
+};
+
+class SecuredWorksite {
+ public:
+  explicit SecuredWorksite(SecuredWorksiteConfig config);
+  ~SecuredWorksite();
+
+  SecuredWorksite(const SecuredWorksite&) = delete;
+  SecuredWorksite& operator=(const SecuredWorksite&) = delete;
+
+  /// Advances one fixed step.
+  void step();
+  void run_for(core::SimDuration duration);
+
+  // --- access for scenario scripting ---
+  [[nodiscard]] sim::Worksite& worksite() { return *worksite_; }
+  [[nodiscard]] const sim::Worksite& worksite() const { return *worksite_; }
+  [[nodiscard]] net::RadioMedium& radio() { return *radio_; }
+  [[nodiscard]] ids::IntrusionDetectionSystem& ids() { return *ids_; }
+  /// Alert-to-incident correlation over the IDS stream.
+  [[nodiscard]] const ids::AlertCorrelator& incidents() const { return correlator_; }
+
+  /// Primary (first) forwarder accessors — the single-machine API.
+  [[nodiscard]] safety::SafetyMonitor& monitor() { return *units_[0]->monitor; }
+  [[nodiscard]] MachineId forwarder_id() const { return units_[0]->machine; }
+  [[nodiscard]] NodeId forwarder_node() const { return units_[0]->node; }
+
+  /// Fleet accessors.
+  [[nodiscard]] std::size_t forwarder_count() const { return units_.size(); }
+  [[nodiscard]] MachineId forwarder_id(std::size_t index) const {
+    return units_.at(index)->machine;
+  }
+  [[nodiscard]] safety::SafetyMonitor& monitor(std::size_t index) {
+    return *units_.at(index)->monitor;
+  }
+
+  [[nodiscard]] MachineId drone_id() const { return drone_id_; }
+  [[nodiscard]] NodeId drone_node() const { return drone_node_; }
+
+  /// Attaches an attacker radio (used by the attack benches).
+  net::AttackerNode& add_attacker(core::Vec2 position, int level);
+
+  /// Applies a sensor attack to a forwarder's perception (default: primary).
+  void attack_forwarder_sensor(const sensors::SensorAttack& attack,
+                               std::size_t index = 0);
+
+  [[nodiscard]] const SecurityMetrics& security_metrics() const { return security_; }
+  [[nodiscard]] const SafetyOutcome& safety_outcome() const { return outcome_; }
+  [[nodiscard]] const SecuredWorksiteConfig& config() const { return config_; }
+
+  /// Tamper-evident machine event log (EU 2023/1230 Annex III 1.1.9
+  /// evidence duty). Records e-stops, degradations and critical alerts.
+  [[nodiscard]] const secure::AuditLog& audit() const { return *audit_; }
+
+  /// SoS emergent-behaviour monitor over the worksite event bus.
+  [[nodiscard]] const sos::EmergentBehaviorMonitor& emergent() const {
+    return *emergent_;
+  }
+
+  /// SOTIF evidence: every blind (uncovered) person-step is recorded
+  /// against the triggering condition that caused it (which occluder
+  /// class blocked the sight line), feeding the ISO 21448 scenario-area
+  /// analysis of §III-C.
+  [[nodiscard]] const safety::SotifAnalysis& sotif() const { return sotif_; }
+
+  /// Channel in use at `time` (constant unless frequency_hopping).
+  [[nodiscard]] std::uint32_t channel_at(core::SimTime time) const;
+
+ private:
+  // Per-human encounter tracking (ground truth for time-to-detect /
+  // misses / coverage), per machine.
+  struct EncounterState {
+    bool active = false;
+    core::SimTime started = 0;
+    bool detected = false;
+  };
+
+  /// One autonomous forwarder with its full on-machine stack.
+  struct ForwarderUnit {
+    std::size_t index = 0;
+    MachineId machine;
+    NodeId node;
+    std::uint64_t sender_id = 0;  ///< application-level sender id
+    std::unique_ptr<sensors::PerceptionSensor> sensor;
+    std::unique_ptr<safety::DetectionFusion> fusion;
+    std::unique_ptr<safety::SafetyMonitor> monitor;
+    std::optional<pki::Identity> identity;
+    std::optional<secure::Session> rx_session;  ///< drone -> this machine
+    std::optional<secure::Session> drone_tx;    ///< drone-side endpoint
+    std::uint64_t telemetry_sequence = 0;
+    core::SimTime last_telemetry = -1000000;
+    std::unordered_map<std::uint64_t, EncounterState> encounters;
+  };
+
+  void setup_units();
+  void setup_pki();
+  void setup_radio();
+  void on_forwarder_frame(ForwarderUnit& unit, const net::Frame& frame,
+                          core::SimTime now);
+  void drone_report_cycle(core::SimTime now);
+  void forwarder_sense_cycle(core::SimTime now);
+  void telemetry_cycle(core::SimTime now);
+  void track_ground_truth(core::SimTime now);
+  void send_from_drone(ForwarderUnit& unit, const net::Message& message);
+
+  SecuredWorksiteConfig config_;
+  std::unique_ptr<sim::Worksite> worksite_;
+  std::unique_ptr<net::RadioMedium> radio_;
+  std::unique_ptr<ids::IntrusionDetectionSystem> ids_;
+  ids::AlertCorrelator correlator_;
+
+  // PKI
+  std::unique_ptr<crypto::Drbg> drbg_;
+  std::unique_ptr<pki::CertificateAuthority> ca_;
+  pki::TrustStore trust_;
+  std::optional<pki::Identity> drone_identity_;
+
+  // Actors
+  std::vector<std::unique_ptr<ForwarderUnit>> units_;
+  MachineId harvester_id_;
+  MachineId drone_id_;
+  NodeId drone_node_{2};
+  NodeId operator_node_{3};
+
+  std::unique_ptr<sensors::PerceptionSensor> drone_sensor_;
+  std::unique_ptr<secure::AuditLog> audit_;
+  std::unique_ptr<sos::EmergentBehaviorMonitor> emergent_;
+  std::vector<std::unique_ptr<net::AttackerNode>> attackers_;
+
+  SecurityMetrics security_;
+  SafetyOutcome outcome_;
+  safety::SotifAnalysis sotif_;
+
+  std::uint64_t drone_sequence_ = 0;
+
+  static constexpr double kTrackAssociationM = 4.0;
+};
+
+}  // namespace agrarsec::integration

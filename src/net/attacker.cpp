@@ -1,0 +1,94 @@
+#include "net/attacker.h"
+
+namespace agrarsec::net {
+
+AttackerProfile attacker_profile_for_level(int level) {
+  AttackerProfile p;
+  p.can_sniff = level >= 1;
+  p.can_spoof = level >= 2;
+  p.can_replay = level >= 2;
+  p.can_flood = level >= 2;
+  p.can_drop = level >= 3;
+  p.can_jam = level >= 3;
+  p.can_forge_crypto = false;  // out of scope for all modelled levels
+  return p;
+}
+
+AttackerNode::AttackerNode(NodeId id, core::Vec2 position, core::Rng rng,
+                           AttackerProfile profile)
+    : id_(id), position_(position), rng_(rng), profile_(profile) {}
+
+void AttackerNode::attach(RadioMedium& medium) {
+  medium.attach(
+      id_, [this] { return position_; },
+      [](const Frame&, core::SimTime) { /* unicast to the attacker: ignored */ });
+  if (profile_.can_sniff) {
+    medium.add_sniffer([this](const Frame& frame) {
+      if (frame.src == id_) return;  // don't capture own injections
+      captured_.push_back(frame);
+      if (captured_.size() > kCaptureLimit) captured_.pop_front();
+    });
+  }
+}
+
+bool AttackerNode::spoof(RadioMedium& medium, core::SimTime now,
+                         std::uint64_t spoofed_sender, MessageType type,
+                         core::Bytes body, NodeId dst) {
+  if (!profile_.can_spoof) return false;
+  Message m;
+  m.type = type;
+  m.sender = spoofed_sender;
+  m.sequence = spoof_sequence_++;
+  m.timestamp = now;
+  m.body = std::move(body);
+
+  Frame frame;
+  frame.src = id_;
+  frame.dst = dst;
+  frame.payload = m.encode();
+  medium.send(std::move(frame), now);
+  ++injected_;
+  return true;
+}
+
+bool AttackerNode::replay_latest(RadioMedium& medium, core::SimTime now,
+                                 const std::function<bool(const Frame&)>& filter,
+                                 bool refresh_timestamp) {
+  if (!profile_.can_replay) return false;
+  for (auto it = captured_.rbegin(); it != captured_.rend(); ++it) {
+    if (filter && !filter(*it)) continue;
+    Frame replayed = *it;
+    replayed.src = id_;  // physically transmitted by the attacker radio
+    if (refresh_timestamp) {
+      // Tampering is only possible when the payload is plaintext. For
+      // secure records only the (unauthenticated) outer envelope can be
+      // touched, and receivers trust the inner authenticated timestamp.
+      if (auto message = Message::decode(replayed.payload);
+          message && message->type != MessageType::kSecureRecord) {
+        message->timestamp = now;
+        replayed.payload = message->encode();
+      }
+    }
+    medium.send(std::move(replayed), now);
+    ++injected_;
+    return true;
+  }
+  return false;
+}
+
+bool AttackerNode::flood(RadioMedium& medium, core::SimTime now, std::uint32_t channel,
+                         std::size_t count) {
+  if (!profile_.can_flood) return false;
+  for (std::size_t i = 0; i < count; ++i) {
+    Frame frame;
+    frame.src = id_;
+    frame.dst = NodeId::invalid();
+    frame.channel = channel;
+    frame.payload = rng_.bytes(32);
+    medium.send(std::move(frame), now);
+    ++injected_;
+  }
+  return true;
+}
+
+}  // namespace agrarsec::net

@@ -1,0 +1,85 @@
+// Attacker node models, implementing the attack classes the paper's survey
+// (§IV-C) transfers from the mining/automotive domains to forestry:
+//   - passive sniffing (confidentiality of operations, Table I)
+//   - message spoofing (e.g., forged e-stop/mission commands)
+//   - replay of captured frames (e.g., stale "all clear" detections)
+//   - flooding / channel-utilization abuse (DoS)
+// Jamming and de-auth are physical/link-layer and live in RadioMedium.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/rng.h"
+#include "net/message.h"
+#include "net/radio.h"
+
+namespace agrarsec::net {
+
+/// Attacker capability profile, aligned with the IEC 62443 threat-actor
+/// levels (SL1 casual ... SL4 nation-state-ish). Risk benches sweep this.
+struct AttackerProfile {
+  bool can_sniff = true;
+  bool can_spoof = false;
+  bool can_replay = false;
+  bool can_flood = false;
+  bool can_jam = false;
+  bool can_drop = false;      ///< de-auth style targeted drops
+  bool can_forge_crypto = false;  ///< break AEAD/signatures (never true; SL ceiling)
+};
+
+/// Maps IEC 62443 security-level style attacker tiers to capabilities.
+[[nodiscard]] AttackerProfile attacker_profile_for_level(int level);
+
+/// An attacker with a radio. Attach to the medium like a normal node;
+/// additionally it taps the medium sniffer for promiscuous capture.
+class AttackerNode {
+ public:
+  AttackerNode(NodeId id, core::Vec2 position, core::Rng rng, AttackerProfile profile);
+
+  /// Wires the attacker into the medium (registers endpoint + sniffer tap).
+  void attach(RadioMedium& medium);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const AttackerProfile& profile() const { return profile_; }
+
+  /// Number of captured frames available for replay.
+  [[nodiscard]] std::size_t captured_count() const { return captured_.size(); }
+
+  /// Injects a forged plaintext message claiming `spoofed_sender`.
+  /// Returns false when the profile forbids spoofing.
+  bool spoof(RadioMedium& medium, core::SimTime now, std::uint64_t spoofed_sender,
+             MessageType type, core::Bytes body, NodeId dst = NodeId::invalid());
+
+  /// Replays the most recent captured frame matching `filter` (nullptr =
+  /// any). With `refresh_timestamp`, the attacker additionally rewrites
+  /// the application timestamp to `now` before transmitting — possible
+  /// only for plaintext payloads (an AEAD record's authenticated content
+  /// cannot be modified, which is exactly the defence being measured).
+  /// Returns false when nothing matches or not capable.
+  bool replay_latest(RadioMedium& medium, core::SimTime now,
+                     const std::function<bool(const Frame&)>& filter = nullptr,
+                     bool refresh_timestamp = false);
+
+  /// Sends `count` junk frames on `channel` (flooding / channel abuse).
+  bool flood(RadioMedium& medium, core::SimTime now, std::uint32_t channel,
+             std::size_t count);
+
+  /// Total frames this attacker has injected (spoof+replay+flood).
+  [[nodiscard]] std::uint64_t injected_count() const { return injected_; }
+
+ private:
+  NodeId id_;
+  core::Vec2 position_;
+  core::Rng rng_;
+  AttackerProfile profile_;
+  std::deque<Frame> captured_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t spoof_sequence_ = 1;
+
+  static constexpr std::size_t kCaptureLimit = 4096;
+};
+
+}  // namespace agrarsec::net

@@ -1,0 +1,117 @@
+#include "net/message.h"
+
+#include <cstring>
+
+namespace agrarsec::net {
+
+namespace {
+void append_double(core::Bytes& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  core::append_le64(out, bits);
+}
+
+double read_double(const std::uint8_t* p) {
+  const std::uint64_t bits = core::load_le64(p);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+}  // namespace
+
+std::string_view message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kHeartbeat: return "heartbeat";
+    case MessageType::kTelemetry: return "telemetry";
+    case MessageType::kDetectionReport: return "detection-report";
+    case MessageType::kEstopCommand: return "estop-command";
+    case MessageType::kEstopAck: return "estop-ack";
+    case MessageType::kMissionCommand: return "mission-command";
+    case MessageType::kHandshake: return "handshake";
+    case MessageType::kSecureRecord: return "secure-record";
+    case MessageType::kFirmwareChunk: return "firmware-chunk";
+    case MessageType::kGnssCorrection: return "gnss-correction";
+    case MessageType::kCrlUpdate: return "crl-update";
+  }
+  return "?";
+}
+
+core::Bytes Message::encode() const {
+  core::Bytes out;
+  out.push_back(static_cast<std::uint8_t>(type));
+  core::append_le64(out, sender);
+  core::append_le64(out, sequence);
+  core::append_le64(out, static_cast<std::uint64_t>(timestamp));
+  core::append_framed(out, body);
+  return out;
+}
+
+std::optional<Message> Message::decode(std::span<const std::uint8_t> data) {
+  constexpr std::size_t kHeader = 1 + 8 + 8 + 8 + 4;
+  if (data.size() < kHeader) return std::nullopt;
+  Message m;
+  if (data[0] > static_cast<std::uint8_t>(MessageType::kCrlUpdate)) return std::nullopt;
+  m.type = static_cast<MessageType>(data[0]);
+  m.sender = core::load_le64(data.data() + 1);
+  m.sequence = core::load_le64(data.data() + 9);
+  m.timestamp = static_cast<core::SimTime>(core::load_le64(data.data() + 17));
+  const std::uint32_t body_len = core::load_be32(data.data() + 25);
+  if (data.size() != kHeader + body_len) return std::nullopt;
+  m.body.assign(data.begin() + kHeader, data.end());
+  return m;
+}
+
+core::Bytes DetectionBody::encode() const {
+  core::Bytes out;
+  append_double(out, x);
+  append_double(out, y);
+  append_double(out, confidence);
+  core::append_be32(out, track_id);
+  return out;
+}
+
+std::optional<DetectionBody> DetectionBody::decode(std::span<const std::uint8_t> data) {
+  if (data.size() != 28) return std::nullopt;
+  DetectionBody b;
+  b.x = read_double(data.data());
+  b.y = read_double(data.data() + 8);
+  b.confidence = read_double(data.data() + 16);
+  b.track_id = core::load_be32(data.data() + 24);
+  return b;
+}
+
+core::Bytes TelemetryBody::encode() const {
+  core::Bytes out;
+  append_double(out, x);
+  append_double(out, y);
+  append_double(out, heading);
+  append_double(out, speed);
+  return out;
+}
+
+std::optional<TelemetryBody> TelemetryBody::decode(std::span<const std::uint8_t> data) {
+  if (data.size() != 32) return std::nullopt;
+  TelemetryBody b;
+  b.x = read_double(data.data());
+  b.y = read_double(data.data() + 8);
+  b.heading = read_double(data.data() + 16);
+  b.speed = read_double(data.data() + 24);
+  return b;
+}
+
+core::Bytes EstopBody::encode() const {
+  core::Bytes out;
+  core::append_be32(out, reason);
+  core::append_le64(out, target);
+  return out;
+}
+
+std::optional<EstopBody> EstopBody::decode(std::span<const std::uint8_t> data) {
+  if (data.size() != 12) return std::nullopt;
+  EstopBody b;
+  b.reason = core::load_be32(data.data());
+  b.target = core::load_le64(data.data() + 4);
+  return b;
+}
+
+}  // namespace agrarsec::net

@@ -1,0 +1,164 @@
+#include "net/radio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agrarsec::net {
+
+std::string_view delivery_outcome_name(DeliveryOutcome outcome) {
+  switch (outcome) {
+    case DeliveryOutcome::kDelivered: return "delivered";
+    case DeliveryOutcome::kOutOfRange: return "out-of-range";
+    case DeliveryOutcome::kPathLoss: return "path-loss";
+    case DeliveryOutcome::kCollision: return "collision";
+    case DeliveryOutcome::kJammed: return "jammed";
+    case DeliveryOutcome::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+RadioMedium::RadioMedium(core::Rng rng, RadioConfig config)
+    : rng_(rng), config_(config) {}
+
+void RadioMedium::attach(NodeId node, PositionFn position, ReceiveFn receive) {
+  endpoints_[node] = Endpoint{std::move(position), std::move(receive)};
+}
+
+void RadioMedium::detach(NodeId node) { endpoints_.erase(node); }
+
+void RadioMedium::send(Frame frame, core::SimTime now) {
+  ++total_sent_;
+  frame.sent_at = now;
+  for (const auto& sniffer : sniffers_) sniffer(frame);
+  const core::SimDuration latency =
+      config_.base_latency +
+      static_cast<core::SimDuration>(rng_.next_below(
+          static_cast<std::uint64_t>(config_.latency_jitter) + 1));
+  queue_.push_back(Pending{std::move(frame), now + latency});
+}
+
+bool RadioMedium::jammed_at(const core::Vec2& pos, std::uint32_t channel) {
+  for (const Jammer& j : jammers_) {
+    if (!j.active) continue;
+    if (j.channel && *j.channel != channel) continue;
+    if (core::distance(j.position, pos) <= j.radius_m && rng_.chance(j.effectiveness)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RadioMedium::dropped(const Frame& frame) {
+  for (const DropRule& r : drop_rules_) {
+    if (!r.active) continue;
+    if ((frame.src == r.victim || frame.dst == r.victim) && rng_.chance(r.probability)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DeliveryOutcome RadioMedium::judge(const Frame& frame, const core::Vec2& src_pos,
+                                   const core::Vec2& dst_pos, bool collided) {
+  const double d = core::distance(src_pos, dst_pos);
+  if (d > config_.max_range_m) return DeliveryOutcome::kOutOfRange;
+  if (dropped(frame)) return DeliveryOutcome::kDropped;
+  if (jammed_at(dst_pos, frame.channel) || jammed_at(src_pos, frame.channel)) {
+    return DeliveryOutcome::kJammed;
+  }
+  if (collided && rng_.chance(config_.collision_probability)) {
+    return DeliveryOutcome::kCollision;
+  }
+
+  // Log-distance style loss: base below reference range, growing with
+  // (d/ref)^exponent above it, saturating at 1.
+  double loss = config_.base_loss;
+  if (d > config_.reference_range_m) {
+    const double ratio = d / config_.reference_range_m;
+    loss = std::min(1.0, config_.base_loss * std::pow(ratio, config_.loss_exponent));
+  }
+  if (rng_.chance(loss)) return DeliveryOutcome::kPathLoss;
+  return DeliveryOutcome::kDelivered;
+}
+
+void RadioMedium::step(core::SimTime now) {
+  // Collect due frames.
+  std::vector<Pending> due;
+  while (!queue_.empty() && queue_.front().deliver_at <= now) {
+    due.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  if (due.empty()) return;
+
+  // Collision detection: two due frames on the same channel whose send
+  // times fall within the collision window interfere (simplified CSMA
+  // failure model; the window is small relative to the sim step).
+  std::vector<bool> collided(due.size(), false);
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    for (std::size_t j = i + 1; j < due.size(); ++j) {
+      if (due[i].frame.channel != due[j].frame.channel) continue;
+      if (due[i].frame.src == due[j].frame.src) continue;
+      if (std::abs(static_cast<double>(due[i].frame.sent_at - due[j].frame.sent_at)) <=
+          config_.collision_window_ms) {
+        collided[i] = collided[j] = true;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    const Frame& frame = due[i].frame;
+    const auto src_it = endpoints_.find(frame.src);
+    if (src_it == endpoints_.end()) continue;  // sender vanished mid-flight
+    const core::Vec2 src_pos = src_it->second.position();
+
+    auto deliver_to = [&](NodeId dst, const Endpoint& ep) {
+      const core::Vec2 dst_pos = ep.position();
+      const DeliveryOutcome outcome = judge(frame, src_pos, dst_pos, collided[i]);
+      ++outcome_counts_[static_cast<std::size_t>(outcome)];
+      if (outcome == DeliveryOutcome::kDelivered) {
+        Frame received = frame;
+        received.dst = dst;
+        ep.receive(received, now);
+      }
+    };
+
+    if (frame.dst.valid()) {
+      const auto dst_it = endpoints_.find(frame.dst);
+      if (dst_it == endpoints_.end()) continue;
+      deliver_to(frame.dst, dst_it->second);
+    } else {
+      for (const auto& [node, ep] : endpoints_) {
+        if (node == frame.src) continue;
+        deliver_to(node, ep);
+      }
+    }
+  }
+}
+
+std::size_t RadioMedium::add_jammer(Jammer jammer) {
+  jammers_.push_back(jammer);
+  return jammers_.size() - 1;
+}
+
+void RadioMedium::set_jammer_active(std::size_t index, bool active) {
+  jammers_.at(index).active = active;
+}
+
+std::size_t RadioMedium::add_drop_rule(DropRule rule) {
+  drop_rules_.push_back(rule);
+  return drop_rules_.size() - 1;
+}
+
+void RadioMedium::set_drop_rule_active(std::size_t index, bool active) {
+  drop_rules_.at(index).active = active;
+}
+
+std::uint64_t RadioMedium::count(DeliveryOutcome outcome) const {
+  return outcome_counts_[static_cast<std::size_t>(outcome)];
+}
+
+void RadioMedium::add_sniffer(std::function<void(const Frame&)> sniffer) {
+  sniffers_.push_back(std::move(sniffer));
+}
+
+}  // namespace agrarsec::net

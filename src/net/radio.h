@@ -1,0 +1,144 @@
+// Simulated wireless medium for the forestry worksite. Models the channel
+// properties the paper's §IV-C identifies as the dominant cybersecurity
+// surface for autonomous haulage/forestry machines: distance-dependent
+// loss, interference between co-channel transmitters, jamming, and
+// de-authentication/drop attacks. There is no roadside infrastructure —
+// all traffic is machine-to-machine within the site (Table I: remote and
+// isolated locations).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bytes.h"
+#include "core/geometry.h"
+#include "core/rng.h"
+#include "core/time.h"
+#include "core/types.h"
+
+namespace agrarsec::net {
+
+/// A frame on the air. Payload is opaque to the medium (the secure channel
+/// encrypts above this layer).
+struct Frame {
+  NodeId src;
+  NodeId dst;            ///< NodeId::invalid() == broadcast
+  std::uint32_t channel = 0;
+  core::Bytes payload;
+  core::SimTime sent_at = 0;
+};
+
+/// Delivery outcome, recorded per frame for the experiment harnesses.
+enum class DeliveryOutcome : std::uint8_t {
+  kDelivered,
+  kOutOfRange,
+  kPathLoss,      ///< random loss from the distance/terrain model
+  kCollision,     ///< co-channel interference
+  kJammed,        ///< active jammer overpowered the link
+  kDropped,       ///< targeted drop (de-auth style attack)
+};
+
+[[nodiscard]] std::string_view delivery_outcome_name(DeliveryOutcome outcome);
+
+/// Physical-layer parameters.
+struct RadioConfig {
+  double max_range_m = 600.0;        ///< hard connectivity limit
+  double reference_range_m = 150.0;  ///< loss starts growing past this
+  double base_loss = 0.01;           ///< frame loss probability at close range
+  double loss_exponent = 2.2;        ///< terrain-dependent path loss growth
+  double collision_window_ms = 5.0;  ///< frames within this window may collide
+  /// Probability that two overlapping same-channel frames actually destroy
+  /// each other (CSMA/CA resolves most overlaps in practice).
+  double collision_probability = 0.25;
+  core::SimDuration base_latency = 2;     ///< ms, propagation + MAC
+  core::SimDuration latency_jitter = 3;   ///< ms, uniform extra
+};
+
+/// An active jammer: position, power radius and the channels it covers.
+struct Jammer {
+  core::Vec2 position;
+  double radius_m = 200.0;
+  std::optional<std::uint32_t> channel;  ///< nullopt = wideband
+  double effectiveness = 0.95;           ///< P(frame killed inside radius)
+  bool active = false;
+};
+
+/// A targeted drop rule (models Wi-Fi de-auth flooding against one victim:
+/// frames to/from the victim are destroyed with given probability).
+struct DropRule {
+  NodeId victim;
+  double probability = 1.0;
+  bool active = true;
+};
+
+/// The shared medium. Nodes register with a position provider so mobility
+/// is reflected per transmission.
+class RadioMedium {
+ public:
+  using PositionFn = std::function<core::Vec2()>;
+  using ReceiveFn = std::function<void(const Frame&, core::SimTime now)>;
+
+  RadioMedium(core::Rng rng, RadioConfig config = {});
+
+  /// Registers a node. `position` is sampled at send/deliver time.
+  void attach(NodeId node, PositionFn position, ReceiveFn receive);
+  void detach(NodeId node);
+
+  /// Queues a frame for transmission at `now`; delivery happens on the
+  /// next step() whose time exceeds the frame latency.
+  void send(Frame frame, core::SimTime now);
+
+  /// Delivers all due frames; applies loss, collision, jamming, drops.
+  void step(core::SimTime now);
+
+  // --- Attack surface controls (driven by attacker models / benches) ---
+  std::size_t add_jammer(Jammer jammer);
+  void set_jammer_active(std::size_t index, bool active);
+  std::size_t add_drop_rule(DropRule rule);
+  void set_drop_rule_active(std::size_t index, bool active);
+
+  /// Counters per outcome since construction.
+  [[nodiscard]] std::uint64_t count(DeliveryOutcome outcome) const;
+  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+
+  /// Adds a tap seeing every frame *before* channel effects (promiscuous
+  /// attacker / IDS sensor view). Multiple taps may coexist.
+  void add_sniffer(std::function<void(const Frame&)> sniffer);
+
+  [[nodiscard]] const RadioConfig& config() const { return config_; }
+
+ private:
+  struct Endpoint {
+    PositionFn position;
+    ReceiveFn receive;
+  };
+  struct Pending {
+    Frame frame;
+    core::SimTime deliver_at;
+  };
+
+  /// Per-destination outcome decision.
+  DeliveryOutcome judge(const Frame& frame, const core::Vec2& src_pos,
+                        const core::Vec2& dst_pos, bool collided);
+
+  [[nodiscard]] bool jammed_at(const core::Vec2& pos, std::uint32_t channel);
+  [[nodiscard]] bool dropped(const Frame& frame);
+
+  core::Rng rng_;
+  RadioConfig config_;
+  std::unordered_map<NodeId, Endpoint> endpoints_;
+  std::deque<Pending> queue_;
+  std::vector<Jammer> jammers_;
+  std::vector<DropRule> drop_rules_;
+  std::vector<std::function<void(const Frame&)>> sniffers_;
+  std::array<std::uint64_t, 6> outcome_counts_{};
+  std::uint64_t total_sent_ = 0;
+};
+
+}  // namespace agrarsec::net

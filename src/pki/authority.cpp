@@ -1,0 +1,175 @@
+#include "pki/authority.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace agrarsec::pki {
+
+core::Bytes Crl::encode_tbs() const {
+  core::Bytes out;
+  core::append(out, core::from_string("agrarsec-crl-v1"));
+  core::append_framed(out, core::from_string(issuer));
+  core::append_le64(out, static_cast<std::uint64_t>(issued_at));
+  core::append_le64(out, revoked_serials.size());
+  for (std::uint64_t s : revoked_serials) core::append_le64(out, s);
+  return out;
+}
+
+bool Crl::covers(CertSerial serial) const {
+  return std::binary_search(revoked_serials.begin(), revoked_serials.end(),
+                            serial.value());
+}
+
+bool Crl::verify_signature(const crypto::Ed25519PublicKey& issuer_key) const {
+  return crypto::ed25519_verify(issuer_key, encode_tbs(), signature);
+}
+
+core::Bytes Crl::encode() const {
+  core::Bytes out = encode_tbs();
+  core::append(out, signature);
+  return out;
+}
+
+std::optional<Crl> Crl::decode(std::span<const std::uint8_t> data) {
+  constexpr std::string_view kMagic = "agrarsec-crl-v1";
+  std::size_t pos = 0;
+  if (data.size() < kMagic.size() ||
+      std::memcmp(data.data(), kMagic.data(), kMagic.size()) != 0) {
+    return std::nullopt;
+  }
+  pos += kMagic.size();
+
+  Crl crl;
+  if (data.size() - pos < 4) return std::nullopt;
+  const std::uint32_t issuer_len = core::load_be32(data.data() + pos);
+  pos += 4;
+  if (data.size() - pos < issuer_len) return std::nullopt;
+  crl.issuer.assign(reinterpret_cast<const char*>(data.data() + pos), issuer_len);
+  pos += issuer_len;
+
+  if (data.size() - pos < 16) return std::nullopt;
+  crl.issued_at = static_cast<core::SimTime>(core::load_le64(data.data() + pos));
+  pos += 8;
+  const std::uint64_t count = core::load_le64(data.data() + pos);
+  pos += 8;
+  if (count > 1'000'000) return std::nullopt;  // sanity bound
+  if (data.size() - pos < count * 8 + crl.signature.size()) return std::nullopt;
+  crl.revoked_serials.reserve(count);
+  std::uint64_t previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t serial = core::load_le64(data.data() + pos);
+    pos += 8;
+    if (i > 0 && serial <= previous) return std::nullopt;  // must be sorted/unique
+    previous = serial;
+    crl.revoked_serials.push_back(serial);
+  }
+  if (data.size() - pos != crl.signature.size()) return std::nullopt;
+  std::memcpy(crl.signature.data(), data.data() + pos, crl.signature.size());
+  return crl;
+}
+
+CertificateAuthority::CertificateAuthority(Certificate cert,
+                                           crypto::Ed25519KeyPair keypair,
+                                           std::uint64_t first_serial)
+    : certificate_(std::move(cert)), keypair_(keypair), next_serial_(first_serial) {}
+
+CertificateAuthority CertificateAuthority::create_root(const std::string& name,
+                                                       const crypto::Ed25519Seed& seed,
+                                                       core::SimTime not_before,
+                                                       core::SimTime not_after) {
+  const auto keypair = crypto::ed25519_keypair(seed);
+  CertificateBody body;
+  body.serial = CertSerial{1};
+  body.subject = name;
+  body.issuer = name;
+  body.issuer_serial = CertSerial{1};
+  body.role = CertRole::kRootCa;
+  body.usage = KeyUsage{.can_sign = true, .can_key_agree = false, .can_issue = true};
+  body.not_before = not_before;
+  body.not_after = not_after;
+  body.signing_key = keypair.public_key;
+  body.path_length = 2;
+
+  Certificate cert;
+  cert.body = std::move(body);
+  cert.signature = crypto::ed25519_sign(keypair, cert.body.encode_tbs());
+  return CertificateAuthority{std::move(cert), keypair, /*first_serial=*/2};
+}
+
+core::Result<CertificateAuthority> CertificateAuthority::create_intermediate(
+    CertificateAuthority& parent, const std::string& name,
+    const crypto::Ed25519Seed& seed, core::SimTime not_before,
+    core::SimTime not_after) {
+  if (!parent.certificate_.body.usage.can_issue) {
+    return core::make_error("not_a_ca", "parent certificate lacks issuing rights");
+  }
+  if (parent.certificate_.body.path_length == 0) {
+    return core::make_error("path_length", "parent CA path length exhausted");
+  }
+  const auto keypair = crypto::ed25519_keypair(seed);
+  IssueRequest req;
+  req.subject = name;
+  req.role = CertRole::kIntermediateCa;
+  req.usage = KeyUsage{.can_sign = true, .can_key_agree = false, .can_issue = true};
+  req.not_before = not_before;
+  req.not_after = not_after;
+  req.signing_key = keypair.public_key;
+  req.path_length = static_cast<std::uint8_t>(parent.certificate_.body.path_length - 1);
+
+  auto cert = parent.issue(req);
+  if (!cert.ok()) return cert.error();
+  return CertificateAuthority{std::move(cert).take(), keypair,
+                              /*first_serial=*/1'000'000 * parent.next_serial_};
+}
+
+Certificate CertificateAuthority::sign_body(CertificateBody body) {
+  Certificate cert;
+  cert.body = std::move(body);
+  cert.signature = crypto::ed25519_sign(keypair_, cert.body.encode_tbs());
+  return cert;
+}
+
+core::Result<Certificate> CertificateAuthority::issue(const IssueRequest& request) {
+  if (!certificate_.body.usage.can_issue) {
+    return core::make_error("not_a_ca", "this authority may not issue certificates");
+  }
+  if (request.not_after < request.not_before) {
+    return core::make_error("bad_validity", "not_after precedes not_before");
+  }
+  const bool is_ca_cert = request.usage.can_issue;
+  if (is_ca_cert && certificate_.body.path_length == 0) {
+    return core::make_error("path_length", "CA path length exhausted");
+  }
+  if (is_ca_cert && request.role != CertRole::kIntermediateCa &&
+      request.role != CertRole::kRootCa) {
+    return core::make_error("role_mismatch", "issuing rights require a CA role");
+  }
+
+  CertificateBody body;
+  body.serial = CertSerial{next_serial_++};
+  body.subject = request.subject;
+  body.issuer = certificate_.body.subject;
+  body.issuer_serial = certificate_.body.serial;
+  body.role = request.role;
+  body.usage = request.usage;
+  body.not_before = request.not_before;
+  body.not_after = request.not_after;
+  body.signing_key = request.signing_key;
+  body.agreement_key = request.agreement_key;
+  body.path_length = request.path_length;
+  ++issued_;
+  return sign_body(std::move(body));
+}
+
+void CertificateAuthority::revoke(CertSerial serial) { revoked_.insert(serial.value()); }
+
+Crl CertificateAuthority::current_crl(core::SimTime now) const {
+  Crl crl;
+  crl.issuer = certificate_.body.subject;
+  crl.issued_at = now;
+  crl.revoked_serials.assign(revoked_.begin(), revoked_.end());
+  crl.signature = crypto::ed25519_sign(keypair_, crl.encode_tbs());
+  return crl;
+}
+
+}  // namespace agrarsec::pki

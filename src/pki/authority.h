@@ -1,0 +1,89 @@
+// Certificate Authority and Certificate Revocation List. A worksite runs
+// one root CA (at the operator organization) and optionally an on-site
+// intermediate CA so that new machines can be enrolled while the site is
+// disconnected — the "remote and isolated locations" characteristic from
+// Table I of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "pki/certificate.h"
+
+namespace agrarsec::pki {
+
+/// Signed revocation list.
+struct Crl {
+  std::string issuer;
+  core::SimTime issued_at = 0;
+  std::vector<std::uint64_t> revoked_serials;  // sorted
+  crypto::Ed25519Signature signature{};
+
+  [[nodiscard]] core::Bytes encode_tbs() const;
+  [[nodiscard]] bool covers(CertSerial serial) const;
+  [[nodiscard]] bool verify_signature(const crypto::Ed25519PublicKey& issuer_key) const;
+
+  /// Full wire form (TBS || signature) for over-the-air distribution to
+  /// the disconnected site (the "stale-revocation" threat's mitigation).
+  [[nodiscard]] core::Bytes encode() const;
+  static std::optional<Crl> decode(std::span<const std::uint8_t> data);
+};
+
+/// Parameters for issuing a certificate.
+struct IssueRequest {
+  std::string subject;
+  CertRole role = CertRole::kMachine;
+  KeyUsage usage;
+  core::SimTime not_before = 0;
+  core::SimTime not_after = 0;
+  crypto::Ed25519PublicKey signing_key{};
+  crypto::X25519Key agreement_key{};
+  std::uint8_t path_length = 0;
+};
+
+class CertificateAuthority {
+ public:
+  /// Creates a self-signed root CA.
+  static CertificateAuthority create_root(const std::string& name,
+                                          const crypto::Ed25519Seed& seed,
+                                          core::SimTime not_before,
+                                          core::SimTime not_after);
+
+  /// Creates an intermediate CA certified by `parent`. Fails when the
+  /// parent lacks issuing rights or path length is exhausted.
+  static core::Result<CertificateAuthority> create_intermediate(
+      CertificateAuthority& parent, const std::string& name,
+      const crypto::Ed25519Seed& seed, core::SimTime not_before,
+      core::SimTime not_after);
+
+  /// Issues an end-entity (or CA, if usage.can_issue) certificate.
+  core::Result<Certificate> issue(const IssueRequest& request);
+
+  /// Marks a serial revoked; subsequent CRLs cover it.
+  void revoke(CertSerial serial);
+
+  /// Produces a freshly signed CRL.
+  [[nodiscard]] Crl current_crl(core::SimTime now) const;
+
+  [[nodiscard]] const Certificate& certificate() const { return certificate_; }
+  [[nodiscard]] const std::string& name() const { return certificate_.body.subject; }
+  [[nodiscard]] std::uint64_t issued_count() const { return issued_; }
+
+ private:
+  CertificateAuthority(Certificate cert, crypto::Ed25519KeyPair keypair,
+                       std::uint64_t first_serial);
+
+  Certificate sign_body(CertificateBody body);
+
+  Certificate certificate_;
+  crypto::Ed25519KeyPair keypair_;
+  std::uint64_t next_serial_;
+  std::uint64_t issued_ = 0;
+  std::set<std::uint64_t> revoked_;
+};
+
+}  // namespace agrarsec::pki

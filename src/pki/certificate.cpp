@@ -1,0 +1,150 @@
+#include "pki/certificate.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace agrarsec::pki {
+
+std::string_view cert_role_name(CertRole role) {
+  switch (role) {
+    case CertRole::kRootCa: return "root-ca";
+    case CertRole::kIntermediateCa: return "intermediate-ca";
+    case CertRole::kMachine: return "machine";
+    case CertRole::kDrone: return "drone";
+    case CertRole::kOperatorStation: return "operator-station";
+    case CertRole::kSensorUnit: return "sensor-unit";
+    case CertRole::kFirmwareSigner: return "firmware-signer";
+  }
+  return "?";
+}
+
+std::uint8_t KeyUsage::encode() const {
+  return static_cast<std::uint8_t>((can_sign ? 1 : 0) | (can_key_agree ? 2 : 0) |
+                                   (can_issue ? 4 : 0));
+}
+
+KeyUsage KeyUsage::decode(std::uint8_t bits) {
+  return KeyUsage{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0};
+}
+
+core::Bytes CertificateBody::encode_tbs() const {
+  core::Bytes out;
+  core::append(out, core::from_string("agrarsec-cert-v1"));
+  core::append_le64(out, serial.value());
+  core::append_framed(out, core::from_string(subject));
+  core::append_framed(out, core::from_string(issuer));
+  core::append_le64(out, issuer_serial.value());
+  out.push_back(static_cast<std::uint8_t>(role));
+  out.push_back(usage.encode());
+  core::append_le64(out, static_cast<std::uint64_t>(not_before));
+  core::append_le64(out, static_cast<std::uint64_t>(not_after));
+  core::append(out, signing_key);
+  core::append(out, agreement_key);
+  out.push_back(path_length);
+  return out;
+}
+
+bool Certificate::verify_signature(const crypto::Ed25519PublicKey& issuer_key) const {
+  return crypto::ed25519_verify(issuer_key, body.encode_tbs(), signature);
+}
+
+bool Certificate::valid_at(core::SimTime now) const {
+  return now >= body.not_before && now <= body.not_after;
+}
+
+core::Bytes Certificate::encode() const {
+  core::Bytes out = body.encode_tbs();
+  core::append(out, signature);
+  return out;
+}
+
+namespace {
+/// Cursor-based reader over the TBS encoding; every read checks bounds.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool read_magic(std::string_view magic) {
+    if (remaining() < magic.size()) return false;
+    if (std::memcmp(data_.data() + pos_, magic.data(), magic.size()) != 0) {
+      return false;
+    }
+    pos_ += magic.size();
+    return true;
+  }
+  bool read_u8(std::uint8_t& out) {
+    if (remaining() < 1) return false;
+    out = data_[pos_++];
+    return true;
+  }
+  bool read_le64(std::uint64_t& out) {
+    if (remaining() < 8) return false;
+    out = core::load_le64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool read_framed_string(std::string& out) {
+    if (remaining() < 4) return false;
+    const std::uint32_t len = core::load_be32(data_.data() + pos_);
+    pos_ += 4;
+    if (remaining() < len) return false;
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  template <std::size_t N>
+  bool read_array(std::array<std::uint8_t, N>& out) {
+    if (remaining() < N) return false;
+    std::memcpy(out.data(), data_.data() + pos_, N);
+    pos_ += N;
+    return true;
+  }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+}  // namespace
+
+std::optional<Certificate> Certificate::decode(std::span<const std::uint8_t> data) {
+  Reader reader{data};
+  Certificate cert;
+  CertificateBody& b = cert.body;
+
+  if (!reader.read_magic("agrarsec-cert-v1")) return std::nullopt;
+  std::uint64_t serial = 0, issuer_serial = 0, not_before = 0, not_after = 0;
+  std::uint8_t role = 0, usage = 0, path_length = 0;
+  if (!reader.read_le64(serial)) return std::nullopt;
+  if (!reader.read_framed_string(b.subject)) return std::nullopt;
+  if (!reader.read_framed_string(b.issuer)) return std::nullopt;
+  if (!reader.read_le64(issuer_serial)) return std::nullopt;
+  if (!reader.read_u8(role)) return std::nullopt;
+  if (role > static_cast<std::uint8_t>(CertRole::kFirmwareSigner)) return std::nullopt;
+  if (!reader.read_u8(usage)) return std::nullopt;
+  if (usage > 7) return std::nullopt;
+  if (!reader.read_le64(not_before)) return std::nullopt;
+  if (!reader.read_le64(not_after)) return std::nullopt;
+  if (!reader.read_array(b.signing_key)) return std::nullopt;
+  if (!reader.read_array(b.agreement_key)) return std::nullopt;
+  if (!reader.read_u8(path_length)) return std::nullopt;
+  if (!reader.read_array(cert.signature)) return std::nullopt;
+  if (reader.remaining() != 0) return std::nullopt;
+
+  b.serial = CertSerial{serial};
+  b.issuer_serial = CertSerial{issuer_serial};
+  b.role = static_cast<CertRole>(role);
+  b.usage = KeyUsage::decode(usage);
+  b.not_before = static_cast<core::SimTime>(not_before);
+  b.not_after = static_cast<core::SimTime>(not_after);
+  b.path_length = path_length;
+  return cert;
+}
+
+std::string Certificate::fingerprint() const {
+  const auto digest = crypto::Sha256::hash(encode());
+  return core::to_hex(std::span(digest.data(), 8));  // truncated for logs
+}
+
+}  // namespace agrarsec::pki

@@ -1,0 +1,89 @@
+// Certificate model for the worksite PKI. Chattopadhyay & Lam (cited by
+// the paper, §IV-C) emphasize a Certificate Authority issuing certificates
+// to every component communicating with the cyber-physical system; this
+// module provides that: Ed25519-signed certificates binding a subject name
+// and role to a signing key and a static key-agreement key.
+//
+// The wire format is a deterministic length-framed encoding (not X.509 —
+// the simulated ECUs speak this compact format), so signatures are over a
+// canonical byte string.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/bytes.h"
+#include "core/time.h"
+#include "core/types.h"
+#include "crypto/ed25519.h"
+#include "crypto/x25519.h"
+
+namespace agrarsec::pki {
+
+/// Role of the certified entity; chain validation enforces role rules
+/// (only kCa roles may issue).
+enum class CertRole : std::uint8_t {
+  kRootCa = 0,
+  kIntermediateCa = 1,
+  kMachine = 2,       ///< forwarder / harvester ECU
+  kDrone = 3,
+  kOperatorStation = 4,
+  kSensorUnit = 5,
+  kFirmwareSigner = 6,
+};
+
+[[nodiscard]] std::string_view cert_role_name(CertRole role);
+
+/// Key-usage bits.
+struct KeyUsage {
+  bool can_sign = false;        ///< may sign handshake transcripts / firmware
+  bool can_key_agree = false;   ///< may be used for X25519 static DH
+  bool can_issue = false;       ///< may sign subordinate certificates
+
+  [[nodiscard]] std::uint8_t encode() const;
+  static KeyUsage decode(std::uint8_t bits);
+};
+
+/// To-be-signed certificate contents.
+struct CertificateBody {
+  CertSerial serial;
+  std::string subject;            ///< e.g. "forwarder-01.site-7"
+  std::string issuer;             ///< subject of the issuing CA
+  CertSerial issuer_serial;
+  CertRole role = CertRole::kMachine;
+  KeyUsage usage;
+  core::SimTime not_before = 0;
+  core::SimTime not_after = 0;
+  crypto::Ed25519PublicKey signing_key{};   ///< subject's Ed25519 key
+  crypto::X25519Key agreement_key{};        ///< subject's static X25519 key
+  std::uint8_t path_length = 0;             ///< max CA chain below (CA certs)
+
+  /// Canonical byte encoding covered by the signature.
+  [[nodiscard]] core::Bytes encode_tbs() const;
+};
+
+/// A signed certificate.
+struct Certificate {
+  CertificateBody body;
+  crypto::Ed25519Signature signature{};
+
+  /// Verifies the signature against the given issuer key.
+  [[nodiscard]] bool verify_signature(const crypto::Ed25519PublicKey& issuer_key) const;
+
+  /// True when `now` lies in the validity window.
+  [[nodiscard]] bool valid_at(core::SimTime now) const;
+
+  /// Full serialization (TBS || signature).
+  [[nodiscard]] core::Bytes encode() const;
+
+  /// Parses an encode() blob. Returns nullopt on any structural problem
+  /// (signature validity is NOT checked here — that is the trust store's
+  /// job against the right issuer key).
+  static std::optional<Certificate> decode(std::span<const std::uint8_t> data);
+
+  /// Stable fingerprint (SHA-256 of the encoding) for pinning/logging.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+}  // namespace agrarsec::pki

@@ -1,0 +1,30 @@
+#include "pki/identity.h"
+
+namespace agrarsec::pki {
+
+core::Result<Identity> enroll(CertificateAuthority& ca, crypto::Drbg& drbg,
+                              const std::string& subject, CertRole role,
+                              core::SimTime not_before, core::SimTime not_after,
+                              const std::vector<Certificate>& intermediates) {
+  Identity id;
+  id.signing = crypto::ed25519_keypair(drbg.generate32());
+  id.agreement_private = drbg.generate32();
+  id.agreement_public = crypto::x25519_base(id.agreement_private);
+
+  IssueRequest req;
+  req.subject = subject;
+  req.role = role;
+  req.usage = KeyUsage{.can_sign = true, .can_key_agree = true, .can_issue = false};
+  req.not_before = not_before;
+  req.not_after = not_after;
+  req.signing_key = id.signing.public_key;
+  req.agreement_key = id.agreement_public;
+
+  auto cert = ca.issue(req);
+  if (!cert.ok()) return cert.error();
+  id.chain.push_back(std::move(cert).take());
+  for (const Certificate& c : intermediates) id.chain.push_back(c);
+  return id;
+}
+
+}  // namespace agrarsec::pki

@@ -1,0 +1,35 @@
+// A machine identity: the bundle of long-term secrets plus the certificate
+// chain a node presents during the secure-channel handshake. Produced by
+// the enrollment flow (CA issue) and consumed by secure::Handshake.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/ed25519.h"
+#include "crypto/random.h"
+#include "crypto/x25519.h"
+#include "pki/authority.h"
+#include "pki/certificate.h"
+
+namespace agrarsec::pki {
+
+struct Identity {
+  crypto::Ed25519KeyPair signing;                 ///< long-term signature keys
+  std::array<std::uint8_t, 32> agreement_private{};  ///< static X25519 secret
+  crypto::X25519Key agreement_public{};
+  std::vector<Certificate> chain;                 ///< leaf first
+
+  [[nodiscard]] const Certificate& leaf() const { return chain.front(); }
+  [[nodiscard]] const std::string& subject() const { return chain.front().body.subject; }
+};
+
+/// Generates fresh keys from `drbg` and enrolls `subject` with `ca`.
+/// `intermediates` (possibly empty) are appended to the presented chain in
+/// order from the issuing CA upwards.
+core::Result<Identity> enroll(CertificateAuthority& ca, crypto::Drbg& drbg,
+                              const std::string& subject, CertRole role,
+                              core::SimTime not_before, core::SimTime not_after,
+                              const std::vector<Certificate>& intermediates = {});
+
+}  // namespace agrarsec::pki

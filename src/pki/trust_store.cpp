@@ -1,0 +1,114 @@
+#include "pki/trust_store.h"
+
+namespace agrarsec::pki {
+
+core::Status TrustStore::add_root(const Certificate& root) {
+  if (root.body.subject != root.body.issuer) {
+    return core::make_error("not_self_signed", "root must be self-signed");
+  }
+  if (!root.body.usage.can_issue) {
+    return core::make_error("not_a_ca", "root lacks issuing rights");
+  }
+  if (!root.verify_signature(root.body.signing_key)) {
+    return core::make_error("bad_signature", "root self-signature invalid");
+  }
+  roots_[root.body.subject] = root;
+  return core::Status::ok_status();
+}
+
+core::Status TrustStore::add_crl(const Crl& crl, const Certificate& issuer_cert) {
+  if (issuer_cert.body.subject != crl.issuer) {
+    return core::make_error("issuer_mismatch", "CRL issuer does not match certificate");
+  }
+  if (!crl.verify_signature(issuer_cert.body.signing_key)) {
+    return core::make_error("bad_signature", "CRL signature invalid");
+  }
+  auto it = crls_.find(crl.issuer);
+  if (it != crls_.end() && it->second.issued_at > crl.issued_at) {
+    return core::make_error("stale_crl", "a newer CRL is already installed");
+  }
+  crls_[crl.issuer] = crl;
+  return core::Status::ok_status();
+}
+
+bool TrustStore::revoked(const Certificate& cert) const {
+  const auto it = crls_.find(cert.body.issuer);
+  return it != crls_.end() && it->second.covers(cert.body.serial);
+}
+
+core::Result<Certificate> TrustStore::validate(const std::vector<Certificate>& chain,
+                                               core::SimTime now,
+                                               bool allow_ca_leaf) const {
+  if (chain.empty()) {
+    return core::make_error("empty_chain", "no certificates presented");
+  }
+
+  // Walk from the leaf up; each certificate must be signed by the next,
+  // and the last must be signed by an installed root (or be a root).
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+
+    if (!cert.valid_at(now)) {
+      return core::make_error("expired",
+                              "certificate '" + cert.body.subject +
+                                  "' outside validity window");
+    }
+    if (revoked(cert)) {
+      return core::make_error("revoked",
+                              "certificate '" + cert.body.subject + "' is revoked");
+    }
+
+    const bool is_last = (i + 1 == chain.size());
+    const Certificate* issuer = nullptr;
+    if (!is_last) {
+      issuer = &chain[i + 1];
+    } else {
+      const auto it = roots_.find(cert.body.issuer);
+      if (it == roots_.end()) {
+        return core::make_error("untrusted_root",
+                                "issuer '" + cert.body.issuer + "' is not a trusted root");
+      }
+      issuer = &it->second;
+      if (!issuer->valid_at(now)) {
+        return core::make_error("expired", "trusted root outside validity window");
+      }
+    }
+
+    if (issuer->body.subject != cert.body.issuer) {
+      return core::make_error("issuer_mismatch",
+                              "chain discontinuity at '" + cert.body.subject + "'");
+    }
+    if (!issuer->body.usage.can_issue) {
+      return core::make_error("not_a_ca",
+                              "issuer '" + issuer->body.subject + "' may not issue");
+    }
+    if (!cert.verify_signature(issuer->body.signing_key)) {
+      return core::make_error("bad_signature",
+                              "signature on '" + cert.body.subject + "' invalid");
+    }
+
+    // Path length: an issuing certificate at depth d above the leaf must
+    // permit at least d-1 further CAs.
+    if (i > 0) {
+      const std::size_t cas_below = i - 1;  // CA certs strictly between
+      if (cert.body.usage.can_issue &&
+          cert.body.path_length < cas_below) {
+        return core::make_error("path_length", "path length constraint violated");
+      }
+      if (!cert.body.usage.can_issue) {
+        return core::make_error("not_a_ca",
+                                "non-CA certificate used as issuer in chain");
+      }
+    }
+  }
+
+  const Certificate& leaf = chain.front();
+  const bool leaf_is_ca = leaf.body.role == CertRole::kRootCa ||
+                          leaf.body.role == CertRole::kIntermediateCa;
+  if (leaf_is_ca && !allow_ca_leaf) {
+    return core::make_error("ca_as_leaf", "CA certificate presented as end entity");
+  }
+  return leaf;
+}
+
+}  // namespace agrarsec::pki

@@ -1,0 +1,56 @@
+// Chain validation against a set of trusted roots plus installed CRLs.
+// Implements the path-validation rules the secure channel and secure boot
+// rely on: signature chain, validity windows, revocation, key usage, role
+// constraints and path-length limits.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "pki/authority.h"
+#include "pki/certificate.h"
+
+namespace agrarsec::pki {
+
+/// Why a chain failed validation (stable codes used by IDS rules too).
+/// See TrustStore::validate for the checks, in order.
+class TrustStore {
+ public:
+  /// Installs a trusted root (self-signed CA certificate). Rejects
+  /// non-self-signed or non-CA certificates.
+  core::Status add_root(const Certificate& root);
+
+  /// Installs/refreshes a CRL. The CRL signature is checked against the
+  /// issuer's certificate (root or previously validated intermediate).
+  core::Status add_crl(const Crl& crl, const Certificate& issuer_cert);
+
+  /// Validates `chain` (leaf first, root-anchored last link signed by an
+  /// installed root). Returns the validated leaf on success.
+  ///
+  /// Checks, in order: non-empty; every link's signature; issuer present &
+  /// trusted; CA bits on all issuing certs; path length; validity window
+  /// at `now`; revocation per installed CRLs; leaf role is an end-entity
+  /// role (unless `allow_ca_leaf`).
+  core::Result<Certificate> validate(const std::vector<Certificate>& chain,
+                                     core::SimTime now,
+                                     bool allow_ca_leaf = false) const;
+
+  /// Convenience for the common leaf+intermediates shape.
+  [[nodiscard]] bool is_trusted(const std::vector<Certificate>& chain,
+                                core::SimTime now) const {
+    return validate(chain, now).ok();
+  }
+
+  [[nodiscard]] std::size_t root_count() const { return roots_.size(); }
+  [[nodiscard]] std::size_t crl_count() const { return crls_.size(); }
+
+ private:
+  [[nodiscard]] bool revoked(const Certificate& cert) const;
+
+  std::unordered_map<std::string, Certificate> roots_;  // by subject
+  std::unordered_map<std::string, Crl> crls_;           // by issuer
+};
+
+}  // namespace agrarsec::pki

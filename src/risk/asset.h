@@ -1,0 +1,52 @@
+// ISO/SAE 21434 item definition: assets and their cybersecurity
+// properties. The forestry worksite item (forwarder + drone + operator
+// station + radio links) is built in catalog.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace agrarsec::risk {
+
+/// Security property whose loss a threat scenario realizes.
+enum class SecurityProperty : std::uint8_t {
+  kConfidentiality = 0,
+  kIntegrity = 1,
+  kAvailability = 2,
+  kAuthenticity = 3,
+};
+
+[[nodiscard]] std::string_view security_property_name(SecurityProperty p);
+
+enum class AssetCategory : std::uint8_t {
+  kCommunication = 0,  ///< radio links, protocols
+  kSensing = 1,        ///< lidar/camera/GNSS chains
+  kControl = 2,        ///< drive/e-stop/mission control functions
+  kData = 3,           ///< maps, logs, land-ownership data
+  kPlatform = 4,       ///< ECU firmware, boot chain, keys
+};
+
+[[nodiscard]] std::string_view asset_category_name(AssetCategory c);
+
+struct Asset {
+  AssetId id;
+  std::string name;
+  std::string description;
+  AssetCategory category = AssetCategory::kCommunication;
+  std::vector<SecurityProperty> properties;  ///< properties worth protecting
+};
+
+/// The item under analysis (scope of the TARA).
+struct ItemDefinition {
+  std::string name;
+  std::string mission;
+  std::vector<Asset> assets;
+
+  [[nodiscard]] const Asset* find(AssetId id) const;
+  [[nodiscard]] const Asset* find(const std::string& name) const;
+};
+
+}  // namespace agrarsec::risk

@@ -1,0 +1,163 @@
+#include "risk/attack_path.h"
+
+#include <algorithm>
+
+namespace agrarsec::risk {
+
+AttackPotential combine_sequential(const AttackPotential& a, const AttackPotential& b) {
+  AttackPotential out;
+  out.elapsed_time = a.elapsed_time + b.elapsed_time;
+  out.window_of_opportunity = a.window_of_opportunity + b.window_of_opportunity;
+  out.expertise = std::max(a.expertise, b.expertise);
+  out.knowledge = std::max(a.knowledge, b.knowledge);
+  out.equipment = std::max(a.equipment, b.equipment);
+  return out;
+}
+
+AttackNode::Ptr AttackNode::leaf(AttackStep step) {
+  auto node = std::shared_ptr<AttackNode>(new AttackNode{Kind::kLeaf, step.id});
+  node->step_ = std::move(step);
+  return node;
+}
+
+AttackNode::Ptr AttackNode::any_of(std::string label, std::vector<Ptr> children) {
+  auto node = std::shared_ptr<AttackNode>(new AttackNode{Kind::kOr, std::move(label)});
+  node->children_ = std::move(children);
+  return node;
+}
+
+AttackNode::Ptr AttackNode::all_of(std::string label, std::vector<Ptr> children) {
+  auto node = std::shared_ptr<AttackNode>(new AttackNode{Kind::kAnd, std::move(label)});
+  node->children_ = std::move(children);
+  return node;
+}
+
+std::optional<AttackNode::Path> AttackNode::cheapest_path(
+    const std::vector<std::string>& blocked_steps) const {
+  switch (kind_) {
+    case Kind::kLeaf: {
+      if (std::find(blocked_steps.begin(), blocked_steps.end(), step_->id) !=
+          blocked_steps.end()) {
+        return std::nullopt;
+      }
+      Path p;
+      p.steps = {*step_};
+      p.potential = step_->potential;
+      return p;
+    }
+    case Kind::kOr: {
+      std::optional<Path> best;
+      for (const Ptr& child : children_) {
+        auto candidate = child->cheapest_path(blocked_steps);
+        if (!candidate) continue;
+        if (!best || candidate->potential.total() < best->potential.total()) {
+          best = std::move(candidate);
+        }
+      }
+      return best;
+    }
+    case Kind::kAnd: {
+      if (children_.empty()) return std::nullopt;
+      Path combined;
+      bool first = true;
+      for (const Ptr& child : children_) {
+        auto part = child->cheapest_path(blocked_steps);
+        if (!part) return std::nullopt;  // one blocked conjunct kills the path
+        combined.steps.insert(combined.steps.end(), part->steps.begin(),
+                              part->steps.end());
+        combined.potential = first ? part->potential
+                                   : combine_sequential(combined.potential,
+                                                        part->potential);
+        first = false;
+      }
+      return combined;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Feasibility> AttackNode::feasibility(
+    const std::vector<std::string>& blocked_steps) const {
+  const auto path = cheapest_path(blocked_steps);
+  if (!path) return std::nullopt;
+  return feasibility_from_potential(path->potential);
+}
+
+namespace {
+AttackStep step(const char* id, const char* description, AttackPotential p) {
+  return AttackStep{id, description, p};
+}
+}  // namespace
+
+AttackNode::Ptr estop_replay_tree() {
+  // Replay a captured stop/clear exchange to freeze or un-freeze machines.
+  return AttackNode::all_of(
+      "estop-replay",
+      {
+          AttackNode::leaf(step("approach-site", "reach radio range of the site",
+                                {0, 0, 0, 1, 0})),
+          AttackNode::leaf(step("capture-frames", "record e-stop traffic",
+                                {0, 0, 0, 0, 0})),
+          AttackNode::any_of(
+              "inject",
+              {
+                  AttackNode::leaf(step("replay-plaintext",
+                                        "retransmit captured frames verbatim",
+                                        {0, 3, 0, 0, 0})),
+                  AttackNode::leaf(step("break-session-crypto",
+                                        "forge a valid AEAD record",
+                                        {19, 8, 7, 0, 9})),
+              }),
+      });
+}
+
+AttackNode::Ptr malicious_update_tree() {
+  return AttackNode::all_of(
+      "malicious-update",
+      {
+          AttackNode::any_of(
+              "obtain-foothold",
+              {
+                  AttackNode::leaf(step("phish-operator",
+                                        "compromise operator credentials",
+                                        {4, 3, 3, 1, 0})),
+                  AttackNode::leaf(step("supply-chain",
+                                        "insert payload at a tooling vendor",
+                                        {19, 8, 11, 4, 7})),
+              }),
+          AttackNode::any_of(
+              "install",
+              {
+                  AttackNode::leaf(step("push-unsigned",
+                                        "push image without valid signature",
+                                        {0, 3, 3, 0, 0})),
+                  AttackNode::leaf(step("forge-signature",
+                                        "break Ed25519 image signing",
+                                        {19, 8, 7, 0, 9})),
+              }),
+      });
+}
+
+AttackNode::Ptr gnss_walkoff_tree() {
+  return AttackNode::all_of(
+      "gnss-walkoff",
+      {
+          AttackNode::leaf(step("deploy-spoofer", "position an SDR spoofer on site",
+                                {1, 3, 0, 4, 4})),
+          AttackNode::leaf(step("capture-lock", "pull the receiver onto the fake "
+                                                "constellation",
+                                {1, 6, 3, 0, 4})),
+          AttackNode::any_of(
+              "steer",
+              {
+                  AttackNode::leaf(step("fast-jump",
+                                        "jump the solution (detectable)",
+                                        {0, 0, 0, 0, 0})),
+                  AttackNode::leaf(step("slow-creep",
+                                        "walk the solution below the gate",
+                                        {4, 6, 3, 0, 0})),
+              }),
+      });
+}
+
+}  // namespace agrarsec::risk

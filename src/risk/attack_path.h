@@ -1,0 +1,78 @@
+// Attack-path analysis (ISO/SAE 21434 clause 15.7): threat scenarios are
+// refined into attack trees whose leaves are concrete attack steps; the
+// scenario's attack feasibility is then *derived* from the cheapest
+// realizable path instead of being asserted wholesale. Controls that block
+// or harden individual steps propagate automatically into the scenario
+// rating — the mechanism that keeps a continuously-reassessed TARA honest.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "risk/threat.h"
+
+namespace agrarsec::risk {
+
+/// One concrete attacker action (a tree leaf).
+struct AttackStep {
+  std::string id;           ///< e.g. "capture-frames"
+  std::string description;
+  AttackPotential potential;
+};
+
+/// Combination of potentials along a conjunctive path: durations and
+/// opportunity windows add up; expertise/knowledge/equipment are the
+/// maximum any single step demands.
+[[nodiscard]] AttackPotential combine_sequential(const AttackPotential& a,
+                                                 const AttackPotential& b);
+
+/// Attack tree node. Value semantics via shared_ptr children (trees are
+/// built once and shared read-only).
+class AttackNode {
+ public:
+  using Ptr = std::shared_ptr<const AttackNode>;
+
+  static Ptr leaf(AttackStep step);
+  static Ptr any_of(std::string label, std::vector<Ptr> children);  ///< OR
+  static Ptr all_of(std::string label, std::vector<Ptr> children);  ///< AND
+
+  /// The cheapest realizable path: for a leaf, the step itself; for OR,
+  /// the child with the lowest combined total; for AND, the sequential
+  /// combination of every child's cheapest path. Returns nullopt when a
+  /// node is infeasible (an OR with no children, or containing a blocked
+  /// step per `blocked_steps`).
+  struct Path {
+    std::vector<AttackStep> steps;
+    AttackPotential potential;
+  };
+  [[nodiscard]] std::optional<Path> cheapest_path(
+      const std::vector<std::string>& blocked_steps = {}) const;
+
+  /// Scenario feasibility from the cheapest path (kVeryLow-capped when no
+  /// path remains — a fully blocked tree is "infeasible", reported as
+  /// nullopt).
+  [[nodiscard]] std::optional<Feasibility> feasibility(
+      const std::vector<std::string>& blocked_steps = {}) const;
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+ private:
+  enum class Kind { kLeaf, kOr, kAnd };
+  AttackNode(Kind kind, std::string label) : kind_(kind), label_(std::move(label)) {}
+
+  Kind kind_;
+  std::string label_;
+  std::optional<AttackStep> step_;
+  std::vector<Ptr> children_;
+};
+
+/// Example attack trees for the forestry catalogue's headline threats,
+/// matching the threat names in forestry_threats(). Used by tests and the
+/// risk example to show step-level control attribution.
+[[nodiscard]] AttackNode::Ptr estop_replay_tree();
+[[nodiscard]] AttackNode::Ptr malicious_update_tree();
+[[nodiscard]] AttackNode::Ptr gnss_walkoff_tree();
+
+}  // namespace agrarsec::risk

@@ -1,0 +1,302 @@
+#include "risk/catalog.h"
+
+#include <stdexcept>
+
+namespace agrarsec::risk {
+
+std::vector<ForestryCharacteristic> table1_characteristics() {
+  return {
+      {"Remote and Isolated Locations",
+       "Operations in remote areas with limited connectivity; secure "
+       "communication and data protection are hard to guarantee."},
+      {"Autonomous Machinery",
+       "Drones and robots must be secured against unauthorized access or "
+       "interference."},
+      {"Natural Disasters",
+       "Wildfires, floods and storms; cybersecurity must cover disaster "
+       "recovery and business continuity."},
+      {"Data Privacy and Compliance",
+       "Land ownership, environmental assessment and legal-compliance data "
+       "must stay private and compliant."},
+      {"Remote Monitoring and Control",
+       "Remote management systems must be protected from unauthorized "
+       "access and disruption."},
+      {"Threat Profile",
+       "Company-level threat profiles: threat agents and control measures "
+       "must be understood."},
+      {"Confidentiality of Operations",
+       "Some operations (e.g. near military sites) are confidential; "
+       "operations and communications must stay confidential."},
+      {"Heavy Machinery",
+       "Harvesters and forwarders raise safety risk; threats that could "
+       "compromise safety are the gravest concern."},
+  };
+}
+
+ItemDefinition forestry_item() {
+  ItemDefinition item;
+  item.name = "autonomous-forestry-worksite";
+  item.mission =
+      "transport logs from harvest piles to the landing area with an "
+      "autonomous forwarder under drone-assisted people detection";
+
+  std::uint64_t next_id = 1;
+  auto add = [&](const std::string& name, const std::string& description,
+                 AssetCategory category, std::vector<SecurityProperty> props) {
+    Asset a;
+    a.id = AssetId{next_id++};
+    a.name = name;
+    a.description = description;
+    a.category = category;
+    a.properties = std::move(props);
+    item.assets.push_back(std::move(a));
+  };
+
+  add("m2m-radio-link", "machine-to-machine radio (forwarder/drone/operator)",
+      AssetCategory::kCommunication,
+      {SecurityProperty::kIntegrity, SecurityProperty::kAvailability,
+       SecurityProperty::kAuthenticity});
+  add("drone-detection-link", "drone people-detection report channel",
+      AssetCategory::kCommunication,
+      {SecurityProperty::kIntegrity, SecurityProperty::kAvailability,
+       SecurityProperty::kAuthenticity});
+  add("estop-function", "distributed emergency-stop command path",
+      AssetCategory::kControl,
+      {SecurityProperty::kIntegrity, SecurityProperty::kAvailability,
+       SecurityProperty::kAuthenticity});
+  add("people-detection-chain", "lidar/camera perception on forwarder + drone",
+      AssetCategory::kSensing,
+      {SecurityProperty::kIntegrity, SecurityProperty::kAvailability});
+  add("gnss-navigation", "GNSS-based localization of the forwarder",
+      AssetCategory::kSensing,
+      {SecurityProperty::kIntegrity, SecurityProperty::kAvailability});
+  add("mission-control", "route/task assignment from the operator station",
+      AssetCategory::kControl,
+      {SecurityProperty::kIntegrity, SecurityProperty::kAuthenticity});
+  add("forwarder-firmware", "forwarder ECU software + boot chain",
+      AssetCategory::kPlatform,
+      {SecurityProperty::kIntegrity, SecurityProperty::kAuthenticity});
+  add("drone-firmware", "drone flight controller + perception software",
+      AssetCategory::kPlatform,
+      {SecurityProperty::kIntegrity, SecurityProperty::kAuthenticity});
+  add("pki-credentials", "machine identity keys and certificates",
+      AssetCategory::kPlatform,
+      {SecurityProperty::kConfidentiality, SecurityProperty::kIntegrity});
+  add("site-data-store", "maps, land ownership, environmental and yield data",
+      AssetCategory::kData,
+      {SecurityProperty::kConfidentiality, SecurityProperty::kIntegrity});
+  add("operations-telemetry", "machine positions, routes and activity logs",
+      AssetCategory::kData,
+      {SecurityProperty::kConfidentiality});
+  add("audit-log", "site event/alert log used for incident response",
+      AssetCategory::kData,
+      {SecurityProperty::kIntegrity});
+  return item;
+}
+
+std::vector<ThreatScenario> forestry_threats(const ItemDefinition& item) {
+  std::uint64_t next_id = 1;
+  std::vector<ThreatScenario> threats;
+
+  auto asset_id = [&](const std::string& name) {
+    const Asset* a = item.find(name);
+    if (a == nullptr) throw std::logic_error("unknown asset: " + name);
+    return a->id;
+  };
+
+  auto add = [&](const std::string& asset, const std::string& name,
+                 const std::string& description, Stride stride,
+                 SecurityProperty violated, DamageScenario damage,
+                 AttackPotential potential, const std::string& characteristic) {
+    ThreatScenario t;
+    t.id = ThreatId{next_id++};
+    t.asset = asset_id(asset);
+    t.name = name;
+    t.description = description;
+    t.stride = stride;
+    t.violated = violated;
+    t.damage = damage;
+    t.potential = potential;
+    t.characteristic = characteristic;
+    threats.push_back(std::move(t));
+  };
+
+  using IL = ImpactLevel;
+  auto dmg = [](IL safety, IL financial, IL operational, IL privacy,
+                const std::string& text) {
+    DamageScenario d;
+    d.description = text;
+    d.safety = safety;
+    d.financial = financial;
+    d.operational = operational;
+    d.privacy = privacy;
+    return d;
+  };
+
+  // --- Remote and Isolated Locations ---
+  add("m2m-radio-link", "link-eavesdropping",
+      "passive interception of plaintext machine traffic in the open band",
+      Stride::kInformationDisclosure, SecurityProperty::kConfidentiality,
+      dmg(IL::kNegligible, IL::kModerate, IL::kModerate, IL::kMajor,
+          "operational patterns and positions leak"),
+      AttackPotential{0, 0, 0, 0, 0}, "Remote and Isolated Locations");
+  add("m2m-radio-link", "rogue-node-join",
+      "attacker radio joins the isolated site network unnoticed (no NOC)",
+      Stride::kSpoofing, SecurityProperty::kAuthenticity,
+      dmg(IL::kMajor, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "unauthenticated participant can issue machine messages"),
+      AttackPotential{1, 3, 0, 1, 0}, "Remote and Isolated Locations");
+  add("pki-credentials", "stale-revocation",
+      "revoked credentials stay usable because CRLs cannot be fetched",
+      Stride::kElevationOfPrivilege, SecurityProperty::kIntegrity,
+      dmg(IL::kMajor, IL::kModerate, IL::kModerate, IL::kNegligible,
+          "decommissioned/compromised machine keeps site access"),
+      AttackPotential{4, 3, 3, 4, 0}, "Remote and Isolated Locations");
+
+  // --- Autonomous Machinery ---
+  add("estop-function", "estop-replay",
+      "captured stop/clear frames replayed to freeze or un-freeze machines",
+      Stride::kSpoofing, SecurityProperty::kAuthenticity,
+      dmg(IL::kSevere, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "forwarder resumes while a person is in the critical zone"),
+      AttackPotential{0, 3, 0, 1, 0}, "Autonomous Machinery");
+  add("mission-control", "forged-mission",
+      "spoofed mission command reroutes the autonomous forwarder",
+      Stride::kSpoofing, SecurityProperty::kAuthenticity,
+      dmg(IL::kSevere, IL::kMajor, IL::kMajor, IL::kNegligible,
+          "machine driven into the manual harvesting area"),
+      AttackPotential{1, 3, 3, 1, 0}, "Autonomous Machinery");
+  add("drone-detection-link", "detection-suppression",
+      "drone people-detection reports dropped or delayed (de-auth flood)",
+      Stride::kDenialOfService, SecurityProperty::kAvailability,
+      dmg(IL::kSevere, IL::kNegligible, IL::kMajor, IL::kNegligible,
+          "collaborative safety cover silently lost"),
+      AttackPotential{1, 3, 0, 1, 4}, "Autonomous Machinery");
+  add("people-detection-chain", "lidar-ghosting",
+      "spoofed lidar returns create phantom people (relay attack)",
+      Stride::kTampering, SecurityProperty::kIntegrity,
+      dmg(IL::kModerate, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "nuisance stops; availability-driven pressure to disable safety"),
+      AttackPotential{4, 6, 3, 4, 7}, "Autonomous Machinery");
+  add("people-detection-chain", "camera-blinding",
+      "laser/IR dazzle of the forward camera",
+      Stride::kDenialOfService, SecurityProperty::kAvailability,
+      dmg(IL::kSevere, IL::kNegligible, IL::kModerate, IL::kNegligible,
+          "single perception channel lost near workers"),
+      AttackPotential{1, 3, 0, 4, 4}, "Autonomous Machinery");
+
+  // --- Natural Disasters ---
+  add("site-data-store", "disaster-data-loss",
+      "wildfire/flood destroys on-site storage; no tested recovery",
+      Stride::kDenialOfService, SecurityProperty::kAvailability,
+      dmg(IL::kNegligible, IL::kMajor, IL::kMajor, IL::kModerate,
+          "maps/compliance records unrecoverable"),
+      AttackPotential{0, 0, 0, 10, 0}, "Natural Disasters");
+  add("m2m-radio-link", "disaster-window-attack",
+      "attacks mounted during storm recovery when monitoring is degraded",
+      Stride::kDenialOfService, SecurityProperty::kAvailability,
+      dmg(IL::kMajor, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "no incident response while the site is in recovery mode"),
+      AttackPotential{4, 3, 3, 10, 0}, "Natural Disasters");
+
+  // --- Data Privacy and Compliance ---
+  add("site-data-store", "landowner-data-exfil",
+      "exfiltration of land-ownership and environmental assessment data",
+      Stride::kInformationDisclosure, SecurityProperty::kConfidentiality,
+      dmg(IL::kNegligible, IL::kMajor, IL::kModerate, IL::kSevere,
+          "GDPR-relevant personal/legal data disclosed"),
+      AttackPotential{4, 3, 3, 1, 0}, "Data Privacy and Compliance");
+  add("site-data-store", "compliance-record-tamper",
+      "tampering with harvest/environmental compliance records",
+      Stride::kTampering, SecurityProperty::kIntegrity,
+      dmg(IL::kNegligible, IL::kMajor, IL::kModerate, IL::kMajor,
+          "legal exposure; certification (e.g. FSC) jeopardized"),
+      AttackPotential{4, 3, 7, 1, 0}, "Data Privacy and Compliance");
+
+  // --- Remote Monitoring and Control ---
+  add("mission-control", "operator-station-hijack",
+      "compromise of the remote operator station (credential theft)",
+      Stride::kElevationOfPrivilege, SecurityProperty::kAuthenticity,
+      dmg(IL::kSevere, IL::kMajor, IL::kSevere, IL::kModerate,
+          "full legitimate control over all site machines"),
+      AttackPotential{10, 6, 7, 4, 0}, "Remote Monitoring and Control");
+  add("m2m-radio-link", "telemetry-spoof",
+      "forged telemetry hides a machine's true position from monitoring",
+      Stride::kSpoofing, SecurityProperty::kIntegrity,
+      dmg(IL::kMajor, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "operator decisions based on false site picture"),
+      AttackPotential{1, 3, 0, 1, 0}, "Remote Monitoring and Control");
+  add("forwarder-firmware", "malicious-update",
+      "unauthorized firmware pushed through the remote update path",
+      Stride::kTampering, SecurityProperty::kIntegrity,
+      dmg(IL::kSevere, IL::kSevere, IL::kSevere, IL::kModerate,
+          "persistent attacker control of a 20-tonne machine"),
+      AttackPotential{10, 6, 7, 4, 4}, "Remote Monitoring and Control");
+
+  // --- Threat Profile ---
+  add("operations-telemetry", "activist-tracking",
+      "activists/competitors track harvesting activity via RF telemetry",
+      Stride::kInformationDisclosure, SecurityProperty::kConfidentiality,
+      dmg(IL::kNegligible, IL::kModerate, IL::kModerate, IL::kModerate,
+          "operations interference, targeted protests/sabotage planning"),
+      AttackPotential{1, 3, 0, 0, 0}, "Threat Profile");
+  add("forwarder-firmware", "ransomware-fleet",
+      "fleet-wide ransomware via shared maintenance tooling",
+      Stride::kDenialOfService, SecurityProperty::kAvailability,
+      dmg(IL::kModerate, IL::kSevere, IL::kSevere, IL::kNegligible,
+          "season-critical operations halted for ransom"),
+      AttackPotential{10, 6, 3, 4, 0}, "Threat Profile");
+
+  // --- Confidentiality of Operations ---
+  add("operations-telemetry", "sensitive-site-disclosure",
+      "operation near protected/military terrain revealed by RF emissions",
+      Stride::kInformationDisclosure, SecurityProperty::kConfidentiality,
+      dmg(IL::kNegligible, IL::kMajor, IL::kModerate, IL::kSevere,
+          "contractual/security breach of confidential operation"),
+      AttackPotential{1, 3, 3, 1, 4}, "Confidentiality of Operations");
+  add("drone-detection-link", "drone-video-interception",
+      "interception of drone observation video",
+      Stride::kInformationDisclosure, SecurityProperty::kConfidentiality,
+      dmg(IL::kNegligible, IL::kModerate, IL::kModerate, IL::kMajor,
+          "imagery of confidential site leaked"),
+      AttackPotential{0, 3, 0, 0, 4}, "Confidentiality of Operations");
+
+  // --- Heavy Machinery ---
+  add("estop-function", "estop-suppression",
+      "jamming/dropping of e-stop commands to a moving forwarder",
+      Stride::kDenialOfService, SecurityProperty::kAvailability,
+      dmg(IL::kSevere, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "stop command does not reach the machine near a person"),
+      AttackPotential{1, 3, 0, 4, 4}, "Heavy Machinery");
+  add("gnss-navigation", "gnss-spoof-walkoff",
+      "slow GNSS spoofing walks the forwarder off its corridor",
+      Stride::kSpoofing, SecurityProperty::kIntegrity,
+      dmg(IL::kSevere, IL::kMajor, IL::kMajor, IL::kNegligible,
+          "machine leaves the cleared corridor towards workers"),
+      AttackPotential{4, 6, 3, 4, 7}, "Heavy Machinery");
+  add("gnss-navigation", "gnss-jamming",
+      "wideband GNSS jamming blinds localization",
+      Stride::kDenialOfService, SecurityProperty::kAvailability,
+      dmg(IL::kMajor, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "navigation falls back to dead reckoning; drift accumulates"),
+      AttackPotential{0, 3, 0, 1, 4}, "Heavy Machinery");
+  add("audit-log", "incident-log-tamper",
+      "post-incident tampering with machine event logs",
+      Stride::kRepudiation, SecurityProperty::kIntegrity,
+      dmg(IL::kModerate, IL::kMajor, IL::kModerate, IL::kModerate,
+          "liability and root-cause analysis defeated after an accident"),
+      AttackPotential{4, 3, 3, 4, 0}, "Heavy Machinery");
+
+  return threats;
+}
+
+Tara build_forestry_tara() {
+  ItemDefinition item = forestry_item();
+  std::vector<ThreatScenario> threats = forestry_threats(item);
+  Tara tara{std::move(item)};
+  for (auto& t : threats) tara.add_threat(std::move(t));
+  tara.assess(control_catalogue());
+  return tara;
+}
+
+}  // namespace agrarsec::risk

@@ -1,0 +1,32 @@
+// The forestry use-case catalogue: the AGRARSENSE-style item definition
+// (autonomous forwarder + observation drone + operator station) and the
+// threat scenarios derived from the eight forestry-domain characteristics
+// of the paper's Table I, enriched with the attack classes its §IV-C
+// survey transfers from the mining (AHS) and automotive literature.
+#pragma once
+
+#include <vector>
+
+#include "risk/tara.h"
+
+namespace agrarsec::risk {
+
+/// Table I of the paper, as data.
+struct ForestryCharacteristic {
+  std::string name;
+  std::string description;
+};
+[[nodiscard]] std::vector<ForestryCharacteristic> table1_characteristics();
+
+/// Builds the worksite item definition (assets with ids assigned).
+[[nodiscard]] ItemDefinition forestry_item();
+
+/// Builds the threat catalogue against `item` (asset names must match
+/// forestry_item()). Every threat is tagged with its Table I
+/// characteristic.
+[[nodiscard]] std::vector<ThreatScenario> forestry_threats(const ItemDefinition& item);
+
+/// Convenience: a fully-populated TARA for the forestry worksite.
+[[nodiscard]] Tara build_forestry_tara();
+
+}  // namespace agrarsec::risk

@@ -1,0 +1,142 @@
+#include "risk/coanalysis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agrarsec::risk {
+
+CoAnalysis::CoAnalysis(CoAnalysisConfig config) : config_(config) {}
+
+HazardId CoAnalysis::add_hazard(Hazard hazard) {
+  hazard.id = hazard_ids_.next();
+  hazards_.push_back(std::move(hazard));
+  return hazards_.back().id;
+}
+
+void CoAnalysis::link(ThreatHazardLink link) { links_.push_back(link); }
+
+std::vector<HazardVerdict> CoAnalysis::analyze(const Tara& tara) const {
+  std::vector<HazardVerdict> out;
+  out.reserve(hazards_.size());
+
+  for (const Hazard& h : hazards_) {
+    HazardVerdict v;
+    v.hazard = h;
+    v.required = safety::required_pl(h.severity, h.frequency, h.avoidance);
+    v.achieved = safety::achieved_pl(h.category, h.mttfd, h.dc);
+    v.safety_ok = v.achieved && safety::satisfies(*v.achieved, v.required);
+
+    const RiskValue ceiling = h.severity == safety::Severity::kS2
+                                  ? config_.ceiling_s2
+                                  : config_.ceiling_s1;
+
+    v.security_ok = true;
+    std::optional<safety::PerformanceLevel> worst_under_attack = v.achieved;
+    for (const ThreatHazardLink& link : links_) {
+      if (link.hazard != h.id) continue;
+      const auto it = std::find_if(
+          tara.results().begin(), tara.results().end(),
+          [&](const AssessedThreat& t) { return t.scenario.id == link.threat; });
+      if (it == tara.results().end()) continue;
+
+      if (it->residual_risk > ceiling) {
+        v.security_ok = false;
+        v.critical_threats.push_back(link.threat);
+      }
+
+      // PL the safety function would actually deliver while this attack
+      // is active.
+      const auto degraded =
+          safety::degraded_pl(h.category, h.mttfd, h.dc, link.compromise);
+      if (!degraded) {
+        worst_under_attack = std::nullopt;
+      } else if (worst_under_attack &&
+                 static_cast<int>(*degraded) < static_cast<int>(*worst_under_attack)) {
+        worst_under_attack = degraded;
+      }
+    }
+    v.under_attack = worst_under_attack;
+
+    // Combined verdict is a strict conjunction — "if it's not secure,
+    // it's not safe" (Bloomfield et al.): the fault-model argument AND the
+    // security argument must both close. under_attack stays available as
+    // diagnostic detail for the assurance case.
+    v.combined_ok = v.safety_ok && v.security_ok;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+ForestryCoAnalysis build_forestry_coanalysis(const Tara& tara) {
+  ForestryCoAnalysis out;
+
+  auto threat_id = [&](const std::string& name) {
+    for (const AssessedThreat& t : tara.results()) {
+      if (t.scenario.name == name) {
+        out.bound_threats.emplace_back(name, t.scenario.id);
+        return t.scenario.id;
+      }
+    }
+    throw std::logic_error("unknown threat name: " + name);
+  };
+
+  Hazard crush;
+  crush.name = "person-struck-by-forwarder";
+  crush.description = "moving autonomous forwarder strikes a worker";
+  crush.severity = safety::Severity::kS2;
+  crush.frequency = safety::Frequency::kF1;  // people seldom in the corridor
+  crush.avoidance = safety::Avoidance::kP2;  // machine is quiet-ish, fast
+  crush.category = safety::Category::k3;
+  crush.mttfd = safety::MttfdBand::kHigh;
+  crush.dc = safety::DcBand::kMedium;
+  const HazardId crush_id = out.analysis.add_hazard(std::move(crush));
+
+  Hazard runaway;
+  runaway.name = "unintended-machine-motion";
+  runaway.description = "machine moves against its commanded mission";
+  runaway.severity = safety::Severity::kS2;
+  runaway.frequency = safety::Frequency::kF1;
+  runaway.avoidance = safety::Avoidance::kP1;
+  runaway.category = safety::Category::k3;
+  runaway.mttfd = safety::MttfdBand::kHigh;
+  runaway.dc = safety::DcBand::kMedium;
+  const HazardId runaway_id = out.analysis.add_hazard(std::move(runaway));
+
+  Hazard corridor;
+  corridor.name = "corridor-departure";
+  corridor.description = "forwarder leaves the cleared extraction corridor";
+  corridor.severity = safety::Severity::kS2;
+  corridor.frequency = safety::Frequency::kF1;  // people rarely near corridors
+  corridor.avoidance = safety::Avoidance::kP1;  // slow departure is avoidable
+  corridor.category = safety::Category::k2;
+  corridor.mttfd = safety::MttfdBand::kHigh;
+  corridor.dc = safety::DcBand::kLow;
+  const HazardId corridor_id = out.analysis.add_hazard(std::move(corridor));
+
+  // Links: which attacks trigger or defeat what.
+  using LK = LinkKind;
+  auto lnk = [&](const std::string& threat, HazardId hazard, LK kind,
+                 bool defeats_diag, bool kills_channel) {
+    ThreatHazardLink l;
+    l.threat = threat_id(threat);
+    l.hazard = hazard;
+    l.kind = kind;
+    l.compromise.diagnostics_defeated = defeats_diag;
+    l.compromise.channel_disabled = kills_channel;
+    out.analysis.link(l);
+  };
+
+  lnk("estop-suppression", crush_id, LK::kDefeatsMitigation, false, true);
+  lnk("estop-replay", crush_id, LK::kDefeatsMitigation, true, false);
+  lnk("detection-suppression", crush_id, LK::kDefeatsMitigation, false, true);
+  lnk("camera-blinding", crush_id, LK::kDefeatsMitigation, false, true);
+  lnk("forged-mission", runaway_id, LK::kTriggers, false, false);
+  lnk("operator-station-hijack", runaway_id, LK::kTriggers, false, false);
+  lnk("malicious-update", runaway_id, LK::kTriggers, true, true);
+  lnk("gnss-spoof-walkoff", corridor_id, LK::kTriggers, true, false);
+  lnk("gnss-jamming", corridor_id, LK::kDefeatsMitigation, false, true);
+
+  return out;
+}
+
+}  // namespace agrarsec::risk

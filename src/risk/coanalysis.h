@@ -1,0 +1,102 @@
+// Safety–security co-analysis: the "interplay" methodology the paper
+// argues for (§III-B, §VI) and IEC TS 63074 requires — security threats
+// that can defeat a safety function must be treated as initiators of the
+// hazards that function controls ("if it's not secure, it's not safe",
+// Bloomfield et al., paper ref [38]).
+//
+// Model: hazards carry an ISO 13849 risk graph; threats link to hazards
+// they can trigger or whose mitigation they can defeat. The combined
+// verdict for a hazard is a strict conjunction: the safety side (achieved
+// PL >= PLr under the fault model) AND the security side (every linked
+// threat's residual risk below a severity-dependent ceiling) must both
+// close. The PL the function would deliver while under attack is reported
+// as diagnostic detail (`under_attack`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "risk/tara.h"
+#include "safety/iso13849.h"
+
+namespace agrarsec::risk {
+
+/// A machinery hazard (ISO 12100 terms) guarded by a safety function.
+struct Hazard {
+  HazardId id;
+  std::string name;
+  std::string description;
+  safety::Severity severity = safety::Severity::kS2;
+  safety::Frequency frequency = safety::Frequency::kF1;
+  safety::Avoidance avoidance = safety::Avoidance::kP2;
+  /// Safety function architecture implementing the mitigation.
+  safety::Category category = safety::Category::k3;
+  safety::MttfdBand mttfd = safety::MttfdBand::kHigh;
+  safety::DcBand dc = safety::DcBand::kMedium;
+};
+
+/// How a threat interacts with a hazard.
+enum class LinkKind : std::uint8_t {
+  kTriggers = 0,         ///< attack directly creates the hazardous event
+  kDefeatsMitigation = 1 ///< attack disables the safety function
+};
+
+struct ThreatHazardLink {
+  ThreatId threat;
+  HazardId hazard;
+  LinkKind kind = LinkKind::kDefeatsMitigation;
+  /// Which architectural assumption the attack breaks (for PL degradation).
+  safety::SecurityCompromise compromise;
+};
+
+/// Verdict for one hazard after the combined analysis.
+struct HazardVerdict {
+  Hazard hazard;
+  safety::PerformanceLevel required;
+  std::optional<safety::PerformanceLevel> achieved;        ///< fault-only view
+  std::optional<safety::PerformanceLevel> under_attack;    ///< worst linked compromise
+  bool safety_ok = false;        ///< achieved >= required (no attack)
+  bool security_ok = false;      ///< all linked threats' residual risk <= ceiling
+  bool combined_ok = false;      ///< both, and PL holds under attack
+  std::vector<ThreatId> critical_threats;  ///< links that break the verdict
+};
+
+struct CoAnalysisConfig {
+  /// Residual risk ceiling per hazard severity: S2 hazards tolerate
+  /// residual risk <= 2, S1 <= 3.
+  RiskValue ceiling_s2 = 2;
+  RiskValue ceiling_s1 = 3;
+};
+
+class CoAnalysis {
+ public:
+  explicit CoAnalysis(CoAnalysisConfig config = {});
+
+  HazardId add_hazard(Hazard hazard);
+  void link(ThreatHazardLink link);
+
+  /// Runs the combined analysis against an assessed TARA.
+  [[nodiscard]] std::vector<HazardVerdict> analyze(const Tara& tara) const;
+
+  [[nodiscard]] const std::vector<Hazard>& hazards() const { return hazards_; }
+  [[nodiscard]] const std::vector<ThreatHazardLink>& links() const { return links_; }
+
+ private:
+  CoAnalysisConfig config_;
+  std::vector<Hazard> hazards_;
+  std::vector<ThreatHazardLink> links_;
+  IdAllocator<HazardId> hazard_ids_;
+};
+
+/// Forestry worksite hazards + links into the forestry_threats()
+/// catalogue (matched by threat name).
+struct ForestryCoAnalysis {
+  CoAnalysis analysis;
+  /// threat-name -> id mapping used for the links (diagnostics).
+  std::vector<std::pair<std::string, ThreatId>> bound_threats;
+};
+[[nodiscard]] ForestryCoAnalysis build_forestry_coanalysis(const Tara& tara);
+
+}  // namespace agrarsec::risk

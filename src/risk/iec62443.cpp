@@ -1,0 +1,199 @@
+#include "risk/iec62443.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agrarsec::risk {
+
+std::string_view fr_name(Fr fr) {
+  switch (fr) {
+    case Fr::kIac: return "IAC";
+    case Fr::kUc: return "UC";
+    case Fr::kSi: return "SI";
+    case Fr::kDc: return "DC";
+    case Fr::kRdf: return "RDF";
+    case Fr::kTre: return "TRE";
+    case Fr::kRa: return "RA";
+  }
+  return "?";
+}
+
+std::string sl_vector_to_string(const SlVector& v) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < kFrCount; ++i) {
+    if (i > 0) out += ",";
+    out += std::string(fr_name(static_cast<Fr>(i))) + "=" + std::to_string(v[i]);
+  }
+  out += "}";
+  return out;
+}
+
+bool sl_meets(const SlVector& achieved, const SlVector& target) {
+  for (std::size_t i = 0; i < kFrCount; ++i) {
+    if (achieved[i] < target[i]) return false;
+  }
+  return true;
+}
+
+SlVector sl_max(const SlVector& a, const SlVector& b) {
+  SlVector out{};
+  for (std::size_t i = 0; i < kFrCount; ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+std::vector<Countermeasure> countermeasure_catalogue() {
+  //                       IAC UC SI DC RDF TRE RA
+  return {
+      {"secure-channel", "mutually-authenticated encrypted links",
+       SlVector{3, 0, 3, 3, 2, 0, 0}},
+      {"access-control", "role-bound certificates + e-stop authority",
+       SlVector{3, 3, 0, 0, 0, 0, 0}},
+      {"secure-boot", "verified/measured boot, anti-rollback",
+       SlVector{0, 0, 3, 0, 0, 0, 0}},
+      {"signed-firmware", "signed update manifests and images",
+       SlVector{0, 0, 3, 0, 0, 0, 0}},
+      {"ids", "on-machine IDS with local response",
+       SlVector{0, 0, 1, 0, 0, 3, 1}},
+      {"gnss-plausibility", "sensor plausibility gates",
+       SlVector{0, 0, 2, 0, 0, 1, 0}},
+      {"frequency-hopping", "channel agility against jamming",
+       SlVector{0, 0, 0, 0, 0, 0, 2}},
+      {"network-segmentation", "zone separation of safety vs. data traffic",
+       SlVector{0, 0, 0, 1, 3, 0, 1}},
+      {"audit-log", "signed append-only event log",
+       SlVector{0, 1, 1, 0, 0, 2, 0}},
+      {"backup-recovery", "off-site encrypted backup + tested restore",
+       SlVector{0, 0, 0, 1, 0, 0, 3}},
+  };
+}
+
+ZoneId ZoneModel::add_zone(Zone zone) {
+  zone.id = zone_ids_.next();
+  zones_.push_back(std::move(zone));
+  return zones_.back().id;
+}
+
+ConduitId ZoneModel::add_conduit(Conduit conduit) {
+  conduit.id = conduit_ids_.next();
+  conduits_.push_back(std::move(conduit));
+  return conduits_.back().id;
+}
+
+SlVector ZoneModel::achieved_from(const std::vector<std::string>& installed,
+                                  const std::vector<Countermeasure>& catalogue) const {
+  SlVector out{};
+  for (const std::string& id : installed) {
+    const auto it = std::find_if(catalogue.begin(), catalogue.end(),
+                                 [&](const Countermeasure& c) { return c.id == id; });
+    if (it == catalogue.end()) {
+      throw std::invalid_argument("unknown countermeasure: " + id);
+    }
+    out = sl_max(out, it->provides);
+  }
+  return out;
+}
+
+SlVector ZoneModel::achieved(const Zone& zone,
+                             const std::vector<Countermeasure>& catalogue) const {
+  return achieved_from(zone.countermeasures, catalogue);
+}
+
+SlVector ZoneModel::achieved(const Conduit& conduit,
+                             const std::vector<Countermeasure>& catalogue) const {
+  return achieved_from(conduit.countermeasures, catalogue);
+}
+
+std::vector<ZoneModel::Gap> ZoneModel::gaps(
+    const std::vector<Countermeasure>& catalogue) const {
+  std::vector<Gap> out;
+  auto collect = [&](const std::string& subject, const SlVector& target,
+                     const SlVector& achieved) {
+    for (std::size_t i = 0; i < kFrCount; ++i) {
+      if (achieved[i] < target[i]) {
+        out.push_back(Gap{subject, static_cast<Fr>(i), target[i], achieved[i]});
+      }
+    }
+  };
+  for (const Zone& z : zones_) collect("zone:" + z.name, z.target, achieved(z, catalogue));
+  for (const Conduit& c : conduits_) {
+    collect("conduit:" + c.name, c.target, achieved(c, catalogue));
+  }
+  return out;
+}
+
+ZoneModel forestry_zone_model(const ItemDefinition& item) {
+  ZoneModel model;
+
+  auto ids = [&](std::initializer_list<const char*> names) {
+    std::vector<AssetId> out;
+    for (const char* n : names) {
+      const Asset* a = item.find(std::string(n));
+      if (a == nullptr) throw std::logic_error(std::string("unknown asset: ") + n);
+      out.push_back(a->id);
+    }
+    return out;
+  };
+
+  Zone safety;
+  safety.name = "safety";
+  safety.assets = ids({"estop-function", "people-detection-chain",
+                       "drone-detection-link"});
+  safety.target = SlVector{3, 3, 3, 1, 2, 3, 3};
+  safety.countermeasures = {"secure-channel", "access-control", "ids",
+                            "gnss-plausibility", "frequency-hopping"};
+  const ZoneId safety_id = model.add_zone(std::move(safety));
+
+  Zone control;
+  control.name = "control";
+  control.assets = ids({"mission-control", "gnss-navigation", "m2m-radio-link"});
+  control.target = SlVector{3, 3, 3, 2, 2, 2, 2};
+  control.countermeasures = {"secure-channel", "access-control", "ids",
+                             "gnss-plausibility"};
+  const ZoneId control_id = model.add_zone(std::move(control));
+
+  Zone platform;
+  platform.name = "platform";
+  platform.assets = ids({"forwarder-firmware", "drone-firmware", "pki-credentials"});
+  platform.target = SlVector{2, 2, 3, 2, 1, 2, 1};
+  platform.countermeasures = {"secure-boot", "signed-firmware", "access-control",
+                              "audit-log", "secure-channel"};
+  const ZoneId platform_id = model.add_zone(std::move(platform));
+
+  Zone data;
+  data.name = "data";
+  data.assets = ids({"site-data-store", "operations-telemetry", "audit-log"});
+  data.target = SlVector{2, 2, 2, 3, 2, 1, 2};
+  data.countermeasures = {"secure-channel", "network-segmentation", "audit-log",
+                          "backup-recovery"};
+  const ZoneId data_id = model.add_zone(std::move(data));
+
+  Conduit safety_radio;
+  safety_radio.name = "safety-radio";
+  safety_radio.from = safety_id;
+  safety_radio.to = control_id;
+  safety_radio.target = SlVector{3, 2, 3, 1, 2, 2, 3};
+  safety_radio.countermeasures = {"secure-channel", "frequency-hopping", "ids",
+                                  "access-control"};
+  model.add_conduit(std::move(safety_radio));
+
+  Conduit ops_radio;
+  ops_radio.name = "operations-radio";
+  ops_radio.from = control_id;
+  ops_radio.to = data_id;
+  ops_radio.target = SlVector{2, 2, 2, 3, 2, 1, 1};
+  ops_radio.countermeasures = {"secure-channel", "network-segmentation",
+                               "access-control"};
+  model.add_conduit(std::move(ops_radio));
+
+  Conduit update_path;
+  update_path.name = "update-path";
+  update_path.from = data_id;
+  update_path.to = platform_id;
+  update_path.target = SlVector{3, 2, 3, 1, 1, 1, 1};
+  update_path.countermeasures = {"secure-channel", "signed-firmware", "access-control"};
+  model.add_conduit(std::move(update_path));
+
+  return model;
+}
+
+}  // namespace agrarsec::risk

@@ -1,0 +1,117 @@
+// IEC 62443 zones, conduits and security levels, applied to the worksite
+// (paper §IV-D: IEC 62443 + IEC TS 63074 are the machinery-side
+// cybersecurity baseline). A zone groups assets of similar criticality;
+// conduits carry the inter-zone traffic; each gets a target security
+// level vector over the seven foundational requirements, and countermeasures
+// yield an achieved vector; the gap drives the hardening backlog.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "risk/asset.h"
+
+namespace agrarsec::risk {
+
+/// The seven foundational requirements (FR) of IEC 62443-3-3.
+enum class Fr : std::uint8_t {
+  kIac = 0,  ///< identification & authentication control
+  kUc = 1,   ///< use control
+  kSi = 2,   ///< system integrity
+  kDc = 3,   ///< data confidentiality
+  kRdf = 4,  ///< restricted data flow
+  kTre = 5,  ///< timely response to events
+  kRa = 6,   ///< resource availability
+};
+inline constexpr std::size_t kFrCount = 7;
+
+[[nodiscard]] std::string_view fr_name(Fr fr);
+
+/// Security level 0..4 per FR.
+using SlVector = std::array<int, kFrCount>;
+
+[[nodiscard]] std::string sl_vector_to_string(const SlVector& v);
+
+/// Componentwise comparison: achieved meets target iff >= in every FR.
+[[nodiscard]] bool sl_meets(const SlVector& achieved, const SlVector& target);
+
+/// Componentwise max.
+[[nodiscard]] SlVector sl_max(const SlVector& a, const SlVector& b);
+
+/// FR levels contributed by one implemented countermeasure.
+struct Countermeasure {
+  std::string id;           ///< matches risk::Control ids where applicable
+  std::string description;
+  SlVector provides{};      ///< level provided per FR (0 = no contribution)
+};
+
+/// The countermeasure catalogue for the stack in this repository.
+[[nodiscard]] std::vector<Countermeasure> countermeasure_catalogue();
+
+struct Zone {
+  ZoneId id;
+  std::string name;
+  std::vector<AssetId> assets;
+  SlVector target{};                       ///< SL-T
+  std::vector<std::string> countermeasures;  ///< installed, by id
+};
+
+struct Conduit {
+  ConduitId id;
+  std::string name;
+  ZoneId from;
+  ZoneId to;
+  SlVector target{};
+  std::vector<std::string> countermeasures;
+};
+
+/// Zone-and-conduit model with SL gap analysis.
+class ZoneModel {
+ public:
+  ZoneId add_zone(Zone zone);
+  ConduitId add_conduit(Conduit conduit);
+
+  [[nodiscard]] const std::vector<Zone>& zones() const { return zones_; }
+  [[nodiscard]] const std::vector<Conduit>& conduits() const { return conduits_; }
+
+  /// Achieved SL of a zone/conduit from its installed countermeasures.
+  [[nodiscard]] SlVector achieved(const Zone& zone,
+                                  const std::vector<Countermeasure>& catalogue) const;
+  [[nodiscard]] SlVector achieved(const Conduit& conduit,
+                                  const std::vector<Countermeasure>& catalogue) const;
+
+  struct Gap {
+    std::string subject;  ///< zone/conduit name
+    Fr fr;
+    int target = 0;
+    int achieved = 0;
+  };
+  /// All FRs where achieved < target.
+  [[nodiscard]] std::vector<Gap> gaps(
+      const std::vector<Countermeasure>& catalogue) const;
+
+  [[nodiscard]] bool compliant(const std::vector<Countermeasure>& catalogue) const {
+    return gaps(catalogue).empty();
+  }
+
+ private:
+  [[nodiscard]] SlVector achieved_from(
+      const std::vector<std::string>& installed,
+      const std::vector<Countermeasure>& catalogue) const;
+
+  std::vector<Zone> zones_;
+  std::vector<Conduit> conduits_;
+  IdAllocator<ZoneId> zone_ids_;
+  IdAllocator<ConduitId> conduit_ids_;
+};
+
+/// Builds the worksite zone/conduit model over forestry_item() assets:
+/// safety zone (e-stop, detection), control zone, platform zone, data
+/// zone, plus radio conduits between them. Targets follow the criticality
+/// ordering safety > control > platform > data.
+[[nodiscard]] ZoneModel forestry_zone_model(const ItemDefinition& item);
+
+}  // namespace agrarsec::risk

@@ -1,0 +1,307 @@
+#include "risk/tara.h"
+
+#include <algorithm>
+
+namespace agrarsec::risk {
+
+std::string_view security_property_name(SecurityProperty p) {
+  switch (p) {
+    case SecurityProperty::kConfidentiality: return "confidentiality";
+    case SecurityProperty::kIntegrity: return "integrity";
+    case SecurityProperty::kAvailability: return "availability";
+    case SecurityProperty::kAuthenticity: return "authenticity";
+  }
+  return "?";
+}
+
+std::string_view asset_category_name(AssetCategory c) {
+  switch (c) {
+    case AssetCategory::kCommunication: return "communication";
+    case AssetCategory::kSensing: return "sensing";
+    case AssetCategory::kControl: return "control";
+    case AssetCategory::kData: return "data";
+    case AssetCategory::kPlatform: return "platform";
+  }
+  return "?";
+}
+
+const Asset* ItemDefinition::find(AssetId id) const {
+  for (const Asset& a : assets) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+const Asset* ItemDefinition::find(const std::string& name) const {
+  for (const Asset& a : assets) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::string_view stride_name(Stride s) {
+  switch (s) {
+    case Stride::kSpoofing: return "spoofing";
+    case Stride::kTampering: return "tampering";
+    case Stride::kRepudiation: return "repudiation";
+    case Stride::kInformationDisclosure: return "information-disclosure";
+    case Stride::kDenialOfService: return "denial-of-service";
+    case Stride::kElevationOfPrivilege: return "elevation-of-privilege";
+  }
+  return "?";
+}
+
+std::string_view impact_level_name(ImpactLevel level) {
+  switch (level) {
+    case ImpactLevel::kNegligible: return "negligible";
+    case ImpactLevel::kModerate: return "moderate";
+    case ImpactLevel::kMajor: return "major";
+    case ImpactLevel::kSevere: return "severe";
+  }
+  return "?";
+}
+
+ImpactLevel DamageScenario::max_level() const {
+  return std::max({safety, financial, operational, privacy});
+}
+
+std::string_view feasibility_name(Feasibility f) {
+  switch (f) {
+    case Feasibility::kVeryLow: return "very-low";
+    case Feasibility::kLow: return "low";
+    case Feasibility::kMedium: return "medium";
+    case Feasibility::kHigh: return "high";
+  }
+  return "?";
+}
+
+Feasibility feasibility_from_potential(const AttackPotential& potential) {
+  // ISO 21434 Annex G (attack potential -> feasibility).
+  const int v = potential.total();
+  if (v < 14) return Feasibility::kHigh;
+  if (v < 20) return Feasibility::kMedium;
+  if (v < 25) return Feasibility::kLow;
+  return Feasibility::kVeryLow;
+}
+
+RiskValue risk_value(ImpactLevel impact, Feasibility feasibility) {
+  // 21434 Annex H example risk matrix (values 1..5).
+  static constexpr int kMatrix[4][4] = {
+      // feasibility: very-low, low, medium, high     impact:
+      {1, 1, 1, 1},   // negligible
+      {1, 2, 2, 3},   // moderate
+      {1, 2, 3, 4},   // major
+      {2, 3, 4, 5},   // severe
+  };
+  return kMatrix[static_cast<int>(impact)][static_cast<int>(feasibility)];
+}
+
+std::string_view attack_vector_name(AttackVector v) {
+  switch (v) {
+    case AttackVector::kPhysical: return "physical";
+    case AttackVector::kLocal: return "local";
+    case AttackVector::kAdjacent: return "adjacent";
+    case AttackVector::kNetwork: return "network";
+  }
+  return "?";
+}
+
+std::string_view cal_name(Cal cal) {
+  switch (cal) {
+    case Cal::kCal1: return "CAL1";
+    case Cal::kCal2: return "CAL2";
+    case Cal::kCal3: return "CAL3";
+    case Cal::kCal4: return "CAL4";
+  }
+  return "?";
+}
+
+Cal determine_cal(ImpactLevel impact, AttackVector vector) {
+  // 21434 Annex E style mapping: impact drives the base level, remote
+  // attack vectors push one level up.
+  int level;
+  switch (impact) {
+    case ImpactLevel::kNegligible: level = 0; break;
+    case ImpactLevel::kModerate: level = 1; break;
+    case ImpactLevel::kMajor: level = 2; break;
+    case ImpactLevel::kSevere: level = 3; break;
+    default: level = 0; break;
+  }
+  if (vector == AttackVector::kPhysical || vector == AttackVector::kLocal) {
+    level = std::max(0, level - 1);
+  }
+  return static_cast<Cal>(level);
+}
+
+std::string_view treatment_name(Treatment t) {
+  switch (t) {
+    case Treatment::kAvoid: return "avoid";
+    case Treatment::kReduce: return "reduce";
+    case Treatment::kShare: return "share";
+    case Treatment::kRetain: return "retain";
+  }
+  return "?";
+}
+
+std::vector<Control> control_catalogue() {
+  // Deltas follow the attack-potential scale: a control is modelled by how
+  // much harder it makes the attack, not by a binary on/off.
+  return {
+      {"secure-channel",
+       "mutually-authenticated AEAD link (X25519/Ed25519/ChaCha20-Poly1305)",
+       AttackPotential{.elapsed_time = 10, .expertise = 6, .knowledge = 3,
+                       .window_of_opportunity = 0, .equipment = 4},
+       {Stride::kSpoofing, Stride::kTampering, Stride::kInformationDisclosure}},
+      {"secure-boot",
+       "verified + measured boot with anti-rollback",
+       AttackPotential{.elapsed_time = 10, .expertise = 6, .knowledge = 7,
+                       .window_of_opportunity = 4, .equipment = 4},
+       {Stride::kTampering, Stride::kElevationOfPrivilege}},
+      {"ids",
+       "on-machine intrusion detection (signatures + anomaly)",
+       AttackPotential{.elapsed_time = 1, .expertise = 3, .knowledge = 3,
+                       .window_of_opportunity = 4, .equipment = 0},
+       {Stride::kSpoofing, Stride::kDenialOfService, Stride::kRepudiation}},
+      {"gnss-plausibility",
+       "GNSS/odometry cross-check gate",
+       AttackPotential{.elapsed_time = 4, .expertise = 3, .knowledge = 0,
+                       .window_of_opportunity = 1, .equipment = 4},
+       {Stride::kSpoofing}},
+      {"frequency-hopping",
+       "channel agility against narrowband jamming",
+       AttackPotential{.elapsed_time = 1, .expertise = 3, .knowledge = 0,
+                       .window_of_opportunity = 0, .equipment = 4},
+       {Stride::kDenialOfService}},
+      {"signed-firmware",
+       "Ed25519-signed update manifests + images",
+       AttackPotential{.elapsed_time = 10, .expertise = 6, .knowledge = 3,
+                       .window_of_opportunity = 4, .equipment = 0},
+       {Stride::kTampering, Stride::kElevationOfPrivilege}},
+      {"access-control",
+       "role-bound certificates; e-stop authority enforcement",
+       AttackPotential{.elapsed_time = 4, .expertise = 3, .knowledge = 3,
+                       .window_of_opportunity = 1, .equipment = 0},
+       {Stride::kSpoofing, Stride::kElevationOfPrivilege}},
+      {"audit-log",
+       "append-only signed event log",
+       AttackPotential{.elapsed_time = 1, .expertise = 0, .knowledge = 0,
+                       .window_of_opportunity = 1, .equipment = 0},
+       {Stride::kRepudiation}},
+  };
+}
+
+Tara::Tara(ItemDefinition item, TaraConfig config)
+    : item_(std::move(item)), config_(config) {}
+
+void Tara::add_threat(ThreatScenario scenario) {
+  threats_.push_back(std::move(scenario));
+}
+
+AttackVector Tara::vector_for(const ThreatScenario& scenario) const {
+  const Asset* asset = item_.find(scenario.asset);
+  if (asset == nullptr) return AttackVector::kAdjacent;
+  switch (asset->category) {
+    case AssetCategory::kCommunication: return AttackVector::kAdjacent;
+    case AssetCategory::kSensing: return AttackVector::kAdjacent;
+    case AssetCategory::kControl: return AttackVector::kAdjacent;
+    case AssetCategory::kData: return AttackVector::kNetwork;  // exfil path
+    case AssetCategory::kPlatform: return AttackVector::kLocal;
+  }
+  return AttackVector::kAdjacent;
+}
+
+void Tara::assess(const std::vector<Control>& controls) {
+  results_.clear();
+  results_.reserve(threats_.size());
+
+  for (const ThreatScenario& scenario : threats_) {
+    AssessedThreat a;
+    a.scenario = scenario;
+    a.vector = vector_for(scenario);
+    a.impact = scenario.damage.max_level();
+    a.initial_feasibility = feasibility_from_potential(scenario.potential);
+    a.initial_risk = risk_value(a.impact, a.initial_feasibility);
+    a.cal = determine_cal(a.impact, a.vector);
+
+    // Treatment decision.
+    if (a.initial_risk >= config_.avoid_threshold &&
+        scenario.damage.safety == ImpactLevel::kSevere) {
+      a.treatment = Treatment::kAvoid;
+    } else if (a.initial_risk >= config_.reduce_threshold) {
+      a.treatment = Treatment::kReduce;
+    } else if (a.impact == ImpactLevel::kNegligible) {
+      a.treatment = Treatment::kRetain;
+    } else {
+      a.treatment = Treatment::kRetain;
+    }
+
+    // Apply every applicable control when reducing (or avoiding — the
+    // redesign still carries the controls).
+    AttackPotential effective = scenario.potential;
+    if (a.treatment == Treatment::kReduce || a.treatment == Treatment::kAvoid) {
+      for (const Control& c : controls) {
+        if (std::find(c.mitigates.begin(), c.mitigates.end(), scenario.stride) ==
+            c.mitigates.end()) {
+          continue;
+        }
+        effective.elapsed_time += c.delta.elapsed_time;
+        effective.expertise = std::max(effective.expertise, c.delta.expertise);
+        effective.knowledge = std::max(effective.knowledge, c.delta.knowledge);
+        effective.window_of_opportunity += c.delta.window_of_opportunity;
+        effective.equipment = std::max(effective.equipment, c.delta.equipment);
+        a.applied_controls.push_back(c.id);
+      }
+    }
+    a.residual_feasibility = feasibility_from_potential(effective);
+    a.residual_risk = risk_value(a.impact, a.residual_feasibility);
+    results_.push_back(std::move(a));
+  }
+}
+
+RiskValue Tara::max_initial_risk() const {
+  RiskValue v = 0;
+  for (const auto& r : results_) v = std::max(v, r.initial_risk);
+  return v;
+}
+
+RiskValue Tara::max_residual_risk() const {
+  RiskValue v = 0;
+  for (const auto& r : results_) v = std::max(v, r.residual_risk);
+  return v;
+}
+
+Cal Tara::max_cal() const {
+  Cal c = Cal::kCal1;
+  for (const auto& r : results_) c = std::max(c, r.cal);
+  return c;
+}
+
+std::size_t Tara::count_at_or_above(RiskValue risk, bool residual) const {
+  return static_cast<std::size_t>(std::count_if(
+      results_.begin(), results_.end(), [&](const AssessedThreat& r) {
+        return (residual ? r.residual_risk : r.initial_risk) >= risk;
+      }));
+}
+
+std::vector<Tara::CharacteristicSummary> Tara::by_characteristic() const {
+  std::vector<CharacteristicSummary> out;
+  auto find = [&](const std::string& c) -> CharacteristicSummary& {
+    for (auto& s : out) {
+      if (s.characteristic == c) return s;
+    }
+    out.push_back(CharacteristicSummary{c, 0, 0, 0, Cal::kCal1});
+    return out.back();
+  };
+  for (const auto& r : results_) {
+    const std::string key =
+        r.scenario.characteristic.empty() ? "(generic)" : r.scenario.characteristic;
+    CharacteristicSummary& s = find(key);
+    ++s.threats;
+    s.max_initial_risk = std::max(s.max_initial_risk, r.initial_risk);
+    s.max_residual_risk = std::max(s.max_residual_risk, r.residual_risk);
+    s.max_cal = std::max(s.max_cal, r.cal);
+  }
+  return out;
+}
+
+}  // namespace agrarsec::risk

@@ -1,0 +1,122 @@
+// The TARA engine (ISO/SAE 21434 clause 15): risk determination from
+// impact x feasibility, CAL assignment, risk treatment with control
+// catalogues, and residual-risk recomputation. This is the executable
+// core of the "forestry-adapted risk assessment methodology" the paper
+// announces as future work (§VI).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "risk/asset.h"
+#include "risk/threat.h"
+
+namespace agrarsec::risk {
+
+/// Risk value 1 (lowest) .. 5 (highest) per the 21434 example matrix.
+using RiskValue = int;
+
+/// Determines risk from an impact level and a feasibility rating.
+[[nodiscard]] RiskValue risk_value(ImpactLevel impact, Feasibility feasibility);
+
+/// Cybersecurity Assurance Level (CAL1..CAL4) from impact and attack
+/// vector proximity (remote attacks on severe impacts demand CAL4).
+enum class AttackVector : std::uint8_t {
+  kPhysical = 0,
+  kLocal = 1,
+  kAdjacent = 2,   ///< short-range radio — the forestry default
+  kNetwork = 3,    ///< routable / long range
+};
+[[nodiscard]] std::string_view attack_vector_name(AttackVector v);
+
+enum class Cal : std::uint8_t { kCal1 = 0, kCal2 = 1, kCal3 = 2, kCal4 = 3 };
+[[nodiscard]] std::string_view cal_name(Cal cal);
+[[nodiscard]] Cal determine_cal(ImpactLevel impact, AttackVector vector);
+
+/// Risk treatment decision (21434 clause 15.8).
+enum class Treatment : std::uint8_t { kAvoid = 0, kReduce = 1, kShare = 2, kRetain = 3 };
+[[nodiscard]] std::string_view treatment_name(Treatment t);
+
+/// A cybersecurity control and its effect on attack potential. Controls
+/// raise specific potential factors (e.g. authenticated links force the
+/// attacker to break crypto: expertise and time rise).
+struct Control {
+  std::string id;           ///< e.g. "secure-channel"
+  std::string description;
+  AttackPotential delta;    ///< added to the scenario's attack potential
+  /// STRIDE classes this control is effective against.
+  std::vector<Stride> mitigates;
+};
+
+/// Built-in control catalogue matching the stack implemented in this
+/// repository (secure channel, secure boot, IDS, plausibility monitors...).
+[[nodiscard]] std::vector<Control> control_catalogue();
+
+/// One assessed threat: ratings before and after selected controls.
+struct AssessedThreat {
+  ThreatScenario scenario;
+  AttackVector vector = AttackVector::kAdjacent;
+  ImpactLevel impact = ImpactLevel::kNegligible;
+  Feasibility initial_feasibility = Feasibility::kMedium;
+  RiskValue initial_risk = 1;
+  Cal cal = Cal::kCal1;
+  Treatment treatment = Treatment::kRetain;
+  std::vector<std::string> applied_controls;
+  Feasibility residual_feasibility = Feasibility::kMedium;
+  RiskValue residual_risk = 1;
+};
+
+struct TaraConfig {
+  /// Risks at or above this value get treatment kReduce and all
+  /// applicable catalogue controls applied.
+  RiskValue reduce_threshold = 3;
+  /// Risks at or above this with severe safety impact are "avoid"
+  /// (redesign) candidates; they still receive controls.
+  RiskValue avoid_threshold = 5;
+};
+
+/// Full TARA over an item + threat list.
+class Tara {
+ public:
+  Tara(ItemDefinition item, TaraConfig config = {});
+
+  /// Adds a threat scenario (taking the attack vector from the asset
+  /// category: communication/sensing => adjacent, platform => local...).
+  void add_threat(ThreatScenario scenario);
+
+  /// Runs assessment + treatment with the given control catalogue.
+  void assess(const std::vector<Control>& controls);
+
+  [[nodiscard]] const ItemDefinition& item() const { return item_; }
+  [[nodiscard]] const std::vector<AssessedThreat>& results() const { return results_; }
+
+  /// Aggregations for reporting.
+  [[nodiscard]] RiskValue max_initial_risk() const;
+  [[nodiscard]] RiskValue max_residual_risk() const;
+  [[nodiscard]] Cal max_cal() const;
+  [[nodiscard]] std::size_t count_at_or_above(RiskValue risk, bool residual) const;
+
+  /// Per-characteristic (Table I) rollup: threats, max initial risk, max
+  /// residual risk, highest CAL.
+  struct CharacteristicSummary {
+    std::string characteristic;
+    std::size_t threats = 0;
+    RiskValue max_initial_risk = 0;
+    RiskValue max_residual_risk = 0;
+    Cal max_cal = Cal::kCal1;
+  };
+  [[nodiscard]] std::vector<CharacteristicSummary> by_characteristic() const;
+
+ private:
+  [[nodiscard]] AttackVector vector_for(const ThreatScenario& scenario) const;
+
+  ItemDefinition item_;
+  TaraConfig config_;
+  std::vector<ThreatScenario> threats_;
+  std::vector<AssessedThreat> results_;
+};
+
+}  // namespace agrarsec::risk

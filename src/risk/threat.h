@@ -1,0 +1,90 @@
+// Threat scenarios, damage scenarios and attack-feasibility rating per
+// ISO/SAE 21434 (clauses 8.3-8.9, attack-potential approach of Annex G).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "risk/asset.h"
+
+namespace agrarsec::risk {
+
+/// STRIDE classification of the threat action.
+enum class Stride : std::uint8_t {
+  kSpoofing = 0,
+  kTampering = 1,
+  kRepudiation = 2,
+  kInformationDisclosure = 3,
+  kDenialOfService = 4,
+  kElevationOfPrivilege = 5,
+};
+
+[[nodiscard]] std::string_view stride_name(Stride s);
+
+/// ISO 21434 impact categories and rating levels.
+enum class ImpactCategory : std::uint8_t {
+  kSafety = 0,
+  kFinancial = 1,
+  kOperational = 2,
+  kPrivacy = 3,
+};
+
+enum class ImpactLevel : std::uint8_t {
+  kNegligible = 0,
+  kModerate = 1,
+  kMajor = 2,
+  kSevere = 3,
+};
+
+[[nodiscard]] std::string_view impact_level_name(ImpactLevel level);
+
+/// One damage scenario: what happens when the threat succeeds.
+struct DamageScenario {
+  std::string description;
+  ImpactLevel safety = ImpactLevel::kNegligible;
+  ImpactLevel financial = ImpactLevel::kNegligible;
+  ImpactLevel operational = ImpactLevel::kNegligible;
+  ImpactLevel privacy = ImpactLevel::kNegligible;
+
+  [[nodiscard]] ImpactLevel max_level() const;
+};
+
+/// Attack-potential factors (ISO 21434 Annex G / ISO 18045 scale).
+struct AttackPotential {
+  int elapsed_time = 0;        ///< 0(<=1d) 1(<=1w) 4(<=1m) 10(<=6m) 19(>6m)
+  int expertise = 0;           ///< 0 layman, 3 proficient, 6 expert, 8 multiple experts
+  int knowledge = 0;           ///< 0 public, 3 restricted, 7 confidential, 11 strictly conf.
+  int window_of_opportunity = 0;  ///< 0 unlimited, 1 easy, 4 moderate, 10 difficult
+  int equipment = 0;           ///< 0 standard, 4 specialized, 7 bespoke, 9 multiple bespoke
+
+  [[nodiscard]] int total() const {
+    return elapsed_time + expertise + knowledge + window_of_opportunity + equipment;
+  }
+};
+
+/// Feasibility rating derived from attack potential.
+enum class Feasibility : std::uint8_t { kVeryLow = 0, kLow = 1, kMedium = 2, kHigh = 3 };
+
+[[nodiscard]] std::string_view feasibility_name(Feasibility f);
+
+/// ISO 21434 mapping: higher attack potential => lower feasibility.
+[[nodiscard]] Feasibility feasibility_from_potential(const AttackPotential& potential);
+
+/// A threat scenario against one asset.
+struct ThreatScenario {
+  ThreatId id;
+  AssetId asset;
+  std::string name;
+  std::string description;
+  Stride stride = Stride::kSpoofing;
+  SecurityProperty violated = SecurityProperty::kIntegrity;
+  DamageScenario damage;
+  AttackPotential potential;
+  /// Forestry characteristic (Table I row) this threat instantiates;
+  /// empty when generic.
+  std::string characteristic;
+};
+
+}  // namespace agrarsec::risk

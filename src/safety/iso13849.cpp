@@ -1,0 +1,141 @@
+#include "safety/iso13849.h"
+
+namespace agrarsec::safety {
+
+std::string_view performance_level_name(PerformanceLevel pl) {
+  switch (pl) {
+    case PerformanceLevel::kA: return "PL a";
+    case PerformanceLevel::kB: return "PL b";
+    case PerformanceLevel::kC: return "PL c";
+    case PerformanceLevel::kD: return "PL d";
+    case PerformanceLevel::kE: return "PL e";
+  }
+  return "?";
+}
+
+std::optional<MttfdBand> classify_mttfd(double years) {
+  if (years < 3.0) return std::nullopt;      // not acceptable per the standard
+  if (years < 10.0) return MttfdBand::kLow;
+  if (years < 30.0) return MttfdBand::kMedium;
+  return MttfdBand::kHigh;                   // capped at 100 a in the standard
+}
+
+DcBand classify_dc(double coverage) {
+  if (coverage < 0.60) return DcBand::kNone;
+  if (coverage < 0.90) return DcBand::kLow;
+  if (coverage < 0.99) return DcBand::kMedium;
+  return DcBand::kHigh;
+}
+
+PerformanceLevel required_pl(Severity s, Frequency f, Avoidance p) {
+  // ISO 13849-1 risk graph (Annex A).
+  if (s == Severity::kS1) {
+    if (f == Frequency::kF1) {
+      return p == Avoidance::kP1 ? PerformanceLevel::kA : PerformanceLevel::kB;
+    }
+    return p == Avoidance::kP1 ? PerformanceLevel::kB : PerformanceLevel::kC;
+  }
+  if (f == Frequency::kF1) {
+    return p == Avoidance::kP1 ? PerformanceLevel::kC : PerformanceLevel::kD;
+  }
+  return p == Avoidance::kP1 ? PerformanceLevel::kD : PerformanceLevel::kE;
+}
+
+std::optional<PerformanceLevel> achieved_pl(Category category, MttfdBand mttfd,
+                                            DcBand dc) {
+  using PL = PerformanceLevel;
+  switch (category) {
+    case Category::kB:
+      if (dc != DcBand::kNone) return std::nullopt;
+      switch (mttfd) {
+        case MttfdBand::kLow: return PL::kA;
+        case MttfdBand::kMedium: return PL::kB;
+        case MttfdBand::kHigh: return PL::kB;
+      }
+      break;
+    case Category::k1:
+      if (dc != DcBand::kNone) return std::nullopt;
+      // Category 1 requires well-tried components: only high MTTFd defined.
+      if (mttfd != MttfdBand::kHigh) return std::nullopt;
+      return PL::kC;
+    case Category::k2:
+      switch (dc) {
+        case DcBand::kNone: return std::nullopt;  // Cat 2 needs testing
+        case DcBand::kLow:
+          switch (mttfd) {
+            case MttfdBand::kLow: return PL::kA;
+            case MttfdBand::kMedium: return PL::kB;
+            case MttfdBand::kHigh: return PL::kC;
+          }
+          break;
+        case DcBand::kMedium:
+        case DcBand::kHigh:
+          switch (mttfd) {
+            case MttfdBand::kLow: return PL::kB;
+            case MttfdBand::kMedium: return PL::kC;
+            case MttfdBand::kHigh: return PL::kC;
+          }
+          break;
+      }
+      break;
+    case Category::k3:
+      switch (dc) {
+        case DcBand::kNone: return std::nullopt;
+        case DcBand::kLow:
+          switch (mttfd) {
+            case MttfdBand::kLow: return PL::kB;
+            case MttfdBand::kMedium: return PL::kC;
+            case MttfdBand::kHigh: return PL::kD;
+          }
+          break;
+        case DcBand::kMedium:
+        case DcBand::kHigh:
+          switch (mttfd) {
+            case MttfdBand::kLow: return PL::kC;
+            case MttfdBand::kMedium: return PL::kD;
+            case MttfdBand::kHigh: return PL::kD;
+          }
+          break;
+      }
+      break;
+    case Category::k4:
+      if (dc != DcBand::kHigh) return std::nullopt;
+      if (mttfd != MttfdBand::kHigh) return std::nullopt;
+      return PL::kE;
+  }
+  return std::nullopt;
+}
+
+bool satisfies(PerformanceLevel achieved, PerformanceLevel required) {
+  return static_cast<int>(achieved) >= static_cast<int>(required);
+}
+
+std::optional<PerformanceLevel> degraded_pl(Category category, MttfdBand mttfd,
+                                            DcBand dc,
+                                            SecurityCompromise compromise) {
+  Category effective_category = category;
+  DcBand effective_dc = dc;
+
+  if (compromise.diagnostics_defeated) {
+    effective_dc = DcBand::kNone;
+    // Categories whose safety principle *is* the diagnostics collapse.
+    if (category == Category::k2) effective_category = Category::kB;
+    if (category == Category::k4) effective_category = Category::k3;
+  }
+  if (compromise.channel_disabled) {
+    // Redundancy lost: dual-channel categories behave single-channel.
+    if (effective_category == Category::k3 || effective_category == Category::k4) {
+      effective_category = Category::kB;
+      effective_dc = DcBand::kNone;
+    }
+  }
+  if (compromise.diagnostics_defeated &&
+      (effective_category == Category::k3)) {
+    // Cat 3 without any diagnostics is architecturally Category B-ish.
+    effective_category = Category::kB;
+    effective_dc = DcBand::kNone;
+  }
+  return achieved_pl(effective_category, mttfd, effective_dc);
+}
+
+}  // namespace agrarsec::safety

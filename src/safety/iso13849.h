@@ -1,0 +1,73 @@
+// ISO 13849-1 performance-level calculus for safety-related parts of
+// control systems (SRP/CS) — the machinery functional-safety standard the
+// paper names as the baseline for CE conformity (§III-A). Implements:
+//   - the risk graph (S, F, P) -> required performance level PLr,
+//   - the simplified category/MTTFd/DCavg -> achieved PL table
+//     (ISO 13849-1 Figure 5 / Annex K simplification),
+//   - degradation of achieved PL under active cybersecurity compromise
+//     (IEC TS 63074: security threats can invalidate the assumptions the
+//     PL rests on).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace agrarsec::safety {
+
+/// Severity of injury.
+enum class Severity : std::uint8_t { kS1 = 0, kS2 = 1 };  // slight / serious
+
+/// Frequency & exposure time.
+enum class Frequency : std::uint8_t { kF1 = 0, kF2 = 1 };  // seldom / frequent
+
+/// Possibility of avoiding the hazard.
+enum class Avoidance : std::uint8_t { kP1 = 0, kP2 = 1 };  // possible / scarcely
+
+/// Performance levels.
+enum class PerformanceLevel : std::uint8_t { kA = 0, kB = 1, kC = 2, kD = 3, kE = 4 };
+
+[[nodiscard]] std::string_view performance_level_name(PerformanceLevel pl);
+
+/// Architecture categories.
+enum class Category : std::uint8_t { kB = 0, k1 = 1, k2 = 2, k3 = 3, k4 = 4 };
+
+/// Mean time to dangerous failure bands (per channel, years).
+enum class MttfdBand : std::uint8_t { kLow = 0, kMedium = 1, kHigh = 2 };
+
+/// Diagnostic coverage bands.
+enum class DcBand : std::uint8_t { kNone = 0, kLow = 1, kMedium = 2, kHigh = 3 };
+
+/// Classifies a numeric MTTFd (years) into its band; values below 3 years
+/// are unusable per the standard (returns nullopt).
+[[nodiscard]] std::optional<MttfdBand> classify_mttfd(double years);
+
+/// Classifies numeric diagnostic coverage [0,1].
+[[nodiscard]] DcBand classify_dc(double coverage);
+
+/// Risk graph: required PL for a hazard.
+[[nodiscard]] PerformanceLevel required_pl(Severity s, Frequency f, Avoidance p);
+
+/// Achieved PL from the simplified table. Returns nullopt for invalid
+/// combinations (e.g. Category B with high DC is not a defined column;
+/// Category 3/4 require DC >= low).
+[[nodiscard]] std::optional<PerformanceLevel> achieved_pl(Category category,
+                                                          MttfdBand mttfd,
+                                                          DcBand dc);
+
+/// True when the achieved level satisfies the requirement.
+[[nodiscard]] bool satisfies(PerformanceLevel achieved, PerformanceLevel required);
+
+/// Security-informed degradation (IEC TS 63074 reading): an attack that
+/// defeats the diagnostics drops DC to none; an attack that can disable
+/// one channel drops Category 3/4 to Category 1. Returns the degraded
+/// achieved PL (nullopt when the degraded architecture is invalid).
+struct SecurityCompromise {
+  bool diagnostics_defeated = false;   ///< e.g. spoofed test signals
+  bool channel_disabled = false;       ///< e.g. one sensor channel blinded
+};
+[[nodiscard]] std::optional<PerformanceLevel> degraded_pl(Category category,
+                                                          MttfdBand mttfd, DcBand dc,
+                                                          SecurityCompromise compromise);
+
+}  // namespace agrarsec::safety

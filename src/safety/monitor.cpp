@@ -1,0 +1,106 @@
+#include "safety/monitor.h"
+
+#include "core/geometry.h"
+
+namespace agrarsec::safety {
+
+std::string_view estop_reason_name(EstopReason reason) {
+  switch (reason) {
+    case EstopReason::kNone: return "none";
+    case EstopReason::kPersonInCriticalZone: return "person-in-critical-zone";
+    case EstopReason::kRemoteCommand: return "remote-command";
+    case EstopReason::kCommsLost: return "comms-lost";
+    case EstopReason::kIdsCritical: return "ids-critical";
+    case EstopReason::kGhostDetection: return "ghost-detection";
+  }
+  return "?";
+}
+
+SafetyMonitor::SafetyMonitor(sim::Machine& forwarder, MonitorConfig config,
+                             core::EventBus* bus)
+    : forwarder_(forwarder), config_(config), bus_(bus) {}
+
+bool SafetyMonitor::cover_fresh(core::SimTime now) const {
+  return has_cover_signal_ && last_cover_ + config_.cover_timeout >= now;
+}
+
+void SafetyMonitor::stop(EstopReason reason, core::SimTime now) {
+  if (!stopped_) {
+    ++stats_.estops;
+    forwarder_.emergency_stop(true);
+    stopped_ = true;
+    clear_since_ = -1;
+    if (bus_ != nullptr) {
+      bus_->publish({"safety/estop",
+                     "reason=" + std::string(estop_reason_name(reason)),
+                     forwarder_.id().value(), now});
+    }
+  }
+  last_reason_ = reason;
+}
+
+void SafetyMonitor::command_stop(EstopReason reason, core::SimTime now) {
+  stop(reason, now);
+}
+
+void SafetyMonitor::ids_critical(core::SimTime now) {
+  if (config_.stop_on_ids_critical) stop(EstopReason::kIdsCritical, now);
+}
+
+void SafetyMonitor::set_degraded_state(bool degraded, std::string_view cause,
+                                       core::SimTime now) {
+  if (degraded && !degraded_) {
+    ++stats_.degrades;
+    if (bus_ != nullptr) {
+      bus_->publish({"machine/degraded", "cause=" + std::string(cause),
+                     forwarder_.id().value(), now});
+    }
+  }
+  degraded_ = degraded;
+  forwarder_.set_degraded(degraded);
+}
+
+void SafetyMonitor::update(const std::vector<FusedTrack>& tracks, core::SimTime now) {
+  // Zone evaluation against fused tracks.
+  bool critical = false;
+  bool warning = false;
+  for (const FusedTrack& t : tracks) {
+    const double d = core::distance(t.position, forwarder_.position());
+    if (d <= config_.critical_zone_m) critical = true;
+    if (d <= config_.warning_zone_m) warning = true;
+  }
+  if (critical) ++stats_.zone_violations;
+
+  // Collaborative cover freshness.
+  const bool cover = cover_fresh(now);
+  if (has_cover_signal_ && !cover) ++stats_.cover_losses;
+
+  if (critical) {
+    stop(EstopReason::kPersonInCriticalZone, now);
+    return;
+  }
+
+  if (stopped_) {
+    // Auto-restart once the area has stayed clear for restart_delay.
+    if (clear_since_ < 0) clear_since_ = now;
+    if (now - clear_since_ >= config_.restart_delay) {
+      stopped_ = false;
+      forwarder_.release_stop();
+      last_reason_ = EstopReason::kNone;
+    }
+    return;
+  }
+
+  if (!cover && has_cover_signal_) {
+    if (config_.stop_on_cover_loss) {
+      stop(EstopReason::kCommsLost, now);
+      return;
+    }
+    set_degraded_state(true, "cover-lost", now);
+    return;
+  }
+
+  set_degraded_state(warning, "person-in-warning-zone", now);
+}
+
+}  // namespace agrarsec::safety

@@ -1,0 +1,84 @@
+// Per-forwarder safety monitor: consumes fused people detections and
+// commands the drive system. Implements the collaborative-safety fallback
+// the paper's use case requires: when the drone's coverage goes stale
+// (comms loss, jamming, drone failure) the forwarder degrades to a slow
+// mode whose stopping distance fits its *own* (occludable) sensing — the
+// interplay of cybersecurity and functional safety in one mechanism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/event_bus.h"
+#include "core/time.h"
+#include "safety/fusion.h"
+#include "sim/machine.h"
+
+namespace agrarsec::safety {
+
+enum class EstopReason : std::uint32_t {
+  kNone = 0,
+  kPersonInCriticalZone = 1,
+  kRemoteCommand = 2,
+  kCommsLost = 3,       ///< optional policy: stop (not just degrade) on loss
+  kIdsCritical = 4,     ///< IDS escalation
+  kGhostDetection = 5,  ///< spoofed sensor return (stops too — fail safe)
+};
+
+[[nodiscard]] std::string_view estop_reason_name(EstopReason reason);
+
+struct MonitorConfig {
+  double critical_zone_m = 10.0;   ///< person inside => e-stop
+  double warning_zone_m = 22.0;    ///< person inside => degrade speed
+  core::SimDuration cover_timeout = 3 * core::kSecond;  ///< drone staleness
+  bool stop_on_cover_loss = false; ///< else: degrade only
+  bool stop_on_ids_critical = true;
+  core::SimDuration restart_delay = 5 * core::kSecond;  ///< after zone clears
+};
+
+struct MonitorStats {
+  std::uint64_t estops = 0;
+  std::uint64_t degrades = 0;
+  std::uint64_t cover_losses = 0;
+  std::uint64_t zone_violations = 0;  ///< fused track inside critical zone
+};
+
+class SafetyMonitor {
+ public:
+  SafetyMonitor(sim::Machine& forwarder, MonitorConfig config, core::EventBus* bus);
+
+  /// Feeds the current fused tracks and advances the decision logic.
+  void update(const std::vector<FusedTrack>& tracks, core::SimTime now);
+
+  /// Marks that fresh collaborative (drone) cover was received.
+  void note_cover(core::SimTime now) { last_cover_ = now; has_cover_signal_ = true; }
+
+  /// External stop command (validated elsewhere; the monitor obeys).
+  void command_stop(EstopReason reason, core::SimTime now);
+
+  /// IDS escalation hook.
+  void ids_critical(core::SimTime now);
+
+  [[nodiscard]] const MonitorStats& stats() const { return stats_; }
+  [[nodiscard]] EstopReason last_reason() const { return last_reason_; }
+  [[nodiscard]] bool cover_fresh(core::SimTime now) const;
+
+ private:
+  void stop(EstopReason reason, core::SimTime now);
+
+  sim::Machine& forwarder_;
+  MonitorConfig config_;
+  core::EventBus* bus_;
+  MonitorStats stats_;
+  EstopReason last_reason_ = EstopReason::kNone;
+  core::SimTime last_cover_ = 0;
+  bool has_cover_signal_ = false;
+  core::SimTime clear_since_ = -1;
+  bool stopped_ = false;
+  bool degraded_ = false;
+
+  void set_degraded_state(bool degraded, std::string_view cause, core::SimTime now);
+};
+
+}  // namespace agrarsec::safety

@@ -1,0 +1,80 @@
+#include "safety/sotif.h"
+
+namespace agrarsec::safety {
+
+void SotifAnalysis::add_condition(TriggeringCondition condition) {
+  if (index_.contains(condition.id)) return;
+  index_[condition.id] = conditions_.size();
+  conditions_.push_back(std::move(condition));
+}
+
+void SotifAnalysis::record(const std::string& condition_id, ScenarioOutcome outcome) {
+  if (!index_.contains(condition_id)) {
+    TriggeringCondition unknown;
+    unknown.id = condition_id;
+    unknown.description = "discovered during validation";
+    unknown.known = false;
+    add_condition(std::move(unknown));
+  }
+  auto& ev = evidence_[condition_id];
+  ++ev.encounters;
+  if (outcome == ScenarioOutcome::kHazardous) ++ev.hazardous;
+}
+
+ConditionEvidence SotifAnalysis::evidence(const std::string& condition_id) const {
+  const auto it = evidence_.find(condition_id);
+  return it == evidence_.end() ? ConditionEvidence{} : it->second;
+}
+
+double SotifAnalysis::residual_risk() const {
+  std::uint64_t encounters = 0, hazardous = 0;
+  for (const auto& [id, ev] : evidence_) {
+    encounters += ev.encounters;
+    hazardous += ev.hazardous;
+  }
+  return encounters == 0
+             ? 0.0
+             : static_cast<double>(hazardous) / static_cast<double>(encounters);
+}
+
+std::vector<std::string> SotifAnalysis::unacceptable_conditions(
+    double acceptance) const {
+  std::vector<std::string> out;
+  for (const TriggeringCondition& c : conditions_) {
+    if (evidence(c.id).hazard_rate() > acceptance) out.push_back(c.id);
+  }
+  return out;
+}
+
+SotifAnalysis::AreaCensus SotifAnalysis::census() const {
+  AreaCensus census;
+  for (const TriggeringCondition& c : conditions_) {
+    const ConditionEvidence ev = evidence(c.id);
+    const std::uint64_t safe = ev.encounters - ev.hazardous;
+    if (c.known) {
+      census.known_safe += safe;
+      census.known_hazardous += ev.hazardous;
+    } else {
+      census.unknown_safe += safe;
+      census.unknown_hazardous += ev.hazardous;
+    }
+  }
+  return census;
+}
+
+std::vector<TriggeringCondition> forestry_triggering_conditions() {
+  return {
+      {"occlusion-boulder", "person hidden behind boulder/rock outcrop", true, 2.0},
+      {"occlusion-brush", "person hidden by understory brush", true, 4.0},
+      {"occlusion-stems", "person screened by dense stem rows", true, 6.0},
+      {"occlusion-terrain", "person below a terrain crest", true, 1.5},
+      {"weather-fog", "fog shortens effective perception range", true, 0.5},
+      {"weather-rain", "rain degrades camera contrast", true, 1.0},
+      {"weather-snow", "snowfall clutters lidar returns", true, 0.7},
+      {"low-sun-glare", "low sun blinds forward camera", true, 0.3},
+      {"human-sudden-emerge", "worker steps out from behind machine", true, 1.2},
+      {"human-prone", "worker crouching/prone (planting, inspection)", true, 0.8},
+  };
+}
+
+}  // namespace agrarsec::safety

@@ -1,0 +1,88 @@
+// SOTIF (ISO 21448) adaptation for forest machinery — the paper's §III-C:
+// hazards caused not by faults but by functional insufficiencies
+// (occlusion, weather-degraded sensing, unexpected human behaviour).
+// The model follows the standard's scenario-area framing:
+//   Area 1: known  safe      Area 2: known  hazardous
+//   Area 3: unknown hazardous Area 4: unknown safe
+// The goal of SOTIF activities is shrinking areas 2 and 3. Here,
+// triggering conditions are catalogued, observed scenario outcomes are
+// classified, and residual risk is estimated from exposure counts — which
+// the Fig. 2 bench feeds from actual simulation runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace agrarsec::safety {
+
+/// A condition that can trigger hazardous behaviour without any fault.
+struct TriggeringCondition {
+  std::string id;            ///< e.g. "occlusion-boulder"
+  std::string description;
+  bool known = true;         ///< catalogued at design time?
+  double exposure_rate = 0.0;  ///< expected encounters per operating hour
+};
+
+enum class ScenarioOutcome : std::uint8_t {
+  kSafe = 0,          ///< hazard handled (detected in time / no person)
+  kHazardous = 1,     ///< person undetected within the critical zone
+};
+
+/// Aggregated evidence for one triggering condition.
+struct ConditionEvidence {
+  std::uint64_t encounters = 0;
+  std::uint64_t hazardous = 0;
+
+  [[nodiscard]] double hazard_rate() const {
+    return encounters == 0 ? 0.0
+                           : static_cast<double>(hazardous) /
+                                 static_cast<double>(encounters);
+  }
+};
+
+class SotifAnalysis {
+ public:
+  /// Registers a triggering condition (design-time catalogue).
+  void add_condition(TriggeringCondition condition);
+
+  /// Records one observed encounter with a condition and its outcome.
+  /// Unknown ids are auto-registered with known=false — discovering
+  /// area-3 scenarios during validation is exactly the SOTIF process.
+  void record(const std::string& condition_id, ScenarioOutcome outcome);
+
+  [[nodiscard]] const std::vector<TriggeringCondition>& conditions() const {
+    return conditions_;
+  }
+  [[nodiscard]] ConditionEvidence evidence(const std::string& condition_id) const;
+
+  /// Overall residual hazardous-scenario rate (hazardous / encounters,
+  /// over all conditions). Acceptance criterion for release.
+  [[nodiscard]] double residual_risk() const;
+
+  /// Conditions whose hazard rate exceeds `acceptance`; these demand
+  /// functional modification (e.g. the drone viewpoint) before release.
+  [[nodiscard]] std::vector<std::string> unacceptable_conditions(
+      double acceptance) const;
+
+  /// Scenario-area census: {known-safe, known-hazardous, unknown-*} counts.
+  struct AreaCensus {
+    std::uint64_t known_safe = 0;
+    std::uint64_t known_hazardous = 0;
+    std::uint64_t unknown_safe = 0;
+    std::uint64_t unknown_hazardous = 0;
+  };
+  [[nodiscard]] AreaCensus census() const;
+
+ private:
+  std::vector<TriggeringCondition> conditions_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::unordered_map<std::string, ConditionEvidence> evidence_;
+};
+
+/// The built-in forestry triggering-condition catalogue assembled from the
+/// paper's discussion (occlusion sources, weather, human factors).
+[[nodiscard]] std::vector<TriggeringCondition> forestry_triggering_conditions();
+
+}  // namespace agrarsec::safety

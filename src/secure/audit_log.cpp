@@ -1,0 +1,81 @@
+#include "secure/audit_log.h"
+
+namespace agrarsec::secure {
+
+core::Bytes AuditEntry::encode_for_hash() const {
+  core::Bytes out;
+  core::append(out, core::from_string("agrarsec-audit-v1"));
+  core::append_le64(out, index);
+  core::append_le64(out, static_cast<std::uint64_t>(time));
+  core::append_framed(out, core::from_string(category));
+  core::append_framed(out, core::from_string(detail));
+  core::append(out, previous);
+  return out;
+}
+
+core::Bytes AuditCheckpoint::encode_signed() const {
+  core::Bytes out;
+  core::append(out, core::from_string("agrarsec-audit-head-v1"));
+  core::append_le64(out, entry_count);
+  core::append(out, head);
+  return out;
+}
+
+AuditLog::AuditLog(crypto::Ed25519KeyPair signer) : signer_(signer) {}
+
+std::uint64_t AuditLog::append(core::SimTime time, std::string category,
+                               std::string detail) {
+  AuditEntry entry;
+  entry.index = entries_.size();
+  entry.time = time;
+  entry.category = std::move(category);
+  entry.detail = std::move(detail);
+  entry.previous = head_;
+  entry.digest = crypto::Sha256::hash(entry.encode_for_hash());
+  head_ = entry.digest;
+  entries_.push_back(std::move(entry));
+  return entries_.back().index;
+}
+
+AuditCheckpoint AuditLog::checkpoint() const {
+  AuditCheckpoint cp;
+  cp.entry_count = entries_.size();
+  cp.head = head_;
+  cp.signature = crypto::ed25519_sign(signer_, cp.encode_signed());
+  return cp;
+}
+
+std::optional<std::uint64_t> AuditLog::verify(const std::vector<AuditEntry>& entries,
+                                              const AuditCheckpoint& checkpoint,
+                                              const crypto::Ed25519PublicKey& key) {
+  if (!crypto::ed25519_verify(key, checkpoint.encode_signed(), checkpoint.signature)) {
+    return 0;  // untrusted head: nothing below it can be trusted
+  }
+  if (checkpoint.entry_count != entries.size()) {
+    return entries.size() < checkpoint.entry_count ? entries.size() : checkpoint.entry_count;
+  }
+
+  crypto::Sha256::Digest running{};  // genesis
+  for (std::uint64_t i = 0; i < entries.size(); ++i) {
+    const AuditEntry& e = entries[i];
+    if (e.index != i) return i;
+    if (!core::constant_time_equal(e.previous, running)) return i;
+    const auto recomputed = crypto::Sha256::hash(e.encode_for_hash());
+    if (!core::constant_time_equal(recomputed, e.digest)) return i;
+    running = recomputed;
+  }
+  if (!core::constant_time_equal(running, checkpoint.head)) {
+    return entries.empty() ? 0 : entries.size() - 1;
+  }
+  return std::nullopt;
+}
+
+std::vector<const AuditEntry*> AuditLog::by_category(const std::string& category) const {
+  std::vector<const AuditEntry*> out;
+  for (const AuditEntry& e : entries_) {
+    if (e.category == category) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace agrarsec::secure

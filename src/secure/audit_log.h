@@ -1,0 +1,76 @@
+// Tamper-evident audit log — the "audit-log" control of the risk
+// catalogue and the evidence-collection duty of Regulation (EU) 2023/1230
+// Annex III 1.1.9 ("the machinery shall collect evidence of a lawful or
+// unlawful intervention"). Entries are hash-chained (each entry binds the
+// previous digest) and the chain head is Ed25519-signed on demand, so
+// post-incident tampering with machine event history is detectable even
+// by an auditor holding only the machine's public key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bytes.h"
+#include "core/time.h"
+#include "crypto/ed25519.h"
+#include "crypto/sha256.h"
+
+namespace agrarsec::secure {
+
+struct AuditEntry {
+  std::uint64_t index = 0;
+  core::SimTime time = 0;
+  std::string category;   ///< e.g. "estop", "ids-alert", "boot", "update"
+  std::string detail;
+  crypto::Sha256::Digest previous{};  ///< chain link
+  crypto::Sha256::Digest digest{};    ///< hash over this entry incl. previous
+
+  [[nodiscard]] core::Bytes encode_for_hash() const;
+};
+
+/// A signed statement of the chain head, for export to the operator.
+struct AuditCheckpoint {
+  std::uint64_t entry_count = 0;
+  crypto::Sha256::Digest head{};
+  crypto::Ed25519Signature signature{};
+
+  [[nodiscard]] core::Bytes encode_signed() const;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(crypto::Ed25519KeyPair signer);
+
+  /// Appends an event; returns its index.
+  std::uint64_t append(core::SimTime time, std::string category, std::string detail);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const crypto::Ed25519PublicKey& public_key() const {
+    return signer_.public_key;
+  }
+  [[nodiscard]] const std::vector<AuditEntry>& entries() const { return entries_; }
+  [[nodiscard]] const crypto::Sha256::Digest& head() const { return head_; }
+
+  /// Produces a signed checkpoint of the current head.
+  [[nodiscard]] AuditCheckpoint checkpoint() const;
+
+  /// Verifies a full chain against a checkpoint with only the public key:
+  /// recomputes every link and checks the signed head. Returns the index
+  /// of the first broken entry, or nullopt when the chain verifies.
+  static std::optional<std::uint64_t> verify(const std::vector<AuditEntry>& entries,
+                                             const AuditCheckpoint& checkpoint,
+                                             const crypto::Ed25519PublicKey& key);
+
+  /// Entries filtered by category (incident reconstruction helper).
+  [[nodiscard]] std::vector<const AuditEntry*> by_category(
+      const std::string& category) const;
+
+ private:
+  crypto::Ed25519KeyPair signer_;
+  std::vector<AuditEntry> entries_;
+  crypto::Sha256::Digest head_{};  // all-zero genesis
+};
+
+}  // namespace agrarsec::secure

@@ -1,0 +1,79 @@
+#include "secure/boot.h"
+
+namespace agrarsec::secure {
+
+core::Bytes BootImage::encode_signed() const {
+  core::Bytes out;
+  core::append(out, core::from_string("agrarsec-boot-v1"));
+  core::append_framed(out, core::from_string(name));
+  core::append_be32(out, version);
+  const auto digest = crypto::Sha256::hash(payload);
+  core::append(out, digest);
+  return out;
+}
+
+crypto::Sha256::Digest BootImage::measurement() const {
+  return crypto::Sha256::hash(encode_signed());
+}
+
+void sign_image(BootImage& image, const crypto::Ed25519KeyPair& signer) {
+  image.signature = crypto::ed25519_sign(signer, image.encode_signed());
+}
+
+void MeasurementRegister::extend(const crypto::Sha256::Digest& measurement) {
+  core::Bytes combined;
+  core::append(combined, value_);
+  core::append(combined, measurement);
+  value_ = crypto::Sha256::hash(combined);
+}
+
+std::string MeasurementRegister::hex() const { return core::to_hex(value_); }
+
+SecureBootRom::SecureBootRom(crypto::Ed25519PublicKey signer_key)
+    : signer_key_(signer_key) {}
+
+std::uint32_t SecureBootRom::rollback_floor(const std::string& stage) const {
+  const auto it = rollback_floors_.find(stage);
+  return it == rollback_floors_.end() ? 0 : it->second;
+}
+
+BootReport SecureBootRom::boot(const std::vector<BootImage>& chain) {
+  ++attempts_;
+  BootReport report;
+  MeasurementRegister pcr;
+
+  if (chain.empty()) {
+    ++failures_;
+    report.failure_code = "empty_chain";
+    return report;
+  }
+
+  for (const BootImage& image : chain) {
+    if (!crypto::ed25519_verify(signer_key_, image.encode_signed(), image.signature)) {
+      ++failures_;
+      report.failed_stage = image.name;
+      report.failure_code = "bad_signature";
+      return report;
+    }
+    if (image.version < rollback_floor(image.name)) {
+      ++failures_;
+      report.failed_stage = image.name;
+      report.failure_code = "rollback";
+      return report;
+    }
+    pcr.extend(image.measurement());
+    report.booted_stages.push_back(image.name);
+  }
+
+  // Commit rollback floors only after the whole chain verified.
+  for (const BootImage& image : chain) {
+    auto& floor = rollback_floors_[image.name];
+    floor = std::max(floor, image.version);
+  }
+
+  report.booted = true;
+  report.platform_measurement = pcr.value();
+  return report;
+}
+
+}  // namespace agrarsec::secure

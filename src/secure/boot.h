@@ -1,0 +1,79 @@
+// Secure and measured boot for the machine ECUs — "system integrity"
+// per IEC TS 63074. A boot chain is a sequence of stages (ROM-anchored),
+// each carrying an Ed25519 signature from the firmware signer; booting
+// verifies every stage, enforces anti-rollback via a monotonic counter,
+// and extends a measurement register (TPM-PCR style) so the resulting
+// platform state is attestable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bytes.h"
+#include "core/result.h"
+#include "crypto/ed25519.h"
+#include "crypto/sha256.h"
+
+namespace agrarsec::secure {
+
+/// One bootable stage (bootloader, RTOS, application, model bundle...).
+struct BootImage {
+  std::string name;
+  std::uint32_t version = 0;        ///< monotonic per stage, anti-rollback
+  core::Bytes payload;              ///< the "code"
+  crypto::Ed25519Signature signature{};  ///< over encode_signed()
+
+  [[nodiscard]] core::Bytes encode_signed() const;  ///< bytes the signature covers
+  [[nodiscard]] crypto::Sha256::Digest measurement() const;
+};
+
+/// Signs an image in place with the firmware-signer key.
+void sign_image(BootImage& image, const crypto::Ed25519KeyPair& signer);
+
+/// Measurement register: extend-only (PCR semantics).
+class MeasurementRegister {
+ public:
+  void extend(const crypto::Sha256::Digest& measurement);
+  [[nodiscard]] const crypto::Sha256::Digest& value() const { return value_; }
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  crypto::Sha256::Digest value_{};  // starts all-zero
+};
+
+/// Result of a boot attempt.
+struct BootReport {
+  bool booted = false;
+  std::string failed_stage;      ///< empty on success
+  std::string failure_code;      ///< "bad_signature" | "rollback" | ...
+  crypto::Sha256::Digest platform_measurement{};
+  std::vector<std::string> booted_stages;
+};
+
+/// The verifying boot ROM. Holds the pinned signer key and the rollback
+/// counters (simulated fuses).
+class SecureBootRom {
+ public:
+  explicit SecureBootRom(crypto::Ed25519PublicKey signer_key);
+
+  /// Attempts to boot a chain of stages, in order. Stops at the first
+  /// verification failure (fail-closed). On success, commits rollback
+  /// counters to the highest booted versions.
+  BootReport boot(const std::vector<BootImage>& chain);
+
+  /// Current anti-rollback floor for a stage (0 = none).
+  [[nodiscard]] std::uint32_t rollback_floor(const std::string& stage) const;
+
+  [[nodiscard]] std::uint64_t boot_attempts() const { return attempts_; }
+  [[nodiscard]] std::uint64_t boot_failures() const { return failures_; }
+
+ private:
+  crypto::Ed25519PublicKey signer_key_;
+  std::unordered_map<std::string, std::uint32_t> rollback_floors_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace agrarsec::secure

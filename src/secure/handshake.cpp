@@ -1,0 +1,236 @@
+#include "secure/handshake.h"
+
+#include <cstring>
+
+#include "crypto/hkdf.h"
+#include "crypto/sha256.h"
+
+namespace agrarsec::secure {
+
+namespace {
+void append_chain(core::Bytes& out, const std::vector<pki::Certificate>& chain) {
+  core::append_be32(out, static_cast<std::uint32_t>(chain.size()));
+  for (const pki::Certificate& c : chain) core::append_framed(out, c.encode());
+}
+
+constexpr std::size_t kMaxChainLength = 8;
+
+/// Parses count + framed certificates starting at `pos`; advances `pos`.
+bool read_chain(std::span<const std::uint8_t> data, std::size_t& pos,
+                std::vector<pki::Certificate>& out) {
+  if (data.size() - pos < 4) return false;
+  const std::uint32_t count = core::load_be32(data.data() + pos);
+  pos += 4;
+  if (count > kMaxChainLength) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (data.size() - pos < 4) return false;
+    const std::uint32_t len = core::load_be32(data.data() + pos);
+    pos += 4;
+    if (data.size() - pos < len) return false;
+    auto cert = pki::Certificate::decode(data.subspan(pos, len));
+    if (!cert) return false;
+    out.push_back(std::move(*cert));
+    pos += len;
+  }
+  return true;
+}
+}  // namespace
+
+core::Bytes HandshakeMsg1::encode() const {
+  core::Bytes out;
+  core::append(out, core::from_string("hs1"));
+  core::append(out, ephemeral);
+  return out;
+}
+
+std::optional<HandshakeMsg1> HandshakeMsg1::decode(std::span<const std::uint8_t> data) {
+  if (data.size() != 3 + 32) return std::nullopt;
+  if (std::memcmp(data.data(), "hs1", 3) != 0) return std::nullopt;
+  HandshakeMsg1 m;
+  std::memcpy(m.ephemeral.data(), data.data() + 3, 32);
+  return m;
+}
+
+core::Bytes HandshakeMsg2::encode() const {
+  core::Bytes out;
+  core::append(out, core::from_string("hs2"));
+  core::append(out, ephemeral);
+  append_chain(out, chain);
+  core::append(out, signature);
+  return out;
+}
+
+core::Bytes HandshakeMsg3::encode() const {
+  core::Bytes out;
+  core::append(out, core::from_string("hs3"));
+  append_chain(out, chain);
+  core::append(out, signature);
+  return out;
+}
+
+std::optional<HandshakeMsg2> HandshakeMsg2::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < 3 + 32 || std::memcmp(data.data(), "hs2", 3) != 0) {
+    return std::nullopt;
+  }
+  HandshakeMsg2 m;
+  std::memcpy(m.ephemeral.data(), data.data() + 3, 32);
+  std::size_t pos = 3 + 32;
+  if (!read_chain(data, pos, m.chain)) return std::nullopt;
+  if (data.size() - pos != m.signature.size()) return std::nullopt;
+  std::memcpy(m.signature.data(), data.data() + pos, m.signature.size());
+  return m;
+}
+
+std::optional<HandshakeMsg3> HandshakeMsg3::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < 3 || std::memcmp(data.data(), "hs3", 3) != 0) {
+    return std::nullopt;
+  }
+  HandshakeMsg3 m;
+  std::size_t pos = 3;
+  if (!read_chain(data, pos, m.chain)) return std::nullopt;
+  if (data.size() - pos != m.signature.size()) return std::nullopt;
+  std::memcpy(m.signature.data(), data.data() + pos, m.signature.size());
+  return m;
+}
+
+Handshake::Handshake(const pki::Identity& identity, const pki::TrustStore& trust,
+                     core::SimTime now, std::string expected_peer)
+    : identity_(identity), trust_(trust), now_(now),
+      expected_peer_(std::move(expected_peer)) {}
+
+core::Bytes Handshake::transcript_hash() const {
+  core::Bytes transcript;
+  core::append(transcript, core::from_string("agrarsec-hs-v1"));
+  if (is_initiator_) {
+    core::append(transcript, eph_public_);
+    core::append(transcript, peer_ephemeral_);
+  } else {
+    core::append(transcript, peer_ephemeral_);
+    core::append(transcript, eph_public_);
+  }
+  const auto digest = crypto::Sha256::hash(transcript);
+  return core::Bytes(digest.begin(), digest.end());
+}
+
+HandshakeMsg1 Handshake::start(crypto::Drbg& drbg) {
+  is_initiator_ = true;
+  eph_private_ = drbg.generate32();
+  eph_public_ = crypto::x25519_base(eph_private_);
+  HandshakeMsg1 m;
+  m.ephemeral = eph_public_;
+  return m;
+}
+
+core::Status Handshake::validate_peer(const std::vector<pki::Certificate>& chain,
+                                      std::span<const std::uint8_t> signature,
+                                      std::string_view role_label) {
+  auto leaf = trust_.validate(chain, now_);
+  if (!leaf.ok()) return leaf.error();
+
+  if (!expected_peer_.empty() && leaf.value().body.subject != expected_peer_) {
+    return core::make_error("peer_mismatch",
+                            "expected '" + expected_peer_ + "', got '" +
+                                leaf.value().body.subject + "'");
+  }
+  if (!leaf.value().body.usage.can_sign) {
+    return core::make_error("key_usage", "peer certificate may not sign");
+  }
+
+  core::Bytes signed_data = transcript_hash();
+  core::append(signed_data, core::from_string(std::string(role_label)));
+  if (!crypto::ed25519_verify(leaf.value().body.signing_key, signed_data, signature)) {
+    return core::make_error("bad_signature", "handshake signature invalid");
+  }
+  peer_subject_ = leaf.value().body.subject;
+  return core::Status::ok_status();
+}
+
+void Handshake::derive_session(bool is_initiator) {
+  const core::Bytes salt = transcript_hash();
+  const auto i2r = crypto::hkdf(salt, shared_, core::from_string("i2r"), 32);
+  const auto r2i = crypto::hkdf(salt, shared_, core::from_string("r2i"), 32);
+
+  SessionKeys keys;
+  if (is_initiator) {
+    std::memcpy(keys.send_key.data(), i2r.data(), 32);
+    std::memcpy(keys.recv_key.data(), r2i.data(), 32);
+  } else {
+    std::memcpy(keys.send_key.data(), r2i.data(), 32);
+    std::memcpy(keys.recv_key.data(), i2r.data(), 32);
+  }
+  session_.emplace(keys, peer_subject_);
+}
+
+core::Result<HandshakeMsg2> Handshake::respond(const HandshakeMsg1& msg1,
+                                               crypto::Drbg& drbg) {
+  is_initiator_ = false;
+  peer_ephemeral_ = msg1.ephemeral;
+  eph_private_ = drbg.generate32();
+  eph_public_ = crypto::x25519_base(eph_private_);
+
+  if (!crypto::x25519_shared(eph_private_, peer_ephemeral_, shared_)) {
+    return core::make_error("bad_ephemeral", "low-order ephemeral from initiator");
+  }
+
+  core::Bytes signed_data = transcript_hash();
+  core::append(signed_data, core::from_string("resp"));
+
+  HandshakeMsg2 m;
+  m.ephemeral = eph_public_;
+  m.chain = identity_.chain;
+  m.signature = crypto::ed25519_sign(identity_.signing, signed_data);
+  return m;
+}
+
+core::Result<HandshakeMsg3> Handshake::consume_msg2(const HandshakeMsg2& msg2) {
+  peer_ephemeral_ = msg2.ephemeral;
+  if (!crypto::x25519_shared(eph_private_, peer_ephemeral_, shared_)) {
+    return core::make_error("bad_ephemeral", "low-order ephemeral from responder");
+  }
+  if (auto status = validate_peer(msg2.chain, msg2.signature, "resp"); !status.ok()) {
+    return status.error();
+  }
+
+  core::Bytes signed_data = transcript_hash();
+  core::append(signed_data, core::from_string("init"));
+
+  HandshakeMsg3 m;
+  m.chain = identity_.chain;
+  m.signature = crypto::ed25519_sign(identity_.signing, signed_data);
+  derive_session(/*is_initiator=*/true);
+  return m;
+}
+
+core::Status Handshake::finish(const HandshakeMsg3& msg3) {
+  if (auto status = validate_peer(msg3.chain, msg3.signature, "init"); !status.ok()) {
+    return status;
+  }
+  derive_session(/*is_initiator=*/false);
+  return core::Status::ok_status();
+}
+
+Session Handshake::take_session() {
+  if (!session_) throw std::logic_error("Handshake::take_session before completion");
+  Session s = std::move(*session_);
+  session_.reset();
+  return s;
+}
+
+core::Result<SessionPair> establish(const pki::Identity& initiator,
+                                    const pki::Identity& responder,
+                                    const pki::TrustStore& trust, core::SimTime now,
+                                    crypto::Drbg& drbg) {
+  Handshake init_side{initiator, trust, now, responder.subject()};
+  Handshake resp_side{responder, trust, now, initiator.subject()};
+
+  const HandshakeMsg1 m1 = init_side.start(drbg);
+  auto m2 = resp_side.respond(m1, drbg);
+  if (!m2.ok()) return m2.error();
+  auto m3 = init_side.consume_msg2(m2.value());
+  if (!m3.ok()) return m3.error();
+  if (auto status = resp_side.finish(m3.value()); !status.ok()) return status.error();
+
+  return SessionPair{init_side.take_session(), resp_side.take_session()};
+}
+
+}  // namespace agrarsec::secure

@@ -1,0 +1,102 @@
+// Mutually-authenticated key agreement for machine-to-machine links —
+// a SIGMA-style protocol: ephemeral X25519 exchange, certificate chains,
+// Ed25519 signatures over the session transcript, session keys via
+// HKDF-SHA256. Provides the "identification and authentication" and "data
+// confidentiality" countermeasures IEC TS 63074 calls out (paper §IV-D).
+//
+//   I -> R : e_i
+//   R -> I : e_r, chain_R, Sig_R(transcript || "resp")
+//   I -> R : chain_I, Sig_I(transcript || "init")
+//
+// transcript = H("agrarsec-hs-v1" || e_i || e_r). Keys are derived as
+// HKDF(salt=transcript, ikm=DH(e_i,e_r), info=direction).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/result.h"
+#include "pki/identity.h"
+#include "pki/trust_store.h"
+#include "secure/session.h"
+
+namespace agrarsec::secure {
+
+/// Wire encodings of the three handshake flights.
+struct HandshakeMsg1 {
+  crypto::X25519Key ephemeral{};
+  [[nodiscard]] core::Bytes encode() const;
+  static std::optional<HandshakeMsg1> decode(std::span<const std::uint8_t> data);
+};
+
+struct HandshakeMsg2 {
+  crypto::X25519Key ephemeral{};
+  std::vector<pki::Certificate> chain;
+  crypto::Ed25519Signature signature{};
+  [[nodiscard]] core::Bytes encode() const;
+  static std::optional<HandshakeMsg2> decode(std::span<const std::uint8_t> data);
+};
+
+struct HandshakeMsg3 {
+  std::vector<pki::Certificate> chain;
+  crypto::Ed25519Signature signature{};
+  [[nodiscard]] core::Bytes encode() const;
+  static std::optional<HandshakeMsg3> decode(std::span<const std::uint8_t> data);
+};
+
+/// Handshake driver for one side. Usage:
+///   initiator: msg1 = start(); consume(msg2) -> msg3 + session
+///   responder: respond(msg1) -> msg2; finish(msg3) -> session
+class Handshake {
+ public:
+  /// `expected_peer`: require the peer leaf subject to match (empty = any
+  /// subject passing trust validation).
+  Handshake(const pki::Identity& identity, const pki::TrustStore& trust,
+            core::SimTime now, std::string expected_peer = {});
+
+  // --- initiator side ---
+  [[nodiscard]] HandshakeMsg1 start(crypto::Drbg& drbg);
+  core::Result<HandshakeMsg3> consume_msg2(const HandshakeMsg2& msg2);
+
+  // --- responder side ---
+  core::Result<HandshakeMsg2> respond(const HandshakeMsg1& msg1, crypto::Drbg& drbg);
+  core::Status finish(const HandshakeMsg3& msg3);
+
+  /// Available after consume_msg2 (initiator) / finish (responder).
+  [[nodiscard]] Session take_session();
+  [[nodiscard]] const std::string& peer_subject() const { return peer_subject_; }
+
+ private:
+  core::Bytes transcript_hash() const;
+  core::Status validate_peer(const std::vector<pki::Certificate>& chain,
+                             std::span<const std::uint8_t> signature,
+                             std::string_view role_label);
+  void derive_session(bool is_initiator);
+
+  const pki::Identity& identity_;
+  const pki::TrustStore& trust_;
+  core::SimTime now_;
+  std::string expected_peer_;
+
+  std::array<std::uint8_t, 32> eph_private_{};
+  crypto::X25519Key eph_public_{};
+  crypto::X25519Key peer_ephemeral_{};
+  crypto::X25519Key shared_{};
+  std::string peer_subject_;
+  std::optional<Session> session_;
+  bool is_initiator_ = false;
+};
+
+/// Convenience: runs a complete in-memory handshake between two
+/// identities and returns the two session endpoints. Fails if either side
+/// rejects the other.
+struct SessionPair {
+  Session initiator;
+  Session responder;
+};
+core::Result<SessionPair> establish(const pki::Identity& initiator,
+                                    const pki::Identity& responder,
+                                    const pki::TrustStore& trust, core::SimTime now,
+                                    crypto::Drbg& drbg);
+
+}  // namespace agrarsec::secure

@@ -1,0 +1,73 @@
+#include "secure/session.h"
+
+#include <string>
+
+#include "crypto/aead.h"
+
+namespace agrarsec::secure {
+
+core::Bytes Record::encode() const {
+  core::Bytes out;
+  core::append_le64(out, sequence);
+  core::append_framed(out, ciphertext);
+  return out;
+}
+
+std::optional<Record> Record::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < 12) return std::nullopt;
+  Record r;
+  r.sequence = core::load_le64(data.data());
+  const std::uint32_t len = core::load_be32(data.data() + 8);
+  if (data.size() != 12 + len) return std::nullopt;
+  r.ciphertext.assign(data.begin() + 12, data.end());
+  return r;
+}
+
+Session::Session(SessionKeys keys, std::string peer_subject)
+    : keys_(keys), peer_subject_(std::move(peer_subject)) {}
+
+std::array<std::uint8_t, 12> Session::nonce_for(std::uint64_t sequence) {
+  std::array<std::uint8_t, 12> nonce{};
+  core::store_le64(nonce.data() + 4, sequence);
+  return nonce;
+}
+
+Record Session::seal(std::span<const std::uint8_t> plaintext,
+                     std::span<const std::uint8_t> aad) {
+  const std::uint64_t seq = ++send_sequence_;
+  const auto nonce = nonce_for(seq);
+
+  core::Bytes full_aad;
+  core::append_le64(full_aad, seq);
+  core::append(full_aad, aad);
+
+  Record r;
+  r.sequence = seq;
+  r.ciphertext = crypto::aead_seal(keys_.send_key, nonce, full_aad, plaintext);
+  return r;
+}
+
+core::Result<core::Bytes> Session::open(const Record& record,
+                                        std::span<const std::uint8_t> aad) {
+  if (any_received_ && record.sequence <= highest_received_) {
+    ++replay_rejections_;
+    return core::make_error("replay", "record sequence " +
+                                          std::to_string(record.sequence) +
+                                          " not above high-water mark");
+  }
+  const auto nonce = nonce_for(record.sequence);
+  core::Bytes full_aad;
+  core::append_le64(full_aad, record.sequence);
+  core::append(full_aad, aad);
+
+  auto opened = crypto::aead_open(keys_.recv_key, nonce, full_aad, record.ciphertext);
+  if (!opened.ok()) {
+    ++auth_failures_;
+    return core::make_error("bad_record", "record failed authentication");
+  }
+  highest_received_ = record.sequence;
+  any_received_ = true;
+  return opened;
+}
+
+}  // namespace agrarsec::secure

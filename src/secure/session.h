@@ -1,0 +1,63 @@
+// Authenticated record layer over an established session: per-direction
+// ChaCha20-Poly1305 keys, sequence-number nonces, strict anti-replay.
+// This is what turns the plaintext net::Message baseline into an
+// integrity- and confidentiality-protected link.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/bytes.h"
+#include "core/result.h"
+
+namespace agrarsec::secure {
+
+/// Directional key material.
+struct SessionKeys {
+  std::array<std::uint8_t, 32> send_key{};
+  std::array<std::uint8_t, 32> recv_key{};
+};
+
+/// A sealed record: sequence number + AEAD ciphertext. The sequence is
+/// bound into both the nonce and the AAD.
+struct Record {
+  std::uint64_t sequence = 0;
+  core::Bytes ciphertext;  ///< AEAD output (ct || tag)
+
+  [[nodiscard]] core::Bytes encode() const;
+  static std::optional<Record> decode(std::span<const std::uint8_t> data);
+};
+
+class Session {
+ public:
+  Session(SessionKeys keys, std::string peer_subject);
+
+  /// Seals a payload; `aad` binds link metadata (e.g. message type).
+  [[nodiscard]] Record seal(std::span<const std::uint8_t> plaintext,
+                            std::span<const std::uint8_t> aad = {});
+
+  /// Opens a record. Rejects authentication failures and replays (records
+  /// at or below the highest sequence already accepted).
+  [[nodiscard]] core::Result<core::Bytes> open(const Record& record,
+                                               std::span<const std::uint8_t> aad = {});
+
+  [[nodiscard]] const std::string& peer_subject() const { return peer_subject_; }
+  [[nodiscard]] std::uint64_t sent_count() const { return send_sequence_; }
+  [[nodiscard]] std::uint64_t replay_rejections() const { return replay_rejections_; }
+  [[nodiscard]] std::uint64_t auth_failures() const { return auth_failures_; }
+
+ private:
+  static std::array<std::uint8_t, 12> nonce_for(std::uint64_t sequence);
+
+  SessionKeys keys_;
+  std::string peer_subject_;
+  std::uint64_t send_sequence_ = 0;
+  std::uint64_t highest_received_ = 0;
+  bool any_received_ = false;
+  std::uint64_t replay_rejections_ = 0;
+  std::uint64_t auth_failures_ = 0;
+};
+
+}  // namespace agrarsec::secure

@@ -1,0 +1,99 @@
+#include "secure/update.h"
+
+namespace agrarsec::secure {
+
+core::Bytes UpdateManifest::encode_signed() const {
+  core::Bytes out;
+  core::append(out, core::from_string("agrarsec-update-v1"));
+  core::append_framed(out, core::from_string(stage));
+  core::append_be32(out, version);
+  core::append_le64(out, total_size);
+  core::append_be32(out, chunk_size);
+  core::append(out, payload_hash);
+  return out;
+}
+
+PreparedUpdate prepare_update(const std::string& stage, std::uint32_t version,
+                              const core::Bytes& payload, std::uint32_t chunk_size,
+                              const crypto::Ed25519KeyPair& signer) {
+  PreparedUpdate out;
+  out.manifest.stage = stage;
+  out.manifest.version = version;
+  out.manifest.total_size = payload.size();
+  out.manifest.chunk_size = chunk_size;
+  out.manifest.payload_hash = crypto::Sha256::hash(payload);
+
+  BootImage image;
+  image.name = stage;
+  image.version = version;
+  image.payload = payload;
+  sign_image(image, signer);
+  out.manifest.image_signature = image.signature;
+
+  out.manifest.signature =
+      crypto::ed25519_sign(signer, out.manifest.encode_signed());
+
+  for (std::size_t off = 0; off < payload.size(); off += chunk_size) {
+    const std::size_t len = std::min<std::size_t>(chunk_size, payload.size() - off);
+    out.chunks.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                            payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  return out;
+}
+
+UpdateReceiver::UpdateReceiver(crypto::Ed25519PublicKey signer_key)
+    : signer_key_(signer_key) {}
+
+core::Status UpdateReceiver::begin(const UpdateManifest& manifest) {
+  if (!crypto::ed25519_verify(signer_key_, manifest.encode_signed(),
+                              manifest.signature)) {
+    return core::make_error("bad_signature", "update manifest signature invalid");
+  }
+  if (manifest.chunk_size == 0) {
+    return core::make_error("bad_manifest", "chunk size must be positive");
+  }
+  manifest_ = manifest;
+  buffer_.clear();
+  buffer_.reserve(manifest.total_size);
+  in_progress_ = true;
+  return core::Status::ok_status();
+}
+
+core::Status UpdateReceiver::feed(std::span<const std::uint8_t> chunk) {
+  if (!in_progress_) {
+    return core::make_error("no_update", "feed() without an accepted manifest");
+  }
+  if (buffer_.size() + chunk.size() > manifest_.total_size) {
+    in_progress_ = false;
+    return core::make_error("overflow", "more data than the manifest declared");
+  }
+  core::append(buffer_, chunk);
+  return core::Status::ok_status();
+}
+
+core::Result<BootImage> UpdateReceiver::finalize() {
+  if (!in_progress_) {
+    return core::make_error("no_update", "finalize() without an accepted manifest");
+  }
+  in_progress_ = false;
+  if (buffer_.size() != manifest_.total_size) {
+    return core::make_error("incomplete", "payload shorter than the manifest declared");
+  }
+  const auto digest = crypto::Sha256::hash(buffer_);
+  if (!core::constant_time_equal(digest, manifest_.payload_hash)) {
+    return core::make_error("bad_hash", "payload hash mismatch");
+  }
+
+  BootImage image;
+  image.name = manifest_.stage;
+  image.version = manifest_.version;
+  image.payload = std::move(buffer_);
+  image.signature = manifest_.image_signature;
+  buffer_.clear();
+  if (!crypto::ed25519_verify(signer_key_, image.encode_signed(), image.signature)) {
+    return core::make_error("bad_signature", "installed image signature invalid");
+  }
+  return image;
+}
+
+}  // namespace agrarsec::secure

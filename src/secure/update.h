@@ -1,0 +1,72 @@
+// Signed over-the-air firmware update. Updates arrive at remote worksites
+// over the machine-to-machine links (no backhaul — Table I: remote and
+// isolated locations), so the update container must be self-authenticating:
+// a signed manifest plus hash-chained chunks, verified before install, with
+// anti-rollback through SecureBootRom versions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bytes.h"
+#include "core/result.h"
+#include "crypto/ed25519.h"
+#include "crypto/sha256.h"
+#include "secure/boot.h"
+
+namespace agrarsec::secure {
+
+/// Signed description of an update.
+struct UpdateManifest {
+  std::string stage;           ///< which boot stage this replaces
+  std::uint32_t version = 0;
+  std::uint64_t total_size = 0;
+  std::uint32_t chunk_size = 0;
+  crypto::Sha256::Digest payload_hash{};
+  /// Signature over the resulting BootImage (stage/version/payload hash),
+  /// produced by the OEM signer and installed verbatim — the receiver
+  /// never holds a signing key.
+  crypto::Ed25519Signature image_signature{};
+  crypto::Ed25519Signature signature{};  ///< over encode_signed()
+
+  [[nodiscard]] core::Bytes encode_signed() const;
+};
+
+/// Produces a manifest + chunk list for `payload`.
+struct PreparedUpdate {
+  UpdateManifest manifest;
+  std::vector<core::Bytes> chunks;
+};
+PreparedUpdate prepare_update(const std::string& stage, std::uint32_t version,
+                              const core::Bytes& payload, std::uint32_t chunk_size,
+                              const crypto::Ed25519KeyPair& signer);
+
+/// Receiver-side state machine: begin(manifest) -> feed(chunks...) ->
+/// finalize() -> BootImage ready for SecureBootRom.
+class UpdateReceiver {
+ public:
+  explicit UpdateReceiver(crypto::Ed25519PublicKey signer_key);
+
+  /// Validates the manifest signature and basic sanity.
+  core::Status begin(const UpdateManifest& manifest);
+
+  /// Appends the next chunk in order.
+  core::Status feed(std::span<const std::uint8_t> chunk);
+
+  /// Verifies the full payload hash and the OEM image signature, and
+  /// emits the installable image.
+  core::Result<BootImage> finalize();
+
+  [[nodiscard]] bool in_progress() const { return in_progress_; }
+  [[nodiscard]] std::uint64_t received_bytes() const { return buffer_.size(); }
+
+ private:
+  crypto::Ed25519PublicKey signer_key_;
+  UpdateManifest manifest_;
+  core::Bytes buffer_;
+  bool in_progress_ = false;
+};
+
+}  // namespace agrarsec::secure

@@ -1,0 +1,23 @@
+// Common detection record produced by perception sensors and consumed by
+// the safety fusion layer (and serialized into net::DetectionBody when a
+// drone reports over the radio link).
+#pragma once
+
+#include <cstdint>
+
+#include "core/geometry.h"
+#include "core/time.h"
+#include "core/types.h"
+
+namespace agrarsec::sensors {
+
+struct Detection {
+  HumanId target;              ///< ground-truth id (invalid for ghosts)
+  core::Vec2 position;         ///< estimated planar position
+  double confidence = 0.0;     ///< [0,1]
+  SensorId source;
+  core::SimTime time = 0;
+  bool ghost = false;          ///< injected by a sensor attack
+};
+
+}  // namespace agrarsec::sensors

@@ -1,0 +1,51 @@
+#include "sensors/gnss.h"
+
+namespace agrarsec::sensors {
+
+GnssReceiver::GnssReceiver(SensorId id, GnssConfig config) : id_(id), config_(config) {}
+
+void GnssReceiver::set_attack(GnssAttack attack) {
+  attack_ = attack;
+  spoof_running_ = false;
+}
+
+std::optional<GnssFix> GnssReceiver::fix(core::Vec2 true_position, core::SimTime now,
+                                         core::Rng& rng) {
+  if (attack_.jam) return std::nullopt;
+  if (!rng.chance(config_.fix_probability)) return std::nullopt;
+
+  const double sigma = config_.noise_sigma_m * config_.canopy_factor;
+  core::Vec2 measured = true_position +
+                        core::Vec2{rng.normal(0, sigma), rng.normal(0, sigma)};
+
+  if (attack_.active_spoof) {
+    if (!spoof_running_) {
+      spoof_running_ = true;
+      spoof_started_ = now;
+    }
+    const double t = static_cast<double>(now - spoof_started_) / core::kSecond;
+    const core::Vec2 drift =
+        attack_.spoof_drift_dir.normalized() * (attack_.spoof_drift_mps * t);
+    measured = measured + attack_.spoof_offset + drift;
+  }
+
+  GnssFix out;
+  out.position = measured;
+  // Spoofers advertise excellent quality; honest degraded fixes report it.
+  out.hdop = attack_.active_spoof ? 0.8 : config_.canopy_factor;
+  out.time = now;
+  return out;
+}
+
+GnssPlausibilityMonitor::GnssPlausibilityMonitor(double gate_m) : gate_m_(gate_m) {}
+
+bool GnssPlausibilityMonitor::check(const GnssFix& fix, core::Vec2 dead_reckoned) {
+  const double innovation = core::distance(fix.position, dead_reckoned);
+  if (innovation > gate_m_) {
+    ++violations_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace agrarsec::sensors

@@ -1,0 +1,78 @@
+// GNSS receiver model with the attack surface the paper's §IV-C transfers
+// from the mining AHS literature: spoofing (position offset injection) and
+// jamming (loss of fix). Under forest canopy the baseline accuracy is
+// already degraded (canopy factor), which matters for how quickly a
+// plausibility monitor can notice a spoofing drift.
+#pragma once
+
+#include <optional>
+
+#include "core/geometry.h"
+#include "core/rng.h"
+#include "core/time.h"
+#include "core/types.h"
+
+namespace agrarsec::sensors {
+
+struct GnssConfig {
+  double noise_sigma_m = 0.8;       ///< open-sky 1-sigma error
+  double canopy_factor = 2.5;       ///< multiplier under dense canopy
+  double fix_probability = 0.995;   ///< per-epoch fix availability
+};
+
+struct GnssFix {
+  core::Vec2 position;
+  double hdop = 1.0;   ///< reported quality (spoofers fake good values)
+  core::SimTime time = 0;
+};
+
+/// Attack state applied to one receiver.
+struct GnssAttack {
+  bool jam = false;
+  core::Vec2 spoof_offset{};        ///< constant offset once locked
+  double spoof_drift_mps = 0.0;     ///< slow walk-off (harder to detect)
+  core::Vec2 spoof_drift_dir{1.0, 0.0};  ///< walk-off direction (unit-ish)
+  bool active_spoof = false;
+};
+
+class GnssReceiver {
+ public:
+  GnssReceiver(SensorId id, GnssConfig config);
+
+  void set_attack(GnssAttack attack);
+  [[nodiscard]] const GnssAttack& attack() const { return attack_; }
+
+  /// One epoch. Returns nullopt when jammed or no fix this epoch.
+  [[nodiscard]] std::optional<GnssFix> fix(core::Vec2 true_position,
+                                           core::SimTime now, core::Rng& rng);
+
+  [[nodiscard]] SensorId id() const { return id_; }
+
+ private:
+  SensorId id_;
+  GnssConfig config_;
+  GnssAttack attack_;
+  core::SimTime spoof_started_ = 0;
+  bool spoof_running_ = false;
+};
+
+/// Plausibility monitor cross-checking GNSS against dead reckoning
+/// (odometry). Flags when the innovation exceeds a gate — the standard
+/// anti-spoofing defence Ren et al. (paper ref [27]) list as "checking
+/// signal characteristics" at the application level.
+class GnssPlausibilityMonitor {
+ public:
+  explicit GnssPlausibilityMonitor(double gate_m = 6.0);
+
+  /// Feeds a fix plus the dead-reckoned position; returns true when the
+  /// discrepancy breaches the gate (possible spoofing).
+  bool check(const GnssFix& fix, core::Vec2 dead_reckoned);
+
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  double gate_m_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace agrarsec::sensors

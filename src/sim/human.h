@@ -1,0 +1,53 @@
+// Human workers on the partially-autonomous worksite. The paper's central
+// safety function is detecting people close to the autonomous forwarder;
+// workers here move with a random-waypoint model biased towards the
+// manual harvesting area, which is where forwarders and people actually
+// mix.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/geometry.h"
+#include "core/rng.h"
+#include "core/time.h"
+#include "core/types.h"
+
+namespace agrarsec::sim {
+
+struct HumanConfig {
+  double walk_speed_mps = 1.3;
+  double pause_probability = 0.3;    ///< chance of pausing at a waypoint
+  core::SimDuration pause_mean = 20 * core::kSecond;
+  double work_area_radius = 60.0;    ///< waypoints drawn near the anchor
+  double body_height_m = 1.7;
+};
+
+class Human {
+ public:
+  Human(HumanId id, std::string name, core::Vec2 position, core::Vec2 work_anchor,
+        HumanConfig config);
+
+  [[nodiscard]] HumanId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] core::Vec2 position() const { return position_; }
+  [[nodiscard]] double height() const { return config_.body_height_m; }
+
+  /// Re-anchors the work area (e.g. following the harvester).
+  void set_work_anchor(core::Vec2 anchor) { work_anchor_ = anchor; }
+
+  void step(core::SimDuration dt_ms, core::Rng& rng);
+
+ private:
+  void pick_waypoint(core::Rng& rng);
+
+  HumanId id_;
+  std::string name_;
+  core::Vec2 position_;
+  core::Vec2 work_anchor_;
+  HumanConfig config_;
+  std::optional<core::Vec2> waypoint_;
+  core::SimDuration pause_remaining_ = 0;
+};
+
+}  // namespace agrarsec::sim

@@ -1,0 +1,113 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agrarsec::sim {
+
+std::string_view machine_kind_name(MachineKind kind) {
+  switch (kind) {
+    case MachineKind::kForwarder: return "forwarder";
+    case MachineKind::kHarvester: return "harvester";
+    case MachineKind::kDrone: return "drone";
+  }
+  return "?";
+}
+
+Machine::Machine(MachineId id, MachineKind kind, std::string name, core::Vec2 position,
+                 MachineConfig config)
+    : id_(id), kind_(kind), name_(std::move(name)), position_(position),
+      config_(config) {}
+
+void Machine::set_route(std::deque<core::Vec2> waypoints) {
+  waypoints_ = std::move(waypoints);
+}
+
+void Machine::push_waypoint(core::Vec2 waypoint) { waypoints_.push_back(waypoint); }
+
+std::optional<core::Vec2> Machine::current_waypoint() const {
+  if (waypoints_.empty()) return std::nullopt;
+  return waypoints_.front();
+}
+
+void Machine::emergency_stop(bool hard) {
+  mode_ = DriveMode::kStopped;
+  hard_braking_ = hard;
+}
+
+void Machine::release_stop() {
+  if (mode_ == DriveMode::kStopped) mode_ = DriveMode::kNormal;
+}
+
+void Machine::set_degraded(bool degraded) {
+  if (mode_ == DriveMode::kStopped) return;  // stop wins
+  mode_ = degraded ? DriveMode::kDegraded : DriveMode::kNormal;
+}
+
+void Machine::load_logs(double volume_m3) {
+  load_m3_ = std::min(config_.load_capacity_m3, load_m3_ + volume_m3);
+}
+
+double Machine::unload_logs() {
+  const double v = load_m3_;
+  load_m3_ = 0.0;
+  return v;
+}
+
+double Machine::step(core::SimDuration dt_ms) {
+  const double dt = static_cast<double>(dt_ms) / core::kSecond;
+
+  if (mode_ == DriveMode::kStopped) {
+    // Decelerate to rest.
+    const double decel =
+        hard_braking_ ? config_.brake_decel_mps2 : config_.brake_decel_mps2 * 0.5;
+    speed_ = std::max(0.0, speed_ - decel * dt);
+    const double travelled = speed_ * dt;
+    position_ = position_ + core::Vec2{std::cos(heading_), std::sin(heading_)} * travelled;
+    odometer_ += travelled;
+    return travelled;
+  }
+
+  if (waypoints_.empty()) {
+    speed_ = 0.0;
+    return 0.0;
+  }
+
+  const core::Vec2 target = waypoints_.front();
+  const core::Vec2 delta = target - position_;
+  const double dist = delta.norm();
+  if (dist < kWaypointTolerance) {
+    waypoints_.pop_front();
+    return step(0);  // re-evaluate with next waypoint (zero time)
+  }
+
+  // Turn towards the target with a yaw-rate limit.
+  const double desired_heading = std::atan2(delta.y, delta.x);
+  const double heading_error = core::wrap_angle(desired_heading - heading_);
+  const double max_turn = config_.turn_rate_rps * dt;
+  heading_ += std::clamp(heading_error, -max_turn, max_turn);
+  heading_ = core::wrap_angle(heading_);
+
+  // Speed: slow down in tight turns, when degraded, and on waypoint
+  // approach. The approach slowdown keeps the turning radius
+  // (speed / turn_rate) below the waypoint tolerance — without it a fast
+  // machine orbits a waypoint it can never turn tightly enough to hit.
+  double target_speed =
+      (mode_ == DriveMode::kDegraded ? config_.degraded_speed_mps
+                                     : config_.max_speed_mps) *
+      (std::abs(heading_error) > 0.7 ? 0.4 : 1.0);
+  const double capture_speed = config_.turn_rate_rps * kWaypointTolerance * 0.8;
+  if (dist < 8.0) {
+    target_speed = std::min(target_speed, std::max(capture_speed, dist * 0.4));
+  }
+  // Simple first-order speed response.
+  speed_ += std::clamp(target_speed - speed_, -config_.brake_decel_mps2 * dt,
+                       config_.brake_decel_mps2 * dt);
+
+  const double travelled = std::min(speed_ * dt, dist);
+  position_ = position_ + core::Vec2{std::cos(heading_), std::sin(heading_)} * travelled;
+  odometer_ += travelled;
+  return travelled;
+}
+
+}  // namespace agrarsec::sim

@@ -1,0 +1,101 @@
+// Machine kinematics: forwarders (autonomous log carriers), manually
+// operated harvesters, and observation drones. Machines follow waypoint
+// routes; the safety stack can command e-stops and degraded (slow) modes,
+// which is how cybersecurity events propagate into physical behaviour.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "core/geometry.h"
+#include "core/time.h"
+#include "core/types.h"
+
+namespace agrarsec::sim {
+
+enum class MachineKind : std::uint8_t { kForwarder = 0, kHarvester = 1, kDrone = 2 };
+
+[[nodiscard]] std::string_view machine_kind_name(MachineKind kind);
+
+enum class DriveMode : std::uint8_t {
+  kNormal = 0,
+  kDegraded = 1,   ///< reduced speed (e.g. lost collaborative safety cover)
+  kStopped = 2,    ///< e-stop latched; needs explicit release
+};
+
+struct MachineConfig {
+  double max_speed_mps = 4.0;        ///< forwarder off-road speed
+  double degraded_speed_mps = 1.0;
+  double turn_rate_rps = 0.6;        ///< yaw rate limit
+  double brake_decel_mps2 = 3.0;     ///< e-stop deceleration
+  double body_radius_m = 1.8;
+  double sensor_height_m = 2.6;      ///< cab-top sensor mast
+  double altitude_m = 0.0;           ///< >0 for drones (AGL)
+  double load_capacity_m3 = 14.0;    ///< forwarder bunk volume
+};
+
+class Machine {
+ public:
+  Machine(MachineId id, MachineKind kind, std::string name, core::Vec2 position,
+          MachineConfig config);
+
+  [[nodiscard]] MachineId id() const { return id_; }
+  [[nodiscard]] MachineKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] core::Vec2 position() const { return position_; }
+  [[nodiscard]] double heading() const { return heading_; }
+  [[nodiscard]] double speed() const { return speed_; }
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+  [[nodiscard]] DriveMode mode() const { return mode_; }
+
+  /// Height of the machine's sensor origin above ground (drones: altitude).
+  [[nodiscard]] double sensor_agl() const {
+    return kind_ == MachineKind::kDrone ? config_.altitude_m : config_.sensor_height_m;
+  }
+
+  // --- routing ---
+  void set_route(std::deque<core::Vec2> waypoints);
+  void push_waypoint(core::Vec2 waypoint);
+  [[nodiscard]] bool idle() const { return waypoints_.empty(); }
+  [[nodiscard]] std::optional<core::Vec2> current_waypoint() const;
+
+  // --- safety interface ---
+  /// Latches an emergency stop. `hard` brakes at brake_decel, otherwise
+  /// a controlled stop at twice the braking distance.
+  void emergency_stop(bool hard = true);
+  void release_stop();
+  void set_degraded(bool degraded);
+  [[nodiscard]] bool stopped() const { return mode_ == DriveMode::kStopped; }
+
+  // --- load (forwarders) ---
+  void load_logs(double volume_m3);
+  double unload_logs();  ///< empties the bunk, returns volume removed
+  [[nodiscard]] double load_m3() const { return load_m3_; }
+  [[nodiscard]] bool full() const { return load_m3_ >= config_.load_capacity_m3 - 1e-9; }
+
+  /// Advances kinematics by dt. Returns distance travelled (m).
+  double step(core::SimDuration dt_ms);
+
+  /// Cumulative odometer (m).
+  [[nodiscard]] double odometer() const { return odometer_; }
+
+ private:
+  MachineId id_;
+  MachineKind kind_;
+  std::string name_;
+  core::Vec2 position_;
+  double heading_ = 0.0;
+  double speed_ = 0.0;
+  MachineConfig config_;
+  DriveMode mode_ = DriveMode::kNormal;
+  bool hard_braking_ = false;
+  std::deque<core::Vec2> waypoints_;
+  double load_m3_ = 0.0;
+  double odometer_ = 0.0;
+
+  static constexpr double kWaypointTolerance = 1.5;  // m
+};
+
+}  // namespace agrarsec::sim

@@ -1,0 +1,194 @@
+#include "sim/pathfinding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace agrarsec::sim {
+
+PathPlanner::PathPlanner(const Terrain& terrain, PlannerConfig config)
+    : terrain_(terrain), config_(config) {
+  const core::Aabb& bounds = terrain.bounds();
+  width_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / config_.cell_size_m)));
+  height_ =
+      std::max(1, static_cast<int>(std::ceil(bounds.height() / config_.cell_size_m)));
+  blocked_.assign(static_cast<std::size_t>(width_) * height_, 0);
+
+  for (int cy = 0; cy < height_; ++cy) {
+    for (int cx = 0; cx < width_; ++cx) {
+      const core::Vec2 center = cell_center(cx, cy);
+      bool bad = terrain_.blocked(center, config_.clearance_m);
+      if (!bad && config_.max_slope > 0.0) {
+        // Gradient estimate across one cell.
+        const double h = config_.cell_size_m * 0.5;
+        const double gx = (terrain_.ground_height({center.x + h, center.y}) -
+                           terrain_.ground_height({center.x - h, center.y})) /
+                          (2.0 * h);
+        const double gy = (terrain_.ground_height({center.x, center.y + h}) -
+                           terrain_.ground_height({center.x, center.y - h})) /
+                          (2.0 * h);
+        bad = std::hypot(gx, gy) > config_.max_slope;
+      }
+      blocked_[static_cast<std::size_t>(cy) * width_ + cx] = bad ? 1 : 0;
+    }
+  }
+}
+
+core::Vec2 PathPlanner::cell_center(int cx, int cy) const {
+  const core::Aabb& bounds = terrain_.bounds();
+  return {bounds.min.x + (cx + 0.5) * config_.cell_size_m,
+          bounds.min.y + (cy + 0.5) * config_.cell_size_m};
+}
+
+std::pair<int, int> PathPlanner::cell_of(core::Vec2 p) const {
+  const core::Aabb& bounds = terrain_.bounds();
+  const core::Vec2 q = bounds.clamp(p);
+  int cx = static_cast<int>((q.x - bounds.min.x) / config_.cell_size_m);
+  int cy = static_cast<int>((q.y - bounds.min.y) / config_.cell_size_m);
+  cx = std::clamp(cx, 0, width_ - 1);
+  cy = std::clamp(cy, 0, height_ - 1);
+  return {cx, cy};
+}
+
+bool PathPlanner::cell_free(int cx, int cy) const {
+  if (cx < 0 || cy < 0 || cx >= width_ || cy >= height_) return false;
+  return blocked_[static_cast<std::size_t>(cy) * width_ + cx] == 0;
+}
+
+std::optional<std::pair<int, int>> PathPlanner::nearest_free(int cx, int cy) const {
+  if (cell_free(cx, cy)) return std::make_pair(cx, cy);
+  for (int radius = 1; radius <= 8; ++radius) {
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+        if (cell_free(cx + dx, cy + dy)) return std::make_pair(cx + dx, cy + dy);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool PathPlanner::segment_clear(core::Vec2 a, core::Vec2 b) const {
+  // Clearance against obstacles.
+  for (const Obstacle* o : terrain_.obstacles_near_segment(a, b, config_.clearance_m)) {
+    (void)o;
+    return false;
+  }
+  // Slope check sampled along the segment.
+  const double len = core::distance(a, b);
+  const int samples = std::max(2, static_cast<int>(len / config_.cell_size_m));
+  for (int i = 0; i <= samples; ++i) {
+    const double t = static_cast<double>(i) / samples;
+    const auto [cx, cy] = cell_of(a + (b - a) * t);
+    if (!cell_free(cx, cy)) return false;
+  }
+  return true;
+}
+
+std::vector<core::Vec2> PathPlanner::smooth(const std::vector<core::Vec2>& raw) const {
+  if (raw.size() <= 2) return raw;
+  std::vector<core::Vec2> out;
+  std::size_t anchor = 0;
+  out.push_back(raw[0]);
+  while (anchor + 1 < raw.size()) {
+    // Greedily extend the shortcut as far as the segment stays clear.
+    std::size_t best = anchor + 1;
+    for (std::size_t probe = raw.size() - 1; probe > anchor + 1; --probe) {
+      if (segment_clear(raw[anchor], raw[probe])) {
+        best = probe;
+        break;
+      }
+    }
+    out.push_back(raw[best]);
+    anchor = best;
+  }
+  return out;
+}
+
+std::optional<std::vector<core::Vec2>> PathPlanner::plan(core::Vec2 start,
+                                                         core::Vec2 goal) const {
+  const auto start_cell = nearest_free(cell_of(start).first, cell_of(start).second);
+  const auto goal_cell = nearest_free(cell_of(goal).first, cell_of(goal).second);
+  if (!start_cell || !goal_cell) return std::nullopt;
+
+  const int total = width_ * height_;
+  auto index = [this](int cx, int cy) { return cy * width_ + cx; };
+
+  std::vector<double> g(static_cast<std::size_t>(total),
+                        std::numeric_limits<double>::infinity());
+  std::vector<int> parent(static_cast<std::size_t>(total), -1);
+  std::vector<std::uint8_t> closed(static_cast<std::size_t>(total), 0);
+
+  struct Node {
+    double f;
+    int idx;
+    bool operator>(const Node& other) const { return f > other.f; }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+
+  const int start_idx = index(start_cell->first, start_cell->second);
+  const int goal_idx = index(goal_cell->first, goal_cell->second);
+  const core::Vec2 goal_center = cell_center(goal_cell->first, goal_cell->second);
+
+  auto heuristic = [&](int idx) {
+    const int cx = idx % width_;
+    const int cy = idx / width_;
+    return core::distance(cell_center(cx, cy), goal_center);
+  };
+
+  g[static_cast<std::size_t>(start_idx)] = 0.0;
+  open.push({heuristic(start_idx), start_idx});
+
+  static constexpr int kDx[8] = {1, -1, 0, 0, 1, 1, -1, -1};
+  static constexpr int kDy[8] = {0, 0, 1, -1, 1, -1, 1, -1};
+
+  std::size_t expansions = 0;
+  while (!open.empty()) {
+    const Node node = open.top();
+    open.pop();
+    if (closed[static_cast<std::size_t>(node.idx)]) continue;
+    closed[static_cast<std::size_t>(node.idx)] = 1;
+    if (node.idx == goal_idx) break;
+    if (++expansions > config_.max_expansions) return std::nullopt;
+
+    const int cx = node.idx % width_;
+    const int cy = node.idx / width_;
+    for (int dir = 0; dir < 8; ++dir) {
+      const int nx = cx + kDx[dir];
+      const int ny = cy + kDy[dir];
+      if (!cell_free(nx, ny)) continue;
+      // Forbid diagonal corner cutting through blocked orthogonals.
+      if (kDx[dir] != 0 && kDy[dir] != 0 &&
+          (!cell_free(cx + kDx[dir], cy) || !cell_free(cx, cy + kDy[dir]))) {
+        continue;
+      }
+      const int nidx = index(nx, ny);
+      if (closed[static_cast<std::size_t>(nidx)]) continue;
+      const double step =
+          (kDx[dir] != 0 && kDy[dir] != 0 ? 1.41421356237 : 1.0) * config_.cell_size_m;
+      const double candidate = g[static_cast<std::size_t>(node.idx)] + step;
+      if (candidate < g[static_cast<std::size_t>(nidx)]) {
+        g[static_cast<std::size_t>(nidx)] = candidate;
+        parent[static_cast<std::size_t>(nidx)] = node.idx;
+        open.push({candidate + heuristic(nidx), nidx});
+      }
+    }
+  }
+
+  if (!closed[static_cast<std::size_t>(goal_idx)]) return std::nullopt;
+
+  std::vector<core::Vec2> raw;
+  for (int idx = goal_idx; idx != -1; idx = parent[static_cast<std::size_t>(idx)]) {
+    raw.push_back(cell_center(idx % width_, idx / width_));
+  }
+  std::reverse(raw.begin(), raw.end());
+  raw.front() = start;  // anchor smoothing at the true pose
+  std::vector<core::Vec2> smoothed = smooth(raw);
+  // Drop the synthetic start point.
+  if (!smoothed.empty()) smoothed.erase(smoothed.begin());
+  if (smoothed.empty()) smoothed.push_back(goal_center);
+  return smoothed;
+}
+
+}  // namespace agrarsec::sim

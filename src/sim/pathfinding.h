@@ -1,0 +1,57 @@
+// Grid A* path planning over the terrain's obstacle field, with machine
+// clearance and route decimation. Forwarders plan collision-free routes
+// between piles and the landing; the mission-command attack surface
+// ("forged-mission" in the threat catalogue) goes exactly through these
+// planned routes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/geometry.h"
+#include "sim/terrain.h"
+
+namespace agrarsec::sim {
+
+struct PlannerConfig {
+  double cell_size_m = 4.0;     ///< planning resolution
+  double clearance_m = 2.0;     ///< machine body radius + margin
+  double max_slope = 0.35;      ///< impassable ground gradient (rise/run)
+  std::size_t max_expansions = 200000;  ///< search budget
+};
+
+class PathPlanner {
+ public:
+  PathPlanner(const Terrain& terrain, PlannerConfig config = {});
+
+  /// Plans from `start` to `goal`. Start/goal are clamped into bounds and
+  /// snapped off blocked cells to the nearest free cell when necessary.
+  /// Returns a decimated waypoint list (first element past `start`,
+  /// last == goal region center), or nullopt when unreachable within the
+  /// search budget.
+  [[nodiscard]] std::optional<std::vector<core::Vec2>> plan(core::Vec2 start,
+                                                            core::Vec2 goal) const;
+
+  /// True when the straight segment keeps clearance from all obstacles
+  /// and stays on passable slopes (used for route smoothing).
+  [[nodiscard]] bool segment_clear(core::Vec2 a, core::Vec2 b) const;
+
+  /// Whether a planning cell is traversable.
+  [[nodiscard]] bool cell_free(int cx, int cy) const;
+
+  [[nodiscard]] const PlannerConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] core::Vec2 cell_center(int cx, int cy) const;
+  [[nodiscard]] std::pair<int, int> cell_of(core::Vec2 p) const;
+  [[nodiscard]] std::optional<std::pair<int, int>> nearest_free(int cx, int cy) const;
+  [[nodiscard]] std::vector<core::Vec2> smooth(const std::vector<core::Vec2>& raw) const;
+
+  const Terrain& terrain_;
+  PlannerConfig config_;
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> blocked_;  ///< precomputed occupancy
+};
+
+}  // namespace agrarsec::sim

@@ -1,0 +1,173 @@
+#include "sim/terrain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace agrarsec::sim {
+
+Terrain::Terrain(core::Aabb bounds, std::vector<Obstacle> obstacles,
+                 std::vector<Hill> hills)
+    : bounds_(bounds), obstacles_(std::move(obstacles)), hills_(std::move(hills)) {
+  build_index();
+}
+
+Terrain Terrain::generate(const ForestConfig& config, core::Rng& rng) {
+  const double area_ha =
+      config.bounds.width() * config.bounds.height() / 10000.0;
+
+  std::vector<Obstacle> obstacles;
+  auto scatter = [&](ObstacleKind kind, double per_ha, double radius_mean,
+                     double height_mean) {
+    const auto count = rng.poisson(per_ha * area_ha);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Obstacle o;
+      o.kind = kind;
+      o.footprint.center = {rng.uniform(config.bounds.min.x, config.bounds.max.x),
+                            rng.uniform(config.bounds.min.y, config.bounds.max.y)};
+      o.footprint.radius = std::max(0.05, rng.normal(radius_mean, radius_mean * 0.3));
+      o.height_m = std::max(0.3, rng.normal(height_mean, height_mean * 0.25));
+      obstacles.push_back(o);
+    }
+  };
+  scatter(ObstacleKind::kTree, config.trees_per_hectare, config.tree_radius_mean,
+          config.tree_height_mean);
+  scatter(ObstacleKind::kBoulder, config.boulders_per_hectare,
+          config.boulder_radius_mean, config.boulder_height_mean);
+  scatter(ObstacleKind::kBrush, config.brush_per_hectare, config.brush_radius_mean,
+          config.brush_height_mean);
+
+  std::vector<Hill> hills;
+  for (std::size_t i = 0; i < config.hill_count; ++i) {
+    Hill h;
+    h.center = {rng.uniform(config.bounds.min.x, config.bounds.max.x),
+                rng.uniform(config.bounds.min.y, config.bounds.max.y)};
+    h.height_m = rng.uniform(0.5, config.hill_height_max);
+    h.radius_m = std::max(10.0, rng.normal(config.hill_radius_mean,
+                                           config.hill_radius_mean * 0.3));
+    hills.push_back(h);
+  }
+
+  return Terrain{config.bounds, std::move(obstacles), std::move(hills)};
+}
+
+std::int64_t Terrain::cell_key(std::int64_t cx, std::int64_t cy) const {
+  return cx * 1'000'003 + cy;
+}
+
+void Terrain::build_index() {
+  index_.clear();
+  for (std::uint32_t i = 0; i < obstacles_.size(); ++i) {
+    const Obstacle& o = obstacles_[i];
+    const auto min_cx = static_cast<std::int64_t>(
+        std::floor((o.footprint.center.x - o.footprint.radius) / cell_size_));
+    const auto max_cx = static_cast<std::int64_t>(
+        std::floor((o.footprint.center.x + o.footprint.radius) / cell_size_));
+    const auto min_cy = static_cast<std::int64_t>(
+        std::floor((o.footprint.center.y - o.footprint.radius) / cell_size_));
+    const auto max_cy = static_cast<std::int64_t>(
+        std::floor((o.footprint.center.y + o.footprint.radius) / cell_size_));
+    for (std::int64_t cx = min_cx; cx <= max_cx; ++cx) {
+      for (std::int64_t cy = min_cy; cy <= max_cy; ++cy) {
+        index_[cell_key(cx, cy)].push_back(i);
+      }
+    }
+  }
+}
+
+double Terrain::ground_height(core::Vec2 p) const {
+  double h = 0.0;
+  for (const Hill& hill : hills_) {
+    const double d2 = (p - hill.center).norm_sq();
+    h += hill.height_m * std::exp(-d2 / (2.0 * hill.radius_m * hill.radius_m));
+  }
+  return h;
+}
+
+std::vector<const Obstacle*> Terrain::obstacles_near_segment(core::Vec2 a, core::Vec2 b,
+                                                             double margin) const {
+  std::set<std::uint32_t> candidates;
+  // Expand the traversal by visiting the 3x3 neighbourhood of each crossed
+  // cell so obstacles whose footprints straddle cell borders are found.
+  core::traverse_grid(a, b, cell_size_, [&](std::int64_t cx, std::int64_t cy) {
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = index_.find(cell_key(cx + dx, cy + dy));
+        if (it == index_.end()) continue;
+        for (std::uint32_t i : it->second) candidates.insert(i);
+      }
+    }
+    return true;
+  });
+
+  std::vector<const Obstacle*> out;
+  for (std::uint32_t i : candidates) {
+    const Obstacle& o = obstacles_[i];
+    if (core::point_segment_distance(o.footprint.center, a, b) <=
+        o.footprint.radius + margin) {
+      out.push_back(&o);
+    }
+  }
+  return out;
+}
+
+Terrain::OcclusionCause Terrain::occlusion_cause(core::Vec2 from_xy, double from_agl,
+                                                 core::Vec2 to_xy,
+                                                 double to_agl) const {
+  const double z_from = ground_height(from_xy) + from_agl;
+  const double z_to = ground_height(to_xy) + to_agl;
+  const double planar_len = core::distance(from_xy, to_xy);
+  if (planar_len < 1e-9) return OcclusionCause::kNone;
+
+  // Obstacle occlusion: an obstacle blocks the ray when the ray's height
+  // at the crossing point is below the obstacle's top (ground + height).
+  for (const Obstacle* o : obstacles_near_segment(from_xy, to_xy)) {
+    const core::Vec2 dir = (to_xy - from_xy) * (1.0 / planar_len);
+    const double t = std::clamp((o->footprint.center - from_xy).dot(dir), 0.0,
+                                planar_len);
+    // Skip obstacles essentially at an endpoint (the observer/target's own
+    // immediate surroundings do not self-occlude).
+    if (t < 0.5 || t > planar_len - 0.5) continue;
+    const double ray_z = z_from + (z_to - z_from) * (t / planar_len);
+    const core::Vec2 at = from_xy + dir * t;
+    const double top = ground_height(at) + o->height_m;
+    if (ray_z < top) {
+      switch (o->kind) {
+        case ObstacleKind::kTree: return OcclusionCause::kTree;
+        case ObstacleKind::kBoulder: return OcclusionCause::kBoulder;
+        case ObstacleKind::kBrush: return OcclusionCause::kBrush;
+      }
+    }
+  }
+
+  // Terrain occlusion: sample the ground along the ray.
+  constexpr double kSample = 5.0;
+  const int samples = std::max(2, static_cast<int>(planar_len / kSample));
+  for (int i = 1; i < samples; ++i) {
+    const double t = static_cast<double>(i) / samples;
+    const core::Vec2 at = from_xy + (to_xy - from_xy) * t;
+    const double ray_z = z_from + (z_to - z_from) * t;
+    if (ray_z < ground_height(at) - 1e-9) return OcclusionCause::kTerrain;
+  }
+  return OcclusionCause::kNone;
+}
+
+bool Terrain::blocked(core::Vec2 p, double radius) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_size_));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_size_));
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const auto it = index_.find(cell_key(cx + dx, cy + dy));
+      if (it == index_.end()) continue;
+      for (std::uint32_t i : it->second) {
+        const Obstacle& o = obstacles_[i];
+        if (core::distance(o.footprint.center, p) < o.footprint.radius + radius) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace agrarsec::sim

@@ -1,0 +1,103 @@
+// Forest terrain: a smooth height field (sum of Gaussian hills) plus
+// discrete obstacles (tree stems, boulders, brush). The central query is
+// 3D line-of-sight, which is exactly what the paper's Figure 2 use case
+// is about: terrain obstacles occlude the forwarder's ground-level view
+// of people, while an elevated drone viewpoint clears them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/geometry.h"
+#include "core/rng.h"
+
+namespace agrarsec::sim {
+
+enum class ObstacleKind : std::uint8_t { kTree = 0, kBoulder = 1, kBrush = 2 };
+
+struct Obstacle {
+  ObstacleKind kind = ObstacleKind::kTree;
+  core::Circle footprint;
+  double height_m = 0.0;  ///< occluding height above local ground
+};
+
+/// A smooth hill in the height field.
+struct Hill {
+  core::Vec2 center;
+  double height_m = 0.0;
+  double radius_m = 0.0;  ///< Gaussian sigma
+};
+
+struct ForestConfig {
+  core::Aabb bounds{{0, 0}, {500, 500}};
+  double trees_per_hectare = 400.0;  ///< typical managed Nordic forest
+  double tree_radius_mean = 0.18;    ///< stem radius, metres
+  double tree_height_mean = 16.0;
+  double boulders_per_hectare = 8.0;
+  double boulder_radius_mean = 1.1;
+  double boulder_height_mean = 1.4;
+  double brush_per_hectare = 40.0;
+  double brush_radius_mean = 0.9;
+  double brush_height_mean = 1.2;
+  std::size_t hill_count = 6;
+  double hill_height_max = 8.0;
+  double hill_radius_mean = 60.0;
+};
+
+class Terrain {
+ public:
+  Terrain(core::Aabb bounds, std::vector<Obstacle> obstacles, std::vector<Hill> hills);
+
+  /// Procedurally generates a forest stand.
+  static Terrain generate(const ForestConfig& config, core::Rng& rng);
+
+  [[nodiscard]] const core::Aabb& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+
+  /// Ground elevation at a point.
+  [[nodiscard]] double ground_height(core::Vec2 p) const;
+
+  /// What (if anything) blocks the 3D sight line between two points given
+  /// with heights *above ground* at their planar positions.
+  enum class OcclusionCause : std::uint8_t {
+    kNone = 0,
+    kTree = 1,
+    kBoulder = 2,
+    kBrush = 3,
+    kTerrain = 4,  ///< hill crest between the endpoints
+  };
+  [[nodiscard]] OcclusionCause occlusion_cause(core::Vec2 from_xy, double from_agl,
+                                               core::Vec2 to_xy, double to_agl) const;
+
+  /// 3D line-of-sight between two points given with heights *above ground*
+  /// at their respective planar positions. Checks both obstacle occlusion
+  /// and terrain (hill) occlusion.
+  [[nodiscard]] bool line_of_sight(core::Vec2 from_xy, double from_agl,
+                                   core::Vec2 to_xy, double to_agl) const {
+    return occlusion_cause(from_xy, from_agl, to_xy, to_agl) == OcclusionCause::kNone;
+  }
+
+  /// True when the disc of `radius` at `p` overlaps an obstacle footprint
+  /// (for machine/human placement and navigation).
+  [[nodiscard]] bool blocked(core::Vec2 p, double radius) const;
+
+  /// Obstacles whose footprint comes within `margin` of segment [a,b].
+  [[nodiscard]] std::vector<const Obstacle*> obstacles_near_segment(
+      core::Vec2 a, core::Vec2 b, double margin = 0.0) const;
+
+  [[nodiscard]] std::size_t obstacle_count() const { return obstacles_.size(); }
+
+ private:
+  void build_index();
+  [[nodiscard]] std::int64_t cell_key(std::int64_t cx, std::int64_t cy) const;
+
+  core::Aabb bounds_;
+  std::vector<Obstacle> obstacles_;
+  std::vector<Hill> hills_;
+  double cell_size_ = 10.0;
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> index_;
+};
+
+}  // namespace agrarsec::sim

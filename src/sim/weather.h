@@ -1,0 +1,22 @@
+// Weather conditions affecting sensor performance (paper §III-D: AI and
+// sensing validity across environmental conditions is a core validation
+// challenge; the sensor models expose these factors explicitly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace agrarsec::sim {
+
+enum class Weather : std::uint8_t { kClear = 0, kRain = 1, kFog = 2, kSnow = 3 };
+
+[[nodiscard]] std::string_view weather_name(Weather weather);
+
+/// Multiplicative effect of weather on a sensor's effective range, and an
+/// additive per-frame miss probability. Derived per sensor modality.
+struct WeatherEffect {
+  double range_factor = 1.0;
+  double extra_miss_probability = 0.0;
+};
+
+}  // namespace agrarsec::sim

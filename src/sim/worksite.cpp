@@ -1,0 +1,315 @@
+#include "sim/worksite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace agrarsec::sim {
+
+namespace {
+std::string_view task_name(ForwarderTask task) {
+  switch (task) {
+    case ForwarderTask::kIdle: return "idle";
+    case ForwarderTask::kToPile: return "to-pile";
+    case ForwarderTask::kLoading: return "loading";
+    case ForwarderTask::kToLanding: return "to-landing";
+    case ForwarderTask::kUnloading: return "unloading";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string_view weather_name(Weather weather) {
+  switch (weather) {
+    case Weather::kClear: return "clear";
+    case Weather::kRain: return "rain";
+    case Weather::kFog: return "fog";
+    case Weather::kSnow: return "snow";
+  }
+  return "?";
+}
+
+Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed), clock_(config.step) {
+  core::Rng terrain_rng = rng_.fork(0x7e44a1);
+  terrain_ = std::make_unique<Terrain>(Terrain::generate(config_.forest, terrain_rng));
+  planner_ = std::make_unique<PathPlanner>(*terrain_);
+}
+
+std::deque<core::Vec2> Worksite::plan_route(core::Vec2 from, core::Vec2 to) const {
+  if (auto path = planner_->plan(from, to)) {
+    return std::deque<core::Vec2>(path->begin(), path->end());
+  }
+  return {to};
+}
+
+MachineId Worksite::add_forwarder(const std::string& name, core::Vec2 position,
+                                  MachineConfig config) {
+  const MachineId id = machine_ids_.next();
+  machines_.push_back(
+      std::make_unique<Machine>(id, MachineKind::kForwarder, name, position, config));
+  forwarder_states_[id.value()] = ForwarderState{};
+  return id;
+}
+
+MachineId Worksite::add_harvester(const std::string& name, core::Vec2 position) {
+  const MachineId id = machine_ids_.next();
+  MachineConfig config;
+  config.max_speed_mps = 1.5;  // harvesters crawl while working
+  machines_.push_back(
+      std::make_unique<Machine>(id, MachineKind::kHarvester, name, position, config));
+  return id;
+}
+
+MachineId Worksite::add_drone(const std::string& name, core::Vec2 position,
+                              double altitude_m) {
+  const MachineId id = machine_ids_.next();
+  MachineConfig config;
+  config.max_speed_mps = 12.0;
+  config.turn_rate_rps = 2.5;
+  config.altitude_m = altitude_m;
+  config.body_radius_m = 0.4;
+  machines_.push_back(
+      std::make_unique<Machine>(id, MachineKind::kDrone, name, position, config));
+  return id;
+}
+
+HumanId Worksite::add_worker(const std::string& name, core::Vec2 position,
+                             core::Vec2 work_anchor, HumanConfig config) {
+  const HumanId id = human_ids_.next();
+  humans_.push_back(std::make_unique<Human>(id, name, position, work_anchor, config));
+  return id;
+}
+
+std::vector<Machine*> Worksite::machines() {
+  std::vector<Machine*> out;
+  out.reserve(machines_.size());
+  for (auto& m : machines_) out.push_back(m.get());
+  return out;
+}
+
+std::vector<const Machine*> Worksite::machines() const {
+  std::vector<const Machine*> out;
+  out.reserve(machines_.size());
+  for (const auto& m : machines_) out.push_back(m.get());
+  return out;
+}
+
+Machine* Worksite::machine(MachineId id) {
+  for (auto& m : machines_) {
+    if (m->id() == id) return m.get();
+  }
+  return nullptr;
+}
+
+const Machine* Worksite::machine(MachineId id) const {
+  for (const auto& m : machines_) {
+    if (m->id() == id) return m.get();
+  }
+  return nullptr;
+}
+
+std::vector<Human*> Worksite::humans() {
+  std::vector<Human*> out;
+  out.reserve(humans_.size());
+  for (auto& h : humans_) out.push_back(h.get());
+  return out;
+}
+
+std::vector<const Human*> Worksite::humans() const {
+  std::vector<const Human*> out;
+  out.reserve(humans_.size());
+  for (const auto& h : humans_) out.push_back(h.get());
+  return out;
+}
+
+ForwarderTask Worksite::task(MachineId id) const {
+  const auto it = forwarder_states_.find(id.value());
+  return it == forwarder_states_.end() ? ForwarderTask::kIdle : it->second.task;
+}
+
+void Worksite::set_drone_orbit(MachineId drone, MachineId anchor, double radius) {
+  drone_orbits_[drone.value()] = DroneOrbit{anchor, radius, 0.0};
+}
+
+std::optional<std::size_t> Worksite::nearest_pile(core::Vec2 from) const {
+  std::optional<std::size_t> best;
+  double best_dist = 1e18;
+  for (std::size_t i = 0; i < piles_.size(); ++i) {
+    if (piles_[i].volume_m3 < 0.5) continue;
+    const double d = core::distance(piles_[i].position, from);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Worksite::step_harvester(Machine& harvester) {
+  // The harvester fells and processes continuously; every
+  // pile_capacity_m3 produced, a new pile appears beside it.
+  const double per_step = config_.harvester_output_m3_per_min *
+                          static_cast<double>(config_.step) / core::kMinute;
+  harvester_accumulator_m3_ += per_step;
+  if (harvester_accumulator_m3_ >= config_.pile_capacity_m3) {
+    harvester_accumulator_m3_ -= config_.pile_capacity_m3;
+    const double angle = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+    LogPile pile;
+    pile.position = harvester.position() +
+                    core::Vec2{std::cos(angle), std::sin(angle)} * 6.0;
+    pile.position = terrain_->bounds().clamp(pile.position);
+    pile.volume_m3 = config_.pile_capacity_m3;
+    piles_.push_back(pile);
+    bus_.publish({"worksite/pile", "volume=" + std::to_string(pile.volume_m3),
+                  harvester.id().value(), clock_.now()});
+  }
+
+  // Slowly advance the harvester through the stand.
+  if (harvester.idle()) {
+    const core::Vec2 target{
+        rng_.uniform(terrain_->bounds().min.x + 20, terrain_->bounds().max.x - 20),
+        rng_.uniform(terrain_->bounds().min.y + 20, terrain_->bounds().max.y - 20)};
+    harvester.push_waypoint(target);
+  }
+}
+
+void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
+  switch (state.task) {
+    case ForwarderTask::kIdle: {
+      const auto pile = nearest_pile(forwarder.position());
+      if (pile) {
+        state.pile_index = pile;
+        state.task = ForwarderTask::kToPile;
+        forwarder.set_route(plan_route(forwarder.position(), piles_[*pile].position));
+        bus_.publish({"forwarder/task", std::string("task=") +
+                          std::string(task_name(state.task)),
+                      forwarder.id().value(), clock_.now()});
+      }
+      break;
+    }
+    case ForwarderTask::kToPile: {
+      if (!state.pile_index || piles_[*state.pile_index].volume_m3 < 0.5) {
+        state.task = ForwarderTask::kIdle;
+        break;
+      }
+      const core::Vec2 pile_pos = piles_[*state.pile_index].position;
+      const double pile_dist = core::distance(forwarder.position(), pile_pos);
+      if (pile_dist < 4.0) {
+        state.task = ForwarderTask::kLoading;
+        state.action_remaining = config_.load_time;
+      } else if (forwarder.idle()) {
+        // Piles drop next to the harvester, frequently inside planner-
+        // blocked cells; once close, crawl the final approach straight
+        // (the machine threads between stems at walking pace in reality).
+        if (pile_dist < 25.0) {
+          forwarder.set_route({pile_pos});
+        } else {
+          forwarder.set_route(plan_route(forwarder.position(), pile_pos));
+        }
+      }
+      break;
+    }
+    case ForwarderTask::kLoading: {
+      if (forwarder.stopped()) break;  // e-stop pauses work
+      state.action_remaining -= config_.step;
+      if (state.action_remaining <= 0) {
+        LogPile& pile = piles_[*state.pile_index];
+        const double take = std::min(
+            pile.volume_m3, forwarder.config().load_capacity_m3 - forwarder.load_m3());
+        pile.volume_m3 -= take;
+        forwarder.load_logs(take);
+        if (forwarder.full() || !nearest_pile(forwarder.position())) {
+          state.task = ForwarderTask::kToLanding;
+          forwarder.set_route(plan_route(forwarder.position(), config_.landing_area));
+        } else {
+          state.task = ForwarderTask::kIdle;
+        }
+      }
+      break;
+    }
+    case ForwarderTask::kToLanding: {
+      const double landing_dist =
+          core::distance(forwarder.position(), config_.landing_area);
+      if (landing_dist < config_.landing_radius) {
+        state.task = ForwarderTask::kUnloading;
+        state.action_remaining = config_.unload_time;
+      } else if (forwarder.idle()) {
+        if (landing_dist < config_.landing_radius + 20.0) {
+          forwarder.set_route({config_.landing_area});
+        } else {
+          forwarder.set_route(plan_route(forwarder.position(), config_.landing_area));
+        }
+      }
+      break;
+    }
+    case ForwarderTask::kUnloading: {
+      if (forwarder.stopped()) break;
+      state.action_remaining -= config_.step;
+      if (state.action_remaining <= 0) {
+        delivered_m3_ += forwarder.unload_logs();
+        ++completed_cycles_;
+        state.task = ForwarderTask::kIdle;
+        bus_.publish({"forwarder/cycle",
+                      "delivered=" + std::to_string(delivered_m3_),
+                      forwarder.id().value(), clock_.now()});
+      }
+      break;
+    }
+  }
+}
+
+void Worksite::step_drone(Machine& drone) {
+  const auto it = drone_orbits_.find(drone.id().value());
+  if (it == drone_orbits_.end()) return;
+  DroneOrbit& orbit = it->second;
+  const Machine* anchor = machine(orbit.anchor);
+  if (anchor == nullptr) return;
+
+  orbit.phase += 0.35 * static_cast<double>(config_.step) / core::kSecond;
+  const core::Vec2 target =
+      anchor->position() +
+      core::Vec2{std::cos(orbit.phase), std::sin(orbit.phase)} * orbit.radius;
+  drone.set_route({target});
+}
+
+void Worksite::record_separations() {
+  for (const auto& m : machines_) {
+    if (m->kind() != MachineKind::kForwarder) continue;
+    if (m->speed() < 0.3) continue;
+    for (const auto& h : humans_) {
+      const double d = core::distance(m->position(), h->position());
+      min_separation_ = std::min(min_separation_, d);
+      separation_samples_.push_back(d);
+    }
+  }
+}
+
+std::uint64_t Worksite::close_encounters(double threshold_m) const {
+  return static_cast<std::uint64_t>(
+      std::count_if(separation_samples_.begin(), separation_samples_.end(),
+                    [threshold_m](double d) { return d < threshold_m; }));
+}
+
+void Worksite::step() {
+  clock_.tick();
+
+  for (auto& m : machines_) {
+    switch (m->kind()) {
+      case MachineKind::kHarvester:
+        step_harvester(*m);
+        break;
+      case MachineKind::kForwarder:
+        step_forwarder(*m, forwarder_states_[m->id().value()]);
+        break;
+      case MachineKind::kDrone:
+        step_drone(*m);
+        break;
+    }
+    m->step(config_.step);
+  }
+  for (auto& h : humans_) h->step(config_.step, rng_);
+  record_separations();
+}
+
+}  // namespace agrarsec::sim

@@ -1,0 +1,147 @@
+// The partially-autonomous forestry worksite of the paper's Figure 1:
+// autonomous forwarders cycling logs from harvest piles to a landing
+// area, a manually-operated harvester producing piles, human workers, and
+// an observation drone. The worksite owns the clock and steps all agents;
+// the security/safety stacks hook in from outside via references.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/event_bus.h"
+#include "core/rng.h"
+#include "core/time.h"
+#include "sim/human.h"
+#include "sim/machine.h"
+#include "sim/pathfinding.h"
+#include "sim/terrain.h"
+#include "sim/weather.h"
+
+namespace agrarsec::sim {
+
+/// A pile of cut logs awaiting transport.
+struct LogPile {
+  core::Vec2 position;
+  double volume_m3 = 0.0;
+};
+
+struct WorksiteConfig {
+  ForestConfig forest;
+  core::Vec2 landing_area{30, 30};
+  double landing_radius = 15.0;
+  core::SimDuration step = 100;          ///< ms
+  Weather weather = Weather::kClear;
+  double harvester_output_m3_per_min = 1.2;
+  double pile_capacity_m3 = 7.0;
+  core::SimDuration load_time = 90 * core::kSecond;
+  core::SimDuration unload_time = 60 * core::kSecond;
+};
+
+/// Forwarder mission state machine.
+enum class ForwarderTask : std::uint8_t {
+  kIdle = 0,
+  kToPile,
+  kLoading,
+  kToLanding,
+  kUnloading,
+};
+
+class Worksite {
+ public:
+  Worksite(WorksiteConfig config, std::uint64_t seed);
+
+  // --- population ---
+  MachineId add_forwarder(const std::string& name, core::Vec2 position,
+                          MachineConfig config = {});
+  MachineId add_harvester(const std::string& name, core::Vec2 position);
+  MachineId add_drone(const std::string& name, core::Vec2 position,
+                      double altitude_m = 40.0);
+  HumanId add_worker(const std::string& name, core::Vec2 position,
+                     core::Vec2 work_anchor, HumanConfig config = {});
+
+  // --- access ---
+  [[nodiscard]] const Terrain& terrain() const { return *terrain_; }
+  [[nodiscard]] core::SimClock& clock() { return clock_; }
+  [[nodiscard]] const core::SimClock& clock() const { return clock_; }
+  [[nodiscard]] core::EventBus& bus() { return bus_; }
+  [[nodiscard]] core::Rng& rng() { return rng_; }
+  [[nodiscard]] Weather weather() const { return config_.weather; }
+  void set_weather(Weather weather) { config_.weather = weather; }
+
+  [[nodiscard]] std::vector<Machine*> machines();
+  [[nodiscard]] std::vector<const Machine*> machines() const;
+  [[nodiscard]] Machine* machine(MachineId id);
+  [[nodiscard]] const Machine* machine(MachineId id) const;
+  [[nodiscard]] std::vector<Human*> humans();
+  [[nodiscard]] std::vector<const Human*> humans() const;
+  [[nodiscard]] const std::vector<LogPile>& piles() const { return piles_; }
+
+  /// Forwarder mission status (only meaningful for forwarders).
+  [[nodiscard]] ForwarderTask task(MachineId id) const;
+
+  /// Drone orbit: circles `center` at `radius`; recomputed each step so a
+  /// moving anchor (the forwarder) is followed.
+  void set_drone_orbit(MachineId drone, MachineId anchor, double radius);
+
+  /// Obstacle-aware route between two points (A* over the terrain grid);
+  /// falls back to the straight line when planning fails.
+  [[nodiscard]] std::deque<core::Vec2> plan_route(core::Vec2 from, core::Vec2 to) const;
+
+  [[nodiscard]] const PathPlanner& planner() const { return *planner_; }
+
+  /// Advances one fixed step: harvester produces, piles spawn, forwarders
+  /// run their task state machines, humans walk, drones orbit.
+  void step();
+
+  // --- outcome metrics ---
+  [[nodiscard]] double delivered_m3() const { return delivered_m3_; }
+  [[nodiscard]] std::uint64_t completed_cycles() const { return completed_cycles_; }
+  /// Minimum human–forwarder distance seen while the forwarder moved
+  /// faster than 0.3 m/s (the safety-relevant exposure metric).
+  [[nodiscard]] double min_human_separation() const { return min_separation_; }
+  [[nodiscard]] std::uint64_t close_encounters(double threshold_m) const;
+
+ private:
+  struct ForwarderState {
+    ForwarderTask task = ForwarderTask::kIdle;
+    std::optional<std::size_t> pile_index;
+    core::SimDuration action_remaining = 0;
+  };
+  struct DroneOrbit {
+    MachineId anchor;
+    double radius = 25.0;
+    double phase = 0.0;
+  };
+
+  void step_harvester(Machine& harvester);
+  void step_forwarder(Machine& forwarder, ForwarderState& state);
+  void step_drone(Machine& drone);
+  std::optional<std::size_t> nearest_pile(core::Vec2 from) const;
+  void record_separations();
+
+  WorksiteConfig config_;
+  core::Rng rng_;
+  core::SimClock clock_;
+  core::EventBus bus_;
+  std::unique_ptr<Terrain> terrain_;
+  std::unique_ptr<PathPlanner> planner_;
+
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::unique_ptr<Human>> humans_;
+  std::vector<LogPile> piles_;
+  std::unordered_map<std::uint64_t, ForwarderState> forwarder_states_;
+  std::unordered_map<std::uint64_t, DroneOrbit> drone_orbits_;
+
+  IdAllocator<MachineId> machine_ids_;
+  IdAllocator<HumanId> human_ids_;
+
+  double harvester_accumulator_m3_ = 0.0;
+  double delivered_m3_ = 0.0;
+  std::uint64_t completed_cycles_ = 0;
+  double min_separation_ = 1e9;
+  std::vector<double> separation_samples_;
+};
+
+}  // namespace agrarsec::sim

@@ -1,0 +1,203 @@
+#include "sos/system.h"
+
+#include <algorithm>
+
+namespace agrarsec::sos {
+
+std::string_view system_role_name(SystemRole role) {
+  switch (role) {
+    case SystemRole::kAutonomousMachine: return "autonomous-machine";
+    case SystemRole::kDrone: return "drone";
+    case SystemRole::kOperatorStation: return "operator-station";
+    case SystemRole::kInfrastructure: return "infrastructure";
+  }
+  return "?";
+}
+
+SystemId SosComposition::add_system(ConstituentSystem system) {
+  system.id = ids_.next();
+  systems_.push_back(std::move(system));
+  return systems_.back().id;
+}
+
+void SosComposition::add_contract(InterfaceContract contract) {
+  contracts_.push_back(std::move(contract));
+}
+
+const ConstituentSystem* SosComposition::system(SystemId id) const {
+  for (const ConstituentSystem& s : systems_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<CompositionIssue> SosComposition::check_capabilities() const {
+  std::vector<CompositionIssue> out;
+  for (const InterfaceContract& c : contracts_) {
+    const ConstituentSystem* producer = system(c.producer);
+    const ConstituentSystem* consumer = system(c.consumer);
+    if (producer == nullptr || consumer == nullptr) {
+      out.push_back({"capability", "contract '" + c.name + "' references an unknown system"});
+      continue;
+    }
+    if (std::find(producer->produces.begin(), producer->produces.end(), c.message) ==
+        producer->produces.end()) {
+      out.push_back({"capability", "'" + producer->name + "' does not produce " +
+                                       std::string(net::message_type_name(c.message)) +
+                                       " required by contract '" + c.name + "'"});
+    }
+    if (std::find(consumer->consumes.begin(), consumer->consumes.end(), c.message) ==
+        consumer->consumes.end()) {
+      out.push_back({"capability", "'" + consumer->name + "' does not consume " +
+                                       std::string(net::message_type_name(c.message)) +
+                                       " required by contract '" + c.name + "'"});
+    }
+  }
+  return out;
+}
+
+std::vector<CompositionIssue> SosComposition::check_operational_independence() const {
+  std::vector<CompositionIssue> out;
+  for (const InterfaceContract& c : contracts_) {
+    const ConstituentSystem* producer = system(c.producer);
+    const ConstituentSystem* consumer = system(c.consumer);
+    if (producer == nullptr || consumer == nullptr) continue;
+    // A system demanding encryption cannot be bound by a plaintext contract.
+    for (const ConstituentSystem* s : {producer, consumer}) {
+      if (s->policy.requires_encryption && !c.encrypted) {
+        out.push_back({"operational",
+                       "'" + s->name + "' requires encryption but contract '" + c.name +
+                           "' is plaintext"});
+      }
+      if (s->policy.requires_mutual_auth && !c.mutually_authenticated) {
+        out.push_back({"operational",
+                       "'" + s->name + "' requires mutual auth but contract '" +
+                           c.name + "' is unauthenticated"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CompositionIssue> SosComposition::check_management_independence() const {
+  std::vector<CompositionIssue> out;
+  for (const InterfaceContract& c : contracts_) {
+    const ConstituentSystem* producer = system(c.producer);
+    const ConstituentSystem* consumer = system(c.consumer);
+    if (producer == nullptr || consumer == nullptr) continue;
+    if (producer->organization != consumer->organization &&
+        !c.mutually_authenticated) {
+      out.push_back({"management",
+                     "contract '" + c.name + "' crosses organizations ('" +
+                         producer->organization + "' -> '" + consumer->organization +
+                         "') without mutual authentication"});
+    }
+  }
+  return out;
+}
+
+std::vector<CompositionIssue> SosComposition::check_evolution() const {
+  std::vector<CompositionIssue> out;
+  for (const InterfaceContract& c : contracts_) {
+    const ConstituentSystem* producer = system(c.producer);
+    const ConstituentSystem* consumer = system(c.consumer);
+    if (producer == nullptr || consumer == nullptr) continue;
+    if (producer->interface_version != c.version ||
+        consumer->interface_version != c.version) {
+      out.push_back({"evolution",
+                     "contract '" + c.name + "' at version " +
+                         std::to_string(c.version) + " but '" + producer->name +
+                         "' is at " + std::to_string(producer->interface_version) +
+                         " and '" + consumer->name + "' at " +
+                         std::to_string(consumer->interface_version)});
+    }
+  }
+  return out;
+}
+
+std::vector<CompositionIssue> SosComposition::check_geographic() const {
+  std::vector<CompositionIssue> out;
+  for (const InterfaceContract& c : contracts_) {
+    const ConstituentSystem* producer = system(c.producer);
+    const ConstituentSystem* consumer = system(c.consumer);
+    if (producer == nullptr || consumer == nullptr) continue;
+    if (c.carries_personal_data &&
+        producer->jurisdiction != consumer->jurisdiction &&
+        !producer->policy.allows_data_export) {
+      out.push_back({"geographic",
+                     "contract '" + c.name + "' exports personal data from " +
+                         producer->jurisdiction + " to " + consumer->jurisdiction +
+                         " against '" + producer->name + "' policy"});
+    }
+  }
+  return out;
+}
+
+std::vector<CompositionIssue> SosComposition::check() const {
+  std::vector<CompositionIssue> out;
+  for (auto&& issues :
+       {check_capabilities(), check_operational_independence(),
+        check_management_independence(), check_evolution(), check_geographic()}) {
+    out.insert(out.end(), issues.begin(), issues.end());
+  }
+  return out;
+}
+
+SosComposition build_forestry_sos() {
+  SosComposition sos;
+  using MT = net::MessageType;
+
+  ConstituentSystem forwarder;
+  forwarder.name = "autonomous-forwarder";
+  forwarder.organization = "forest-machine-oem";
+  forwarder.jurisdiction = "SE";
+  forwarder.role = SystemRole::kAutonomousMachine;
+  forwarder.produces = {MT::kTelemetry, MT::kEstopAck, MT::kHeartbeat};
+  forwarder.consumes = {MT::kDetectionReport, MT::kEstopCommand, MT::kMissionCommand,
+                        MT::kFirmwareChunk, MT::kCrlUpdate};
+  const SystemId forwarder_id = sos.add_system(std::move(forwarder));
+
+  ConstituentSystem drone;
+  drone.name = "observation-drone";
+  drone.organization = "drone-vendor";
+  drone.jurisdiction = "SE";
+  drone.role = SystemRole::kDrone;
+  drone.produces = {MT::kDetectionReport, MT::kTelemetry, MT::kHeartbeat};
+  drone.consumes = {MT::kMissionCommand, MT::kFirmwareChunk, MT::kCrlUpdate};
+  const SystemId drone_id = sos.add_system(std::move(drone));
+
+  ConstituentSystem operator_station;
+  operator_station.name = "operator-station";
+  operator_station.organization = "forestry-company";
+  operator_station.jurisdiction = "SE";
+  operator_station.role = SystemRole::kOperatorStation;
+  operator_station.produces = {MT::kMissionCommand, MT::kEstopCommand,
+                               MT::kFirmwareChunk, MT::kCrlUpdate};
+  operator_station.consumes = {MT::kTelemetry, MT::kDetectionReport, MT::kEstopAck,
+                               MT::kHeartbeat};
+  const SystemId operator_id = sos.add_system(std::move(operator_station));
+
+  auto contract = [&](const std::string& name, SystemId producer, SystemId consumer,
+                      MT message, bool personal_data = false) {
+    InterfaceContract c;
+    c.name = name;
+    c.producer = producer;
+    c.consumer = consumer;
+    c.message = message;
+    c.carries_personal_data = personal_data;
+    sos.add_contract(std::move(c));
+  };
+
+  contract("drone-detections", drone_id, forwarder_id, MT::kDetectionReport);
+  contract("forwarder-telemetry", forwarder_id, operator_id, MT::kTelemetry, true);
+  contract("drone-telemetry", drone_id, operator_id, MT::kTelemetry);
+  contract("missions", operator_id, forwarder_id, MT::kMissionCommand);
+  contract("drone-missions", operator_id, drone_id, MT::kMissionCommand);
+  contract("estop", operator_id, forwarder_id, MT::kEstopCommand);
+  contract("estop-ack", forwarder_id, operator_id, MT::kEstopAck);
+  contract("fw-updates", operator_id, forwarder_id, MT::kFirmwareChunk);
+  contract("crl-distribution", operator_id, forwarder_id, MT::kCrlUpdate);
+  return sos;
+}
+
+}  // namespace agrarsec::sos

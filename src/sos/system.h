@@ -1,0 +1,101 @@
+// System-of-Systems composition model (paper §IV-E). Constituent systems
+// keep operational and managerial independence; this module makes the
+// five Waller & Craddock problem areas *checkable*:
+//   operational independence -> policy-conflict detection on contracts
+//   management independence  -> org-boundary contracts need mutual auth
+//   evolutionary development -> interface version-skew detection
+//   emergent behavior        -> runtime monitors (emergent.h)
+//   geographic distribution  -> jurisdiction constraints on data flows
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "net/message.h"
+
+namespace agrarsec::sos {
+
+enum class SystemRole : std::uint8_t {
+  kAutonomousMachine = 0,
+  kDrone = 1,
+  kOperatorStation = 2,
+  kInfrastructure = 3,   ///< e.g. site gateway, CA
+};
+
+[[nodiscard]] std::string_view system_role_name(SystemRole role);
+
+/// Security policy a constituent system enforces on its interfaces.
+struct SecurityPolicy {
+  bool requires_encryption = true;
+  bool requires_mutual_auth = true;
+  int min_security_level = 2;      ///< IEC 62443 SL it expects of peers
+  bool allows_data_export = true;  ///< may site data leave the jurisdiction
+};
+
+struct ConstituentSystem {
+  SystemId id;
+  std::string name;
+  std::string organization;    ///< managing entity (management independence)
+  std::string jurisdiction;    ///< e.g. "SE", "FI" (geographic distribution)
+  SystemRole role = SystemRole::kAutonomousMachine;
+  std::uint32_t interface_version = 1;
+  SecurityPolicy policy;
+  std::vector<net::MessageType> produces;
+  std::vector<net::MessageType> consumes;
+};
+
+/// A contracted interaction between two constituent systems.
+struct InterfaceContract {
+  std::string name;
+  SystemId producer;
+  SystemId consumer;
+  net::MessageType message = net::MessageType::kTelemetry;
+  bool encrypted = true;
+  bool mutually_authenticated = true;
+  std::uint32_t version = 1;
+  bool carries_personal_data = false;
+};
+
+/// A detected composition problem.
+struct CompositionIssue {
+  std::string category;  ///< "operational" | "management" | "evolution" | "geographic" | "capability"
+  std::string detail;
+};
+
+class SosComposition {
+ public:
+  SystemId add_system(ConstituentSystem system);
+  void add_contract(InterfaceContract contract);
+
+  [[nodiscard]] const std::vector<ConstituentSystem>& systems() const {
+    return systems_;
+  }
+  [[nodiscard]] const std::vector<InterfaceContract>& contracts() const {
+    return contracts_;
+  }
+  [[nodiscard]] const ConstituentSystem* system(SystemId id) const;
+
+  /// Runs every static composition check; empty result = composable.
+  [[nodiscard]] std::vector<CompositionIssue> check() const;
+
+  // Individual checks (also used by tests):
+  [[nodiscard]] std::vector<CompositionIssue> check_capabilities() const;
+  [[nodiscard]] std::vector<CompositionIssue> check_operational_independence() const;
+  [[nodiscard]] std::vector<CompositionIssue> check_management_independence() const;
+  [[nodiscard]] std::vector<CompositionIssue> check_evolution() const;
+  [[nodiscard]] std::vector<CompositionIssue> check_geographic() const;
+
+ private:
+  std::vector<ConstituentSystem> systems_;
+  std::vector<InterfaceContract> contracts_;
+  IdAllocator<SystemId> ids_;
+};
+
+/// Builds the paper's use-case SoS: autonomous forwarder (OEM A), drone
+/// (drone vendor B), operator station (forestry company), site gateway.
+[[nodiscard]] SosComposition build_forestry_sos();
+
+}  // namespace agrarsec::sos

@@ -1,0 +1,182 @@
+// CASCADE-style SAC generation and EU 2023/1230 compliance mapping.
+#include <gtest/gtest.h>
+
+#include "assurance/cascade.h"
+#include "assurance/compliance.h"
+#include "risk/catalog.h"
+
+namespace agrarsec::assurance {
+namespace {
+
+struct Built {
+  risk::Tara tara = risk::build_forestry_tara();
+  EvidenceRegistry registry;
+  CascadeResult result = build_security_case(tara, registry);
+};
+
+TEST(Cascade, GeneratedCaseIsStructurallyValid) {
+  Built b;
+  const auto problems = b.result.argument.validate();
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems[0]);
+}
+
+TEST(Cascade, EveryThreatHasAGoal) {
+  Built b;
+  EXPECT_EQ(b.result.threat_goals.size(), b.tara.results().size());
+}
+
+TEST(Cascade, ControlsShareEvidenceItems) {
+  Built b;
+  // secure-channel is applied to many threats but registered once.
+  EXPECT_GE(b.result.control_evidence.size(), 4u);
+  EXPECT_TRUE(b.result.control_evidence.contains("secure-channel"));
+  EXPECT_LT(b.result.control_evidence.size(), 12u);
+}
+
+TEST(Cascade, EvaluatesLargelySupported) {
+  Built b;
+  const auto eval = b.result.argument.evaluate(b.registry);
+  const auto& top = eval.at(b.result.top_goal.value());
+  // Treated threats are supported; top may be partial if anything is open.
+  EXPECT_NE(top.status, SupportStatus::kUnsupported);
+
+  std::size_t supported_goals = 0;
+  for (const auto& [threat, goal] : b.result.threat_goals) {
+    if (eval.at(goal.value()).status == SupportStatus::kSupported) ++supported_goals;
+  }
+  EXPECT_GT(supported_goals, b.result.threat_goals.size() / 2);
+}
+
+TEST(Cascade, WithdrawnControlEvidenceBreaksGoals) {
+  Built b;
+  const auto eval_before = b.result.argument.evaluate(b.registry);
+  std::size_t supported_before = 0;
+  for (const auto& [threat, goal] : b.result.threat_goals) {
+    if (eval_before.at(goal.value()).status == SupportStatus::kSupported) {
+      ++supported_before;
+    }
+  }
+  // Secure-channel verification now fails (e.g. regression in the field).
+  b.registry.update_confidence(b.result.control_evidence.at("secure-channel"), 0.0);
+  const auto eval_after = b.result.argument.evaluate(b.registry);
+  std::size_t supported_after = 0;
+  for (const auto& [threat, goal] : b.result.threat_goals) {
+    if (eval_after.at(goal.value()).status == SupportStatus::kSupported) {
+      ++supported_after;
+    }
+  }
+  EXPECT_LT(supported_after, supported_before);
+}
+
+TEST(Cascade, CoanalysisLegExtends) {
+  Built b;
+  const auto fca = risk::build_forestry_coanalysis(b.tara);
+  const auto verdicts = fca.analysis.analyze(b.tara);
+  const std::size_t before = b.result.argument.size();
+  extend_with_coanalysis(b.result, verdicts, b.registry);
+  EXPECT_GT(b.result.argument.size(), before + verdicts.size());
+  EXPECT_NE(b.result.argument.by_label("G-interplay"), nullptr);
+  EXPECT_TRUE(b.result.argument.validate().empty());
+}
+
+TEST(Cascade, OpenHazardsAppearUndeveloped) {
+  Built b;
+  // Fabricate a failing verdict.
+  risk::HazardVerdict v;
+  v.hazard.name = "uncontrolled";
+  v.required = safety::PerformanceLevel::kE;
+  v.combined_ok = false;
+  extend_with_coanalysis(b.result, {v}, b.registry);
+  const GsnNode* node = b.result.argument.by_label("G-hazard-uncontrolled");
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->undeveloped);
+}
+
+TEST(Compliance, RequirementSetNonTrivial) {
+  const auto reqs = machinery_requirements();
+  EXPECT_GE(reqs.size(), 6u);
+  // Both regulations represented.
+  EXPECT_TRUE(std::any_of(reqs.begin(), reqs.end(), [](const Requirement& r) {
+    return r.source == RegulationSource::kMachineryRegulation;
+  }));
+  EXPECT_TRUE(std::any_of(reqs.begin(), reqs.end(), [](const Requirement& r) {
+    return r.source == RegulationSource::kCyberResilienceAct;
+  }));
+}
+
+TEST(Compliance, UnmappedRequirementsReported) {
+  Built b;
+  ComplianceMap map{machinery_requirements()};
+  const auto statuses = map.evaluate(b.result.argument, b.registry);
+  for (const auto& s : statuses) {
+    EXPECT_FALSE(s.mapped);
+    EXPECT_FALSE(s.supported);
+  }
+  EXPECT_DOUBLE_EQ(map.coverage(b.result.argument, b.registry), 0.0);
+}
+
+TEST(Compliance, MappingUnknownRequirementThrows) {
+  ComplianceMap map{machinery_requirements()};
+  EXPECT_THROW(map.map("NOT-A-REQ", "G-top"), std::invalid_argument);
+}
+
+TEST(Compliance, MappedAndSupportedCounted) {
+  Built b;
+  ComplianceMap map{machinery_requirements()};
+  map.map("MR-1.1.9", "G-top");
+  map.map("MR-1.2.1", "G-asset-estop-function");
+  const auto statuses = map.evaluate(b.result.argument, b.registry);
+
+  const auto find = [&](const std::string& id) {
+    return *std::find_if(statuses.begin(), statuses.end(),
+                         [&](const RequirementStatus& s) {
+                           return s.requirement.id == id;
+                         });
+  };
+  EXPECT_TRUE(find("MR-1.1.9").mapped);
+  EXPECT_GT(map.coverage(b.result.argument, b.registry), 0.0);
+}
+
+TEST(Compliance, MappingToMissingGoalUnsupported) {
+  Built b;
+  ComplianceMap map{machinery_requirements()};
+  map.map("MR-1.1.9", "G-nonexistent");
+  const auto statuses = map.evaluate(b.result.argument, b.registry);
+  const auto it = std::find_if(statuses.begin(), statuses.end(),
+                               [](const RequirementStatus& s) {
+                                 return s.requirement.id == "MR-1.1.9";
+                               });
+  ASSERT_NE(it, statuses.end());
+  EXPECT_TRUE(it->mapped);
+  EXPECT_FALSE(it->supported);
+  EXPECT_DOUBLE_EQ(it->confidence, 0.0);
+}
+
+TEST(Compliance, ConfidenceIsMinOverGoals) {
+  // Two goals with different confidences: requirement confidence = min.
+  ArgumentModel arg;
+  EvidenceRegistry registry;
+  const GsnId g1 = arg.add(GsnType::kGoal, "GA", "a");
+  const GsnId g2 = arg.add(GsnType::kGoal, "GB", "b");
+  const GsnId s1 = arg.add(GsnType::kSolution, "Sn1", "");
+  const GsnId s2 = arg.add(GsnType::kSolution, "Sn2", "");
+  arg.support(g1, s1);
+  arg.support(g2, s2);
+  arg.bind_evidence(s1, registry.add(EvidenceKind::kTestResult, "e1", "", 0.9));
+  arg.bind_evidence(s2, registry.add(EvidenceKind::kTestResult, "e2", "", 0.6));
+
+  ComplianceMap map{machinery_requirements()};
+  map.map("MR-1.2.2", "GA");
+  map.map("MR-1.2.2", "GB");
+  const auto statuses = map.evaluate(arg, registry);
+  const auto it = std::find_if(statuses.begin(), statuses.end(),
+                               [](const RequirementStatus& s) {
+                                 return s.requirement.id == "MR-1.2.2";
+                               });
+  ASSERT_NE(it, statuses.end());
+  EXPECT_TRUE(it->supported);
+  EXPECT_NEAR(it->confidence, 0.6, 1e-9);
+}
+
+}  // namespace
+}  // namespace agrarsec::assurance

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "assurance/cascade.h"
+#include "assurance/modular.h"
+#include "risk/catalog.h"
+
+namespace agrarsec::assurance {
+namespace {
+
+struct Fixture {
+  sos::SosComposition composition = sos::build_forestry_sos();
+  EvidenceRegistry registry;
+
+  AssuranceModule module(const std::string& name, const std::string& owner,
+                         SupportStatus status, double confidence) {
+    AssuranceModule m;
+    m.system_name = name;
+    m.owner = owner;
+    m.top_claim = name + " is acceptably secure";
+    m.status = status;
+    m.confidence = confidence;
+    return m;
+  }
+
+  std::vector<AssuranceModule> healthy_modules() {
+    return {module("autonomous-forwarder", "forest-machine-oem",
+                   SupportStatus::kSupported, 0.9),
+            module("observation-drone", "drone-vendor", SupportStatus::kSupported,
+                   0.85),
+            module("operator-station", "forestry-company",
+                   SupportStatus::kSupported, 0.8)};
+  }
+};
+
+TEST(Modular, HealthySosCaseSupported) {
+  Fixture f;
+  const SosCaseResult sos = build_sos_case(f.composition, f.healthy_modules(),
+                                           f.registry);
+  EXPECT_TRUE(sos.argument.validate().empty());
+  const auto eval = sos.argument.evaluate(f.registry);
+  EXPECT_EQ(eval.at(sos.top_goal.value()).status, SupportStatus::kSupported);
+  EXPECT_GT(eval.at(sos.top_goal.value()).confidence, 0.3);
+}
+
+TEST(Modular, FailedModuleBreaksSosClaim) {
+  Fixture f;
+  auto modules = f.healthy_modules();
+  modules[1].status = SupportStatus::kPartial;  // drone case has open points
+  const SosCaseResult sos = build_sos_case(f.composition, modules, f.registry);
+  const auto eval = sos.argument.evaluate(f.registry);
+  EXPECT_NE(eval.at(sos.top_goal.value()).status, SupportStatus::kSupported);
+  // But the other modules' goals remain supported (modularity).
+  const GsnNode* fwd = sos.argument.by_label("G-module-autonomous-forwarder");
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(eval.at(fwd->id.value()).status, SupportStatus::kSupported);
+}
+
+TEST(Modular, ModuleReEvaluationFlowsThroughEvidence) {
+  Fixture f;
+  const SosCaseResult sos = build_sos_case(f.composition, f.healthy_modules(),
+                                           f.registry);
+  // The drone vendor's case later fails in the field:
+  for (const auto& [name, ev] : sos.module_evidence) {
+    if (name == "observation-drone") f.registry.update_confidence(ev, 0.0);
+  }
+  const auto eval = sos.argument.evaluate(f.registry);
+  EXPECT_NE(eval.at(sos.top_goal.value()).status, SupportStatus::kSupported);
+}
+
+TEST(Modular, CompositionIssuesBecomeOpenGoals) {
+  Fixture f;
+  // Break the composition: add a cross-org plaintext contract.
+  sos::InterfaceContract bad;
+  bad.name = "legacy";
+  bad.producer = f.composition.systems()[0].id;
+  bad.consumer = f.composition.systems()[2].id;
+  bad.message = net::MessageType::kTelemetry;
+  bad.encrypted = false;
+  bad.mutually_authenticated = false;
+  f.composition.add_contract(bad);
+
+  const SosCaseResult sos = build_sos_case(f.composition, f.healthy_modules(),
+                                           f.registry);
+  const GsnNode* op = sos.argument.by_label("G-sos-operational-independence");
+  const GsnNode* mgmt = sos.argument.by_label("G-sos-management-independence");
+  ASSERT_NE(op, nullptr);
+  ASSERT_NE(mgmt, nullptr);
+  EXPECT_TRUE(op->undeveloped);
+  EXPECT_TRUE(mgmt->undeveloped);
+
+  const auto eval = sos.argument.evaluate(f.registry);
+  EXPECT_NE(eval.at(sos.top_goal.value()).status, SupportStatus::kSupported);
+}
+
+TEST(Modular, SummarizeModuleFromRealCase) {
+  // Build the forwarder's real CASCADE case and import it as a module.
+  const risk::Tara tara = risk::build_forestry_tara();
+  EvidenceRegistry module_registry;
+  const CascadeResult cascade = build_security_case(tara, module_registry);
+  const AssuranceModule m =
+      summarize_module("autonomous-forwarder", "forest-machine-oem",
+                       cascade.argument, cascade.top_goal, module_registry);
+  EXPECT_EQ(m.system_name, "autonomous-forwarder");
+  EXPECT_FALSE(m.top_claim.empty());
+  EXPECT_NE(m.status, SupportStatus::kUndeveloped);
+}
+
+TEST(Modular, FiveProblemAreasAllRepresented) {
+  Fixture f;
+  const SosCaseResult sos = build_sos_case(f.composition, f.healthy_modules(),
+                                           f.registry);
+  for (const char* label :
+       {"G-sos-capabilities", "G-sos-operational-independence",
+        "G-sos-management-independence", "G-sos-evolution", "G-sos-geographic"}) {
+    EXPECT_NE(sos.argument.by_label(label), nullptr) << label;
+  }
+}
+
+}  // namespace
+}  // namespace agrarsec::assurance

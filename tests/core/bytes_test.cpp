@@ -1,0 +1,89 @@
+#include "core/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace agrarsec::core {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, FromString) {
+  const Bytes b = from_string("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(Bytes, EndianRoundTrip32) {
+  std::uint8_t buf[4];
+  store_le32(buf, 0x12345678u);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(load_le32(buf), 0x12345678u);
+  store_be32(buf, 0x12345678u);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(load_be32(buf), 0x12345678u);
+}
+
+TEST(Bytes, EndianRoundTrip64) {
+  std::uint8_t buf[8];
+  const std::uint64_t v = 0x0123456789abcdefULL;
+  store_le64(buf, v);
+  EXPECT_EQ(load_le64(buf), v);
+  EXPECT_EQ(buf[0], 0xef);
+  store_be64(buf, v);
+  EXPECT_EQ(load_be64(buf), v);
+  EXPECT_EQ(buf[0], 0x01);
+}
+
+TEST(Bytes, AppendFramed) {
+  Bytes dst;
+  const Bytes field = {0xaa, 0xbb};
+  append_framed(dst, field);
+  ASSERT_EQ(dst.size(), 6u);
+  EXPECT_EQ(load_be32(dst.data()), 2u);
+  EXPECT_EQ(dst[4], 0xaa);
+  EXPECT_EQ(dst[5], 0xbb);
+}
+
+TEST(Bytes, AppendFramedDisambiguates) {
+  // ("ab","c") and ("a","bc") must frame differently.
+  Bytes x, y;
+  append_framed(x, from_string("ab"));
+  append_framed(x, from_string("c"));
+  append_framed(y, from_string("a"));
+  append_framed(y, from_string("bc"));
+  EXPECT_NE(x, y);
+}
+
+}  // namespace
+}  // namespace agrarsec::core

@@ -1,0 +1,109 @@
+#include "core/event_bus.h"
+
+#include <gtest/gtest.h>
+
+namespace agrarsec::core {
+namespace {
+
+TEST(EventBus, DeliversToTopicSubscriber) {
+  EventBus bus;
+  int count = 0;
+  bus.subscribe("safety/estop", [&](const Event& e) {
+    ++count;
+    EXPECT_EQ(e.payload, "reason=test");
+  });
+  bus.publish({"safety/estop", "reason=test", 1, 0});
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventBus, DoesNotDeliverToOtherTopics) {
+  EventBus bus;
+  int count = 0;
+  bus.subscribe("a", [&](const Event&) { ++count; });
+  bus.publish({"b", "", 0, 0});
+  EXPECT_EQ(count, 0);
+}
+
+TEST(EventBus, WildcardSeesEverything) {
+  EventBus bus;
+  int count = 0;
+  bus.subscribe_all([&](const Event&) { ++count; });
+  bus.publish({"a", "", 0, 0});
+  bus.publish({"b", "", 0, 0});
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  EventBus bus;
+  int count = 0;
+  const auto sub = bus.subscribe("t", [&](const Event&) { ++count; });
+  bus.publish({"t", "", 0, 0});
+  bus.unsubscribe(sub);
+  bus.publish({"t", "", 0, 0});
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventBus, MultipleSubscribersAllReceive) {
+  EventBus bus;
+  int a = 0, b = 0;
+  bus.subscribe("t", [&](const Event&) { ++a; });
+  bus.subscribe("t", [&](const Event&) { ++b; });
+  bus.publish({"t", "", 0, 0});
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(EventBus, ReentrantPublishIsQueuedNotRecursive) {
+  EventBus bus;
+  std::vector<std::string> order;
+  bus.subscribe("first", [&](const Event&) {
+    order.push_back("first");
+    bus.publish({"second", "", 0, 0});
+    order.push_back("first-done");
+  });
+  bus.subscribe("second", [&](const Event&) { order.push_back("second"); });
+  bus.publish({"first", "", 0, 0});
+  ASSERT_EQ(order.size(), 3u);
+  // "second" is delivered after the first handler completes.
+  EXPECT_EQ(order[0], "first");
+  EXPECT_EQ(order[1], "first-done");
+  EXPECT_EQ(order[2], "second");
+}
+
+TEST(EventBus, ChainedReentrantPublishesTerminate) {
+  EventBus bus;
+  int depth = 0;
+  bus.subscribe("ping", [&](const Event&) {
+    if (depth < 10) {
+      ++depth;
+      bus.publish({"ping", "", 0, 0});
+    }
+  });
+  bus.publish({"ping", "", 0, 0});
+  EXPECT_EQ(depth, 10);
+}
+
+TEST(EventBus, SubscriberCountAndPublishedCount) {
+  EventBus bus;
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+  bus.subscribe("a", [](const Event&) {});
+  bus.subscribe_all([](const Event&) {});
+  EXPECT_EQ(bus.subscriber_count(), 2u);
+  bus.publish({"a", "", 0, 0});
+  bus.publish({"b", "", 0, 0});
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(EventBus, HandlerMaySubscribeDuringDelivery) {
+  EventBus bus;
+  int late = 0;
+  bus.subscribe("t", [&](const Event&) {
+    bus.subscribe("t", [&](const Event&) { ++late; });
+  });
+  bus.publish({"t", "", 0, 0});  // must not crash / not deliver to the new sub
+  bus.publish({"t", "", 0, 0});
+  EXPECT_EQ(late, 1);
+}
+
+}  // namespace
+}  // namespace agrarsec::core

@@ -1,0 +1,62 @@
+#include "core/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agrarsec::core {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string component;
+  std::string message;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_sink([this](LogLevel level, std::string_view component,
+                         std::string_view message) {
+      captured_.push_back({level, std::string(component), std::string(message)});
+    });
+    Log::set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Log::set_sink(nullptr);
+    Log::set_level(LogLevel::kWarn);
+  }
+  std::vector<Captured> captured_;
+};
+
+TEST_F(LogTest, SinkReceivesMessages) {
+  Log::info("radio", "frame sent");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].component, "radio");
+  EXPECT_EQ(captured_[0].message, "frame sent");
+}
+
+TEST_F(LogTest, LevelFiltering) {
+  Log::set_level(LogLevel::kWarn);
+  Log::debug("x", "hidden");
+  Log::info("x", "hidden");
+  Log::warn("x", "shown");
+  Log::error("x", "shown");
+  EXPECT_EQ(captured_.size(), 2u);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::kOff);
+  Log::error("x", "hidden");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_EQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace agrarsec::core

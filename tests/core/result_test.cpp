@@ -1,0 +1,56 @@
+#include "core/result.h"
+
+#include <gtest/gtest.h>
+
+namespace agrarsec::core {
+namespace {
+
+Result<int> half(int x) {
+  if (x % 2 != 0) return make_error("odd", "value not divisible by 2");
+  return x / 2;
+}
+
+TEST(Result, ValuePath) {
+  const auto r = half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, ErrorPath) {
+  const auto r = half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "odd");
+  EXPECT_EQ(r.error().to_string(), "odd: value not divisible by 2");
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  const auto r = half(3);
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, ErrorOnValueThrows) {
+  const auto r = half(4);
+  EXPECT_THROW(r.error(), std::logic_error);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r{std::string("payload")};
+  const std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_THROW(s.error(), std::logic_error);
+}
+
+TEST(Status, ErrorCarriesPayload) {
+  const Status s = make_error("denied", "no such session");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "denied");
+}
+
+}  // namespace
+}  // namespace agrarsec::core

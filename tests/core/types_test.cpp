@@ -1,0 +1,71 @@
+#include "core/types.h"
+
+#include "core/time.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace agrarsec {
+namespace {
+
+TEST(Id, DefaultIsInvalid) {
+  const MachineId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, MachineId::invalid());
+}
+
+TEST(Id, ExplicitValueIsValid) {
+  const MachineId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Id, Comparisons) {
+  EXPECT_EQ(MachineId{3}, MachineId{3});
+  EXPECT_NE(MachineId{3}, MachineId{4});
+  EXPECT_LT(MachineId{3}, MachineId{4});
+}
+
+TEST(Id, DistinctTagsAreDistinctTypes) {
+  // Compile-time property: a NodeId is not a MachineId. We can only
+  // demonstrate it indirectly — both wrap the same value but are separate
+  // types with separate hashes/sets.
+  static_assert(!std::is_same_v<NodeId, MachineId>);
+  static_assert(!std::is_same_v<AssetId, ThreatId>);
+}
+
+TEST(Id, HashableInUnorderedContainers) {
+  std::unordered_set<SensorId> set;
+  set.insert(SensorId{1});
+  set.insert(SensorId{2});
+  set.insert(SensorId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(SensorId{2}));
+}
+
+TEST(IdAllocator, MonotonicFromOne) {
+  IdAllocator<HazardId> alloc;
+  EXPECT_EQ(alloc.next().value(), 1u);
+  EXPECT_EQ(alloc.next().value(), 2u);
+  EXPECT_EQ(alloc.allocated(), 3u);
+}
+
+TEST(SimClock, TickAdvancesByStep) {
+  core::SimClock clock{50};
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_EQ(clock.tick(), 50);
+  EXPECT_EQ(clock.tick(), 100);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 0.1);
+}
+
+TEST(SimClock, AdvanceToIsMonotonic) {
+  core::SimClock clock;
+  clock.advance_to(1000);
+  EXPECT_EQ(clock.now(), 1000);
+  clock.advance_to(500);  // ignored: time never goes backwards
+  EXPECT_EQ(clock.now(), 1000);
+}
+
+}  // namespace
+}  // namespace agrarsec

@@ -1,0 +1,127 @@
+// ChaCha20-Poly1305 AEAD against the RFC 8439 §2.8.2 test vector.
+#include <gtest/gtest.h>
+
+#include "core/bytes.h"
+#include "crypto/aead.h"
+
+namespace agrarsec::crypto {
+namespace {
+
+using core::from_hex;
+using core::from_string;
+using core::to_hex;
+
+struct Rfc8439Vector {
+  core::Bytes key = from_hex(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  core::Bytes nonce = from_hex("070000004041424344454647");
+  core::Bytes aad = from_hex("50515253c0c1c2c3c4c5c6c7");
+  core::Bytes plaintext = from_string(
+      "Ladies and Gentlemen of the class of '99: If I could offer you only one "
+      "tip for the future, sunscreen would be it.");
+};
+
+TEST(Aead, Rfc8439SealVector) {
+  const Rfc8439Vector v;
+  const auto sealed = aead_seal(v.key, v.nonce, v.aad, v.plaintext);
+  ASSERT_EQ(sealed.size(), v.plaintext.size() + kAeadTagSize);
+  const std::string expected_ct =
+      "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+      "3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"
+      "92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"
+      "3ff4def08e4b7a9de576d26586cec64b6116";
+  const std::string expected_tag = "1ae10b594f09e26a7e902ecbd0600691";
+  EXPECT_EQ(to_hex(std::span(sealed.data(), sealed.size() - 16)), expected_ct);
+  EXPECT_EQ(to_hex(std::span(sealed.data() + sealed.size() - 16, 16)), expected_tag);
+}
+
+TEST(Aead, OpenRoundTrip) {
+  const Rfc8439Vector v;
+  const auto sealed = aead_seal(v.key, v.nonce, v.aad, v.plaintext);
+  const auto opened = aead_open(v.key, v.nonce, v.aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), v.plaintext);
+}
+
+TEST(Aead, OpenRejectsTamperedCiphertext) {
+  const Rfc8439Vector v;
+  auto sealed = aead_seal(v.key, v.nonce, v.aad, v.plaintext);
+  sealed[3] ^= 0x01;
+  const auto opened = aead_open(v.key, v.nonce, v.aad, sealed);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error().code, "bad_mac");
+}
+
+TEST(Aead, OpenRejectsTamperedTag) {
+  const Rfc8439Vector v;
+  auto sealed = aead_seal(v.key, v.nonce, v.aad, v.plaintext);
+  sealed.back() ^= 0x80;
+  EXPECT_FALSE(aead_open(v.key, v.nonce, v.aad, sealed).ok());
+}
+
+TEST(Aead, OpenRejectsTamperedAad) {
+  const Rfc8439Vector v;
+  const auto sealed = aead_seal(v.key, v.nonce, v.aad, v.plaintext);
+  auto bad_aad = v.aad;
+  bad_aad[0] ^= 0xff;
+  EXPECT_FALSE(aead_open(v.key, v.nonce, bad_aad, sealed).ok());
+}
+
+TEST(Aead, OpenRejectsWrongNonce) {
+  const Rfc8439Vector v;
+  const auto sealed = aead_seal(v.key, v.nonce, v.aad, v.plaintext);
+  auto wrong = v.nonce;
+  wrong[0] ^= 1;
+  EXPECT_FALSE(aead_open(v.key, wrong, v.aad, sealed).ok());
+}
+
+TEST(Aead, OpenRejectsWrongKey) {
+  const Rfc8439Vector v;
+  const auto sealed = aead_seal(v.key, v.nonce, v.aad, v.plaintext);
+  auto wrong = v.key;
+  wrong[31] ^= 1;
+  EXPECT_FALSE(aead_open(wrong, v.nonce, v.aad, sealed).ok());
+}
+
+TEST(Aead, OpenRejectsTruncatedInput) {
+  const Rfc8439Vector v;
+  const core::Bytes too_short(8, 0);
+  const auto r = aead_open(v.key, v.nonce, v.aad, too_short);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "bad_length");
+}
+
+TEST(Aead, EmptyPlaintextAndAad) {
+  const Rfc8439Vector v;
+  const auto sealed = aead_seal(v.key, v.nonce, {}, {});
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  const auto opened = aead_open(v.key, v.nonce, {}, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened.value().empty());
+}
+
+TEST(Aead, AadAlignedTo16DoesNotPad) {
+  // aad length exactly 16: padding branch skipped; round trip must work.
+  const Rfc8439Vector v;
+  const core::Bytes aad16(16, 0xab);
+  const auto sealed = aead_seal(v.key, v.nonce, aad16, v.plaintext);
+  EXPECT_TRUE(aead_open(v.key, v.nonce, aad16, sealed).ok());
+}
+
+TEST(Aead, SealRejectsBadKeySize) {
+  const core::Bytes key(16, 0);
+  const core::Bytes nonce(12, 0);
+  EXPECT_THROW(aead_seal(key, nonce, {}, {}), std::invalid_argument);
+}
+
+TEST(Aead, DistinctNoncesDistinctCiphertexts) {
+  const Rfc8439Vector v;
+  auto n2 = v.nonce;
+  n2[11] ^= 1;
+  const auto s1 = aead_seal(v.key, v.nonce, {}, v.plaintext);
+  const auto s2 = aead_seal(v.key, n2, {}, v.plaintext);
+  EXPECT_NE(to_hex(s1), to_hex(s2));
+}
+
+}  // namespace
+}  // namespace agrarsec::crypto

@@ -1,0 +1,103 @@
+// ChaCha20 against RFC 8439 test vectors.
+#include <gtest/gtest.h>
+
+#include "core/bytes.h"
+#include "crypto/chacha20.h"
+
+namespace agrarsec::crypto {
+namespace {
+
+using core::from_hex;
+using core::from_string;
+using core::to_hex;
+
+TEST(ChaCha20, Rfc8439Section231BlockFunction) {
+  const auto key =
+      from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = from_hex("000000090000004a00000000");
+  const auto block = ChaCha20::block(key, nonce, 1);
+  EXPECT_EQ(to_hex(block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439Section234Encryption) {
+  const auto key =
+      from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = from_hex("000000000000004a00000000");
+  const auto plaintext = from_string(
+      "Ladies and Gentlemen of the class of '99: If I could offer you only one "
+      "tip for the future, sunscreen would be it.");
+  const auto ciphertext = ChaCha20::crypt(key, nonce, 1, plaintext);
+  EXPECT_EQ(to_hex(ciphertext),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  const auto key = from_hex(
+      "1111111111111111111111111111111111111111111111111111111111111111");
+  const auto nonce = from_hex("000000000000000000000001");
+  const auto plaintext = from_string("round trip payload with some length to it");
+  const auto ct = ChaCha20::crypt(key, nonce, 7, plaintext);
+  EXPECT_NE(to_hex(ct), to_hex(plaintext));
+  const auto pt = ChaCha20::crypt(key, nonce, 7, ct);
+  EXPECT_EQ(pt, plaintext);
+}
+
+TEST(ChaCha20, StreamingMatchesOneShotAcrossBlockBoundaries) {
+  const auto key = from_hex(
+      "2222222222222222222222222222222222222222222222222222222222222222");
+  const auto nonce = from_hex("000000000000000000000002");
+  const core::Bytes plaintext(200, 0x5a);
+
+  const auto expected = ChaCha20::crypt(key, nonce, 0, plaintext);
+
+  core::Bytes streaming = plaintext;
+  ChaCha20 c{key, nonce, 0};
+  // Apply in uneven chunks: 1, 63, 64, 65, 7 bytes.
+  std::size_t off = 0;
+  for (std::size_t chunk : {1u, 63u, 64u, 65u, 7u}) {
+    c.apply(std::span(streaming.data() + off, chunk));
+    off += chunk;
+  }
+  ASSERT_EQ(off, plaintext.size());
+  EXPECT_EQ(streaming, expected);
+}
+
+TEST(ChaCha20, CounterOffsetsDisjointKeystream) {
+  const auto key = from_hex(
+      "3333333333333333333333333333333333333333333333333333333333333333");
+  const auto nonce = from_hex("000000000000000000000003");
+  const core::Bytes zeros(64, 0);
+  const auto block0 = ChaCha20::crypt(key, nonce, 0, zeros);
+  const auto block1 = ChaCha20::crypt(key, nonce, 1, zeros);
+  EXPECT_NE(to_hex(block0), to_hex(block1));
+  // Counter 1 keystream equals the second block of a counter-0 stream.
+  const core::Bytes zeros2(128, 0);
+  const auto both = ChaCha20::crypt(key, nonce, 0, zeros2);
+  EXPECT_TRUE(std::equal(block1.begin(), block1.end(), both.begin() + 64));
+}
+
+TEST(ChaCha20, RejectsBadKeySize) {
+  const core::Bytes key(16, 0);
+  const core::Bytes nonce(12, 0);
+  EXPECT_THROW(ChaCha20(key, nonce), std::invalid_argument);
+}
+
+TEST(ChaCha20, RejectsBadNonceSize) {
+  const core::Bytes key(32, 0);
+  const core::Bytes nonce(8, 0);
+  EXPECT_THROW(ChaCha20(key, nonce), std::invalid_argument);
+}
+
+TEST(ChaCha20, EmptyInputIsNoop) {
+  const core::Bytes key(32, 1);
+  const core::Bytes nonce(12, 2);
+  EXPECT_TRUE(ChaCha20::crypt(key, nonce, 0, {}).empty());
+}
+
+}  // namespace
+}  // namespace agrarsec::crypto

@@ -1,0 +1,80 @@
+// HKDF-SHA256 against RFC 5869 Appendix A test vectors.
+#include <gtest/gtest.h>
+
+#include "core/bytes.h"
+#include "crypto/hkdf.h"
+
+namespace agrarsec::crypto {
+namespace {
+
+using core::from_hex;
+using core::to_hex;
+
+TEST(Hkdf, Rfc5869Case1) {
+  const auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto salt = from_hex("000102030405060708090a0b0c");
+  const auto info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+
+  const auto prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+
+  const auto okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case2LongInputs) {
+  core::Bytes ikm, salt, info;
+  for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<std::uint8_t>(i));
+
+  const auto okm = hkdf(salt, ikm, info, 82);
+  EXPECT_EQ(to_hex(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthExactlyOneHash) {
+  const auto prk = hkdf_extract(core::from_string("salt"), core::from_string("ikm"));
+  EXPECT_EQ(hkdf_expand(prk, {}, 32).size(), 32u);
+}
+
+TEST(Hkdf, ExpandMaximumLength) {
+  const auto prk = hkdf_extract(core::from_string("salt"), core::from_string("ikm"));
+  EXPECT_EQ(hkdf_expand(prk, {}, 255 * 32).size(), 255u * 32u);
+}
+
+TEST(Hkdf, ExpandRejectsOversize) {
+  const auto prk = hkdf_extract(core::from_string("salt"), core::from_string("ikm"));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, DistinctInfoYieldsDistinctKeys) {
+  const auto prk = hkdf_extract(core::from_string("salt"), core::from_string("ikm"));
+  const auto k1 = hkdf_expand(prk, core::from_string("client"), 32);
+  const auto k2 = hkdf_expand(prk, core::from_string("server"), 32);
+  EXPECT_NE(to_hex(k1), to_hex(k2));
+}
+
+TEST(Hkdf, PrefixConsistency) {
+  // The first N bytes of a longer expansion equal the N-byte expansion.
+  const auto prk = hkdf_extract(core::from_string("s"), core::from_string("i"));
+  const auto short_okm = hkdf_expand(prk, core::from_string("x"), 16);
+  const auto long_okm = hkdf_expand(prk, core::from_string("x"), 64);
+  EXPECT_TRUE(std::equal(short_okm.begin(), short_okm.end(), long_okm.begin()));
+}
+
+}  // namespace
+}  // namespace agrarsec::crypto

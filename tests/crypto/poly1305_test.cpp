@@ -1,0 +1,109 @@
+// Poly1305 against RFC 8439 test vectors.
+#include <gtest/gtest.h>
+
+#include "core/bytes.h"
+#include "crypto/poly1305.h"
+
+namespace agrarsec::crypto {
+namespace {
+
+using core::from_hex;
+using core::from_string;
+using core::to_hex;
+
+TEST(Poly1305, Rfc8439Section253) {
+  const auto key =
+      from_hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const auto msg = from_string("Cryptographic Forum Research Group");
+  EXPECT_EQ(to_hex(Poly1305::mac(key, msg)), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+// RFC 8439 Appendix A.3 vectors.
+TEST(Poly1305, AppendixA3Vector1ZeroKey) {
+  const core::Bytes key(32, 0);
+  const core::Bytes msg(64, 0);
+  EXPECT_EQ(to_hex(Poly1305::mac(key, msg)), "00000000000000000000000000000000");
+}
+
+TEST(Poly1305, AppendixA3Vector2) {
+  const auto key =
+      from_hex("0000000000000000000000000000000036e5f6b5c5e06070f0efca96227a863e");
+  const auto msg = from_string(
+      "Any submission to the IETF intended by the Contributor for publication "
+      "as all or part of an IETF Internet-Draft or RFC and any statement made "
+      "within the context of an IETF activity is considered an \"IETF "
+      "Contribution\". Such statements include oral statements in IETF "
+      "sessions, as well as written and electronic communications made at any "
+      "time or place, which are addressed to");
+  EXPECT_EQ(to_hex(Poly1305::mac(key, msg)), "36e5f6b5c5e06070f0efca96227a863e");
+}
+
+TEST(Poly1305, AppendixA3Vector3) {
+  const auto key =
+      from_hex("36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000");
+  const auto msg = from_string(
+      "Any submission to the IETF intended by the Contributor for publication "
+      "as all or part of an IETF Internet-Draft or RFC and any statement made "
+      "within the context of an IETF activity is considered an \"IETF "
+      "Contribution\". Such statements include oral statements in IETF "
+      "sessions, as well as written and electronic communications made at any "
+      "time or place, which are addressed to");
+  EXPECT_EQ(to_hex(Poly1305::mac(key, msg)), "f3477e7cd95417af89a6b8794c310cf0");
+}
+
+// Appendix A.3 #11-style edge case exercising the wraparound behaviour.
+TEST(Poly1305, AppendixA3Vector4TextOfRfc) {
+  const auto key =
+      from_hex("1c9240a5eb55d38af333888604f6b5f0473917c1402b80099dca5cbc207075c0");
+  const auto msg = from_string(
+      "'Twas brillig, and the slithy toves\nDid gyre and gimble in the "
+      "wabe:\nAll mimsy were the borogoves,\nAnd the mome raths outgrabe.");
+  EXPECT_EQ(to_hex(Poly1305::mac(key, msg)), "4541669a7eaaee61e708dc7cbcc5eb62");
+}
+
+TEST(Poly1305, IncrementalMatchesOneShot) {
+  const auto key =
+      from_hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const auto msg = from_string("Cryptographic Forum Research Group");
+  Poly1305 p{key};
+  p.update(from_string("Cryptographic "));
+  p.update(from_string("Forum "));
+  p.update(from_string("Research Group"));
+  EXPECT_EQ(to_hex(p.finish()), to_hex(Poly1305::mac(key, msg)));
+}
+
+TEST(Poly1305, PartialFinalBlock) {
+  // 17-byte message: one full block plus one 1-byte partial.
+  const auto key =
+      from_hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const core::Bytes msg(17, 0x42);
+  const auto tag1 = Poly1305::mac(key, msg);
+  // Same computed incrementally split inside the partial block.
+  Poly1305 p{key};
+  p.update(std::span(msg.data(), 16));
+  p.update(std::span(msg.data() + 16, 1));
+  EXPECT_EQ(to_hex(p.finish()), to_hex(tag1));
+}
+
+TEST(Poly1305, EmptyMessage) {
+  const auto key =
+      from_hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  // MAC of empty message is just the pad s.
+  EXPECT_EQ(to_hex(Poly1305::mac(key, {})), "0103808afb0db2fd4abff6af4149f51b");
+}
+
+TEST(Poly1305, RejectsBadKeySize) {
+  const core::Bytes key(16, 0);
+  EXPECT_THROW(Poly1305{key}, std::invalid_argument);
+}
+
+TEST(Poly1305, TagChangesWithMessage) {
+  const auto key =
+      from_hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const auto t1 = Poly1305::mac(key, from_string("message-a"));
+  const auto t2 = Poly1305::mac(key, from_string("message-b"));
+  EXPECT_NE(to_hex(t1), to_hex(t2));
+}
+
+}  // namespace
+}  // namespace agrarsec::crypto

@@ -1,0 +1,153 @@
+// Property-based sweeps over the crypto substrate: randomized round trips,
+// cross-primitive agreements and negative properties, parameterized over
+// sizes and seeds.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/ed25519.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/random.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "crypto/x25519.h"
+
+namespace agrarsec::crypto {
+namespace {
+
+class SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeSweep, AeadRoundTripAllSizes) {
+  const std::size_t n = GetParam();
+  Drbg drbg{n * 31 + 1, "aead-prop"};
+  const auto key = drbg.generate32();
+  const auto nonce = drbg.generate(12);
+  const auto aad = drbg.generate(n % 48);
+  const auto plaintext = drbg.generate(n);
+
+  const auto sealed = aead_seal(key, nonce, aad, plaintext);
+  EXPECT_EQ(sealed.size(), n + kAeadTagSize);
+  const auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), plaintext);
+}
+
+TEST_P(SizeSweep, AeadSingleBitFlipAlwaysDetected) {
+  const std::size_t n = GetParam();
+  if (n == 0) return;  // bit positions need content
+  Drbg drbg{n * 37 + 5, "aead-flip"};
+  const auto key = drbg.generate32();
+  const auto nonce = drbg.generate(12);
+  const auto plaintext = drbg.generate(n);
+  const auto sealed = aead_seal(key, nonce, {}, plaintext);
+
+  // Flip one bit in a spread of positions across ciphertext and tag.
+  for (std::size_t pos = 0; pos < sealed.size(); pos += std::max<std::size_t>(1, sealed.size() / 16)) {
+    auto damaged = sealed;
+    damaged[pos] ^= 0x01;
+    EXPECT_FALSE(aead_open(key, nonce, {}, damaged).ok()) << "pos=" << pos;
+  }
+}
+
+TEST_P(SizeSweep, ChaChaIsAnInvolution) {
+  const std::size_t n = GetParam();
+  Drbg drbg{n * 41 + 7, "chacha-prop"};
+  const auto key = drbg.generate32();
+  const auto nonce = drbg.generate(12);
+  const auto data = drbg.generate(n);
+  const auto once = ChaCha20::crypt(key, nonce, 3, data);
+  const auto twice = ChaCha20::crypt(key, nonce, 3, once);
+  EXPECT_EQ(twice, data);
+}
+
+TEST_P(SizeSweep, HashIncrementalEqualsOneShotRandomSplits) {
+  const std::size_t n = GetParam();
+  Drbg drbg{n * 43 + 9, "hash-prop"};
+  const auto data = drbg.generate(n);
+  const auto reference = Sha256::hash(data);
+
+  core::Rng rng{n + 1};
+  for (int trial = 0; trial < 4; ++trial) {
+    Sha256 h;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t chunk =
+          1 + rng.next_below(std::max<std::uint64_t>(1, data.size() - pos));
+      h.update(std::span(data.data() + pos, chunk));
+      pos += chunk;
+    }
+    EXPECT_EQ(core::to_hex(h.finish()), core::to_hex(reference));
+  }
+}
+
+TEST_P(SizeSweep, HmacKeyAndMessageSeparation) {
+  const std::size_t n = GetParam();
+  Drbg drbg{n * 47 + 11, "hmac-prop"};
+  const auto k1 = drbg.generate(32);
+  const auto k2 = drbg.generate(32);
+  const auto msg = drbg.generate(n);
+  EXPECT_NE(core::to_hex(HmacSha256::mac(k1, msg)),
+            core::to_hex(HmacSha256::mac(k2, msg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(0u, 1u, 15u, 16u, 17u, 63u, 64u, 65u,
+                                           255u, 256u, 1000u, 4096u));
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, X25519DhAgreesForRandomKeys) {
+  Drbg drbg{GetParam(), "x25519-prop"};
+  const auto a = drbg.generate32();
+  const auto b = drbg.generate32();
+  const auto pub_a = x25519_base(a);
+  const auto pub_b = x25519_base(b);
+  X25519Key s1{}, s2{};
+  ASSERT_TRUE(x25519_shared(a, pub_b, s1));
+  ASSERT_TRUE(x25519_shared(b, pub_a, s2));
+  EXPECT_EQ(core::to_hex(s1), core::to_hex(s2));
+}
+
+TEST_P(SeedSweep, Ed25519SignVerifyRandomKeysAndMessages) {
+  Drbg drbg{GetParam(), "ed-prop"};
+  const auto kp = ed25519_keypair(drbg.generate32());
+  const auto msg = drbg.generate(static_cast<std::size_t>(GetParam() % 300));
+  const auto sig = ed25519_sign(kp, msg);
+  EXPECT_TRUE(ed25519_verify(kp.public_key, msg, sig));
+  // Cross-key rejection.
+  const auto other = ed25519_keypair(drbg.generate32());
+  EXPECT_FALSE(ed25519_verify(other.public_key, msg, sig));
+}
+
+TEST_P(SeedSweep, Ed25519SignatureBitFlipsRejected) {
+  Drbg drbg{GetParam() ^ 0xABCD, "ed-flip"};
+  const auto kp = ed25519_keypair(drbg.generate32());
+  const auto msg = drbg.generate(64);
+  const auto sig = ed25519_sign(kp, msg);
+  core::Rng rng{GetParam()};
+  for (int i = 0; i < 4; ++i) {
+    auto damaged = sig;
+    const auto byte = rng.next_below(damaged.size());
+    damaged[byte] ^= static_cast<std::uint8_t>(1 << rng.next_below(8));
+    EXPECT_FALSE(ed25519_verify(kp.public_key, msg, damaged));
+  }
+}
+
+TEST_P(SeedSweep, HkdfOutputsLookIndependentAcrossInfo) {
+  Drbg drbg{GetParam() + 99, "hkdf-prop"};
+  const auto ikm = drbg.generate(32);
+  const auto prk = hkdf_extract({}, ikm);
+  const auto a = hkdf_expand(prk, core::from_string("context-a"), 32);
+  const auto b = hkdf_expand(prk, core::from_string("context-b"), 32);
+  int equal_bytes = 0;
+  for (int i = 0; i < 32; ++i) equal_bytes += (a[i] == b[i]) ? 1 : 0;
+  EXPECT_LT(equal_bytes, 8);  // ~1/256 expected collisions per byte
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace agrarsec::crypto

@@ -1,0 +1,75 @@
+#include "crypto/random.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bytes.h"
+
+namespace agrarsec::crypto {
+namespace {
+
+TEST(Drbg, DeterministicForSeedAndLabel) {
+  Drbg a{42, "node-1"};
+  Drbg b{42, "node-1"};
+  EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, DifferentLabelsDiverge) {
+  Drbg a{42, "node-1"};
+  Drbg b{42, "node-2"};
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, DifferentSeedsDiverge) {
+  Drbg a{1, "x"};
+  Drbg b{2, "x"};
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, StreamAdvances) {
+  Drbg a{7, "x"};
+  const auto first = a.generate(32);
+  const auto second = a.generate(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(Drbg, GenerateOddLengths) {
+  Drbg a{7, "x"};
+  EXPECT_EQ(a.generate(1).size(), 1u);
+  EXPECT_EQ(a.generate(33).size(), 33u);
+  EXPECT_EQ(a.generate(0).size(), 0u);
+}
+
+TEST(Drbg, ChunkedEqualsOneShot) {
+  Drbg a{9, "y"}, b{9, "y"};
+  auto big = a.generate(96);
+  core::Bytes chunked;
+  for (int i = 0; i < 3; ++i) {
+    const auto part = b.generate(32);
+    chunked.insert(chunked.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(big, chunked);
+}
+
+TEST(Drbg, Generate32Shape) {
+  Drbg a{11, "z"};
+  const auto k = a.generate32();
+  // Not all zero.
+  bool nonzero = false;
+  for (auto byte : k) nonzero |= (byte != 0);
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Drbg, ByteDistributionRoughlyUniform) {
+  Drbg a{13, "dist"};
+  const auto data = a.generate(65536);
+  std::array<int, 256> counts{};
+  for (auto b : data) ++counts[b];
+  // Each byte value expected 256 times; allow generous bounds.
+  for (int c : counts) {
+    EXPECT_GT(c, 128);
+    EXPECT_LT(c, 512);
+  }
+}
+
+}  // namespace
+}  // namespace agrarsec::crypto

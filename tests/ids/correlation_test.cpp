@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "ids/correlation.h"
+
+namespace agrarsec::ids {
+namespace {
+
+Alert alert(core::SimTime time, const std::string& rule, std::uint64_t subject,
+            AlertSeverity severity = AlertSeverity::kWarning) {
+  Alert a;
+  a.id = AlertId{static_cast<std::uint64_t>(time)};
+  a.time = time;
+  a.rule = rule;
+  a.subject = subject;
+  a.severity = severity;
+  return a;
+}
+
+TEST(Correlator, SingleAlertOneIncident) {
+  AlertCorrelator c;
+  c.ingest(alert(100, "replay", 7));
+  ASSERT_EQ(c.incidents().size(), 1u);
+  EXPECT_EQ(c.incidents()[0].alert_count, 1u);
+  EXPECT_TRUE(c.incidents()[0].rules.contains("replay"));
+  EXPECT_TRUE(c.incidents()[0].subjects.contains(7u));
+}
+
+TEST(Correlator, BurstGroupsByRule) {
+  AlertCorrelator c;
+  for (int i = 0; i < 500; ++i) {
+    c.ingest(alert(i * 10, "malformed", 0));
+  }
+  EXPECT_EQ(c.incidents().size(), 1u);
+  EXPECT_EQ(c.incidents()[0].alert_count, 500u);
+}
+
+TEST(Correlator, SameSubjectDifferentRulesGroup) {
+  AlertCorrelator c;
+  c.ingest(alert(0, "replay", 7));
+  c.ingest(alert(1000, "spoofed-position", 7));
+  c.ingest(alert(2000, "unauthorized-estop", 7, AlertSeverity::kCritical));
+  ASSERT_EQ(c.incidents().size(), 1u);
+  EXPECT_EQ(c.incidents()[0].rules.size(), 3u);
+  EXPECT_EQ(c.incidents()[0].max_severity, AlertSeverity::kCritical);
+}
+
+TEST(Correlator, UnrelatedAlertsSeparateIncidents) {
+  AlertCorrelator c;
+  c.ingest(alert(0, "replay", 7));
+  c.ingest(alert(1000, "flood", 9));  // different rule AND subject
+  EXPECT_EQ(c.incidents().size(), 2u);
+}
+
+TEST(Correlator, GapTimeoutSplitsIncidents) {
+  CorrelatorConfig config;
+  config.gap_timeout = 10 * core::kSecond;
+  AlertCorrelator c{config};
+  c.ingest(alert(0, "replay", 7));
+  c.ingest(alert(60 * core::kSecond, "replay", 7));  // beyond the gap
+  EXPECT_EQ(c.incidents().size(), 2u);
+}
+
+TEST(Correlator, TickClosesQuietIncidents) {
+  CorrelatorConfig config;
+  config.gap_timeout = 10 * core::kSecond;
+  AlertCorrelator c{config};
+  c.ingest(alert(0, "replay", 7));
+  EXPECT_EQ(c.open_count(), 1u);
+  c.tick(5 * core::kSecond);
+  EXPECT_EQ(c.open_count(), 1u);
+  c.tick(20 * core::kSecond);
+  EXPECT_EQ(c.open_count(), 0u);
+  EXPECT_EQ(c.closed_count(), 1u);
+}
+
+TEST(Correlator, ClosedIncidentNotReused) {
+  CorrelatorConfig config;
+  config.gap_timeout = 10 * core::kSecond;
+  AlertCorrelator c{config};
+  c.ingest(alert(0, "replay", 7));
+  c.tick(20 * core::kSecond);
+  c.ingest(alert(21 * core::kSecond, "replay", 7));
+  EXPECT_EQ(c.incidents().size(), 2u);
+}
+
+TEST(Correlator, SubjectZeroDoesNotLinkIncidents) {
+  // Aggregate (subject-less) alerts only link by rule.
+  AlertCorrelator c;
+  c.ingest(alert(0, "rate-anomaly", 0));
+  c.ingest(alert(1000, "rate-shift", 0));
+  EXPECT_EQ(c.incidents().size(), 2u);
+}
+
+TEST(Correlator, DurationSpansAlerts) {
+  AlertCorrelator c;
+  c.ingest(alert(1000, "flood", 9));
+  c.ingest(alert(9000, "flood", 9));
+  ASSERT_EQ(c.incidents().size(), 1u);
+  EXPECT_EQ(c.incidents()[0].duration(), 8000);
+}
+
+TEST(Correlator, SummaryContainsEssentials) {
+  AlertCorrelator c;
+  c.ingest(alert(0, "replay", 7, AlertSeverity::kCritical));
+  c.ingest(alert(1000, "replay", 7));
+  const std::string s = AlertCorrelator::summarize(c.incidents()[0]);
+  EXPECT_NE(s.find("x2"), std::string::npos);
+  EXPECT_NE(s.find("replay"), std::string::npos);
+  EXPECT_NE(s.find("critical"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agrarsec::ids

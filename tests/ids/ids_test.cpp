@@ -1,0 +1,288 @@
+// IDS rule engine and anomaly detectors.
+#include <gtest/gtest.h>
+
+#include "ids/anomaly.h"
+#include "ids/ids.h"
+
+namespace agrarsec::ids {
+namespace {
+
+net::Frame frame_with(net::Message message) {
+  net::Frame f;
+  f.src = NodeId{message.sender};
+  f.payload = message.encode();
+  return f;
+}
+
+net::Message telemetry(std::uint64_t sender, std::uint64_t seq, core::SimTime ts,
+                       double x, double y) {
+  net::Message m;
+  m.type = net::MessageType::kTelemetry;
+  m.sender = sender;
+  m.sequence = seq;
+  m.timestamp = ts;
+  m.body = net::TelemetryBody{x, y, 0, 2.0}.encode();
+  return m;
+}
+
+TEST(Ids, UnknownSenderFlagged) {
+  IntrusionDetectionSystem ids;
+  ids.observe(frame_with(telemetry(99, 1, 0, 0, 0)), 0);
+  EXPECT_EQ(ids.alert_count("unknown-sender"), 1u);
+}
+
+TEST(Ids, RegisteredSenderClean) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  ids.observe(frame_with(telemetry(7, 1, 0, 0, 0)), 0);
+  EXPECT_EQ(ids.alert_count("unknown-sender"), 0u);
+}
+
+TEST(Ids, ReplayDetectedOnSequenceRegression) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  ids.observe(frame_with(telemetry(7, 5, 0, 0, 0)), 0);
+  ids.observe(frame_with(telemetry(7, 6, 100, 0.2, 0)), 100);
+  ids.observe(frame_with(telemetry(7, 5, 200, 0.2, 0)), 200);  // replayed
+  EXPECT_EQ(ids.alert_count("replay"), 1u);
+}
+
+TEST(Ids, IncreasingSequencesClean) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  for (std::uint64_t s = 1; s <= 20; ++s) {
+    ids.observe(frame_with(telemetry(7, s, s * 100, 0.01 * s, 0)),
+                static_cast<core::SimTime>(s * 100));
+  }
+  EXPECT_EQ(ids.alert_count("replay"), 0u);
+}
+
+TEST(Ids, StaleTimestampFlagged) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  ids.observe(frame_with(telemetry(7, 1, 0, 0, 0)), 60 * core::kSecond);
+  EXPECT_EQ(ids.alert_count("stale-timestamp"), 1u);
+}
+
+TEST(Ids, TeleportingTelemetryFlagged) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  ids.observe(frame_with(telemetry(7, 1, 0, 0, 0)), 0);
+  // 500 m in 1 s >> plausible machine speed.
+  ids.observe(frame_with(telemetry(7, 2, core::kSecond, 500, 0)), core::kSecond);
+  EXPECT_EQ(ids.alert_count("spoofed-position"), 1u);
+}
+
+TEST(Ids, PlausibleMotionClean) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  for (int i = 0; i < 20; ++i) {
+    // 2 m/s — a forwarder's crawl.
+    ids.observe(frame_with(telemetry(7, static_cast<std::uint64_t>(i + 1),
+                                     i * core::kSecond, 2.0 * i, 0)),
+                i * core::kSecond);
+  }
+  EXPECT_EQ(ids.alert_count("spoofed-position"), 0u);
+}
+
+TEST(Ids, MalformedPayloadFlagged) {
+  IntrusionDetectionSystem ids;
+  net::Frame f;
+  f.src = NodeId{7};
+  f.payload = core::from_string("not a message");
+  ids.observe(f, 0);
+  EXPECT_EQ(ids.alert_count("malformed"), 1u);
+}
+
+TEST(Ids, MalformedTelemetryBodyFlagged) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  net::Message m;
+  m.type = net::MessageType::kTelemetry;
+  m.sender = 7;
+  m.sequence = 1;
+  m.body = core::from_string("bad");
+  ids.observe(frame_with(m), 0);
+  EXPECT_EQ(ids.alert_count("malformed"), 1u);
+}
+
+TEST(Ids, UnauthorizedEstopFlagged) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, /*may_estop=*/false);
+  ids.register_node(8, /*may_estop=*/true);
+  net::Message m;
+  m.type = net::MessageType::kEstopCommand;
+  m.sender = 7;
+  m.sequence = 1;
+  m.body = net::EstopBody{1, 0}.encode();
+  ids.observe(frame_with(m), 0);
+  EXPECT_EQ(ids.alert_count("unauthorized-estop"), 1u);
+
+  m.sender = 8;
+  ids.observe(frame_with(m), 10);
+  EXPECT_EQ(ids.alert_count("unauthorized-estop"), 1u);  // authorized: no new alert
+}
+
+TEST(Ids, FloodDetected) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  for (int i = 0; i < 100; ++i) {
+    ids.observe(frame_with(telemetry(7, static_cast<std::uint64_t>(i + 1), i * 5,
+                                     0.001 * i, 0)),
+                i * 5);
+  }
+  EXPECT_GT(ids.alert_count("flood"), 0u);
+}
+
+TEST(Ids, NormalRateNoFlood) {
+  IntrusionDetectionSystem ids;
+  ids.register_node(7, false);
+  for (int i = 0; i < 100; ++i) {  // 10 Hz — normal telemetry
+    ids.observe(frame_with(telemetry(7, static_cast<std::uint64_t>(i + 1), i * 100,
+                                     0.01 * i, 0)),
+                i * 100);
+  }
+  EXPECT_EQ(ids.alert_count("flood"), 0u);
+}
+
+TEST(Ids, AlertHandlerInvoked) {
+  IntrusionDetectionSystem ids;
+  int calls = 0;
+  ids.set_alert_handler([&](const Alert& a) {
+    ++calls;
+    EXPECT_FALSE(a.rule.empty());
+  });
+  ids.observe(frame_with(telemetry(99, 1, 0, 0, 0)), 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Ids, SignaturesCanBeDisabled) {
+  IdsConfig config;
+  config.enable_signatures = false;
+  IntrusionDetectionSystem ids{config};
+  ids.observe(frame_with(telemetry(99, 1, 0, 0, 0)), 0);
+  EXPECT_EQ(ids.total_alerts(), 0u);
+}
+
+TEST(Ids, RateAnomalyOnTrafficBurst) {
+  IdsConfig config;
+  config.enable_signatures = false;
+  config.ewma_alpha = 0.2;
+  config.ewma_k = 4.0;
+  IntrusionDetectionSystem ids{config};
+  ids.register_node(7, false);
+
+  core::SimTime now = 0;
+  // Baseline: 2 frames per tick for 100 ticks.
+  for (int t = 0; t < 100; ++t) {
+    for (int i = 0; i < 2; ++i) {
+      ids.observe(frame_with(telemetry(7, static_cast<std::uint64_t>(t * 2 + i + 1),
+                                       now, 0, 0)),
+                  now);
+    }
+    ids.tick(now);
+    now += 100;
+  }
+  EXPECT_EQ(ids.alert_count("rate-anomaly"), 0u);
+
+  // Burst: 80 frames in one tick.
+  for (int i = 0; i < 80; ++i) {
+    ids.observe(frame_with(telemetry(7, 1000 + static_cast<std::uint64_t>(i), now, 0, 0)),
+                now);
+  }
+  ids.tick(now);
+  EXPECT_GE(ids.alert_count("rate-anomaly"), 1u);
+}
+
+TEST(Ewma, FlagsOutlierAfterWarmup) {
+  EwmaDetector d{0.1, 4.0, 8};
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(d.update(10.0 + (i % 2)));
+  EXPECT_TRUE(d.update(100.0));
+}
+
+TEST(Ewma, NoAlertsDuringWarmup) {
+  EwmaDetector d{0.1, 4.0, 50};
+  for (int i = 0; i < 49; ++i) {
+    EXPECT_FALSE(d.update(i % 7 == 0 ? 100.0 : 1.0));
+  }
+}
+
+TEST(Ewma, TracksShiftingBaseline) {
+  EwmaDetector d{0.2, 6.0, 8};
+  // Noisy baseline so the deviation band stays realistic.
+  for (int i = 0; i < 50; ++i) (void)d.update(i % 2 == 0 ? 9.5 : 10.5);
+  // Gradual ramp well inside the band: EWMA follows, no alert.
+  bool alerted = false;
+  for (double x = 10.0; x <= 20.0; x += 0.2) alerted |= d.update(x);
+  EXPECT_FALSE(alerted);
+  EXPECT_NEAR(d.mean(), 20.0, 2.0);
+}
+
+TEST(Ewma, RejectsBadParameters) {
+  EXPECT_THROW(EwmaDetector(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(EwmaDetector(1.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(EwmaDetector(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Cusum, DetectsSustainedShift) {
+  CusumDetector d{10.0, 1.0, 20.0};
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(d.update(10.0));
+  // Shift of +3 over slack 1 accumulates 2/sample: alert within ~10.
+  bool fired = false;
+  for (int i = 0; i < 15 && !fired; ++i) fired = d.update(13.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Cusum, IgnoresShortSpike) {
+  CusumDetector d{10.0, 1.0, 50.0};
+  EXPECT_FALSE(d.update(30.0));  // single spike: 19 < 50
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(d.update(10.0));
+  EXPECT_NEAR(d.statistic(), 0.0, 1e-9);
+}
+
+TEST(Cusum, ResetsAfterFiring) {
+  CusumDetector d{0.0, 0.0, 10.0};
+  EXPECT_TRUE(d.update(10.0));
+  EXPECT_DOUBLE_EQ(d.statistic(), 0.0);
+}
+
+TEST(Cusum, RejectsBadThreshold) {
+  EXPECT_THROW(CusumDetector(0, 0, 0), std::invalid_argument);
+}
+
+TEST(RateWindow, CountsWithinWindow) {
+  RateWindow w{100, 10};  // 1-second window
+  w.add(0);
+  w.add(50);
+  w.add(500);
+  EXPECT_EQ(w.count(500), 3u);
+}
+
+TEST(RateWindow, ExpiresOldBuckets) {
+  RateWindow w{100, 10};
+  w.add(0);
+  w.add(50);
+  w.add(2000);
+  EXPECT_EQ(w.count(2000), 1u);
+}
+
+TEST(RateWindow, EmptyWindowZero) {
+  RateWindow w{100, 10};
+  EXPECT_EQ(w.count(0), 0u);
+  EXPECT_EQ(w.count(100000), 0u);
+}
+
+TEST(RateWindow, RejectsBadParameters) {
+  EXPECT_THROW(RateWindow(0, 10), std::invalid_argument);
+  EXPECT_THROW(RateWindow(100, 0), std::invalid_argument);
+}
+
+TEST(RateWindow, HandlesBurstThenSilence) {
+  RateWindow w{100, 10};
+  for (int i = 0; i < 50; ++i) w.add(i * 10);  // 50 events in 0.5 s
+  EXPECT_EQ(w.count(500), 50u);
+  EXPECT_EQ(w.count(5000), 0u);  // long silence: all expired
+}
+
+}  // namespace
+}  // namespace agrarsec::ids

@@ -1,0 +1,397 @@
+// Radio medium, message codecs and attacker primitives.
+#include <gtest/gtest.h>
+
+#include "net/attacker.h"
+#include "net/message.h"
+#include "net/radio.h"
+
+namespace agrarsec::net {
+namespace {
+
+struct TwoNodes {
+  core::Rng rng{123};
+  RadioMedium medium{core::Rng{123}, perfect_config()};
+  std::vector<Frame> received_a;
+  std::vector<Frame> received_b;
+  NodeId a{1};
+  NodeId b{2};
+  core::Vec2 pos_a{0, 0};
+  core::Vec2 pos_b{100, 0};
+
+  static RadioConfig perfect_config() {
+    RadioConfig c;
+    c.base_loss = 0.0;
+    c.latency_jitter = 0;
+    c.collision_probability = 1.0;  // deterministic collisions for tests
+    return c;
+  }
+
+  TwoNodes() {
+    medium.attach(a, [this] { return pos_a; },
+                  [this](const Frame& f, core::SimTime) { received_a.push_back(f); });
+    medium.attach(b, [this] { return pos_b; },
+                  [this](const Frame& f, core::SimTime) { received_b.push_back(f); });
+  }
+
+  void pump(core::SimTime until) {
+    for (core::SimTime t = 0; t <= until; t += 10) medium.step(t);
+  }
+};
+
+TEST(Radio, DeliversUnicast) {
+  TwoNodes net;
+  Frame f;
+  f.src = net.a;
+  f.dst = net.b;
+  f.payload = core::from_string("hello");
+  net.medium.send(f, 0);
+  net.pump(100);
+  ASSERT_EQ(net.received_b.size(), 1u);
+  EXPECT_EQ(net.received_b[0].payload, core::from_string("hello"));
+  EXPECT_TRUE(net.received_a.empty());
+}
+
+TEST(Radio, BroadcastReachesAllOthers) {
+  TwoNodes net;
+  Frame f;
+  f.src = net.a;
+  f.dst = NodeId::invalid();
+  net.medium.send(f, 0);
+  net.pump(100);
+  EXPECT_EQ(net.received_b.size(), 1u);
+  EXPECT_TRUE(net.received_a.empty());  // no self-delivery
+}
+
+TEST(Radio, OutOfRangeDropped) {
+  TwoNodes net;
+  net.pos_b = {10000, 0};
+  Frame f;
+  f.src = net.a;
+  f.dst = net.b;
+  net.medium.send(f, 0);
+  net.pump(100);
+  EXPECT_TRUE(net.received_b.empty());
+  EXPECT_EQ(net.medium.count(DeliveryOutcome::kOutOfRange), 1u);
+}
+
+TEST(Radio, PathLossGrowsWithDistance) {
+  RadioConfig config;
+  config.base_loss = 0.05;
+  config.latency_jitter = 0;
+
+  auto loss_rate = [&](double distance) {
+    RadioMedium medium{core::Rng{7}, config};
+    core::Vec2 pa{0, 0}, pb{distance, 0};
+    int received = 0;
+    medium.attach(NodeId{1}, [&] { return pa; }, [](const Frame&, core::SimTime) {});
+    medium.attach(NodeId{2}, [&] { return pb; },
+                  [&](const Frame&, core::SimTime) { ++received; });
+    constexpr int kFrames = 2000;
+    for (int i = 0; i < kFrames; ++i) {
+      Frame f;
+      f.src = NodeId{1};
+      f.dst = NodeId{2};
+      medium.send(f, i * 10);
+      medium.step(i * 10 + 9);
+    }
+    return 1.0 - static_cast<double>(received) / kFrames;
+  };
+
+  const double near = loss_rate(50);
+  const double mid = loss_rate(300);
+  const double far = loss_rate(550);
+  EXPECT_LT(near, 0.10);
+  EXPECT_GT(mid, near);
+  EXPECT_GT(far, mid);
+}
+
+TEST(Radio, JammerKillsFramesInRadius) {
+  TwoNodes net;
+  Jammer j;
+  j.position = {100, 0};  // on top of node b
+  j.radius_m = 50;
+  j.effectiveness = 1.0;
+  j.active = true;
+  net.medium.add_jammer(j);
+
+  for (int i = 0; i < 20; ++i) {
+    Frame f;
+    f.src = net.a;
+    f.dst = net.b;
+    net.medium.send(f, i * 10);
+  }
+  net.pump(300);
+  EXPECT_TRUE(net.received_b.empty());
+  EXPECT_EQ(net.medium.count(DeliveryOutcome::kJammed), 20u);
+}
+
+TEST(Radio, JammerChannelSelectivity) {
+  TwoNodes net;
+  Jammer j;
+  j.position = {100, 0};
+  j.radius_m = 50;
+  j.effectiveness = 1.0;
+  j.channel = 5;
+  j.active = true;
+  net.medium.add_jammer(j);
+
+  Frame on_5;
+  on_5.src = net.a;
+  on_5.dst = net.b;
+  on_5.channel = 5;
+  net.medium.send(on_5, 0);
+  Frame on_3 = on_5;
+  on_3.channel = 3;
+  net.medium.send(on_3, 50);
+  net.pump(200);
+  ASSERT_EQ(net.received_b.size(), 1u);
+  EXPECT_EQ(net.received_b[0].channel, 3u);
+}
+
+TEST(Radio, JammerCanBeDeactivated) {
+  TwoNodes net;
+  Jammer j;
+  j.position = {100, 0};
+  j.radius_m = 50;
+  j.effectiveness = 1.0;
+  j.active = true;
+  const std::size_t idx = net.medium.add_jammer(j);
+
+  Frame f;
+  f.src = net.a;
+  f.dst = net.b;
+  net.medium.send(f, 0);
+  net.pump(50);
+  EXPECT_TRUE(net.received_b.empty());
+
+  net.medium.set_jammer_active(idx, false);
+  net.medium.send(f, 100);
+  net.pump(200);
+  EXPECT_EQ(net.received_b.size(), 1u);
+}
+
+TEST(Radio, DropRuleTargetsVictim) {
+  TwoNodes net;
+  net.medium.add_drop_rule(DropRule{net.b, 1.0, true});
+  Frame f;
+  f.src = net.a;
+  f.dst = net.b;
+  net.medium.send(f, 0);
+  net.pump(100);
+  EXPECT_TRUE(net.received_b.empty());
+  EXPECT_EQ(net.medium.count(DeliveryOutcome::kDropped), 1u);
+}
+
+TEST(Radio, CollisionOnSameChannelCloseInTime) {
+  TwoNodes net;
+  // Third node transmitting simultaneously on the same channel.
+  core::Vec2 pos_c{50, 50};
+  net.medium.attach(NodeId{3}, [&] { return pos_c; },
+                    [](const Frame&, core::SimTime) {});
+  Frame f1;
+  f1.src = net.a;
+  f1.dst = net.b;
+  Frame f2;
+  f2.src = NodeId{3};
+  f2.dst = net.b;
+  net.medium.send(f1, 0);
+  net.medium.send(f2, 1);  // within collision window
+  net.pump(100);
+  EXPECT_TRUE(net.received_b.empty());
+  EXPECT_GE(net.medium.count(DeliveryOutcome::kCollision), 1u);
+}
+
+TEST(Radio, SnifferSeesAllFrames) {
+  TwoNodes net;
+  int sniffed = 0;
+  net.medium.add_sniffer([&](const Frame&) { ++sniffed; });
+  Frame f;
+  f.src = net.a;
+  f.dst = net.b;
+  net.medium.send(f, 0);
+  net.medium.send(f, 10);
+  EXPECT_EQ(sniffed, 2);
+}
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  Message m;
+  m.type = MessageType::kDetectionReport;
+  m.sender = 42;
+  m.sequence = 7;
+  m.timestamp = 123456;
+  m.body = DetectionBody{10.5, -3.25, 0.93, 4}.encode();
+
+  const auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MessageType::kDetectionReport);
+  EXPECT_EQ(decoded->sender, 42u);
+  EXPECT_EQ(decoded->sequence, 7u);
+  EXPECT_EQ(decoded->timestamp, 123456);
+
+  const auto body = DetectionBody::decode(decoded->body);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_DOUBLE_EQ(body->x, 10.5);
+  EXPECT_DOUBLE_EQ(body->y, -3.25);
+  EXPECT_DOUBLE_EQ(body->confidence, 0.93);
+  EXPECT_EQ(body->track_id, 4u);
+}
+
+TEST(Message, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Message::decode(core::from_string("x")).has_value());
+  core::Bytes junk(64, 0xFF);
+  EXPECT_FALSE(Message::decode(junk).has_value());
+}
+
+TEST(Message, DecodeRejectsLengthMismatch) {
+  Message m;
+  m.body = core::from_string("abc");
+  auto bytes = m.encode();
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(Message::decode(bytes).has_value());
+}
+
+TEST(Message, TelemetryBodyRoundTrip) {
+  const TelemetryBody body{1.0, 2.0, 0.5, 3.5};
+  const auto decoded = TelemetryBody::decode(body.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(decoded->heading, 0.5);
+  EXPECT_DOUBLE_EQ(decoded->speed, 3.5);
+}
+
+TEST(Message, EstopBodyRoundTrip) {
+  const EstopBody body{3, 17};
+  const auto decoded = EstopBody::decode(body.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->reason, 3u);
+  EXPECT_EQ(decoded->target, 17u);
+}
+
+TEST(Message, BodyDecodersRejectWrongSizes) {
+  core::Bytes junk(5, 0);
+  EXPECT_FALSE(DetectionBody::decode(junk).has_value());
+  EXPECT_FALSE(TelemetryBody::decode(junk).has_value());
+  EXPECT_FALSE(EstopBody::decode(junk).has_value());
+}
+
+TEST(Attacker, ProfileLevels) {
+  const auto l1 = attacker_profile_for_level(1);
+  EXPECT_TRUE(l1.can_sniff);
+  EXPECT_FALSE(l1.can_spoof);
+  const auto l2 = attacker_profile_for_level(2);
+  EXPECT_TRUE(l2.can_spoof);
+  EXPECT_TRUE(l2.can_replay);
+  EXPECT_FALSE(l2.can_jam);
+  const auto l3 = attacker_profile_for_level(3);
+  EXPECT_TRUE(l3.can_jam);
+  EXPECT_TRUE(l3.can_drop);
+  EXPECT_FALSE(l3.can_forge_crypto);
+  const auto l4 = attacker_profile_for_level(4);
+  EXPECT_FALSE(l4.can_forge_crypto);  // ceiling: crypto holds at all levels
+}
+
+TEST(Attacker, CapturesTraffic) {
+  TwoNodes net;
+  AttackerNode attacker{NodeId{66}, {50, 10}, core::Rng{5},
+                        attacker_profile_for_level(2)};
+  attacker.attach(net.medium);
+
+  Frame f;
+  f.src = net.a;
+  f.dst = net.b;
+  f.payload = core::from_string("secret telemetry");
+  net.medium.send(f, 0);
+  EXPECT_EQ(attacker.captured_count(), 1u);
+}
+
+TEST(Attacker, SpoofInjectsClaimedSender) {
+  TwoNodes net;
+  AttackerNode attacker{NodeId{66}, {50, 10}, core::Rng{5},
+                        attacker_profile_for_level(2)};
+  attacker.attach(net.medium);
+
+  ASSERT_TRUE(attacker.spoof(net.medium, 0, /*spoofed_sender=*/1,
+                             MessageType::kEstopCommand, EstopBody{1, 2}.encode(),
+                             net.b));
+  net.pump(100);
+  ASSERT_EQ(net.received_b.size(), 1u);
+  const auto m = Message::decode(net.received_b[0].payload);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->sender, 1u);  // claims to be node a
+  EXPECT_EQ(m->type, MessageType::kEstopCommand);
+}
+
+TEST(Attacker, SpoofDeniedWithoutCapability) {
+  TwoNodes net;
+  AttackerNode attacker{NodeId{66}, {50, 10}, core::Rng{5},
+                        attacker_profile_for_level(1)};
+  attacker.attach(net.medium);
+  EXPECT_FALSE(attacker.spoof(net.medium, 0, 1, MessageType::kEstopCommand, {}, net.b));
+}
+
+TEST(Attacker, ReplayRetransmitsCapturedFrame) {
+  TwoNodes net;
+  AttackerNode attacker{NodeId{66}, {50, 10}, core::Rng{5},
+                        attacker_profile_for_level(2)};
+  attacker.attach(net.medium);
+
+  Frame f;
+  f.src = net.a;
+  f.dst = net.b;
+  f.payload = core::from_string("original");
+  net.medium.send(f, 0);
+  net.pump(50);
+  ASSERT_EQ(net.received_b.size(), 1u);
+
+  ASSERT_TRUE(attacker.replay_latest(net.medium, 100));
+  net.pump(200);
+  ASSERT_EQ(net.received_b.size(), 2u);
+  EXPECT_EQ(net.received_b[1].payload, core::from_string("original"));
+}
+
+TEST(Attacker, ReplayFilterSelectsFrames) {
+  TwoNodes net;
+  AttackerNode attacker{NodeId{66}, {50, 10}, core::Rng{5},
+                        attacker_profile_for_level(2)};
+  attacker.attach(net.medium);
+
+  Frame f1;
+  f1.src = net.a;
+  f1.dst = net.b;
+  f1.channel = 1;
+  net.medium.send(f1, 0);
+  Frame f2 = f1;
+  f2.channel = 2;
+  net.medium.send(f2, 10);
+
+  ASSERT_TRUE(attacker.replay_latest(net.medium, 100, [](const Frame& fr) {
+    return fr.channel == 1;
+  }));
+  net.pump(200);
+  // Find the replayed frame (channel 1 arrives twice).
+  int channel1 = 0;
+  for (const auto& fr : net.received_b) {
+    if (fr.channel == 1) ++channel1;
+  }
+  EXPECT_EQ(channel1, 2);
+}
+
+TEST(Attacker, ReplayWithNoMatchFails) {
+  TwoNodes net;
+  AttackerNode attacker{NodeId{66}, {50, 10}, core::Rng{5},
+                        attacker_profile_for_level(2)};
+  attacker.attach(net.medium);
+  EXPECT_FALSE(attacker.replay_latest(net.medium, 0));
+}
+
+TEST(Attacker, FloodInjectsManyFrames) {
+  TwoNodes net;
+  AttackerNode attacker{NodeId{66}, {50, 10}, core::Rng{5},
+                        attacker_profile_for_level(2)};
+  attacker.attach(net.medium);
+  ASSERT_TRUE(attacker.flood(net.medium, 0, 0, 50));
+  EXPECT_EQ(attacker.injected_count(), 50u);
+  EXPECT_GE(net.medium.total_sent(), 50u);
+}
+
+}  // namespace
+}  // namespace agrarsec::net

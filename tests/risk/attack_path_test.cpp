@@ -1,0 +1,141 @@
+// Attack-path analysis (ISO 21434 clause 15.7).
+#include <gtest/gtest.h>
+
+#include "risk/attack_path.h"
+
+namespace agrarsec::risk {
+namespace {
+
+AttackStep cheap(const char* id) { return {id, "", AttackPotential{0, 0, 0, 0, 0}}; }
+AttackStep costly(const char* id) { return {id, "", AttackPotential{10, 6, 7, 4, 4}}; }
+
+TEST(AttackPath, CombineSequentialSemantics) {
+  const AttackPotential a{4, 3, 0, 1, 4};
+  const AttackPotential b{1, 6, 3, 4, 0};
+  const AttackPotential c = combine_sequential(a, b);
+  EXPECT_EQ(c.elapsed_time, 5);            // additive
+  EXPECT_EQ(c.window_of_opportunity, 5);   // additive
+  EXPECT_EQ(c.expertise, 6);               // max
+  EXPECT_EQ(c.knowledge, 3);               // max
+  EXPECT_EQ(c.equipment, 4);               // max
+}
+
+TEST(AttackPath, LeafPathIsItself) {
+  const auto tree = AttackNode::leaf(costly("x"));
+  const auto path = tree->cheapest_path();
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->steps.size(), 1u);
+  EXPECT_EQ(path->steps[0].id, "x");
+  EXPECT_EQ(path->potential.total(), 31);
+}
+
+TEST(AttackPath, OrPicksCheapest) {
+  const auto tree = AttackNode::any_of(
+      "or", {AttackNode::leaf(costly("expensive")), AttackNode::leaf(cheap("easy"))});
+  const auto path = tree->cheapest_path();
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->steps.size(), 1u);
+  EXPECT_EQ(path->steps[0].id, "easy");
+}
+
+TEST(AttackPath, AndCombinesAllChildren) {
+  const auto tree = AttackNode::all_of(
+      "and", {AttackNode::leaf({"a", "", {4, 3, 0, 0, 0}}),
+              AttackNode::leaf({"b", "", {4, 0, 3, 0, 4}})});
+  const auto path = tree->cheapest_path();
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->steps.size(), 2u);
+  EXPECT_EQ(path->potential.elapsed_time, 8);
+  EXPECT_EQ(path->potential.expertise, 3);
+  EXPECT_EQ(path->potential.equipment, 4);
+}
+
+TEST(AttackPath, BlockedStepPrunesOrBranch) {
+  const auto tree = AttackNode::any_of(
+      "or", {AttackNode::leaf(cheap("easy")), AttackNode::leaf(costly("hard"))});
+  const auto path = tree->cheapest_path({"easy"});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->steps[0].id, "hard");  // forced onto the expensive branch
+}
+
+TEST(AttackPath, BlockedConjunctKillsAndPath) {
+  const auto tree = AttackNode::all_of(
+      "and", {AttackNode::leaf(cheap("a")), AttackNode::leaf(cheap("b"))});
+  EXPECT_FALSE(tree->cheapest_path({"b"}).has_value());
+  EXPECT_FALSE(tree->feasibility({"b"}).has_value());
+}
+
+TEST(AttackPath, EmptyOrInfeasible) {
+  const auto tree = AttackNode::any_of("or", {});
+  EXPECT_FALSE(tree->cheapest_path().has_value());
+}
+
+TEST(AttackPath, FeasibilityFollowsCheapestPath) {
+  const auto tree = AttackNode::any_of(
+      "or", {AttackNode::leaf(cheap("easy")), AttackNode::leaf(costly("hard"))});
+  EXPECT_EQ(tree->feasibility(), Feasibility::kHigh);
+  EXPECT_EQ(tree->feasibility({"easy"}), Feasibility::kVeryLow);
+}
+
+TEST(AttackPath, EstopReplayHardensWithCrypto) {
+  const auto tree = estop_replay_tree();
+  // Without controls: the plaintext replay branch keeps it trivially easy.
+  ASSERT_TRUE(tree->feasibility().has_value());
+  EXPECT_EQ(*tree->feasibility(), Feasibility::kHigh);
+  // Secure channel blocks the plaintext branch: the only path left goes
+  // through breaking the session crypto.
+  const auto hardened = tree->feasibility({"replay-plaintext"});
+  ASSERT_TRUE(hardened.has_value());
+  EXPECT_EQ(*hardened, Feasibility::kVeryLow);
+}
+
+TEST(AttackPath, MaliciousUpdateNeedsBothFootholdAndInstall) {
+  const auto tree = malicious_update_tree();
+  const auto base = tree->cheapest_path();
+  ASSERT_TRUE(base.has_value());
+  // Cheapest path: phish + push-unsigned.
+  ASSERT_EQ(base->steps.size(), 2u);
+  EXPECT_EQ(base->steps[0].id, "phish-operator");
+  EXPECT_EQ(base->steps[1].id, "push-unsigned");
+
+  // Signed firmware blocks push-unsigned; attacker must forge signatures.
+  const auto signed_fw = tree->cheapest_path({"push-unsigned"});
+  ASSERT_TRUE(signed_fw.has_value());
+  EXPECT_EQ(signed_fw->steps[1].id, "forge-signature");
+  EXPECT_EQ(feasibility_from_potential(signed_fw->potential),
+            Feasibility::kVeryLow);
+
+  // Blocking both install branches makes the scenario infeasible.
+  EXPECT_FALSE(
+      tree->cheapest_path({"push-unsigned", "forge-signature"}).has_value());
+}
+
+TEST(AttackPath, GnssTreePrefersJumpUntilGateExists) {
+  const auto tree = gnss_walkoff_tree();
+  const auto base = tree->cheapest_path();
+  ASSERT_TRUE(base.has_value());
+  EXPECT_EQ(base->steps.back().id, "fast-jump");
+  // The plausibility gate catches jumps: attacker must creep.
+  const auto gated = tree->cheapest_path({"fast-jump"});
+  ASSERT_TRUE(gated.has_value());
+  EXPECT_EQ(gated->steps.back().id, "slow-creep");
+  EXPECT_GT(gated->potential.total(), base->potential.total());
+}
+
+TEST(AttackPath, FeasibilityNeverImprovesWhenBlockingSteps) {
+  // Property: adding blocked steps can only keep or worsen feasibility.
+  const AttackNode::Ptr trees[] = {estop_replay_tree(), malicious_update_tree(),
+                                   gnss_walkoff_tree()};
+  const std::vector<std::string> all_blocks = {
+      "replay-plaintext", "push-unsigned", "fast-jump", "phish-operator"};
+  for (const auto& tree : trees) {
+    const auto before = tree->feasibility();
+    const auto after = tree->feasibility(all_blocks);
+    if (before && after) {
+      EXPECT_LE(static_cast<int>(*after), static_cast<int>(*before));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agrarsec::risk

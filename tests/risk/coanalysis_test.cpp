@@ -1,0 +1,162 @@
+// Safety–security co-analysis: the interplay verdicts.
+#include <gtest/gtest.h>
+
+#include "risk/catalog.h"
+#include "risk/coanalysis.h"
+
+namespace agrarsec::risk {
+namespace {
+
+TEST(CoAnalysis, ForestryModelBuilds) {
+  const Tara tara = build_forestry_tara();
+  const ForestryCoAnalysis fca = build_forestry_coanalysis(tara);
+  EXPECT_EQ(fca.analysis.hazards().size(), 3u);
+  EXPECT_GE(fca.analysis.links().size(), 8u);
+  EXPECT_GE(fca.bound_threats.size(), 8u);
+}
+
+TEST(CoAnalysis, VerdictPerHazard) {
+  const Tara tara = build_forestry_tara();
+  const ForestryCoAnalysis fca = build_forestry_coanalysis(tara);
+  const auto verdicts = fca.analysis.analyze(tara);
+  ASSERT_EQ(verdicts.size(), 3u);
+  for (const auto& v : verdicts) {
+    ASSERT_TRUE(v.achieved.has_value()) << v.hazard.name;
+    EXPECT_TRUE(v.safety_ok) << v.hazard.name;  // fault-only view passes
+  }
+}
+
+TEST(CoAnalysis, AttackDegradesPlBelowRequirement) {
+  const Tara tara = build_forestry_tara();
+  const ForestryCoAnalysis fca = build_forestry_coanalysis(tara);
+  const auto verdicts = fca.analysis.analyze(tara);
+
+  const auto crush = std::find_if(verdicts.begin(), verdicts.end(),
+                                  [](const HazardVerdict& v) {
+                                    return v.hazard.name == "person-struck-by-forwarder";
+                                  });
+  ASSERT_NE(crush, verdicts.end());
+  ASSERT_TRUE(crush->under_attack.has_value());
+  // Channel-disabling attacks collapse Cat 3 -> PL b < required PL d.
+  EXPECT_FALSE(safety::satisfies(*crush->under_attack, crush->required));
+}
+
+TEST(CoAnalysis, CombinedVerdictRequiresSecurityWhenPlCollapses) {
+  const Tara tara = build_forestry_tara();
+  const ForestryCoAnalysis fca = build_forestry_coanalysis(tara);
+  const auto verdicts = fca.analysis.analyze(tara);
+  for (const auto& v : verdicts) {
+    if (v.under_attack && !safety::satisfies(*v.under_attack, v.required)) {
+      // The combined verdict can only pass through the security leg.
+      EXPECT_EQ(v.combined_ok, v.safety_ok && v.security_ok) << v.hazard.name;
+    }
+  }
+}
+
+TEST(CoAnalysis, CriticalThreatsListedWhenCeilingBreached) {
+  // Build a tiny co-analysis with a deliberately unmitigated threat.
+  ItemDefinition item;
+  Asset asset;
+  asset.id = AssetId{1};
+  asset.name = "link";
+  asset.category = AssetCategory::kCommunication;
+  item.assets.push_back(asset);
+
+  ThreatScenario t;
+  t.id = ThreatId{1};
+  t.asset = AssetId{1};
+  t.name = "wide-open";
+  t.stride = Stride::kSpoofing;
+  t.damage.safety = ImpactLevel::kSevere;
+  t.potential = AttackPotential{0, 0, 0, 0, 0};
+
+  Tara tara{item, TaraConfig{.reduce_threshold = 99, .avoid_threshold = 99}};
+  tara.add_threat(t);
+  tara.assess({});  // no controls at all
+
+  CoAnalysis co;
+  Hazard h;
+  h.name = "h";
+  h.severity = safety::Severity::kS2;
+  const HazardId hid = co.add_hazard(h);
+  ThreatHazardLink link;
+  link.threat = ThreatId{1};
+  link.hazard = hid;
+  co.link(link);
+
+  const auto verdicts = co.analyze(tara);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].security_ok);
+  ASSERT_EQ(verdicts[0].critical_threats.size(), 1u);
+  EXPECT_EQ(verdicts[0].critical_threats[0], ThreatId{1});
+  EXPECT_FALSE(verdicts[0].combined_ok);
+}
+
+TEST(CoAnalysis, HazardWithoutLinksPassesOnSafetyAlone) {
+  const Tara tara = build_forestry_tara();
+  CoAnalysis co;
+  Hazard h;
+  h.name = "non-cyber-hazard";
+  h.severity = safety::Severity::kS1;
+  h.frequency = safety::Frequency::kF1;
+  h.avoidance = safety::Avoidance::kP1;   // requires PL a
+  h.category = safety::Category::kB;
+  h.mttfd = safety::MttfdBand::kLow;
+  h.dc = safety::DcBand::kNone;
+  co.add_hazard(h);
+  const auto verdicts = co.analyze(tara);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].safety_ok);
+  EXPECT_TRUE(verdicts[0].security_ok);
+  EXPECT_TRUE(verdicts[0].combined_ok);
+}
+
+TEST(CoAnalysis, S1HazardTolerantCeiling) {
+  // Same threat residual risk, S1 hazard passes where S2 fails.
+  ItemDefinition item;
+  Asset asset;
+  asset.id = AssetId{1};
+  asset.name = "x";
+  item.assets.push_back(asset);
+
+  ThreatScenario t;
+  t.id = ThreatId{1};
+  t.asset = AssetId{1};
+  t.name = "medium-threat";
+  t.damage.operational = ImpactLevel::kMajor;
+  t.potential = AttackPotential{4, 3, 3, 1, 0};  // 11 -> high feasibility, risk 4
+
+  Tara tara{item, TaraConfig{.reduce_threshold = 99, .avoid_threshold = 99}};
+  tara.add_threat(t);
+  tara.assess({});
+
+  CoAnalysisConfig config;
+  config.ceiling_s1 = 4;
+  config.ceiling_s2 = 2;
+  CoAnalysis co{config};
+
+  Hazard s1;
+  s1.name = "s1";
+  s1.severity = safety::Severity::kS1;
+  s1.category = safety::Category::k3;
+  s1.mttfd = safety::MttfdBand::kHigh;
+  s1.dc = safety::DcBand::kMedium;
+  const auto s1_id = co.add_hazard(s1);
+  Hazard s2 = s1;
+  s2.name = "s2";
+  s2.severity = safety::Severity::kS2;
+  const auto s2_id = co.add_hazard(s2);
+
+  ThreatHazardLink l1{ThreatId{1}, s1_id, LinkKind::kTriggers, {}};
+  ThreatHazardLink l2{ThreatId{1}, s2_id, LinkKind::kTriggers, {}};
+  co.link(l1);
+  co.link(l2);
+
+  const auto verdicts = co.analyze(tara);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_TRUE(verdicts[0].security_ok);   // S1 ceiling 4 >= risk 4
+  EXPECT_FALSE(verdicts[1].security_ok);  // S2 ceiling 2 < risk 4
+}
+
+}  // namespace
+}  // namespace agrarsec::risk

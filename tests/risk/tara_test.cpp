@@ -1,0 +1,196 @@
+// ISO 21434 TARA mechanics: feasibility, risk matrix, CAL, treatment.
+#include <gtest/gtest.h>
+
+#include "risk/catalog.h"
+#include "risk/tara.h"
+
+namespace agrarsec::risk {
+namespace {
+
+TEST(Feasibility, PotentialBandsMatchAnnex) {
+  EXPECT_EQ(feasibility_from_potential({0, 0, 0, 0, 0}), Feasibility::kHigh);
+  EXPECT_EQ(feasibility_from_potential({4, 3, 3, 1, 0}), Feasibility::kHigh);   // 11
+  EXPECT_EQ(feasibility_from_potential({4, 6, 3, 1, 0}), Feasibility::kMedium); // 14
+  EXPECT_EQ(feasibility_from_potential({10, 6, 3, 1, 0}), Feasibility::kLow);   // 20
+  EXPECT_EQ(feasibility_from_potential({19, 8, 3, 1, 0}), Feasibility::kVeryLow);
+}
+
+TEST(RiskMatrix, CornersAndMonotonicity) {
+  EXPECT_EQ(risk_value(ImpactLevel::kNegligible, Feasibility::kVeryLow), 1);
+  EXPECT_EQ(risk_value(ImpactLevel::kSevere, Feasibility::kHigh), 5);
+  // Monotone in both dimensions.
+  for (int i = 0; i < 4; ++i) {
+    for (int f = 0; f + 1 < 4; ++f) {
+      EXPECT_LE(risk_value(static_cast<ImpactLevel>(i), static_cast<Feasibility>(f)),
+                risk_value(static_cast<ImpactLevel>(i), static_cast<Feasibility>(f + 1)));
+    }
+  }
+  for (int f = 0; f < 4; ++f) {
+    for (int i = 0; i + 1 < 4; ++i) {
+      EXPECT_LE(risk_value(static_cast<ImpactLevel>(i), static_cast<Feasibility>(f)),
+                risk_value(static_cast<ImpactLevel>(i + 1), static_cast<Feasibility>(f)));
+    }
+  }
+}
+
+TEST(Cal, RemoteSevereIsCal4) {
+  EXPECT_EQ(determine_cal(ImpactLevel::kSevere, AttackVector::kAdjacent), Cal::kCal4);
+  EXPECT_EQ(determine_cal(ImpactLevel::kSevere, AttackVector::kNetwork), Cal::kCal4);
+}
+
+TEST(Cal, PhysicalAccessLowersLevel) {
+  EXPECT_EQ(determine_cal(ImpactLevel::kSevere, AttackVector::kPhysical), Cal::kCal3);
+  EXPECT_EQ(determine_cal(ImpactLevel::kModerate, AttackVector::kLocal), Cal::kCal1);
+  EXPECT_EQ(determine_cal(ImpactLevel::kNegligible, AttackVector::kPhysical), Cal::kCal1);
+}
+
+TEST(DamageScenario, MaxLevel) {
+  DamageScenario d;
+  d.safety = ImpactLevel::kModerate;
+  d.privacy = ImpactLevel::kSevere;
+  EXPECT_EQ(d.max_level(), ImpactLevel::kSevere);
+}
+
+TEST(ControlCatalogue, CoversAllStrideClasses) {
+  const auto controls = control_catalogue();
+  EXPECT_GE(controls.size(), 6u);
+  for (int s = 0; s < 6; ++s) {
+    const auto stride = static_cast<Stride>(s);
+    const bool covered = std::any_of(
+        controls.begin(), controls.end(), [&](const Control& c) {
+          return std::find(c.mitigates.begin(), c.mitigates.end(), stride) !=
+                 c.mitigates.end();
+        });
+    EXPECT_TRUE(covered) << "no control mitigates " << stride_name(stride);
+  }
+}
+
+TEST(Item, ForestryItemWellFormed) {
+  const ItemDefinition item = forestry_item();
+  EXPECT_GE(item.assets.size(), 10u);
+  EXPECT_NE(item.find("estop-function"), nullptr);
+  EXPECT_NE(item.find("gnss-navigation"), nullptr);
+  EXPECT_EQ(item.find("no-such-asset"), nullptr);
+  // Ids resolvable both ways.
+  for (const Asset& a : item.assets) {
+    EXPECT_EQ(item.find(a.id), item.find(a.name));
+  }
+}
+
+TEST(Catalog, ThreatsCoverAllEightCharacteristics) {
+  const ItemDefinition item = forestry_item();
+  const auto threats = forestry_threats(item);
+  EXPECT_GE(threats.size(), 20u);
+
+  const auto characteristics = table1_characteristics();
+  ASSERT_EQ(characteristics.size(), 8u);
+  for (const auto& c : characteristics) {
+    const bool covered =
+        std::any_of(threats.begin(), threats.end(), [&](const ThreatScenario& t) {
+          return t.characteristic == c.name;
+        });
+    EXPECT_TRUE(covered) << "no threat tagged '" << c.name << "'";
+  }
+}
+
+TEST(Catalog, ThreatsReferenceValidAssets) {
+  const ItemDefinition item = forestry_item();
+  for (const auto& t : forestry_threats(item)) {
+    EXPECT_NE(item.find(t.asset), nullptr) << t.name;
+  }
+}
+
+TEST(Tara, AssessProducesResultForEveryThreat) {
+  const Tara tara = build_forestry_tara();
+  EXPECT_EQ(tara.results().size(), forestry_threats(forestry_item()).size());
+}
+
+TEST(Tara, ControlsReduceRiskForTreatedThreats) {
+  const Tara tara = build_forestry_tara();
+  bool any_reduced = false;
+  for (const auto& r : tara.results()) {
+    EXPECT_LE(r.residual_risk, r.initial_risk) << r.scenario.name;
+    if (r.treatment == Treatment::kReduce || r.treatment == Treatment::kAvoid) {
+      EXPECT_FALSE(r.applied_controls.empty()) << r.scenario.name;
+    }
+    if (r.residual_risk < r.initial_risk) any_reduced = true;
+  }
+  EXPECT_TRUE(any_reduced);
+}
+
+TEST(Tara, ResidualFeasibilityNeverHigher) {
+  const Tara tara = build_forestry_tara();
+  for (const auto& r : tara.results()) {
+    EXPECT_LE(static_cast<int>(r.residual_feasibility),
+              static_cast<int>(r.initial_feasibility))
+        << r.scenario.name;
+  }
+}
+
+TEST(Tara, SafetyCriticalThreatsGetHighCal) {
+  const Tara tara = build_forestry_tara();
+  for (const auto& r : tara.results()) {
+    if (r.scenario.damage.safety == ImpactLevel::kSevere &&
+        r.vector != AttackVector::kPhysical && r.vector != AttackVector::kLocal) {
+      EXPECT_EQ(r.cal, Cal::kCal4) << r.scenario.name;
+    }
+  }
+  EXPECT_EQ(tara.max_cal(), Cal::kCal4);
+}
+
+TEST(Tara, PlaintextEavesdroppingIsHighFeasibility) {
+  const Tara tara = build_forestry_tara();
+  const auto it = std::find_if(
+      tara.results().begin(), tara.results().end(),
+      [](const AssessedThreat& t) { return t.scenario.name == "link-eavesdropping"; });
+  ASSERT_NE(it, tara.results().end());
+  EXPECT_EQ(it->initial_feasibility, Feasibility::kHigh);
+  // Secure channel pushes it down.
+  EXPECT_LT(static_cast<int>(it->residual_feasibility),
+            static_cast<int>(Feasibility::kHigh));
+}
+
+TEST(Tara, CountAtOrAbove) {
+  const Tara tara = build_forestry_tara();
+  EXPECT_GE(tara.count_at_or_above(1, false), tara.count_at_or_above(3, false));
+  EXPECT_GE(tara.count_at_or_above(3, false), tara.count_at_or_above(5, false));
+  // Treatment reduced at least the top band.
+  EXPECT_LT(tara.count_at_or_above(4, true), tara.count_at_or_above(4, false));
+}
+
+TEST(Tara, ByCharacteristicRollupComplete) {
+  const Tara tara = build_forestry_tara();
+  const auto rollup = tara.by_characteristic();
+  EXPECT_EQ(rollup.size(), 8u);  // all Table I rows, no generic bucket
+  std::size_t total = 0;
+  for (const auto& row : rollup) {
+    EXPECT_GT(row.threats, 0u);
+    EXPECT_GE(row.max_initial_risk, row.max_residual_risk);
+    total += row.threats;
+  }
+  EXPECT_EQ(total, tara.results().size());
+}
+
+TEST(Tara, HeavyMachineryIsHighestRiskCharacteristic) {
+  // Table I's own emphasis: heavy machinery threats compromise safety.
+  const Tara tara = build_forestry_tara();
+  RiskValue heavy = 0;
+  for (const auto& row : tara.by_characteristic()) {
+    if (row.characteristic == "Heavy Machinery") heavy = row.max_initial_risk;
+  }
+  EXPECT_EQ(heavy, 5);
+}
+
+TEST(Tara, Names) {
+  EXPECT_EQ(cal_name(Cal::kCal4), "CAL4");
+  EXPECT_EQ(feasibility_name(Feasibility::kVeryLow), "very-low");
+  EXPECT_EQ(treatment_name(Treatment::kReduce), "reduce");
+  EXPECT_EQ(impact_level_name(ImpactLevel::kSevere), "severe");
+  EXPECT_EQ(stride_name(Stride::kDenialOfService), "denial-of-service");
+  EXPECT_EQ(attack_vector_name(AttackVector::kAdjacent), "adjacent");
+  EXPECT_EQ(asset_category_name(AssetCategory::kSensing), "sensing");
+  EXPECT_EQ(security_property_name(SecurityProperty::kAuthenticity), "authenticity");
+}
+
+}  // namespace
+}  // namespace agrarsec::risk

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "safety/fusion.h"
+
+namespace agrarsec::safety {
+namespace {
+
+sensors::Detection det(core::Vec2 pos, double conf, core::SimTime time) {
+  sensors::Detection d;
+  d.target = HumanId{1};
+  d.position = pos;
+  d.confidence = conf;
+  d.source = SensorId{1};
+  d.time = time;
+  return d;
+}
+
+TEST(Fusion, LocalDetectionBecomesTrack) {
+  DetectionFusion fusion;
+  fusion.add_local({det({10, 10}, 0.9, 100)});
+  const auto tracks = fusion.fuse(200);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_TRUE(tracks[0].local_contribution);
+  EXPECT_FALSE(tracks[0].remote_contribution);
+  EXPECT_NEAR(tracks[0].confidence, 0.9, 1e-9);
+}
+
+TEST(Fusion, RemoteDetectionWeighted) {
+  FusionConfig config;
+  config.remote_weight = 0.5;
+  DetectionFusion fusion{config};
+  fusion.add_remote(det({10, 10}, 0.8, 100));
+  const auto tracks = fusion.fuse(200);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_TRUE(tracks[0].remote_contribution);
+  EXPECT_NEAR(tracks[0].confidence, 0.4, 1e-9);
+}
+
+TEST(Fusion, NearbyDetectionsMerge) {
+  DetectionFusion fusion;
+  fusion.add_local({det({10, 10}, 0.6, 100)});
+  fusion.add_remote(det({11, 10.5}, 0.6, 110));
+  const auto tracks = fusion.fuse(200);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_TRUE(tracks[0].local_contribution);
+  EXPECT_TRUE(tracks[0].remote_contribution);
+  // Noisy-OR: 1 - 0.4*(1-0.48) > 0.6
+  EXPECT_GT(tracks[0].confidence, 0.6);
+}
+
+TEST(Fusion, DistantDetectionsStaySeparate) {
+  DetectionFusion fusion;
+  fusion.add_local({det({10, 10}, 0.6, 100), det({50, 50}, 0.7, 100)});
+  EXPECT_EQ(fusion.fuse(200).size(), 2u);
+}
+
+TEST(Fusion, StaleDetectionsDropped) {
+  FusionConfig config;
+  config.freshness_window = 1000;
+  DetectionFusion fusion{config};
+  fusion.add_local({det({10, 10}, 0.9, 100)});
+  EXPECT_EQ(fusion.fuse(500).size(), 1u);
+  EXPECT_TRUE(fusion.fuse(2000).empty());
+}
+
+TEST(Fusion, ConfidenceGatePrunesWeakTracks) {
+  FusionConfig config;
+  config.policy = FusionPolicy::kConfidenceWeighted;
+  config.confidence_gate = 0.5;
+  config.remote_weight = 0.5;
+  DetectionFusion fusion{config};
+  fusion.add_remote(det({10, 10}, 0.6, 100));  // weighted 0.3 < gate
+  EXPECT_TRUE(fusion.fuse(200).empty());
+
+  fusion.add_remote(det({10, 10}, 0.9, 150));  // 0.45; noisy-OR with 0.3 = 0.615
+  EXPECT_EQ(fusion.fuse(200).size(), 1u);
+}
+
+TEST(Fusion, UnionPolicyKeepsWeakTracks) {
+  FusionConfig config;
+  config.policy = FusionPolicy::kUnion;
+  config.remote_weight = 0.5;
+  DetectionFusion fusion{config};
+  fusion.add_remote(det({10, 10}, 0.2, 100));
+  EXPECT_EQ(fusion.fuse(200).size(), 1u);
+}
+
+TEST(Fusion, RemoteReportCountTracks) {
+  DetectionFusion fusion;
+  fusion.add_remote(det({1, 1}, 0.5, 0));
+  fusion.add_remote(det({2, 2}, 0.5, 0));
+  EXPECT_EQ(fusion.remote_reports(), 2u);
+}
+
+TEST(Fusion, BestPositionWins) {
+  DetectionFusion fusion;
+  fusion.add_local({det({10, 10}, 0.5, 100)});
+  fusion.add_local({det({10.5, 10}, 0.95, 110)});
+  const auto tracks = fusion.fuse(200);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_DOUBLE_EQ(tracks[0].position.x, 10.5);  // higher-confidence position
+  EXPECT_EQ(tracks[0].last_update, 110);
+}
+
+}  // namespace
+}  // namespace agrarsec::safety

@@ -1,0 +1,199 @@
+// ISO 13849 risk graph and performance-level table, including the
+// security-degradation extension. Uses TEST_P sweeps over the matrix.
+#include <gtest/gtest.h>
+
+#include "safety/iso13849.h"
+
+namespace agrarsec::safety {
+namespace {
+
+TEST(RiskGraph, FullMatrix) {
+  using PL = PerformanceLevel;
+  EXPECT_EQ(required_pl(Severity::kS1, Frequency::kF1, Avoidance::kP1), PL::kA);
+  EXPECT_EQ(required_pl(Severity::kS1, Frequency::kF1, Avoidance::kP2), PL::kB);
+  EXPECT_EQ(required_pl(Severity::kS1, Frequency::kF2, Avoidance::kP1), PL::kB);
+  EXPECT_EQ(required_pl(Severity::kS1, Frequency::kF2, Avoidance::kP2), PL::kC);
+  EXPECT_EQ(required_pl(Severity::kS2, Frequency::kF1, Avoidance::kP1), PL::kC);
+  EXPECT_EQ(required_pl(Severity::kS2, Frequency::kF1, Avoidance::kP2), PL::kD);
+  EXPECT_EQ(required_pl(Severity::kS2, Frequency::kF2, Avoidance::kP1), PL::kD);
+  EXPECT_EQ(required_pl(Severity::kS2, Frequency::kF2, Avoidance::kP2), PL::kE);
+}
+
+TEST(Mttfd, Classification) {
+  EXPECT_FALSE(classify_mttfd(2.9).has_value());
+  EXPECT_EQ(classify_mttfd(3.0), MttfdBand::kLow);
+  EXPECT_EQ(classify_mttfd(9.9), MttfdBand::kLow);
+  EXPECT_EQ(classify_mttfd(10.0), MttfdBand::kMedium);
+  EXPECT_EQ(classify_mttfd(29.9), MttfdBand::kMedium);
+  EXPECT_EQ(classify_mttfd(30.0), MttfdBand::kHigh);
+  EXPECT_EQ(classify_mttfd(100.0), MttfdBand::kHigh);
+}
+
+TEST(Dc, Classification) {
+  EXPECT_EQ(classify_dc(0.0), DcBand::kNone);
+  EXPECT_EQ(classify_dc(0.59), DcBand::kNone);
+  EXPECT_EQ(classify_dc(0.60), DcBand::kLow);
+  EXPECT_EQ(classify_dc(0.89), DcBand::kLow);
+  EXPECT_EQ(classify_dc(0.90), DcBand::kMedium);
+  EXPECT_EQ(classify_dc(0.98), DcBand::kMedium);
+  EXPECT_EQ(classify_dc(0.99), DcBand::kHigh);
+}
+
+TEST(AchievedPl, CategoryBCapsAtPlB) {
+  EXPECT_EQ(achieved_pl(Category::kB, MttfdBand::kLow, DcBand::kNone),
+            PerformanceLevel::kA);
+  EXPECT_EQ(achieved_pl(Category::kB, MttfdBand::kHigh, DcBand::kNone),
+            PerformanceLevel::kB);
+  // Category B with diagnostics is not a defined column.
+  EXPECT_FALSE(achieved_pl(Category::kB, MttfdBand::kHigh, DcBand::kMedium).has_value());
+}
+
+TEST(AchievedPl, Category1RequiresWellTried) {
+  EXPECT_EQ(achieved_pl(Category::k1, MttfdBand::kHigh, DcBand::kNone),
+            PerformanceLevel::kC);
+  EXPECT_FALSE(achieved_pl(Category::k1, MttfdBand::kLow, DcBand::kNone).has_value());
+}
+
+TEST(AchievedPl, Category2NeedsDiagnostics) {
+  EXPECT_FALSE(achieved_pl(Category::k2, MttfdBand::kHigh, DcBand::kNone).has_value());
+  EXPECT_EQ(achieved_pl(Category::k2, MttfdBand::kHigh, DcBand::kLow),
+            PerformanceLevel::kC);
+  EXPECT_EQ(achieved_pl(Category::k2, MttfdBand::kMedium, DcBand::kMedium),
+            PerformanceLevel::kC);
+}
+
+TEST(AchievedPl, Category3ReachesPlD) {
+  EXPECT_EQ(achieved_pl(Category::k3, MttfdBand::kHigh, DcBand::kLow),
+            PerformanceLevel::kD);
+  EXPECT_EQ(achieved_pl(Category::k3, MttfdBand::kHigh, DcBand::kMedium),
+            PerformanceLevel::kD);
+  EXPECT_EQ(achieved_pl(Category::k3, MttfdBand::kLow, DcBand::kLow),
+            PerformanceLevel::kB);
+}
+
+TEST(AchievedPl, Category4OnlyTopCorner) {
+  EXPECT_EQ(achieved_pl(Category::k4, MttfdBand::kHigh, DcBand::kHigh),
+            PerformanceLevel::kE);
+  EXPECT_FALSE(achieved_pl(Category::k4, MttfdBand::kHigh, DcBand::kMedium).has_value());
+  EXPECT_FALSE(achieved_pl(Category::k4, MttfdBand::kMedium, DcBand::kHigh).has_value());
+}
+
+TEST(Satisfies, Ordering) {
+  EXPECT_TRUE(satisfies(PerformanceLevel::kE, PerformanceLevel::kD));
+  EXPECT_TRUE(satisfies(PerformanceLevel::kD, PerformanceLevel::kD));
+  EXPECT_FALSE(satisfies(PerformanceLevel::kC, PerformanceLevel::kD));
+}
+
+TEST(Degraded, NoCompromiseNoChange) {
+  const SecurityCompromise none{};
+  EXPECT_EQ(degraded_pl(Category::k3, MttfdBand::kHigh, DcBand::kMedium, none),
+            achieved_pl(Category::k3, MttfdBand::kHigh, DcBand::kMedium));
+}
+
+TEST(Degraded, DiagnosticsDefeatDropsCategory2) {
+  SecurityCompromise c;
+  c.diagnostics_defeated = true;
+  // Cat 2 (PL c at high MTTFd) collapses to Cat B (PL b).
+  EXPECT_EQ(degraded_pl(Category::k2, MttfdBand::kHigh, DcBand::kMedium, c),
+            PerformanceLevel::kB);
+}
+
+TEST(Degraded, ChannelLossCollapsesRedundancy) {
+  SecurityCompromise c;
+  c.channel_disabled = true;
+  // Cat 3 PL d falls to Cat B PL b.
+  EXPECT_EQ(degraded_pl(Category::k3, MttfdBand::kHigh, DcBand::kMedium, c),
+            PerformanceLevel::kB);
+}
+
+TEST(Degraded, CombinedCompromiseWorstCase) {
+  SecurityCompromise c;
+  c.diagnostics_defeated = true;
+  c.channel_disabled = true;
+  const auto pl = degraded_pl(Category::k4, MttfdBand::kHigh, DcBand::kHigh, c);
+  ASSERT_TRUE(pl.has_value());
+  EXPECT_EQ(*pl, PerformanceLevel::kB);  // full redundancy + diagnostics lost
+}
+
+TEST(Degraded, AttackCanInvalidateRequiredPl) {
+  // The paper's core point: a function that satisfies PL d under the
+  // fault model does NOT satisfy it while a channel-disabling attack runs.
+  const auto nominal = achieved_pl(Category::k3, MttfdBand::kHigh, DcBand::kMedium);
+  ASSERT_TRUE(nominal.has_value());
+  const auto required = required_pl(Severity::kS2, Frequency::kF1, Avoidance::kP2);
+  EXPECT_TRUE(satisfies(*nominal, required));
+
+  SecurityCompromise c;
+  c.channel_disabled = true;
+  const auto attacked = degraded_pl(Category::k3, MttfdBand::kHigh, DcBand::kMedium, c);
+  ASSERT_TRUE(attacked.has_value());
+  EXPECT_FALSE(satisfies(*attacked, required));
+}
+
+// Parameterized sweep: every defined achieved-PL cell satisfies the
+// monotonicity property — more MTTFd never lowers the PL.
+struct PlCell {
+  Category category;
+  DcBand dc;
+};
+
+class PlMonotonicity : public ::testing::TestWithParam<PlCell> {};
+
+TEST_P(PlMonotonicity, MttfdMonotone) {
+  const auto [category, dc] = GetParam();
+  std::optional<PerformanceLevel> prev;
+  for (const MttfdBand mttfd :
+       {MttfdBand::kLow, MttfdBand::kMedium, MttfdBand::kHigh}) {
+    const auto pl = achieved_pl(category, mttfd, dc);
+    if (pl && prev) {
+      EXPECT_GE(static_cast<int>(*pl), static_cast<int>(*prev));
+    }
+    if (pl) prev = pl;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDefinedColumns, PlMonotonicity,
+    ::testing::Values(PlCell{Category::kB, DcBand::kNone},
+                      PlCell{Category::k2, DcBand::kLow},
+                      PlCell{Category::k2, DcBand::kMedium},
+                      PlCell{Category::k3, DcBand::kLow},
+                      PlCell{Category::k3, DcBand::kMedium}));
+
+// Degradation never *improves* the PL.
+class DegradationNeverImproves
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DegradationNeverImproves, Check) {
+  const auto [cat_i, mttfd_i, dc_i] = GetParam();
+  const auto category = static_cast<Category>(cat_i);
+  const auto mttfd = static_cast<MttfdBand>(mttfd_i);
+  const auto dc = static_cast<DcBand>(dc_i);
+  const auto nominal = achieved_pl(category, mttfd, dc);
+  if (!nominal) return;  // undefined cell
+
+  for (const bool diag : {false, true}) {
+    for (const bool channel : {false, true}) {
+      const auto degraded =
+          degraded_pl(category, mttfd, dc, SecurityCompromise{diag, channel});
+      if (degraded) {
+        EXPECT_LE(static_cast<int>(*degraded), static_cast<int>(*nominal))
+            << "cat=" << cat_i << " mttfd=" << mttfd_i << " dc=" << dc_i
+            << " diag=" << diag << " chan=" << channel;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullMatrix, DegradationNeverImproves,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 3),
+                       ::testing::Range(0, 4)));
+
+TEST(Names, PerformanceLevelNames) {
+  EXPECT_EQ(performance_level_name(PerformanceLevel::kA), "PL a");
+  EXPECT_EQ(performance_level_name(PerformanceLevel::kE), "PL e");
+}
+
+}  // namespace
+}  // namespace agrarsec::safety

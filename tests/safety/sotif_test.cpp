@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "safety/sotif.h"
+
+namespace agrarsec::safety {
+namespace {
+
+TEST(Sotif, CatalogueNonEmptyAndKnown) {
+  const auto conditions = forestry_triggering_conditions();
+  EXPECT_GE(conditions.size(), 8u);
+  for (const auto& c : conditions) {
+    EXPECT_FALSE(c.id.empty());
+    EXPECT_TRUE(c.known);
+    EXPECT_GT(c.exposure_rate, 0.0);
+  }
+}
+
+TEST(Sotif, RecordAccumulatesEvidence) {
+  SotifAnalysis analysis;
+  for (auto& c : forestry_triggering_conditions()) analysis.add_condition(c);
+  analysis.record("occlusion-boulder", ScenarioOutcome::kSafe);
+  analysis.record("occlusion-boulder", ScenarioOutcome::kSafe);
+  analysis.record("occlusion-boulder", ScenarioOutcome::kHazardous);
+  const auto ev = analysis.evidence("occlusion-boulder");
+  EXPECT_EQ(ev.encounters, 3u);
+  EXPECT_EQ(ev.hazardous, 1u);
+  EXPECT_NEAR(ev.hazard_rate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Sotif, UnknownConditionAutoRegisteredAsArea3) {
+  SotifAnalysis analysis;
+  analysis.record("moose-encounter", ScenarioOutcome::kHazardous);
+  ASSERT_EQ(analysis.conditions().size(), 1u);
+  EXPECT_FALSE(analysis.conditions()[0].known);
+  const auto census = analysis.census();
+  EXPECT_EQ(census.unknown_hazardous, 1u);
+  EXPECT_EQ(census.known_hazardous, 0u);
+}
+
+TEST(Sotif, DuplicateConditionIgnored) {
+  SotifAnalysis analysis;
+  TriggeringCondition c{"x", "first", true, 1.0};
+  analysis.add_condition(c);
+  c.description = "second";
+  analysis.add_condition(c);
+  ASSERT_EQ(analysis.conditions().size(), 1u);
+  EXPECT_EQ(analysis.conditions()[0].description, "first");
+}
+
+TEST(Sotif, ResidualRiskAggregates) {
+  SotifAnalysis analysis;
+  analysis.record("a", ScenarioOutcome::kSafe);
+  analysis.record("a", ScenarioOutcome::kSafe);
+  analysis.record("b", ScenarioOutcome::kHazardous);
+  analysis.record("b", ScenarioOutcome::kSafe);
+  EXPECT_NEAR(analysis.residual_risk(), 0.25, 1e-9);
+}
+
+TEST(Sotif, ResidualRiskEmptyIsZero) {
+  const SotifAnalysis analysis;
+  EXPECT_DOUBLE_EQ(analysis.residual_risk(), 0.0);
+}
+
+TEST(Sotif, UnacceptableConditionsFiltered) {
+  SotifAnalysis analysis;
+  for (int i = 0; i < 9; ++i) analysis.record("benign", ScenarioOutcome::kSafe);
+  analysis.record("benign", ScenarioOutcome::kHazardous);   // 10%
+  for (int i = 0; i < 2; ++i) analysis.record("nasty", ScenarioOutcome::kHazardous);
+  analysis.record("nasty", ScenarioOutcome::kSafe);          // 67%
+
+  const auto bad = analysis.unacceptable_conditions(0.2);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "nasty");
+  EXPECT_TRUE(analysis.unacceptable_conditions(0.9).empty());
+}
+
+TEST(Sotif, CensusSplitsByKnowledgeAndOutcome) {
+  SotifAnalysis analysis;
+  analysis.add_condition({"known-cond", "", true, 1.0});
+  analysis.record("known-cond", ScenarioOutcome::kSafe);
+  analysis.record("known-cond", ScenarioOutcome::kHazardous);
+  analysis.record("surprise", ScenarioOutcome::kSafe);
+  const auto census = analysis.census();
+  EXPECT_EQ(census.known_safe, 1u);
+  EXPECT_EQ(census.known_hazardous, 1u);
+  EXPECT_EQ(census.unknown_safe, 1u);
+  EXPECT_EQ(census.unknown_hazardous, 0u);
+}
+
+TEST(Sotif, EvidenceForUnseenConditionEmpty) {
+  SotifAnalysis analysis;
+  analysis.add_condition({"registered-but-unseen", "", true, 1.0});
+  const auto ev = analysis.evidence("registered-but-unseen");
+  EXPECT_EQ(ev.encounters, 0u);
+  EXPECT_DOUBLE_EQ(ev.hazard_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace agrarsec::safety

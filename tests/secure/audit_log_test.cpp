@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+#include "secure/audit_log.h"
+
+namespace agrarsec::secure {
+namespace {
+
+struct Fixture {
+  crypto::Drbg drbg{21, "audit-test"};
+  crypto::Ed25519KeyPair signer = crypto::ed25519_keypair(drbg.generate32());
+  AuditLog log{signer};
+};
+
+TEST(AuditLog, AppendsWithIncreasingIndices) {
+  Fixture f;
+  EXPECT_EQ(f.log.append(100, "boot", "chain verified"), 0u);
+  EXPECT_EQ(f.log.append(200, "estop", "person-in-critical-zone"), 1u);
+  EXPECT_EQ(f.log.size(), 2u);
+  EXPECT_EQ(f.log.entries()[1].previous, f.log.entries()[0].digest);
+}
+
+TEST(AuditLog, EmptyChainVerifies) {
+  Fixture f;
+  EXPECT_FALSE(AuditLog::verify({}, f.log.checkpoint(), f.signer.public_key)
+                   .has_value());
+}
+
+TEST(AuditLog, IntactChainVerifies) {
+  Fixture f;
+  for (int i = 0; i < 20; ++i) {
+    f.log.append(i * 100, "ids-alert", "rule=replay #" + std::to_string(i));
+  }
+  const auto broken =
+      AuditLog::verify(f.log.entries(), f.log.checkpoint(), f.signer.public_key);
+  EXPECT_FALSE(broken.has_value());
+}
+
+TEST(AuditLog, TamperedDetailDetected) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) f.log.append(i, "estop", "reason " + std::to_string(i));
+  auto entries = f.log.entries();
+  entries[4].detail = "reason erased";  // incident cover-up
+  const auto broken =
+      AuditLog::verify(entries, f.log.checkpoint(), f.signer.public_key);
+  ASSERT_TRUE(broken.has_value());
+  EXPECT_EQ(*broken, 4u);
+}
+
+TEST(AuditLog, DeletedEntryDetected) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) f.log.append(i, "estop", std::to_string(i));
+  auto entries = f.log.entries();
+  entries.erase(entries.begin() + 4);
+  const auto broken =
+      AuditLog::verify(entries, f.log.checkpoint(), f.signer.public_key);
+  EXPECT_TRUE(broken.has_value());
+}
+
+TEST(AuditLog, TruncationDetected) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) f.log.append(i, "estop", std::to_string(i));
+  const auto cp = f.log.checkpoint();
+  auto entries = f.log.entries();
+  entries.resize(5);  // drop the most recent incriminating events
+  EXPECT_TRUE(AuditLog::verify(entries, cp, f.signer.public_key).has_value());
+}
+
+TEST(AuditLog, ReorderingDetected) {
+  Fixture f;
+  for (int i = 0; i < 6; ++i) f.log.append(i, "c", std::to_string(i));
+  auto entries = f.log.entries();
+  std::swap(entries[2], entries[3]);
+  EXPECT_TRUE(AuditLog::verify(entries, f.log.checkpoint(), f.signer.public_key)
+                  .has_value());
+}
+
+TEST(AuditLog, RecomputedForgeryFailsSignature) {
+  // An attacker who rebuilds the whole chain consistently still cannot
+  // sign the new head.
+  Fixture f;
+  for (int i = 0; i < 5; ++i) f.log.append(i, "estop", std::to_string(i));
+  const auto cp = f.log.checkpoint();
+
+  crypto::Drbg other{22, "attacker"};
+  const auto attacker = crypto::ed25519_keypair(other.generate32());
+  AuditLog forged{attacker};
+  for (int i = 0; i < 5; ++i) forged.append(i, "estop", "benign-looking");
+  // Present forged entries against the honest checkpoint...
+  EXPECT_TRUE(AuditLog::verify(forged.entries(), cp, f.signer.public_key).has_value());
+  // ...and a forged checkpoint against the honest key.
+  EXPECT_TRUE(AuditLog::verify(forged.entries(), forged.checkpoint(),
+                               f.signer.public_key)
+                  .has_value());
+}
+
+TEST(AuditLog, CheckpointAfterMoreAppendsDiffers) {
+  Fixture f;
+  f.log.append(1, "c", "x");
+  const auto cp1 = f.log.checkpoint();
+  f.log.append(2, "c", "y");
+  const auto cp2 = f.log.checkpoint();
+  EXPECT_NE(core::to_hex(cp1.head), core::to_hex(cp2.head));
+  EXPECT_EQ(cp2.entry_count, 2u);
+}
+
+TEST(AuditLog, ByCategoryFilters) {
+  Fixture f;
+  f.log.append(1, "estop", "a");
+  f.log.append(2, "ids-alert", "b");
+  f.log.append(3, "estop", "c");
+  const auto stops = f.log.by_category("estop");
+  ASSERT_EQ(stops.size(), 2u);
+  EXPECT_EQ(stops[1]->detail, "c");
+  EXPECT_TRUE(f.log.by_category("none").empty());
+}
+
+TEST(AuditLog, IdenticalPayloadsYieldDistinctDigests) {
+  // Same category/detail at different positions must chain differently.
+  Fixture f;
+  f.log.append(1, "c", "same");
+  f.log.append(1, "c", "same");
+  EXPECT_NE(core::to_hex(f.log.entries()[0].digest),
+            core::to_hex(f.log.entries()[1].digest));
+}
+
+}  // namespace
+}  // namespace agrarsec::secure

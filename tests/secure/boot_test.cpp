@@ -1,0 +1,242 @@
+// Secure boot and firmware update.
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+#include "crypto/sha256.h"
+#include "secure/boot.h"
+#include "secure/update.h"
+
+namespace agrarsec::secure {
+namespace {
+
+struct Fixture {
+  crypto::Drbg drbg{11, "boot-test"};
+  crypto::Ed25519KeyPair signer = crypto::ed25519_keypair(drbg.generate32());
+  SecureBootRom rom{signer.public_key};
+
+  BootImage make_image(const std::string& name, std::uint32_t version,
+                       const std::string& payload) {
+    BootImage image;
+    image.name = name;
+    image.version = version;
+    image.payload = core::from_string(payload);
+    sign_image(image, signer);
+    return image;
+  }
+
+  std::vector<BootImage> standard_chain() {
+    return {make_image("bootloader", 1, "bl-code"),
+            make_image("rtos", 3, "rtos-code"),
+            make_image("application", 7, "app-code")};
+  }
+};
+
+TEST(SecureBoot, BootsValidChain) {
+  Fixture f;
+  const BootReport report = f.rom.boot(f.standard_chain());
+  EXPECT_TRUE(report.booted);
+  EXPECT_EQ(report.booted_stages.size(), 3u);
+  EXPECT_TRUE(report.failed_stage.empty());
+}
+
+TEST(SecureBoot, RejectsEmptyChain) {
+  Fixture f;
+  const BootReport report = f.rom.boot({});
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failure_code, "empty_chain");
+}
+
+TEST(SecureBoot, RejectsTamperedPayload) {
+  Fixture f;
+  auto chain = f.standard_chain();
+  chain[1].payload.push_back(0xFF);  // implant
+  const BootReport report = f.rom.boot(chain);
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failed_stage, "rtos");
+  EXPECT_EQ(report.failure_code, "bad_signature");
+  // Earlier stage booted; later never reached.
+  EXPECT_EQ(report.booted_stages.size(), 1u);
+}
+
+TEST(SecureBoot, RejectsWrongSigner) {
+  Fixture f;
+  crypto::Drbg other{12, "other"};
+  const auto rogue = crypto::ed25519_keypair(other.generate32());
+  auto chain = f.standard_chain();
+  sign_image(chain[0], rogue);
+  const BootReport report = f.rom.boot(chain);
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failure_code, "bad_signature");
+}
+
+TEST(SecureBoot, AntiRollback) {
+  Fixture f;
+  ASSERT_TRUE(f.rom.boot(f.standard_chain()).booted);
+  EXPECT_EQ(f.rom.rollback_floor("application"), 7u);
+
+  auto downgraded = f.standard_chain();
+  downgraded[2] = f.make_image("application", 6, "old-app-code");
+  const BootReport report = f.rom.boot(downgraded);
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failed_stage, "application");
+  EXPECT_EQ(report.failure_code, "rollback");
+}
+
+TEST(SecureBoot, RollbackFloorOnlyCommitsOnFullSuccess) {
+  Fixture f;
+  auto chain = f.standard_chain();
+  chain[2].payload.push_back(1);  // last stage invalid
+  ASSERT_FALSE(f.rom.boot(chain).booted);
+  // The valid first stages must NOT have raised floors.
+  EXPECT_EQ(f.rom.rollback_floor("bootloader"), 0u);
+}
+
+TEST(SecureBoot, MeasurementDependsOnEveryStage) {
+  Fixture f;
+  const BootReport r1 = f.rom.boot(f.standard_chain());
+  auto chain2 = f.standard_chain();
+  chain2[2] = f.make_image("application", 8, "app-code-v8");
+  const BootReport r2 = f.rom.boot(chain2);
+  ASSERT_TRUE(r1.booted);
+  ASSERT_TRUE(r2.booted);
+  EXPECT_NE(core::to_hex(r1.platform_measurement), core::to_hex(r2.platform_measurement));
+}
+
+TEST(SecureBoot, MeasurementDeterministic) {
+  Fixture f1, f2;
+  const BootReport r1 = f1.rom.boot(f1.standard_chain());
+  const BootReport r2 = f2.rom.boot(f2.standard_chain());
+  EXPECT_EQ(core::to_hex(r1.platform_measurement), core::to_hex(r2.platform_measurement));
+}
+
+TEST(SecureBoot, CountsAttemptsAndFailures) {
+  Fixture f;
+  (void)f.rom.boot(f.standard_chain());
+  auto bad = f.standard_chain();
+  bad[0].payload.push_back(1);
+  (void)f.rom.boot(bad);
+  EXPECT_EQ(f.rom.boot_attempts(), 2u);
+  EXPECT_EQ(f.rom.boot_failures(), 1u);
+}
+
+TEST(MeasurementRegister, ExtendIsOrderSensitive) {
+  MeasurementRegister a, b;
+  const auto m1 = crypto::Sha256::hash(core::from_string("one"));
+  const auto m2 = crypto::Sha256::hash(core::from_string("two"));
+  a.extend(m1);
+  a.extend(m2);
+  b.extend(m2);
+  b.extend(m1);
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(Update, FullTransferInstallsAndBoots) {
+  Fixture f;
+  const core::Bytes payload = f.drbg.generate(10000);
+  const PreparedUpdate update = prepare_update("application", 9, payload, 1024, f.signer);
+  EXPECT_EQ(update.chunks.size(), 10u);  // 9*1024 + 784
+
+  UpdateReceiver receiver{f.signer.public_key};
+  ASSERT_TRUE(receiver.begin(update.manifest).ok());
+  for (const auto& chunk : update.chunks) {
+    ASSERT_TRUE(receiver.feed(chunk).ok());
+  }
+  auto image = receiver.finalize();
+  ASSERT_TRUE(image.ok()) << image.error().to_string();
+  EXPECT_EQ(image.value().payload, payload);
+
+  // Installed image boots.
+  auto chain = f.standard_chain();
+  chain[2] = image.value();
+  EXPECT_TRUE(f.rom.boot(chain).booted);
+}
+
+TEST(Update, RejectsForgedManifest) {
+  Fixture f;
+  crypto::Drbg other{13, "other"};
+  const auto rogue = crypto::ed25519_keypair(other.generate32());
+  const PreparedUpdate update =
+      prepare_update("application", 9, f.drbg.generate(100), 64, rogue);
+  UpdateReceiver receiver{f.signer.public_key};
+  const auto status = receiver.begin(update.manifest);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "bad_signature");
+}
+
+TEST(Update, RejectsCorruptedChunk) {
+  Fixture f;
+  const core::Bytes payload = f.drbg.generate(500);
+  const PreparedUpdate update = prepare_update("application", 9, payload, 128, f.signer);
+  UpdateReceiver receiver{f.signer.public_key};
+  ASSERT_TRUE(receiver.begin(update.manifest).ok());
+  for (std::size_t i = 0; i < update.chunks.size(); ++i) {
+    core::Bytes chunk = update.chunks[i];
+    if (i == 2) chunk[0] ^= 1;
+    ASSERT_TRUE(receiver.feed(chunk).ok());
+  }
+  const auto image = receiver.finalize();
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.error().code, "bad_hash");
+}
+
+TEST(Update, RejectsIncompleteTransfer) {
+  Fixture f;
+  const PreparedUpdate update =
+      prepare_update("application", 9, f.drbg.generate(500), 128, f.signer);
+  UpdateReceiver receiver{f.signer.public_key};
+  ASSERT_TRUE(receiver.begin(update.manifest).ok());
+  ASSERT_TRUE(receiver.feed(update.chunks[0]).ok());
+  const auto image = receiver.finalize();
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.error().code, "incomplete");
+}
+
+TEST(Update, RejectsOverflow) {
+  Fixture f;
+  const PreparedUpdate update =
+      prepare_update("application", 9, f.drbg.generate(100), 64, f.signer);
+  UpdateReceiver receiver{f.signer.public_key};
+  ASSERT_TRUE(receiver.begin(update.manifest).ok());
+  for (const auto& chunk : update.chunks) ASSERT_TRUE(receiver.feed(chunk).ok());
+  const auto status = receiver.feed(update.chunks[0]);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "overflow");
+}
+
+TEST(Update, FeedWithoutBeginFails) {
+  Fixture f;
+  UpdateReceiver receiver{f.signer.public_key};
+  const core::Bytes chunk(10, 0);
+  EXPECT_FALSE(receiver.feed(chunk).ok());
+  EXPECT_FALSE(receiver.finalize().ok());
+}
+
+TEST(Update, RejectsZeroChunkSize) {
+  Fixture f;
+  PreparedUpdate update = prepare_update("application", 9, f.drbg.generate(100), 64, f.signer);
+  update.manifest.chunk_size = 0;
+  // Signature now mismatches too, but chunk_size check must not crash.
+  UpdateReceiver receiver{f.signer.public_key};
+  EXPECT_FALSE(receiver.begin(update.manifest).ok());
+}
+
+TEST(Update, UpdatedImageObeysRollbackProtection) {
+  Fixture f;
+  ASSERT_TRUE(f.rom.boot(f.standard_chain()).booted);  // floor: app v7
+  const PreparedUpdate update =
+      prepare_update("application", 5, f.drbg.generate(100), 64, f.signer);
+  UpdateReceiver receiver{f.signer.public_key};
+  ASSERT_TRUE(receiver.begin(update.manifest).ok());
+  for (const auto& chunk : update.chunks) ASSERT_TRUE(receiver.feed(chunk).ok());
+  auto image = receiver.finalize();
+  ASSERT_TRUE(image.ok());
+
+  auto chain = f.standard_chain();
+  chain[2] = image.value();
+  const BootReport report = f.rom.boot(chain);
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failure_code, "rollback");
+}
+
+}  // namespace
+}  // namespace agrarsec::secure

@@ -1,0 +1,266 @@
+// Secure channel: handshake, record layer, replay protection.
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+#include "pki/identity.h"
+#include "pki/trust_store.h"
+#include "secure/handshake.h"
+
+namespace agrarsec::secure {
+namespace {
+
+struct Fixture {
+  crypto::Drbg drbg{7, "secure-test"};
+  pki::CertificateAuthority root = pki::CertificateAuthority::create_root(
+      "root-ca", make_seed(), 0, 1000 * core::kHour);
+  pki::TrustStore trust;
+  pki::Identity forwarder = make_identity("forwarder-01");
+  pki::Identity drone = make_identity("drone-01");
+
+  std::array<std::uint8_t, 32> make_seed() { return drbg.generate32(); }
+
+  pki::Identity make_identity(const std::string& name) {
+    auto id = pki::enroll(root, drbg, name, pki::CertRole::kMachine, 0,
+                          1000 * core::kHour);
+    EXPECT_TRUE(id.ok());
+    return std::move(id).take();
+  }
+
+  Fixture() { EXPECT_TRUE(trust.add_root(root.certificate()).ok()); }
+};
+
+TEST(Handshake, EstablishesMatchingSessions) {
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok()) << pair.error().to_string();
+  EXPECT_EQ(pair.value().initiator.peer_subject(), "drone-01");
+  EXPECT_EQ(pair.value().responder.peer_subject(), "forwarder-01");
+}
+
+TEST(Handshake, SessionCarriesData) {
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Session& a = pair.value().initiator;
+  Session& b = pair.value().responder;
+
+  const auto payload = core::from_string("person at (31.5, 44.2) conf 0.93");
+  const Record r = a.seal(payload);
+  const auto opened = b.open(r);
+  ASSERT_TRUE(opened.ok()) << opened.error().to_string();
+  EXPECT_EQ(opened.value(), payload);
+}
+
+TEST(Handshake, BothDirectionsIndependent) {
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Session& a = pair.value().initiator;
+  Session& b = pair.value().responder;
+
+  const Record r1 = a.seal(core::from_string("i2r"));
+  const Record r2 = b.seal(core::from_string("r2i"));
+  EXPECT_TRUE(b.open(r1).ok());
+  EXPECT_TRUE(a.open(r2).ok());
+}
+
+TEST(Handshake, RejectsUntrustedPeer) {
+  Fixture f;
+  crypto::Drbg rogue_drbg{666, "rogue"};
+  auto rogue_root = pki::CertificateAuthority::create_root(
+      "rogue-ca", rogue_drbg.generate32(), 0, 1000 * core::kHour);
+  auto rogue = pki::enroll(rogue_root, rogue_drbg, "rogue-drone",
+                           pki::CertRole::kDrone, 0, 1000 * core::kHour);
+  ASSERT_TRUE(rogue.ok());
+
+  auto pair = establish(f.forwarder, rogue.value(), f.trust, 10, f.drbg);
+  ASSERT_FALSE(pair.ok());
+  EXPECT_EQ(pair.error().code, "untrusted_root");
+}
+
+TEST(Handshake, RejectsWrongExpectedPeer) {
+  Fixture f;
+  // Initiator expects "drone-02" but talks to drone-01.
+  Handshake init{f.forwarder, f.trust, 10, "drone-02"};
+  Handshake resp{f.drone, f.trust, 10, ""};
+  const auto m1 = init.start(f.drbg);
+  auto m2 = resp.respond(m1, f.drbg);
+  ASSERT_TRUE(m2.ok());
+  auto m3 = init.consume_msg2(m2.value());
+  ASSERT_FALSE(m3.ok());
+  EXPECT_EQ(m3.error().code, "peer_mismatch");
+}
+
+TEST(Handshake, RejectsRevokedPeer) {
+  Fixture f;
+  f.root.revoke(f.drone.leaf().body.serial);
+  ASSERT_TRUE(f.trust.add_crl(f.root.current_crl(5), f.root.certificate()).ok());
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_FALSE(pair.ok());
+  EXPECT_EQ(pair.error().code, "revoked");
+}
+
+TEST(Handshake, RejectsExpiredCertificates) {
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 2000 * core::kHour, f.drbg);
+  ASSERT_FALSE(pair.ok());
+  EXPECT_EQ(pair.error().code, "expired");
+}
+
+TEST(Handshake, RejectsTamperedResponderSignature) {
+  Fixture f;
+  Handshake init{f.forwarder, f.trust, 10, ""};
+  Handshake resp{f.drone, f.trust, 10, ""};
+  const auto m1 = init.start(f.drbg);
+  auto m2 = resp.respond(m1, f.drbg);
+  ASSERT_TRUE(m2.ok());
+  m2.value().signature[10] ^= 1;
+  auto m3 = init.consume_msg2(m2.value());
+  ASSERT_FALSE(m3.ok());
+  EXPECT_EQ(m3.error().code, "bad_signature");
+}
+
+TEST(Handshake, RejectsSubstitutedEphemeral) {
+  // A MITM replacing the responder ephemeral invalidates the signature
+  // (it covers the transcript).
+  Fixture f;
+  Handshake init{f.forwarder, f.trust, 10, ""};
+  Handshake resp{f.drone, f.trust, 10, ""};
+  const auto m1 = init.start(f.drbg);
+  auto m2 = resp.respond(m1, f.drbg);
+  ASSERT_TRUE(m2.ok());
+  m2.value().ephemeral[0] ^= 1;
+  auto m3 = init.consume_msg2(m2.value());
+  ASSERT_FALSE(m3.ok());
+  EXPECT_EQ(m3.error().code, "bad_signature");
+}
+
+TEST(Handshake, RejectsLowOrderEphemeral) {
+  Fixture f;
+  Handshake resp{f.drone, f.trust, 10, ""};
+  HandshakeMsg1 m1;
+  m1.ephemeral.fill(0);  // low-order point -> all-zero shared secret
+  auto m2 = resp.respond(m1, f.drbg);
+  ASSERT_FALSE(m2.ok());
+  EXPECT_EQ(m2.error().code, "bad_ephemeral");
+}
+
+TEST(Handshake, TakeSessionBeforeCompletionThrows) {
+  Fixture f;
+  Handshake init{f.forwarder, f.trust, 10, ""};
+  (void)init.start(f.drbg);
+  EXPECT_THROW((void)init.take_session(), std::logic_error);
+}
+
+TEST(Handshake, DistinctRunsYieldDistinctKeys) {
+  Fixture f;
+  auto p1 = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  auto p2 = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  // Same plaintext sealed in both sessions yields different ciphertexts.
+  const auto payload = core::from_string("same payload");
+  const Record r1 = p1.value().initiator.seal(payload);
+  const Record r2 = p2.value().initiator.seal(payload);
+  EXPECT_NE(core::to_hex(r1.ciphertext), core::to_hex(r2.ciphertext));
+}
+
+TEST(Session, ReplayIsRejected) {
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Session& a = pair.value().initiator;
+  Session& b = pair.value().responder;
+
+  const Record r = a.seal(core::from_string("stop"));
+  ASSERT_TRUE(b.open(r).ok());
+  const auto replayed = b.open(r);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.error().code, "replay");
+  EXPECT_EQ(b.replay_rejections(), 1u);
+}
+
+TEST(Session, OldSequenceRejectedEvenUnseen) {
+  // Strictly monotonic acceptance: after record 3 arrives, records 1-2
+  // (e.g. delayed by an attacker for later replay) are refused.
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Session& a = pair.value().initiator;
+  Session& b = pair.value().responder;
+
+  const Record r1 = a.seal(core::from_string("one"));
+  const Record r2 = a.seal(core::from_string("two"));
+  const Record r3 = a.seal(core::from_string("three"));
+  ASSERT_TRUE(b.open(r3).ok());
+  EXPECT_FALSE(b.open(r1).ok());
+  EXPECT_FALSE(b.open(r2).ok());
+}
+
+TEST(Session, TamperedRecordRejected) {
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Record r = pair.value().initiator.seal(core::from_string("payload"));
+  r.ciphertext[0] ^= 1;
+  const auto opened = pair.value().responder.open(r);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error().code, "bad_record");
+  EXPECT_EQ(pair.value().responder.auth_failures(), 1u);
+}
+
+TEST(Session, SequenceSubstitutionRejected) {
+  // Changing the sequence number breaks the AAD binding.
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Record r = pair.value().initiator.seal(core::from_string("payload"));
+  r.sequence += 10;
+  EXPECT_FALSE(pair.value().responder.open(r).ok());
+}
+
+TEST(Session, AadMismatchRejected) {
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  const auto aad = core::from_string("estop");
+  const Record r = pair.value().initiator.seal(core::from_string("x"), aad);
+  EXPECT_FALSE(pair.value().responder.open(r, core::from_string("telemetry")).ok());
+  // Correct AAD on a *fresh* record works (the failed attempt did not
+  // advance the replay window).
+  const Record r2 = pair.value().initiator.seal(core::from_string("x"), aad);
+  EXPECT_TRUE(pair.value().responder.open(r2, aad).ok());
+}
+
+TEST(Session, CrossSessionRecordRejected) {
+  Fixture f;
+  auto p1 = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  auto p2 = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  const Record r = p1.value().initiator.seal(core::from_string("x"));
+  EXPECT_FALSE(p2.value().responder.open(r).ok());
+}
+
+TEST(Record, EncodeDecodeRoundTrip) {
+  Record r;
+  r.sequence = 77;
+  r.ciphertext = core::from_string("ciphertext-bytes");
+  const auto decoded = Record::decode(r.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sequence, 77u);
+  EXPECT_EQ(decoded->ciphertext, r.ciphertext);
+}
+
+TEST(Record, DecodeRejectsTruncation) {
+  Record r;
+  r.sequence = 1;
+  r.ciphertext = core::from_string("abc");
+  auto bytes = r.encode();
+  bytes.pop_back();
+  EXPECT_FALSE(Record::decode(bytes).has_value());
+  EXPECT_FALSE(Record::decode(std::span(bytes.data(), 5)).has_value());
+}
+
+}  // namespace
+}  // namespace agrarsec::secure

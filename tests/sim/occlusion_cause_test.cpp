@@ -1,0 +1,72 @@
+// Occlusion-cause attribution (feeds the SOTIF census).
+#include <gtest/gtest.h>
+
+#include "sim/terrain.h"
+
+namespace agrarsec::sim {
+namespace {
+
+Obstacle make(ObstacleKind kind, core::Vec2 at, double radius, double height) {
+  Obstacle o;
+  o.kind = kind;
+  o.footprint = {at, radius};
+  o.height_m = height;
+  return o;
+}
+
+TEST(OcclusionCause, NoneOnOpenGround) {
+  const Terrain t{core::Aabb{{0, 0}, {200, 200}}, {}, {}};
+  EXPECT_EQ(t.occlusion_cause({0, 0}, 2.6, {100, 0}, 1.2),
+            Terrain::OcclusionCause::kNone);
+}
+
+TEST(OcclusionCause, IdentifiesBoulder) {
+  const Terrain t{core::Aabb{{0, 0}, {200, 200}},
+                  {make(ObstacleKind::kBoulder, {50, 0}, 2.0, 3.0)}, {}};
+  EXPECT_EQ(t.occlusion_cause({0, 0}, 2.6, {100, 0}, 1.2),
+            Terrain::OcclusionCause::kBoulder);
+}
+
+TEST(OcclusionCause, IdentifiesBrush) {
+  const Terrain t{core::Aabb{{0, 0}, {200, 200}},
+                  {make(ObstacleKind::kBrush, {80, 0}, 1.0, 1.8)}, {}};
+  // Brush at 1.8 m blocks close to the target end of the 2.6->1.2 ray.
+  EXPECT_EQ(t.occlusion_cause({0, 0}, 2.6, {100, 0}, 1.2),
+            Terrain::OcclusionCause::kBrush);
+}
+
+TEST(OcclusionCause, IdentifiesTreeStem) {
+  const Terrain t{core::Aabb{{0, 0}, {200, 200}},
+                  {make(ObstacleKind::kTree, {50, 0}, 0.3, 16.0)}, {}};
+  EXPECT_EQ(t.occlusion_cause({0, 0}, 2.6, {100, 0}, 1.2),
+            Terrain::OcclusionCause::kTree);
+}
+
+TEST(OcclusionCause, IdentifiesTerrainCrest) {
+  const Terrain t{core::Aabb{{0, 0}, {200, 200}}, {},
+                  {Hill{{100, 0}, 10.0, 20.0}}};
+  EXPECT_EQ(t.occlusion_cause({20, 0}, 2.0, {180, 0}, 1.7),
+            Terrain::OcclusionCause::kTerrain);
+}
+
+TEST(OcclusionCause, ObstacleBeatsTerrainWhenBothPresent) {
+  // Attribution reports the first blocker class found; obstacles are
+  // checked before ground sampling.
+  const Terrain t{core::Aabb{{0, 0}, {200, 200}},
+                  {make(ObstacleKind::kBoulder, {90, 0}, 2.0, 30.0)},
+                  {Hill{{100, 0}, 10.0, 20.0}}};
+  EXPECT_EQ(t.occlusion_cause({20, 0}, 2.0, {180, 0}, 1.7),
+            Terrain::OcclusionCause::kBoulder);
+}
+
+TEST(OcclusionCause, ElevatedViewClearsAll) {
+  const Terrain t{core::Aabb{{0, 0}, {200, 200}},
+                  {make(ObstacleKind::kBoulder, {50, 0}, 2.0, 3.0),
+                   make(ObstacleKind::kBrush, {70, 0}, 1.0, 1.8)},
+                  {Hill{{100, 0}, 4.0, 30.0}}};
+  EXPECT_EQ(t.occlusion_cause({0, 0}, 60.0, {100, 0}, 1.2),
+            Terrain::OcclusionCause::kNone);
+}
+
+}  // namespace
+}  // namespace agrarsec::sim

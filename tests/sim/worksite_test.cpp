@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/worksite.h"
+
+namespace agrarsec::sim {
+namespace {
+
+WorksiteConfig small_site() {
+  WorksiteConfig config;
+  config.forest.bounds = {{0, 0}, {300, 300}};
+  config.forest.trees_per_hectare = 100;  // sparse for fast tests
+  config.forest.hill_count = 2;
+  config.landing_area = {30, 30};
+  config.harvester_output_m3_per_min = 10.0;  // fast production for tests
+  config.load_time = 5 * core::kSecond;
+  config.unload_time = 5 * core::kSecond;
+  return config;
+}
+
+TEST(Worksite, PopulationAndAccess) {
+  Worksite site{small_site(), 42};
+  const MachineId f = site.add_forwarder("f1", {50, 50});
+  const MachineId h = site.add_harvester("h1", {150, 150});
+  const MachineId d = site.add_drone("d1", {50, 50});
+  const HumanId w = site.add_worker("w1", {150, 150}, {150, 150});
+
+  EXPECT_EQ(site.machines().size(), 3u);
+  EXPECT_EQ(site.humans().size(), 1u);
+  EXPECT_NE(site.machine(f), nullptr);
+  EXPECT_EQ(site.machine(f)->kind(), MachineKind::kForwarder);
+  EXPECT_EQ(site.machine(h)->kind(), MachineKind::kHarvester);
+  EXPECT_EQ(site.machine(d)->kind(), MachineKind::kDrone);
+  EXPECT_EQ(site.machine(MachineId{999}), nullptr);
+  EXPECT_EQ(site.humans()[0]->id(), w);
+}
+
+TEST(Worksite, ClockAdvances) {
+  Worksite site{small_site(), 42};
+  EXPECT_EQ(site.clock().now(), 0);
+  site.step();
+  EXPECT_EQ(site.clock().now(), 100);
+}
+
+TEST(Worksite, HarvesterProducesPiles) {
+  Worksite site{small_site(), 42};
+  site.add_harvester("h1", {150, 150});
+  for (int i = 0; i < 1200; ++i) site.step();  // 2 minutes at 10 m3/min
+  EXPECT_GE(site.piles().size(), 2u);
+  for (const LogPile& p : site.piles()) {
+    EXPECT_GT(p.volume_m3, 0.0);
+    EXPECT_TRUE(site.terrain().bounds().contains(p.position));
+  }
+}
+
+TEST(Worksite, ForwarderCompletesCycle) {
+  Worksite site{small_site(), 42};
+  site.add_harvester("h1", {150, 150});
+  const MachineId f = site.add_forwarder("f1", {60, 60});
+
+  // Run up to 30 sim-minutes; the forwarder should deliver at least once.
+  for (int i = 0; i < 18000 && site.completed_cycles() == 0; ++i) site.step();
+  EXPECT_GE(site.completed_cycles(), 1u);
+  EXPECT_GT(site.delivered_m3(), 0.0);
+  (void)f;
+}
+
+TEST(Worksite, ForwarderTaskProgression) {
+  Worksite site{small_site(), 42};
+  site.add_harvester("h1", {150, 150});
+  const MachineId f = site.add_forwarder("f1", {60, 60});
+
+  std::set<ForwarderTask> seen;
+  for (int i = 0; i < 18000 && site.completed_cycles() == 0; ++i) {
+    site.step();
+    seen.insert(site.task(f));
+  }
+  EXPECT_TRUE(seen.contains(ForwarderTask::kToPile));
+  EXPECT_TRUE(seen.contains(ForwarderTask::kLoading));
+  EXPECT_TRUE(seen.contains(ForwarderTask::kToLanding));
+}
+
+TEST(Worksite, StoppedForwarderMakesNoProgress) {
+  Worksite site{small_site(), 42};
+  site.add_harvester("h1", {150, 150});
+  const MachineId f = site.add_forwarder("f1", {60, 60});
+  for (int i = 0; i < 100; ++i) site.step();
+  site.machine(f)->emergency_stop(true);
+  const auto cycles_before = site.completed_cycles();
+  for (int i = 0; i < 3000; ++i) site.step();
+  EXPECT_EQ(site.completed_cycles(), cycles_before);
+}
+
+TEST(Worksite, DroneOrbitsAnchor) {
+  Worksite site{small_site(), 42};
+  const MachineId f = site.add_forwarder("f1", {100, 100});
+  const MachineId d = site.add_drone("d1", {100, 100});
+  site.set_drone_orbit(d, f, 25.0);
+  for (int i = 0; i < 600; ++i) site.step();
+
+  const double dist = core::distance(site.machine(d)->position(),
+                                     site.machine(f)->position());
+  EXPECT_GT(dist, 5.0);
+  EXPECT_LT(dist, 60.0);
+}
+
+TEST(Worksite, SeparationTrackingRecordsCloseEncounters) {
+  Worksite site{small_site(), 42};
+  site.add_harvester("h1", {60, 60});
+  const MachineId f = site.add_forwarder("f1", {50, 50});
+  site.add_worker("w1", {60, 60}, {60, 60});
+  (void)f;
+  for (int i = 0; i < 6000; ++i) site.step();
+  // Worker anchored right at the pile area: some proximity expected.
+  EXPECT_LT(site.min_human_separation(), 100.0);
+  EXPECT_GE(site.close_encounters(1000.0), site.close_encounters(10.0));
+}
+
+TEST(Worksite, EventBusPublishesPilesAndCycles) {
+  Worksite site{small_site(), 42};
+  int pile_events = 0;
+  site.bus().subscribe("worksite/pile", [&](const core::Event&) { ++pile_events; });
+  site.add_harvester("h1", {150, 150});
+  for (int i = 0; i < 1200; ++i) site.step();
+  EXPECT_GE(pile_events, 2);
+}
+
+TEST(Worksite, WeatherSettable) {
+  Worksite site{small_site(), 42};
+  EXPECT_EQ(site.weather(), Weather::kClear);
+  site.set_weather(Weather::kFog);
+  EXPECT_EQ(site.weather(), Weather::kFog);
+  EXPECT_EQ(weather_name(Weather::kFog), "fog");
+}
+
+TEST(Worksite, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    Worksite site{small_site(), seed};
+    site.add_harvester("h1", {150, 150});
+    site.add_forwarder("f1", {60, 60});
+    site.add_worker("w1", {100, 100}, {150, 150});
+    for (int i = 0; i < 3000; ++i) site.step();
+    return std::make_pair(site.delivered_m3(), site.machines()[1]->position());
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second.x, b.second.x);
+  const auto c = run(8);
+  EXPECT_NE(a.second.x, c.second.x);
+}
+
+}  // namespace
+}  // namespace agrarsec::sim

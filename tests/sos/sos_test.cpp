@@ -1,0 +1,224 @@
+// SoS composition checks and emergent-behaviour monitors.
+#include <gtest/gtest.h>
+
+#include "sos/emergent.h"
+#include "sos/system.h"
+
+namespace agrarsec::sos {
+namespace {
+
+TEST(Sos, ForestrySosComposable) {
+  const SosComposition sos = build_forestry_sos();
+  EXPECT_EQ(sos.systems().size(), 3u);
+  EXPECT_GE(sos.contracts().size(), 8u);
+  const auto issues = sos.check();
+  EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues[0].detail);
+}
+
+TEST(Sos, CapabilityMismatchDetected) {
+  SosComposition sos;
+  ConstituentSystem a;
+  a.name = "a";
+  a.organization = "org";
+  a.produces = {net::MessageType::kTelemetry};
+  const SystemId a_id = sos.add_system(std::move(a));
+  ConstituentSystem b;
+  b.name = "b";
+  b.organization = "org";
+  b.consumes = {net::MessageType::kTelemetry};
+  const SystemId b_id = sos.add_system(std::move(b));
+
+  InterfaceContract c;
+  c.name = "wrong-type";
+  c.producer = a_id;
+  c.consumer = b_id;
+  c.message = net::MessageType::kEstopCommand;  // neither supports it
+  sos.add_contract(c);
+
+  const auto issues = sos.check_capabilities();
+  EXPECT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].category, "capability");
+}
+
+TEST(Sos, UnknownSystemInContractDetected) {
+  SosComposition sos;
+  InterfaceContract c;
+  c.name = "dangling";
+  c.producer = SystemId{99};
+  c.consumer = SystemId{98};
+  sos.add_contract(c);
+  const auto issues = sos.check_capabilities();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].detail.find("unknown system"), std::string::npos);
+}
+
+TEST(Sos, OperationalPolicyConflictDetected) {
+  SosComposition sos = build_forestry_sos();
+  InterfaceContract plain;
+  plain.name = "legacy-plaintext";
+  plain.producer = sos.systems()[0].id;
+  plain.consumer = sos.systems()[2].id;
+  plain.message = net::MessageType::kTelemetry;
+  plain.encrypted = false;
+  plain.mutually_authenticated = false;
+  sos.add_contract(plain);
+
+  const auto issues = sos.check_operational_independence();
+  EXPECT_GE(issues.size(), 2u);  // both ends demand encryption + auth
+  for (const auto& i : issues) EXPECT_EQ(i.category, "operational");
+}
+
+TEST(Sos, CrossOrgWithoutAuthDetected) {
+  SosComposition sos;
+  ConstituentSystem a;
+  a.name = "machine";
+  a.organization = "oem";
+  a.policy.requires_encryption = false;
+  a.policy.requires_mutual_auth = false;
+  a.produces = {net::MessageType::kTelemetry};
+  const SystemId a_id = sos.add_system(std::move(a));
+  ConstituentSystem b;
+  b.name = "portal";
+  b.organization = "contractor";
+  b.policy.requires_encryption = false;
+  b.policy.requires_mutual_auth = false;
+  b.consumes = {net::MessageType::kTelemetry};
+  const SystemId b_id = sos.add_system(std::move(b));
+
+  InterfaceContract c;
+  c.name = "cross-org";
+  c.producer = a_id;
+  c.consumer = b_id;
+  c.message = net::MessageType::kTelemetry;
+  c.mutually_authenticated = false;
+  sos.add_contract(c);
+
+  const auto issues = sos.check_management_independence();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].category, "management");
+}
+
+TEST(Sos, VersionSkewDetected) {
+  SosComposition sos = build_forestry_sos();
+  // Drone vendor ships interface v2; contracts still at v1.
+  SosComposition skewed;
+  for (ConstituentSystem s : sos.systems()) {
+    if (s.name == "observation-drone") s.interface_version = 2;
+    // Re-adding reassigns ids in order, so contracts keep matching.
+    skewed.add_system(std::move(s));
+  }
+  for (const InterfaceContract& c : sos.contracts()) skewed.add_contract(c);
+
+  const auto issues = skewed.check_evolution();
+  EXPECT_GE(issues.size(), 1u);
+  EXPECT_EQ(issues[0].category, "evolution");
+}
+
+TEST(Sos, GeographicExportViolationDetected) {
+  SosComposition sos;
+  ConstituentSystem a;
+  a.name = "harvest-db";
+  a.organization = "company";
+  a.jurisdiction = "SE";
+  a.policy.allows_data_export = false;
+  a.produces = {net::MessageType::kTelemetry};
+  const SystemId a_id = sos.add_system(std::move(a));
+  ConstituentSystem b;
+  b.name = "cloud-analytics";
+  b.organization = "company";
+  b.jurisdiction = "US";
+  b.consumes = {net::MessageType::kTelemetry};
+  const SystemId b_id = sos.add_system(std::move(b));
+
+  InterfaceContract c;
+  c.name = "export";
+  c.producer = a_id;
+  c.consumer = b_id;
+  c.message = net::MessageType::kTelemetry;
+  c.carries_personal_data = true;
+  sos.add_contract(c);
+
+  const auto issues = sos.check_geographic();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].category, "geographic");
+
+  // Same jurisdictions: fine.
+  SosComposition same;
+  ConstituentSystem a2;
+  a2.name = "db";
+  a2.organization = "c";
+  a2.jurisdiction = "SE";
+  a2.policy.allows_data_export = false;
+  a2.produces = {net::MessageType::kTelemetry};
+  const SystemId a2_id = same.add_system(std::move(a2));
+  ConstituentSystem b2;
+  b2.name = "analytics";
+  b2.organization = "c";
+  b2.jurisdiction = "SE";
+  b2.consumes = {net::MessageType::kTelemetry};
+  const SystemId b2_id = same.add_system(std::move(b2));
+  InterfaceContract c2 = c;
+  c2.producer = a2_id;
+  c2.consumer = b2_id;
+  same.add_contract(c2);
+  EXPECT_TRUE(same.check_geographic().empty());
+}
+
+TEST(Emergent, OscillationDetected) {
+  core::EventBus bus;
+  EmergentBehaviorMonitor monitor;
+  monitor.attach(bus);
+  // 4 e-stops within 60 s.
+  for (int i = 0; i < 4; ++i) {
+    bus.publish({"safety/estop", "reason=x", 1, i * 10 * core::kSecond});
+  }
+  EXPECT_EQ(monitor.count("stop-start-oscillation"), 1u);
+}
+
+TEST(Emergent, SlowStopsNoOscillation) {
+  core::EventBus bus;
+  EmergentBehaviorMonitor monitor;
+  monitor.attach(bus);
+  for (int i = 0; i < 6; ++i) {
+    bus.publish({"safety/estop", "reason=x", 1, i * 120 * core::kSecond});
+  }
+  EXPECT_EQ(monitor.count("stop-start-oscillation"), 0u);
+}
+
+TEST(Emergent, CascadeAcrossDistinctSystems) {
+  core::EventBus bus;
+  EmergentBehaviorMonitor monitor;
+  monitor.attach(bus);
+  bus.publish({"machine/degraded", "", 1, 1000});
+  bus.publish({"machine/degraded", "", 2, 2000});
+  bus.publish({"machine/degraded", "", 3, 3000});
+  EXPECT_EQ(monitor.count("cascade-degradation"), 1u);
+}
+
+TEST(Emergent, SameOriginNotACascade) {
+  core::EventBus bus;
+  EmergentBehaviorMonitor monitor;
+  monitor.attach(bus);
+  for (int i = 0; i < 10; ++i) {
+    bus.publish({"machine/degraded", "", 1, static_cast<core::SimTime>(i * 1000)});
+  }
+  EXPECT_EQ(monitor.count("cascade-degradation"), 0u);
+}
+
+TEST(Emergent, MonitorRearmsAfterFinding) {
+  core::EventBus bus;
+  EmergentBehaviorMonitor monitor;
+  monitor.attach(bus);
+  for (int i = 0; i < 8; ++i) {
+    bus.publish({"safety/estop", "", 1, i * 5 * core::kSecond});
+  }
+  EXPECT_EQ(monitor.count("stop-start-oscillation"), 2u);
+}
+
+TEST(Sos, RoleNames) {
+  EXPECT_EQ(system_role_name(SystemRole::kDrone), "drone");
+  EXPECT_EQ(system_role_name(SystemRole::kOperatorStation), "operator-station");
+}
+
+}  // namespace
+}  // namespace agrarsec::sos
