@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/pki_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/secure_test[1]_include.cmake")
+include("/root/repo/build/tests/ids_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sensors_test[1]_include.cmake")
+include("/root/repo/build/tests/safety_test[1]_include.cmake")
+include("/root/repo/build/tests/risk_test[1]_include.cmake")
+include("/root/repo/build/tests/assurance_test[1]_include.cmake")
+include("/root/repo/build/tests/sos_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
