@@ -1,0 +1,116 @@
+// Fleet-scale hot-loop baseline: steps a worksite with 32 autonomous
+// forwarders and 64 human workers for 10 simulated minutes and reports
+// steps/sec, so perf regressions in the per-step path (spatial queries,
+// separation tracking, pile lookup, radio delivery) show up as a number
+// future PRs must not lower. Outcome metrics are printed alongside the
+// rate as a cheap cross-check that optimisations did not change what the
+// simulation computes.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "net/radio.h"
+#include "sim/worksite.h"
+
+using namespace agrarsec;
+
+namespace {
+
+constexpr std::size_t kForwarders = 32;
+constexpr std::size_t kWorkers = 64;
+
+double run_worksite(core::SimDuration sim_duration) {
+  sim::WorksiteConfig config;
+  config.forest.bounds = {{0, 0}, {500, 500}};
+  config.forest.trees_per_hectare = 250;
+  config.landing_area = {40, 40};
+  // Enough production and short enough handling times that the whole
+  // fleet keeps moving — an idle fleet would not exercise the hot loop.
+  config.harvester_output_m3_per_min = 60.0;
+  config.load_time = 20 * core::kSecond;
+  config.unload_time = 15 * core::kSecond;
+
+  sim::Worksite site{config, 42};
+  site.add_harvester("h1", {250, 250});
+  site.add_harvester("h2", {350, 300});
+  for (std::size_t i = 0; i < kForwarders; ++i) {
+    site.add_forwarder("f" + std::to_string(i),
+                       {60.0 + 12.0 * static_cast<double>(i % 8),
+                        60.0 + 15.0 * static_cast<double>(i / 8)});
+  }
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    const core::Vec2 anchor{80.0 + 45.0 * static_cast<double>(i % 8),
+                            80.0 + 45.0 * static_cast<double>(i / 8)};
+    site.add_worker("w" + std::to_string(i), anchor, anchor);
+  }
+
+  const auto steps = static_cast<std::uint64_t>(sim_duration / config.step);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t s = 0; s < steps; ++s) site.step();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double rate = static_cast<double>(steps) / secs;
+
+  std::printf("  %zu forwarders + %zu workers, %lld sim-min: %llu steps in %.3fs"
+              " -> %.0f steps/sec\n",
+              kForwarders, kWorkers,
+              static_cast<long long>(sim_duration / core::kMinute),
+              static_cast<unsigned long long>(steps), secs, rate);
+  std::printf("  cross-check: delivered=%.1fm3 cycles=%llu min_sep=%.2fm"
+              " close<10m=%llu piles=%zu\n",
+              site.delivered_m3(),
+              static_cast<unsigned long long>(site.completed_cycles()),
+              site.min_human_separation(),
+              static_cast<unsigned long long>(site.close_encounters(10.0)),
+              site.piles().size());
+  return rate;
+}
+
+double run_radio(std::size_t nodes, std::uint64_t steps) {
+  net::RadioConfig config;
+  config.latency_jitter = 8;  // non-monotone deliver_at exercises ordering
+  net::RadioMedium medium{core::Rng{7}, config};
+  std::vector<core::Vec2> positions(nodes);
+  std::uint64_t received = 0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    positions[i] = {static_cast<double>(i % 8) * 40.0,
+                    static_cast<double>(i / 8) * 40.0};
+    medium.attach(NodeId{i + 1}, [&positions, i] { return positions[i]; },
+                  [&received](const net::Frame&, core::SimTime) { ++received; });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    const core::SimTime now = static_cast<core::SimTime>(s) * 100;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      net::Frame f;
+      f.src = NodeId{i + 1};
+      f.dst = NodeId::invalid();  // broadcast
+      f.channel = static_cast<std::uint32_t>(i % 4);
+      medium.send(std::move(f), now);
+    }
+    medium.step(now);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double rate = static_cast<double>(steps) / secs;
+  std::printf("  %zu nodes broadcasting, %llu steps in %.3fs -> %.0f steps/sec"
+              " (%llu deliveries)\n",
+              nodes, static_cast<unsigned long long>(steps), secs, rate,
+              static_cast<unsigned long long>(received));
+  return rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const core::SimDuration sim_minutes = (quick ? 2 : 10) * core::kMinute;
+
+  std::printf("=== fleet-scale hot-loop benchmark ===\n\n");
+  std::printf("worksite step loop:\n");
+  run_worksite(sim_minutes);
+  std::printf("\nradio medium, jittered broadcast fan-out:\n");
+  run_radio(64, quick ? 2000 : 10000);
+  return 0;
+}

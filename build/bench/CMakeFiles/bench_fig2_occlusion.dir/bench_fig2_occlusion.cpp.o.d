@@ -218,10 +218,9 @@ bench/CMakeFiles/bench_fig2_occlusion.dir/bench_fig2_occlusion.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/ids/ids.h \
  /root/repo/src/ids/anomaly.h /root/repo/src/net/message.h \
- /root/repo/src/net/radio.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/geometry.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/net/radio.h /root/repo/src/core/geometry.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -243,11 +242,13 @@ bench/CMakeFiles/bench_fig2_occlusion.dir/bench_fig2_occlusion.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/rng.h \
- /root/repo/src/net/attacker.h /root/repo/src/pki/identity.h \
- /root/repo/src/crypto/ed25519.h /root/repo/src/crypto/x25519.h \
- /root/repo/src/pki/authority.h /root/repo/src/core/result.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/net/attacker.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/pki/identity.h /root/repo/src/crypto/ed25519.h \
+ /root/repo/src/crypto/x25519.h /root/repo/src/pki/authority.h \
+ /root/repo/src/core/result.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/pki/certificate.h /root/repo/src/pki/trust_store.h \
  /root/repo/src/safety/fusion.h /root/repo/src/sensors/detection.h \
  /root/repo/src/safety/monitor.h /root/repo/src/core/event_bus.h \
@@ -257,4 +258,4 @@ bench/CMakeFiles/bench_fig2_occlusion.dir/bench_fig2_occlusion.cpp.o: \
  /root/repo/src/sensors/perception.h /root/repo/src/sim/terrain.h \
  /root/repo/src/sim/weather.h /root/repo/src/sim/worksite.h \
  /root/repo/src/sim/human.h /root/repo/src/sim/pathfinding.h \
- /root/repo/src/sos/emergent.h
+ /root/repo/src/sim/spatial_index.h /root/repo/src/sos/emergent.h

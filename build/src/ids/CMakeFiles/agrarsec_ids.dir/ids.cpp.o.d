@@ -146,10 +146,8 @@ src/ids/CMakeFiles/agrarsec_ids.dir/ids.cpp.o: /root/repo/src/ids/ids.cpp \
  /root/repo/src/ids/anomaly.h /root/repo/src/net/message.h \
  /root/repo/src/core/bytes.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/net/radio.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/geometry.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/geometry.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -241,5 +241,6 @@ src/sensors/CMakeFiles/agrarsec_sensors.dir/perception.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/event_bus.h /root/repo/src/sim/human.h \
- /root/repo/src/sim/pathfinding.h
+ /root/repo/src/core/event_bus.h /root/repo/src/core/stats.h \
+ /root/repo/src/sim/human.h /root/repo/src/sim/pathfinding.h \
+ /root/repo/src/sim/spatial_index.h

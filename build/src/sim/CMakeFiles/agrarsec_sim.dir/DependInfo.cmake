@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/human.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/human.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/human.cpp.o.d"
   "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/machine.cpp.o.d"
   "/root/repo/src/sim/pathfinding.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/pathfinding.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/pathfinding.cpp.o.d"
+  "/root/repo/src/sim/spatial_index.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/spatial_index.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/spatial_index.cpp.o.d"
   "/root/repo/src/sim/terrain.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/terrain.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/terrain.cpp.o.d"
   "/root/repo/src/sim/worksite.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/worksite.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/worksite.cpp.o.d"
   )

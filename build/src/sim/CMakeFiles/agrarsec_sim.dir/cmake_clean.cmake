@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/agrarsec_sim.dir/machine.cpp.o.d"
   "CMakeFiles/agrarsec_sim.dir/pathfinding.cpp.o"
   "CMakeFiles/agrarsec_sim.dir/pathfinding.cpp.o.d"
+  "CMakeFiles/agrarsec_sim.dir/spatial_index.cpp.o"
+  "CMakeFiles/agrarsec_sim.dir/spatial_index.cpp.o.d"
   "CMakeFiles/agrarsec_sim.dir/terrain.cpp.o"
   "CMakeFiles/agrarsec_sim.dir/terrain.cpp.o.d"
   "CMakeFiles/agrarsec_sim.dir/worksite.cpp.o"

@@ -297,10 +297,9 @@ tests/CMakeFiles/ids_test.dir/ids/ids_test.cpp.o: \
  /root/repo/src/core/types.h /root/repo/src/ids/alert.h \
  /root/repo/src/core/time.h /root/repo/src/net/message.h \
  /root/repo/src/core/bytes.h /usr/include/c++/12/span \
- /root/repo/src/net/radio.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/geometry.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/net/radio.h /root/repo/src/core/geometry.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

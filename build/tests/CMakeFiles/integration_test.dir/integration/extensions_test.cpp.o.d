@@ -301,10 +301,8 @@ tests/CMakeFiles/integration_test.dir/integration/extensions_test.cpp.o: \
  /root/repo/src/ids/alert.h /root/repo/src/core/types.h \
  /root/repo/src/ids/ids.h /root/repo/src/ids/anomaly.h \
  /root/repo/src/net/message.h /root/repo/src/net/radio.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/geometry.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/geometry.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -325,16 +323,18 @@ tests/CMakeFiles/integration_test.dir/integration/extensions_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/rng.h \
- /root/repo/src/net/attacker.h /root/repo/src/pki/identity.h \
- /root/repo/src/crypto/ed25519.h /root/repo/src/crypto/x25519.h \
- /root/repo/src/pki/authority.h /root/repo/src/core/result.h \
- /root/repo/src/pki/certificate.h /root/repo/src/pki/trust_store.h \
- /root/repo/src/safety/fusion.h /root/repo/src/sensors/detection.h \
- /root/repo/src/safety/monitor.h /root/repo/src/core/event_bus.h \
- /root/repo/src/sim/machine.h /root/repo/src/safety/sotif.h \
- /root/repo/src/secure/audit_log.h /root/repo/src/crypto/sha256.h \
- /root/repo/src/secure/handshake.h /root/repo/src/secure/session.h \
- /root/repo/src/sensors/perception.h /root/repo/src/sim/terrain.h \
- /root/repo/src/sim/weather.h /root/repo/src/sim/worksite.h \
- /root/repo/src/sim/human.h /root/repo/src/sim/pathfinding.h \
+ /root/repo/src/net/attacker.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/pki/identity.h /root/repo/src/crypto/ed25519.h \
+ /root/repo/src/crypto/x25519.h /root/repo/src/pki/authority.h \
+ /root/repo/src/core/result.h /root/repo/src/pki/certificate.h \
+ /root/repo/src/pki/trust_store.h /root/repo/src/safety/fusion.h \
+ /root/repo/src/sensors/detection.h /root/repo/src/safety/monitor.h \
+ /root/repo/src/core/event_bus.h /root/repo/src/sim/machine.h \
+ /root/repo/src/safety/sotif.h /root/repo/src/secure/audit_log.h \
+ /root/repo/src/crypto/sha256.h /root/repo/src/secure/handshake.h \
+ /root/repo/src/secure/session.h /root/repo/src/sensors/perception.h \
+ /root/repo/src/sim/terrain.h /root/repo/src/sim/weather.h \
+ /root/repo/src/sim/worksite.h /root/repo/src/sim/human.h \
+ /root/repo/src/sim/pathfinding.h /root/repo/src/sim/spatial_index.h \
  /root/repo/src/sos/emergent.h

@@ -322,4 +322,5 @@ tests/CMakeFiles/sensors_test.dir/sensors/sensors_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sim/terrain.h /root/repo/src/sim/weather.h \
  /root/repo/src/sim/worksite.h /root/repo/src/core/event_bus.h \
- /root/repo/src/sim/human.h /root/repo/src/sim/pathfinding.h
+ /root/repo/src/sim/human.h /root/repo/src/sim/pathfinding.h \
+ /root/repo/src/sim/spatial_index.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sim/machine_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/machine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/machine_test.cpp.o.d"
   "/root/repo/tests/sim/occlusion_cause_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/occlusion_cause_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/occlusion_cause_test.cpp.o.d"
   "/root/repo/tests/sim/pathfinding_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/pathfinding_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/pathfinding_test.cpp.o.d"
+  "/root/repo/tests/sim/spatial_index_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/spatial_index_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/spatial_index_test.cpp.o.d"
   "/root/repo/tests/sim/terrain_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/terrain_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/terrain_test.cpp.o.d"
   "/root/repo/tests/sim/worksite_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/worksite_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/worksite_test.cpp.o.d"
   )

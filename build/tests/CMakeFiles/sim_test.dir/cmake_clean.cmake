@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sim_test.dir/sim/occlusion_cause_test.cpp.o.d"
   "CMakeFiles/sim_test.dir/sim/pathfinding_test.cpp.o"
   "CMakeFiles/sim_test.dir/sim/pathfinding_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/spatial_index_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/spatial_index_test.cpp.o.d"
   "CMakeFiles/sim_test.dir/sim/terrain_test.cpp.o"
   "CMakeFiles/sim_test.dir/sim/terrain_test.cpp.o.d"
   "CMakeFiles/sim_test.dir/sim/worksite_test.cpp.o"

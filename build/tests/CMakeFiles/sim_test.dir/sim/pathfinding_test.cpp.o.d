@@ -319,6 +319,7 @@ tests/CMakeFiles/sim_test.dir/sim/pathfinding_test.cpp.o: \
  /root/repo/src/core/rng.h /root/repo/src/sim/worksite.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/event_bus.h \
- /root/repo/src/core/time.h /root/repo/src/sim/human.h \
- /root/repo/src/core/types.h /root/repo/src/sim/machine.h \
+ /root/repo/src/core/time.h /root/repo/src/core/stats.h \
+ /root/repo/src/sim/human.h /root/repo/src/core/types.h \
+ /root/repo/src/sim/machine.h /root/repo/src/sim/spatial_index.h \
  /root/repo/src/sim/weather.h

@@ -296,9 +296,10 @@ tests/CMakeFiles/sim_test.dir/sim/worksite_test.cpp.o: \
  /root/repo/src/sim/worksite.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/core/event_bus.h /root/repo/src/core/time.h \
- /root/repo/src/core/rng.h /root/repo/src/sim/human.h \
- /root/repo/src/core/geometry.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/rng.h /root/repo/src/core/stats.h \
+ /root/repo/src/sim/human.h /root/repo/src/core/geometry.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -320,4 +321,5 @@ tests/CMakeFiles/sim_test.dir/sim/worksite_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/types.h \
  /root/repo/src/sim/machine.h /root/repo/src/sim/pathfinding.h \
- /root/repo/src/sim/terrain.h /root/repo/src/sim/weather.h
+ /root/repo/src/sim/terrain.h /root/repo/src/sim/spatial_index.h \
+ /root/repo/src/sim/weather.h

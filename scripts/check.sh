@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a sanitizer pass
+# (ASan + UBSan) over the subsystems touched by the hot-loop work.
+# Usage: scripts/check.sh [--full-asan]   (--full-asan runs every test
+# suite under the sanitizers instead of just the hot-loop ones)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitizers: ASan + UBSan =="
+cmake -B build-asan -S . -DAGRARSEC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+if [[ "${1:-}" == "--full-asan" ]]; then
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+else
+  # The suites covering the spatial index, radio heap, event bus and
+  # worksite compaction paths.
+  cmake --build build-asan -j "$JOBS" --target core_test net_test sim_test
+  ./build-asan/tests/core_test
+  ./build-asan/tests/net_test
+  ./build-asan/tests/sim_test
+fi
+
+echo "== all checks passed =="

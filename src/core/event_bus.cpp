@@ -30,7 +30,19 @@ void EventBus::publish(Event event) {
     pending_.push_back(std::move(event));
     return;
   }
+  // Scope guard: a throwing handler must not leave delivering_ stuck true,
+  // which would silently queue every later publish forever. The exception
+  // still propagates; undelivered reentrant events are discarded with the
+  // failed batch.
+  struct DeliveryScope {
+    EventBus* bus;
+    ~DeliveryScope() {
+      bus->delivering_ = false;
+      bus->pending_.clear();
+    }
+  };
   delivering_ = true;
+  DeliveryScope scope{this};
   deliver(event);
   // Drain events published from inside handlers, breadth-first.
   while (!pending_.empty()) {
@@ -38,7 +50,6 @@ void EventBus::publish(Event event) {
     batch.swap(pending_);
     for (const Event& e : batch) deliver(e);
   }
-  delivering_ = false;
 }
 
 void EventBus::deliver(const Event& event) {

@@ -380,69 +380,84 @@ void SecuredWorksite::track_ground_truth(core::SimTime now) {
     };
 
     bool any_in_critical = false;
-    for (const sim::Human* human : worksite_->humans()) {
+    // Indexed range query instead of a scan over every human on site: only
+    // people inside the zones carry per-step bookkeeping. Anyone farther
+    // out is handled by the deactivation sweep below.
+    const double zone_radius =
+        std::max(config_.monitor.warning_zone_m, config_.monitor.critical_zone_m);
+    for (const sim::Human* human :
+         worksite_->humans_within(forwarder->position(), zone_radius)) {
       const double d = core::distance(human->position(), forwarder->position());
       const bool in_critical = d <= config_.monitor.critical_zone_m;
       const bool in_warning = d <= config_.monitor.warning_zone_m;
       any_in_critical |= in_critical;
+      if (!in_warning) continue;  // deactivation handled by the sweep
 
       EncounterState& state = unit->encounters[human->id().value()];
 
-      if (in_warning) {
-        // Per-step coverage: is this person represented in this machine's
-        // fused picture right now?
-        ++outcome_.person_zone_steps;
-        const bool covered = associated(human->position());
-        if (covered) ++outcome_.person_covered_steps;
-        const bool fast =
-            forwarder->speed() > forwarder->config().degraded_speed_mps + 0.3;
-        if (!covered && fast) ++outcome_.blind_fast_steps;
+      // Per-step coverage: is this person represented in this machine's
+      // fused picture right now?
+      ++outcome_.person_zone_steps;
+      const bool covered = associated(human->position());
+      if (covered) ++outcome_.person_covered_steps;
+      const bool fast =
+          forwarder->speed() > forwarder->config().degraded_speed_mps + 0.3;
+      if (!covered && fast) ++outcome_.blind_fast_steps;
 
-        // SOTIF: attribute every blind step to its triggering condition.
-        if (!covered) {
-          std::string condition;
-          if (config_.worksite.weather != sim::Weather::kClear) {
-            condition = std::string("weather-") +
-                        std::string(sim::weather_name(config_.worksite.weather));
-          } else {
-            switch (worksite_->terrain().occlusion_cause(
-                forwarder->position(), forwarder->sensor_agl(), human->position(),
-                human->height() * 0.7)) {
-              case sim::Terrain::OcclusionCause::kBoulder:
-                condition = "occlusion-boulder";
-                break;
-              case sim::Terrain::OcclusionCause::kBrush:
-                condition = "occlusion-brush";
-                break;
-              case sim::Terrain::OcclusionCause::kTree:
-                condition = "occlusion-stems";
-                break;
-              case sim::Terrain::OcclusionCause::kTerrain:
-                condition = "occlusion-terrain";
-                break;
-              case sim::Terrain::OcclusionCause::kNone:
-                condition = "sensor-dropout";  // probabilistic frame miss
-                break;
-            }
+      // SOTIF: attribute every blind step to its triggering condition.
+      if (!covered) {
+        std::string condition;
+        if (config_.worksite.weather != sim::Weather::kClear) {
+          condition = std::string("weather-") +
+                      std::string(sim::weather_name(config_.worksite.weather));
+        } else {
+          switch (worksite_->terrain().occlusion_cause(
+              forwarder->position(), forwarder->sensor_agl(), human->position(),
+              human->height() * 0.7)) {
+            case sim::Terrain::OcclusionCause::kBoulder:
+              condition = "occlusion-boulder";
+              break;
+            case sim::Terrain::OcclusionCause::kBrush:
+              condition = "occlusion-brush";
+              break;
+            case sim::Terrain::OcclusionCause::kTree:
+              condition = "occlusion-stems";
+              break;
+            case sim::Terrain::OcclusionCause::kTerrain:
+              condition = "occlusion-terrain";
+              break;
+            case sim::Terrain::OcclusionCause::kNone:
+              condition = "sensor-dropout";  // probabilistic frame miss
+              break;
           }
-          sotif_.record(condition, fast ? safety::ScenarioOutcome::kHazardous
-                                        : safety::ScenarioOutcome::kSafe);
         }
-
-        if (!state.active) {
-          state.active = true;
-          state.started = now;
-          state.detected = false;
-          ++outcome_.encounters;
-        }
-        if (!state.detected && covered) {
-          state.detected = true;
-          outcome_.time_to_detect_ms.add(static_cast<double>(now - state.started));
-        }
-      } else if (state.active) {
-        state.active = false;
-        if (!state.detected) ++outcome_.missed_encounters;
+        sotif_.record(condition, fast ? safety::ScenarioOutcome::kHazardous
+                                      : safety::ScenarioOutcome::kSafe);
       }
+
+      if (!state.active) {
+        state.active = true;
+        state.started = now;
+        state.detected = false;
+        ++outcome_.encounters;
+      }
+      if (!state.detected && covered) {
+        state.detected = true;
+        outcome_.time_to_detect_ms.add(static_cast<double>(now - state.started));
+      }
+    }
+
+    // Close out encounters whose person left the warning zone this step.
+    for (auto& [human_value, state] : unit->encounters) {
+      if (!state.active) continue;
+      const sim::Human* human = worksite_->human(HumanId{human_value});
+      if (human != nullptr &&
+          core::distance(human->position(), forwarder->position()) <=
+              config_.monitor.warning_zone_m) {
+        continue;
+      }
+      state.active = false;
+      if (!state.detected) ++outcome_.missed_encounters;
     }
 
     if (any_in_critical) {

@@ -34,7 +34,8 @@ void RadioMedium::send(Frame frame, core::SimTime now) {
       config_.base_latency +
       static_cast<core::SimDuration>(rng_.next_below(
           static_cast<std::uint64_t>(config_.latency_jitter) + 1));
-  queue_.push_back(Pending{std::move(frame), now + latency});
+  queue_.push_back(Pending{std::move(frame), now + latency, send_seq_++});
+  std::push_heap(queue_.begin(), queue_.end(), LaterDelivery{});
 }
 
 bool RadioMedium::jammed_at(const core::Vec2& pos, std::uint32_t channel) {
@@ -82,25 +83,40 @@ DeliveryOutcome RadioMedium::judge(const Frame& frame, const core::Vec2& src_pos
 }
 
 void RadioMedium::step(core::SimTime now) {
-  // Collect due frames.
+  // Collect due frames in (deliver_at, send-order) order. The heap means
+  // an in-flight frame with a large jitter draw cannot block already-due
+  // frames queued behind it (head-of-line blocking of the old FIFO).
   std::vector<Pending> due;
   while (!queue_.empty() && queue_.front().deliver_at <= now) {
-    due.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    std::pop_heap(queue_.begin(), queue_.end(), LaterDelivery{});
+    due.push_back(std::move(queue_.back()));
+    queue_.pop_back();
   }
   if (due.empty()) return;
 
   // Collision detection: two due frames on the same channel whose send
   // times fall within the collision window interfere (simplified CSMA
   // failure model; the window is small relative to the sim step).
+  // Bucketing by channel and sweeping a window over send times replaces
+  // the old all-pairs scan across the whole batch; the marked set is
+  // identical (the pair predicate is symmetric and per-channel).
   std::vector<bool> collided(due.size(), false);
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_channel;
   for (std::size_t i = 0; i < due.size(); ++i) {
-    for (std::size_t j = i + 1; j < due.size(); ++j) {
-      if (due[i].frame.channel != due[j].frame.channel) continue;
-      if (due[i].frame.src == due[j].frame.src) continue;
-      if (std::abs(static_cast<double>(due[i].frame.sent_at - due[j].frame.sent_at)) <=
-          config_.collision_window_ms) {
-        collided[i] = collided[j] = true;
+    by_channel[due[i].frame.channel].push_back(i);
+  }
+  for (auto& [channel, idxs] : by_channel) {
+    if (idxs.size() < 2) continue;
+    std::sort(idxs.begin(), idxs.end(), [&](std::size_t a, std::size_t b) {
+      return due[a].frame.sent_at < due[b].frame.sent_at;
+    });
+    for (std::size_t u = 0; u < idxs.size(); ++u) {
+      for (std::size_t v = u + 1; v < idxs.size(); ++v) {
+        const double gap = static_cast<double>(due[idxs[v]].frame.sent_at -
+                                               due[idxs[u]].frame.sent_at);
+        if (gap > config_.collision_window_ms) break;  // sorted: no later hit
+        if (due[idxs[u]].frame.src == due[idxs[v]].frame.src) continue;
+        collided[idxs[u]] = collided[idxs[v]] = true;
       }
     }
   }

@@ -9,7 +9,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
@@ -121,6 +120,17 @@ class RadioMedium {
   struct Pending {
     Frame frame;
     core::SimTime deliver_at;
+    std::uint64_t seq = 0;  ///< send order; tie-break for equal deliver_at
+  };
+  /// Heap predicate: the frame delivering *later* sorts first under
+  /// std::push_heap's max-heap convention, making queue_ a min-heap on
+  /// (deliver_at, seq). The seq tie-break keeps equal-latency traffic in
+  /// send order, so jitter-free configs behave exactly like the old FIFO.
+  struct LaterDelivery {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.seq > b.seq;
+    }
   };
 
   /// Per-destination outcome decision.
@@ -133,7 +143,12 @@ class RadioMedium {
   core::Rng rng_;
   RadioConfig config_;
   std::unordered_map<NodeId, Endpoint> endpoints_;
-  std::deque<Pending> queue_;
+  /// Min-heap on (deliver_at, seq) via LaterDelivery. A plain FIFO deque
+  /// here once caused head-of-line blocking: latency jitter makes
+  /// deliver_at non-monotone in send order, and a front frame with a high
+  /// jitter draw stalled every already-due frame behind it.
+  std::vector<Pending> queue_;
+  std::uint64_t send_seq_ = 0;
   std::vector<Jammer> jammers_;
   std::vector<DropRule> drop_rules_;
   std::vector<std::function<void(const Frame&)>> sniffers_;

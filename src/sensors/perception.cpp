@@ -52,9 +52,10 @@ std::vector<Detection> PerceptionSensor::sense(const sim::Worksite& site,
   const double origin_agl = carrier.sensor_agl();
 
   if (!attack_.blind) {
-    for (const sim::Human* human : site.humans()) {
+    // Indexed range query: same candidate set and visit order (ascending
+    // id) as the old scan over humans(), so the RNG stream is unchanged.
+    for (const sim::Human* human : site.humans_within(origin, effective_range)) {
       const double dist = core::distance(origin, human->position());
-      if (dist > effective_range) continue;
 
       // FOV check (forward-looking cameras; spinning lidar is 2*pi).
       if (config_.fov_rad < 2.0 * std::numbers::pi - 1e-6) {

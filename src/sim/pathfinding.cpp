@@ -70,11 +70,9 @@ std::optional<std::pair<int, int>> PathPlanner::nearest_free(int cx, int cy) con
 }
 
 bool PathPlanner::segment_clear(core::Vec2 a, core::Vec2 b) const {
-  // Clearance against obstacles.
-  for (const Obstacle* o : terrain_.obstacles_near_segment(a, b, config_.clearance_m)) {
-    (void)o;
-    return false;
-  }
+  // Clearance against obstacles (early-exit: smoothing probes thousands
+  // of segments and only needs clear/not-clear, not the blocker list).
+  if (terrain_.segment_blocked(a, b, config_.clearance_m)) return false;
   // Slope check sampled along the segment.
   const double len = core::distance(a, b);
   const int samples = std::max(2, static_cast<int>(len / config_.cell_size_m));

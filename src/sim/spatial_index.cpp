@@ -1,0 +1,151 @@
+#include "sim/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agrarsec::sim {
+
+SpatialIndex::SpatialIndex(core::Aabb bounds, double cell_size)
+    : bounds_(bounds), cell_size_(std::max(1e-6, cell_size)) {
+  width_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(bounds_.width() / cell_size_)));
+  height_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(bounds_.height() / cell_size_)));
+  cells_.resize(static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_));
+}
+
+std::int64_t SpatialIndex::cell_x(double x) const {
+  const auto cx =
+      static_cast<std::int64_t>(std::floor((x - bounds_.min.x) / cell_size_));
+  return std::clamp<std::int64_t>(cx, 0, width_ - 1);
+}
+
+std::int64_t SpatialIndex::cell_y(double y) const {
+  const auto cy =
+      static_cast<std::int64_t>(std::floor((y - bounds_.min.y) / cell_size_));
+  return std::clamp<std::int64_t>(cy, 0, height_ - 1);
+}
+
+void SpatialIndex::place(std::uint64_t id, Entry& entry, core::Vec2 position) {
+  entry.cell = cell_index(cell_x(position.x), cell_y(position.y));
+  std::vector<Item>& cell = cells_[entry.cell];
+  entry.slot = cell.size();
+  cell.push_back(Item{id, position});
+}
+
+void SpatialIndex::unplace(const Entry& entry, std::uint64_t id) {
+  std::vector<Item>& cell = cells_[entry.cell];
+  // Swap-and-pop; fix up the moved item's slot.
+  const Item moved = cell.back();
+  cell[entry.slot] = moved;
+  cell.pop_back();
+  if (moved.id != id) entries_.at(moved.id).slot = entry.slot;
+}
+
+void SpatialIndex::insert(std::uint64_t id, core::Vec2 position) {
+  update(id, position);
+}
+
+void SpatialIndex::update(std::uint64_t id, core::Vec2 position) {
+  auto [it, inserted] = entries_.try_emplace(id);
+  if (!inserted) {
+    Entry& entry = it->second;
+    const std::size_t new_cell = cell_index(cell_x(position.x), cell_y(position.y));
+    if (new_cell == entry.cell) {
+      cells_[entry.cell][entry.slot].position = position;
+      return;
+    }
+    unplace(entry, id);
+  }
+  place(id, it->second, position);
+}
+
+void SpatialIndex::remove(std::uint64_t id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  unplace(it->second, id);
+  entries_.erase(it);
+}
+
+std::optional<core::Vec2> SpatialIndex::position(std::uint64_t id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return cells_[it->second.cell][it->second.slot].position;
+}
+
+std::vector<std::uint64_t> SpatialIndex::query_radius(core::Vec2 center,
+                                                      double radius) const {
+  std::vector<std::uint64_t> out;
+  query_radius(center, radius, out);
+  return out;
+}
+
+void SpatialIndex::query_radius(core::Vec2 center, double radius,
+                                std::vector<std::uint64_t>& out) const {
+  out.clear();
+  if (entries_.empty() || radius < 0.0) return;
+
+  // Cell range covering the query disc. Points outside the bounds live in
+  // the border cells, so clamped ranges still see them.
+  const std::int64_t min_cx = cell_x(center.x - radius);
+  const std::int64_t max_cx = cell_x(center.x + radius);
+  const std::int64_t min_cy = cell_y(center.y - radius);
+  const std::int64_t max_cy = cell_y(center.y + radius);
+
+  for (std::int64_t cy = min_cy; cy <= max_cy; ++cy) {
+    for (std::int64_t cx = min_cx; cx <= max_cx; ++cx) {
+      for (const Item& item : cells_[cell_index(cx, cy)]) {
+        if (core::distance(item.position, center) <= radius) out.push_back(item.id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+std::optional<std::uint64_t> SpatialIndex::nearest(core::Vec2 from) const {
+  if (entries_.empty()) return std::nullopt;
+
+  const std::int64_t cx0 = cell_x(from.x);
+  const std::int64_t cy0 = cell_y(from.y);
+  const std::int64_t max_ring = std::max(width_, height_);
+
+  std::optional<std::uint64_t> best;
+  double best_dist = 0.0;
+
+  auto consider = [&](std::int64_t cx, std::int64_t cy) {
+    for (const Item& item : cells_[cell_index(cx, cy)]) {
+      const double d = core::distance(item.position, from);
+      if (!best || d < best_dist || (d == best_dist && item.id < *best)) {
+        best = item.id;
+        best_dist = d;
+      }
+    }
+  };
+
+  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+    // Cells at Chebyshev ring r lie at least (r-1)*cell_size away, so once
+    // a candidate is closer than that the remaining rings cannot win (the
+    // equality ring is still scanned, which is what makes ties exact).
+    if (best && static_cast<double>(ring - 1) * cell_size_ > best_dist) break;
+
+    if (ring == 0) {
+      consider(cx0, cy0);
+      continue;
+    }
+    const std::int64_t lo_x = std::max<std::int64_t>(0, cx0 - ring);
+    const std::int64_t hi_x = std::min<std::int64_t>(width_ - 1, cx0 + ring);
+    for (std::int64_t cx = lo_x; cx <= hi_x; ++cx) {
+      if (cy0 - ring >= 0) consider(cx, cy0 - ring);
+      if (cy0 + ring <= height_ - 1) consider(cx, cy0 + ring);
+    }
+    const std::int64_t lo_y = std::max<std::int64_t>(0, cy0 - ring + 1);
+    const std::int64_t hi_y = std::min<std::int64_t>(height_ - 1, cy0 + ring - 1);
+    for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
+      if (cx0 - ring >= 0) consider(cx0 - ring, cy);
+      if (cx0 + ring <= width_ - 1) consider(cx0 + ring, cy);
+    }
+  }
+  return best;
+}
+
+}  // namespace agrarsec::sim

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 namespace agrarsec::sim {
 
@@ -51,28 +50,63 @@ Terrain Terrain::generate(const ForestConfig& config, core::Rng& rng) {
   return Terrain{config.bounds, std::move(obstacles), std::move(hills)};
 }
 
-std::int64_t Terrain::cell_key(std::int64_t cx, std::int64_t cy) const {
-  return cx * 1'000'003 + cy;
+std::size_t Terrain::cell_slot(std::int64_t cx, std::int64_t cy) const {
+  cx = std::clamp<std::int64_t>(cx - min_cx_, 0, width_ - 1);
+  cy = std::clamp<std::int64_t>(cy - min_cy_, 0, height_ - 1);
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(width_) +
+         static_cast<std::size_t>(cx);
 }
 
 void Terrain::build_index() {
-  index_.clear();
-  for (std::uint32_t i = 0; i < obstacles_.size(); ++i) {
-    const Obstacle& o = obstacles_[i];
-    const auto min_cx = static_cast<std::int64_t>(
-        std::floor((o.footprint.center.x - o.footprint.radius) / cell_size_));
-    const auto max_cx = static_cast<std::int64_t>(
-        std::floor((o.footprint.center.x + o.footprint.radius) / cell_size_));
-    const auto min_cy = static_cast<std::int64_t>(
-        std::floor((o.footprint.center.y - o.footprint.radius) / cell_size_));
-    const auto max_cy = static_cast<std::int64_t>(
-        std::floor((o.footprint.center.y + o.footprint.radius) / cell_size_));
-    for (std::int64_t cx = min_cx; cx <= max_cx; ++cx) {
-      for (std::int64_t cy = min_cy; cy <= max_cy; ++cy) {
-        index_[cell_key(cx, cy)].push_back(i);
+  const auto cell_of = [this](double v) {
+    return static_cast<std::int64_t>(std::floor(v / cell_size_));
+  };
+
+  // Grid extent: the worksite bounds, widened to any footprint that pokes
+  // past them, so every obstacle has an in-range home cell.
+  min_cx_ = cell_of(bounds_.min.x);
+  min_cy_ = cell_of(bounds_.min.y);
+  std::int64_t max_cx = cell_of(bounds_.max.x);
+  std::int64_t max_cy = cell_of(bounds_.max.y);
+  for (const Obstacle& o : obstacles_) {
+    min_cx_ = std::min(min_cx_, cell_of(o.footprint.center.x - o.footprint.radius));
+    min_cy_ = std::min(min_cy_, cell_of(o.footprint.center.y - o.footprint.radius));
+    max_cx = std::max(max_cx, cell_of(o.footprint.center.x + o.footprint.radius));
+    max_cy = std::max(max_cy, cell_of(o.footprint.center.y + o.footprint.radius));
+  }
+  width_ = max_cx - min_cx_ + 1;
+  height_ = max_cy - min_cy_ + 1;
+
+  const std::size_t cell_count =
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  cell_start_.assign(cell_count + 1, 0);
+
+  // Two-pass counting sort into the CSR arrays. Iterating obstacles in
+  // index order in the fill pass leaves each cell's list ascending, which
+  // obstacles_near_segment relies on for its ordered output.
+  const auto each_cell = [&](const Obstacle& o, const auto& fn) {
+    const std::int64_t lo_x = cell_of(o.footprint.center.x - o.footprint.radius);
+    const std::int64_t hi_x = cell_of(o.footprint.center.x + o.footprint.radius);
+    const std::int64_t lo_y = cell_of(o.footprint.center.y - o.footprint.radius);
+    const std::int64_t hi_y = cell_of(o.footprint.center.y + o.footprint.radius);
+    for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
+      for (std::int64_t cx = lo_x; cx <= hi_x; ++cx) {
+        fn(cell_slot(cx, cy));
       }
     }
+  };
+  for (const Obstacle& o : obstacles_) {
+    each_cell(o, [&](std::size_t s) { ++cell_start_[s + 1]; });
   }
+  for (std::size_t s = 1; s <= cell_count; ++s) cell_start_[s] += cell_start_[s - 1];
+  cell_items_.resize(cell_start_[cell_count]);
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::uint32_t i = 0; i < obstacles_.size(); ++i) {
+    each_cell(obstacles_[i], [&](std::size_t s) { cell_items_[cursor[s]++] = i; });
+  }
+
+  visit_stamp_.assign(obstacles_.size(), 0);
+  stamp_gen_ = 0;
 }
 
 double Terrain::ground_height(core::Vec2 p) const {
@@ -86,22 +120,30 @@ double Terrain::ground_height(core::Vec2 p) const {
 
 std::vector<const Obstacle*> Terrain::obstacles_near_segment(core::Vec2 a, core::Vec2 b,
                                                              double margin) const {
-  std::set<std::uint32_t> candidates;
   // Expand the traversal by visiting the 3x3 neighbourhood of each crossed
   // cell so obstacles whose footprints straddle cell borders are found.
+  // Generation stamps dedup obstacles seen from several cells.
+  const std::uint64_t gen = ++stamp_gen_;
+  candidate_scratch_.clear();
   core::traverse_grid(a, b, cell_size_, [&](std::int64_t cx, std::int64_t cy) {
-    for (std::int64_t dx = -1; dx <= 1; ++dx) {
-      for (std::int64_t dy = -1; dy <= 1; ++dy) {
-        const auto it = index_.find(cell_key(cx + dx, cy + dy));
-        if (it == index_.end()) continue;
-        for (std::uint32_t i : it->second) candidates.insert(i);
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::size_t s = cell_slot(cx + dx, cy + dy);
+        for (std::uint32_t k = cell_start_[s]; k < cell_start_[s + 1]; ++k) {
+          const std::uint32_t i = cell_items_[k];
+          if (visit_stamp_[i] == gen) continue;
+          visit_stamp_[i] = gen;
+          candidate_scratch_.push_back(i);
+        }
       }
     }
     return true;
   });
 
+  // Ascending index order, matching the old std::set-based collection.
+  std::sort(candidate_scratch_.begin(), candidate_scratch_.end());
   std::vector<const Obstacle*> out;
-  for (std::uint32_t i : candidates) {
+  for (std::uint32_t i : candidate_scratch_) {
     const Obstacle& o = obstacles_[i];
     if (core::point_segment_distance(o.footprint.center, a, b) <=
         o.footprint.radius + margin) {
@@ -109,6 +151,27 @@ std::vector<const Obstacle*> Terrain::obstacles_near_segment(core::Vec2 a, core:
     }
   }
   return out;
+}
+
+bool Terrain::segment_blocked(core::Vec2 a, core::Vec2 b, double margin) const {
+  bool hit = false;
+  core::traverse_grid(a, b, cell_size_, [&](std::int64_t cx, std::int64_t cy) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::size_t s = cell_slot(cx + dx, cy + dy);
+        for (std::uint32_t k = cell_start_[s]; k < cell_start_[s + 1]; ++k) {
+          const Obstacle& o = obstacles_[cell_items_[k]];
+          if (core::point_segment_distance(o.footprint.center, a, b) <=
+              o.footprint.radius + margin) {
+            hit = true;
+            return false;  // stop the traversal on the first blocker
+          }
+        }
+      }
+    }
+    return true;
+  });
+  return hit;
 }
 
 Terrain::OcclusionCause Terrain::occlusion_cause(core::Vec2 from_xy, double from_agl,
@@ -155,12 +218,11 @@ Terrain::OcclusionCause Terrain::occlusion_cause(core::Vec2 from_xy, double from
 bool Terrain::blocked(core::Vec2 p, double radius) const {
   const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_size_));
   const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_size_));
-  for (std::int64_t dx = -1; dx <= 1; ++dx) {
-    for (std::int64_t dy = -1; dy <= 1; ++dy) {
-      const auto it = index_.find(cell_key(cx + dx, cy + dy));
-      if (it == index_.end()) continue;
-      for (std::uint32_t i : it->second) {
-        const Obstacle& o = obstacles_[i];
+  for (std::int64_t dy = -1; dy <= 1; ++dy) {
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      const std::size_t s = cell_slot(cx + dx, cy + dy);
+      for (std::uint32_t k = cell_start_[s]; k < cell_start_[s + 1]; ++k) {
+        const Obstacle& o = obstacles_[cell_items_[k]];
         if (core::distance(o.footprint.center, p) < o.footprint.radius + radius) {
           return true;
         }

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/geometry.h"
@@ -83,21 +82,53 @@ class Terrain {
   /// (for machine/human placement and navigation).
   [[nodiscard]] bool blocked(core::Vec2 p, double radius) const;
 
-  /// Obstacles whose footprint comes within `margin` of segment [a,b].
+  /// Obstacles whose footprint comes within `margin` of segment [a,b],
+  /// in ascending obstacle-index order (occlusion_cause depends on it).
   [[nodiscard]] std::vector<const Obstacle*> obstacles_near_segment(
       core::Vec2 a, core::Vec2 b, double margin = 0.0) const;
+
+  /// True when any obstacle footprint comes within `margin` of segment
+  /// [a,b]. Same predicate as obstacles_near_segment but returns on the
+  /// first hit without materialising the result — this is the planner's
+  /// inner-loop query (path smoothing probes thousands of segments and
+  /// only cares about clear/not-clear).
+  [[nodiscard]] bool segment_blocked(core::Vec2 a, core::Vec2 b,
+                                     double margin = 0.0) const;
 
   [[nodiscard]] std::size_t obstacle_count() const { return obstacles_.size(); }
 
  private:
   void build_index();
-  [[nodiscard]] std::int64_t cell_key(std::int64_t cx, std::int64_t cy) const;
+  /// Dense-grid slot for a raw cell coordinate (the traverse_grid
+  /// convention: floor(v / cell_size)); out-of-range coordinates clamp to
+  /// the border, which only widens candidate sets — the exact distance
+  /// predicates keep results identical.
+  [[nodiscard]] std::size_t cell_slot(std::int64_t cx, std::int64_t cy) const;
 
   core::Aabb bounds_;
   std::vector<Obstacle> obstacles_;
   std::vector<Hill> hills_;
   double cell_size_ = 10.0;
-  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> index_;
+
+  // CSR cell index over a dense grid: obstacles are static after
+  // construction, so cell membership lives in one flat array
+  // (cell_items_[cell_start_[s] .. cell_start_[s+1]]) instead of a
+  // hash map of vectors — the segment queries dominate the simulation
+  // profile and become pure pointer arithmetic over contiguous memory.
+  std::int64_t min_cx_ = 0;  ///< raw cell coordinate of grid column 0
+  std::int64_t min_cy_ = 0;
+  std::int64_t width_ = 1;
+  std::int64_t height_ = 1;
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_items_;
+
+  // Generation-stamp dedup for obstacles_near_segment (an obstacle spans
+  // several cells and neighbourhoods overlap). Replaces a std::set per
+  // call; mutable scratch keeps the query allocation-free after warmup.
+  // Not thread-safe, like the rest of the simulation core.
+  mutable std::vector<std::uint64_t> visit_stamp_;
+  mutable std::uint64_t stamp_gen_ = 0;
+  mutable std::vector<std::uint32_t> candidate_scratch_;
 };
 
 }  // namespace agrarsec::sim

@@ -17,6 +17,21 @@ std::string_view task_name(ForwarderTask task) {
   }
   return "?";
 }
+
+/// Grid cell for the human/pile indexes: half the dominant query radius
+/// (perception 40-90 m, separation tracking 50 m) keeps the candidate
+/// sets tight without inflating the cell array.
+constexpr double kIndexCellM = 25.0;
+
+/// Piles below this volume are exhausted: invisible to dispatch and
+/// compacted out of piles_ at the end of the step.
+constexpr double kPileExhaustedM3 = 0.5;
+
+std::size_t separation_bins(const WorksiteConfig& config) {
+  const double range = std::max(config.separation_tracking_m, 1e-6);
+  const double bin = std::max(config.separation_bin_m, 1e-6);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(range / bin)));
+}
 }  // namespace
 
 std::string_view weather_name(Weather weather) {
@@ -30,7 +45,13 @@ std::string_view weather_name(Weather weather) {
 }
 
 Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
-    : config_(config), rng_(seed), clock_(config.step) {
+    : config_(config),
+      rng_(seed),
+      clock_(config.step),
+      human_index_(config.forest.bounds, kIndexCellM),
+      pile_index_(config.forest.bounds, kIndexCellM),
+      separation_hist_(0.0, std::max(config.separation_tracking_m, 1e-6),
+                       separation_bins(config)) {
   core::Rng terrain_rng = rng_.fork(0x7e44a1);
   terrain_ = std::make_unique<Terrain>(Terrain::generate(config_.forest, terrain_rng));
   planner_ = std::make_unique<PathPlanner>(*terrain_);
@@ -46,6 +67,7 @@ std::deque<core::Vec2> Worksite::plan_route(core::Vec2 from, core::Vec2 to) cons
 MachineId Worksite::add_forwarder(const std::string& name, core::Vec2 position,
                                   MachineConfig config) {
   const MachineId id = machine_ids_.next();
+  machine_slots_[id.value()] = machines_.size();
   machines_.push_back(
       std::make_unique<Machine>(id, MachineKind::kForwarder, name, position, config));
   forwarder_states_[id.value()] = ForwarderState{};
@@ -56,6 +78,7 @@ MachineId Worksite::add_harvester(const std::string& name, core::Vec2 position) 
   const MachineId id = machine_ids_.next();
   MachineConfig config;
   config.max_speed_mps = 1.5;  // harvesters crawl while working
+  machine_slots_[id.value()] = machines_.size();
   machines_.push_back(
       std::make_unique<Machine>(id, MachineKind::kHarvester, name, position, config));
   return id;
@@ -69,6 +92,7 @@ MachineId Worksite::add_drone(const std::string& name, core::Vec2 position,
   config.turn_rate_rps = 2.5;
   config.altitude_m = altitude_m;
   config.body_radius_m = 0.4;
+  machine_slots_[id.value()] = machines_.size();
   machines_.push_back(
       std::make_unique<Machine>(id, MachineKind::kDrone, name, position, config));
   return id;
@@ -77,7 +101,9 @@ MachineId Worksite::add_drone(const std::string& name, core::Vec2 position,
 HumanId Worksite::add_worker(const std::string& name, core::Vec2 position,
                              core::Vec2 work_anchor, HumanConfig config) {
   const HumanId id = human_ids_.next();
+  human_slots_[id.value()] = humans_.size();
   humans_.push_back(std::make_unique<Human>(id, name, position, work_anchor, config));
+  human_index_.insert(id.value(), position);
   return id;
 }
 
@@ -96,17 +122,13 @@ std::vector<const Machine*> Worksite::machines() const {
 }
 
 Machine* Worksite::machine(MachineId id) {
-  for (auto& m : machines_) {
-    if (m->id() == id) return m.get();
-  }
-  return nullptr;
+  const auto it = machine_slots_.find(id.value());
+  return it == machine_slots_.end() ? nullptr : machines_[it->second].get();
 }
 
 const Machine* Worksite::machine(MachineId id) const {
-  for (const auto& m : machines_) {
-    if (m->id() == id) return m.get();
-  }
-  return nullptr;
+  const auto it = machine_slots_.find(id.value());
+  return it == machine_slots_.end() ? nullptr : machines_[it->second].get();
 }
 
 std::vector<Human*> Worksite::humans() {
@@ -123,6 +145,24 @@ std::vector<const Human*> Worksite::humans() const {
   return out;
 }
 
+const Human* Worksite::human(HumanId id) const {
+  const auto it = human_slots_.find(id.value());
+  return it == human_slots_.end() ? nullptr : humans_[it->second].get();
+}
+
+std::vector<const Human*> Worksite::humans_within(core::Vec2 center,
+                                                  double radius) const {
+  human_index_.query_radius(center, radius, query_buffer_);
+  std::vector<const Human*> out;
+  out.reserve(query_buffer_.size());
+  // Ascending id == insertion order, so downstream per-candidate RNG
+  // consumption matches a brute-force scan over humans() exactly.
+  for (const std::uint64_t id : query_buffer_) {
+    out.push_back(humans_[human_slots_.at(id)].get());
+  }
+  return out;
+}
+
 ForwarderTask Worksite::task(MachineId id) const {
   const auto it = forwarder_states_.find(id.value());
   return it == forwarder_states_.end() ? ForwarderTask::kIdle : it->second.task;
@@ -132,18 +172,34 @@ void Worksite::set_drone_orbit(MachineId drone, MachineId anchor, double radius)
   drone_orbits_[drone.value()] = DroneOrbit{anchor, radius, 0.0};
 }
 
-std::optional<std::size_t> Worksite::nearest_pile(core::Vec2 from) const {
-  std::optional<std::size_t> best;
-  double best_dist = 1e18;
-  for (std::size_t i = 0; i < piles_.size(); ++i) {
-    if (piles_[i].volume_m3 < 0.5) continue;
-    const double d = core::distance(piles_[i].position, from);
-    if (d < best_dist) {
-      best_dist = d;
-      best = i;
+std::optional<std::uint64_t> Worksite::nearest_pile(core::Vec2 from) const {
+  // Only live piles are in the grid, so no volume filter is needed here.
+  return pile_index_.nearest(from);
+}
+
+LogPile* Worksite::pile_by_id(std::uint64_t pile_id) {
+  const auto it = pile_slots_.find(pile_id);
+  return it == pile_slots_.end() ? nullptr : &piles_[it->second];
+}
+
+const LogPile* Worksite::pile_by_id(std::uint64_t pile_id) const {
+  const auto it = pile_slots_.find(pile_id);
+  return it == pile_slots_.end() ? nullptr : &piles_[it->second];
+}
+
+void Worksite::compact_piles() {
+  for (std::size_t i = 0; i < piles_.size();) {
+    if (piles_[i].volume_m3 >= kPileExhaustedM3) {
+      ++i;
+      continue;
     }
+    const std::uint64_t dead = piles_[i].id;
+    pile_index_.remove(dead);
+    pile_slots_.erase(dead);
+    piles_[i] = piles_.back();
+    piles_.pop_back();
+    if (i < piles_.size()) pile_slots_[piles_[i].id] = i;
   }
-  return best;
 }
 
 void Worksite::step_harvester(Machine& harvester) {
@@ -156,10 +212,15 @@ void Worksite::step_harvester(Machine& harvester) {
     harvester_accumulator_m3_ -= config_.pile_capacity_m3;
     const double angle = rng_.uniform(0.0, 2.0 * std::numbers::pi);
     LogPile pile;
+    pile.id = next_pile_id_++;
     pile.position = harvester.position() +
                     core::Vec2{std::cos(angle), std::sin(angle)} * 6.0;
     pile.position = terrain_->bounds().clamp(pile.position);
     pile.volume_m3 = config_.pile_capacity_m3;
+    pile_slots_[pile.id] = piles_.size();
+    if (pile.volume_m3 >= kPileExhaustedM3) {
+      pile_index_.insert(pile.id, pile.position);
+    }
     piles_.push_back(pile);
     bus_.publish({"worksite/pile", "volume=" + std::to_string(pile.volume_m3),
                   harvester.id().value(), clock_.now()});
@@ -179,9 +240,10 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
     case ForwarderTask::kIdle: {
       const auto pile = nearest_pile(forwarder.position());
       if (pile) {
-        state.pile_index = pile;
+        state.pile_id = pile;
         state.task = ForwarderTask::kToPile;
-        forwarder.set_route(plan_route(forwarder.position(), piles_[*pile].position));
+        forwarder.set_route(
+            plan_route(forwarder.position(), pile_by_id(*pile)->position));
         bus_.publish({"forwarder/task", std::string("task=") +
                           std::string(task_name(state.task)),
                       forwarder.id().value(), clock_.now()});
@@ -189,11 +251,12 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
       break;
     }
     case ForwarderTask::kToPile: {
-      if (!state.pile_index || piles_[*state.pile_index].volume_m3 < 0.5) {
+      const LogPile* pile = state.pile_id ? pile_by_id(*state.pile_id) : nullptr;
+      if (pile == nullptr || pile->volume_m3 < kPileExhaustedM3) {
         state.task = ForwarderTask::kIdle;
         break;
       }
-      const core::Vec2 pile_pos = piles_[*state.pile_index].position;
+      const core::Vec2 pile_pos = pile->position;
       const double pile_dist = core::distance(forwarder.position(), pile_pos);
       if (pile_dist < 4.0) {
         state.task = ForwarderTask::kLoading;
@@ -214,11 +277,19 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
       if (forwarder.stopped()) break;  // e-stop pauses work
       state.action_remaining -= config_.step;
       if (state.action_remaining <= 0) {
-        LogPile& pile = piles_[*state.pile_index];
+        LogPile* pile = state.pile_id ? pile_by_id(*state.pile_id) : nullptr;
+        if (pile == nullptr) {  // another forwarder exhausted it mid-wait
+          state.task = ForwarderTask::kIdle;
+          break;
+        }
         const double take = std::min(
-            pile.volume_m3, forwarder.config().load_capacity_m3 - forwarder.load_m3());
-        pile.volume_m3 -= take;
+            pile->volume_m3, forwarder.config().load_capacity_m3 - forwarder.load_m3());
+        pile->volume_m3 -= take;
         forwarder.load_logs(take);
+        if (pile->volume_m3 < kPileExhaustedM3) {
+          // Exhausted: hide from dispatch now, compacted at end of step.
+          pile_index_.remove(pile->id);
+        }
         if (forwarder.full() || !nearest_pile(forwarder.position())) {
           state.task = ForwarderTask::kToLanding;
           forwarder.set_route(plan_route(forwarder.position(), config_.landing_area));
@@ -274,21 +345,32 @@ void Worksite::step_drone(Machine& drone) {
 }
 
 void Worksite::record_separations() {
+  const double radius = config_.separation_tracking_m;
   for (const auto& m : machines_) {
     if (m->kind() != MachineKind::kForwarder) continue;
     if (m->speed() < 0.3) continue;
-    for (const auto& h : humans_) {
-      const double d = core::distance(m->position(), h->position());
+    human_index_.query_radius(m->position(), radius, query_buffer_);
+    for (const std::uint64_t id : query_buffer_) {
+      const Human& h = *humans_[human_slots_.at(id)];
+      const double d = core::distance(m->position(), h.position());
       min_separation_ = std::min(min_separation_, d);
-      separation_samples_.push_back(d);
+      separation_stats_.add(d);
+      separation_hist_.add(d);
     }
   }
 }
 
 std::uint64_t Worksite::close_encounters(double threshold_m) const {
-  return static_cast<std::uint64_t>(
-      std::count_if(separation_samples_.begin(), separation_samples_.end(),
-                    [threshold_m](double d) { return d < threshold_m; }));
+  if (threshold_m <= 0.0) return 0;
+  // Bin counts up to the threshold (rounded up to the next bin edge),
+  // plus the overflow bucket when the threshold exceeds the tracked range.
+  std::uint64_t n = separation_hist_.underflow();
+  for (std::size_t i = 0; i < separation_hist_.bins(); ++i) {
+    if (separation_hist_.bin_low(i) >= threshold_m) break;
+    n += separation_hist_.bin_count(i);
+  }
+  if (threshold_m > config_.separation_tracking_m) n += separation_hist_.overflow();
+  return n;
 }
 
 void Worksite::step() {
@@ -308,7 +390,11 @@ void Worksite::step() {
     }
     m->step(config_.step);
   }
-  for (auto& h : humans_) h->step(config_.step, rng_);
+  for (auto& h : humans_) {
+    h->step(config_.step, rng_);
+    human_index_.update(h->id().value(), h->position());
+  }
+  compact_piles();
   record_separations();
 }
 

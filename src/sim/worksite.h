@@ -8,23 +8,29 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/event_bus.h"
 #include "core/rng.h"
+#include "core/stats.h"
 #include "core/time.h"
 #include "sim/human.h"
 #include "sim/machine.h"
 #include "sim/pathfinding.h"
+#include "sim/spatial_index.h"
 #include "sim/terrain.h"
 #include "sim/weather.h"
 
 namespace agrarsec::sim {
 
-/// A pile of cut logs awaiting transport.
+/// A pile of cut logs awaiting transport. Exhausted piles are compacted
+/// away, so positions within `piles()` are unstable; `id` is the stable
+/// reference (the forwarder task state machine holds ids, never indices).
 struct LogPile {
   core::Vec2 position;
   double volume_m3 = 0.0;
+  std::uint64_t id = 0;
 };
 
 struct WorksiteConfig {
@@ -37,6 +43,12 @@ struct WorksiteConfig {
   double pile_capacity_m3 = 7.0;
   core::SimDuration load_time = 90 * core::kSecond;
   core::SimDuration unload_time = 60 * core::kSecond;
+  /// Separation statistics are streamed into a histogram covering
+  /// [0, separation_tracking_m]; pairs farther apart than this are not
+  /// safety-relevant and are not recorded (keeps the hot loop local).
+  double separation_tracking_m = 50.0;
+  /// Histogram resolution for close_encounters() queries (metres).
+  double separation_bin_m = 0.1;
 };
 
 /// Forwarder mission state machine.
@@ -72,11 +84,20 @@ class Worksite {
 
   [[nodiscard]] std::vector<Machine*> machines();
   [[nodiscard]] std::vector<const Machine*> machines() const;
+  /// O(1) id lookup (slot map; machines are never removed).
   [[nodiscard]] Machine* machine(MachineId id);
   [[nodiscard]] const Machine* machine(MachineId id) const;
   [[nodiscard]] std::vector<Human*> humans();
   [[nodiscard]] std::vector<const Human*> humans() const;
+  [[nodiscard]] const Human* human(HumanId id) const;
   [[nodiscard]] const std::vector<LogPile>& piles() const { return piles_; }
+
+  /// Humans within `radius` of `center` (exact Euclidean, boundary
+  /// inclusive), in ascending id order — identical set and order to a
+  /// brute-force scan over humans(). Backed by the uniform-grid index;
+  /// this is the query perception and separation tracking run per step.
+  [[nodiscard]] std::vector<const Human*> humans_within(core::Vec2 center,
+                                                        double radius) const;
 
   /// Forwarder mission status (only meaningful for forwarders).
   [[nodiscard]] ForwarderTask task(MachineId id) const;
@@ -99,14 +120,26 @@ class Worksite {
   [[nodiscard]] double delivered_m3() const { return delivered_m3_; }
   [[nodiscard]] std::uint64_t completed_cycles() const { return completed_cycles_; }
   /// Minimum human–forwarder distance seen while the forwarder moved
-  /// faster than 0.3 m/s (the safety-relevant exposure metric).
+  /// faster than 0.3 m/s (the safety-relevant exposure metric). Tracked
+  /// within separation_tracking_m; 1e9 when no such pair was ever seen.
   [[nodiscard]] double min_human_separation() const { return min_separation_; }
+  /// Count of recorded separation samples below `threshold_m`. Answered
+  /// from the streaming histogram at separation_bin_m resolution
+  /// (thresholds are rounded up to the next bin edge), O(bins) instead of
+  /// a scan over every sample ever recorded.
   [[nodiscard]] std::uint64_t close_encounters(double threshold_m) const;
+  /// Streaming moments (mean/stddev/min/max) over all separation samples.
+  [[nodiscard]] const core::RunningStats& separation_stats() const {
+    return separation_stats_;
+  }
+  [[nodiscard]] const core::Histogram& separation_histogram() const {
+    return separation_hist_;
+  }
 
  private:
   struct ForwarderState {
     ForwarderTask task = ForwarderTask::kIdle;
-    std::optional<std::size_t> pile_index;
+    std::optional<std::uint64_t> pile_id;  ///< stable id, survives compaction
     core::SimDuration action_remaining = 0;
   };
   struct DroneOrbit {
@@ -118,7 +151,15 @@ class Worksite {
   void step_harvester(Machine& harvester);
   void step_forwarder(Machine& forwarder, ForwarderState& state);
   void step_drone(Machine& drone);
-  std::optional<std::size_t> nearest_pile(core::Vec2 from) const;
+  /// Nearest pile with harvestable volume, by stable pile id. Exact
+  /// (expanding-ring search over the pile grid; only live piles indexed).
+  std::optional<std::uint64_t> nearest_pile(core::Vec2 from) const;
+  /// Current slot of a pile id in piles_, or nullptr when exhausted.
+  [[nodiscard]] LogPile* pile_by_id(std::uint64_t pile_id);
+  [[nodiscard]] const LogPile* pile_by_id(std::uint64_t pile_id) const;
+  /// Swap-and-pop removal of exhausted piles (volume < 0.5): the grid and
+  /// slot map shrink with the site instead of growing without bound.
+  void compact_piles();
   void record_separations();
 
   WorksiteConfig config_;
@@ -134,6 +175,17 @@ class Worksite {
   std::unordered_map<std::uint64_t, ForwarderState> forwarder_states_;
   std::unordered_map<std::uint64_t, DroneOrbit> drone_orbits_;
 
+  // Hot-loop lookup structures: id -> slot maps (machines/humans are
+  // append-only; pile slots are fixed up on compaction) and uniform-grid
+  // indexes for the per-step range queries.
+  std::unordered_map<std::uint64_t, std::size_t> machine_slots_;
+  std::unordered_map<std::uint64_t, std::size_t> human_slots_;
+  std::unordered_map<std::uint64_t, std::size_t> pile_slots_;
+  SpatialIndex human_index_;
+  SpatialIndex pile_index_;
+  std::uint64_t next_pile_id_ = 1;
+  mutable std::vector<std::uint64_t> query_buffer_;
+
   IdAllocator<MachineId> machine_ids_;
   IdAllocator<HumanId> human_ids_;
 
@@ -141,7 +193,8 @@ class Worksite {
   double delivered_m3_ = 0.0;
   std::uint64_t completed_cycles_ = 0;
   double min_separation_ = 1e9;
-  std::vector<double> separation_samples_;
+  core::RunningStats separation_stats_;
+  core::Histogram separation_hist_;
 };
 
 }  // namespace agrarsec::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace agrarsec::core {
 namespace {
 
@@ -81,6 +83,39 @@ TEST(EventBus, ChainedReentrantPublishesTerminate) {
   });
   bus.publish({"ping", "", 0, 0});
   EXPECT_EQ(depth, 10);
+}
+
+TEST(EventBus, RecoversAfterThrowingHandler) {
+  // Regression: publish() set delivering_ = true and only reset it on the
+  // normal path. A throwing handler left the flag stuck, so every later
+  // publish was queued as "reentrant" and never delivered — the bus went
+  // permanently silent. The exception must propagate, but the bus must
+  // keep working afterwards.
+  EventBus bus;
+  int delivered = 0;
+  bus.subscribe("boom", [](const Event&) { throw std::runtime_error("handler"); });
+  bus.subscribe("ok", [&](const Event&) { ++delivered; });
+
+  EXPECT_THROW(bus.publish({"boom", "", 0, 0}), std::runtime_error);
+  bus.publish({"ok", "", 0, 0});
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(EventBus, ThrowingHandlerDiscardsFailedBatchOnly) {
+  // Reentrant events queued before the throw belong to the failed publish
+  // and are dropped with it; they must not leak into the next publish.
+  EventBus bus;
+  int second = 0;
+  bus.subscribe("first", [&](const Event&) {
+    bus.publish({"second", "", 0, 0});
+    throw std::runtime_error("after queueing");
+  });
+  bus.subscribe("second", [&](const Event&) { ++second; });
+
+  EXPECT_THROW(bus.publish({"first", "", 0, 0}), std::runtime_error);
+  EXPECT_EQ(second, 0);
+  bus.publish({"second", "", 0, 0});
+  EXPECT_EQ(second, 1);
 }
 
 TEST(EventBus, SubscriberCountAndPublishedCount) {

@@ -1,0 +1,150 @@
+// Parity tests: the uniform grid must return *bit-identical* results to a
+// brute-force scan for every query, across inserts, moves and removals —
+// including points outside the grid bounds (clamped into border cells).
+#include "sim/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace agrarsec::sim {
+namespace {
+
+constexpr core::Aabb kBounds{{0, 0}, {200, 200}};
+
+/// Brute-force reference model.
+struct Reference {
+  std::unordered_map<std::uint64_t, core::Vec2> points;
+
+  std::vector<std::uint64_t> query_radius(core::Vec2 center, double radius) const {
+    std::vector<std::uint64_t> out;
+    for (const auto& [id, pos] : points) {
+      if (core::distance(pos, center) <= radius) out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::optional<std::uint64_t> nearest(core::Vec2 from) const {
+    std::optional<std::uint64_t> best;
+    double best_dist = 0.0;
+    // Ascending id, matching the index's smaller-id tie-break.
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, pos] : points) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) {
+      const double d = core::distance(points.at(id), from);
+      if (!best || d < best_dist) {
+        best = id;
+        best_dist = d;
+      }
+    }
+    return best;
+  }
+};
+
+TEST(SpatialIndex, EmptyIndexQueries) {
+  SpatialIndex index{kBounds, 10.0};
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(index.query_radius({50, 50}, 100.0).empty());
+  EXPECT_FALSE(index.nearest({50, 50}).has_value());
+  EXPECT_FALSE(index.position(1).has_value());
+  index.remove(1);  // no-op, must not crash
+}
+
+TEST(SpatialIndex, InsertUpdateRemoveBookkeeping) {
+  SpatialIndex index{kBounds, 10.0};
+  index.insert(1, {10, 10});
+  index.insert(2, {190, 190});
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.contains(1));
+  EXPECT_EQ(index.position(1), (core::Vec2{10, 10}));
+
+  index.update(1, {100, 100});  // cross-cell move
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.position(1), (core::Vec2{100, 100}));
+
+  index.update(1, {100.5, 100.5});  // same-cell move
+  EXPECT_EQ(index.position(1), (core::Vec2{100.5, 100.5}));
+
+  index.remove(1);
+  EXPECT_FALSE(index.contains(1));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.nearest({0, 0}), std::optional<std::uint64_t>{2});
+}
+
+TEST(SpatialIndex, BoundaryInclusiveAndOutOfBoundsPoints) {
+  SpatialIndex index{kBounds, 10.0};
+  index.insert(1, {100, 100});
+  index.insert(2, {100, 110});   // exactly on the query radius
+  index.insert(3, {-50, -50});   // outside the grid bounds: clamped cell
+  index.insert(4, {250, 250});   // outside on the other side
+
+  EXPECT_EQ(index.query_radius({100, 100}, 10.0),
+            (std::vector<std::uint64_t>{1, 2}));
+  // Out-of-bounds points are still found, by exact distance.
+  EXPECT_EQ(index.query_radius({-50, -50}, 1.0), (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(index.nearest({300, 300}), std::optional<std::uint64_t>{4});
+}
+
+TEST(SpatialIndex, NearestTieBreaksTowardsSmallerId) {
+  SpatialIndex index{kBounds, 10.0};
+  // Equidistant from the probe, in different cells.
+  index.insert(7, {110, 100});
+  index.insert(3, {90, 100});
+  EXPECT_EQ(index.nearest({100, 100}), std::optional<std::uint64_t>{3});
+}
+
+TEST(SpatialIndex, RandomizedParityWithBruteForce) {
+  core::Rng rng{2024};
+  SpatialIndex index{kBounds, 15.0};
+  Reference ref;
+
+  const auto random_point = [&] {
+    // Mostly inside, sometimes outside the bounds.
+    return core::Vec2{rng.uniform(-40.0, 240.0), rng.uniform(-40.0, 240.0)};
+  };
+
+  std::uint64_t next_id = 1;
+  for (int round = 0; round < 400; ++round) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.5 || ref.points.empty()) {
+      const std::uint64_t id = next_id++;
+      const core::Vec2 p = random_point();
+      index.insert(id, p);
+      ref.points[id] = p;
+    } else if (roll < 0.8) {
+      // Move a random existing point (walk or teleport).
+      const auto it = std::next(ref.points.begin(),
+                                static_cast<std::ptrdiff_t>(rng.next_below(
+                                    ref.points.size())));
+      const core::Vec2 p = random_point();
+      index.update(it->first, p);
+      it->second = p;
+    } else {
+      const auto it = std::next(ref.points.begin(),
+                                static_cast<std::ptrdiff_t>(rng.next_below(
+                                    ref.points.size())));
+      index.remove(it->first);
+      ref.points.erase(it);
+    }
+
+    ASSERT_EQ(index.size(), ref.points.size());
+    // Several probes per round, radii from sub-cell to whole-world.
+    for (int probe = 0; probe < 3; ++probe) {
+      const core::Vec2 center = random_point();
+      const double radius = rng.uniform(0.0, 120.0);
+      ASSERT_EQ(index.query_radius(center, radius),
+                ref.query_radius(center, radius))
+          << "round " << round << " radius " << radius;
+      ASSERT_EQ(index.nearest(center), ref.nearest(center)) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agrarsec::sim

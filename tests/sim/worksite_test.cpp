@@ -117,6 +117,65 @@ TEST(Worksite, SeparationTrackingRecordsCloseEncounters) {
   EXPECT_GE(site.close_encounters(1000.0), site.close_encounters(10.0));
 }
 
+TEST(Worksite, ExhaustedPilesAreCompactedAway) {
+  // Regression: piles_ only ever grew. Exhausted piles (volume below the
+  // harvestable floor) stayed in the vector forever, so a long-running
+  // site scanned an ever-larger list of dead piles on every dispatch.
+  Worksite site{small_site(), 42};
+  site.add_harvester("h1", {150, 150});
+  // Enough forwarders to drain piles as fast as they appear.
+  site.add_forwarder("f1", {60, 60});
+  site.add_forwarder("f2", {80, 60});
+  site.add_forwarder("f3", {60, 80});
+
+  for (int i = 0; i < 18000; ++i) site.step();  // 30 sim-minutes
+
+  EXPECT_GE(site.completed_cycles(), 3u);
+  // Every listed pile is live; exhausted ones were swapped out.
+  for (const LogPile& p : site.piles()) EXPECT_GE(p.volume_m3, 0.5);
+  // 30 min at 10 m3/min and 7 m3 piles ≈ 42 piles produced; with three
+  // forwarders draining, the live list must sit well below that total.
+  EXPECT_LT(site.piles().size(), 40u);
+}
+
+TEST(Worksite, PileReferencesSurviveCompaction) {
+  // Forwarder task state holds pile *ids*, not indices; compaction
+  // swapping the vector around must never corrupt an in-progress load.
+  // Symptom before the fix would be a forwarder loading from the wrong
+  // pile (or past-the-end): delivered volume tracks completed cycles.
+  Worksite site{small_site(), 9};
+  site.add_harvester("h1", {150, 150});
+  site.add_forwarder("f1", {60, 60});
+  site.add_forwarder("f2", {200, 200});
+  for (int i = 0; i < 18000; ++i) site.step();
+  EXPECT_GE(site.completed_cycles(), 2u);
+  EXPECT_GT(site.delivered_m3(), 0.0);
+  // Delivered volume can only come from real piles: it is bounded by what
+  // the harvester produced.
+  const double produced_bound =
+      10.0 * 30.0 + 14.0;  // rate * minutes + slack for the open piles
+  EXPECT_LE(site.delivered_m3(), produced_bound);
+}
+
+TEST(Worksite, SeparationStatsStreamed) {
+  // min/close-encounter metrics are answered from streaming statistics
+  // (histogram + running moments), not a stored per-step sample list.
+  Worksite site{small_site(), 42};
+  site.add_harvester("h1", {60, 60});
+  site.add_forwarder("f1", {50, 50});
+  site.add_worker("w1", {60, 60}, {60, 60});
+  for (int i = 0; i < 6000; ++i) site.step();
+
+  const auto& stats = site.separation_stats();
+  ASSERT_GT(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.min(), site.min_human_separation());
+  EXPECT_LE(stats.min(), stats.mean());
+  // The histogram and the running stats see the same sample stream.
+  EXPECT_EQ(site.separation_histogram().total(), stats.count());
+  // Thresholds at/above the tracked range cover every recorded sample.
+  EXPECT_EQ(site.close_encounters(1e9), stats.count());
+}
+
 TEST(Worksite, EventBusPublishesPilesAndCycles) {
   Worksite site{small_site(), 42};
   int pile_events = 0;
