@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assurance_case.dir/bench_assurance_case.cpp.o"
+  "CMakeFiles/bench_assurance_case.dir/bench_assurance_case.cpp.o.d"
+  "bench_assurance_case"
+  "bench_assurance_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assurance_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

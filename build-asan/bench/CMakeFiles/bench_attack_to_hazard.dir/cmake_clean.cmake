@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_to_hazard.dir/bench_attack_to_hazard.cpp.o"
+  "CMakeFiles/bench_attack_to_hazard.dir/bench_attack_to_hazard.cpp.o.d"
+  "bench_attack_to_hazard"
+  "bench_attack_to_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_to_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

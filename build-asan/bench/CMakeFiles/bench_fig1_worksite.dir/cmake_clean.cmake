@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_worksite.dir/bench_fig1_worksite.cpp.o"
+  "CMakeFiles/bench_fig1_worksite.dir/bench_fig1_worksite.cpp.o.d"
+  "bench_fig1_worksite"
+  "bench_fig1_worksite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_worksite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_occlusion.dir/bench_fig2_occlusion.cpp.o"
+  "CMakeFiles/bench_fig2_occlusion.dir/bench_fig2_occlusion.cpp.o.d"
+  "bench_fig2_occlusion"
+  "bench_fig2_occlusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_occlusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_methodology.dir/bench_fig3_methodology.cpp.o"
+  "CMakeFiles/bench_fig3_methodology.dir/bench_fig3_methodology.cpp.o.d"
+  "bench_fig3_methodology"
+  "bench_fig3_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_scale.dir/bench_fleet_scale.cpp.o"
+  "CMakeFiles/bench_fleet_scale.dir/bench_fleet_scale.cpp.o.d"
+  "bench_fleet_scale"
+  "bench_fleet_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

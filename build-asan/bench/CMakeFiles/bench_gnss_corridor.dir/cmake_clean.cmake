@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gnss_corridor.dir/bench_gnss_corridor.cpp.o"
+  "CMakeFiles/bench_gnss_corridor.dir/bench_gnss_corridor.cpp.o.d"
+  "bench_gnss_corridor"
+  "bench_gnss_corridor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gnss_corridor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

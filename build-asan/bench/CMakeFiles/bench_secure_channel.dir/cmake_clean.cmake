@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secure_channel.dir/bench_secure_channel.cpp.o"
+  "CMakeFiles/bench_secure_channel.dir/bench_secure_channel.cpp.o.d"
+  "bench_secure_channel"
+  "bench_secure_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secure_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

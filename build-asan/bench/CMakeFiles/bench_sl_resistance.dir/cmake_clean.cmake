@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sl_resistance.dir/bench_sl_resistance.cpp.o"
+  "CMakeFiles/bench_sl_resistance.dir/bench_sl_resistance.cpp.o.d"
+  "bench_sl_resistance"
+  "bench_sl_resistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sl_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

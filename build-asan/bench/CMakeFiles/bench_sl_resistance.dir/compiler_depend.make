@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sl_resistance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weather_sotif.dir/bench_weather_sotif.cpp.o"
+  "CMakeFiles/bench_weather_sotif.dir/bench_weather_sotif.cpp.o.d"
+  "bench_weather_sotif"
+  "bench_weather_sotif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weather_sotif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_scenarios.dir/attack_scenarios.cpp.o"
+  "CMakeFiles/attack_scenarios.dir/attack_scenarios.cpp.o.d"
+  "attack_scenarios"
+  "attack_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

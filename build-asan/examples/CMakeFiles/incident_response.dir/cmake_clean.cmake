@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_response.dir/incident_response.cpp.o"
+  "CMakeFiles/incident_response.dir/incident_response.cpp.o.d"
+  "incident_response"
+  "incident_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

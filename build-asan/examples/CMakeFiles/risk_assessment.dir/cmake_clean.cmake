@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_assessment.dir/risk_assessment.cpp.o"
+  "CMakeFiles/risk_assessment.dir/risk_assessment.cpp.o.d"
+  "risk_assessment"
+  "risk_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_fleet_ops.dir/secure_fleet_ops.cpp.o"
+  "CMakeFiles/secure_fleet_ops.dir/secure_fleet_ops.cpp.o.d"
+  "secure_fleet_ops"
+  "secure_fleet_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_fleet_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

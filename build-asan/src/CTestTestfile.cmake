@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("crypto")
+subdirs("pki")
+subdirs("net")
+subdirs("secure")
+subdirs("ids")
+subdirs("sim")
+subdirs("sensors")
+subdirs("safety")
+subdirs("risk")
+subdirs("assurance")
+subdirs("sos")
+subdirs("integration")

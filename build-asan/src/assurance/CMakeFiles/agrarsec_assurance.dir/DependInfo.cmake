@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assurance/cascade.cpp" "src/assurance/CMakeFiles/agrarsec_assurance.dir/cascade.cpp.o" "gcc" "src/assurance/CMakeFiles/agrarsec_assurance.dir/cascade.cpp.o.d"
+  "/root/repo/src/assurance/compliance.cpp" "src/assurance/CMakeFiles/agrarsec_assurance.dir/compliance.cpp.o" "gcc" "src/assurance/CMakeFiles/agrarsec_assurance.dir/compliance.cpp.o.d"
+  "/root/repo/src/assurance/evidence.cpp" "src/assurance/CMakeFiles/agrarsec_assurance.dir/evidence.cpp.o" "gcc" "src/assurance/CMakeFiles/agrarsec_assurance.dir/evidence.cpp.o.d"
+  "/root/repo/src/assurance/gsn.cpp" "src/assurance/CMakeFiles/agrarsec_assurance.dir/gsn.cpp.o" "gcc" "src/assurance/CMakeFiles/agrarsec_assurance.dir/gsn.cpp.o.d"
+  "/root/repo/src/assurance/modular.cpp" "src/assurance/CMakeFiles/agrarsec_assurance.dir/modular.cpp.o" "gcc" "src/assurance/CMakeFiles/agrarsec_assurance.dir/modular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/risk/CMakeFiles/agrarsec_risk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sos/CMakeFiles/agrarsec_sos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/safety/CMakeFiles/agrarsec_safety.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sensors/CMakeFiles/agrarsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/agrarsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/agrarsec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_assurance.dir/cascade.cpp.o"
+  "CMakeFiles/agrarsec_assurance.dir/cascade.cpp.o.d"
+  "CMakeFiles/agrarsec_assurance.dir/compliance.cpp.o"
+  "CMakeFiles/agrarsec_assurance.dir/compliance.cpp.o.d"
+  "CMakeFiles/agrarsec_assurance.dir/evidence.cpp.o"
+  "CMakeFiles/agrarsec_assurance.dir/evidence.cpp.o.d"
+  "CMakeFiles/agrarsec_assurance.dir/gsn.cpp.o"
+  "CMakeFiles/agrarsec_assurance.dir/gsn.cpp.o.d"
+  "CMakeFiles/agrarsec_assurance.dir/modular.cpp.o"
+  "CMakeFiles/agrarsec_assurance.dir/modular.cpp.o.d"
+  "libagrarsec_assurance.a"
+  "libagrarsec_assurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_assurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

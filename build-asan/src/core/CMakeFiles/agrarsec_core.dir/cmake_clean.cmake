@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_core.dir/bytes.cpp.o"
+  "CMakeFiles/agrarsec_core.dir/bytes.cpp.o.d"
+  "CMakeFiles/agrarsec_core.dir/event_bus.cpp.o"
+  "CMakeFiles/agrarsec_core.dir/event_bus.cpp.o.d"
+  "CMakeFiles/agrarsec_core.dir/geometry.cpp.o"
+  "CMakeFiles/agrarsec_core.dir/geometry.cpp.o.d"
+  "CMakeFiles/agrarsec_core.dir/log.cpp.o"
+  "CMakeFiles/agrarsec_core.dir/log.cpp.o.d"
+  "CMakeFiles/agrarsec_core.dir/rng.cpp.o"
+  "CMakeFiles/agrarsec_core.dir/rng.cpp.o.d"
+  "CMakeFiles/agrarsec_core.dir/stats.cpp.o"
+  "CMakeFiles/agrarsec_core.dir/stats.cpp.o.d"
+  "libagrarsec_core.a"
+  "libagrarsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_crypto.dir/aead.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/random.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/random.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/agrarsec_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/agrarsec_crypto.dir/x25519.cpp.o.d"
+  "libagrarsec_crypto.a"
+  "libagrarsec_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

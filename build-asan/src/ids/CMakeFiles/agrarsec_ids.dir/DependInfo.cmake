@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ids/anomaly.cpp" "src/ids/CMakeFiles/agrarsec_ids.dir/anomaly.cpp.o" "gcc" "src/ids/CMakeFiles/agrarsec_ids.dir/anomaly.cpp.o.d"
+  "/root/repo/src/ids/correlation.cpp" "src/ids/CMakeFiles/agrarsec_ids.dir/correlation.cpp.o" "gcc" "src/ids/CMakeFiles/agrarsec_ids.dir/correlation.cpp.o.d"
+  "/root/repo/src/ids/ids.cpp" "src/ids/CMakeFiles/agrarsec_ids.dir/ids.cpp.o" "gcc" "src/ids/CMakeFiles/agrarsec_ids.dir/ids.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/agrarsec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

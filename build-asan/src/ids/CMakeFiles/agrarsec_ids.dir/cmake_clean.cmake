@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_ids.dir/anomaly.cpp.o"
+  "CMakeFiles/agrarsec_ids.dir/anomaly.cpp.o.d"
+  "CMakeFiles/agrarsec_ids.dir/correlation.cpp.o"
+  "CMakeFiles/agrarsec_ids.dir/correlation.cpp.o.d"
+  "CMakeFiles/agrarsec_ids.dir/ids.cpp.o"
+  "CMakeFiles/agrarsec_ids.dir/ids.cpp.o.d"
+  "libagrarsec_ids.a"
+  "libagrarsec_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_integration.dir/secured_worksite.cpp.o"
+  "CMakeFiles/agrarsec_integration.dir/secured_worksite.cpp.o.d"
+  "libagrarsec_integration.a"
+  "libagrarsec_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

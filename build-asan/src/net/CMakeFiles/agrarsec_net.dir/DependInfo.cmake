@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/attacker.cpp" "src/net/CMakeFiles/agrarsec_net.dir/attacker.cpp.o" "gcc" "src/net/CMakeFiles/agrarsec_net.dir/attacker.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/agrarsec_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/agrarsec_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/radio.cpp" "src/net/CMakeFiles/agrarsec_net.dir/radio.cpp.o" "gcc" "src/net/CMakeFiles/agrarsec_net.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

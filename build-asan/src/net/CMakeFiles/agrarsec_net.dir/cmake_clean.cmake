@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_net.dir/attacker.cpp.o"
+  "CMakeFiles/agrarsec_net.dir/attacker.cpp.o.d"
+  "CMakeFiles/agrarsec_net.dir/message.cpp.o"
+  "CMakeFiles/agrarsec_net.dir/message.cpp.o.d"
+  "CMakeFiles/agrarsec_net.dir/radio.cpp.o"
+  "CMakeFiles/agrarsec_net.dir/radio.cpp.o.d"
+  "libagrarsec_net.a"
+  "libagrarsec_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pki/authority.cpp" "src/pki/CMakeFiles/agrarsec_pki.dir/authority.cpp.o" "gcc" "src/pki/CMakeFiles/agrarsec_pki.dir/authority.cpp.o.d"
+  "/root/repo/src/pki/certificate.cpp" "src/pki/CMakeFiles/agrarsec_pki.dir/certificate.cpp.o" "gcc" "src/pki/CMakeFiles/agrarsec_pki.dir/certificate.cpp.o.d"
+  "/root/repo/src/pki/identity.cpp" "src/pki/CMakeFiles/agrarsec_pki.dir/identity.cpp.o" "gcc" "src/pki/CMakeFiles/agrarsec_pki.dir/identity.cpp.o.d"
+  "/root/repo/src/pki/trust_store.cpp" "src/pki/CMakeFiles/agrarsec_pki.dir/trust_store.cpp.o" "gcc" "src/pki/CMakeFiles/agrarsec_pki.dir/trust_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/agrarsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

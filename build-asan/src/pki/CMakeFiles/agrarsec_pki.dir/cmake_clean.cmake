@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_pki.dir/authority.cpp.o"
+  "CMakeFiles/agrarsec_pki.dir/authority.cpp.o.d"
+  "CMakeFiles/agrarsec_pki.dir/certificate.cpp.o"
+  "CMakeFiles/agrarsec_pki.dir/certificate.cpp.o.d"
+  "CMakeFiles/agrarsec_pki.dir/identity.cpp.o"
+  "CMakeFiles/agrarsec_pki.dir/identity.cpp.o.d"
+  "CMakeFiles/agrarsec_pki.dir/trust_store.cpp.o"
+  "CMakeFiles/agrarsec_pki.dir/trust_store.cpp.o.d"
+  "libagrarsec_pki.a"
+  "libagrarsec_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/risk/attack_path.cpp" "src/risk/CMakeFiles/agrarsec_risk.dir/attack_path.cpp.o" "gcc" "src/risk/CMakeFiles/agrarsec_risk.dir/attack_path.cpp.o.d"
+  "/root/repo/src/risk/catalog.cpp" "src/risk/CMakeFiles/agrarsec_risk.dir/catalog.cpp.o" "gcc" "src/risk/CMakeFiles/agrarsec_risk.dir/catalog.cpp.o.d"
+  "/root/repo/src/risk/coanalysis.cpp" "src/risk/CMakeFiles/agrarsec_risk.dir/coanalysis.cpp.o" "gcc" "src/risk/CMakeFiles/agrarsec_risk.dir/coanalysis.cpp.o.d"
+  "/root/repo/src/risk/iec62443.cpp" "src/risk/CMakeFiles/agrarsec_risk.dir/iec62443.cpp.o" "gcc" "src/risk/CMakeFiles/agrarsec_risk.dir/iec62443.cpp.o.d"
+  "/root/repo/src/risk/tara.cpp" "src/risk/CMakeFiles/agrarsec_risk.dir/tara.cpp.o" "gcc" "src/risk/CMakeFiles/agrarsec_risk.dir/tara.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/safety/CMakeFiles/agrarsec_safety.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sensors/CMakeFiles/agrarsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/agrarsec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

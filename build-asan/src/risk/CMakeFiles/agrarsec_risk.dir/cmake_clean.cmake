@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_risk.dir/attack_path.cpp.o"
+  "CMakeFiles/agrarsec_risk.dir/attack_path.cpp.o.d"
+  "CMakeFiles/agrarsec_risk.dir/catalog.cpp.o"
+  "CMakeFiles/agrarsec_risk.dir/catalog.cpp.o.d"
+  "CMakeFiles/agrarsec_risk.dir/coanalysis.cpp.o"
+  "CMakeFiles/agrarsec_risk.dir/coanalysis.cpp.o.d"
+  "CMakeFiles/agrarsec_risk.dir/iec62443.cpp.o"
+  "CMakeFiles/agrarsec_risk.dir/iec62443.cpp.o.d"
+  "CMakeFiles/agrarsec_risk.dir/tara.cpp.o"
+  "CMakeFiles/agrarsec_risk.dir/tara.cpp.o.d"
+  "libagrarsec_risk.a"
+  "libagrarsec_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagrarsec_risk.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/safety/fusion.cpp" "src/safety/CMakeFiles/agrarsec_safety.dir/fusion.cpp.o" "gcc" "src/safety/CMakeFiles/agrarsec_safety.dir/fusion.cpp.o.d"
+  "/root/repo/src/safety/iso13849.cpp" "src/safety/CMakeFiles/agrarsec_safety.dir/iso13849.cpp.o" "gcc" "src/safety/CMakeFiles/agrarsec_safety.dir/iso13849.cpp.o.d"
+  "/root/repo/src/safety/monitor.cpp" "src/safety/CMakeFiles/agrarsec_safety.dir/monitor.cpp.o" "gcc" "src/safety/CMakeFiles/agrarsec_safety.dir/monitor.cpp.o.d"
+  "/root/repo/src/safety/sotif.cpp" "src/safety/CMakeFiles/agrarsec_safety.dir/sotif.cpp.o" "gcc" "src/safety/CMakeFiles/agrarsec_safety.dir/sotif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/agrarsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sensors/CMakeFiles/agrarsec_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

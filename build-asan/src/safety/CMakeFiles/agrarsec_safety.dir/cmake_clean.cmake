@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_safety.dir/fusion.cpp.o"
+  "CMakeFiles/agrarsec_safety.dir/fusion.cpp.o.d"
+  "CMakeFiles/agrarsec_safety.dir/iso13849.cpp.o"
+  "CMakeFiles/agrarsec_safety.dir/iso13849.cpp.o.d"
+  "CMakeFiles/agrarsec_safety.dir/monitor.cpp.o"
+  "CMakeFiles/agrarsec_safety.dir/monitor.cpp.o.d"
+  "CMakeFiles/agrarsec_safety.dir/sotif.cpp.o"
+  "CMakeFiles/agrarsec_safety.dir/sotif.cpp.o.d"
+  "libagrarsec_safety.a"
+  "libagrarsec_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secure/audit_log.cpp" "src/secure/CMakeFiles/agrarsec_secure.dir/audit_log.cpp.o" "gcc" "src/secure/CMakeFiles/agrarsec_secure.dir/audit_log.cpp.o.d"
+  "/root/repo/src/secure/boot.cpp" "src/secure/CMakeFiles/agrarsec_secure.dir/boot.cpp.o" "gcc" "src/secure/CMakeFiles/agrarsec_secure.dir/boot.cpp.o.d"
+  "/root/repo/src/secure/handshake.cpp" "src/secure/CMakeFiles/agrarsec_secure.dir/handshake.cpp.o" "gcc" "src/secure/CMakeFiles/agrarsec_secure.dir/handshake.cpp.o.d"
+  "/root/repo/src/secure/session.cpp" "src/secure/CMakeFiles/agrarsec_secure.dir/session.cpp.o" "gcc" "src/secure/CMakeFiles/agrarsec_secure.dir/session.cpp.o.d"
+  "/root/repo/src/secure/update.cpp" "src/secure/CMakeFiles/agrarsec_secure.dir/update.cpp.o" "gcc" "src/secure/CMakeFiles/agrarsec_secure.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/agrarsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pki/CMakeFiles/agrarsec_pki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_secure.dir/audit_log.cpp.o"
+  "CMakeFiles/agrarsec_secure.dir/audit_log.cpp.o.d"
+  "CMakeFiles/agrarsec_secure.dir/boot.cpp.o"
+  "CMakeFiles/agrarsec_secure.dir/boot.cpp.o.d"
+  "CMakeFiles/agrarsec_secure.dir/handshake.cpp.o"
+  "CMakeFiles/agrarsec_secure.dir/handshake.cpp.o.d"
+  "CMakeFiles/agrarsec_secure.dir/session.cpp.o"
+  "CMakeFiles/agrarsec_secure.dir/session.cpp.o.d"
+  "CMakeFiles/agrarsec_secure.dir/update.cpp.o"
+  "CMakeFiles/agrarsec_secure.dir/update.cpp.o.d"
+  "libagrarsec_secure.a"
+  "libagrarsec_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_sensors.dir/gnss.cpp.o"
+  "CMakeFiles/agrarsec_sensors.dir/gnss.cpp.o.d"
+  "CMakeFiles/agrarsec_sensors.dir/perception.cpp.o"
+  "CMakeFiles/agrarsec_sensors.dir/perception.cpp.o.d"
+  "libagrarsec_sensors.a"
+  "libagrarsec_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

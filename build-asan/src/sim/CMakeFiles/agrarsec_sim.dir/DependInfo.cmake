@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/human.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/human.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/human.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/pathfinding.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/pathfinding.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/pathfinding.cpp.o.d"
+  "/root/repo/src/sim/spatial_index.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/spatial_index.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/spatial_index.cpp.o.d"
+  "/root/repo/src/sim/terrain.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/terrain.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/terrain.cpp.o.d"
+  "/root/repo/src/sim/worksite.cpp" "src/sim/CMakeFiles/agrarsec_sim.dir/worksite.cpp.o" "gcc" "src/sim/CMakeFiles/agrarsec_sim.dir/worksite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_sim.dir/human.cpp.o"
+  "CMakeFiles/agrarsec_sim.dir/human.cpp.o.d"
+  "CMakeFiles/agrarsec_sim.dir/machine.cpp.o"
+  "CMakeFiles/agrarsec_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/agrarsec_sim.dir/pathfinding.cpp.o"
+  "CMakeFiles/agrarsec_sim.dir/pathfinding.cpp.o.d"
+  "CMakeFiles/agrarsec_sim.dir/spatial_index.cpp.o"
+  "CMakeFiles/agrarsec_sim.dir/spatial_index.cpp.o.d"
+  "CMakeFiles/agrarsec_sim.dir/terrain.cpp.o"
+  "CMakeFiles/agrarsec_sim.dir/terrain.cpp.o.d"
+  "CMakeFiles/agrarsec_sim.dir/worksite.cpp.o"
+  "CMakeFiles/agrarsec_sim.dir/worksite.cpp.o.d"
+  "libagrarsec_sim.a"
+  "libagrarsec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agrarsec_sos.dir/emergent.cpp.o"
+  "CMakeFiles/agrarsec_sos.dir/emergent.cpp.o.d"
+  "CMakeFiles/agrarsec_sos.dir/system.cpp.o"
+  "CMakeFiles/agrarsec_sos.dir/system.cpp.o.d"
+  "libagrarsec_sos.a"
+  "libagrarsec_sos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agrarsec_sos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for agrarsec_sos.
+# This may be replaced when dependencies are built.

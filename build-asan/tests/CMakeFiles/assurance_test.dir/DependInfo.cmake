@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assurance/cascade_test.cpp" "tests/CMakeFiles/assurance_test.dir/assurance/cascade_test.cpp.o" "gcc" "tests/CMakeFiles/assurance_test.dir/assurance/cascade_test.cpp.o.d"
+  "/root/repo/tests/assurance/gsn_test.cpp" "tests/CMakeFiles/assurance_test.dir/assurance/gsn_test.cpp.o" "gcc" "tests/CMakeFiles/assurance_test.dir/assurance/gsn_test.cpp.o.d"
+  "/root/repo/tests/assurance/modular_test.cpp" "tests/CMakeFiles/assurance_test.dir/assurance/modular_test.cpp.o" "gcc" "tests/CMakeFiles/assurance_test.dir/assurance/modular_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/assurance/CMakeFiles/agrarsec_assurance.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/risk/CMakeFiles/agrarsec_risk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/safety/CMakeFiles/agrarsec_safety.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sensors/CMakeFiles/agrarsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/agrarsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sos/CMakeFiles/agrarsec_sos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/agrarsec_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bytes_test.cpp" "tests/CMakeFiles/core_test.dir/core/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bytes_test.cpp.o.d"
+  "/root/repo/tests/core/event_bus_test.cpp" "tests/CMakeFiles/core_test.dir/core/event_bus_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/event_bus_test.cpp.o.d"
+  "/root/repo/tests/core/geometry_test.cpp" "tests/CMakeFiles/core_test.dir/core/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/geometry_test.cpp.o.d"
+  "/root/repo/tests/core/log_test.cpp" "tests/CMakeFiles/core_test.dir/core/log_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/log_test.cpp.o.d"
+  "/root/repo/tests/core/result_test.cpp" "tests/CMakeFiles/core_test.dir/core/result_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/result_test.cpp.o.d"
+  "/root/repo/tests/core/rng_test.cpp" "tests/CMakeFiles/core_test.dir/core/rng_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rng_test.cpp.o.d"
+  "/root/repo/tests/core/stats_test.cpp" "tests/CMakeFiles/core_test.dir/core/stats_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stats_test.cpp.o.d"
+  "/root/repo/tests/core/types_test.cpp" "tests/CMakeFiles/core_test.dir/core/types_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

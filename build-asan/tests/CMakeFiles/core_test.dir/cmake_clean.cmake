@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/bytes_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/bytes_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/event_bus_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/event_bus_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/geometry_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/geometry_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/log_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/log_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/result_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/result_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/rng_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/rng_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/stats_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/stats_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/types_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/types_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aead_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o.d"
+  "/root/repo/tests/crypto/chacha20_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/chacha20_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/chacha20_test.cpp.o.d"
+  "/root/repo/tests/crypto/ed25519_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/ed25519_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/ed25519_test.cpp.o.d"
+  "/root/repo/tests/crypto/hash_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/hash_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/hash_test.cpp.o.d"
+  "/root/repo/tests/crypto/hkdf_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/hkdf_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/hkdf_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/poly1305_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/poly1305_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/poly1305_test.cpp.o.d"
+  "/root/repo/tests/crypto/property_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/property_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/property_test.cpp.o.d"
+  "/root/repo/tests/crypto/random_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/random_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/random_test.cpp.o.d"
+  "/root/repo/tests/crypto/x25519_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/x25519_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/x25519_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/crypto/CMakeFiles/agrarsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/chacha20_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/chacha20_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/ed25519_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/ed25519_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/hash_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/hash_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/hkdf_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/hkdf_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/poly1305_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/poly1305_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/property_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/property_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/random_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/random_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/x25519_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/x25519_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/extensions_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/extensions_test.cpp.o.d"
+  "/root/repo/tests/integration/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/integration/CMakeFiles/agrarsec_integration.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/secure/CMakeFiles/agrarsec_secure.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pki/CMakeFiles/agrarsec_pki.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/agrarsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ids/CMakeFiles/agrarsec_ids.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/safety/CMakeFiles/agrarsec_safety.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sensors/CMakeFiles/agrarsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/agrarsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sos/CMakeFiles/agrarsec_sos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/agrarsec_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pki/crl_wire_test.cpp" "tests/CMakeFiles/pki_test.dir/pki/crl_wire_test.cpp.o" "gcc" "tests/CMakeFiles/pki_test.dir/pki/crl_wire_test.cpp.o.d"
+  "/root/repo/tests/pki/pki_test.cpp" "tests/CMakeFiles/pki_test.dir/pki/pki_test.cpp.o" "gcc" "tests/CMakeFiles/pki_test.dir/pki/pki_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/pki/CMakeFiles/agrarsec_pki.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/agrarsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

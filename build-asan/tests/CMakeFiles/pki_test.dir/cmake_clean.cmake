@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pki_test.dir/pki/crl_wire_test.cpp.o"
+  "CMakeFiles/pki_test.dir/pki/crl_wire_test.cpp.o.d"
+  "CMakeFiles/pki_test.dir/pki/pki_test.cpp.o"
+  "CMakeFiles/pki_test.dir/pki/pki_test.cpp.o.d"
+  "pki_test"
+  "pki_test.pdb"
+  "pki_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/risk/attack_path_test.cpp" "tests/CMakeFiles/risk_test.dir/risk/attack_path_test.cpp.o" "gcc" "tests/CMakeFiles/risk_test.dir/risk/attack_path_test.cpp.o.d"
+  "/root/repo/tests/risk/coanalysis_test.cpp" "tests/CMakeFiles/risk_test.dir/risk/coanalysis_test.cpp.o" "gcc" "tests/CMakeFiles/risk_test.dir/risk/coanalysis_test.cpp.o.d"
+  "/root/repo/tests/risk/iec62443_test.cpp" "tests/CMakeFiles/risk_test.dir/risk/iec62443_test.cpp.o" "gcc" "tests/CMakeFiles/risk_test.dir/risk/iec62443_test.cpp.o.d"
+  "/root/repo/tests/risk/property_test.cpp" "tests/CMakeFiles/risk_test.dir/risk/property_test.cpp.o" "gcc" "tests/CMakeFiles/risk_test.dir/risk/property_test.cpp.o.d"
+  "/root/repo/tests/risk/tara_test.cpp" "tests/CMakeFiles/risk_test.dir/risk/tara_test.cpp.o" "gcc" "tests/CMakeFiles/risk_test.dir/risk/tara_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/risk/CMakeFiles/agrarsec_risk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/safety/CMakeFiles/agrarsec_safety.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sensors/CMakeFiles/agrarsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/agrarsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_test.dir/risk/attack_path_test.cpp.o"
+  "CMakeFiles/risk_test.dir/risk/attack_path_test.cpp.o.d"
+  "CMakeFiles/risk_test.dir/risk/coanalysis_test.cpp.o"
+  "CMakeFiles/risk_test.dir/risk/coanalysis_test.cpp.o.d"
+  "CMakeFiles/risk_test.dir/risk/iec62443_test.cpp.o"
+  "CMakeFiles/risk_test.dir/risk/iec62443_test.cpp.o.d"
+  "CMakeFiles/risk_test.dir/risk/property_test.cpp.o"
+  "CMakeFiles/risk_test.dir/risk/property_test.cpp.o.d"
+  "CMakeFiles/risk_test.dir/risk/tara_test.cpp.o"
+  "CMakeFiles/risk_test.dir/risk/tara_test.cpp.o.d"
+  "risk_test"
+  "risk_test.pdb"
+  "risk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

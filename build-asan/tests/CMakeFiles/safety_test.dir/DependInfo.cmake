@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/safety/fusion_test.cpp" "tests/CMakeFiles/safety_test.dir/safety/fusion_test.cpp.o" "gcc" "tests/CMakeFiles/safety_test.dir/safety/fusion_test.cpp.o.d"
+  "/root/repo/tests/safety/iso13849_test.cpp" "tests/CMakeFiles/safety_test.dir/safety/iso13849_test.cpp.o" "gcc" "tests/CMakeFiles/safety_test.dir/safety/iso13849_test.cpp.o.d"
+  "/root/repo/tests/safety/monitor_test.cpp" "tests/CMakeFiles/safety_test.dir/safety/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/safety_test.dir/safety/monitor_test.cpp.o.d"
+  "/root/repo/tests/safety/sotif_test.cpp" "tests/CMakeFiles/safety_test.dir/safety/sotif_test.cpp.o" "gcc" "tests/CMakeFiles/safety_test.dir/safety/sotif_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/safety/CMakeFiles/agrarsec_safety.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sensors/CMakeFiles/agrarsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/agrarsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_test.dir/safety/fusion_test.cpp.o"
+  "CMakeFiles/safety_test.dir/safety/fusion_test.cpp.o.d"
+  "CMakeFiles/safety_test.dir/safety/iso13849_test.cpp.o"
+  "CMakeFiles/safety_test.dir/safety/iso13849_test.cpp.o.d"
+  "CMakeFiles/safety_test.dir/safety/monitor_test.cpp.o"
+  "CMakeFiles/safety_test.dir/safety/monitor_test.cpp.o.d"
+  "CMakeFiles/safety_test.dir/safety/sotif_test.cpp.o"
+  "CMakeFiles/safety_test.dir/safety/sotif_test.cpp.o.d"
+  "safety_test"
+  "safety_test.pdb"
+  "safety_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/secure/audit_log_test.cpp" "tests/CMakeFiles/secure_test.dir/secure/audit_log_test.cpp.o" "gcc" "tests/CMakeFiles/secure_test.dir/secure/audit_log_test.cpp.o.d"
+  "/root/repo/tests/secure/boot_test.cpp" "tests/CMakeFiles/secure_test.dir/secure/boot_test.cpp.o" "gcc" "tests/CMakeFiles/secure_test.dir/secure/boot_test.cpp.o.d"
+  "/root/repo/tests/secure/secure_test.cpp" "tests/CMakeFiles/secure_test.dir/secure/secure_test.cpp.o" "gcc" "tests/CMakeFiles/secure_test.dir/secure/secure_test.cpp.o.d"
+  "/root/repo/tests/secure/wire_test.cpp" "tests/CMakeFiles/secure_test.dir/secure/wire_test.cpp.o" "gcc" "tests/CMakeFiles/secure_test.dir/secure/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/secure/CMakeFiles/agrarsec_secure.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pki/CMakeFiles/agrarsec_pki.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/agrarsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

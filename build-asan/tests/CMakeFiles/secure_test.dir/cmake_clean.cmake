@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_test.dir/secure/audit_log_test.cpp.o"
+  "CMakeFiles/secure_test.dir/secure/audit_log_test.cpp.o.d"
+  "CMakeFiles/secure_test.dir/secure/boot_test.cpp.o"
+  "CMakeFiles/secure_test.dir/secure/boot_test.cpp.o.d"
+  "CMakeFiles/secure_test.dir/secure/secure_test.cpp.o"
+  "CMakeFiles/secure_test.dir/secure/secure_test.cpp.o.d"
+  "CMakeFiles/secure_test.dir/secure/wire_test.cpp.o"
+  "CMakeFiles/secure_test.dir/secure/wire_test.cpp.o.d"
+  "secure_test"
+  "secure_test.pdb"
+  "secure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

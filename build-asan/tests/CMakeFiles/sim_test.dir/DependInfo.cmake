@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/machine_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/machine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/machine_test.cpp.o.d"
+  "/root/repo/tests/sim/occlusion_cause_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/occlusion_cause_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/occlusion_cause_test.cpp.o.d"
+  "/root/repo/tests/sim/pathfinding_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/pathfinding_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/pathfinding_test.cpp.o.d"
+  "/root/repo/tests/sim/spatial_index_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/spatial_index_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/spatial_index_test.cpp.o.d"
+  "/root/repo/tests/sim/terrain_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/terrain_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/terrain_test.cpp.o.d"
+  "/root/repo/tests/sim/worksite_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/worksite_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/worksite_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/agrarsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/agrarsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_test.dir/sos/sos_test.cpp.o"
+  "CMakeFiles/sos_test.dir/sos/sos_test.cpp.o.d"
+  "sos_test"
+  "sos_test.pdb"
+  "sos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

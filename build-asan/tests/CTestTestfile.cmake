@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pki_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/secure_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ids_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sensors_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/safety_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/risk_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/assurance_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sos_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
