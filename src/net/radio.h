@@ -140,9 +140,35 @@ class RadioMedium {
   [[nodiscard]] bool jammed_at(const core::Vec2& pos, std::uint32_t channel);
   [[nodiscard]] bool dropped(const Frame& frame);
 
+  /// Node snapshot for one step's broadcast fan-outs: id, position sampled
+  /// once at step time, and the endpoint to deliver through.
+  struct BcastNode {
+    NodeId id;
+    core::Vec2 pos;
+    const Endpoint* ep;
+  };
+  /// Rebuilds bcast_nodes_ / bcast_grid_ for the current step.
+  void build_broadcast_snapshot();
+  /// Indices into bcast_nodes_ within the 3x3 grid neighbourhood of
+  /// `src_pos` (cell size = max_range_m, so anything outside the
+  /// neighbourhood is provably out of range), ascending id order.
+  const std::vector<std::uint32_t>& broadcast_candidates(core::Vec2 src_pos);
+
   core::Rng rng_;
   RadioConfig config_;
   std::unordered_map<NodeId, Endpoint> endpoints_;
+  /// Attached node ids in ascending order: drives broadcast fan-out so
+  /// delivery (and therefore RNG consumption) order is deterministic
+  /// instead of following unordered_map iteration order.
+  std::vector<NodeId> sorted_ids_;
+  // Per-step broadcast scratch, reused across frames to stay allocation-free
+  // in the hot loop. The grid prunes fan-out from O(all nodes) to the
+  // neighbourhood actually within radio range; judge() rejects out-of-range
+  // destinations before consuming any randomness, so pruning them (counted
+  // in bulk as kOutOfRange) leaves every surviving outcome bit-identical.
+  std::vector<BcastNode> bcast_nodes_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> bcast_grid_;
+  std::vector<std::uint32_t> bcast_candidates_;
   /// Min-heap on (deliver_at, seq) via LaterDelivery. A plain FIFO deque
   /// here once caused head-of-line blocking: latency jitter makes
   /// deliver_at non-monotone in send order, and a front frame with a high

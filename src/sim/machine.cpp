@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/pathfinding.h"
+
 namespace agrarsec::sim {
 
 std::string_view machine_kind_name(MachineKind kind) {
@@ -21,9 +23,35 @@ Machine::Machine(MachineId id, MachineKind kind, std::string name, core::Vec2 po
 
 void Machine::set_route(std::deque<core::Vec2> waypoints) {
   waypoints_ = std::move(waypoints);
+  route_goal_ = std::nullopt;  // untracked route: nothing to lazily reuse
 }
 
-void Machine::push_waypoint(core::Vec2 waypoint) { waypoints_.push_back(waypoint); }
+void Machine::set_route(std::deque<core::Vec2> waypoints, core::Vec2 goal) {
+  waypoints_ = std::move(waypoints);
+  route_goal_ = goal;
+}
+
+void Machine::push_waypoint(core::Vec2 waypoint) {
+  waypoints_.push_back(waypoint);
+  route_goal_ = std::nullopt;  // appended legs invalidate the tracked goal
+}
+
+bool Machine::try_reuse_route(core::Vec2 goal, const PathPlanner& planner) {
+  if (!route_goal_ || waypoints_.empty()) return false;
+  if (core::distance(*route_goal_, goal) > config_.replan_threshold_m) return false;
+  // The leg currently being driven must still be clear — the blocked grid
+  // may have changed (set_region_blocked) since the route was planned.
+  if (!planner.segment_clear(position_, waypoints_.front())) return false;
+  // Retargeting moves the final waypoint; the final leg must stay clear
+  // from wherever it is entered.
+  const core::Vec2 tail_from =
+      waypoints_.size() >= 2 ? waypoints_[waypoints_.size() - 2] : position_;
+  if (!planner.segment_clear(tail_from, goal)) return false;
+  waypoints_.back() = goal;
+  route_goal_ = goal;
+  ++route_reuses_;
+  return true;
+}
 
 std::optional<core::Vec2> Machine::current_waypoint() const {
   if (waypoints_.empty()) return std::nullopt;

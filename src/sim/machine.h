@@ -15,6 +15,8 @@
 
 namespace agrarsec::sim {
 
+class PathPlanner;
+
 enum class MachineKind : std::uint8_t { kForwarder = 0, kHarvester = 1, kDrone = 2 };
 
 [[nodiscard]] std::string_view machine_kind_name(MachineKind kind);
@@ -34,6 +36,10 @@ struct MachineConfig {
   double sensor_height_m = 2.6;      ///< cab-top sensor mast
   double altitude_m = 0.0;           ///< >0 for drones (AGL)
   double load_capacity_m3 = 14.0;    ///< forwarder bunk volume
+  /// Lazy re-planning: when a new goal lies within this distance of the
+  /// goal the current route was planned for, the route is retargeted
+  /// instead of re-planned (provided the remaining legs stay clear).
+  double replan_threshold_m = 6.0;
 };
 
 class Machine {
@@ -57,9 +63,25 @@ class Machine {
 
   // --- routing ---
   void set_route(std::deque<core::Vec2> waypoints);
+  /// Route with goal tracking: remembers the goal the route was planned
+  /// for so later calls can lazily reuse it (try_reuse_route).
+  void set_route(std::deque<core::Vec2> waypoints, core::Vec2 goal);
   void push_waypoint(core::Vec2 waypoint);
   [[nodiscard]] bool idle() const { return waypoints_.empty(); }
   [[nodiscard]] std::optional<core::Vec2> current_waypoint() const;
+
+  /// Lazy re-planning: when the machine is mid-route towards a tracked
+  /// goal and the new goal moved less than config().replan_threshold_m,
+  /// the existing route is kept and only its final waypoint is retargeted
+  /// — provided the leg being driven and the retargeted final leg are
+  /// still segment_clear on the planner's current blocked grid. Returns
+  /// true when the route was reused (no re-plan needed).
+  bool try_reuse_route(core::Vec2 goal, const PathPlanner& planner);
+
+  /// Goal of the current tracked route (nullopt for untracked routes).
+  [[nodiscard]] std::optional<core::Vec2> route_goal() const { return route_goal_; }
+  /// How many times try_reuse_route avoided a full re-plan.
+  [[nodiscard]] std::uint64_t route_reuses() const { return route_reuses_; }
 
   // --- safety interface ---
   /// Latches an emergency stop. `hard` brakes at brake_decel, otherwise
@@ -92,6 +114,8 @@ class Machine {
   DriveMode mode_ = DriveMode::kNormal;
   bool hard_braking_ = false;
   std::deque<core::Vec2> waypoints_;
+  std::optional<core::Vec2> route_goal_;
+  std::uint64_t route_reuses_ = 0;
   double load_m3_ = 0.0;
   double odometer_ = 0.0;
 

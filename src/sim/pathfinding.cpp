@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numbers>
 #include <queue>
 
 namespace agrarsec::sim {
+
+namespace {
+constexpr double kSqrt2 = std::numbers::sqrt2;
+
+constexpr int sign_of(int v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+/// Octile cost of a straight (cardinal or diagonal) cell run.
+double run_cost(int adx, int ady, double cell_size) {
+  return adx > 0 && ady > 0 ? kSqrt2 * adx * cell_size
+                            : static_cast<double>(adx + ady) * cell_size;
+}
+}  // namespace
 
 PathPlanner::PathPlanner(const Terrain& terrain, PlannerConfig config)
     : terrain_(terrain), config_(config) {
@@ -17,22 +30,27 @@ PathPlanner::PathPlanner(const Terrain& terrain, PlannerConfig config)
 
   for (int cy = 0; cy < height_; ++cy) {
     for (int cx = 0; cx < width_; ++cx) {
-      const core::Vec2 center = cell_center(cx, cy);
-      bool bad = terrain_.blocked(center, config_.clearance_m);
-      if (!bad && config_.max_slope > 0.0) {
-        // Gradient estimate across one cell.
-        const double h = config_.cell_size_m * 0.5;
-        const double gx = (terrain_.ground_height({center.x + h, center.y}) -
-                           terrain_.ground_height({center.x - h, center.y})) /
-                          (2.0 * h);
-        const double gy = (terrain_.ground_height({center.x, center.y + h}) -
-                           terrain_.ground_height({center.x, center.y - h})) /
-                          (2.0 * h);
-        bad = std::hypot(gx, gy) > config_.max_slope;
-      }
-      blocked_[static_cast<std::size_t>(cy) * width_ + cx] = bad ? 1 : 0;
+      blocked_[static_cast<std::size_t>(cy) * width_ + cx] =
+          terrain_blocked(cx, cy) ? 1 : 0;
     }
   }
+}
+
+bool PathPlanner::terrain_blocked(int cx, int cy) const {
+  const core::Vec2 center = cell_center(cx, cy);
+  if (terrain_.blocked(center, config_.clearance_m)) return true;
+  if (config_.max_slope > 0.0) {
+    // Gradient estimate across one cell.
+    const double h = config_.cell_size_m * 0.5;
+    const double gx = (terrain_.ground_height({center.x + h, center.y}) -
+                       terrain_.ground_height({center.x - h, center.y})) /
+                      (2.0 * h);
+    const double gy = (terrain_.ground_height({center.x, center.y + h}) -
+                       terrain_.ground_height({center.x, center.y - h})) /
+                      (2.0 * h);
+    if (std::hypot(gx, gy) > config_.max_slope) return true;
+  }
+  return false;
 }
 
 core::Vec2 PathPlanner::cell_center(int cx, int cy) const {
@@ -54,6 +72,25 @@ std::pair<int, int> PathPlanner::cell_of(core::Vec2 p) const {
 bool PathPlanner::cell_free(int cx, int cy) const {
   if (cx < 0 || cy < 0 || cx >= width_ || cy >= height_) return false;
   return blocked_[static_cast<std::size_t>(cy) * width_ + cx] == 0;
+}
+
+void PathPlanner::set_region_blocked(core::Vec2 center, double radius, bool blocked) {
+  const auto [cx0, cy0] = cell_of({center.x - radius, center.y - radius});
+  const auto [cx1, cy1] = cell_of({center.x + radius, center.y + radius});
+  bool changed = false;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      if (core::distance(cell_center(cx, cy), center) > radius) continue;
+      const std::uint8_t want =
+          blocked ? 1 : (terrain_blocked(cx, cy) ? 1 : 0);
+      std::uint8_t& slot = blocked_[static_cast<std::size_t>(cy) * width_ + cx];
+      if (slot != want) {
+        slot = want;
+        changed = true;
+      }
+    }
+  }
+  if (changed) ++generation_;
 }
 
 std::optional<std::pair<int, int>> PathPlanner::nearest_free(int cx, int cy) const {
@@ -104,89 +141,259 @@ std::vector<core::Vec2> PathPlanner::smooth(const std::vector<core::Vec2>& raw) 
   return out;
 }
 
-std::optional<std::vector<core::Vec2>> PathPlanner::plan(core::Vec2 start,
-                                                         core::Vec2 goal) const {
-  const auto start_cell = nearest_free(cell_of(start).first, cell_of(start).second);
-  const auto goal_cell = nearest_free(cell_of(goal).first, cell_of(goal).second);
-  if (!start_cell || !goal_cell) return std::nullopt;
+std::optional<std::pair<int, int>> PathPlanner::jump(int x, int y, int dx, int dy,
+                                                     int goal_x, int goal_y) const {
+  if (dx != 0 && dy != 0) {
+    // Diagonal ray: a jump point is where a cardinal sub-ray finds one.
+    while (true) {
+      if (!cell_free(x, y)) return std::nullopt;
+      if (x == goal_x && y == goal_y) return std::make_pair(x, y);
+      if (jump(x + dx, y, dx, 0, goal_x, goal_y) ||
+          jump(x, y + dy, 0, dy, goal_x, goal_y)) {
+        return std::make_pair(x, y);
+      }
+      // Corner cutting forbidden: both orthogonals must be open to
+      // continue diagonally.
+      if (!cell_free(x + dx, y) || !cell_free(x, y + dy)) return std::nullopt;
+      x += dx;
+      y += dy;
+    }
+  }
+  if (dx != 0) {
+    // Horizontal ray.
+    while (true) {
+      if (!cell_free(x, y)) return std::nullopt;
+      if (x == goal_x && y == goal_y) return std::make_pair(x, y);
+      if (!cell_free(x + dx, y)) return std::nullopt;  // dead end
+      // Forced neighbour (no-corner-cutting variant): an opening beside
+      // the ray that was walled off behind us forces a turning decision.
+      if ((cell_free(x, y + 1) && !cell_free(x - dx, y + 1)) ||
+          (cell_free(x, y - 1) && !cell_free(x - dx, y - 1))) {
+        return std::make_pair(x, y);
+      }
+      x += dx;
+    }
+  }
+  // Vertical ray.
+  while (true) {
+    if (!cell_free(x, y)) return std::nullopt;
+    if (x == goal_x && y == goal_y) return std::make_pair(x, y);
+    if (!cell_free(x, y + dy)) return std::nullopt;
+    if ((cell_free(x + 1, y) && !cell_free(x + 1, y - dy)) ||
+        (cell_free(x - 1, y) && !cell_free(x - 1, y - dy))) {
+      return std::make_pair(x, y);
+    }
+    y += dy;
+  }
+}
 
+std::optional<std::vector<core::Vec2>> PathPlanner::search(int start_cx, int start_cy,
+                                                           int goal_cx,
+                                                           int goal_cy) const {
   const int total = width_ * height_;
   auto index = [this](int cx, int cy) { return cy * width_ + cx; };
+  const int start_idx = index(start_cx, start_cy);
+  const int goal_idx = index(goal_cx, goal_cy);
+  const core::Vec2 goal_center = cell_center(goal_cx, goal_cy);
 
-  std::vector<double> g(static_cast<std::size_t>(total),
-                        std::numeric_limits<double>::infinity());
-  std::vector<int> parent(static_cast<std::size_t>(total), -1);
-  std::vector<std::uint8_t> closed(static_cast<std::size_t>(total), 0);
+  std::vector<core::Vec2> raw;
+  if (start_idx == goal_idx) {
+    raw.push_back(goal_center);
+  } else {
+    std::vector<double> g(static_cast<std::size_t>(total),
+                          std::numeric_limits<double>::infinity());
+    std::vector<int> parent(static_cast<std::size_t>(total), -1);
+    std::vector<std::uint8_t> closed(static_cast<std::size_t>(total), 0);
 
-  struct Node {
-    double f;
-    int idx;
-    bool operator>(const Node& other) const { return f > other.f; }
-  };
-  std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+    struct Node {
+      double f;
+      int idx;
+      bool operator>(const Node& other) const { return f > other.f; }
+    };
+    std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
 
-  const int start_idx = index(start_cell->first, start_cell->second);
-  const int goal_idx = index(goal_cell->first, goal_cell->second);
-  const core::Vec2 goal_center = cell_center(goal_cell->first, goal_cell->second);
+    auto heuristic = [&](int cx, int cy) {
+      const int adx = std::abs(cx - goal_cx);
+      const int ady = std::abs(cy - goal_cy);
+      // Octile distance: admissible and consistent for the 8-connected
+      // uniform grid (matches the step costs exactly).
+      return config_.cell_size_m *
+             (std::max(adx, ady) + (kSqrt2 - 1.0) * std::min(adx, ady));
+    };
 
-  auto heuristic = [&](int idx) {
-    const int cx = idx % width_;
-    const int cy = idx / width_;
-    return core::distance(cell_center(cx, cy), goal_center);
-  };
+    g[static_cast<std::size_t>(start_idx)] = 0.0;
+    open.push({heuristic(start_cx, start_cy), start_idx});
 
-  g[static_cast<std::size_t>(start_idx)] = 0.0;
-  open.push({heuristic(start_idx), start_idx});
-
-  static constexpr int kDx[8] = {1, -1, 0, 0, 1, 1, -1, -1};
-  static constexpr int kDy[8] = {0, 0, 1, -1, 1, -1, 1, -1};
-
-  std::size_t expansions = 0;
-  while (!open.empty()) {
-    const Node node = open.top();
-    open.pop();
-    if (closed[static_cast<std::size_t>(node.idx)]) continue;
-    closed[static_cast<std::size_t>(node.idx)] = 1;
-    if (node.idx == goal_idx) break;
-    if (++expansions > config_.max_expansions) return std::nullopt;
-
-    const int cx = node.idx % width_;
-    const int cy = node.idx / width_;
-    for (int dir = 0; dir < 8; ++dir) {
-      const int nx = cx + kDx[dir];
-      const int ny = cy + kDy[dir];
-      if (!cell_free(nx, ny)) continue;
-      // Forbid diagonal corner cutting through blocked orthogonals.
-      if (kDx[dir] != 0 && kDy[dir] != 0 &&
-          (!cell_free(cx + kDx[dir], cy) || !cell_free(cx, cy + kDy[dir]))) {
-        continue;
+    std::size_t expansions = 0;
+    bool found = false;
+    // Direction candidates of the node being expanded (at most 8).
+    int dirs[8][2];
+    while (!open.empty()) {
+      const Node node = open.top();
+      open.pop();
+      if (closed[static_cast<std::size_t>(node.idx)]) continue;
+      closed[static_cast<std::size_t>(node.idx)] = 1;
+      if (node.idx == goal_idx) {
+        found = true;
+        break;
       }
-      const int nidx = index(nx, ny);
-      if (closed[static_cast<std::size_t>(nidx)]) continue;
-      const double step =
-          (kDx[dir] != 0 && kDy[dir] != 0 ? 1.41421356237 : 1.0) * config_.cell_size_m;
-      const double candidate = g[static_cast<std::size_t>(node.idx)] + step;
-      if (candidate < g[static_cast<std::size_t>(nidx)]) {
-        g[static_cast<std::size_t>(nidx)] = candidate;
-        parent[static_cast<std::size_t>(nidx)] = node.idx;
-        open.push({candidate + heuristic(nidx), nidx});
+      if (++expansions > config_.max_expansions) return std::nullopt;
+      ++stats_.jps_expansions;
+
+      const int cx = node.idx % width_;
+      const int cy = node.idx / width_;
+      int pdx = 0;
+      int pdy = 0;
+      if (const int pidx = parent[static_cast<std::size_t>(node.idx)]; pidx != -1) {
+        pdx = sign_of(cx - pidx % width_);
+        pdy = sign_of(cy - pidx / width_);
       }
+
+      // Pruned successor directions, per the arrival direction. Corner
+      // cutting is forbidden, so diagonal candidates require both
+      // orthogonally adjacent cells open.
+      int ndirs = 0;
+      auto add = [&](int dx, int dy) {
+        dirs[ndirs][0] = dx;
+        dirs[ndirs][1] = dy;
+        ++ndirs;
+      };
+      if (pdx == 0 && pdy == 0) {
+        // Start node: every legal direction.
+        add(1, 0);
+        add(-1, 0);
+        add(0, 1);
+        add(0, -1);
+        for (const int ddx : {1, -1}) {
+          for (const int ddy : {1, -1}) {
+            if (cell_free(cx + ddx, cy) && cell_free(cx, cy + ddy)) add(ddx, ddy);
+          }
+        }
+      } else if (pdx != 0 && pdy != 0) {
+        const bool horiz = cell_free(cx + pdx, cy);
+        const bool vert = cell_free(cx, cy + pdy);
+        if (vert) add(0, pdy);
+        if (horiz) add(pdx, 0);
+        if (horiz && vert) add(pdx, pdy);
+      } else if (pdx != 0) {
+        const bool next = cell_free(cx + pdx, cy);
+        const bool up = cell_free(cx, cy + 1);
+        const bool down = cell_free(cx, cy - 1);
+        if (next) {
+          add(pdx, 0);
+          if (up) add(pdx, 1);
+          if (down) add(pdx, -1);
+        }
+        if (up) add(0, 1);
+        if (down) add(0, -1);
+      } else {
+        const bool next = cell_free(cx, cy + pdy);
+        const bool right = cell_free(cx + 1, cy);
+        const bool left = cell_free(cx - 1, cy);
+        if (next) {
+          add(0, pdy);
+          if (right) add(1, pdy);
+          if (left) add(-1, pdy);
+        }
+        if (right) add(1, 0);
+        if (left) add(-1, 0);
+      }
+
+      for (int d = 0; d < ndirs; ++d) {
+        const int dx = dirs[d][0];
+        const int dy = dirs[d][1];
+        const auto jp = jump(cx + dx, cy + dy, dx, dy, goal_cx, goal_cy);
+        if (!jp) continue;
+        const int nidx = index(jp->first, jp->second);
+        if (closed[static_cast<std::size_t>(nidx)]) continue;
+        const double step = run_cost(std::abs(jp->first - cx),
+                                     std::abs(jp->second - cy), config_.cell_size_m);
+        const double candidate = g[static_cast<std::size_t>(node.idx)] + step;
+        if (candidate < g[static_cast<std::size_t>(nidx)]) {
+          g[static_cast<std::size_t>(nidx)] = candidate;
+          parent[static_cast<std::size_t>(nidx)] = node.idx;
+          open.push({candidate + heuristic(jp->first, jp->second), nidx});
+        }
+      }
+    }
+
+    if (!found) return std::nullopt;
+
+    // Reconstruct goal->start through the jump points, expanding each
+    // straight run back into per-cell waypoints so smoothing sees the
+    // same dense polyline vanilla A* produced (fallback legs stay one
+    // cell long and never skate past unprobed obstacles).
+    std::vector<int> cells;
+    cells.push_back(goal_idx);
+    for (int idx = goal_idx; parent[static_cast<std::size_t>(idx)] != -1;) {
+      const int pidx = parent[static_cast<std::size_t>(idx)];
+      int x = idx % width_;
+      int y = idx / width_;
+      const int px = pidx % width_;
+      const int py = pidx / width_;
+      const int dx = sign_of(px - x);
+      const int dy = sign_of(py - y);
+      while (x != px || y != py) {
+        x += dx;
+        y += dy;
+        cells.push_back(index(x, y));
+      }
+      idx = pidx;
+    }
+    raw.reserve(cells.size());
+    for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+      raw.push_back(cell_center(*it % width_, *it / width_));
     }
   }
 
-  if (!closed[static_cast<std::size_t>(goal_idx)]) return std::nullopt;
-
-  std::vector<core::Vec2> raw;
-  for (int idx = goal_idx; idx != -1; idx = parent[static_cast<std::size_t>(idx)]) {
-    raw.push_back(cell_center(idx % width_, idx / width_));
-  }
-  std::reverse(raw.begin(), raw.end());
-  raw.front() = start;  // anchor smoothing at the true pose
   std::vector<core::Vec2> smoothed = smooth(raw);
-  // Drop the synthetic start point.
+  // Drop the start-cell center: the machine is already in that cell.
   if (!smoothed.empty()) smoothed.erase(smoothed.begin());
   if (smoothed.empty()) smoothed.push_back(goal_center);
   return smoothed;
+}
+
+std::optional<std::vector<core::Vec2>> PathPlanner::plan(core::Vec2 start,
+                                                         core::Vec2 goal) const {
+  ++stats_.plans;
+  const auto [scx, scy] = cell_of(start);
+  const auto [gcx, gcy] = cell_of(goal);
+  const auto start_cell = nearest_free(scx, scy);
+  const auto goal_cell = nearest_free(gcx, gcy);
+  if (!start_cell || !goal_cell) return std::nullopt;
+
+  const std::uint64_t start_idx = static_cast<std::uint64_t>(
+      start_cell->second * width_ + start_cell->first);
+  const std::uint64_t goal_idx =
+      static_cast<std::uint64_t>(goal_cell->second * width_ + goal_cell->first);
+  const std::uint64_t key = (start_idx << 32) | goal_idx;
+
+  if (config_.cache_enabled) {
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      if (it->second.generation == generation_) {
+        ++stats_.cache_hits;
+        if (!it->second.reachable) return std::nullopt;
+        return it->second.route;
+      }
+      // Stale generation: the blocked grid changed since this was planned.
+      ++stats_.invalidations;
+      cache_.erase(it);
+    }
+  }
+  ++stats_.cache_misses;
+
+  auto route = search(start_cell->first, start_cell->second, goal_cell->first,
+                      goal_cell->second);
+
+  if (config_.cache_enabled) {
+    if (cache_.size() >= config_.cache_capacity) cache_.clear();
+    CacheEntry entry;
+    entry.generation = generation_;
+    entry.reachable = route.has_value();
+    if (route) entry.route = *route;
+    cache_.insert_or_assign(key, std::move(entry));
+  }
+  return route;
 }
 
 }  // namespace agrarsec::sim

@@ -1,11 +1,30 @@
-// Grid A* path planning over the terrain's obstacle field, with machine
+// Grid path planning over the terrain's obstacle field, with machine
 // clearance and route decimation. Forwarders plan collision-free routes
 // between piles and the landing; the mission-command attack surface
 // ("forged-mission" in the threat catalogue) goes exactly through these
 // planned routes.
+//
+// Hot-path design (PR 2): the planner is the worksite profile leader, so
+// three layers keep repeated queries cheap while staying deterministic:
+//
+//  1. Route cache keyed on (start-cell, goal-cell). Plans are functions of
+//     the snapped cells only (smoothing is anchored at cell centers, never
+//     at the caller's exact pose), so a cached route is bit-identical to a
+//     recomputed one — the cache can be disabled via PlannerConfig for
+//     parity testing without changing any result.
+//  2. Generation-based invalidation: mutating the blocked grid through
+//     set_region_blocked() bumps a generation counter; cached entries
+//     carry the generation they were planned under and are lazily evicted
+//     on the first stale lookup.
+//  3. Jump-point search (JPS) replaces vanilla A* expansion. On the
+//     uniform-cost grid with corner cutting forbidden, JPS expands only
+//     jump points (turning decisions), typically 10-50x fewer open-list
+//     pops than A* for the same optimal octile-metric path.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/geometry.h"
@@ -17,7 +36,21 @@ struct PlannerConfig {
   double cell_size_m = 4.0;     ///< planning resolution
   double clearance_m = 2.0;     ///< machine body radius + margin
   double max_slope = 0.35;      ///< impassable ground gradient (rise/run)
-  std::size_t max_expansions = 200000;  ///< search budget
+  std::size_t max_expansions = 200000;  ///< search budget (open-list pops)
+  bool cache_enabled = true;    ///< route cache; off recomputes every plan
+  /// Cache entry bound. When full the cache is cleared wholesale — a
+  /// deterministic eviction policy, unlike LRU whose contents would depend
+  /// on query history in ways that are hard to reason about in replays.
+  std::size_t cache_capacity = 4096;
+};
+
+/// Planner observability counters, surfaced through Worksite::Metrics.
+struct PlannerStats {
+  std::uint64_t plans = 0;           ///< plan() calls
+  std::uint64_t cache_hits = 0;      ///< served from cache, current generation
+  std::uint64_t cache_misses = 0;    ///< searched (includes cache-disabled plans)
+  std::uint64_t invalidations = 0;   ///< stale-generation entries evicted
+  std::uint64_t jps_expansions = 0;  ///< jump points popped from the open list
 };
 
 class PathPlanner {
@@ -26,9 +59,10 @@ class PathPlanner {
 
   /// Plans from `start` to `goal`. Start/goal are clamped into bounds and
   /// snapped off blocked cells to the nearest free cell when necessary.
-  /// Returns a decimated waypoint list (first element past `start`,
+  /// Returns a decimated waypoint list (first element past the start cell,
   /// last == goal region center), or nullopt when unreachable within the
-  /// search budget.
+  /// search budget. The route depends only on the snapped start/goal cells
+  /// and the blocked-grid generation, which is what makes it cacheable.
   [[nodiscard]] std::optional<std::vector<core::Vec2>> plan(core::Vec2 start,
                                                             core::Vec2 goal) const;
 
@@ -39,19 +73,60 @@ class PathPlanner {
   /// Whether a planning cell is traversable.
   [[nodiscard]] bool cell_free(int cx, int cy) const;
 
+  /// Marks (blocked=true) or frees every planning cell whose center lies
+  /// within `radius` of `center` — the mutation hook for dynamic hazards
+  /// (windthrow, machine breakdowns, declared no-go zones). Bumps the grid
+  /// generation when any cell actually changes, lazily invalidating every
+  /// cached route. Freeing cells only frees what the disc covers; cells
+  /// blocked by the underlying terrain are re-derived, not overridden.
+  void set_region_blocked(core::Vec2 center, double radius, bool blocked);
+
+  /// Blocked-grid generation; bumped by set_region_blocked.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  [[nodiscard]] const PlannerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
   [[nodiscard]] const PlannerConfig& config() const { return config_; }
 
  private:
+  struct CacheEntry {
+    std::uint64_t generation = 0;
+    bool reachable = false;
+    std::vector<core::Vec2> route;
+  };
+
   [[nodiscard]] core::Vec2 cell_center(int cx, int cy) const;
   [[nodiscard]] std::pair<int, int> cell_of(core::Vec2 p) const;
   [[nodiscard]] std::optional<std::pair<int, int>> nearest_free(int cx, int cy) const;
   [[nodiscard]] std::vector<core::Vec2> smooth(const std::vector<core::Vec2>& raw) const;
+  /// Octile-metric shortest cell path via jump-point search, expanded back
+  /// to the full per-cell polyline, then smoothed. Pure function of the
+  /// cells and the blocked grid.
+  [[nodiscard]] std::optional<std::vector<core::Vec2>> search(int start_cx, int start_cy,
+                                                              int goal_cx,
+                                                              int goal_cy) const;
+  /// Jump from (x,y) (already stepped once from its predecessor) along
+  /// direction (dx,dy). Returns the next jump point or nullopt when the
+  /// ray dead-ends. Corner cutting is forbidden: diagonal travel requires
+  /// both orthogonally adjacent cells free.
+  [[nodiscard]] std::optional<std::pair<int, int>> jump(int x, int y, int dx, int dy,
+                                                        int goal_x, int goal_y) const;
+  /// Recompute a cell's blocked flag from terrain + slope (construction
+  /// rule), used when set_region_blocked frees a region.
+  [[nodiscard]] bool terrain_blocked(int cx, int cy) const;
 
   const Terrain& terrain_;
   PlannerConfig config_;
   int width_ = 0;
   int height_ = 0;
   std::vector<std::uint8_t> blocked_;  ///< precomputed occupancy
+  std::uint64_t generation_ = 0;
+
+  // Route cache: (start_idx << 32 | goal_idx) -> generation-stamped route.
+  // Mutable: plan() is logically const, the cache and counters are
+  // bookkeeping (same convention as Terrain's query scratch).
+  mutable std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  mutable PlannerStats stats_;
 };
 
 }  // namespace agrarsec::sim

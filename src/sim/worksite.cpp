@@ -64,6 +64,18 @@ std::deque<core::Vec2> Worksite::plan_route(core::Vec2 from, core::Vec2 to) cons
   return {to};
 }
 
+void Worksite::route_machine(Machine& machine, core::Vec2 goal) {
+  if (machine.try_reuse_route(goal, *planner_)) {
+    ++route_reuses_;
+    return;
+  }
+  machine.set_route(plan_route(machine.position(), goal), goal);
+}
+
+void Worksite::route_machine(MachineId id, core::Vec2 goal) {
+  if (Machine* m = machine(id)) route_machine(*m, goal);
+}
+
 MachineId Worksite::add_forwarder(const std::string& name, core::Vec2 position,
                                   MachineConfig config) {
   const MachineId id = machine_ids_.next();
@@ -242,8 +254,7 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
       if (pile) {
         state.pile_id = pile;
         state.task = ForwarderTask::kToPile;
-        forwarder.set_route(
-            plan_route(forwarder.position(), pile_by_id(*pile)->position));
+        route_machine(forwarder, pile_by_id(*pile)->position);
         bus_.publish({"forwarder/task", std::string("task=") +
                           std::string(task_name(state.task)),
                       forwarder.id().value(), clock_.now()});
@@ -266,9 +277,9 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
         // blocked cells; once close, crawl the final approach straight
         // (the machine threads between stems at walking pace in reality).
         if (pile_dist < 25.0) {
-          forwarder.set_route({pile_pos});
+          forwarder.set_route({pile_pos}, pile_pos);
         } else {
-          forwarder.set_route(plan_route(forwarder.position(), pile_pos));
+          route_machine(forwarder, pile_pos);
         }
       }
       break;
@@ -292,7 +303,7 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
         }
         if (forwarder.full() || !nearest_pile(forwarder.position())) {
           state.task = ForwarderTask::kToLanding;
-          forwarder.set_route(plan_route(forwarder.position(), config_.landing_area));
+          route_machine(forwarder, config_.landing_area);
         } else {
           state.task = ForwarderTask::kIdle;
         }
@@ -307,9 +318,9 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
         state.action_remaining = config_.unload_time;
       } else if (forwarder.idle()) {
         if (landing_dist < config_.landing_radius + 20.0) {
-          forwarder.set_route({config_.landing_area});
+          forwarder.set_route({config_.landing_area}, config_.landing_area);
         } else {
-          forwarder.set_route(plan_route(forwarder.position(), config_.landing_area));
+          route_machine(forwarder, config_.landing_area);
         }
       }
       break;
@@ -371,6 +382,17 @@ std::uint64_t Worksite::close_encounters(double threshold_m) const {
   }
   if (threshold_m > config_.separation_tracking_m) n += separation_hist_.overflow();
   return n;
+}
+
+Worksite::Metrics Worksite::metrics() const {
+  Metrics m;
+  m.delivered_m3 = delivered_m3_;
+  m.completed_cycles = completed_cycles_;
+  m.min_human_separation = min_separation_;
+  m.separation_samples = separation_stats_.count();
+  m.route_reuses = route_reuses_;
+  m.planner = planner_->stats();
+  return m;
 }
 
 void Worksite::step() {

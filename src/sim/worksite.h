@@ -106,17 +106,38 @@ class Worksite {
   /// moving anchor (the forwarder) is followed.
   void set_drone_orbit(MachineId drone, MachineId anchor, double radius);
 
-  /// Obstacle-aware route between two points (A* over the terrain grid);
-  /// falls back to the straight line when planning fails.
+  /// Obstacle-aware route between two points (cached JPS over the terrain
+  /// grid); falls back to the straight line when planning fails.
   [[nodiscard]] std::deque<core::Vec2> plan_route(core::Vec2 from, core::Vec2 to) const;
 
+  /// Routes `id` to `goal`, lazily: when the machine's current route was
+  /// planned for a goal within its replan threshold and the remaining legs
+  /// are still clear, the route is retargeted instead of re-planned.
+  /// No-op for unknown ids.
+  void route_machine(MachineId id, core::Vec2 goal);
+
   [[nodiscard]] const PathPlanner& planner() const { return *planner_; }
+  /// Mutable planner access, e.g. to declare dynamic no-go regions
+  /// (PathPlanner::set_region_blocked) which invalidate cached routes.
+  [[nodiscard]] PathPlanner& planner() { return *planner_; }
 
   /// Advances one fixed step: harvester produces, piles spawn, forwarders
   /// run their task state machines, humans walk, drones orbit.
   void step();
 
   // --- outcome metrics ---
+  /// One-stop snapshot of the worksite's outcome and hot-path counters,
+  /// including the planner's route-cache/JPS statistics.
+  struct Metrics {
+    double delivered_m3 = 0.0;
+    std::uint64_t completed_cycles = 0;
+    double min_human_separation = 1e9;
+    std::uint64_t separation_samples = 0;
+    std::uint64_t route_reuses = 0;  ///< lazy re-plans avoided, fleet-wide
+    PlannerStats planner;            ///< cache hits/misses/invalidations, JPS
+  };
+  [[nodiscard]] Metrics metrics() const;
+
   [[nodiscard]] double delivered_m3() const { return delivered_m3_; }
   [[nodiscard]] std::uint64_t completed_cycles() const { return completed_cycles_; }
   /// Minimum human–forwarder distance seen while the forwarder moved
@@ -149,6 +170,8 @@ class Worksite {
   };
 
   void step_harvester(Machine& harvester);
+  /// route_machine body shared with the public id-based overload.
+  void route_machine(Machine& machine, core::Vec2 goal);
   void step_forwarder(Machine& forwarder, ForwarderState& state);
   void step_drone(Machine& drone);
   /// Nearest pile with harvestable volume, by stable pile id. Exact
@@ -190,6 +213,7 @@ class Worksite {
   IdAllocator<HumanId> human_ids_;
 
   double harvester_accumulator_m3_ = 0.0;
+  std::uint64_t route_reuses_ = 0;
   double delivered_m3_ = 0.0;
   std::uint64_t completed_cycles_ = 0;
   double min_separation_ = 1e9;

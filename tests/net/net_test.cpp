@@ -62,6 +62,49 @@ TEST(Radio, BroadcastReachesAllOthers) {
   EXPECT_TRUE(net.received_a.empty());  // no self-delivery
 }
 
+TEST(Radio, BroadcastCountsPrunedNodesAsOutOfRange) {
+  // The grid-pruned broadcast fan-out must keep outcome accounting exact:
+  // nodes skipped because they cannot be in range are still counted as
+  // kOutOfRange, identically to judging each one.
+  RadioMedium medium{core::Rng{5}, TwoNodes::perfect_config()};
+  std::size_t delivered_cb = 0;
+  const auto attach_at = [&](std::uint64_t id, core::Vec2 pos) {
+    medium.attach(NodeId{id}, [pos] { return pos; },
+                  [&](const Frame&, core::SimTime) { ++delivered_cb; });
+  };
+  attach_at(1, {0, 0});  // sender
+  attach_at(2, {100, 0});          // in range
+  attach_at(3, {400, 0});          // in range (max_range_m = 600)
+  attach_at(4, {5000, 0});         // far: pruned by the grid
+  attach_at(5, {0, 9000});         // far: pruned by the grid
+  attach_at(6, {700, 0});          // neighbouring cell but beyond range
+
+  Frame f;
+  f.src = NodeId{1};
+  f.dst = NodeId::invalid();
+  medium.send(f, 0);
+  for (core::SimTime t = 0; t <= 100; t += 10) medium.step(t);
+
+  EXPECT_EQ(delivered_cb, 2u);
+  EXPECT_EQ(medium.count(DeliveryOutcome::kDelivered), 2u);
+  // All three unreachable nodes counted, whether individually judged
+  // (node 6, in the 3x3 neighbourhood) or pruned in bulk (nodes 4, 5).
+  EXPECT_EQ(medium.count(DeliveryOutcome::kOutOfRange), 3u);
+}
+
+TEST(Radio, BroadcastAfterDetachSkipsNode) {
+  TwoNodes net;
+  net.medium.detach(net.b);
+  Frame f;
+  f.src = net.a;
+  f.dst = NodeId::invalid();
+  net.medium.send(f, 0);
+  net.pump(100);
+  EXPECT_TRUE(net.received_b.empty());
+  EXPECT_EQ(net.medium.count(DeliveryOutcome::kOutOfRange), 0u);
+  EXPECT_EQ(net.medium.count(DeliveryOutcome::kDelivered), 0u);
+}
+
 TEST(Radio, OutOfRangeDropped) {
   TwoNodes net;
   net.pos_b = {10000, 0};
