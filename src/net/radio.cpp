@@ -90,7 +90,7 @@ void RadioMedium::build_broadcast_snapshot() {
     const core::Vec2 pos = ep.position();
     bcast_grid_[grid_key(pos, cell)].push_back(
         static_cast<std::uint32_t>(bcast_nodes_.size()));
-    bcast_nodes_.push_back(BcastNode{id, pos, &ep});
+    bcast_nodes_.push_back(BcastNode{id, pos});
   }
 }
 
@@ -189,20 +189,28 @@ void RadioMedium::step(core::SimTime now) {
     if (src_it == endpoints_.end()) continue;  // sender vanished mid-flight
     const core::Vec2 src_pos = src_it->second.position();
 
-    auto deliver_to = [&](NodeId dst, const Endpoint& ep, core::Vec2 dst_pos) {
+    auto deliver_to = [&](NodeId dst, core::Vec2 dst_pos) {
+      // Re-found at delivery time: an earlier receive callback this step
+      // may have detached the destination (or attached a node, rehashing
+      // endpoints_), so the broadcast snapshot carries ids, not pointers.
+      const auto dst_it = endpoints_.find(dst);
+      if (dst_it == endpoints_.end()) return;  // receiver vanished mid-step
       const DeliveryOutcome outcome = judge(frame, src_pos, dst_pos, collided[i]);
       ++outcome_counts_[static_cast<std::size_t>(outcome)];
       if (outcome == DeliveryOutcome::kDelivered) {
         Frame received = frame;
         received.dst = dst;
-        ep.receive(received, now);
+        // Copy the handler: receive() may detach its own node re-entrantly,
+        // which would destroy the stored std::function mid-call.
+        const ReceiveFn receive = dst_it->second.receive;
+        receive(received, now);
       }
     };
 
     if (frame.dst.valid()) {
       const auto dst_it = endpoints_.find(frame.dst);
       if (dst_it == endpoints_.end()) continue;
-      deliver_to(frame.dst, dst_it->second, dst_it->second.position());
+      deliver_to(frame.dst, dst_it->second.position());
     } else {
       const std::vector<std::uint32_t>& candidates = broadcast_candidates(src_pos);
       std::size_t reached = 0;  // candidates judged (sender excluded)
@@ -214,7 +222,7 @@ void RadioMedium::step(core::SimTime now) {
           continue;
         }
         ++reached;
-        deliver_to(node.id, *node.ep, node.pos);
+        deliver_to(node.id, node.pos);
       }
       // Everyone outside the neighbourhood is provably beyond max_range_m;
       // judge() rejects out-of-range before drawing any randomness, so

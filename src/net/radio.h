@@ -140,12 +140,13 @@ class RadioMedium {
   [[nodiscard]] bool jammed_at(const core::Vec2& pos, std::uint32_t channel);
   [[nodiscard]] bool dropped(const Frame& frame);
 
-  /// Node snapshot for one step's broadcast fan-outs: id, position sampled
-  /// once at step time, and the endpoint to deliver through.
+  /// Node snapshot for one step's broadcast fan-outs: id and position
+  /// sampled once at step time. Deliberately no Endpoint pointer: receive
+  /// callbacks may attach/detach re-entrantly, so the endpoint is re-found
+  /// by id at delivery time (and skipped if it vanished mid-step).
   struct BcastNode {
     NodeId id;
     core::Vec2 pos;
-    const Endpoint* ep;
   };
   /// Rebuilds bcast_nodes_ / bcast_grid_ for the current step.
   void build_broadcast_snapshot();

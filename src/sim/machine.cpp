@@ -26,9 +26,11 @@ void Machine::set_route(std::deque<core::Vec2> waypoints) {
   route_goal_ = std::nullopt;  // untracked route: nothing to lazily reuse
 }
 
-void Machine::set_route(std::deque<core::Vec2> waypoints, core::Vec2 goal) {
+void Machine::set_route(std::deque<core::Vec2> waypoints, core::Vec2 goal,
+                        std::uint64_t planner_generation) {
   waypoints_ = std::move(waypoints);
   route_goal_ = goal;
+  route_generation_ = planner_generation;
 }
 
 void Machine::push_waypoint(core::Vec2 waypoint) {
@@ -38,9 +40,13 @@ void Machine::push_waypoint(core::Vec2 waypoint) {
 
 bool Machine::try_reuse_route(core::Vec2 goal, const PathPlanner& planner) {
   if (!route_goal_ || waypoints_.empty()) return false;
+  // The blocked grid must be untouched since the route was planned:
+  // intermediate legs are not re-verified here, so any set_region_blocked
+  // (a new hazard could cut a middle leg) declines reuse wholesale.
+  if (planner.generation() != route_generation_) return false;
   if (core::distance(*route_goal_, goal) > config_.replan_threshold_m) return false;
-  // The leg currently being driven must still be clear — the blocked grid
-  // may have changed (set_region_blocked) since the route was planned.
+  // The leg currently being driven runs from the machine's live pose, which
+  // is off the planned polyline — it was never verified by the search.
   if (!planner.segment_clear(position_, waypoints_.front())) return false;
   // Retargeting moves the final waypoint; the final leg must stay clear
   // from wherever it is entered.

@@ -64,17 +64,22 @@ class Machine {
   // --- routing ---
   void set_route(std::deque<core::Vec2> waypoints);
   /// Route with goal tracking: remembers the goal the route was planned
-  /// for so later calls can lazily reuse it (try_reuse_route).
-  void set_route(std::deque<core::Vec2> waypoints, core::Vec2 goal);
+  /// for and the planner generation it was planned under, so later calls
+  /// can lazily reuse it (try_reuse_route).
+  void set_route(std::deque<core::Vec2> waypoints, core::Vec2 goal,
+                 std::uint64_t planner_generation);
   void push_waypoint(core::Vec2 waypoint);
   [[nodiscard]] bool idle() const { return waypoints_.empty(); }
   [[nodiscard]] std::optional<core::Vec2> current_waypoint() const;
 
   /// Lazy re-planning: when the machine is mid-route towards a tracked
   /// goal and the new goal moved less than config().replan_threshold_m,
-  /// the existing route is kept and only its final waypoint is retargeted
-  /// — provided the leg being driven and the retargeted final leg are
-  /// still segment_clear on the planner's current blocked grid. Returns
+  /// the existing route is kept and only its final waypoint is retargeted.
+  /// Reuse requires the planner's blocked-grid generation to match the one
+  /// the route was planned under (any set_region_blocked since then
+  /// declines wholesale — intermediate legs are not re-verified leg by
+  /// leg), plus segment_clear on the two legs outside the planned
+  /// polyline: pose->first waypoint and the retargeted final leg. Returns
   /// true when the route was reused (no re-plan needed).
   bool try_reuse_route(core::Vec2 goal, const PathPlanner& planner);
 
@@ -115,6 +120,7 @@ class Machine {
   bool hard_braking_ = false;
   std::deque<core::Vec2> waypoints_;
   std::optional<core::Vec2> route_goal_;
+  std::uint64_t route_generation_ = 0;  ///< planner generation of the route
   std::uint64_t route_reuses_ = 0;
   double load_m3_ = 0.0;
   double odometer_ = 0.0;

@@ -164,13 +164,15 @@ std::optional<std::pair<int, int>> PathPlanner::jump(int x, int y, int dx, int d
     while (true) {
       if (!cell_free(x, y)) return std::nullopt;
       if (x == goal_x && y == goal_y) return std::make_pair(x, y);
-      if (!cell_free(x + dx, y)) return std::nullopt;  // dead end
       // Forced neighbour (no-corner-cutting variant): an opening beside
       // the ray that was walled off behind us forces a turning decision.
+      // Checked before the dead-end test — the last cell of a corridor
+      // with a side exit is blocked ahead yet still a jump point.
       if ((cell_free(x, y + 1) && !cell_free(x - dx, y + 1)) ||
           (cell_free(x, y - 1) && !cell_free(x - dx, y - 1))) {
         return std::make_pair(x, y);
       }
+      if (!cell_free(x + dx, y)) return std::nullopt;  // dead end
       x += dx;
     }
   }
@@ -178,18 +180,19 @@ std::optional<std::pair<int, int>> PathPlanner::jump(int x, int y, int dx, int d
   while (true) {
     if (!cell_free(x, y)) return std::nullopt;
     if (x == goal_x && y == goal_y) return std::make_pair(x, y);
-    if (!cell_free(x, y + dy)) return std::nullopt;
     if ((cell_free(x + 1, y) && !cell_free(x + 1, y - dy)) ||
         (cell_free(x - 1, y) && !cell_free(x - 1, y - dy))) {
       return std::make_pair(x, y);
     }
+    if (!cell_free(x, y + dy)) return std::nullopt;
     y += dy;
   }
 }
 
 std::optional<std::vector<core::Vec2>> PathPlanner::search(int start_cx, int start_cy,
-                                                           int goal_cx,
-                                                           int goal_cy) const {
+                                                           int goal_cx, int goal_cy,
+                                                           bool& budget_exhausted) const {
+  budget_exhausted = false;
   const int total = width_ * height_;
   auto index = [this](int cx, int cy) { return cy * width_ + cx; };
   const int start_idx = index(start_cx, start_cy);
@@ -237,7 +240,10 @@ std::optional<std::vector<core::Vec2>> PathPlanner::search(int start_cx, int sta
         found = true;
         break;
       }
-      if (++expansions > config_.max_expansions) return std::nullopt;
+      if (++expansions > config_.max_expansions) {
+        budget_exhausted = true;
+        return std::nullopt;
+      }
       ++stats_.jps_expansions;
 
       const int cx = node.idx % width_;
@@ -368,30 +374,53 @@ std::optional<std::vector<core::Vec2>> PathPlanner::plan(core::Vec2 start,
       static_cast<std::uint64_t>(goal_cell->second * width_ + goal_cell->first);
   const std::uint64_t key = (start_idx << 32) | goal_idx;
 
+  std::optional<std::vector<core::Vec2>> route;
+  bool served_from_cache = false;
   if (config_.cache_enabled) {
     if (const auto it = cache_.find(key); it != cache_.end()) {
       if (it->second.generation == generation_) {
         ++stats_.cache_hits;
         if (!it->second.reachable) return std::nullopt;
-        return it->second.route;
+        route = it->second.route;
+        served_from_cache = true;
+      } else {
+        // Stale generation: the blocked grid changed since this was planned.
+        ++stats_.invalidations;
+        cache_.erase(it);
       }
-      // Stale generation: the blocked grid changed since this was planned.
-      ++stats_.invalidations;
-      cache_.erase(it);
     }
   }
-  ++stats_.cache_misses;
 
-  auto route = search(start_cell->first, start_cell->second, goal_cell->first,
-                      goal_cell->second);
+  if (!served_from_cache) {
+    ++stats_.cache_misses;
+    bool budget_exhausted = false;
+    route = search(start_cell->first, start_cell->second, goal_cell->first,
+                   goal_cell->second, budget_exhausted);
+    // A budget-exhausted failure is transient (a bigger budget might reach
+    // the goal); caching it would make it sticky for the whole generation.
+    // Only definitive results — found, or open list drained — are cached.
+    if (config_.cache_enabled && !budget_exhausted) {
+      if (cache_.size() >= config_.cache_capacity) cache_.clear();
+      CacheEntry entry;
+      entry.generation = generation_;
+      entry.reachable = route.has_value();
+      if (route) entry.route = *route;
+      cache_.insert_or_assign(key, std::move(entry));
+    }
+  }
+  if (!route) return std::nullopt;
 
-  if (config_.cache_enabled) {
-    if (cache_.size() >= config_.cache_capacity) cache_.clear();
-    CacheEntry entry;
-    entry.generation = generation_;
-    entry.reachable = route.has_value();
-    if (route) entry.route = *route;
-    cache_.insert_or_assign(key, std::move(entry));
+  // First-leg anchoring: cached routes start at the first waypoint past the
+  // start cell (they are pure functions of the snapped cells), but the true
+  // pose may sit up to a cell — or, snapped off a blocked cell, several
+  // cells — away from where smoothing assumed. When the direct pose leg is
+  // not clear, re-anchor through the start-cell center, the point the
+  // search actually verified. Pose-dependent, so applied outside the cache.
+  if (!segment_clear(start, route->front())) {
+    const core::Vec2 anchor = cell_center(start_cell->first, start_cell->second);
+    if (anchor.x != route->front().x || anchor.y != route->front().y) {
+      route->insert(route->begin(), anchor);
+    }
   }
   return route;
 }

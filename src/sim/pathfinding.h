@@ -62,7 +62,10 @@ class PathPlanner {
   /// Returns a decimated waypoint list (first element past the start cell,
   /// last == goal region center), or nullopt when unreachable within the
   /// search budget. The route depends only on the snapped start/goal cells
-  /// and the blocked-grid generation, which is what makes it cacheable.
+  /// and the blocked-grid generation, which is what makes it cacheable —
+  /// except that when the pose->first-waypoint leg is not segment_clear
+  /// (e.g. the pose was snapped off a blocked cell), the start-cell center
+  /// is prepended so the first driven leg follows the verified polyline.
   [[nodiscard]] std::optional<std::vector<core::Vec2>> plan(core::Vec2 start,
                                                             core::Vec2 goal) const;
 
@@ -101,10 +104,12 @@ class PathPlanner {
   [[nodiscard]] std::vector<core::Vec2> smooth(const std::vector<core::Vec2>& raw) const;
   /// Octile-metric shortest cell path via jump-point search, expanded back
   /// to the full per-cell polyline, then smoothed. Pure function of the
-  /// cells and the blocked grid.
+  /// cells and the blocked grid. `budget_exhausted` is set when a nullopt
+  /// return means the expansion budget ran out rather than true
+  /// unreachability — such failures must not be cached.
   [[nodiscard]] std::optional<std::vector<core::Vec2>> search(int start_cx, int start_cy,
-                                                              int goal_cx,
-                                                              int goal_cy) const;
+                                                              int goal_cx, int goal_cy,
+                                                              bool& budget_exhausted) const;
   /// Jump from (x,y) (already stepped once from its predecessor) along
   /// direction (dx,dy). Returns the next jump point or nullopt when the
   /// ray dead-ends. Corner cutting is forbidden: diagonal travel requires

@@ -69,7 +69,8 @@ void Worksite::route_machine(Machine& machine, core::Vec2 goal) {
     ++route_reuses_;
     return;
   }
-  machine.set_route(plan_route(machine.position(), goal), goal);
+  machine.set_route(plan_route(machine.position(), goal), goal,
+                    planner_->generation());
 }
 
 void Worksite::route_machine(MachineId id, core::Vec2 goal) {
@@ -277,7 +278,7 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
         // blocked cells; once close, crawl the final approach straight
         // (the machine threads between stems at walking pace in reality).
         if (pile_dist < 25.0) {
-          forwarder.set_route({pile_pos}, pile_pos);
+          forwarder.set_route({pile_pos}, pile_pos, planner_->generation());
         } else {
           route_machine(forwarder, pile_pos);
         }
@@ -318,7 +319,8 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
         state.action_remaining = config_.unload_time;
       } else if (forwarder.idle()) {
         if (landing_dist < config_.landing_radius + 20.0) {
-          forwarder.set_route({config_.landing_area}, config_.landing_area);
+          forwarder.set_route({config_.landing_area}, config_.landing_area,
+                              planner_->generation());
         } else {
           route_machine(forwarder, config_.landing_area);
         }

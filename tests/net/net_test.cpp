@@ -105,6 +105,58 @@ TEST(Radio, BroadcastAfterDetachSkipsNode) {
   EXPECT_EQ(net.medium.count(DeliveryOutcome::kDelivered), 0u);
 }
 
+TEST(Radio, DetachDuringBroadcastDeliverySkipsDetachedNode) {
+  // Regression: the broadcast snapshot stored raw Endpoint pointers; a
+  // receive callback detaching another node mid-fan-out left later
+  // deliveries dereferencing a freed Endpoint (use-after-free under ASan).
+  // The snapshot now carries ids and re-finds the endpoint at delivery.
+  RadioMedium medium{core::Rng{9}, TwoNodes::perfect_config()};
+  int received_b = 0;
+  int received_c = 0;
+  medium.attach(NodeId{1}, [] { return core::Vec2{0, 0}; },
+                [](const Frame&, core::SimTime) {});
+  // Node 2's handler rips node 3 out of the medium; the fan-out visits
+  // ascending ids, so node 3's delivery happens after the detach.
+  medium.attach(NodeId{2}, [] { return core::Vec2{50, 0}; },
+                [&](const Frame&, core::SimTime) {
+                  ++received_b;
+                  medium.detach(NodeId{3});
+                });
+  medium.attach(NodeId{3}, [] { return core::Vec2{100, 0}; },
+                [&](const Frame&, core::SimTime) { ++received_c; });
+
+  Frame f;
+  f.src = NodeId{1};
+  f.dst = NodeId::invalid();
+  medium.send(f, 0);
+  for (core::SimTime t = 0; t <= 100; t += 10) medium.step(t);
+
+  EXPECT_EQ(received_b, 1);
+  EXPECT_EQ(received_c, 0);  // vanished mid-step: skipped, not delivered
+  EXPECT_EQ(medium.count(DeliveryOutcome::kDelivered), 1u);
+}
+
+TEST(Radio, SelfDetachDuringReceiveIsSafe) {
+  // A node may react to a frame by leaving the network (e.g. a de-auth
+  // response); destroying its Endpoint must not free the std::function
+  // currently executing.
+  RadioMedium medium{core::Rng{9}, TwoNodes::perfect_config()};
+  int received = 0;
+  medium.attach(NodeId{1}, [] { return core::Vec2{0, 0}; },
+                [](const Frame&, core::SimTime) {});
+  medium.attach(NodeId{2}, [] { return core::Vec2{50, 0}; },
+                [&](const Frame&, core::SimTime) {
+                  ++received;
+                  medium.detach(NodeId{2});
+                });
+  Frame f;
+  f.src = NodeId{1};
+  f.dst = NodeId{2};
+  medium.send(f, 0);
+  for (core::SimTime t = 0; t <= 100; t += 10) medium.step(t);
+  EXPECT_EQ(received, 1);
+}
+
 TEST(Radio, OutOfRangeDropped) {
   TwoNodes net;
   net.pos_b = {10000, 0};

@@ -93,6 +93,44 @@ TEST(PathPlanner, StartInsideObstacleSnapsOut) {
   EXPECT_LT(core::distance(path->back(), {150, 150}), 6.0);
 }
 
+TEST(PathPlanner, CorridorWithSideExitIsReachable) {
+  // Regression: the JPS cardinal ray returned 'dead end' before testing
+  // for a forced neighbour, so the last cell of a corridor — blocked
+  // straight ahead but with an open side exit — was never reported as a
+  // jump point and the goal behind the exit came back unreachable.
+  //
+  // Cell grid (4 m cells): a sealed horizontal corridor on row 10 from
+  // cx=3..20, walls on rows 9 and 11 plus both ends, with the single
+  // opening above the corridor's last cell at (20, 11).
+  const Terrain t = empty_terrain();
+  PathPlanner planner{t};
+  auto block_cell = [&](int cx, int cy) {
+    const double s = planner.config().cell_size_m;
+    planner.set_region_blocked({(cx + 0.5) * s, (cy + 0.5) * s}, 0.5, true);
+  };
+  for (int cx = 2; cx <= 21; ++cx) {
+    block_cell(cx, 9);
+    if (cx != 20) block_cell(cx, 11);
+  }
+  block_cell(2, 10);   // sealed left end
+  block_cell(21, 10);  // sealed right end (the forced-turn dead end)
+
+  const core::Vec2 start{3.5 * 4.0, 10.5 * 4.0};  // inside the corridor
+  const core::Vec2 goal{20.5 * 4.0, 13.5 * 4.0};  // beyond the side exit
+  const auto path = planner.plan(start, goal);
+  ASSERT_TRUE(path.has_value()) << "corridor side exit missed by JPS";
+  EXPECT_LT(core::distance(path->back(), goal), 6.0);
+  core::Vec2 prev = start;
+  for (const core::Vec2 wp : *path) {
+    EXPECT_TRUE(planner.segment_clear(prev, wp))
+        << "(" << prev.x << "," << prev.y << ")->(" << wp.x << "," << wp.y << ")";
+    prev = wp;
+  }
+  // And back out again: entering the corridor needs the mirrored forced
+  // turn at the exit cell.
+  EXPECT_TRUE(planner.plan(goal, start).has_value());
+}
+
 TEST(PathPlanner, CellFreeRespectsBounds) {
   const Terrain t = empty_terrain();
   const PathPlanner planner{t};

@@ -175,7 +175,7 @@ TEST(LazyReplan, ReusesRouteForNearbyGoal) {
 
   const auto route = planner.plan({10, 10}, {150, 150});
   ASSERT_TRUE(route.has_value());
-  m.set_route({route->begin(), route->end()}, {150, 150});
+  m.set_route({route->begin(), route->end()}, {150, 150}, planner.generation());
   ASSERT_TRUE(m.route_goal().has_value());
 
   // Goal moved 3 m (< replan_threshold_m = 6): reuse, retargeting the tail.
@@ -195,12 +195,39 @@ TEST(LazyReplan, DeclinesWhenRouteNoLongerClear) {
   Machine m{MachineId{1}, MachineKind::kForwarder, "f1", {10, 100}, {}};
   const auto route = planner.plan({10, 100}, {190, 100});
   ASSERT_TRUE(route.has_value());
-  m.set_route({route->begin(), route->end()}, {190, 100});
+  m.set_route({route->begin(), route->end()}, {190, 100}, planner.generation());
 
   // A hazard appears across the straight route: reuse must be declined
   // even though the goal did not move at all.
   planner.set_region_blocked({100, 100}, 10.0, true);
   EXPECT_FALSE(m.try_reuse_route({190, 100}, planner));
+}
+
+TEST(LazyReplan, DeclinesAfterAnyGridMutation) {
+  // Reuse only re-checks the pose leg and the retargeted tail, never the
+  // intermediate legs — so it must decline on *any* grid mutation since
+  // planning (stale generation), even one nowhere near those two legs.
+  // Otherwise a hazard cutting a middle leg would be driven through.
+  const Terrain t = empty_terrain();
+  PathPlanner planner{t};
+  Machine m{MachineId{1}, MachineKind::kForwarder, "f1", {10, 100}, {}};
+  const auto route = planner.plan({10, 100}, {190, 100});
+  ASSERT_TRUE(route.has_value());
+  m.set_route({route->begin(), route->end()}, {190, 100}, planner.generation());
+
+  // Same generation: reuse works.
+  EXPECT_TRUE(m.try_reuse_route({192, 100}, planner));
+
+  // Mutation far from the pose leg and the tail leg: generation is stale,
+  // reuse declined, caller must re-plan.
+  planner.set_region_blocked({100, 20}, 5.0, true);
+  EXPECT_FALSE(m.try_reuse_route({190, 100}, planner));
+
+  // A route planned under the new generation is reusable again.
+  const auto fresh = planner.plan({10, 100}, {190, 100});
+  ASSERT_TRUE(fresh.has_value());
+  m.set_route({fresh->begin(), fresh->end()}, {190, 100}, planner.generation());
+  EXPECT_TRUE(m.try_reuse_route({192, 100}, planner));
 }
 
 TEST(LazyReplan, UntrackedRouteIsNeverReused) {
@@ -211,9 +238,24 @@ TEST(LazyReplan, UntrackedRouteIsNeverReused) {
   EXPECT_FALSE(m.route_goal().has_value());
   EXPECT_FALSE(m.try_reuse_route({50, 50}, planner));
   // push_waypoint also clears tracking.
-  m.set_route({{50, 50}}, {50, 50});
+  m.set_route({{50, 50}}, {50, 50}, planner.generation());
   m.push_waypoint({60, 60});
   EXPECT_FALSE(m.route_goal().has_value());
+}
+
+TEST(PlannerCache, BudgetExhaustionIsNotCached) {
+  // A search that dies on max_expansions is a transient failure, not proof
+  // of unreachability: caching it would pin 'unreachable' on the cell pair
+  // for the whole generation. Both plans below must run a real search.
+  const Terrain t = empty_terrain();
+  PlannerConfig config;
+  config.max_expansions = 1;  // everything non-trivial exhausts the budget
+  const PathPlanner planner{t, config};
+  EXPECT_FALSE(planner.plan({10, 10}, {150, 30}).has_value());
+  EXPECT_FALSE(planner.plan({10, 10}, {150, 30}).has_value());
+  EXPECT_EQ(planner.stats().cache_hits, 0u);
+  EXPECT_EQ(planner.stats().cache_misses, 2u);
+  EXPECT_EQ(planner.cache_size(), 0u);
 }
 
 TEST(WorksiteMetrics, SurfacesPlannerAndReuseCounters) {
