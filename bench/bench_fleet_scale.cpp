@@ -1,13 +1,25 @@
-// Fleet-scale hot-loop baseline: steps a worksite with 32 autonomous
-// forwarders and 64 human workers for 10 simulated minutes and reports
-// steps/sec, so perf regressions in the per-step path (spatial queries,
-// separation tracking, pile lookup, radio delivery) show up as a number
-// future PRs must not lower. Outcome metrics are printed alongside the
-// rate as a cheap cross-check that optimisations did not change what the
-// simulation computes.
+// Fleet-scale hot-loop baseline with a --threads axis. Steps the
+// 16-machine Figure-1-style site (2 harvesters, 12 forwarders, 2 drones,
+// 48 workers, windthrow hazards on) and reports steps/sec at threads=1
+// and at the requested shard count, so both the serial hot path and the
+// parallel-stepping speedup show up as numbers future PRs must not lower.
+//
+// Determinism is part of the contract: before timing, a parity
+// cross-check runs the same site serially and sharded and compares
+// metrics bit-for-bit, the full event-bus sequence, and every machine
+// pose. Any mismatch fails the benchmark (non-zero exit) — a fast wrong
+// simulation is not an optimisation.
+//
+// Lines of the form "BENCH name=value" are machine-readable; CI captures
+// them into BENCH_baseline.json and fails on large regressions
+// (scripts/bench_gate.py).
+#include <bit>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "net/radio.h"
 #include "sim/worksite.h"
@@ -16,10 +28,28 @@ using namespace agrarsec;
 
 namespace {
 
-constexpr std::size_t kForwarders = 32;
-constexpr std::size_t kWorkers = 64;
+constexpr std::size_t kHarvesters = 2;
+constexpr std::size_t kForwarders = 12;
+constexpr std::size_t kDrones = 2;
+constexpr std::size_t kWorkers = 48;
 
-double run_worksite(core::SimDuration sim_duration) {
+// --- FNV-1a digests over simulation outcomes -------------------------------
+
+struct Digest {
+  std::uint64_t h = 1469598103934665603ULL;
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) { bytes(s.data(), s.size()); }
+};
+
+sim::WorksiteConfig site_config() {
   sim::WorksiteConfig config;
   config.forest.bounds = {{0, 0}, {500, 500}};
   config.forest.trees_per_hectare = 250;
@@ -29,41 +59,99 @@ double run_worksite(core::SimDuration sim_duration) {
   config.harvester_output_m3_per_min = 60.0;
   config.load_time = 20 * core::kSecond;
   config.unload_time = 15 * core::kSecond;
+  // Windthrow on: planner-cache generation invalidation is part of the
+  // steady-state load, not a cold path.
+  config.weather = sim::Weather::kRain;
+  config.windthrow_rate_per_hour = 6.0;
+  return config;
+}
 
-  sim::Worksite site{config, 42};
-  site.add_harvester("h1", {250, 250});
-  site.add_harvester("h2", {350, 300});
+void populate(sim::Worksite& site) {
+  std::vector<MachineId> forwarders;
+  for (std::size_t i = 0; i < kHarvesters; ++i) {
+    site.add_harvester("h" + std::to_string(i),
+                       {250.0 + 100.0 * static_cast<double>(i), 250.0});
+  }
   for (std::size_t i = 0; i < kForwarders; ++i) {
-    site.add_forwarder("f" + std::to_string(i),
-                       {60.0 + 12.0 * static_cast<double>(i % 8),
-                        60.0 + 15.0 * static_cast<double>(i / 8)});
+    forwarders.push_back(
+        site.add_forwarder("f" + std::to_string(i),
+                           {60.0 + 12.0 * static_cast<double>(i % 8),
+                            60.0 + 15.0 * static_cast<double>(i / 8)}));
+  }
+  for (std::size_t i = 0; i < kDrones; ++i) {
+    const MachineId drone =
+        site.add_drone("d" + std::to_string(i), {60.0 + 30.0 * static_cast<double>(i), 50.0});
+    site.set_drone_orbit(drone, forwarders[i], 25.0);
   }
   for (std::size_t i = 0; i < kWorkers; ++i) {
     const core::Vec2 anchor{80.0 + 45.0 * static_cast<double>(i % 8),
                             80.0 + 45.0 * static_cast<double>(i / 8)};
     site.add_worker("w" + std::to_string(i), anchor, anchor);
   }
+}
 
-  const auto steps = static_cast<std::uint64_t>(sim_duration / config.step);
+struct RunResult {
+  double rate = 0.0;
+  std::uint64_t metrics_digest = 0;
+  std::uint64_t event_digest = 0;
+  std::uint64_t pose_digest = 0;
+  sim::Worksite::Metrics metrics;
+};
+
+RunResult run_worksite(std::size_t threads, std::uint64_t steps) {
+  sim::WorksiteConfig config = site_config();
+  config.threads = threads;
+  sim::Worksite site{config, 42};
+
+  Digest events;
+  site.bus().subscribe_all([&events](const core::Event& e) {
+    events.str(e.topic);
+    events.str(e.payload);
+    events.u64(e.origin);
+    events.u64(static_cast<std::uint64_t>(e.time));
+  });
+  populate(site);
+
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t s = 0; s < steps; ++s) site.step();
   const auto t1 = std::chrono::steady_clock::now();
   const double secs = std::chrono::duration<double>(t1 - t0).count();
-  const double rate = static_cast<double>(steps) / secs;
 
-  std::printf("  %zu forwarders + %zu workers, %lld sim-min: %llu steps in %.3fs"
-              " -> %.0f steps/sec\n",
-              kForwarders, kWorkers,
-              static_cast<long long>(sim_duration / core::kMinute),
-              static_cast<unsigned long long>(steps), secs, rate);
-  std::printf("  cross-check: delivered=%.1fm3 cycles=%llu min_sep=%.2fm"
-              " close<10m=%llu piles=%zu\n",
-              site.delivered_m3(),
-              static_cast<unsigned long long>(site.completed_cycles()),
-              site.min_human_separation(),
-              static_cast<unsigned long long>(site.close_encounters(10.0)),
-              site.piles().size());
-  return rate;
+  RunResult r;
+  r.rate = static_cast<double>(steps) / secs;
+  r.event_digest = events.h;
+  r.metrics = site.metrics();
+
+  Digest m;
+  m.f64(r.metrics.delivered_m3);
+  m.u64(r.metrics.completed_cycles);
+  m.f64(r.metrics.min_human_separation);
+  m.u64(r.metrics.separation_samples);
+  m.u64(r.metrics.route_reuses);
+  m.u64(r.metrics.windthrow_events);
+  m.u64(r.metrics.planner.plans);
+  m.u64(r.metrics.planner.cache_hits);
+  m.f64(site.separation_stats().mean());
+  m.f64(site.separation_stats().stddev());
+  m.u64(site.close_encounters(10.0));
+  r.metrics_digest = m.h;
+
+  Digest poses;
+  for (const sim::Machine* machine : site.machines()) {
+    poses.u64(machine->id().value());
+    poses.f64(machine->position().x);
+    poses.f64(machine->position().y);
+    poses.f64(machine->heading());
+    poses.f64(machine->speed());
+    poses.f64(machine->load_m3());
+    poses.f64(machine->odometer());
+  }
+  for (const sim::Human* human : site.humans()) {
+    poses.f64(human->position().x);
+    poses.f64(human->position().y);
+  }
+  r.pose_digest = poses.h;
+  return r;
 }
 
 double run_radio(std::size_t nodes, std::uint64_t steps) {
@@ -104,13 +192,70 @@ double run_radio(std::size_t nodes, std::uint64_t steps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const core::SimDuration sim_minutes = (quick ? 2 : 10) * core::kMinute;
+  bool quick = false;
+  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
+      if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+  }
+
+  const std::uint64_t steps =
+      static_cast<std::uint64_t>((quick ? 2 : 10) * core::kMinute) / 100;
 
   std::printf("=== fleet-scale hot-loop benchmark ===\n\n");
-  std::printf("worksite step loop:\n");
-  run_worksite(sim_minutes);
+  std::printf("worksite: %zu machines (%zuh+%zuf+%zud) + %zu workers, %llu steps\n",
+              kHarvesters + kForwarders + kDrones, kHarvesters, kForwarders,
+              kDrones, kWorkers, static_cast<unsigned long long>(steps));
+
+  const RunResult serial = run_worksite(1, steps);
+  std::printf("  threads=1:  %.0f steps/sec\n", serial.rate);
+  const RunResult sharded = run_worksite(threads, steps);
+  std::printf("  threads=%zu: %.0f steps/sec (%.2fx)\n", threads, sharded.rate,
+              sharded.rate / serial.rate);
+  std::printf("  cross-check: delivered=%.1fm3 cycles=%llu min_sep=%.2fm"
+              " windthrow=%llu reuses=%llu\n",
+              serial.metrics.delivered_m3,
+              static_cast<unsigned long long>(serial.metrics.completed_cycles),
+              serial.metrics.min_human_separation,
+              static_cast<unsigned long long>(serial.metrics.windthrow_events),
+              static_cast<unsigned long long>(serial.metrics.route_reuses));
+
+  // Serial-vs-parallel parity: all three digests must match bit-for-bit.
+  int mismatches = 0;
+  if (serial.metrics_digest != sharded.metrics_digest) {
+    ++mismatches;
+    std::printf("  PARITY MISMATCH: metrics digest %016llx != %016llx\n",
+                static_cast<unsigned long long>(serial.metrics_digest),
+                static_cast<unsigned long long>(sharded.metrics_digest));
+  }
+  if (serial.event_digest != sharded.event_digest) {
+    ++mismatches;
+    std::printf("  PARITY MISMATCH: event digest %016llx != %016llx\n",
+                static_cast<unsigned long long>(serial.event_digest),
+                static_cast<unsigned long long>(sharded.event_digest));
+  }
+  if (serial.pose_digest != sharded.pose_digest) {
+    ++mismatches;
+    std::printf("  PARITY MISMATCH: pose digest %016llx != %016llx\n",
+                static_cast<unsigned long long>(serial.pose_digest),
+                static_cast<unsigned long long>(sharded.pose_digest));
+  }
+  std::printf("  parity: %d mismatches (threads=1 vs threads=%zu)\n", mismatches,
+              threads);
+
   std::printf("\nradio medium, jittered broadcast fan-out:\n");
-  run_radio(64, quick ? 2000 : 10000);
-  return 0;
+  const double radio_rate = run_radio(64, quick ? 2000 : 10000);
+
+  // Machine-readable summary for the CI regression gate. Only the serial
+  // rate gates: the parallel rate depends on the runner's core count.
+  std::printf("\nBENCH worksite_steps_per_sec=%.0f\n", serial.rate);
+  std::printf("BENCH worksite_steps_per_sec_parallel=%.0f\n", sharded.rate);
+  std::printf("BENCH parity_mismatches=%d\n", mismatches);
+  std::printf("BENCH radio_steps_per_sec=%.0f\n", radio_rate);
+  return mismatches == 0 ? 0 : 1;
 }

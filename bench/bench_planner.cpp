@@ -119,5 +119,9 @@ int main() {
   std::printf("jps expansions        : %llu\n",
               static_cast<unsigned long long>(stats.jps_expansions));
   std::printf("cache entries         : %zu\n", cached.cache_size());
+  // Machine-readable lines for the CI regression gate (scripts/bench_gate.py).
+  std::printf("BENCH planner_cached_plans_per_sec=%.0f\n", rate_cached);
+  std::printf("BENCH planner_uncached_plans_per_sec=%.0f\n", rate_uncached);
+  std::printf("BENCH planner_parity_mismatches=%zu\n", mismatches);
   return mismatches == 0 ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a sanitizer pass
-# (ASan + UBSan) over the subsystems touched by the hot-loop work.
+# (ASan + UBSan) over the subsystems touched by the hot-loop work, then a
+# ThreadSanitizer pass over the parallel-stepping suites.
 # Usage: scripts/check.sh [--full-asan]   (--full-asan runs every test
 # suite under the sanitizers instead of just the hot-loop ones)
 set -euo pipefail
@@ -26,5 +27,15 @@ else
   ./build-asan/tests/net_test
   ./build-asan/tests/sim_test
 fi
+
+echo "== sanitizers: TSan over the parallel stepping paths =="
+# The suites that actually run worker threads: the thread pool itself and
+# the sharded worksite step at threads > 1. A data race in the
+# decide/integrate/sample phases fails here even though the parity tests
+# (which compare outcomes, not interleavings) might still pass.
+cmake -B build-tsan -S . -DAGRARSEC_TSAN=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-tsan -j "$JOBS" --target core_test sim_test
+./build-tsan/tests/core_test --gtest_filter='ThreadPool*'
+./build-tsan/tests/sim_test --gtest_filter='WorksiteParallel*'
 
 echo "== all checks passed =="

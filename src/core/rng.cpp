@@ -132,4 +132,18 @@ Rng Rng::fork(std::uint64_t label) {
   return Rng{child_seed};
 }
 
+Rng Rng::fork_stream(std::uint64_t seed, std::uint64_t domain, std::uint64_t key) {
+  // Three chained splitmix rounds, each absorbing one input, give a child
+  // seed that is a pure hash of (seed, domain, key). The Rng constructor
+  // runs its own splitmix expansion on top, so even adjacent keys land in
+  // unrelated xoshiro states.
+  std::uint64_t s = seed;
+  std::uint64_t h = splitmix64(s);
+  s ^= domain * 0x9E3779B97F4A7C15ULL;
+  h ^= splitmix64(s);
+  s ^= key * 0xC2B2AE3D27D4EB4FULL;
+  h ^= splitmix64(s);
+  return Rng{h};
+}
+
 }  // namespace agrarsec::core

@@ -42,8 +42,20 @@ class Rng {
   std::vector<std::uint8_t> bytes(std::size_t n);
 
   /// Derives an independent child stream; children with distinct labels
-  /// never correlate with the parent or each other.
+  /// never correlate with the parent or each other. Consumes one parent
+  /// draw, so the child depends on *when* it was forked — use fork_stream
+  /// when the child must be a pure function of its key.
   Rng fork(std::uint64_t label);
+
+  /// Stateless fork-by-key: derives an independent stream from
+  /// (seed, domain, key) alone, consuming no parent state. Two sites with
+  /// the same seed hand an entity with the same id the same stream no
+  /// matter what anything else drew first — the property the worksite's
+  /// parallel stepping needs (per-entity streams keyed by entity id, not
+  /// by spawn order or by sharding). `domain` separates stream families
+  /// (machines vs humans vs hazards) that share a key space.
+  [[nodiscard]] static Rng fork_stream(std::uint64_t seed, std::uint64_t domain,
+                                       std::uint64_t key);
 
  private:
   std::uint64_t state_[4];

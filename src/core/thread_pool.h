@@ -1,0 +1,78 @@
+// Fixed-size thread pool for deterministic data-parallel simulation
+// phases. The worksite's hot loop shards per-entity work across a small
+// set of persistent workers (std::thread + condition_variable, no
+// external dependencies); determinism is preserved by the callers, which
+// only hand the pool *pure per-entity* work — every shared side effect is
+// buffered per entity and drained serially afterwards (see
+// sim::Worksite::step and DESIGN.md §9).
+//
+// Design notes:
+//  - Workers are started once and parked on a condition variable between
+//    jobs; a job is published by bumping a generation counter, so a
+//    parallel_for costs two notify/wait handshakes, not thread spawns.
+//  - The calling thread participates as shard 0, so a pool of size N uses
+//    N-1 background workers and never idles the caller.
+//  - parallel_for splits [0, n) into at most shard_count() contiguous
+//    ranges. The split depends only on (n, shard_count()), never on
+//    timing — but callers must not depend on it either: work items must
+//    be independent for the result to be thread-count-invariant.
+//  - Exceptions thrown by shard bodies are captured; the first one (in
+//    shard order, which is deterministic) is rethrown on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agrarsec::core {
+
+class ThreadPool {
+ public:
+  /// A pool executing across `threads` shards in total (the caller counts
+  /// as one). `threads <= 1` creates no background workers; parallel_for
+  /// then runs inline, which is the degenerate serial case callers rely
+  /// on for threads=1 parity runs. `threads = 0` resolves to
+  /// std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total shards (caller + workers), >= 1.
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+
+  /// Shard body: [begin, end) index range plus the shard index (stable
+  /// scratch-buffer key: shard s only ever runs on one thread per job).
+  using ShardFn = std::function<void(std::size_t begin, std::size_t end,
+                                     std::size_t shard)>;
+
+  /// Runs `fn` over [0, n) split into contiguous shards and blocks until
+  /// every shard finished. Safe to call repeatedly (the hot loop calls it
+  /// several times per step); not reentrant from within a shard body.
+  void parallel_for(std::size_t n, const ShardFn& fn);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  /// Runs one shard of the current job, capturing any exception.
+  void run_shard(std::size_t shard);
+
+  std::size_t shard_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  const ShardFn* job_fn_ = nullptr;  ///< valid while a job is in flight
+  std::size_t job_n_ = 0;
+  std::uint64_t job_generation_ = 0;  ///< bumped to publish a job
+  std::size_t shards_remaining_ = 0;
+  bool stopping_ = false;
+  std::vector<std::exception_ptr> shard_errors_;  ///< one slot per shard
+};
+
+}  // namespace agrarsec::core

@@ -68,6 +68,11 @@ SecuredWorksite::SecuredWorksite(SecuredWorksiteConfig config)
   worksite_->bus().subscribe("machine/degraded", [this](const core::Event& e) {
     audit_->append(e.time, "degraded", e.payload);
   });
+  // Environmental hazards are safety-relevant operating-condition changes
+  // (Annex III evidence trail): record windthrow events alongside e-stops.
+  worksite_->bus().subscribe("worksite/windthrow", [this](const core::Event& e) {
+    audit_->append(e.time, "windthrow", e.payload);
+  });
 }
 
 SecuredWorksite::~SecuredWorksite() = default;

@@ -6,9 +6,9 @@
 namespace agrarsec::sim {
 
 Human::Human(HumanId id, std::string name, core::Vec2 position, core::Vec2 work_anchor,
-             HumanConfig config)
+             HumanConfig config, core::Rng rng)
     : id_(id), name_(std::move(name)), position_(position), work_anchor_(work_anchor),
-      config_(config) {}
+      config_(config), rng_(rng) {}
 
 void Human::pick_waypoint(core::Rng& rng) {
   const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);

@@ -25,8 +25,12 @@ struct HumanConfig {
 
 class Human {
  public:
+  /// `rng` is the worker's private random stream, forked at spawn keyed
+  /// by the human id (core::Rng::fork_stream) — the same per-entity
+  /// scheme as Machine, so a worker's walk is reproducible regardless of
+  /// what any other entity drew or which thread stepped them.
   Human(HumanId id, std::string name, core::Vec2 position, core::Vec2 work_anchor,
-        HumanConfig config);
+        HumanConfig config, core::Rng rng = core::Rng{0});
 
   [[nodiscard]] HumanId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -36,6 +40,9 @@ class Human {
   /// Re-anchors the work area (e.g. following the harvester).
   void set_work_anchor(core::Vec2 anchor) { work_anchor_ = anchor; }
 
+  /// Advances the walk using the human's own stream.
+  void step(core::SimDuration dt_ms) { step(dt_ms, rng_); }
+  /// Legacy overload drawing from an external stream (standalone tests).
   void step(core::SimDuration dt_ms, core::Rng& rng);
 
  private:
@@ -46,6 +53,7 @@ class Human {
   core::Vec2 position_;
   core::Vec2 work_anchor_;
   HumanConfig config_;
+  core::Rng rng_;
   std::optional<core::Vec2> waypoint_;
   core::SimDuration pause_remaining_ = 0;
 };

@@ -17,9 +17,9 @@ std::string_view machine_kind_name(MachineKind kind) {
 }
 
 Machine::Machine(MachineId id, MachineKind kind, std::string name, core::Vec2 position,
-                 MachineConfig config)
+                 MachineConfig config, core::Rng rng)
     : id_(id), kind_(kind), name_(std::move(name)), position_(position),
-      config_(config) {}
+      config_(config), rng_(rng) {}
 
 void Machine::set_route(std::deque<core::Vec2> waypoints) {
   waypoints_ = std::move(waypoints);

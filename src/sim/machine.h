@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/geometry.h"
+#include "core/rng.h"
 #include "core/time.h"
 #include "core/types.h"
 
@@ -44,8 +45,13 @@ struct MachineConfig {
 
 class Machine {
  public:
+  /// `rng` is the machine's private random stream. The worksite forks it
+  /// once at spawn, keyed by the machine id (core::Rng::fork_stream), so
+  /// the machine's RNG-dependent behaviour is independent of every other
+  /// entity's draws — the invariant that lets the per-machine phase run
+  /// on any thread without perturbing outcomes.
   Machine(MachineId id, MachineKind kind, std::string name, core::Vec2 position,
-          MachineConfig config);
+          MachineConfig config, core::Rng rng = core::Rng{0});
 
   [[nodiscard]] MachineId id() const { return id_; }
   [[nodiscard]] MachineKind kind() const { return kind_; }
@@ -55,6 +61,8 @@ class Machine {
   [[nodiscard]] double speed() const { return speed_; }
   [[nodiscard]] const MachineConfig& config() const { return config_; }
   [[nodiscard]] DriveMode mode() const { return mode_; }
+  /// Private per-machine random stream (see constructor).
+  [[nodiscard]] core::Rng& rng() { return rng_; }
 
   /// Height of the machine's sensor origin above ground (drones: altitude).
   [[nodiscard]] double sensor_agl() const {
@@ -116,6 +124,7 @@ class Machine {
   double heading_ = 0.0;
   double speed_ = 0.0;
   MachineConfig config_;
+  core::Rng rng_;
   DriveMode mode_ = DriveMode::kNormal;
   bool hard_braking_ = false;
   std::deque<core::Vec2> waypoints_;

@@ -11,6 +11,14 @@
 // for monotonically allocated ids equals insertion order — the same order
 // a brute-force scan over the backing vector visits. This keeps RNG
 // consumption downstream (per-candidate detection rolls) unchanged.
+//
+// Thread-safety: the index has no internal synchronisation, but the const
+// queries (query_radius with a caller-owned buffer, nearest, position,
+// contains) keep no mutable scratch, so any number of threads may query
+// concurrently while no mutation is in flight. Callers that step in
+// parallel must therefore split each step into a read phase (concurrent
+// queries against the frozen grid) and a serial write phase (insert /
+// update / remove) — the discipline Worksite::step() follows.
 #pragma once
 
 #include <cstdint>

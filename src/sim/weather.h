@@ -12,6 +12,12 @@ enum class Weather : std::uint8_t { kClear = 0, kRain = 1, kFog = 2, kSnow = 3 }
 
 [[nodiscard]] std::string_view weather_name(Weather weather);
 
+/// Multiplier on the windthrow hazard rate (WorksiteConfig::
+/// windthrow_rate_per_hour). Rain-soaked ground and snow loading both
+/// raise the uprooting/stem-break rate; calm clear weather rarely fells
+/// trees. Model constants, not literature values.
+[[nodiscard]] double windthrow_weather_factor(Weather weather);
+
 /// Multiplicative effect of weather on a sensor's effective range, and an
 /// additive per-frame miss probability. Derived per sensor modality.
 struct WeatherEffect {

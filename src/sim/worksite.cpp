@@ -27,10 +27,26 @@ constexpr double kIndexCellM = 25.0;
 /// compacted out of piles_ at the end of the step.
 constexpr double kPileExhaustedM3 = 0.5;
 
+/// Planning clearance = machine body radius + this margin. The default
+/// MachineConfig (body 1.8 m) lands exactly on the default
+/// PlannerConfig::clearance_m of 2.0 m, so uniform forwarder fleets keep
+/// using the default planner instance and its warm cache.
+constexpr double kClearanceMarginM = 0.2;
+
+/// fork_stream domains for the per-entity streams: machines, humans and
+/// the weather-hazard stream must never collide even for equal ids.
+constexpr std::uint64_t kMachineStreamDomain = 0x4D41434821ULL;
+constexpr std::uint64_t kHumanStreamDomain = 0x48554D414EULL;
+constexpr std::uint64_t kWeatherStreamDomain = 0x57454154ULL;
+
 std::size_t separation_bins(const WorksiteConfig& config) {
   const double range = std::max(config.separation_tracking_m, 1e-6);
   const double bin = std::max(config.separation_bin_m, 1e-6);
   return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(range / bin)));
+}
+
+long clearance_key(double clearance_m) {
+  return std::lround(std::max(clearance_m, 0.0) * 10.0);
 }
 }  // namespace
 
@@ -44,9 +60,21 @@ std::string_view weather_name(Weather weather) {
   return "?";
 }
 
+double windthrow_weather_factor(Weather weather) {
+  switch (weather) {
+    case Weather::kClear: return 0.25;
+    case Weather::kRain: return 1.0;
+    case Weather::kFog: return 0.5;
+    case Weather::kSnow: return 1.5;
+  }
+  return 1.0;
+}
+
 Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
     : config_(config),
+      seed_(seed),
       rng_(seed),
+      hazard_rng_(core::Rng::fork_stream(seed, kWeatherStreamDomain, 0)),
       clock_(config.step),
       human_index_(config.forest.bounds, kIndexCellM),
       pile_index_(config.forest.bounds, kIndexCellM),
@@ -54,7 +82,40 @@ Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
                        separation_bins(config)) {
   core::Rng terrain_rng = rng_.fork(0x7e44a1);
   terrain_ = std::make_unique<Terrain>(Terrain::generate(config_.forest, terrain_rng));
-  planner_ = std::make_unique<PathPlanner>(*terrain_);
+
+  PlannerConfig planner_config;
+  auto base = std::make_unique<PathPlanner>(*terrain_, planner_config);
+  planner_ = base.get();
+  planners_.emplace(clearance_key(planner_config.clearance_m), std::move(base));
+
+  if (config_.threads != 1) {
+    pool_ = std::make_unique<core::ThreadPool>(config_.threads);
+  }
+  shard_query_.resize(pool_ ? pool_->shard_count() : 1);
+  if (config_.exact_separation_samples) separation_exact_.emplace();
+}
+
+double Worksite::machine_clearance(const Machine& machine) {
+  return machine.config().body_radius_m + kClearanceMarginM;
+}
+
+PathPlanner& Worksite::planner_for(double clearance_m) {
+  const long key = clearance_key(clearance_m);
+  auto it = planners_.find(key);
+  if (it == planners_.end()) {
+    PlannerConfig planner_config = planner_->config();
+    planner_config.clearance_m = static_cast<double>(key) / 10.0;
+    it = planners_
+             .emplace(key, std::make_unique<PathPlanner>(*terrain_, planner_config))
+             .first;
+  }
+  return *it->second;
+}
+
+void Worksite::block_region(core::Vec2 center, double radius, bool blocked) {
+  for (auto& [key, planner] : planners_) {
+    planner->set_region_blocked(center, radius, blocked);
+  }
 }
 
 std::deque<core::Vec2> Worksite::plan_route(core::Vec2 from, core::Vec2 to) const {
@@ -65,12 +126,18 @@ std::deque<core::Vec2> Worksite::plan_route(core::Vec2 from, core::Vec2 to) cons
 }
 
 void Worksite::route_machine(Machine& machine, core::Vec2 goal) {
-  if (machine.try_reuse_route(goal, *planner_)) {
+  PathPlanner& planner = planner_for(machine_clearance(machine));
+  if (machine.try_reuse_route(goal, planner)) {
     ++route_reuses_;
     return;
   }
-  machine.set_route(plan_route(machine.position(), goal), goal,
-                    planner_->generation());
+  std::deque<core::Vec2> route;
+  if (auto path = planner.plan(machine.position(), goal)) {
+    route.assign(path->begin(), path->end());
+  } else {
+    route = {goal};
+  }
+  machine.set_route(std::move(route), goal, planner.generation());
 }
 
 void Worksite::route_machine(MachineId id, core::Vec2 goal) {
@@ -81,9 +148,12 @@ MachineId Worksite::add_forwarder(const std::string& name, core::Vec2 position,
                                   MachineConfig config) {
   const MachineId id = machine_ids_.next();
   machine_slots_[id.value()] = machines_.size();
-  machines_.push_back(
-      std::make_unique<Machine>(id, MachineKind::kForwarder, name, position, config));
+  machines_.push_back(std::make_unique<Machine>(
+      id, MachineKind::kForwarder, name, position, config,
+      core::Rng::fork_stream(seed_, kMachineStreamDomain, id.value())));
   forwarder_states_[id.value()] = ForwarderState{};
+  effects_.resize(machines_.size());
+  separation_buffers_.resize(machines_.size());
   return id;
 }
 
@@ -92,8 +162,12 @@ MachineId Worksite::add_harvester(const std::string& name, core::Vec2 position) 
   MachineConfig config;
   config.max_speed_mps = 1.5;  // harvesters crawl while working
   machine_slots_[id.value()] = machines_.size();
-  machines_.push_back(
-      std::make_unique<Machine>(id, MachineKind::kHarvester, name, position, config));
+  machines_.push_back(std::make_unique<Machine>(
+      id, MachineKind::kHarvester, name, position, config,
+      core::Rng::fork_stream(seed_, kMachineStreamDomain, id.value())));
+  harvester_accum_m3_[id.value()] = 0.0;
+  effects_.resize(machines_.size());
+  separation_buffers_.resize(machines_.size());
   return id;
 }
 
@@ -106,8 +180,11 @@ MachineId Worksite::add_drone(const std::string& name, core::Vec2 position,
   config.altitude_m = altitude_m;
   config.body_radius_m = 0.4;
   machine_slots_[id.value()] = machines_.size();
-  machines_.push_back(
-      std::make_unique<Machine>(id, MachineKind::kDrone, name, position, config));
+  machines_.push_back(std::make_unique<Machine>(
+      id, MachineKind::kDrone, name, position, config,
+      core::Rng::fork_stream(seed_, kMachineStreamDomain, id.value())));
+  effects_.resize(machines_.size());
+  separation_buffers_.resize(machines_.size());
   return id;
 }
 
@@ -115,7 +192,9 @@ HumanId Worksite::add_worker(const std::string& name, core::Vec2 position,
                              core::Vec2 work_anchor, HumanConfig config) {
   const HumanId id = human_ids_.next();
   human_slots_[id.value()] = humans_.size();
-  humans_.push_back(std::make_unique<Human>(id, name, position, work_anchor, config));
+  humans_.push_back(std::make_unique<Human>(
+      id, name, position, work_anchor, config,
+      core::Rng::fork_stream(seed_, kHumanStreamDomain, id.value())));
   human_index_.insert(id.value(), position);
   return id;
 }
@@ -215,50 +294,86 @@ void Worksite::compact_piles() {
   }
 }
 
-void Worksite::step_harvester(Machine& harvester) {
+void Worksite::step_weather_hazards() {
+  if (config_.windthrow_rate_per_hour > 0.0) {
+    const double step_hours =
+        static_cast<double>(config_.step) / static_cast<double>(core::kHour);
+    const double p = config_.windthrow_rate_per_hour *
+                     windthrow_weather_factor(config_.weather) * step_hours;
+    if (hazard_rng_.chance(p)) {
+      const core::Aabb& bounds = terrain_->bounds();
+      const core::Vec2 center{hazard_rng_.uniform(bounds.min.x, bounds.max.x),
+                              hazard_rng_.uniform(bounds.min.y, bounds.max.y)};
+      const double radius = config_.windthrow_radius_m;
+      block_region(center, radius, true);
+      ++windthrow_events_;
+      if (config_.windthrow_duration > 0) {
+        hazards_.push_back({center, radius, clock_.now() + config_.windthrow_duration});
+      }
+      bus_.publish({"worksite/windthrow",
+                    "x=" + std::to_string(center.x) + ";y=" + std::to_string(center.y) +
+                        ";r=" + std::to_string(radius),
+                    0, clock_.now()});
+    }
+  }
+  while (!hazards_.empty() && hazards_.front().until <= clock_.now()) {
+    const ActiveHazard hazard = hazards_.front();
+    hazards_.pop_front();
+    // Freeing re-derives terrain-blocked cells, so clearing debris never
+    // opens cells the forest itself blocks.
+    block_region(hazard.center, hazard.radius, false);
+    bus_.publish({"worksite/windthrow-cleared",
+                  "x=" + std::to_string(hazard.center.x) +
+                      ";y=" + std::to_string(hazard.center.y),
+                  0, clock_.now()});
+  }
+}
+
+void Worksite::decide_harvester(Machine& harvester, MachineEffects& fx) {
   // The harvester fells and processes continuously; every
   // pile_capacity_m3 produced, a new pile appears beside it.
   const double per_step = config_.harvester_output_m3_per_min *
                           static_cast<double>(config_.step) / core::kMinute;
-  harvester_accumulator_m3_ += per_step;
-  if (harvester_accumulator_m3_ >= config_.pile_capacity_m3) {
-    harvester_accumulator_m3_ -= config_.pile_capacity_m3;
-    const double angle = rng_.uniform(0.0, 2.0 * std::numbers::pi);
-    LogPile pile;
-    pile.id = next_pile_id_++;
+  double& accum = harvester_accum_m3_.find(harvester.id().value())->second;
+  accum += per_step;
+  if (accum >= config_.pile_capacity_m3) {
+    accum -= config_.pile_capacity_m3;
+    const double angle = harvester.rng().uniform(0.0, 2.0 * std::numbers::pi);
+    LogPile pile;  // id assigned by the drain (serial allocation)
     pile.position = harvester.position() +
                     core::Vec2{std::cos(angle), std::sin(angle)} * 6.0;
     pile.position = terrain_->bounds().clamp(pile.position);
     pile.volume_m3 = config_.pile_capacity_m3;
-    pile_slots_[pile.id] = piles_.size();
-    if (pile.volume_m3 >= kPileExhaustedM3) {
-      pile_index_.insert(pile.id, pile.position);
-    }
-    piles_.push_back(pile);
-    bus_.publish({"worksite/pile", "volume=" + std::to_string(pile.volume_m3),
-                  harvester.id().value(), clock_.now()});
+    fx.spawn = pile;
   }
 
   // Slowly advance the harvester through the stand.
   if (harvester.idle()) {
     const core::Vec2 target{
-        rng_.uniform(terrain_->bounds().min.x + 20, terrain_->bounds().max.x - 20),
-        rng_.uniform(terrain_->bounds().min.y + 20, terrain_->bounds().max.y - 20)};
+        harvester.rng().uniform(terrain_->bounds().min.x + 20,
+                                terrain_->bounds().max.x - 20),
+        harvester.rng().uniform(terrain_->bounds().min.y + 20,
+                                terrain_->bounds().max.y - 20)};
     harvester.push_waypoint(target);
   }
 }
 
-void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
+void Worksite::decide_forwarder(Machine& forwarder, ForwarderState& state,
+                                MachineEffects& fx) {
+  // Decisions read the worksite as of the start of the step (piles and
+  // indexes are frozen during the decide phase); shared effects are
+  // buffered and committed by the drain. A pile another forwarder
+  // exhausts this very step can therefore still be dispatched to — the
+  // kToPile re-check next step resolves it, the same way the serial code
+  // already handled a pile dying mid-wait.
   switch (state.task) {
     case ForwarderTask::kIdle: {
       const auto pile = nearest_pile(forwarder.position());
       if (pile) {
         state.pile_id = pile;
         state.task = ForwarderTask::kToPile;
-        route_machine(forwarder, pile_by_id(*pile)->position);
-        bus_.publish({"forwarder/task", std::string("task=") +
-                          std::string(task_name(state.task)),
-                      forwarder.id().value(), clock_.now()});
+        fx.action = MachineEffects::Action::kDispatch;
+        fx.route_goal = pile_by_id(*pile)->position;
       }
       break;
     }
@@ -277,11 +392,9 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
         // Piles drop next to the harvester, frequently inside planner-
         // blocked cells; once close, crawl the final approach straight
         // (the machine threads between stems at walking pace in reality).
-        if (pile_dist < 25.0) {
-          forwarder.set_route({pile_pos}, pile_pos, planner_->generation());
-        } else {
-          route_machine(forwarder, pile_pos);
-        }
+        fx.action = pile_dist < 25.0 ? MachineEffects::Action::kRouteDirect
+                                     : MachineEffects::Action::kRoutePlanned;
+        fx.route_goal = pile_pos;
       }
       break;
     }
@@ -289,25 +402,10 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
       if (forwarder.stopped()) break;  // e-stop pauses work
       state.action_remaining -= config_.step;
       if (state.action_remaining <= 0) {
-        LogPile* pile = state.pile_id ? pile_by_id(*state.pile_id) : nullptr;
-        if (pile == nullptr) {  // another forwarder exhausted it mid-wait
-          state.task = ForwarderTask::kIdle;
-          break;
-        }
-        const double take = std::min(
-            pile->volume_m3, forwarder.config().load_capacity_m3 - forwarder.load_m3());
-        pile->volume_m3 -= take;
-        forwarder.load_logs(take);
-        if (pile->volume_m3 < kPileExhaustedM3) {
-          // Exhausted: hide from dispatch now, compacted at end of step.
-          pile_index_.remove(pile->id);
-        }
-        if (forwarder.full() || !nearest_pile(forwarder.position())) {
-          state.task = ForwarderTask::kToLanding;
-          route_machine(forwarder, config_.landing_area);
-        } else {
-          state.task = ForwarderTask::kIdle;
-        }
+        // The take amount and the follow-on dispatch depend on the live
+        // pile state, which other forwarders mutate this step — commit
+        // runs in the drain, in slot order, exactly like the serial loop.
+        fx.action = MachineEffects::Action::kLoadCommit;
       }
       break;
     }
@@ -318,12 +416,10 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
         state.task = ForwarderTask::kUnloading;
         state.action_remaining = config_.unload_time;
       } else if (forwarder.idle()) {
-        if (landing_dist < config_.landing_radius + 20.0) {
-          forwarder.set_route({config_.landing_area}, config_.landing_area,
-                              planner_->generation());
-        } else {
-          route_machine(forwarder, config_.landing_area);
-        }
+        fx.action = landing_dist < config_.landing_radius + 20.0
+                        ? MachineEffects::Action::kRouteDirect
+                        : MachineEffects::Action::kRoutePlanned;
+        fx.route_goal = config_.landing_area;
       }
       break;
     }
@@ -331,25 +427,27 @@ void Worksite::step_forwarder(Machine& forwarder, ForwarderState& state) {
       if (forwarder.stopped()) break;
       state.action_remaining -= config_.step;
       if (state.action_remaining <= 0) {
-        delivered_m3_ += forwarder.unload_logs();
-        ++completed_cycles_;
+        fx.unloaded_m3 = forwarder.unload_logs();
         state.task = ForwarderTask::kIdle;
-        bus_.publish({"forwarder/cycle",
-                      "delivered=" + std::to_string(delivered_m3_),
-                      forwarder.id().value(), clock_.now()});
+        fx.action = MachineEffects::Action::kCycleCommit;
       }
       break;
     }
   }
 }
 
-void Worksite::step_drone(Machine& drone) {
+void Worksite::decide_drone(Machine& drone) {
   const auto it = drone_orbits_.find(drone.id().value());
   if (it == drone_orbits_.end()) return;
   DroneOrbit& orbit = it->second;
   const Machine* anchor = machine(orbit.anchor);
   if (anchor == nullptr) return;
 
+  // Reads the anchor's start-of-step pose: machine kinematics all advance
+  // after the decide barrier, so this never races the anchor's movement
+  // (the serial loop used to see a post-step pose when the anchor had a
+  // lower id — a one-step lag on a 100 ms orbit update, not observable
+  // beyond the orbit tolerance).
   orbit.phase += 0.35 * static_cast<double>(config_.step) / core::kSecond;
   const core::Vec2 target =
       anchor->position() +
@@ -357,24 +455,116 @@ void Worksite::step_drone(Machine& drone) {
   drone.set_route({target});
 }
 
-void Worksite::record_separations() {
-  const double radius = config_.separation_tracking_m;
-  for (const auto& m : machines_) {
-    if (m->kind() != MachineKind::kForwarder) continue;
-    if (m->speed() < 0.3) continue;
-    human_index_.query_radius(m->position(), radius, query_buffer_);
-    for (const std::uint64_t id : query_buffer_) {
-      const Human& h = *humans_[human_slots_.at(id)];
-      const double d = core::distance(m->position(), h.position());
+void Worksite::decide_machine(std::size_t slot, std::size_t shard) {
+  (void)shard;
+  Machine& m = *machines_[slot];
+  MachineEffects& fx = effects_[slot];
+  fx = MachineEffects{};
+  switch (m.kind()) {
+    case MachineKind::kHarvester:
+      decide_harvester(m, fx);
+      break;
+    case MachineKind::kForwarder:
+      decide_forwarder(m, forwarder_states_.find(m.id().value())->second, fx);
+      break;
+    case MachineKind::kDrone:
+      decide_drone(m);
+      break;
+  }
+}
+
+void Worksite::commit_load(Machine& forwarder, ForwarderState& state) {
+  LogPile* pile = state.pile_id ? pile_by_id(*state.pile_id) : nullptr;
+  if (pile == nullptr) {  // another forwarder exhausted it mid-wait
+    state.task = ForwarderTask::kIdle;
+    return;
+  }
+  const double take = std::min(
+      pile->volume_m3, forwarder.config().load_capacity_m3 - forwarder.load_m3());
+  pile->volume_m3 -= take;
+  forwarder.load_logs(take);
+  if (pile->volume_m3 < kPileExhaustedM3) {
+    // Exhausted: hide from dispatch now, compacted at end of step.
+    pile_index_.remove(pile->id);
+  }
+  if (forwarder.full() || !nearest_pile(forwarder.position())) {
+    state.task = ForwarderTask::kToLanding;
+    route_machine(forwarder, config_.landing_area);
+  } else {
+    state.task = ForwarderTask::kIdle;
+  }
+}
+
+void Worksite::drain_machine_effects() {
+  for (std::size_t slot = 0; slot < machines_.size(); ++slot) {
+    Machine& m = *machines_[slot];
+    MachineEffects& fx = effects_[slot];
+
+    if (fx.spawn) {
+      LogPile pile = *fx.spawn;
+      pile.id = next_pile_id_++;
+      pile_slots_[pile.id] = piles_.size();
+      if (pile.volume_m3 >= kPileExhaustedM3) {
+        pile_index_.insert(pile.id, pile.position);
+      }
+      piles_.push_back(pile);
+      bus_.publish({"worksite/pile", "volume=" + std::to_string(pile.volume_m3),
+                    m.id().value(), clock_.now()});
+    }
+
+    switch (fx.action) {
+      case MachineEffects::Action::kNone:
+        break;
+      case MachineEffects::Action::kDispatch: {
+        ForwarderState& state = forwarder_states_.find(m.id().value())->second;
+        route_machine(m, fx.route_goal);
+        bus_.publish({"forwarder/task",
+                      std::string("task=") + std::string(task_name(state.task)),
+                      m.id().value(), clock_.now()});
+        break;
+      }
+      case MachineEffects::Action::kRoutePlanned:
+        route_machine(m, fx.route_goal);
+        break;
+      case MachineEffects::Action::kRouteDirect:
+        m.set_route({fx.route_goal}, fx.route_goal,
+                    planner_for(machine_clearance(m)).generation());
+        break;
+      case MachineEffects::Action::kLoadCommit:
+        commit_load(m, forwarder_states_.find(m.id().value())->second);
+        break;
+      case MachineEffects::Action::kCycleCommit:
+        delivered_m3_ += fx.unloaded_m3;
+        ++completed_cycles_;
+        bus_.publish({"forwarder/cycle",
+                      "delivered=" + std::to_string(delivered_m3_),
+                      m.id().value(), clock_.now()});
+        break;
+    }
+  }
+}
+
+void Worksite::drain_separation_samples() {
+  for (std::size_t slot = 0; slot < machines_.size(); ++slot) {
+    for (const double d : separation_buffers_[slot]) {
       min_separation_ = std::min(min_separation_, d);
       separation_stats_.add(d);
       separation_hist_.add(d);
+      if (separation_exact_) separation_exact_->add(d);
     }
   }
 }
 
 std::uint64_t Worksite::close_encounters(double threshold_m) const {
   if (threshold_m <= 0.0) return 0;
+  if (separation_exact_) {
+    // Exact audit path: scan the retained samples; agrees with the
+    // histogram whenever threshold_m lands on a bin edge.
+    const auto& samples = separation_exact_->samples();
+    return static_cast<std::uint64_t>(
+        std::count_if(samples.begin(), samples.end(),
+                      [threshold_m](double d) { return d < threshold_m; }));
+  }
   // Bin counts up to the threshold (rounded up to the next bin edge),
   // plus the overflow bucket when the threshold exceeds the tracked range.
   std::uint64_t n = separation_hist_.underflow();
@@ -393,33 +583,91 @@ Worksite::Metrics Worksite::metrics() const {
   m.min_human_separation = min_separation_;
   m.separation_samples = separation_stats_.count();
   m.route_reuses = route_reuses_;
-  m.planner = planner_->stats();
+  m.windthrow_events = windthrow_events_;
+  for (const auto& [key, planner] : planners_) {
+    const PlannerStats& s = planner->stats();
+    m.planner.plans += s.plans;
+    m.planner.cache_hits += s.cache_hits;
+    m.planner.cache_misses += s.cache_misses;
+    m.planner.invalidations += s.invalidations;
+    m.planner.jps_expansions += s.jps_expansions;
+  }
   return m;
+}
+
+void Worksite::parallel_over(std::size_t n, const core::ThreadPool::ShardFn& fn) {
+  if (pool_) {
+    pool_->parallel_for(n, fn);
+  } else if (n > 0) {
+    fn(0, n, 0);
+  }
 }
 
 void Worksite::step() {
   clock_.tick();
 
-  for (auto& m : machines_) {
-    switch (m->kind()) {
-      case MachineKind::kHarvester:
-        step_harvester(*m);
-        break;
-      case MachineKind::kForwarder:
-        step_forwarder(*m, forwarder_states_[m->id().value()]);
-        break;
-      case MachineKind::kDrone:
-        step_drone(*m);
-        break;
-    }
-    m->step(config_.step);
-  }
-  for (auto& h : humans_) {
-    h->step(config_.step, rng_);
+  // Serial pre-phase: weather hazards mutate every planner's blocked grid
+  // (and publish), so they must land before the decide barrier.
+  step_weather_hazards();
+
+  // Decide (parallel): per-machine FSMs against frozen shared state.
+  // Terrain and planner queries are excluded from this phase (both keep
+  // mutable scratch/caches); routing happens in the drain.
+  parallel_over(machines_.size(),
+                [this](std::size_t begin, std::size_t end, std::size_t shard) {
+                  for (std::size_t i = begin; i < end; ++i) decide_machine(i, shard);
+                });
+
+  // Drain (serial, ascending slot = id order): pile spawns and takes,
+  // planner routing, event publishes, delivery accounting. This pass
+  // alone orders every shared mutation, which is what makes the step
+  // thread-count-invariant.
+  drain_machine_effects();
+
+  // Integrate (parallel): machine kinematics and human walks; each
+  // entity touches only itself (humans draw from their own streams).
+  const std::size_t machine_count = machines_.size();
+  parallel_over(machine_count + humans_.size(),
+                [this, machine_count](std::size_t begin, std::size_t end,
+                                      std::size_t shard) {
+                  (void)shard;
+                  for (std::size_t i = begin; i < end; ++i) {
+                    if (i < machine_count) {
+                      machines_[i]->step(config_.step);
+                    } else {
+                      humans_[i - machine_count]->step(config_.step);
+                    }
+                  }
+                });
+
+  // Index write-phase (serial): fold the new human poses into the grid,
+  // drop exhausted piles.
+  for (const auto& h : humans_) {
     human_index_.update(h->id().value(), h->position());
   }
   compact_piles();
-  record_separations();
+
+  // Separation sampling (parallel): the radius queries dominate the
+  // tracking cost; each machine writes distances into its own buffer
+  // using per-shard query scratch.
+  parallel_over(machines_.size(),
+                [this](std::size_t begin, std::size_t end, std::size_t shard) {
+                  std::vector<std::uint64_t>& scratch = shard_query_[shard];
+                  const double radius = config_.separation_tracking_m;
+                  for (std::size_t i = begin; i < end; ++i) {
+                    std::vector<double>& out = separation_buffers_[i];
+                    out.clear();
+                    const Machine& m = *machines_[i];
+                    if (m.kind() != MachineKind::kForwarder) continue;
+                    if (m.speed() < 0.3) continue;
+                    human_index_.query_radius(m.position(), radius, scratch);
+                    for (const std::uint64_t id : scratch) {
+                      const Human& h = *humans_[human_slots_.find(id)->second];
+                      out.push_back(core::distance(m.position(), h.position()));
+                    }
+                  }
+                });
+  drain_separation_samples();
 }
 
 }  // namespace agrarsec::sim

@@ -3,9 +3,19 @@
 // area, a manually-operated harvester producing piles, human workers, and
 // an observation drone. The worksite owns the clock and steps all agents;
 // the security/safety stacks hook in from outside via references.
+//
+// Parallel stepping (DESIGN.md §9): step() shards its per-entity work
+// across a core::ThreadPool when WorksiteConfig::threads > 1, and is
+// bit-identical for every thread count. The scheme is shard / fork /
+// drain: per-entity phases run in parallel against const shared state,
+// every entity owns an RNG stream forked once at spawn keyed by its id
+// (core::Rng::fork_stream), and all shared side effects (event-bus
+// publishes, planner calls, pile mutations, metric samples) are buffered
+// per entity and drained serially in ascending slot (= id) order.
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -14,6 +24,7 @@
 #include "core/event_bus.h"
 #include "core/rng.h"
 #include "core/stats.h"
+#include "core/thread_pool.h"
 #include "core/time.h"
 #include "sim/human.h"
 #include "sim/machine.h"
@@ -49,6 +60,25 @@ struct WorksiteConfig {
   double separation_tracking_m = 50.0;
   /// Histogram resolution for close_encounters() queries (metres).
   double separation_bin_m = 0.1;
+  /// Also retain every separation sample in an exact core::SampleSet.
+  /// close_encounters() then answers *any* threshold exactly instead of
+  /// rounding up to the next histogram bin edge — audit-query precision
+  /// at the cost of unbounded sample retention; leave off in long runs.
+  bool exact_separation_samples = false;
+  /// Worker shards for the per-entity phases of step(). 1 = serial
+  /// (default), 0 = std::thread::hardware_concurrency(). Results are
+  /// bit-identical for every value (the parity tests enforce this).
+  std::size_t threads = 1;
+  /// Windthrow hazards: expected events per simulated hour at weather
+  /// factor 1 (scaled by windthrow_weather_factor; storms fell trees,
+  /// clear days rarely do). 0 disables the model. Each event blocks a
+  /// disc of windthrow_radius_m in every route planner (exercising the
+  /// cache generation-invalidation path) and publishes
+  /// "worksite/windthrow"; after windthrow_duration the debris is
+  /// cleared and "worksite/windthrow-cleared" is published (0 = never).
+  double windthrow_rate_per_hour = 0.0;
+  double windthrow_radius_m = 12.0;
+  core::SimDuration windthrow_duration = 10 * core::kMinute;
 };
 
 /// Forwarder mission state machine.
@@ -107,33 +137,57 @@ class Worksite {
   void set_drone_orbit(MachineId drone, MachineId anchor, double radius);
 
   /// Obstacle-aware route between two points (cached JPS over the terrain
-  /// grid); falls back to the straight line when planning fails.
+  /// grid at the default clearance); falls back to the straight line when
+  /// planning fails.
   [[nodiscard]] std::deque<core::Vec2> plan_route(core::Vec2 from, core::Vec2 to) const;
 
   /// Routes `id` to `goal`, lazily: when the machine's current route was
   /// planned for a goal within its replan threshold and the remaining legs
   /// are still clear, the route is retargeted instead of re-planned.
-  /// No-op for unknown ids.
+  /// Planning uses the planner matching the machine's clearance (mixed
+  /// drone/forwarder fleets never share a route cache). No-op for unknown
+  /// ids.
   void route_machine(MachineId id, core::Vec2 goal);
 
   [[nodiscard]] const PathPlanner& planner() const { return *planner_; }
-  /// Mutable planner access, e.g. to declare dynamic no-go regions
-  /// (PathPlanner::set_region_blocked) which invalidate cached routes.
+  /// Mutable default-clearance planner, e.g. for tests poking
+  /// PathPlanner::set_region_blocked directly. Fleet-wide no-go regions
+  /// should go through block_region(), which hits every clearance's
+  /// planner instance.
   [[nodiscard]] PathPlanner& planner() { return *planner_; }
 
+  /// Planner instance whose blocked grid is dilated for `clearance_m`
+  /// (quantised to 0.1 m; lazily constructed). Machines with different
+  /// clearances (drone vs forwarder) get separate instances and therefore
+  /// separate route caches — a shared cache would serve a forwarder a
+  /// drone-width route (ROADMAP item from PR 2).
+  [[nodiscard]] PathPlanner& planner_for(double clearance_m);
+  /// Planning clearance used for `machine` (body radius + margin).
+  [[nodiscard]] static double machine_clearance(const Machine& machine);
+
+  /// Declares/clears a no-go disc in *every* planner instance (all
+  /// clearances), invalidating affected cached routes via the planners'
+  /// generation counters. This is the hook dynamic hazards (windthrow,
+  /// breakdowns, attacker-declared zones) drive.
+  void block_region(core::Vec2 center, double radius, bool blocked);
+
   /// Advances one fixed step: harvester produces, piles spawn, forwarders
-  /// run their task state machines, humans walk, drones orbit.
+  /// run their task state machines, humans walk, drones orbit. With
+  /// config.threads > 1 the per-entity phases run on the worksite's
+  /// thread pool; outcomes are bit-identical for every thread count.
   void step();
 
   // --- outcome metrics ---
   /// One-stop snapshot of the worksite's outcome and hot-path counters,
-  /// including the planner's route-cache/JPS statistics.
+  /// including the planners' route-cache/JPS statistics (summed over all
+  /// clearance instances).
   struct Metrics {
     double delivered_m3 = 0.0;
     std::uint64_t completed_cycles = 0;
     double min_human_separation = 1e9;
     std::uint64_t separation_samples = 0;
     std::uint64_t route_reuses = 0;  ///< lazy re-plans avoided, fleet-wide
+    std::uint64_t windthrow_events = 0;  ///< hazards spawned by the weather model
     PlannerStats planner;            ///< cache hits/misses/invalidations, JPS
   };
   [[nodiscard]] Metrics metrics() const;
@@ -147,7 +201,9 @@ class Worksite {
   /// Count of recorded separation samples below `threshold_m`. Answered
   /// from the streaming histogram at separation_bin_m resolution
   /// (thresholds are rounded up to the next bin edge), O(bins) instead of
-  /// a scan over every sample ever recorded.
+  /// a scan over every sample ever recorded — unless
+  /// config.exact_separation_samples is set, in which case the retained
+  /// sample set is scanned and the count is exact at any threshold.
   [[nodiscard]] std::uint64_t close_encounters(double threshold_m) const;
   /// Streaming moments (mean/stddev/min/max) over all separation samples.
   [[nodiscard]] const core::RunningStats& separation_stats() const {
@@ -155,6 +211,10 @@ class Worksite {
   }
   [[nodiscard]] const core::Histogram& separation_histogram() const {
     return separation_hist_;
+  }
+  /// Retained samples (nullptr unless config.exact_separation_samples).
+  [[nodiscard]] const core::SampleSet* separation_samples() const {
+    return separation_exact_ ? &*separation_exact_ : nullptr;
   }
 
  private:
@@ -168,12 +228,55 @@ class Worksite {
     double radius = 25.0;
     double phase = 0.0;
   };
+  /// A windthrow no-go disc awaiting clearance.
+  struct ActiveHazard {
+    core::Vec2 center;
+    double radius = 0.0;
+    core::SimTime until = 0;
+  };
 
-  void step_harvester(Machine& harvester);
+  /// Per-machine side-effect buffer: the decide phase runs on worker
+  /// threads and must not touch shared state, so anything that publishes,
+  /// plans, or mutates piles is recorded here and applied by the drain in
+  /// ascending slot order. At most one action per machine per step (the
+  /// forwarder FSM takes one branch), plus an optional pile spawn.
+  struct MachineEffects {
+    enum class Action : std::uint8_t {
+      kNone = 0,
+      kDispatch,     ///< idle -> to-pile: route + task event
+      kRoutePlanned, ///< mid-task re-route through the planner
+      kRouteDirect,  ///< short final approach, straight-line route
+      kLoadCommit,   ///< load timer expired: take volume, transition
+      kCycleCommit,  ///< unload timer expired: credit delivery, event
+    };
+    Action action = Action::kNone;
+    core::Vec2 route_goal{};
+    double unloaded_m3 = 0.0;
+    std::optional<LogPile> spawn;  ///< harvester production (id assigned in drain)
+  };
+
+  // --- step phases (see step() for ordering) ---
+  /// Serial: windthrow spawn/expiry against every planner.
+  void step_weather_hazards();
+  /// Parallel: per-machine FSM decisions into effects_[slot].
+  void decide_machine(std::size_t slot, std::size_t shard);
+  void decide_harvester(Machine& harvester, MachineEffects& fx);
+  void decide_forwarder(Machine& forwarder, ForwarderState& state,
+                        MachineEffects& fx);
+  void decide_drone(Machine& drone);
+  /// Serial: applies effects_ in ascending slot order — pile spawns and
+  /// takes, planner routing, event-bus publishes, delivery accounting.
+  void drain_machine_effects();
+  void commit_load(Machine& forwarder, ForwarderState& state);
+  /// Serial: streams the per-machine separation samples gathered by the
+  /// parallel sampling pass into min/stats/histogram in slot order, so
+  /// the floating-point accumulation order is thread-count-invariant.
+  void drain_separation_samples();
+
   /// route_machine body shared with the public id-based overload.
   void route_machine(Machine& machine, core::Vec2 goal);
-  void step_forwarder(Machine& forwarder, ForwarderState& state);
-  void step_drone(Machine& drone);
+  /// Runs `fn(begin, end, shard)` over [0, n), on the pool when present.
+  void parallel_over(std::size_t n, const core::ThreadPool::ShardFn& fn);
   /// Nearest pile with harvestable volume, by stable pile id. Exact
   /// (expanding-ring search over the pile grid; only live piles indexed).
   std::optional<std::uint64_t> nearest_pile(core::Vec2 from) const;
@@ -183,20 +286,27 @@ class Worksite {
   /// Swap-and-pop removal of exhausted piles (volume < 0.5): the grid and
   /// slot map shrink with the site instead of growing without bound.
   void compact_piles();
-  void record_separations();
 
   WorksiteConfig config_;
+  std::uint64_t seed_ = 0;  ///< fork_stream root for per-entity streams
   core::Rng rng_;
+  core::Rng hazard_rng_;  ///< windthrow stream, independent of entities
   core::SimClock clock_;
   core::EventBus bus_;
   std::unique_ptr<Terrain> terrain_;
-  std::unique_ptr<PathPlanner> planner_;
+  /// Route planners by quantised clearance (key = round(clearance * 10));
+  /// planner_ points at the default-clearance instance. std::map so
+  /// iteration (stat aggregation, block_region) is in a fixed order.
+  std::map<long, std::unique_ptr<PathPlanner>> planners_;
+  PathPlanner* planner_ = nullptr;
+  std::unique_ptr<core::ThreadPool> pool_;
 
   std::vector<std::unique_ptr<Machine>> machines_;
   std::vector<std::unique_ptr<Human>> humans_;
   std::vector<LogPile> piles_;
   std::unordered_map<std::uint64_t, ForwarderState> forwarder_states_;
   std::unordered_map<std::uint64_t, DroneOrbit> drone_orbits_;
+  std::unordered_map<std::uint64_t, double> harvester_accum_m3_;
 
   // Hot-loop lookup structures: id -> slot maps (machines/humans are
   // append-only; pile slots are fixed up on compaction) and uniform-grid
@@ -209,16 +319,25 @@ class Worksite {
   std::uint64_t next_pile_id_ = 1;
   mutable std::vector<std::uint64_t> query_buffer_;
 
+  // Parallel-phase buffers: per-machine effect/sample slots (disjoint
+  // writes, drained serially) and per-shard query scratch (a shard runs
+  // on exactly one thread per parallel_for).
+  std::vector<MachineEffects> effects_;
+  std::vector<std::vector<double>> separation_buffers_;
+  std::vector<std::vector<std::uint64_t>> shard_query_;
+
   IdAllocator<MachineId> machine_ids_;
   IdAllocator<HumanId> human_ids_;
 
-  double harvester_accumulator_m3_ = 0.0;
+  std::deque<ActiveHazard> hazards_;
+  std::uint64_t windthrow_events_ = 0;
   std::uint64_t route_reuses_ = 0;
   double delivered_m3_ = 0.0;
   std::uint64_t completed_cycles_ = 0;
   double min_separation_ = 1e9;
   core::RunningStats separation_stats_;
   core::Histogram separation_hist_;
+  std::optional<core::SampleSet> separation_exact_;
 };
 
 }  // namespace agrarsec::sim

@@ -1,0 +1,299 @@
+// Determinism contract of the sharded step (DESIGN.md §9): threads=N must
+// be bit-identical to threads=1 — same metrics, same event sequence, same
+// poses, same RNG outcomes — plus the per-entity stream and per-clearance
+// planner invariants that make the parallel phases sound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/worksite.h"
+
+namespace agrarsec::sim {
+namespace {
+
+WorksiteConfig fig1_site() {
+  WorksiteConfig config;
+  config.forest.bounds = {{0, 0}, {400, 400}};
+  config.forest.trees_per_hectare = 200;
+  config.landing_area = {40, 40};
+  config.harvester_output_m3_per_min = 30.0;  // keep the fleet busy
+  config.load_time = 10 * core::kSecond;
+  config.unload_time = 8 * core::kSecond;
+  // Windthrow on so the parity run also covers hazard spawning, planner
+  // invalidation, and the hazard RNG stream.
+  config.windthrow_rate_per_hour = 20.0;
+  config.windthrow_duration = 30 * core::kSecond;
+  return config;
+}
+
+struct RecordedEvent {
+  std::string topic;
+  std::string payload;
+  std::uint64_t origin;
+  core::SimTime time;
+  bool operator==(const RecordedEvent&) const = default;
+};
+
+struct Snapshot {
+  std::vector<RecordedEvent> events;
+  std::vector<std::tuple<double, double, double, double, double>> machine_poses;
+  std::vector<std::pair<double, double>> human_poses;
+  Worksite::Metrics metrics;
+  double sep_mean = 0.0;
+  double sep_stddev = 0.0;
+  std::uint64_t close_10m = 0;
+};
+
+/// Builds the Figure-1-style mixed fleet, steps `steps` times at the given
+/// shard count, and snapshots everything the parity contract covers.
+Snapshot run_site(std::size_t threads, int steps) {
+  WorksiteConfig config = fig1_site();
+  config.threads = threads;
+  Worksite site{config, 1234};
+
+  Snapshot snap;
+  site.bus().subscribe_all([&snap](const core::Event& e) {
+    snap.events.push_back({e.topic, e.payload, e.origin, e.time});
+  });
+
+  site.add_harvester("h1", {250, 250});
+  std::vector<MachineId> forwarders;
+  for (int i = 0; i < 4; ++i) {
+    forwarders.push_back(site.add_forwarder(
+        "f" + std::to_string(i), {60.0 + 20.0 * i, 60.0}));
+  }
+  const MachineId drone = site.add_drone("d1", {50, 50});
+  site.set_drone_orbit(drone, forwarders[0], 25.0);
+  for (int i = 0; i < 8; ++i) {
+    const core::Vec2 anchor{100.0 + 30.0 * (i % 4), 120.0 + 60.0 * (i / 4)};
+    site.add_worker("w" + std::to_string(i), anchor, anchor);
+  }
+
+  for (int i = 0; i < steps; ++i) site.step();
+
+  for (const Machine* m : site.machines()) {
+    snap.machine_poses.emplace_back(m->position().x, m->position().y, m->heading(),
+                                    m->speed(), m->load_m3());
+  }
+  for (const Human* h : site.humans()) {
+    snap.human_poses.emplace_back(h->position().x, h->position().y);
+  }
+  snap.metrics = site.metrics();
+  snap.sep_mean = site.separation_stats().mean();
+  snap.sep_stddev = site.separation_stats().stddev();
+  snap.close_10m = site.close_encounters(10.0);
+  return snap;
+}
+
+void expect_identical(const Snapshot& a, const Snapshot& b, std::size_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  // Event sequence: exact, in order (publishes happen only in the serial
+  // phases, in ascending machine-slot order).
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]) << "event " << i;
+  }
+  // Poses: bit-identical doubles (same operations in the same order on
+  // every entity, whatever thread stepped it).
+  EXPECT_EQ(a.machine_poses, b.machine_poses);
+  EXPECT_EQ(a.human_poses, b.human_poses);
+  // Metrics, including the float accumulators whose summation order the
+  // drain pins down.
+  EXPECT_EQ(a.metrics.delivered_m3, b.metrics.delivered_m3);
+  EXPECT_EQ(a.metrics.completed_cycles, b.metrics.completed_cycles);
+  EXPECT_EQ(a.metrics.min_human_separation, b.metrics.min_human_separation);
+  EXPECT_EQ(a.metrics.separation_samples, b.metrics.separation_samples);
+  EXPECT_EQ(a.metrics.route_reuses, b.metrics.route_reuses);
+  EXPECT_EQ(a.metrics.windthrow_events, b.metrics.windthrow_events);
+  EXPECT_EQ(a.metrics.planner.plans, b.metrics.planner.plans);
+  EXPECT_EQ(a.metrics.planner.cache_hits, b.metrics.planner.cache_hits);
+  EXPECT_EQ(a.metrics.planner.cache_misses, b.metrics.planner.cache_misses);
+  EXPECT_EQ(a.metrics.planner.invalidations, b.metrics.planner.invalidations);
+  EXPECT_EQ(a.sep_mean, b.sep_mean);
+  EXPECT_EQ(a.sep_stddev, b.sep_stddev);
+  EXPECT_EQ(a.close_10m, b.close_10m);
+}
+
+TEST(WorksiteParallel, ThreadCountIsUnobservable) {
+  constexpr int kSteps = 600;  // one sim-minute, enough for full cycles
+  const Snapshot serial = run_site(1, kSteps);
+  ASSERT_FALSE(serial.events.empty());
+  ASSERT_GT(serial.metrics.separation_samples, 0u);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    expect_identical(serial, run_site(threads, kSteps), threads);
+  }
+}
+
+TEST(WorksiteParallel, ZeroThreadsMeansHardwareConcurrency) {
+  // threads=0 must resolve and still honour the parity contract.
+  const Snapshot serial = run_site(1, 200);
+  expect_identical(serial, run_site(0, 200), 0);
+}
+
+// Per-entity streams: an entity's RNG-driven behaviour depends only on the
+// worksite seed and its own id, never on who else draws. Adding a second
+// worker must leave the first worker's walk untouched (with the old shared
+// stream it interleaved draws and diverged immediately).
+TEST(WorksiteParallel, WorkerStreamIndependentOfPopulation) {
+  WorksiteConfig config = fig1_site();
+  config.windthrow_rate_per_hour = 0.0;
+
+  Worksite alone{config, 77};
+  const HumanId w_alone = alone.add_worker("w1", {150, 150}, {150, 150});
+
+  Worksite crowded{config, 77};
+  const HumanId w_crowded = crowded.add_worker("w1", {150, 150}, {150, 150});
+  crowded.add_worker("w2", {180, 180}, {180, 180});
+  crowded.add_worker("w3", {120, 190}, {120, 190});
+
+  for (int i = 0; i < 500; ++i) {
+    alone.step();
+    crowded.step();
+    const core::Vec2 pa = alone.human(w_alone)->position();
+    const core::Vec2 pc = crowded.human(w_crowded)->position();
+    ASSERT_EQ(pa.x, pc.x) << "step " << i;
+    ASSERT_EQ(pa.y, pc.y) << "step " << i;
+  }
+}
+
+// Same invariant for machines: the harvester's pile placement draws come
+// from its own stream, so an unrelated extra machine does not perturb it.
+TEST(WorksiteParallel, HarvesterStreamIndependentOfPopulation) {
+  WorksiteConfig config = fig1_site();
+  config.windthrow_rate_per_hour = 0.0;
+
+  Worksite alone{config, 9};
+  alone.add_harvester("h1", {250, 250});
+  Worksite crowded{config, 9};
+  crowded.add_harvester("h1", {250, 250});
+  crowded.add_drone("d1", {50, 50});  // different kind, later id
+
+  for (int i = 0; i < 400; ++i) {
+    alone.step();
+    crowded.step();
+  }
+  ASSERT_EQ(alone.piles().size(), crowded.piles().size());
+  for (std::size_t i = 0; i < alone.piles().size(); ++i) {
+    EXPECT_EQ(alone.piles()[i].position.x, crowded.piles()[i].position.x);
+    EXPECT_EQ(alone.piles()[i].position.y, crowded.piles()[i].position.y);
+  }
+}
+
+// S2: weather-driven windthrow must actually reach the planners — events
+// on the bus, hazards counted, cached routes invalidated, debris cleared
+// after the configured duration.
+TEST(WorksiteParallel, WindthrowBlocksPlannersAndClears) {
+  WorksiteConfig config = fig1_site();
+  config.weather = Weather::kSnow;           // highest hazard factor
+  config.windthrow_rate_per_hour = 2000.0;   // deterministic-ish: fires fast
+  config.windthrow_duration = 5 * core::kSecond;
+  Worksite site{config, 5};
+
+  int spawned = 0;
+  int cleared = 0;
+  site.bus().subscribe("worksite/windthrow",
+                       [&spawned](const core::Event&) { ++spawned; });
+  site.bus().subscribe("worksite/windthrow-cleared",
+                       [&cleared](const core::Event&) { ++cleared; });
+
+  site.add_harvester("h1", {200, 200});
+  site.add_forwarder("f1", {60, 60});
+  (void)site.plan_route({60, 60}, {350, 350});  // warm a cache entry
+  for (int i = 0; i < 1200; ++i) site.step();  // 2 sim-minutes
+
+  EXPECT_GT(spawned, 0);
+  EXPECT_GT(cleared, 0);
+  EXPECT_EQ(site.metrics().windthrow_events, static_cast<std::uint64_t>(spawned));
+  // Generation-invalidation: the warmed entry was planned before the first
+  // windthrow bumped the blocked-grid generation, so re-querying the same
+  // pair must evict it instead of serving a stale route.
+  (void)site.plan_route({60, 60}, {350, 350});
+  EXPECT_GT(site.metrics().planner.invalidations, 0u);
+}
+
+TEST(WorksiteParallel, WindthrowFactorOrdering) {
+  EXPECT_LT(windthrow_weather_factor(Weather::kClear),
+            windthrow_weather_factor(Weather::kFog));
+  EXPECT_LT(windthrow_weather_factor(Weather::kFog),
+            windthrow_weather_factor(Weather::kRain));
+  EXPECT_LT(windthrow_weather_factor(Weather::kRain),
+            windthrow_weather_factor(Weather::kSnow));
+}
+
+// S3: the exact sample set and the streaming histogram must agree on
+// close_encounters at histogram bin edges (where no rounding happens).
+TEST(WorksiteParallel, ExactSamplesAgreeWithHistogramAtBinEdges) {
+  WorksiteConfig base = fig1_site();
+  base.windthrow_rate_per_hour = 0.0;
+
+  auto populate_and_run = [](Worksite& site) {
+    site.add_harvester("h1", {250, 250});
+    site.add_forwarder("f1", {60, 60});
+    site.add_forwarder("f2", {90, 60});
+    for (int i = 0; i < 6; ++i) {
+      const core::Vec2 anchor{100.0 + 25.0 * i, 130.0};
+      site.add_worker("w" + std::to_string(i), anchor, anchor);
+    }
+    for (int i = 0; i < 3000; ++i) site.step();
+  };
+
+  WorksiteConfig exact_cfg = base;
+  exact_cfg.exact_separation_samples = true;
+  Worksite exact{exact_cfg, 21};
+  Worksite histo{base, 21};
+  populate_and_run(exact);
+  populate_and_run(histo);
+
+  ASSERT_NE(exact.separation_samples(), nullptr);
+  EXPECT_EQ(histo.separation_samples(), nullptr);
+  ASSERT_GT(exact.separation_samples()->size(), 0u);
+  EXPECT_EQ(exact.separation_samples()->size(),
+            exact.separation_stats().count());
+
+  // Identical simulations (the flag only adds retention), so the two
+  // sites saw the same samples; compare both paths at every bin edge.
+  ASSERT_EQ(exact.separation_stats().count(), histo.separation_stats().count());
+  for (double edge = 0.0; edge <= base.separation_tracking_m + 0.5;
+       edge += 25 * base.separation_bin_m) {
+    EXPECT_EQ(exact.close_encounters(edge), histo.close_encounters(edge))
+        << "threshold " << edge;
+  }
+  // Off-edge thresholds: the histogram rounds up to the next edge, so it
+  // may only over-count, never under-count.
+  EXPECT_GE(histo.close_encounters(10.05), exact.close_encounters(10.05));
+}
+
+// S1 regression: machines with different clearances must not share a route
+// cache. A drone-width route served to a forwarder would thread gaps the
+// forwarder cannot take.
+TEST(WorksiteParallel, PerClearancePlannerInstances) {
+  Worksite site{fig1_site(), 3};
+  const MachineId f = site.add_forwarder("f1", {60, 60});
+  const MachineId d = site.add_drone("d1", {60, 60});
+
+  const double fc = Worksite::machine_clearance(*site.machine(f));
+  const double dc = Worksite::machine_clearance(*site.machine(d));
+  EXPECT_NEAR(fc, 2.0, 1e-9);  // 1.8 m body + margin = default planner
+  EXPECT_NEAR(dc, 0.6, 1e-9);  // 0.4 m body + margin
+  ASSERT_NE(&site.planner_for(fc), &site.planner_for(dc));
+  EXPECT_EQ(&site.planner_for(fc), &site.planner());  // default instance reused
+  EXPECT_NEAR(site.planner_for(dc).config().clearance_m, 0.6, 1e-9);
+
+  // Routing the drone must not touch the forwarder planner's cache.
+  const std::size_t before = site.planner().cache_size();
+  site.route_machine(d, {300, 300});
+  EXPECT_EQ(site.planner().cache_size(), before);
+
+  // Both planners honour block_region (fleet-wide no-go).
+  const std::uint64_t gen_f = site.planner_for(fc).generation();
+  const std::uint64_t gen_d = site.planner_for(dc).generation();
+  site.block_region({200, 200}, 15.0, true);
+  EXPECT_GT(site.planner_for(fc).generation(), gen_f);
+  EXPECT_GT(site.planner_for(dc).generation(), gen_d);
+}
+
+}  // namespace
+}  // namespace agrarsec::sim
