@@ -14,6 +14,20 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== static analysis: agrarsec-lint over the committed models =="
+# Gate on NEW findings only: everything in the checked-in baseline is
+# known backlog; any un-baselined error finding fails the stage.
+./build/tools/agrarsec_lint --model=all --baseline=.agrarsec-lint-baseline.json
+# The deliberately-defective model must keep tripping the non-zero exit —
+# this proves the gate actually gates.
+if ./build/tools/agrarsec_lint --model=defective >/dev/null; then
+  echo "check.sh: defective model linted clean — the lint gate is broken" >&2
+  exit 1
+fi
+
+echo "== static analysis: clang-tidy (skips when not installed) =="
+./scripts/tidy.sh build
+
 echo "== sanitizers: ASan + UBSan =="
 cmake -B build-asan -S . -DAGRARSEC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
 if [[ "${1:-}" == "--full-asan" ]]; then

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the library, tool and example sources, using the
+# compile_commands.json the CMake configure step exports. Skips with a
+# notice (exit 0) when clang-tidy is not installed — the CI tidy job
+# installs it; local containers may not have it.
+# Usage: scripts/tidy.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [[ -z "$TIDY" ]]; then
+  for candidate in clang-tidy-{20,19,18,17,16,15,14}; do
+    if command -v "$candidate" >/dev/null; then
+      TIDY="$(command -v "$candidate")"
+      break
+    fi
+  done
+fi
+if [[ -z "$TIDY" ]]; then
+  echo "tidy.sh: clang-tidy not installed — skipping (CI runs it)"
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "tidy.sh: $BUILD_DIR/compile_commands.json missing" >&2
+  exit 2
+fi
+
+mapfile -t SOURCES < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp' 'examples/*.cpp')
+echo "tidy.sh: $TIDY over ${#SOURCES[@]} files"
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+echo "tidy.sh: clean"

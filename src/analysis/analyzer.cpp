@@ -1,0 +1,92 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+
+#include "analysis/json.h"
+
+namespace agrarsec::analysis {
+
+std::vector<Diagnostic> Analyzer::analyze(const Model& model) const {
+  std::vector<Diagnostic> out;
+  run_zone_rules(model, config_, out);
+  run_tara_rules(model, config_, out);
+  run_gsn_rules(model, config_, out);
+  run_pki_rules(model, config_, out);
+
+  std::sort(out.begin(), out.end(), diagnostic_less);
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Diagnostic& a, const Diagnostic& b) {
+                          return !diagnostic_less(a, b) && !diagnostic_less(b, a);
+                        }),
+            out.end());
+  return out;
+}
+
+std::size_t count_severity(const std::vector<Diagnostic>& diagnostics,
+                           Severity severity) {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::string render_text(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += std::string(severity_name(d.severity));
+    out += '[';
+    out += d.rule;
+    out += "]: ";
+    out += d.message;
+    out += '\n';
+    if (!d.entities.empty()) {
+      out += "  at: ";
+      for (std::size_t i = 0; i < d.entities.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += d.entities[i];
+      }
+      out += '\n';
+    }
+    if (!d.hint.empty()) {
+      out += "  hint: " + d.hint + '\n';
+    }
+  }
+  out += std::to_string(diagnostics.size()) + " finding(s): " +
+         std::to_string(count_severity(diagnostics, Severity::kError)) + " error, " +
+         std::to_string(count_severity(diagnostics, Severity::kWarning)) +
+         " warning, " + std::to_string(count_severity(diagnostics, Severity::kInfo)) +
+         " info\n";
+  return out;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diagnostics) {
+  Json findings = Json::array();
+  for (const Diagnostic& d : diagnostics) {
+    Json finding = Json::object();
+    finding.set("rule", Json::string(d.rule));
+    finding.set("severity", Json::string(std::string(severity_name(d.severity))));
+    finding.set("message", Json::string(d.message));
+    Json entities = Json::array();
+    for (const std::string& entity : d.entities) {
+      entities.push(Json::string(entity));
+    }
+    finding.set("entities", std::move(entities));
+    finding.set("hint", Json::string(d.hint));
+    findings.push(std::move(finding));
+  }
+
+  Json summary = Json::object();
+  summary.set("errors",
+              Json::number(static_cast<double>(count_severity(diagnostics, Severity::kError))));
+  summary.set("warnings",
+              Json::number(static_cast<double>(count_severity(diagnostics, Severity::kWarning))));
+  summary.set("infos",
+              Json::number(static_cast<double>(count_severity(diagnostics, Severity::kInfo))));
+
+  Json report = Json::object();
+  report.set("version", Json::number(1));
+  report.set("findings", std::move(findings));
+  report.set("summary", std::move(summary));
+  return report.serialize(2) + "\n";
+}
+
+}  // namespace agrarsec::analysis

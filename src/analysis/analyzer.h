@@ -1,0 +1,41 @@
+// The analyzer: runs the full rule pack over an assembled model and
+// renders the findings. Pure graph reasoning over existing model types —
+// no simulation, no randomness, no wall clock — so the diagnostic list
+// (and its JSON rendering) is byte-identical across runs on the same
+// model, which is what lets CI diff it against a baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/model.h"
+#include "analysis/rules.h"
+
+namespace agrarsec::analysis {
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerConfig config = {}) : config_(config) {}
+
+  /// Runs every rule family; the result is sorted by (rule, entities,
+  /// message) and deduplicated — a pure function of the model.
+  [[nodiscard]] std::vector<Diagnostic> analyze(const Model& model) const;
+
+  [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
+
+ private:
+  AnalyzerConfig config_;
+};
+
+/// Number of diagnostics at exactly `severity`.
+[[nodiscard]] std::size_t count_severity(const std::vector<Diagnostic>& diagnostics,
+                                         Severity severity);
+
+/// Human-readable report, one "severity[rule]: message" block per finding.
+[[nodiscard]] std::string render_text(const std::vector<Diagnostic>& diagnostics);
+
+/// Deterministic JSON report: {"version":1,"findings":[...],"summary":{...}}.
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace agrarsec::analysis

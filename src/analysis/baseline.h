@@ -1,0 +1,55 @@
+// Suppression baseline: accepted findings keyed (rule, entities) so CI
+// gates on *new* findings only. The committed file format
+// (`.agrarsec-lint-baseline.json`):
+//
+//   {
+//     "version": 1,
+//     "findings": [
+//       {"rule": "ZC002", "entities": ["zone:data", "fr:dc"]}
+//     ]
+//   }
+//
+// Keys deliberately exclude the message text, so rewording a diagnostic
+// never invalidates a committed baseline; changing the offending entities
+// (a genuinely different finding) always does.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace agrarsec::analysis {
+
+class Baseline {
+ public:
+  Baseline() = default;
+
+  /// Builds a baseline accepting exactly the given findings.
+  [[nodiscard]] static Baseline from(const std::vector<Diagnostic>& diagnostics);
+
+  /// Parses the JSON format above; nullopt + `error` on malformed input.
+  [[nodiscard]] static std::optional<Baseline> parse(std::string_view json,
+                                                     std::string* error = nullptr);
+
+  [[nodiscard]] bool covers(const Diagnostic& diagnostic) const {
+    return keys_.contains(diagnostic.key());
+  }
+
+  /// The diagnostics NOT covered by this baseline (the "new" findings).
+  [[nodiscard]] std::vector<Diagnostic> filter(
+      std::vector<Diagnostic> diagnostics) const;
+
+  /// Deterministic serialization of the format above (sorted keys).
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::set<std::string> keys_;  ///< Diagnostic::key() strings, sorted
+};
+
+}  // namespace agrarsec::analysis

@@ -1,0 +1,30 @@
+#include "analysis/diagnostic.h"
+
+#include <tuple>
+
+namespace agrarsec::analysis {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::key() const {
+  std::string out = rule;
+  for (const std::string& entity : entities) {
+    out += '\x1f';  // unit separator: cannot appear in entity names
+    out += entity;
+  }
+  return out;
+}
+
+bool diagnostic_less(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.rule, a.entities, a.message) <
+         std::tie(b.rule, b.entities, b.message);
+}
+
+}  // namespace agrarsec::analysis

@@ -1,0 +1,40 @@
+// Compiler-style diagnostics for the security-architecture analyzer.
+// Every finding carries a stable rule id (e.g. "ZC001"), a severity, the
+// offending entity ids and a one-line fix hint, so CI output is both
+// greppable and machine-consumable (--format=json).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agrarsec::analysis {
+
+enum class Severity : std::uint8_t {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,  ///< an assessor-rejectable inconsistency; gates CI
+};
+
+[[nodiscard]] std::string_view severity_name(Severity severity);
+
+/// One finding. `entities` names the offending model elements with typed
+/// prefixes ("zone:control", "threat:estop-replay", "goal:G-top", ...);
+/// together with `rule` it forms the stable key the baseline suppresses on,
+/// so message rewording never invalidates a committed baseline.
+struct Diagnostic {
+  std::string rule;                   ///< stable id, e.g. "ZC001"
+  Severity severity = Severity::kWarning;
+  std::string message;                ///< one-line defect statement
+  std::vector<std::string> entities;  ///< offending entity ids
+  std::string hint;                   ///< one-line fix hint
+
+  /// Stable suppression key: rule + entity list (not the message).
+  [[nodiscard]] std::string key() const;
+};
+
+/// Total order used for deterministic output: (rule, entities, message).
+[[nodiscard]] bool diagnostic_less(const Diagnostic& a, const Diagnostic& b);
+
+}  // namespace agrarsec::analysis

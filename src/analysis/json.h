@@ -1,0 +1,75 @@
+// Minimal deterministic JSON reader/writer for the analyzer's machine
+// interfaces (diagnostic reports and baseline files). Objects preserve
+// insertion order, so serialization is a pure function of construction
+// order — the property the byte-identical --format=json guarantee and the
+// baseline round-trip rest on. Parsing accepts standard JSON (no comments,
+// no trailing commas); numbers are doubles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace agrarsec::analysis {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kNumber = 2,
+    kString = 3,
+    kArray = 4,
+    kObject = 5,
+  };
+
+  Json() = default;  ///< null
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is(Kind kind) const { return kind_ == kind; }
+
+  // Scalar access (callers must check kind() first).
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  // Array access.
+  void push(Json value);
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+
+  // Object access (insertion-ordered; set() replaces an existing key
+  // in place to keep ordering stable).
+  void set(std::string key, Json value);
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Pretty serialization with `indent` spaces per level (0 = compact).
+  [[nodiscard]] std::string serialize(int indent = 2) const;
+
+  /// Strict parse; on failure returns nullopt and (when non-null) fills
+  /// `error` with a position-annotated message.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void serialize_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace agrarsec::analysis

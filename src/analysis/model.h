@@ -1,0 +1,54 @@
+// The assembled security-architecture model the analyzer walks: IEC 62443
+// zones/conduits with their countermeasure catalogue, the ISO/SAE 21434
+// TARA, the GSN assurance argument with its evidence registry and
+// Regulation (EU) 2023/1230 compliance mapping, and the worksite PKI trust
+// relationships. Pure aggregation by const pointer — the analyzer never
+// mutates and never simulates; every part is optional (nullptr = absent),
+// so a partially assembled model lints with the rules its parts enable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assurance/compliance.h"
+#include "assurance/evidence.h"
+#include "assurance/gsn.h"
+#include "core/time.h"
+#include "pki/certificate.h"
+#include "pki/trust_store.h"
+#include "risk/catalog.h"
+#include "risk/iec62443.h"
+#include "risk/tara.h"
+
+namespace agrarsec::analysis {
+
+/// A named communication endpoint and the certificate chain it presents
+/// (leaf first) — what the PK rules validate against the trust store.
+struct PkiEndpoint {
+  std::string name;
+  std::vector<pki::Certificate> chain;
+};
+
+struct Model {
+  // Zone/conduit layer (IEC 62443).
+  const risk::ItemDefinition* item = nullptr;
+  const risk::ZoneModel* zones = nullptr;
+  const std::vector<risk::Countermeasure>* countermeasures = nullptr;
+
+  // TARA layer (ISO/SAE 21434).
+  const risk::Tara* tara = nullptr;
+  const std::vector<risk::Control>* controls = nullptr;
+  const std::vector<risk::ForestryCharacteristic>* characteristics = nullptr;
+
+  // Assurance layer (GSN argument + compliance mapping).
+  const assurance::ArgumentModel* argument = nullptr;
+  const assurance::EvidenceRegistry* evidence = nullptr;
+  const assurance::ComplianceMap* compliance = nullptr;
+
+  // PKI layer.
+  const pki::TrustStore* trust = nullptr;
+  const std::vector<PkiEndpoint>* endpoints = nullptr;
+  core::SimTime now = 0;  ///< validity instant for chain validation
+};
+
+}  // namespace agrarsec::analysis

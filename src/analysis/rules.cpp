@@ -1,0 +1,35 @@
+#include "analysis/rules.h"
+
+namespace agrarsec::analysis {
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kRules = {
+      {"GS001", Severity::kError, "gsn",
+       "argument cycle through supported_by / in_context_of edges"},
+      {"GS002", Severity::kError, "gsn",
+       "solution with no bound evidence or a dangling EvidenceId"},
+      {"GS003", Severity::kWarning, "gsn",
+       "goal neither developed nor marked undeveloped"},
+      {"GS004", Severity::kError, "gsn",
+       "compliance requirement mapped to a nonexistent goal"},
+      {"PK001", Severity::kError, "pki",
+       "endpoint certificate chain does not reach a trust-store root"},
+      {"TA001", Severity::kError, "tara",
+       "high-risk threat with no treatment decision"},
+      {"TA002", Severity::kError, "tara",
+       "threat references an unknown asset or an uncatalogued control"},
+      {"TA003", Severity::kInfo, "tara",
+       "threat catalogue characteristic never instantiated against any asset"},
+      {"ZC001", Severity::kError, "zone-conduit",
+       "conduit endpoint references an undeclared zone"},
+      {"ZC002", Severity::kWarning, "zone-conduit",
+       "achieved SL-A below target SL-T for a foundational requirement"},
+      {"ZC003", Severity::kWarning, "zone-conduit",
+       "conduit bridges an SL-T gap without a compensating countermeasure"},
+      {"ZC004", Severity::kWarning, "zone-conduit",
+       "item asset assigned to no zone"},
+  };
+  return kRules;
+}
+
+}  // namespace agrarsec::analysis

@@ -1,0 +1,47 @@
+// The rule pack: four families of deterministic graph checks over the
+// assembled model. Each family appends raw diagnostics; the Analyzer
+// sorts/dedupes them into the final report.
+//
+//   ZC — IEC 62443 zone/conduit structure and SL gap analysis
+//   TA — ISO/SAE 21434 TARA treatment and reference integrity
+//   GS — GSN argument structure and compliance mapping integrity
+//   PK — PKI trust relationships
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/model.h"
+
+namespace agrarsec::analysis {
+
+struct AnalyzerConfig {
+  /// TA001: initial risk at or above this retained untreated is an error.
+  risk::RiskValue high_risk = 4;
+  /// ZC003: SL-T gap between bridged zones that demands a compensating
+  /// conduit countermeasure.
+  int conduit_gap = 2;
+};
+
+void run_zone_rules(const Model& model, const AnalyzerConfig& config,
+                    std::vector<Diagnostic>& out);
+void run_tara_rules(const Model& model, const AnalyzerConfig& config,
+                    std::vector<Diagnostic>& out);
+void run_gsn_rules(const Model& model, const AnalyzerConfig& config,
+                   std::vector<Diagnostic>& out);
+void run_pki_rules(const Model& model, const AnalyzerConfig& config,
+                   std::vector<Diagnostic>& out);
+
+/// Static description of one rule (for --list-rules and DESIGN.md §10).
+struct RuleInfo {
+  std::string_view id;
+  Severity severity;
+  std::string_view family;
+  std::string_view summary;
+};
+
+/// All shipped rules, ordered by id.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+
+}  // namespace agrarsec::analysis

@@ -1,0 +1,140 @@
+// GS family: GSN argument structure and compliance-mapping integrity. An
+// assurance case with a support cycle, an evidence reference into the
+// void, or an open goal nobody flagged is exactly what AdvoCATE-style
+// tooling exists to reject before an assessor does.
+#include <string>
+#include <unordered_map>
+
+#include "analysis/rules.h"
+
+namespace agrarsec::analysis {
+
+namespace {
+
+/// DFS colors for cycle detection over supported_by + in_context_of.
+enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+
+/// Reports the back edge closing each cycle (one diagnostic per back
+/// edge). Iterative stack so a pathological chain cannot overflow.
+void find_cycles(const assurance::ArgumentModel& argument,
+                 std::vector<Diagnostic>& out) {
+  const auto& nodes = argument.nodes();
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  for (std::size_t i = 0; i < nodes.size(); ++i) index[nodes[i].id.value()] = i;
+
+  std::vector<Color> color(nodes.size(), Color::kWhite);
+  auto edges = [&](const assurance::GsnNode& n) {
+    std::vector<GsnId> all = n.supported_by;
+    all.insert(all.end(), n.in_context_of.begin(), n.in_context_of.end());
+    return all;
+  };
+
+  for (std::size_t root = 0; root < nodes.size(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack of (node index, next child position).
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [at, next] = stack.back();
+      const std::vector<GsnId> children = edges(nodes[at]);
+      if (next >= children.size()) {
+        color[at] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const auto it = index.find(children[next].value());
+      ++next;
+      if (it == index.end()) continue;  // dangling edge; GS rules elsewhere
+      const std::size_t to = it->second;
+      if (color[to] == Color::kGray) {
+        Diagnostic d;
+        d.rule = "GS001";
+        d.severity = Severity::kError;
+        d.entities = {"node:" + nodes[at].label, "node:" + nodes[to].label};
+        d.message = "argument cycle: edge from '" + nodes[at].label + "' back to '" +
+                    nodes[to].label + "' closes a support/context loop";
+        d.hint = "break the loop; GSN arguments must be acyclic";
+        out.push_back(std::move(d));
+      } else if (color[to] == Color::kWhite) {
+        color[to] = Color::kGray;
+        stack.emplace_back(to, 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_gsn_rules(const Model& model, const AnalyzerConfig& config,
+                   std::vector<Diagnostic>& out) {
+  (void)config;
+  if (model.argument == nullptr) return;
+  const assurance::ArgumentModel& argument = *model.argument;
+
+  // GS001: cycles through supported_by / in_context_of.
+  find_cycles(argument, out);
+
+  for (const assurance::GsnNode& node : argument.nodes()) {
+    // GS002: solutions must reference resolvable evidence.
+    if (node.type == assurance::GsnType::kSolution) {
+      if (!node.evidence.has_value()) {
+        Diagnostic d;
+        d.rule = "GS002";
+        d.severity = Severity::kError;
+        d.entities = {"node:" + node.label};
+        d.message = "solution '" + node.label + "' has no bound evidence";
+        d.hint = "bind an evidence item or replace the solution with a goal";
+        out.push_back(std::move(d));
+      } else if (model.evidence != nullptr &&
+                 model.evidence->item(*node.evidence) == nullptr) {
+        Diagnostic d;
+        d.rule = "GS002";
+        d.severity = Severity::kError;
+        d.entities = {"node:" + node.label,
+                      "evidence-id:" + std::to_string(node.evidence->value())};
+        d.message = "solution '" + node.label + "' references dangling evidence id " +
+                    std::to_string(node.evidence->value());
+        d.hint = "register the evidence item or rebind the solution";
+        out.push_back(std::move(d));
+      }
+    }
+
+    // GS003: goals are either developed or explicitly marked undeveloped.
+    if (node.type == assurance::GsnType::kGoal && !node.undeveloped &&
+        node.supported_by.empty()) {
+      Diagnostic d;
+      d.rule = "GS003";
+      d.severity = Severity::kWarning;
+      d.entities = {"node:" + node.label};
+      d.message = "goal '" + node.label +
+                  "' is neither developed nor marked undeveloped";
+      d.hint = "support the goal or mark_undeveloped() to record the open point";
+      out.push_back(std::move(d));
+    }
+  }
+
+  // GS004: every compliance mapping must land on an existing goal label.
+  if (model.compliance != nullptr) {
+    // Walk requirements in declaration order (deterministic), looking up
+    // each mapping — never iterate the unordered mapping itself.
+    for (const assurance::Requirement& requirement :
+         model.compliance->requirements()) {
+      const auto it = model.compliance->mapping().find(requirement.id);
+      if (it == model.compliance->mapping().end()) continue;
+      for (const std::string& label : it->second) {
+        if (argument.by_label(label) != nullptr) continue;
+        Diagnostic d;
+        d.rule = "GS004";
+        d.severity = Severity::kError;
+        d.entities = {"requirement:" + requirement.id, "goal:" + label};
+        d.message = "requirement '" + requirement.id +
+                    "' is mapped to nonexistent goal '" + label + "'";
+        d.hint = "fix the goal label or add the goal to the argument";
+        out.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+}  // namespace agrarsec::analysis

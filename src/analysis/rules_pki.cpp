@@ -1,0 +1,31 @@
+// PK family: PKI trust relationships. Every endpoint the architecture
+// declares must present a certificate chain that validates against the
+// site trust store at the analysis instant — signature chain, CA bits,
+// validity windows, revocation, role constraints (TrustStore::validate).
+#include <string>
+
+#include "analysis/rules.h"
+
+namespace agrarsec::analysis {
+
+void run_pki_rules(const Model& model, const AnalyzerConfig& config,
+                   std::vector<Diagnostic>& out) {
+  (void)config;
+  if (model.trust == nullptr || model.endpoints == nullptr) return;
+
+  for (const PkiEndpoint& endpoint : *model.endpoints) {
+    const auto validated = model.trust->validate(endpoint.chain, model.now);
+    if (validated.ok()) continue;
+    Diagnostic d;
+    d.rule = "PK001";
+    d.severity = Severity::kError;
+    d.entities = {"endpoint:" + endpoint.name};
+    d.message = "endpoint '" + endpoint.name +
+                "' certificate chain does not validate against the trust store (" +
+                validated.error().to_string() + ")";
+    d.hint = "re-enroll the endpoint under an installed root or fix the chain";
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace agrarsec::analysis

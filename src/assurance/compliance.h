@@ -58,6 +58,13 @@ class ComplianceMap {
     return requirements_;
   }
 
+  /// Requirement id -> mapped goal labels (the walkable view analyzers
+  /// iterate; unordered — walk requirements() for a deterministic order).
+  [[nodiscard]] const std::unordered_map<std::string, std::vector<std::string>>&
+  mapping() const {
+    return mapping_;
+  }
+
  private:
   std::vector<Requirement> requirements_;
   std::unordered_map<std::string, std::vector<std::string>> mapping_;

@@ -147,16 +147,19 @@ std::vector<std::string> ArgumentModel::validate() const {
     }
   }
 
-  // Cycle detection (DFS colors) over supported_by edges.
+  // Cycle detection (DFS colors) over supported_by AND in_context_of
+  // edges: context attachments between context-type nodes can close loops
+  // the support edges alone never see.
   enum class Color { kWhite, kGray, kBlack };
   std::vector<Color> color(nodes_.size(), Color::kWhite);
-  std::vector<std::size_t> work;
   std::function<bool(std::size_t)> dfs = [&](std::size_t i) {
     color[i] = Color::kGray;
-    for (GsnId child : nodes_[i].supported_by) {
-      const std::size_t j = by_id_.at(child.value());
-      if (color[j] == Color::kGray) return true;
-      if (color[j] == Color::kWhite && dfs(j)) return true;
+    for (const auto* edges : {&nodes_[i].supported_by, &nodes_[i].in_context_of}) {
+      for (GsnId child : *edges) {
+        const std::size_t j = by_id_.at(child.value());
+        if (color[j] == Color::kGray) return true;
+        if (color[j] == Color::kWhite && dfs(j)) return true;
+      }
     }
     color[i] = Color::kBlack;
     return false;

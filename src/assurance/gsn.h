@@ -74,6 +74,8 @@ class ArgumentModel {
   [[nodiscard]] const GsnNode* node(GsnId id) const;
   [[nodiscard]] const GsnNode* by_label(const std::string& label) const;
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  /// All nodes in creation order — the walkable view analyzers iterate.
+  [[nodiscard]] const std::vector<GsnNode>& nodes() const { return nodes_; }
   [[nodiscard]] std::vector<const GsnNode*> roots() const;
 
   /// Structural validation: returns human-readable problems (empty = ok).

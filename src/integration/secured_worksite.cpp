@@ -15,6 +15,12 @@ constexpr std::uint64_t kOperatorSender = 3;
 std::uint64_t forwarder_sender_id(std::size_t index) {
   return index == 0 ? 1 : 10 + index;
 }
+
+// fork_stream domain for the per-sensor perception-noise streams, keyed
+// by application sender id (forwarders 1/10+i, drone 2 — disjoint).
+// Distinct from the worksite's machine/human/weather domains, so sensing
+// never correlates with movement and never touches the shared stream.
+constexpr std::uint64_t kSenseStreamDomain = 0x53454E5345ULL;  // "SENSE"
 }  // namespace
 
 SecuredWorksiteConfig::SecuredWorksiteConfig() {
@@ -46,6 +52,8 @@ SecuredWorksite::SecuredWorksite(SecuredWorksiteConfig config)
                                config_.drone_orbit_radius_m);
     drone_sensor_ = std::make_unique<sensors::PerceptionSensor>(
         SensorId{1000}, config_.drone_sensor);
+    drone_sense_rng_ = core::Rng::fork_stream(config_.seed, kSenseStreamDomain,
+                                              kDroneSender);
   }
 
   setup_pki();
@@ -89,6 +97,8 @@ void SecuredWorksite::setup_units() {
         "forwarder-" + std::to_string(i + 1), start);
     unit->sensor = std::make_unique<sensors::PerceptionSensor>(
         SensorId{100 + i}, config_.forwarder_sensor);
+    unit->sense_rng = core::Rng::fork_stream(config_.seed, kSenseStreamDomain,
+                                             unit->sender_id);
     unit->fusion = std::make_unique<safety::DetectionFusion>(config_.fusion);
     unit->monitor = std::make_unique<safety::SafetyMonitor>(
         *worksite_->machine(unit->machine), config_.monitor, &worksite_->bus());
@@ -234,7 +244,7 @@ void SecuredWorksite::drone_report_cycle(core::SimTime now) {
   if (!config_.drone_enabled || !drone_sensor_) return;
   const sim::Machine* drone = worksite_->machine(drone_id_);
   const auto detections =
-      drone_sensor_->sense(*worksite_, *drone, now, worksite_->rng());
+      drone_sensor_->sense(*worksite_, *drone, now, *drone_sense_rng_);
 
   // One report per detection per fleet member, plus a heartbeat carrying
   // "cover alive" (sessions are per machine, so sealed copies differ).
@@ -345,7 +355,7 @@ void SecuredWorksite::forwarder_sense_cycle(core::SimTime now) {
   for (auto& unit : units_) {
     const sim::Machine* forwarder = worksite_->machine(unit->machine);
     unit->fusion->add_local(
-        unit->sensor->sense(*worksite_, *forwarder, now, worksite_->rng()));
+        unit->sensor->sense(*worksite_, *forwarder, now, *unit->sense_rng));
   }
 }
 

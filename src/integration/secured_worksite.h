@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rng.h"
 #include "core/stats.h"
 #include "crypto/random.h"
 #include "ids/correlation.h"
@@ -186,6 +187,12 @@ class SecuredWorksite {
   /// Channel in use at `time` (constant unless frequency_hopping).
   [[nodiscard]] std::uint32_t channel_at(core::SimTime time) const;
 
+  /// A forwarder's private perception-noise stream (determinism tests
+  /// peek at these to prove fleet growth leaves them untouched).
+  [[nodiscard]] core::Rng& unit_sense_rng(std::size_t index) {
+    return *units_.at(index)->sense_rng;
+  }
+
  private:
   // Per-human encounter tracking (ground truth for time-to-detect /
   // misses / coverage), per machine.
@@ -202,6 +209,11 @@ class SecuredWorksite {
     NodeId node;
     std::uint64_t sender_id = 0;  ///< application-level sender id
     std::unique_ptr<sensors::PerceptionSensor> sensor;
+    /// Per-unit perception-noise stream, fork_stream-keyed by sender id:
+    /// adding or removing fleet members never perturbs another unit's
+    /// sense draws, and nothing in the step loop touches the shared
+    /// worksite stream.
+    std::optional<core::Rng> sense_rng;
     std::unique_ptr<safety::DetectionFusion> fusion;
     std::unique_ptr<safety::SafetyMonitor> monitor;
     std::optional<pki::Identity> identity;
@@ -243,6 +255,7 @@ class SecuredWorksite {
   NodeId operator_node_{3};
 
   std::unique_ptr<sensors::PerceptionSensor> drone_sensor_;
+  std::optional<core::Rng> drone_sense_rng_;
   std::unique_ptr<secure::AuditLog> audit_;
   std::unique_ptr<sos::EmergentBehaviorMonitor> emergent_;
   std::vector<std::unique_ptr<net::AttackerNode>> attackers_;

@@ -1,0 +1,576 @@
+// Rule-pack tests: for every rule, a seeded-defect model that triggers
+// exactly that rule id, and a repaired variant that lints clean. Plus the
+// determinism and rendering contracts the CI gate rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/analyzer.h"
+#include "analysis/baseline.h"
+#include "assurance/compliance.h"
+#include "assurance/evidence.h"
+#include "assurance/gsn.h"
+#include "crypto/random.h"
+#include "pki/authority.h"
+#include "pki/identity.h"
+#include "pki/trust_store.h"
+#include "risk/iec62443.h"
+#include "risk/tara.h"
+
+namespace agrarsec::analysis {
+namespace {
+
+std::vector<Diagnostic> of_rule(const std::vector<Diagnostic>& diagnostics,
+                                const std::string& rule) {
+  std::vector<Diagnostic> out;
+  std::copy_if(diagnostics.begin(), diagnostics.end(), std::back_inserter(out),
+               [&](const Diagnostic& d) { return d.rule == rule; });
+  return out;
+}
+
+std::vector<Diagnostic> analyze(const Model& model) {
+  return Analyzer{}.analyze(model);
+}
+
+// --- zone/conduit fixtures ------------------------------------------------
+
+/// A countermeasure providing level `level` in every FR.
+risk::Countermeasure blanket_countermeasure(int level) {
+  risk::Countermeasure cm;
+  cm.id = "cm-blanket";
+  cm.description = "test countermeasure covering all FRs";
+  cm.provides.fill(level);
+  return cm;
+}
+
+struct ZoneFixture {
+  risk::ZoneModel zones;
+  std::vector<risk::Countermeasure> catalogue{blanket_countermeasure(3)};
+
+  [[nodiscard]] Model model() const {
+    Model m;
+    m.zones = &zones;
+    m.countermeasures = &catalogue;
+    return m;
+  }
+};
+
+TEST(ZoneRules, ZC001_ConduitIntoUndeclaredZone) {
+  ZoneFixture broken;
+  risk::Zone zone;
+  zone.name = "only";
+  const ZoneId declared = broken.zones.add_zone(std::move(zone));
+  risk::Conduit conduit;
+  conduit.name = "dangling";
+  conduit.from = declared;
+  conduit.to = ZoneId{99};
+  broken.zones.add_conduit(std::move(conduit));
+
+  const auto findings = of_rule(analyze(broken.model()), "ZC001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"conduit:dangling", "zone-id:99"}));
+
+  ZoneFixture repaired;
+  risk::Zone a;
+  a.name = "a";
+  risk::Zone b;
+  b.name = "b";
+  const ZoneId from = repaired.zones.add_zone(std::move(a));
+  const ZoneId to = repaired.zones.add_zone(std::move(b));
+  risk::Conduit ok;
+  ok.name = "ok";
+  ok.from = from;
+  ok.to = to;
+  repaired.zones.add_conduit(std::move(ok));
+  EXPECT_TRUE(analyze(repaired.model()).empty());
+}
+
+TEST(ZoneRules, ZC002_AchievedBelowTarget) {
+  ZoneFixture broken;
+  risk::Zone zone;
+  zone.name = "safety";
+  zone.target = {2, 0, 0, 0, 0, 0, 0};  // IAC target 2, nothing installed
+  broken.zones.add_zone(std::move(zone));
+
+  const auto findings = of_rule(analyze(broken.model()), "ZC002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"zone:safety", "fr:IAC"}));
+
+  ZoneFixture repaired;
+  risk::Zone fixed;
+  fixed.name = "safety";
+  fixed.target = {2, 0, 0, 0, 0, 0, 0};
+  fixed.countermeasures = {"cm-blanket"};  // provides 3 everywhere
+  repaired.zones.add_zone(std::move(fixed));
+  EXPECT_TRUE(analyze(repaired.model()).empty());
+}
+
+ZoneFixture bridged_zones(bool with_conduit_countermeasure) {
+  ZoneFixture f;
+  risk::Zone high;
+  high.name = "high";
+  high.target = {3, 0, 0, 0, 0, 0, 0};
+  high.countermeasures = {"cm-blanket"};
+  risk::Zone low;
+  low.name = "low";  // SL-T gap 3 in IAC against 'high'
+  const ZoneId from = f.zones.add_zone(std::move(high));
+  const ZoneId to = f.zones.add_zone(std::move(low));
+  risk::Conduit bridge;
+  bridge.name = "bridge";
+  bridge.from = from;
+  bridge.to = to;
+  if (with_conduit_countermeasure) bridge.countermeasures = {"cm-blanket"};
+  f.zones.add_conduit(std::move(bridge));
+  return f;
+}
+
+TEST(ZoneRules, ZC003_TrustGradientWithoutCompensation) {
+  const ZoneFixture broken = bridged_zones(false);
+  const auto findings = of_rule(analyze(broken.model()), "ZC003");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"conduit:bridge", "fr:IAC"}));
+
+  const ZoneFixture repaired = bridged_zones(true);
+  EXPECT_TRUE(analyze(repaired.model()).empty());
+}
+
+TEST(ZoneRules, ZC004_UnzonedAsset) {
+  risk::ItemDefinition item;
+  item.name = "test-item";
+  risk::Asset asset;
+  asset.id = AssetId{1};
+  asset.name = "estop";
+  item.assets.push_back(asset);
+
+  ZoneFixture fixture;
+  risk::Zone zone;
+  zone.name = "safety";
+  fixture.zones.add_zone(std::move(zone));
+  Model broken = fixture.model();
+  broken.item = &item;
+
+  const auto findings = of_rule(analyze(broken), "ZC004");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entities, (std::vector<std::string>{"asset:estop"}));
+
+  ZoneFixture fixture2;
+  risk::Zone zoned;
+  zoned.name = "safety";
+  zoned.assets = {AssetId{1}};
+  fixture2.zones.add_zone(std::move(zoned));
+  Model repaired = fixture2.model();
+  repaired.item = &item;
+  EXPECT_TRUE(analyze(repaired).empty());
+}
+
+// --- TARA fixtures --------------------------------------------------------
+
+risk::ItemDefinition one_asset_item() {
+  risk::ItemDefinition item;
+  item.name = "test-item";
+  risk::Asset asset;
+  asset.id = AssetId{1};
+  asset.name = "radio-link";
+  asset.category = risk::AssetCategory::kCommunication;
+  item.assets.push_back(asset);
+  return item;
+}
+
+risk::ThreatScenario severe_threat(AssetId asset) {
+  risk::ThreatScenario threat;
+  threat.id = ThreatId{1};
+  threat.asset = asset;
+  threat.name = "link-spoof";
+  threat.stride = risk::Stride::kSpoofing;
+  threat.damage.safety = risk::ImpactLevel::kSevere;  // + zero potential => risk 5
+  threat.characteristic = "mixed-fleet";
+  return threat;
+}
+
+TEST(TaraRules, TA001_HighRiskLeftUntreated) {
+  // reduce_threshold 6 is unreachable: every risk stays kRetain.
+  risk::Tara broken{one_asset_item(), {.reduce_threshold = 6, .avoid_threshold = 6}};
+  broken.add_threat(severe_threat(AssetId{1}));
+  broken.assess({});
+  Model model;
+  model.tara = &broken;
+
+  const auto findings = of_rule(analyze(model), "TA001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].entities, (std::vector<std::string>{"threat:link-spoof"}));
+
+  risk::Tara repaired{one_asset_item()};  // default thresholds treat it
+  repaired.add_threat(severe_threat(AssetId{1}));
+  repaired.assess({});
+  Model fixed;
+  fixed.tara = &repaired;
+  EXPECT_TRUE(analyze(fixed).empty());
+}
+
+TEST(TaraRules, TA002_UnknownAsset) {
+  risk::Tara broken{one_asset_item()};
+  broken.add_threat(severe_threat(AssetId{77}));  // never declared
+  broken.assess({});
+  Model model;
+  model.tara = &broken;
+
+  const auto findings = of_rule(analyze(model), "TA002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"threat:link-spoof", "asset-id:77"}));
+
+  risk::Tara repaired{one_asset_item()};
+  repaired.add_threat(severe_threat(AssetId{1}));
+  repaired.assess({});
+  Model fixed;
+  fixed.tara = &repaired;
+  EXPECT_TRUE(analyze(fixed).empty());
+}
+
+TEST(TaraRules, TA002_UncataloguedControl) {
+  // Assessed against a catalogue containing 'secure-channel', but linted
+  // against a model catalogue that lost it — the stale-catalogue drift.
+  risk::Control control;
+  control.id = "secure-channel";
+  control.mitigates = {risk::Stride::kSpoofing};
+  risk::Tara tara{one_asset_item()};
+  tara.add_threat(severe_threat(AssetId{1}));
+  tara.assess({control});
+
+  const std::vector<risk::Control> empty_catalogue;
+  Model broken;
+  broken.tara = &tara;
+  broken.controls = &empty_catalogue;
+  const auto findings = of_rule(analyze(broken), "TA002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"threat:link-spoof", "control:secure-channel"}));
+
+  const std::vector<risk::Control> full_catalogue{control};
+  Model repaired;
+  repaired.tara = &tara;
+  repaired.controls = &full_catalogue;
+  EXPECT_TRUE(analyze(repaired).empty());
+}
+
+TEST(TaraRules, TA003_CharacteristicNeverInstantiated) {
+  risk::Tara tara{one_asset_item()};
+  tara.add_threat(severe_threat(AssetId{1}));  // characteristic "mixed-fleet"
+  tara.assess({});
+  const std::vector<risk::ForestryCharacteristic> characteristics{
+      {"mixed-fleet", "covered"}, {"long-lifecycle", "nothing instantiates this"}};
+
+  Model model;
+  model.tara = &tara;
+  model.characteristics = &characteristics;
+  const auto findings = of_rule(analyze(model), "TA003");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"characteristic:long-lifecycle"}));
+
+  const std::vector<risk::ForestryCharacteristic> covered{{"mixed-fleet", "covered"}};
+  Model repaired;
+  repaired.tara = &tara;
+  repaired.characteristics = &covered;
+  EXPECT_TRUE(analyze(repaired).empty());
+}
+
+// --- GSN fixtures ---------------------------------------------------------
+
+TEST(GsnRules, GS001_SupportCycle) {
+  assurance::ArgumentModel broken;
+  const GsnId top = broken.add(assurance::GsnType::kGoal, "G-top", "top");
+  const GsnId mid = broken.add(assurance::GsnType::kStrategy, "S-mid", "mid");
+  broken.support(top, mid);
+  broken.support(mid, top);  // back edge
+  Model model;
+  model.argument = &broken;
+
+  const auto findings = of_rule(analyze(model), "GS001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"node:S-mid", "node:G-top"}));
+
+  assurance::ArgumentModel repaired;
+  assurance::EvidenceRegistry registry;
+  const EvidenceId evidence =
+      registry.add(assurance::EvidenceKind::kTestResult, "tests", "", 1.0);
+  const GsnId goal = repaired.add(assurance::GsnType::kGoal, "G-top", "top");
+  const GsnId solution = repaired.add(assurance::GsnType::kSolution, "Sn", "tests");
+  repaired.support(goal, solution);
+  repaired.bind_evidence(solution, evidence);
+  Model fixed;
+  fixed.argument = &repaired;
+  fixed.evidence = &registry;
+  EXPECT_TRUE(analyze(fixed).empty());
+}
+
+TEST(GsnRules, GS001_InContextCycle) {
+  // A loop closed through an in_context_of edge — invisible to a checker
+  // that only walks the support tree.
+  assurance::ArgumentModel broken;
+  const GsnId goal = broken.add(assurance::GsnType::kGoal, "G", "goal");
+  const GsnId ctx = broken.add(assurance::GsnType::kContext, "C", "context");
+  broken.mark_undeveloped(goal);
+  broken.in_context(goal, ctx);
+  broken.in_context(ctx, ctx);  // self-reference
+  Model model;
+  model.argument = &broken;
+
+  const auto findings = of_rule(analyze(model), "GS001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entities, (std::vector<std::string>{"node:C", "node:C"}));
+}
+
+TEST(GsnRules, GS002_UnboundAndDanglingEvidence) {
+  assurance::ArgumentModel broken;
+  assurance::EvidenceRegistry registry;
+  const GsnId goal = broken.add(assurance::GsnType::kGoal, "G", "goal");
+  const GsnId unbound = broken.add(assurance::GsnType::kSolution, "Sn-unbound", "");
+  const GsnId dangling = broken.add(assurance::GsnType::kSolution, "Sn-dangling", "");
+  broken.support(goal, unbound);
+  broken.support(goal, dangling);
+  broken.bind_evidence(dangling, EvidenceId{4242});  // not in the registry
+  Model model;
+  model.argument = &broken;
+  model.evidence = &registry;
+
+  const auto findings = of_rule(analyze(model), "GS002");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"node:Sn-dangling", "evidence-id:4242"}));
+  EXPECT_EQ(findings[1].entities, (std::vector<std::string>{"node:Sn-unbound"}));
+
+  assurance::ArgumentModel repaired;
+  const EvidenceId real =
+      registry.add(assurance::EvidenceKind::kAnalysis, "analysis", "", 0.9);
+  const GsnId g = repaired.add(assurance::GsnType::kGoal, "G", "goal");
+  const GsnId s = repaired.add(assurance::GsnType::kSolution, "Sn", "");
+  repaired.support(g, s);
+  repaired.bind_evidence(s, real);
+  Model fixed;
+  fixed.argument = &repaired;
+  fixed.evidence = &registry;
+  EXPECT_TRUE(analyze(fixed).empty());
+}
+
+TEST(GsnRules, GS003_GoalNeitherDevelopedNorMarked) {
+  assurance::ArgumentModel broken;
+  broken.add(assurance::GsnType::kGoal, "G-open", "nobody developed this");
+  Model model;
+  model.argument = &broken;
+
+  const auto findings = of_rule(analyze(model), "GS003");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].entities, (std::vector<std::string>{"node:G-open"}));
+
+  assurance::ArgumentModel repaired;
+  const GsnId goal = repaired.add(assurance::GsnType::kGoal, "G-open", "flagged");
+  repaired.mark_undeveloped(goal);
+  Model fixed;
+  fixed.argument = &repaired;
+  EXPECT_TRUE(analyze(fixed).empty());
+}
+
+TEST(GsnRules, GS004_ComplianceMappingIntoTheVoid) {
+  assurance::ArgumentModel argument;
+  const GsnId goal = argument.add(assurance::GsnType::kGoal, "G-real", "exists");
+  argument.mark_undeveloped(goal);
+
+  assurance::ComplianceMap broken{{{"MR-1", {}, "req", "text"}}};
+  broken.map("MR-1", "G-missing");
+  Model model;
+  model.argument = &argument;
+  model.compliance = &broken;
+
+  const auto findings = of_rule(analyze(model), "GS004");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"requirement:MR-1", "goal:G-missing"}));
+
+  assurance::ComplianceMap repaired{{{"MR-1", {}, "req", "text"}}};
+  repaired.map("MR-1", "G-real");
+  Model fixed;
+  fixed.argument = &argument;
+  fixed.compliance = &repaired;
+  // The undeveloped goal is deliberate (marked): only GS004 must clear.
+  EXPECT_TRUE(analyze(fixed).empty());
+}
+
+// --- PKI fixtures ---------------------------------------------------------
+
+TEST(PkiRules, PK001_ChainOutsideTheTrustStore) {
+  crypto::Drbg drbg(3, "analysis-test");
+  auto trusted_ca =
+      pki::CertificateAuthority::create_root("site-ca", drbg.generate32(), 0, 1000);
+  auto rogue_ca =
+      pki::CertificateAuthority::create_root("rogue-ca", drbg.generate32(), 0, 1000);
+  pki::TrustStore trust;
+  ASSERT_TRUE(trust.add_root(trusted_ca.certificate()).ok());
+
+  auto impostor =
+      pki::enroll(rogue_ca, drbg, "impostor", pki::CertRole::kMachine, 0, 1000);
+  ASSERT_TRUE(impostor.ok());
+  const std::vector<PkiEndpoint> broken_endpoints{
+      {"impostor", impostor.value().chain}};
+  Model broken;
+  broken.trust = &trust;
+  broken.endpoints = &broken_endpoints;
+  broken.now = 10;
+
+  const auto findings = of_rule(analyze(broken), "PK001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].entities, (std::vector<std::string>{"endpoint:impostor"}));
+
+  auto legit =
+      pki::enroll(trusted_ca, drbg, "legit", pki::CertRole::kMachine, 0, 1000);
+  ASSERT_TRUE(legit.ok());
+  const std::vector<PkiEndpoint> repaired_endpoints{{"legit", legit.value().chain}};
+  Model repaired;
+  repaired.trust = &trust;
+  repaired.endpoints = &repaired_endpoints;
+  repaired.now = 10;
+  EXPECT_TRUE(analyze(repaired).empty());
+}
+
+TEST(PkiRules, PK001_ExpiredChain) {
+  crypto::Drbg drbg(4, "analysis-test");
+  auto ca =
+      pki::CertificateAuthority::create_root("site-ca", drbg.generate32(), 0, 1000);
+  pki::TrustStore trust;
+  ASSERT_TRUE(trust.add_root(ca.certificate()).ok());
+  auto identity = pki::enroll(ca, drbg, "node", pki::CertRole::kMachine, 0, 100);
+  ASSERT_TRUE(identity.ok());
+  const std::vector<PkiEndpoint> endpoints{{"node", identity.value().chain}};
+
+  Model model;
+  model.trust = &trust;
+  model.endpoints = &endpoints;
+  model.now = 500;  // past the leaf's not_after
+  EXPECT_EQ(of_rule(analyze(model), "PK001").size(), 1u);
+  model.now = 50;  // inside the validity window
+  EXPECT_TRUE(analyze(model).empty());
+}
+
+// --- analyzer contracts ---------------------------------------------------
+
+TEST(Analyzer, RuleCatalogueMatchesEmittedIds) {
+  const auto catalogue = rule_catalogue();
+  ASSERT_EQ(catalogue.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(
+      catalogue.begin(), catalogue.end(),
+      [](const RuleInfo& a, const RuleInfo& b) { return a.id < b.id; }));
+}
+
+TEST(Analyzer, FindingsAreSortedAndDeduplicated) {
+  ZoneFixture fixture;
+  risk::Zone zone;
+  zone.name = "z";
+  zone.target = {1, 1, 0, 0, 0, 0, 0};
+  fixture.zones.add_zone(std::move(zone));
+  const auto findings = analyze(fixture.model());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(diagnostic_less(findings[0], findings[1]));
+}
+
+TEST(Analyzer, JsonRenderingIsByteIdenticalAcrossRuns) {
+  auto build_and_render = [] {
+    ZoneFixture fixture;
+    risk::Zone zone;
+    zone.name = "safety";
+    zone.target = {2, 0, 0, 1, 0, 0, 1};
+    fixture.zones.add_zone(std::move(zone));
+    risk::Conduit conduit;
+    conduit.name = "dangling";
+    conduit.from = ZoneId{55};
+    conduit.to = ZoneId{56};
+    fixture.zones.add_conduit(std::move(conduit));
+    return render_json(analyze(fixture.model()));
+  };
+  const std::string first = build_and_render();
+  const std::string second = build_and_render();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(first.find("\"summary\""), std::string::npos);
+}
+
+TEST(Analyzer, TextReportCarriesRuleSeverityAndHint) {
+  ZoneFixture fixture;
+  risk::Conduit conduit;
+  conduit.name = "dangling";
+  conduit.from = ZoneId{1};
+  conduit.to = ZoneId{2};
+  fixture.zones.add_conduit(std::move(conduit));
+  const std::string text = render_text(analyze(fixture.model()));
+  EXPECT_NE(text.find("error[ZC001]:"), std::string::npos);
+  EXPECT_NE(text.find("hint:"), std::string::npos);
+  EXPECT_NE(text.find("2 error"), std::string::npos);
+}
+
+TEST(Analyzer, EmptyModelLintsClean) {
+  EXPECT_TRUE(analyze(Model{}).empty());
+}
+
+// --- baseline -------------------------------------------------------------
+
+TEST(BaselineTest, FilterRemovesExactlyTheCoveredFindings) {
+  Diagnostic known;
+  known.rule = "ZC002";
+  known.entities = {"zone:safety", "fr:RA"};
+  known.message = "old wording";
+  Diagnostic fresh;
+  fresh.rule = "ZC002";
+  fresh.entities = {"zone:data", "fr:RA"};
+
+  const Baseline baseline = Baseline::from({known});
+  EXPECT_TRUE(baseline.covers(known));
+  EXPECT_FALSE(baseline.covers(fresh));
+
+  // Rewording a baselined finding must not un-baseline it (keys exclude
+  // the message on purpose).
+  Diagnostic reworded = known;
+  reworded.message = "new wording";
+  const auto remaining = baseline.filter({reworded, fresh});
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].entities[0], "zone:data");
+}
+
+TEST(BaselineTest, JsonRoundTrip) {
+  Diagnostic a;
+  a.rule = "TA001";
+  a.entities = {"threat:estop-replay"};
+  Diagnostic b;
+  b.rule = "GS002";
+  b.entities = {"node:Sn", "evidence-id:7"};
+  const Baseline original = Baseline::from({a, b});
+
+  std::string error;
+  const auto parsed = Baseline::parse(original.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE(parsed->covers(a));
+  EXPECT_TRUE(parsed->covers(b));
+  EXPECT_EQ(parsed->to_json(), original.to_json());
+}
+
+TEST(BaselineTest, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Baseline::parse("not json", &error).has_value());
+  EXPECT_FALSE(Baseline::parse("{\"version\": 2, \"findings\": []}", &error)
+                   .has_value());
+  EXPECT_FALSE(Baseline::parse("{\"version\": 1}", &error).has_value());
+  EXPECT_TRUE(
+      Baseline::parse("{\"version\": 1, \"findings\": []}", &error).has_value());
+}
+
+}  // namespace
+}  // namespace agrarsec::analysis

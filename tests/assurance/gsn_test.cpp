@@ -138,6 +138,55 @@ TEST(Gsn, CycleDetected) {
   (void)arg.evaluate(registry);
 }
 
+TEST(Gsn, SelfReferenceCycleDetected) {
+  ArgumentModel arg;
+  const GsnId g = arg.add(GsnType::kGoal, "G1", "supports itself");
+  arg.support(g, g);
+  const auto problems = arg.validate();
+  EXPECT_TRUE(std::any_of(problems.begin(), problems.end(), [](const std::string& p) {
+    return p.find("cycle") != std::string::npos;
+  }));
+  EvidenceRegistry registry;
+  (void)arg.evaluate(registry);  // must terminate
+}
+
+TEST(Gsn, InContextCycleDetected) {
+  // A loop closed purely through in_context_of edges — the support tree
+  // alone is acyclic, so a support-only walker would miss it.
+  ArgumentModel arg;
+  const GsnId goal = arg.add(GsnType::kGoal, "G1", "goal");
+  arg.mark_undeveloped(goal);
+  const GsnId c1 = arg.add(GsnType::kContext, "C1", "operating environment");
+  const GsnId c2 = arg.add(GsnType::kContext, "C2", "assumed fleet size");
+  arg.in_context(goal, c1);
+  arg.in_context(c1, c2);
+  arg.in_context(c2, c1);
+  const auto problems = arg.validate();
+  EXPECT_TRUE(std::any_of(problems.begin(), problems.end(), [](const std::string& p) {
+    return p.find("cycle") != std::string::npos;
+  }));
+}
+
+TEST(Gsn, DanglingEvidenceEvaluatesUnsupported) {
+  ArgumentModel arg;
+  const GsnId goal = arg.add(GsnType::kGoal, "G1", "claim");
+  const GsnId solution = arg.add(GsnType::kSolution, "Sn1", "report");
+  arg.support(goal, solution);
+  arg.bind_evidence(solution, EvidenceId{999});  // never registered
+  EvidenceRegistry registry;
+  const auto eval = arg.evaluate(registry);
+  EXPECT_EQ(eval.at(goal.value()).status, SupportStatus::kUnsupported);
+  EXPECT_EQ(eval.at(goal.value()).confidence, 0.0);
+}
+
+TEST(Gsn, NodesAccessorPreservesCreationOrder) {
+  SimpleCase c;
+  const auto& nodes = c.arg.nodes();
+  ASSERT_EQ(nodes.size(), 6u);
+  EXPECT_EQ(nodes.front().label, "G1");
+  EXPECT_EQ(nodes.back().label, "Sn2");
+}
+
 TEST(Gsn, ContextNodesAlwaysSupported) {
   ArgumentModel arg;
   const GsnId g = arg.add(GsnType::kGoal, "G1", "claim");
