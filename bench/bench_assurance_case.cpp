@@ -11,6 +11,8 @@
 #include "risk/catalog.h"
 #include "risk/coanalysis.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -122,6 +124,9 @@ void print_summary() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Writes bench_assurance_case.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_assurance_case"};
+
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -14,6 +14,8 @@
 
 #include "integration/secured_worksite.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -116,6 +118,9 @@ RunResult run(AttackKind attack, bool secure, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Writes bench_attack_to_hazard.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_attack_to_hazard"};
+
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   const core::SimDuration duration = (quick ? 8 : 20) * core::kMinute;
   const std::uint64_t kSeed = 7;

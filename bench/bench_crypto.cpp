@@ -13,6 +13,8 @@
 #include "crypto/sha512.h"
 #include "crypto/x25519.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -125,5 +127,9 @@ void BM_Ed25519Verify(benchmark::State& state) {
 BENCHMARK(BM_Ed25519Verify);
 
 }  // namespace
+
+// BENCHMARK_MAIN supplies main; a static artifact writes
+// bench_crypto.telemetry.json when the process exits.
+static agrarsec::obs::BenchArtifact g_artifact{"bench_crypto"};
 
 BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 
 #include "integration/secured_worksite.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -51,6 +53,9 @@ ShiftResult run_shift(bool secure, int workers, core::SimDuration duration,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Writes bench_fig1_worksite.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_fig1_worksite"};
+
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   const core::SimDuration shift = (quick ? 20 : 60) * core::kMinute;
 

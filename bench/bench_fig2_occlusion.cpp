@@ -15,6 +15,8 @@
 
 #include "integration/secured_worksite.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -77,6 +79,9 @@ CellResult run_cell(double occlusion_per_ha, bool drone, std::uint64_t seeds,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Writes bench_fig2_occlusion.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_fig2_occlusion"};
+
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   const std::uint64_t seeds = quick ? 2 : 5;
   const core::SimDuration duration = (quick ? 5 : 12) * core::kMinute;

@@ -19,9 +19,14 @@
 #include "risk/iec62443.h"
 #include "sos/system.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 int main() {
+  // Writes bench_fig3_methodology.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_fig3_methodology"};
+
   std::printf("=== Figure 3: methodology pipeline, executed ===\n\n");
   const auto t0 = std::chrono::steady_clock::now();
 

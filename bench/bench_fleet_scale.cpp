@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/radio.h"
+#include "obs/telemetry.h"
 #include "sim/worksite.h"
 
 using namespace agrarsec;
@@ -96,9 +97,15 @@ struct RunResult {
   std::uint64_t event_digest = 0;
   std::uint64_t pose_digest = 0;
   sim::Worksite::Metrics metrics;
+  /// Deterministic telemetry export (counters + flight recorder, no wall
+  /// clock) — must be byte-identical across thread counts.
+  std::string telemetry_json;
+  std::vector<std::uint64_t> shard_busy_ns;
+  std::uint64_t parallel_phase_ns = 0;  ///< wall time in sharded phases
 };
 
-RunResult run_worksite(std::size_t threads, std::uint64_t steps) {
+RunResult run_worksite(std::size_t threads, std::uint64_t steps,
+                       bool write_artifact = false) {
   sim::WorksiteConfig config = site_config();
   config.threads = threads;
   sim::Worksite site{config, 42};
@@ -151,10 +158,31 @@ RunResult run_worksite(std::size_t threads, std::uint64_t steps) {
     poses.f64(human->position().y);
   }
   r.pose_digest = poses.h;
+
+  r.telemetry_json = site.telemetry().deterministic_json();
+  const obs::Tracer& tracer = site.telemetry().tracer();
+  for (std::size_t shard = 0; shard < tracer.shard_count(); ++shard) {
+    r.shard_busy_ns.push_back(tracer.shard_busy_ns(shard));
+  }
+  for (std::size_t i = 0; i < tracer.phase_count(); ++i) {
+    const std::string_view name = tracer.phase_name(i);
+    if (name == "worksite.decide" || name == "worksite.integrate" ||
+        name == "worksite.separation") {
+      r.parallel_phase_ns += tracer.stats(i).total_ns;
+    }
+  }
+  if (write_artifact) {
+    obs::write_bench_artifact(site.telemetry(), "bench_fleet_scale");
+  }
   return r;
 }
 
-double run_radio(std::size_t nodes, std::uint64_t steps) {
+struct RadioResult {
+  double rate = 0.0;
+  std::uint64_t dropped = 0;  ///< frames lost to loss/collision/jam/drop
+};
+
+RadioResult run_radio(std::size_t nodes, std::uint64_t steps) {
   net::RadioConfig config;
   config.latency_jitter = 8;  // non-monotone deliver_at exercises ordering
   net::RadioMedium medium{core::Rng{7}, config};
@@ -181,12 +209,18 @@ double run_radio(std::size_t nodes, std::uint64_t steps) {
   }
   const auto t1 = std::chrono::steady_clock::now();
   const double secs = std::chrono::duration<double>(t1 - t0).count();
-  const double rate = static_cast<double>(steps) / secs;
+  RadioResult r;
+  r.rate = static_cast<double>(steps) / secs;
+  r.dropped = medium.count(net::DeliveryOutcome::kPathLoss) +
+              medium.count(net::DeliveryOutcome::kCollision) +
+              medium.count(net::DeliveryOutcome::kJammed) +
+              medium.count(net::DeliveryOutcome::kDropped);
   std::printf("  %zu nodes broadcasting, %llu steps in %.3fs -> %.0f steps/sec"
-              " (%llu deliveries)\n",
-              nodes, static_cast<unsigned long long>(steps), secs, rate,
-              static_cast<unsigned long long>(received));
-  return rate;
+              " (%llu deliveries, %llu dropped)\n",
+              nodes, static_cast<unsigned long long>(steps), secs, r.rate,
+              static_cast<unsigned long long>(received),
+              static_cast<unsigned long long>(r.dropped));
+  return r;
 }
 
 }  // namespace
@@ -214,9 +248,26 @@ int main(int argc, char** argv) {
 
   const RunResult serial = run_worksite(1, steps);
   std::printf("  threads=1:  %.0f steps/sec\n", serial.rate);
-  const RunResult sharded = run_worksite(threads, steps);
+  const RunResult sharded = run_worksite(threads, steps, /*write_artifact=*/true);
   std::printf("  threads=%zu: %.0f steps/sec (%.2fx)\n", threads, sharded.rate,
               sharded.rate / serial.rate);
+
+  // Per-shard utilization from the trace spans: busy time each pool worker
+  // spent inside sharded phase bodies, as a fraction of the wall time the
+  // site spent in those phases. Low outliers mean shard imbalance.
+  if (sharded.shard_busy_ns.size() > 1 && sharded.parallel_phase_ns > 0) {
+    std::printf("  per-shard utilization (decide+integrate+separation, "
+                "%.1f ms total):\n",
+                static_cast<double>(sharded.parallel_phase_ns) / 1e6);
+    for (std::size_t shard = 0; shard < sharded.shard_busy_ns.size(); ++shard) {
+      const double busy_ms =
+          static_cast<double>(sharded.shard_busy_ns[shard]) / 1e6;
+      const double frac = static_cast<double>(sharded.shard_busy_ns[shard]) /
+                          static_cast<double>(sharded.parallel_phase_ns);
+      std::printf("    shard %2zu: %8.1f ms busy  %5.1f%%\n", shard, busy_ms,
+                  100.0 * frac);
+    }
+  }
   std::printf("  cross-check: delivered=%.1fm3 cycles=%llu min_sep=%.2fm"
               " windthrow=%llu reuses=%llu\n",
               serial.metrics.delivered_m3,
@@ -245,17 +296,38 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(serial.pose_digest),
                 static_cast<unsigned long long>(sharded.pose_digest));
   }
+  // Telemetry export parity: counters and flight-recorder events must be
+  // byte-identical across thread counts (the wall-clock annex is excluded
+  // from the deterministic export by design).
+  if (serial.telemetry_json != sharded.telemetry_json) {
+    ++mismatches;
+    std::printf("  PARITY MISMATCH: deterministic telemetry export differs\n");
+  }
   std::printf("  parity: %d mismatches (threads=1 vs threads=%zu)\n", mismatches,
               threads);
 
   std::printf("\nradio medium, jittered broadcast fan-out:\n");
-  const double radio_rate = run_radio(64, quick ? 2000 : 10000);
+  const RadioResult radio = run_radio(64, quick ? 2000 : 10000);
 
   // Machine-readable summary for the CI regression gate. Only the serial
   // rate gates: the parallel rate depends on the runner's core count.
+  // "*_exact" metrics are deterministic semantics, not rates: bench_gate.py
+  // requires them to match the baseline exactly (full-length run) in both
+  // directions, so a behaviour change to the planner cache or the radio
+  // loss model cannot hide inside the perf tolerance.
   std::printf("\nBENCH worksite_steps_per_sec=%.0f\n", serial.rate);
   std::printf("BENCH worksite_steps_per_sec_parallel=%.0f\n", sharded.rate);
   std::printf("BENCH parity_mismatches=%d\n", mismatches);
-  std::printf("BENCH radio_steps_per_sec=%.0f\n", radio_rate);
+  std::printf("BENCH radio_steps_per_sec=%.0f\n", radio.rate);
+  if (!quick) {
+    const double hit_rate =
+        serial.metrics.planner.plans == 0
+            ? 0.0
+            : static_cast<double>(serial.metrics.planner.cache_hits) /
+                  static_cast<double>(serial.metrics.planner.plans);
+    std::printf("BENCH planner_cache_hit_rate_exact=%.6f\n", hit_rate);
+    std::printf("BENCH radio_dropped_frames_exact=%llu\n",
+                static_cast<unsigned long long>(radio.dropped));
+  }
   return mismatches == 0 ? 0 : 1;
 }

@@ -12,6 +12,8 @@
 #include "sensors/gnss.h"
 #include "sim/machine.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -86,6 +88,9 @@ CorridorResult drive_corridor(const sensors::GnssAttack& attack, bool monitor_on
 }  // namespace
 
 int main() {
+  // Writes bench_gnss_corridor.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_gnss_corridor"};
+
   constexpr core::SimDuration kRun = 4 * core::kMinute;
 
   std::printf("=== GNSS spoofing vs corridor keeping ===\n");

@@ -6,6 +6,8 @@
 
 #include "integration/secured_worksite.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -96,6 +98,9 @@ RocPoint measure(AttackClass attack, bool signatures, bool anomaly,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Writes bench_ids_roc.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_ids_roc"};
+
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   const core::SimDuration phase = (quick ? 2 : 6) * core::kMinute;
 

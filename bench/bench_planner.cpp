@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "obs/telemetry.h"
 #include "sim/pathfinding.h"
 #include "sim/terrain.h"
 
@@ -75,6 +76,12 @@ double run(const sim::PathPlanner& planner, const std::vector<Query>& queries,
 }  // namespace
 
 int main() {
+  // The cached planner mirrors its stats into this registry; the artifact
+  // (bench_planner.telemetry.json) carries hit/miss/expansion counters
+  // alongside the wall time.
+  obs::Telemetry telemetry;
+  obs::BenchArtifact artifact{"bench_planner", &telemetry};
+
   core::Rng rng{42};
   sim::ForestConfig forest;
   forest.bounds = {{0, 0}, {500, 500}};
@@ -87,8 +94,9 @@ int main() {
   sim::PlannerConfig cached_cfg;
   sim::PlannerConfig uncached_cfg;
   uncached_cfg.cache_enabled = false;
-  const sim::PathPlanner cached{terrain, cached_cfg};
+  sim::PathPlanner cached{terrain, cached_cfg};
   const sim::PathPlanner uncached{terrain, uncached_cfg};
+  cached.set_telemetry(&telemetry.registry());
 
   // Parity first (also warms the cache for the timed run).
   std::vector<Plan> cached_plans, uncached_plans;

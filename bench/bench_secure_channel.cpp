@@ -10,6 +10,8 @@
 #include "pki/trust_store.h"
 #include "secure/handshake.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -110,5 +112,9 @@ void BM_SessionThroughputMessagesPerSec(benchmark::State& state) {
 BENCHMARK(BM_SessionThroughputMessagesPerSec);
 
 }  // namespace
+
+// BENCHMARK_MAIN supplies main; a static artifact writes
+// bench_secure_channel.telemetry.json when the process exits.
+static agrarsec::obs::BenchArtifact g_artifact{"bench_secure_channel"};
 
 BENCHMARK_MAIN();

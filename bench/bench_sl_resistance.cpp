@@ -8,6 +8,8 @@
 
 #include "integration/secured_worksite.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -74,6 +76,9 @@ Outcome engage(const Hardening& hardening, int attacker_level,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Writes bench_sl_resistance.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_sl_resistance"};
+
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   const core::SimDuration duration = (quick ? 2 : 5) * core::kMinute;
 

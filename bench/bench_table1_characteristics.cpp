@@ -7,9 +7,14 @@
 
 #include "risk/catalog.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 int main() {
+  // Writes bench_table1_characteristics.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_table1_characteristics"};
+
   std::printf("=== Table I: forestry-domain characteristics, quantified ===\n\n");
 
   const risk::Tara tara = risk::build_forestry_tara();

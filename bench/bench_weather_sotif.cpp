@@ -10,6 +10,8 @@
 
 #include "integration/secured_worksite.h"
 
+#include "obs/telemetry.h"
+
 using namespace agrarsec;
 
 namespace {
@@ -44,6 +46,9 @@ double detection_rate(sensors::Modality modality, sim::Weather weather,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Writes bench_weather_sotif.telemetry.json (registry + wall time) at exit.
+  agrarsec::obs::BenchArtifact artifact{"bench_weather_sotif"};
+
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   const core::SimDuration duration = (quick ? 5 : 12) * core::kMinute;
 

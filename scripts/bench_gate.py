@@ -10,6 +10,10 @@ This script compares them against the tracked baseline (BENCH_baseline.json)
 and fails when
 
   * any "*_mismatches" metric is non-zero (parity is a hard invariant), or
+  * any "*_exact" metric differs from its baseline in either direction
+    (these carry deterministic semantics — planner cache hit rate, radio
+    drop counts — from full-length runs, so a behaviour change cannot
+    hide inside the perf tolerance), or
   * any other metric fell more than --tolerance (default 30%) below its
     baseline value.
 
@@ -85,6 +89,17 @@ def main():
             continue  # gated on the current value above, not on deltas
         if name not in current:
             failures.append(f"{name}: missing from benchmark output")
+            continue
+        if name.endswith("_exact"):
+            # Semantic counter: exact match required, both directions.
+            status = "ok" if current[name] == base else "CHANGED"
+            print(f"bench_gate: {name}: {current[name]:g} vs baseline "
+                  f"{base:g} (exact) {status}")
+            if current[name] != base:
+                failures.append(
+                    f"{name}={current[name]:g} != baseline {base:g} "
+                    "(exact-match metric; rerun full-length and --update "
+                    "after a deliberate behaviour change)")
             continue
         floor = base * (1.0 - args.tolerance)
         status = "ok" if current[name] >= floor else "REGRESSED"

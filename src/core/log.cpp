@@ -1,11 +1,17 @@
 #include "core/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace agrarsec::core {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Guards g_sink for both swap and invocation: a set_sink() concurrent
+// with a write() must neither tear the std::function nor destroy the one
+// a writer is executing out of.
+std::mutex g_sink_mutex;
 Log::Sink g_sink;  // empty => default stderr sink
 }  // namespace
 
@@ -20,12 +26,17 @@ std::string_view log_level_name(LogLevel level) {
   return "?";
 }
 
-void Log::set_level(LogLevel level) { g_level = level; }
-LogLevel Log::level() { return g_level; }
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 void Log::write(LogLevel level, std::string_view component, std::string_view message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, component, message);
     return;

@@ -13,8 +13,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 [[nodiscard]] std::string_view log_level_name(LogLevel level);
 
-/// Process-wide logger configuration. Not thread-safe by design — the
-/// simulation is single-threaded and benchmarks set it up once.
+/// Process-wide logger configuration. Thread-safe: the level is atomic
+/// and sink swap + write share a mutex, so a warn() from inside a
+/// parallel shard never races a set_sink(). The sink runs under that
+/// mutex — sinks must not call back into Log (self-deadlock) and should
+/// stay cheap; heavy sinks serialize the shards that log.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, std::string_view component, std::string_view message)>;

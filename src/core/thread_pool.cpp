@@ -1,6 +1,16 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+namespace {
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 namespace agrarsec::core {
 
@@ -33,11 +43,13 @@ void ThreadPool::run_shard(std::size_t shard) {
   const std::size_t begin = shard * n / s;
   const std::size_t end = (shard + 1) * n / s;
   if (begin >= end) return;
+  const std::uint64_t start_ns = observer_ ? steady_now_ns() : 0;
   try {
     (*job_fn_)(begin, end, shard);
   } catch (...) {
     shard_errors_[shard] = std::current_exception();
   }
+  if (observer_) observer_(shard, steady_now_ns() - start_ns);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -65,7 +77,9 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 void ThreadPool::parallel_for(std::size_t n, const ShardFn& fn) {
   if (n == 0) return;
   if (shard_count_ <= 1 || workers_.empty()) {
+    const std::uint64_t start_ns = observer_ ? steady_now_ns() : 0;
     fn(0, n, 0);
+    if (observer_) observer_(0, steady_now_ns() - start_ns);
     return;
   }
 

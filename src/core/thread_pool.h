@@ -56,6 +56,16 @@ class ThreadPool {
   /// several times per step); not reentrant from within a shard body.
   void parallel_for(std::size_t n, const ShardFn& fn);
 
+  /// Observation hook: called once per non-empty shard per job with the
+  /// wall-clock nanoseconds the shard body ran for. Invoked on the thread
+  /// that ran the shard, so it fires concurrently for different shards —
+  /// observers must be safe for that (per-shard accumulator lanes are
+  /// enough, see obs::Tracer). Must not be swapped while a job is in
+  /// flight. Pass nullptr to disable. Observation-only: the timings must
+  /// never feed back into simulation state.
+  using ShardObserver = std::function<void(std::size_t shard, std::uint64_t busy_ns)>;
+  void set_shard_observer(ShardObserver observer) { observer_ = std::move(observer); }
+
  private:
   void worker_loop(std::size_t worker_index);
   /// Runs one shard of the current job, capturing any exception.
@@ -63,6 +73,7 @@ class ThreadPool {
 
   std::size_t shard_count_ = 1;
   std::vector<std::thread> workers_;
+  ShardObserver observer_;  ///< optional per-shard busy-time tap
 
   std::mutex mutex_;
   std::condition_variable job_ready_;

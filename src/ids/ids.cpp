@@ -15,10 +15,19 @@ std::string_view alert_severity_name(AlertSeverity severity) {
   return "?";
 }
 
-IntrusionDetectionSystem::IntrusionDetectionSystem(IdsConfig config)
+IntrusionDetectionSystem::IntrusionDetectionSystem(IdsConfig config,
+                                                   obs::Telemetry* telemetry)
     : config_(config),
       ewma_(config.ewma_alpha, config.ewma_k),
-      cusum_(0.0, config.cusum_slack, config.cusum_threshold) {}
+      cusum_(0.0, config.cusum_slack, config.cusum_threshold) {
+  if (telemetry != nullptr) {
+    telemetry_ = telemetry;
+  } else {
+    owned_telemetry_ = std::make_unique<obs::Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  c_alerts_ = &telemetry_->registry().counter("ids.alerts");
+}
 
 void IntrusionDetectionSystem::register_node(std::uint64_t sender_id, bool may_estop) {
   auto& s = senders_[sender_id];
@@ -42,7 +51,16 @@ void IntrusionDetectionSystem::raise(core::SimTime now, std::string rule,
   alert.subject = subject;
   alert.detail = std::move(detail);
 
-  ++counts_[alert.rule];
+  c_alerts_->add();
+  auto it = counts_.find(alert.rule);
+  if (it == counts_.end()) {
+    obs::Counter& c = telemetry_->registry().counter("ids.alerts." + alert.rule);
+    it = counts_.emplace(alert.rule, &c).first;
+  }
+  it->second->add();
+  telemetry_->recorder().record(now, "ids", alert.rule, alert.subject,
+                                static_cast<std::uint64_t>(alert.severity), 0,
+                                alert.detail);
   if (alerts_.size() < config_.alert_capacity) alerts_.push_back(alert);
   if (handler_) handler_(alert);
 }
@@ -153,7 +171,7 @@ void IntrusionDetectionSystem::tick(core::SimTime now) {
 
 std::uint64_t IntrusionDetectionSystem::alert_count(const std::string& rule) const {
   const auto it = counts_.find(rule);
-  return it == counts_.end() ? 0 : it->second;
+  return it == counts_.end() ? 0 : it->second->value();
 }
 
 void IntrusionDetectionSystem::set_alert_handler(

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "obs/telemetry.h"
 #include "ids/alert.h"
 #include "ids/anomaly.h"
 #include "net/message.h"
@@ -45,7 +47,11 @@ struct IdsConfig {
 
 class IntrusionDetectionSystem {
  public:
-  explicit IntrusionDetectionSystem(IdsConfig config = {});
+  /// With no `telemetry` the IDS owns a private obs::Telemetry; inject a
+  /// shared one to merge alert counters ("ids.alerts", "ids.alerts.<rule>")
+  /// and per-alert flight events into a stack-wide export.
+  explicit IntrusionDetectionSystem(IdsConfig config = {},
+                                    obs::Telemetry* telemetry = nullptr);
 
   /// Declares a legitimate participant. `may_estop` grants e-stop authority.
   void register_node(std::uint64_t sender_id, bool may_estop);
@@ -66,6 +72,9 @@ class IntrusionDetectionSystem {
 
   [[nodiscard]] const IdsConfig& config() const { return config_; }
 
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const { return *telemetry_; }
+
  private:
   struct SenderState {
     bool known = false;
@@ -85,8 +94,13 @@ class IntrusionDetectionSystem {
   IdsConfig config_;
   std::unordered_map<std::uint64_t, SenderState> senders_;
   std::vector<Alert> alerts_;
-  std::unordered_map<std::string, std::uint64_t> counts_;
+  /// Per-rule registry counters ("ids.alerts.<rule>"), cached by rule so
+  /// raise() pays one hash lookup, not a registry map walk.
+  std::unordered_map<std::string, obs::Counter*> counts_;
   std::function<void(const Alert&)> handler_;
+  std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* c_alerts_ = nullptr;  ///< "ids.alerts" (all rules)
   IdAllocator<AlertId> alert_ids_;
 
   EwmaDetector ewma_;

@@ -40,6 +40,18 @@ SecuredWorksiteConfig::SecuredWorksiteConfig() {
 SecuredWorksite::SecuredWorksite(SecuredWorksiteConfig config)
     : config_(std::move(config)) {
   if (config_.forwarder_count == 0) config_.forwarder_count = 1;
+
+  // One shared telemetry for the whole stack: the worksite, the planners,
+  // the radio medium and the IDS all instrument into it.
+  telemetry_ = std::make_unique<obs::Telemetry>();
+  config_.worksite.telemetry = telemetry_.get();
+  obs::Registry& reg = telemetry_->registry();
+  c_reports_sent_ = &reg.counter("secure.detection_reports_sent");
+  c_reports_accepted_ = &reg.counter("secure.detection_reports_accepted");
+  c_reports_rejected_ = &reg.counter("secure.detection_reports_rejected");
+  c_spoofed_accepted_ = &reg.counter("secure.spoofed_messages_accepted");
+  c_estops_from_ids_ = &reg.counter("secure.estops_from_ids");
+
   worksite_ = std::make_unique<sim::Worksite>(config_.worksite, config_.seed);
 
   setup_units();
@@ -72,14 +84,17 @@ SecuredWorksite::SecuredWorksite(SecuredWorksiteConfig config)
   emergent_->attach(worksite_->bus());
   worksite_->bus().subscribe("safety/estop", [this](const core::Event& e) {
     audit_->append(e.time, "estop", e.payload);
+    telemetry_->recorder().record(e.time, "audit", "estop", e.origin);
   });
   worksite_->bus().subscribe("machine/degraded", [this](const core::Event& e) {
     audit_->append(e.time, "degraded", e.payload);
+    telemetry_->recorder().record(e.time, "audit", "degraded", e.origin);
   });
   // Environmental hazards are safety-relevant operating-condition changes
   // (Annex III evidence trail): record windthrow events alongside e-stops.
   worksite_->bus().subscribe("worksite/windthrow", [this](const core::Event& e) {
     audit_->append(e.time, "windthrow", e.payload);
+    telemetry_->recorder().record(e.time, "audit", "windthrow", e.origin);
   });
 }
 
@@ -133,6 +148,9 @@ void SecuredWorksite::setup_pki() {
       for (auto& unit : units_) {
         auto pair = secure::establish(*drone_identity_, *unit->identity, trust_, 0,
                                       *drbg_);
+        telemetry_->recorder().record(
+            0, "secure", pair.ok() ? "handshake-ok" : "handshake-fail",
+            unit->sender_id, kDroneSender);
         if (!pair.ok()) {
           throw std::logic_error("session establishment failed: " +
                                  pair.error().to_string());
@@ -148,7 +166,7 @@ void SecuredWorksite::setup_radio() {
   net::RadioConfig radio_config;
   radio_config.max_range_m = 800.0;  // site-scale link budget
   radio_ = std::make_unique<net::RadioMedium>(worksite_->rng().fork(0x52AD1),
-                                              radio_config);
+                                              radio_config, telemetry_.get());
 
   for (auto& unit : units_) {
     ForwarderUnit* raw = unit.get();
@@ -171,7 +189,8 @@ void SecuredWorksite::setup_radio() {
   // The drone legitimately emits one report per detection per frame; size
   // the per-source flood threshold for a full crew in view.
   ids_config.flood_threshold = 150;
-  ids_ = std::make_unique<ids::IntrusionDetectionSystem>(ids_config);
+  ids_ = std::make_unique<ids::IntrusionDetectionSystem>(ids_config,
+                                                         telemetry_.get());
   for (auto& unit : units_) ids_->register_node(unit->sender_id, false);
   ids_->register_node(kDroneSender, false);
   ids_->register_node(kOperatorSender, true);
@@ -182,12 +201,14 @@ void SecuredWorksite::setup_radio() {
     ids_->set_alert_handler([this](const ids::Alert& alert) {
       correlator_.ingest(alert);
       if (alert.severity == ids::AlertSeverity::kCritical) {
-        ++security_.estops_from_ids;
+        c_estops_from_ids_->add();
         for (auto& unit : units_) unit->monitor->ids_critical(alert.time);
         if (audit_) {
           audit_->append(alert.time, "ids-alert",
                          "rule=" + alert.rule + " subject=" +
                              std::to_string(alert.subject));
+          telemetry_->recorder().record(alert.time, "audit", "ids-alert",
+                                        alert.subject);
         }
       }
     });
@@ -257,7 +278,7 @@ void SecuredWorksite::drone_report_cycle(core::SimTime now) {
       m.timestamp = now;
       m.body = net::DetectionBody{d.position.x, d.position.y, d.confidence, 0}.encode();
       send_from_drone(*unit, m);
-      ++security_.detection_reports_sent;
+      c_reports_sent_->add();
     }
     net::Message heartbeat;
     heartbeat.type = net::MessageType::kHeartbeat;
@@ -280,12 +301,12 @@ void SecuredWorksite::on_forwarder_frame(ForwarderUnit& unit, const net::Frame& 
     if (!unit.rx_session) return;
     const auto record = secure::Record::decode(outer->body);
     if (!record) {
-      ++security_.detection_reports_rejected;
+      c_reports_rejected_->add();
       return;
     }
     auto opened = unit.rx_session->open(*record);
     if (!opened.ok()) {
-      ++security_.detection_reports_rejected;
+      c_reports_rejected_->add();
       return;
     }
     const auto inner = net::Message::decode(opened.value());
@@ -296,7 +317,7 @@ void SecuredWorksite::on_forwarder_frame(ForwarderUnit& unit, const net::Frame& 
     // Secure mode: plaintext application messages are not accepted.
     if (outer->type == net::MessageType::kDetectionReport ||
         outer->type == net::MessageType::kEstopCommand) {
-      ++security_.detection_reports_rejected;
+      c_reports_rejected_->add();
     }
     return;
   }
@@ -308,7 +329,7 @@ void SecuredWorksite::on_forwarder_frame(ForwarderUnit& unit, const net::Frame& 
       message.type == net::MessageType::kHeartbeat ||
       message.type == net::MessageType::kEstopCommand) {
     if (message.timestamp + config_.max_message_age < now) {
-      ++security_.detection_reports_rejected;
+      c_reports_rejected_->add();
       return;
     }
   }
@@ -322,7 +343,7 @@ void SecuredWorksite::on_forwarder_frame(ForwarderUnit& unit, const net::Frame& 
   const bool physically_spoofed =
       claims_known_sender && frame.src.value() != message.sender;
   if (!authenticated && physically_spoofed) {
-    ++security_.spoofed_messages_accepted;
+    c_spoofed_accepted_->add();
   }
 
   switch (message.type) {
@@ -337,7 +358,7 @@ void SecuredWorksite::on_forwarder_frame(ForwarderUnit& unit, const net::Frame& 
       d.time = message.timestamp;
       unit.fusion->add_remote(d);
       unit.monitor->note_cover(now);
-      ++security_.detection_reports_accepted;
+      c_reports_accepted_->add();
       break;
     }
     case net::MessageType::kHeartbeat:
@@ -509,6 +530,16 @@ void SecuredWorksite::step() {
 void SecuredWorksite::run_for(core::SimDuration duration) {
   const core::SimTime end = worksite_->clock().now() + duration;
   while (worksite_->clock().now() < end) step();
+}
+
+SecurityMetrics SecuredWorksite::security_metrics() const {
+  SecurityMetrics m;
+  m.detection_reports_sent = c_reports_sent_->value();
+  m.detection_reports_accepted = c_reports_accepted_->value();
+  m.detection_reports_rejected = c_reports_rejected_->value();
+  m.spoofed_messages_accepted = c_spoofed_accepted_->value();
+  m.estops_from_ids = c_estops_from_ids_->value();
+  return m;
 }
 
 }  // namespace agrarsec::integration

@@ -30,6 +30,7 @@
 #include "ids/ids.h"
 #include "net/attacker.h"
 #include "net/radio.h"
+#include "obs/telemetry.h"
 #include "pki/identity.h"
 #include "pki/trust_store.h"
 #include "safety/fusion.h"
@@ -82,6 +83,8 @@ struct SecuredWorksiteConfig {
 };
 
 /// Outcome counters the experiments read (aggregated over the fleet).
+/// Registry-backed: the live values are "secure.*" counters in the site's
+/// obs::Telemetry; security_metrics() assembles this snapshot from them.
 struct SecurityMetrics {
   std::uint64_t detection_reports_sent = 0;
   std::uint64_t detection_reports_accepted = 0;
@@ -165,8 +168,14 @@ class SecuredWorksite {
   void attack_forwarder_sensor(const sensors::SensorAttack& attack,
                                std::size_t index = 0);
 
-  [[nodiscard]] const SecurityMetrics& security_metrics() const { return security_; }
+  [[nodiscard]] SecurityMetrics security_metrics() const;
   [[nodiscard]] const SafetyOutcome& safety_outcome() const { return outcome_; }
+
+  /// The shared telemetry for the full stack: worksite counters and step
+  /// spans, planner/radio/IDS instruments, and the flight recorder all
+  /// land here. Benches export it via obs::write_bench_artifact.
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const { return *telemetry_; }
   [[nodiscard]] const SecuredWorksiteConfig& config() const { return config_; }
 
   /// Tamper-evident machine event log (EU 2023/1230 Annex III 1.1.9
@@ -236,6 +245,9 @@ class SecuredWorksite {
   void send_from_drone(ForwarderUnit& unit, const net::Message& message);
 
   SecuredWorksiteConfig config_;
+  /// Declared before every component that instruments into it (worksite,
+  /// radio, IDS hold raw pointers), so it is destroyed last.
+  std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<sim::Worksite> worksite_;
   std::unique_ptr<net::RadioMedium> radio_;
   std::unique_ptr<ids::IntrusionDetectionSystem> ids_;
@@ -260,7 +272,15 @@ class SecuredWorksite {
   std::unique_ptr<sos::EmergentBehaviorMonitor> emergent_;
   std::vector<std::unique_ptr<net::AttackerNode>> attackers_;
 
-  SecurityMetrics security_;
+  // Security outcome counters, registry-backed ("secure.*"): handles
+  // resolved once in the constructor; all increments happen in serial
+  // contexts (radio delivery callbacks, IDS alert handler, drone cycle).
+  obs::Counter* c_reports_sent_ = nullptr;
+  obs::Counter* c_reports_accepted_ = nullptr;
+  obs::Counter* c_reports_rejected_ = nullptr;
+  obs::Counter* c_spoofed_accepted_ = nullptr;
+  obs::Counter* c_estops_from_ids_ = nullptr;
+
   SafetyOutcome outcome_;
   safety::SotifAnalysis sotif_;
 

@@ -17,8 +17,31 @@ std::string_view delivery_outcome_name(DeliveryOutcome outcome) {
   return "?";
 }
 
-RadioMedium::RadioMedium(core::Rng rng, RadioConfig config)
-    : rng_(rng), config_(config) {}
+RadioMedium::RadioMedium(core::Rng rng, RadioConfig config, obs::Telemetry* telemetry)
+    : rng_(rng), config_(config) {
+  if (telemetry != nullptr) {
+    telemetry_ = telemetry;
+  } else {
+    owned_telemetry_ = std::make_unique<obs::Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  obs::Registry& reg = telemetry_->registry();
+  c_sent_ = &reg.counter("radio.sent");
+  // Indexed by DeliveryOutcome; names mirror delivery_outcome_name with
+  // '-' swapped for '_' (metric-name convention).
+  c_outcomes_[static_cast<std::size_t>(DeliveryOutcome::kDelivered)] =
+      &reg.counter("radio.outcome.delivered");
+  c_outcomes_[static_cast<std::size_t>(DeliveryOutcome::kOutOfRange)] =
+      &reg.counter("radio.outcome.out_of_range");
+  c_outcomes_[static_cast<std::size_t>(DeliveryOutcome::kPathLoss)] =
+      &reg.counter("radio.outcome.path_loss");
+  c_outcomes_[static_cast<std::size_t>(DeliveryOutcome::kCollision)] =
+      &reg.counter("radio.outcome.collision");
+  c_outcomes_[static_cast<std::size_t>(DeliveryOutcome::kJammed)] =
+      &reg.counter("radio.outcome.jammed");
+  c_outcomes_[static_cast<std::size_t>(DeliveryOutcome::kDropped)] =
+      &reg.counter("radio.outcome.dropped");
+}
 
 void RadioMedium::attach(NodeId node, PositionFn position, ReceiveFn receive) {
   if (endpoints_.find(node) == endpoints_.end()) {
@@ -37,7 +60,7 @@ void RadioMedium::detach(NodeId node) {
 }
 
 void RadioMedium::send(Frame frame, core::SimTime now) {
-  ++total_sent_;
+  c_sent_->add();
   frame.sent_at = now;
   for (const auto& sniffer : sniffers_) sniffer(frame);
   const core::SimDuration latency =
@@ -196,7 +219,15 @@ void RadioMedium::step(core::SimTime now) {
       const auto dst_it = endpoints_.find(dst);
       if (dst_it == endpoints_.end()) return;  // receiver vanished mid-step
       const DeliveryOutcome outcome = judge(frame, src_pos, dst_pos, collided[i]);
-      ++outcome_counts_[static_cast<std::size_t>(outcome)];
+      c_outcomes_[static_cast<std::size_t>(outcome)]->add();
+      if (outcome != DeliveryOutcome::kDelivered &&
+          outcome != DeliveryOutcome::kOutOfRange) {
+        // Adversarial/channel losses go to the flight recorder (step() is
+        // serial, so the order is deterministic); out-of-range is ambient
+        // geometry, not an incident.
+        telemetry_->recorder().record(now, "radio", delivery_outcome_name(outcome),
+                                      dst.value(), frame.src.value(), frame.channel);
+      }
       if (outcome == DeliveryOutcome::kDelivered) {
         Frame received = frame;
         received.dst = dst;
@@ -227,8 +258,8 @@ void RadioMedium::step(core::SimTime now) {
       // Everyone outside the neighbourhood is provably beyond max_range_m;
       // judge() rejects out-of-range before drawing any randomness, so
       // counting them here (instead of judging each) is bit-identical.
-      outcome_counts_[static_cast<std::size_t>(DeliveryOutcome::kOutOfRange)] +=
-          (bcast_nodes_.size() - (src_in_snapshot ? 1 : 0)) - reached;
+      c_outcomes_[static_cast<std::size_t>(DeliveryOutcome::kOutOfRange)]->add(
+          (bcast_nodes_.size() - (src_in_snapshot ? 1 : 0)) - reached);
     }
   }
 }
@@ -252,7 +283,7 @@ void RadioMedium::set_drop_rule_active(std::size_t index, bool active) {
 }
 
 std::uint64_t RadioMedium::count(DeliveryOutcome outcome) const {
-  return outcome_counts_[static_cast<std::size_t>(outcome)];
+  return c_outcomes_[static_cast<std::size_t>(outcome)]->value();
 }
 
 void RadioMedium::add_sniffer(std::function<void(const Frame&)> sniffer) {

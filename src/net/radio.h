@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -20,6 +21,7 @@
 #include "core/rng.h"
 #include "core/time.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 namespace agrarsec::net {
 
@@ -83,7 +85,13 @@ class RadioMedium {
   using PositionFn = std::function<core::Vec2()>;
   using ReceiveFn = std::function<void(const Frame&, core::SimTime now)>;
 
-  RadioMedium(core::Rng rng, RadioConfig config = {});
+  /// With no `telemetry` the medium owns a private obs::Telemetry; inject
+  /// a shared one to merge radio counters/flight events into a stack-wide
+  /// export. Either way the outcome counters are registry instruments
+  /// ("radio.sent", "radio.outcome.*") and count()/total_sent() are thin
+  /// adapters over them.
+  RadioMedium(core::Rng rng, RadioConfig config = {},
+              obs::Telemetry* telemetry = nullptr);
 
   /// Registers a node. `position` is sampled at send/deliver time.
   void attach(NodeId node, PositionFn position, ReceiveFn receive);
@@ -102,9 +110,12 @@ class RadioMedium {
   std::size_t add_drop_rule(DropRule rule);
   void set_drop_rule_active(std::size_t index, bool active);
 
-  /// Counters per outcome since construction.
+  /// Counters per outcome since construction (registry-backed views).
   [[nodiscard]] std::uint64_t count(DeliveryOutcome outcome) const;
-  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  [[nodiscard]] std::uint64_t total_sent() const { return c_sent_->value(); }
+
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const { return *telemetry_; }
 
   /// Adds a tap seeing every frame *before* channel effects (promiscuous
   /// attacker / IDS sensor view). Multiple taps may coexist.
@@ -179,8 +190,15 @@ class RadioMedium {
   std::vector<Jammer> jammers_;
   std::vector<DropRule> drop_rules_;
   std::vector<std::function<void(const Frame&)>> sniffers_;
-  std::array<std::uint64_t, 6> outcome_counts_{};
-  std::uint64_t total_sent_ = 0;
+
+  // Telemetry: injected or owned (see constructor); outcome counters are
+  // registry instruments, resolved once. step() runs serially, so flight
+  // events for adversarial outcomes (collision/jam/drop/path-loss) are
+  // recorded in a deterministic order.
+  std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  obs::Telemetry* telemetry_ = nullptr;
+  std::array<obs::Counter*, 6> c_outcomes_{};
+  obs::Counter* c_sent_ = nullptr;
 };
 
 }  // namespace agrarsec::net

@@ -1,0 +1,100 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace agrarsec::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 64 ? capacity_ : 64);
+}
+
+std::size_t FlightRecorder::size() const { return ring_.size(); }
+
+const FlightEvent& FlightRecorder::at_oldest(std::size_t i) const {
+  // Before wraparound head_ is 0 and the ring is in order; afterwards the
+  // oldest element sits at head_ (the next slot to be overwritten).
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+void FlightRecorder::record(core::SimTime time, std::string_view category,
+                            std::string_view code, std::uint64_t subject, std::uint64_t a,
+                            std::uint64_t b, std::string_view detail) {
+  FlightEvent* slot;
+  if (ring_.size() < capacity_) {
+    slot = &ring_.emplace_back();
+  } else {
+    slot = &ring_[head_];
+    head_ = (head_ + 1) % capacity_;
+  }
+  slot->seq = next_seq_++;
+  slot->time = time;
+  slot->category.assign(category);
+  slot->code.assign(code);
+  slot->subject = subject;
+  slot->a = a;
+  slot->b = b;
+  slot->detail.assign(detail);
+  slot->wall_ns = Tracer::now_ns();
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::string out;
+  for_each([&out](const FlightEvent& e) {
+    out += "{\"seq\":" + std::to_string(e.seq);
+    out += ",\"t\":" + std::to_string(e.time);
+    out += ",\"cat\":";
+    append_json_string(out, e.category);
+    out += ",\"code\":";
+    append_json_string(out, e.code);
+    out += ",\"subject\":" + std::to_string(e.subject);
+    if (e.a != 0) out += ",\"a\":" + std::to_string(e.a);
+    if (e.b != 0) out += ",\"b\":" + std::to_string(e.b);
+    if (!e.detail.empty()) {
+      out += ",\"detail\":";
+      append_json_string(out, e.detail);
+    }
+    out += "}\n";
+  });
+  return out;
+}
+
+std::string FlightRecorder::wall_annex_jsonl() const {
+  std::string out;
+  for_each([&out](const FlightEvent& e) {
+    out += "{\"seq\":" + std::to_string(e.seq);
+    out += ",\"wall_ns\":" + std::to_string(e.wall_ns);
+    out += "}\n";
+  });
+  return out;
+}
+
+}  // namespace agrarsec::obs

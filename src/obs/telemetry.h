@@ -1,0 +1,99 @@
+// Telemetry: the bundle a component is handed — a metrics Registry, a
+// phase Tracer, and a FlightRecorder — plus the exporters. Components
+// accept an optional Telemetry* and fall back to a privately owned
+// instance when none is injected, so instrument code paths are identical
+// either way and existing accessor APIs become thin registry adapters.
+// SecuredWorksite owns the shared instance for the full stack.
+//
+// Two export views:
+//  - deterministic_json(): registry snapshot + flight-recorder JSONL.
+//    Bit-identical across thread counts and runs with the same seeds —
+//    the parallel parity tests compare it directly.
+//  - to_json(): the full artifact; adds tracer phases, per-shard busy
+//    time and the wall-clock annex. Machine-dependent by nature.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/event_bus.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace agrarsec::obs {
+
+struct TelemetryConfig {
+  std::size_t lanes = 1;               ///< initial shard lanes (grow via ensure_shards)
+  std::size_t flight_capacity = 4096;  ///< flight-recorder ring size
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] FlightRecorder& recorder() { return recorder_; }
+  [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
+
+  /// Grows registry lanes and tracer shard lanes together. Serial only.
+  void ensure_shards(std::size_t shards) {
+    registry_.ensure_lanes(shards);
+    tracer_.ensure_shards(shards);
+  }
+
+  /// Deterministic view (registry + flight events, no wall clock).
+  [[nodiscard]] std::string deterministic_json() const;
+
+  /// Full artifact: deterministic view + trace phases, shard busy time,
+  /// flight-recorder wall annex.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`. Returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  Registry registry_;
+  Tracer tracer_;
+  FlightRecorder recorder_;
+};
+
+/// Counts every publish on `bus` into `telemetry`'s registry: total in
+/// "bus.events" plus a per-topic "bus.topic.<topic>" counter (handles
+/// cached, so steady-state cost is one hash lookup + two adds). Returns
+/// the subscription handle; the telemetry must outlive the subscription.
+core::EventBus::Subscription wire_event_bus(core::EventBus& bus, Telemetry& telemetry);
+
+/// Process-global instance for tools and benches that have no simulation
+/// object to hang telemetry off. Lazily constructed, never destroyed
+/// before exit-time writers run.
+Telemetry& global();
+
+/// Writes "<bench_name>.telemetry.json" in the working directory from the
+/// given telemetry. Returns false on I/O failure.
+bool write_bench_artifact(const Telemetry& telemetry, const std::string& bench_name);
+
+/// RAII helper for bench mains: times the enclosing scope into gauge
+/// "bench.wall_seconds" and writes "<name>.telemetry.json" at scope exit.
+/// Uses the process-global telemetry unless one is supplied.
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name, Telemetry* telemetry = nullptr);
+  ~BenchArtifact();
+
+  BenchArtifact(const BenchArtifact&) = delete;
+  BenchArtifact& operator=(const BenchArtifact&) = delete;
+
+ private:
+  std::string name_;
+  Telemetry* telemetry_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace agrarsec::obs

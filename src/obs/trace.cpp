@@ -1,0 +1,23 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace agrarsec::obs {
+
+PhaseId Tracer::phase(std::string_view name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  names_.emplace_back(name);
+  stats_.emplace_back();
+  return names_.size() - 1;
+}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace agrarsec::obs

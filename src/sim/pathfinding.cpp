@@ -36,6 +36,19 @@ PathPlanner::PathPlanner(const Terrain& terrain, PlannerConfig config)
   }
 }
 
+void PathPlanner::set_telemetry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    c_plans_ = c_cache_hits_ = c_cache_misses_ = c_invalidations_ = c_jps_expansions_ =
+        nullptr;
+    return;
+  }
+  c_plans_ = &registry->counter("planner.plans");
+  c_cache_hits_ = &registry->counter("planner.cache_hits");
+  c_cache_misses_ = &registry->counter("planner.cache_misses");
+  c_invalidations_ = &registry->counter("planner.invalidations");
+  c_jps_expansions_ = &registry->counter("planner.jps_expansions");
+}
+
 bool PathPlanner::terrain_blocked(int cx, int cy) const {
   const core::Vec2 center = cell_center(cx, cy);
   if (terrain_.blocked(center, config_.clearance_m)) return true;
@@ -245,6 +258,7 @@ std::optional<std::vector<core::Vec2>> PathPlanner::search(int start_cx, int sta
         return std::nullopt;
       }
       ++stats_.jps_expansions;
+      if (c_jps_expansions_) c_jps_expansions_->add();
 
       const int cx = node.idx % width_;
       const int cy = node.idx / width_;
@@ -362,6 +376,7 @@ std::optional<std::vector<core::Vec2>> PathPlanner::search(int start_cx, int sta
 std::optional<std::vector<core::Vec2>> PathPlanner::plan(core::Vec2 start,
                                                          core::Vec2 goal) const {
   ++stats_.plans;
+  if (c_plans_) c_plans_->add();
   const auto [scx, scy] = cell_of(start);
   const auto [gcx, gcy] = cell_of(goal);
   const auto start_cell = nearest_free(scx, scy);
@@ -380,12 +395,14 @@ std::optional<std::vector<core::Vec2>> PathPlanner::plan(core::Vec2 start,
     if (const auto it = cache_.find(key); it != cache_.end()) {
       if (it->second.generation == generation_) {
         ++stats_.cache_hits;
+        if (c_cache_hits_) c_cache_hits_->add();
         if (!it->second.reachable) return std::nullopt;
         route = it->second.route;
         served_from_cache = true;
       } else {
         // Stale generation: the blocked grid changed since this was planned.
         ++stats_.invalidations;
+        if (c_invalidations_) c_invalidations_->add();
         cache_.erase(it);
       }
     }
@@ -393,6 +410,7 @@ std::optional<std::vector<core::Vec2>> PathPlanner::plan(core::Vec2 start,
 
   if (!served_from_cache) {
     ++stats_.cache_misses;
+    if (c_cache_misses_) c_cache_misses_->add();
     bool budget_exhausted = false;
     route = search(start_cell->first, start_cell->second, goal_cell->first,
                    goal_cell->second, budget_exhausted);

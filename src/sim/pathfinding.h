@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/geometry.h"
+#include "obs/metrics.h"
 #include "sim/terrain.h"
 
 namespace agrarsec::sim {
@@ -91,6 +92,13 @@ class PathPlanner {
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
   [[nodiscard]] const PlannerConfig& config() const { return config_; }
 
+  /// Mirrors every PlannerStats increment into registry counters
+  /// ("planner.plans", "planner.cache_hits", ...), so a shared telemetry
+  /// export always carries live planner numbers (summed over every
+  /// instance wired to the same registry). nullptr detaches. The registry
+  /// must outlive the planner; plan() is called from serial contexts only.
+  void set_telemetry(obs::Registry* registry);
+
  private:
   struct CacheEntry {
     std::uint64_t generation = 0;
@@ -132,6 +140,13 @@ class PathPlanner {
   // bookkeeping (same convention as Terrain's query scratch).
   mutable std::unordered_map<std::uint64_t, CacheEntry> cache_;
   mutable PlannerStats stats_;
+
+  // Optional registry mirrors (see set_telemetry); null when detached.
+  obs::Counter* c_plans_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Counter* c_cache_misses_ = nullptr;
+  obs::Counter* c_invalidations_ = nullptr;
+  obs::Counter* c_jps_expansions_ = nullptr;
 };
 
 }  // namespace agrarsec::sim

@@ -80,18 +80,50 @@ Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
       pile_index_(config.forest.bounds, kIndexCellM),
       separation_hist_(0.0, std::max(config.separation_tracking_m, 1e-6),
                        separation_bins(config)) {
+  // Telemetry first: the planners and the pool observer hang off it.
+  if (config_.telemetry != nullptr) {
+    telemetry_ = config_.telemetry;
+  } else {
+    owned_telemetry_ = std::make_unique<obs::Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  obs::Registry& reg = telemetry_->registry();
+  c_steps_ = &reg.counter("worksite.steps");
+  c_route_reuses_ = &reg.counter("worksite.route_reuses");
+  c_windthrow_ = &reg.counter("worksite.windthrow_events");
+  c_cycles_ = &reg.counter("worksite.completed_cycles");
+  c_sep_queries_ = &reg.counter("worksite.separation_queries");
+  g_delivered_ = &reg.gauge("worksite.delivered_m3");
+  obs::Tracer& tracer = telemetry_->tracer();
+  ph_step_ = tracer.phase("worksite.step");
+  ph_weather_ = tracer.phase("worksite.weather");
+  ph_decide_ = tracer.phase("worksite.decide");
+  ph_drain_ = tracer.phase("worksite.drain");
+  ph_integrate_ = tracer.phase("worksite.integrate");
+  ph_index_ = tracer.phase("worksite.index");
+  ph_separation_ = tracer.phase("worksite.separation");
+  obs::wire_event_bus(bus_, *telemetry_);
+
   core::Rng terrain_rng = rng_.fork(0x7e44a1);
   terrain_ = std::make_unique<Terrain>(Terrain::generate(config_.forest, terrain_rng));
 
   PlannerConfig planner_config;
   auto base = std::make_unique<PathPlanner>(*terrain_, planner_config);
+  base->set_telemetry(&reg);
   planner_ = base.get();
   planners_.emplace(clearance_key(planner_config.clearance_m), std::move(base));
 
   if (config_.threads != 1) {
     pool_ = std::make_unique<core::ThreadPool>(config_.threads);
+    // Observation-only busy-time tap: per-shard tracer lanes, so the
+    // concurrent callbacks never share an accumulator.
+    pool_->set_shard_observer([this](std::size_t shard, std::uint64_t busy_ns) {
+      telemetry_->tracer().add_shard_busy(shard, busy_ns);
+    });
   }
-  shard_query_.resize(pool_ ? pool_->shard_count() : 1);
+  const std::size_t shards = pool_ ? pool_->shard_count() : 1;
+  telemetry_->ensure_shards(shards);
+  shard_query_.resize(shards);
   if (config_.exact_separation_samples) separation_exact_.emplace();
 }
 
@@ -105,9 +137,9 @@ PathPlanner& Worksite::planner_for(double clearance_m) {
   if (it == planners_.end()) {
     PlannerConfig planner_config = planner_->config();
     planner_config.clearance_m = static_cast<double>(key) / 10.0;
-    it = planners_
-             .emplace(key, std::make_unique<PathPlanner>(*terrain_, planner_config))
-             .first;
+    auto planner = std::make_unique<PathPlanner>(*terrain_, planner_config);
+    planner->set_telemetry(&telemetry_->registry());
+    it = planners_.emplace(key, std::move(planner)).first;
   }
   return *it->second;
 }
@@ -126,17 +158,27 @@ std::deque<core::Vec2> Worksite::plan_route(core::Vec2 from, core::Vec2 to) cons
 }
 
 void Worksite::route_machine(Machine& machine, core::Vec2 goal) {
+  // Serial context (effect drain / setup), so flight-recorder writes are
+  // ordered and deterministic here.
   PathPlanner& planner = planner_for(machine_clearance(machine));
   if (machine.try_reuse_route(goal, planner)) {
-    ++route_reuses_;
+    c_route_reuses_->add();
+    telemetry_->recorder().record(clock_.now(), "planner", "route-reuse",
+                                  machine.id().value());
     return;
   }
+  const PlannerStats before = planner.stats();
   std::deque<core::Vec2> route;
   if (auto path = planner.plan(machine.position(), goal)) {
     route.assign(path->begin(), path->end());
   } else {
     route = {goal};
   }
+  const PlannerStats& after = planner.stats();
+  telemetry_->recorder().record(
+      clock_.now(), "planner",
+      after.cache_hits > before.cache_hits ? "cache-hit" : "cache-miss",
+      machine.id().value(), after.jps_expansions - before.jps_expansions);
   machine.set_route(std::move(route), goal, planner.generation());
 }
 
@@ -306,7 +348,9 @@ void Worksite::step_weather_hazards() {
                               hazard_rng_.uniform(bounds.min.y, bounds.max.y)};
       const double radius = config_.windthrow_radius_m;
       block_region(center, radius, true);
-      ++windthrow_events_;
+      c_windthrow_->add();
+      telemetry_->recorder().record(clock_.now(), "worksite", "windthrow", 0,
+                                    static_cast<std::uint64_t>(radius));
       if (config_.windthrow_duration > 0) {
         hazards_.push_back({center, radius, clock_.now() + config_.windthrow_duration});
       }
@@ -534,10 +578,10 @@ void Worksite::drain_machine_effects() {
         commit_load(m, forwarder_states_.find(m.id().value())->second);
         break;
       case MachineEffects::Action::kCycleCommit:
-        delivered_m3_ += fx.unloaded_m3;
-        ++completed_cycles_;
+        g_delivered_->add(fx.unloaded_m3);
+        c_cycles_->add();
         bus_.publish({"forwarder/cycle",
-                      "delivered=" + std::to_string(delivered_m3_),
+                      "delivered=" + std::to_string(g_delivered_->value()),
                       m.id().value(), clock_.now()});
         break;
     }
@@ -578,12 +622,12 @@ std::uint64_t Worksite::close_encounters(double threshold_m) const {
 
 Worksite::Metrics Worksite::metrics() const {
   Metrics m;
-  m.delivered_m3 = delivered_m3_;
-  m.completed_cycles = completed_cycles_;
+  m.delivered_m3 = g_delivered_->value();
+  m.completed_cycles = c_cycles_->value();
   m.min_human_separation = min_separation_;
   m.separation_samples = separation_stats_.count();
-  m.route_reuses = route_reuses_;
-  m.windthrow_events = windthrow_events_;
+  m.route_reuses = c_route_reuses_->value();
+  m.windthrow_events = c_windthrow_->value();
   for (const auto& [key, planner] : planners_) {
     const PlannerStats& s = planner->stats();
     m.planner.plans += s.plans;
@@ -604,70 +648,95 @@ void Worksite::parallel_over(std::size_t n, const core::ThreadPool::ShardFn& fn)
 }
 
 void Worksite::step() {
+  // Phase spans are observation-only wall-clock taps (obs::Tracer); no
+  // value read here ever feeds back into sim state.
+  obs::Tracer& tracer = telemetry_->tracer();
+  obs::Tracer::Span step_span = tracer.scoped(ph_step_);
+  c_steps_->add();
   clock_.tick();
 
-  // Serial pre-phase: weather hazards mutate every planner's blocked grid
-  // (and publish), so they must land before the decide barrier.
-  step_weather_hazards();
-
-  // Decide (parallel): per-machine FSMs against frozen shared state.
-  // Terrain and planner queries are excluded from this phase (both keep
-  // mutable scratch/caches); routing happens in the drain.
-  parallel_over(machines_.size(),
-                [this](std::size_t begin, std::size_t end, std::size_t shard) {
-                  for (std::size_t i = begin; i < end; ++i) decide_machine(i, shard);
-                });
-
-  // Drain (serial, ascending slot = id order): pile spawns and takes,
-  // planner routing, event publishes, delivery accounting. This pass
-  // alone orders every shared mutation, which is what makes the step
-  // thread-count-invariant.
-  drain_machine_effects();
-
-  // Integrate (parallel): machine kinematics and human walks; each
-  // entity touches only itself (humans draw from their own streams).
-  const std::size_t machine_count = machines_.size();
-  parallel_over(machine_count + humans_.size(),
-                [this, machine_count](std::size_t begin, std::size_t end,
-                                      std::size_t shard) {
-                  (void)shard;
-                  for (std::size_t i = begin; i < end; ++i) {
-                    if (i < machine_count) {
-                      machines_[i]->step(config_.step);
-                    } else {
-                      humans_[i - machine_count]->step(config_.step);
-                    }
-                  }
-                });
-
-  // Index write-phase (serial): fold the new human poses into the grid,
-  // drop exhausted piles.
-  for (const auto& h : humans_) {
-    human_index_.update(h->id().value(), h->position());
+  {
+    // Serial pre-phase: weather hazards mutate every planner's blocked
+    // grid (and publish), so they must land before the decide barrier.
+    obs::Tracer::Span span = tracer.scoped(ph_weather_);
+    step_weather_hazards();
   }
-  compact_piles();
 
-  // Separation sampling (parallel): the radius queries dominate the
-  // tracking cost; each machine writes distances into its own buffer
-  // using per-shard query scratch.
-  parallel_over(machines_.size(),
-                [this](std::size_t begin, std::size_t end, std::size_t shard) {
-                  std::vector<std::uint64_t>& scratch = shard_query_[shard];
-                  const double radius = config_.separation_tracking_m;
-                  for (std::size_t i = begin; i < end; ++i) {
-                    std::vector<double>& out = separation_buffers_[i];
-                    out.clear();
-                    const Machine& m = *machines_[i];
-                    if (m.kind() != MachineKind::kForwarder) continue;
-                    if (m.speed() < 0.3) continue;
-                    human_index_.query_radius(m.position(), radius, scratch);
-                    for (const std::uint64_t id : scratch) {
-                      const Human& h = *humans_[human_slots_.find(id)->second];
-                      out.push_back(core::distance(m.position(), h.position()));
+  {
+    // Decide (parallel): per-machine FSMs against frozen shared state.
+    // Terrain and planner queries are excluded from this phase (both keep
+    // mutable scratch/caches); routing happens in the drain.
+    obs::Tracer::Span span = tracer.scoped(ph_decide_);
+    parallel_over(machines_.size(),
+                  [this](std::size_t begin, std::size_t end, std::size_t shard) {
+                    for (std::size_t i = begin; i < end; ++i) decide_machine(i, shard);
+                  });
+  }
+
+  {
+    // Drain (serial, ascending slot = id order): pile spawns and takes,
+    // planner routing, event publishes, delivery accounting. This pass
+    // alone orders every shared mutation, which is what makes the step
+    // thread-count-invariant.
+    obs::Tracer::Span span = tracer.scoped(ph_drain_);
+    drain_machine_effects();
+  }
+
+  {
+    // Integrate (parallel): machine kinematics and human walks; each
+    // entity touches only itself (humans draw from their own streams).
+    obs::Tracer::Span span = tracer.scoped(ph_integrate_);
+    const std::size_t machine_count = machines_.size();
+    parallel_over(machine_count + humans_.size(),
+                  [this, machine_count](std::size_t begin, std::size_t end,
+                                        std::size_t shard) {
+                    (void)shard;
+                    for (std::size_t i = begin; i < end; ++i) {
+                      if (i < machine_count) {
+                        machines_[i]->step(config_.step);
+                      } else {
+                        humans_[i - machine_count]->step(config_.step);
+                      }
                     }
-                  }
-                });
-  drain_separation_samples();
+                  });
+  }
+
+  {
+    // Index write-phase (serial): fold the new human poses into the grid,
+    // drop exhausted piles.
+    obs::Tracer::Span span = tracer.scoped(ph_index_);
+    for (const auto& h : humans_) {
+      human_index_.update(h->id().value(), h->position());
+    }
+    compact_piles();
+  }
+
+  {
+    // Separation sampling (parallel): the radius queries dominate the
+    // tracking cost; each machine writes distances into its own buffer
+    // using per-shard query scratch. The query counter uses its per-shard
+    // lane, so the total is thread-count-invariant without atomics.
+    obs::Tracer::Span span = tracer.scoped(ph_separation_);
+    parallel_over(machines_.size(),
+                  [this](std::size_t begin, std::size_t end, std::size_t shard) {
+                    std::vector<std::uint64_t>& scratch = shard_query_[shard];
+                    const double radius = config_.separation_tracking_m;
+                    for (std::size_t i = begin; i < end; ++i) {
+                      std::vector<double>& out = separation_buffers_[i];
+                      out.clear();
+                      const Machine& m = *machines_[i];
+                      if (m.kind() != MachineKind::kForwarder) continue;
+                      if (m.speed() < 0.3) continue;
+                      c_sep_queries_->add(1, shard);
+                      human_index_.query_radius(m.position(), radius, scratch);
+                      for (const std::uint64_t id : scratch) {
+                        const Human& h = *humans_[human_slots_.find(id)->second];
+                        out.push_back(core::distance(m.position(), h.position()));
+                      }
+                    }
+                  });
+    drain_separation_samples();
+  }
 }
 
 }  // namespace agrarsec::sim

@@ -26,6 +26,7 @@
 #include "core/stats.h"
 #include "core/thread_pool.h"
 #include "core/time.h"
+#include "obs/telemetry.h"
 #include "sim/human.h"
 #include "sim/machine.h"
 #include "sim/pathfinding.h"
@@ -79,6 +80,12 @@ struct WorksiteConfig {
   double windthrow_rate_per_hour = 0.0;
   double windthrow_radius_m = 12.0;
   core::SimDuration windthrow_duration = 10 * core::kMinute;
+  /// Telemetry sink for the worksite's counters, step-phase spans and
+  /// flight events. When null the worksite owns a private instance, so
+  /// instrumentation is always live; inject a shared one (SecuredWorksite
+  /// does) to merge the full stack into a single export. Must outlive the
+  /// worksite.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Forwarder mission state machine.
@@ -109,6 +116,10 @@ class Worksite {
   [[nodiscard]] const core::SimClock& clock() const { return clock_; }
   [[nodiscard]] core::EventBus& bus() { return bus_; }
   [[nodiscard]] core::Rng& rng() { return rng_; }
+  /// The telemetry this worksite instruments into (the injected one, or
+  /// the privately owned fallback).
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const { return *telemetry_; }
   [[nodiscard]] Weather weather() const { return config_.weather; }
   void set_weather(Weather weather) { config_.weather = weather; }
 
@@ -192,8 +203,10 @@ class Worksite {
   };
   [[nodiscard]] Metrics metrics() const;
 
-  [[nodiscard]] double delivered_m3() const { return delivered_m3_; }
-  [[nodiscard]] std::uint64_t completed_cycles() const { return completed_cycles_; }
+  // Registry-backed views: the counters live in telemetry()'s registry
+  // ("worksite.delivered_m3" etc.); these accessors are thin adapters.
+  [[nodiscard]] double delivered_m3() const { return g_delivered_->value(); }
+  [[nodiscard]] std::uint64_t completed_cycles() const { return c_cycles_->value(); }
   /// Minimum human–forwarder distance seen while the forwarder moved
   /// faster than 0.3 m/s (the safety-relevant exposure metric). Tracked
   /// within separation_tracking_m; 1e9 when no such pair was ever seen.
@@ -330,10 +343,27 @@ class Worksite {
   IdAllocator<HumanId> human_ids_;
 
   std::deque<ActiveHazard> hazards_;
-  std::uint64_t windthrow_events_ = 0;
-  std::uint64_t route_reuses_ = 0;
-  double delivered_m3_ = 0.0;
-  std::uint64_t completed_cycles_ = 0;
+
+  // Telemetry: either the injected instance or the owned fallback; the
+  // outcome counters that used to be plain members are registry
+  // instruments now (handles resolved once in the constructor, O(1) on
+  // the hot path). Flight events are recorded from serial contexts only.
+  std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* c_steps_ = nullptr;
+  obs::Counter* c_route_reuses_ = nullptr;
+  obs::Counter* c_windthrow_ = nullptr;
+  obs::Counter* c_cycles_ = nullptr;
+  obs::Counter* c_sep_queries_ = nullptr;  ///< bumped per shard in the sampling phase
+  obs::Gauge* g_delivered_ = nullptr;
+  obs::PhaseId ph_step_ = 0;
+  obs::PhaseId ph_weather_ = 0;
+  obs::PhaseId ph_decide_ = 0;
+  obs::PhaseId ph_drain_ = 0;
+  obs::PhaseId ph_integrate_ = 0;
+  obs::PhaseId ph_index_ = 0;
+  obs::PhaseId ph_separation_ = 0;
+
   double min_separation_ = 1e9;
   core::RunningStats separation_stats_;
   core::Histogram separation_hist_;

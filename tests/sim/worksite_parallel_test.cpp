@@ -45,6 +45,9 @@ struct Snapshot {
   double sep_mean = 0.0;
   double sep_stddev = 0.0;
   std::uint64_t close_10m = 0;
+  /// Deterministic telemetry export (registry counters + flight events):
+  /// covered by the same bit-identical contract as everything above.
+  std::string telemetry_json;
 };
 
 /// Builds the Figure-1-style mixed fleet, steps `steps` times at the given
@@ -85,6 +88,7 @@ Snapshot run_site(std::size_t threads, int steps) {
   snap.sep_mean = site.separation_stats().mean();
   snap.sep_stddev = site.separation_stats().stddev();
   snap.close_10m = site.close_encounters(10.0);
+  snap.telemetry_json = site.telemetry().deterministic_json();
   return snap;
 }
 
@@ -115,6 +119,8 @@ void expect_identical(const Snapshot& a, const Snapshot& b, std::size_t threads)
   EXPECT_EQ(a.sep_mean, b.sep_mean);
   EXPECT_EQ(a.sep_stddev, b.sep_stddev);
   EXPECT_EQ(a.close_10m, b.close_10m);
+  // Telemetry with per-shard counter lanes merges to the same bytes.
+  EXPECT_EQ(a.telemetry_json, b.telemetry_json);
 }
 
 TEST(WorksiteParallel, ThreadCountIsUnobservable) {

@@ -9,6 +9,12 @@
 //   agrarsec_lint [--model=risk|assurance|pki|all|defective]
 //                 [--format=text|json] [--baseline=FILE]
 //                 [--write-baseline=FILE] [--list-rules]
+//                 [--stats[=FILE]]
+//
+// --stats emits analyzer self-telemetry (rules run, findings per rule
+// family, analysis wall time) through the repo's obs registry — the same
+// machinery the simulation exports — as JSON to FILE, or to stderr so
+// --format=json pipelines keep a clean stdout.
 //
 // Exit codes: 0 = no error-severity findings beyond the baseline,
 //             1 = un-baselined error findings, 2 = usage/IO error.
@@ -27,6 +33,7 @@
 #include "assurance/compliance.h"
 #include "core/time.h"
 #include "crypto/random.h"
+#include "obs/telemetry.h"
 #include "pki/authority.h"
 #include "pki/identity.h"
 #include "pki/trust_store.h"
@@ -245,7 +252,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--model=risk|assurance|pki|all|defective]\n"
                "          [--format=text|json] [--baseline=FILE]\n"
-               "          [--write-baseline=FILE] [--list-rules]\n",
+               "          [--write-baseline=FILE] [--list-rules]\n"
+               "          [--stats[=FILE]]\n",
                argv0);
   return 2;
 }
@@ -258,6 +266,8 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string write_baseline_path;
   bool list_rules = false;
+  bool stats = false;
+  std::string stats_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -270,6 +280,8 @@ int main(int argc, char** argv) {
     else if (auto v3 = value_of("--baseline=")) baseline_path = *v3;
     else if (auto v4 = value_of("--write-baseline=")) write_baseline_path = *v4;
     else if (arg == "--list-rules") list_rules = true;
+    else if (arg == "--stats") stats = true;
+    else if (auto v5 = value_of("--stats=")) { stats = true; stats_path = *v5; }
     else return usage(argv[0]);
   }
   if (format != "text" && format != "json") return usage(argv[0]);
@@ -305,8 +317,41 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::Telemetry telemetry;
   const analysis::Analyzer analyzer;
-  std::vector<analysis::Diagnostic> findings = analyzer.analyze(bundle.view());
+  const obs::PhaseId ph_analyze = telemetry.tracer().phase("lint.analyze");
+  std::vector<analysis::Diagnostic> findings;
+  {
+    const obs::Tracer::Span span{telemetry.tracer(), ph_analyze};
+    findings = analyzer.analyze(bundle.view());
+  }
+
+  if (stats) {
+    obs::Registry& reg = telemetry.registry();
+    reg.counter("lint.rules_run").add(analysis::rule_catalogue().size());
+    reg.counter("lint.findings").add(findings.size());
+    for (const analysis::Diagnostic& d : findings) {
+      // Map the finding back to its rule family via the catalogue so the
+      // per-family counters use the shipped taxonomy, not prefix guessing.
+      std::string_view family = "unknown";
+      for (const analysis::RuleInfo& rule : analysis::rule_catalogue()) {
+        if (rule.id == d.rule) { family = rule.family; break; }
+      }
+      reg.counter("lint.findings." + std::string(family)).add();
+    }
+    const auto& analyze_stats = telemetry.tracer().stats(ph_analyze);
+    reg.gauge("lint.analyze_wall_seconds")
+        .set(static_cast<double>(analyze_stats.total_ns) / 1e9);
+    const std::string stats_json = telemetry.to_json();
+    if (stats_path.empty()) {
+      std::fputs(stats_json.c_str(), stderr);
+      std::fputc('\n', stderr);
+    } else if (!write_file(stats_path, stats_json + "\n")) {
+      std::fprintf(stderr, "agrarsec_lint: cannot write stats '%s'\n",
+                   stats_path.c_str());
+      return 2;
+    }
+  }
 
   if (!write_baseline_path.empty()) {
     const analysis::Baseline baseline = analysis::Baseline::from(findings);
