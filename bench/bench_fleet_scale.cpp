@@ -1,13 +1,19 @@
-// Fleet-scale hot-loop baseline with a --threads axis. Steps the
-// 16-machine Figure-1-style site (2 harvesters, 12 forwarders, 2 drones,
-// 48 workers, windthrow hazards on) and reports steps/sec at threads=1
-// and at the requested shard count, so both the serial hot path and the
-// parallel-stepping speedup show up as numbers future PRs must not lower.
+// Fleet-scale hot-loop baseline with --threads and --sessions axes.
+// Steps the 16-machine Figure-1-style site (2 harvesters, 12 forwarders,
+// 2 drones, 48 workers, windthrow hazards on) and reports steps/sec at
+// threads=1 and at the requested shard count, so both the serial hot
+// path and the parallel-stepping speedup show up as numbers future PRs
+// must not lower. The --sessions axis does the same one level up: a
+// FleetService stepping N independent secured worksite sessions, serial
+// vs batched across the pool, reported as session-steps/sec.
 //
 // Determinism is part of the contract: before timing, a parity
 // cross-check runs the same site serially and sharded and compares
 // metrics bit-for-bit, the full event-bus sequence, and every machine
-// pose. Any mismatch fails the benchmark (non-zero exit) — a fast wrong
+// pose. The fleet section extends it per session: every session's
+// deterministic telemetry export must be byte-identical across service
+// thread counts, and session 0 must match a solo run outside any fleet.
+// Any mismatch fails the benchmark (non-zero exit) — a fast wrong
 // simulation is not an optimisation.
 //
 // Lines of the form "BENCH name=value" are machine-readable; CI captures
@@ -23,6 +29,7 @@
 
 #include "net/radio.h"
 #include "obs/telemetry.h"
+#include "service/fleet_service.h"
 #include "sim/worksite.h"
 
 using namespace agrarsec;
@@ -177,6 +184,64 @@ RunResult run_worksite(std::size_t threads, std::uint64_t steps,
   return r;
 }
 
+// --- fleet-service --sessions axis -----------------------------------------
+
+/// One fleet session: the full secured stack over a thinner stand, busy
+/// enough that every session exercises sensing, radio and safety per step.
+integration::SecuredWorksiteConfig fleet_session_config() {
+  integration::SecuredWorksiteConfig config;
+  config.worksite.forest.trees_per_hectare = 120;
+  config.worksite.harvester_output_m3_per_min = 30.0;
+  config.worksite.load_time = 15 * core::kSecond;
+  config.worksite.unload_time = 10 * core::kSecond;
+  return config;
+}
+
+struct FleetRunResult {
+  double rate = 0.0;  ///< aggregate session-steps/sec across the fleet
+  std::vector<std::string> session_exports;  ///< deterministic, key order
+  std::uint64_t sessions_stepped = 0;
+};
+
+FleetRunResult run_fleet(std::size_t threads, std::size_t sessions,
+                         std::uint64_t steps, std::size_t artifact_count) {
+  service::FleetServiceConfig config;
+  config.threads = threads;
+  config.fleet_seed = 4242;
+  service::FleetService fleet{config};
+
+  std::vector<service::SessionId> ids;
+  for (std::uint64_t key = 0; key < sessions; ++key) {
+    const service::SessionId id =
+        fleet.create_session_keyed(fleet_session_config(), key);
+    ids.push_back(id);
+    integration::SecuredWorksite& site = *fleet.session(id);
+    for (int w = 0; w < 2; ++w) {
+      site.worksite().add_worker("w" + std::to_string(w),
+                                 {75.0 + 10.0 * w, 60.0}, {80, 80});
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fleet.step_all(steps);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  FleetRunResult r;
+  r.rate = static_cast<double>(sessions) * static_cast<double>(steps) / secs;
+  r.sessions_stepped = steps == 0 ? 0 : fleet.total_session_steps() / steps;
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    r.session_exports.push_back(fleet.session_deterministic_json(ids[k]));
+    // Per-session telemetry artifacts for CI upload (capped: 64 sessions
+    // would flood the artifact store; the first few cover the contract).
+    if (k < artifact_count) {
+      fleet.session(ids[k])->telemetry().write_json(
+          "bench_fleet_scale.session" + std::to_string(k) + ".telemetry.json");
+    }
+  }
+  return r;
+}
+
 struct RadioResult {
   double rate = 0.0;
   std::uint64_t dropped = 0;  ///< frames lost to loss/collision/jam/drop
@@ -228,6 +293,7 @@ RadioResult run_radio(std::size_t nodes, std::uint64_t steps) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  std::size_t sessions = 0;  // 0 = default per mode (64 full, 8 quick)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -235,8 +301,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
       if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    } else if (arg.rfind("--sessions=", 0) == 0) {
+      sessions = static_cast<std::size_t>(std::strtoull(arg.c_str() + 11, nullptr, 10));
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      sessions = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     }
   }
+  if (sessions == 0) sessions = quick ? 8 : 64;
 
   const std::uint64_t steps =
       static_cast<std::uint64_t>((quick ? 2 : 10) * core::kMinute) / 100;
@@ -306,6 +377,40 @@ int main(int argc, char** argv) {
   std::printf("  parity: %d mismatches (threads=1 vs threads=%zu)\n", mismatches,
               threads);
 
+  // Fleet-service axis: N independent secured-worksite sessions batched
+  // across the pool, one session per work item. Aggregate throughput is
+  // session-steps/sec; parity is per-session byte-identical deterministic
+  // exports between thread counts AND against a session running alone
+  // (fleet size must be unobservable from inside a session).
+  const std::uint64_t fleet_steps = quick ? 50 : 200;
+  std::printf("\nfleet service: %zu sessions x %llu steps\n", sessions,
+              static_cast<unsigned long long>(fleet_steps));
+  const FleetRunResult fleet_serial = run_fleet(1, sessions, fleet_steps, 0);
+  std::printf("  threads=1:  %.0f session-steps/sec\n", fleet_serial.rate);
+  const FleetRunResult fleet_sharded =
+      run_fleet(threads, sessions, fleet_steps, std::min<std::size_t>(sessions, 8));
+  const double fleet_speedup = fleet_sharded.rate / fleet_serial.rate;
+  std::printf("  threads=%zu: %.0f session-steps/sec (%.2fx)\n", threads,
+              fleet_sharded.rate, fleet_speedup);
+  const FleetRunResult fleet_solo = run_fleet(1, 1, fleet_steps, 0);
+
+  int fleet_mismatches = 0;
+  for (std::size_t k = 0; k < sessions; ++k) {
+    if (fleet_serial.session_exports[k] != fleet_sharded.session_exports[k]) {
+      ++fleet_mismatches;
+      std::printf("  FLEET PARITY MISMATCH: session %zu export differs"
+                  " (threads=1 vs threads=%zu)\n", k, threads);
+    }
+  }
+  if (fleet_solo.session_exports[0] != fleet_serial.session_exports[0]) {
+    ++fleet_mismatches;
+    std::printf("  FLEET PARITY MISMATCH: session 0 alone differs from"
+                " session 0 in a %zu-session fleet\n", sessions);
+  }
+  std::printf("  parity: %d mismatches (%zu sessions x {threads 1, %zu}, solo"
+              " cross-check)\n", fleet_mismatches, sessions, threads);
+  mismatches += fleet_mismatches;
+
   std::printf("\nradio medium, jittered broadcast fan-out:\n");
   const RadioResult radio = run_radio(64, quick ? 2000 : 10000);
 
@@ -318,6 +423,10 @@ int main(int argc, char** argv) {
   std::printf("\nBENCH worksite_steps_per_sec=%.0f\n", serial.rate);
   std::printf("BENCH worksite_steps_per_sec_parallel=%.0f\n", sharded.rate);
   std::printf("BENCH parity_mismatches=%d\n", mismatches);
+  std::printf("BENCH fleet_session_steps_per_sec=%.0f\n", fleet_serial.rate);
+  std::printf("BENCH fleet_session_steps_per_sec_parallel=%.0f\n",
+              fleet_sharded.rate);
+  std::printf("BENCH fleet_parity_mismatches=%d\n", fleet_mismatches);
   std::printf("BENCH radio_steps_per_sec=%.0f\n", radio.rate);
   if (!quick) {
     const double hit_rate =
@@ -326,6 +435,8 @@ int main(int argc, char** argv) {
             : static_cast<double>(serial.metrics.planner.cache_hits) /
                   static_cast<double>(serial.metrics.planner.plans);
     std::printf("BENCH planner_cache_hit_rate_exact=%.6f\n", hit_rate);
+    std::printf("BENCH fleet_sessions_stepped_exact=%llu\n",
+                static_cast<unsigned long long>(fleet_sharded.sessions_stepped));
     std::printf("BENCH radio_dropped_frames_exact=%llu\n",
                 static_cast<unsigned long long>(radio.dropped));
   }

@@ -45,14 +45,16 @@ fi
 echo "== sanitizers: TSan over the parallel stepping paths =="
 # The suites that actually run worker threads: the thread pool itself,
 # the mutex-guarded logger under concurrent writers + sink swaps, the
-# telemetry registry's sharded lanes, and the sharded worksite step at
-# threads > 1. A data race in the decide/integrate/sample phases fails
-# here even though the parity tests (which compare outcomes, not
-# interleavings) might still pass.
+# telemetry registry's sharded lanes, the sharded worksite step at
+# threads > 1, and the fleet service batching whole sessions across the
+# pool. A data race in the decide/integrate/sample phases fails here even
+# though the parity tests (which compare outcomes, not interleavings)
+# might still pass.
 cmake -B build-tsan -S . -DAGRARSEC_TSAN=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
-cmake --build build-tsan -j "$JOBS" --target core_test sim_test obs_test
+cmake --build build-tsan -j "$JOBS" --target core_test sim_test obs_test service_test
 ./build-tsan/tests/core_test --gtest_filter='ThreadPool*:LogThreadSafety*'
 ./build-tsan/tests/obs_test --gtest_filter='RegistryTest.MergeIsDeterministic*'
 ./build-tsan/tests/sim_test --gtest_filter='WorksiteParallel*'
+./build-tsan/tests/service_test --gtest_filter='FleetServiceParallel*'
 
 echo "== all checks passed =="

@@ -42,8 +42,9 @@ SecuredWorksite::SecuredWorksite(SecuredWorksiteConfig config)
   if (config_.forwarder_count == 0) config_.forwarder_count = 1;
 
   // One shared telemetry for the whole stack: the worksite, the planners,
-  // the radio medium and the IDS all instrument into it.
-  telemetry_ = std::make_unique<obs::Telemetry>();
+  // the radio medium and the IDS all instrument into it. Its shape
+  // (flight-recorder ring size in particular) comes from the config.
+  telemetry_ = std::make_unique<obs::Telemetry>(config_.telemetry);
   config_.worksite.telemetry = telemetry_.get();
   obs::Registry& reg = telemetry_->registry();
   c_reports_sent_ = &reg.counter("secure.detection_reports_sent");
@@ -51,6 +52,7 @@ SecuredWorksite::SecuredWorksite(SecuredWorksiteConfig config)
   c_reports_rejected_ = &reg.counter("secure.detection_reports_rejected");
   c_spoofed_accepted_ = &reg.counter("secure.spoofed_messages_accepted");
   c_estops_from_ids_ = &reg.counter("secure.estops_from_ids");
+  h_step_wall_ = &reg.histogram("wall.secured_step_us", 0.0, 100000.0, 20);
 
   worksite_ = std::make_unique<sim::Worksite>(config_.worksite, config_.seed);
 
@@ -508,6 +510,9 @@ void SecuredWorksite::track_ground_truth(core::SimTime now) {
 }
 
 void SecuredWorksite::step() {
+  // Full-stack step wall time (sim + radio + IDS + safety); the "wall."
+  // prefix keeps this timing histogram out of the deterministic export.
+  const std::uint64_t step_start_ns = obs::Tracer::now_ns();
   worksite_->step();
   const core::SimTime now = worksite_->clock().now();
 
@@ -525,6 +530,9 @@ void SecuredWorksite::step() {
     unit->monitor->update(unit->fusion->fuse(now), now);
   }
   track_ground_truth(now);
+
+  h_step_wall_->add(
+      static_cast<double>(obs::Tracer::now_ns() - step_start_ns) / 1000.0);
 }
 
 void SecuredWorksite::run_for(core::SimDuration duration) {

@@ -79,6 +79,11 @@ struct SecuredWorksiteConfig {
   /// delayed-release replay, which sequence monotonicity alone cannot).
   core::SimDuration max_message_age = 2 * core::kSecond;
 
+  /// Shape of the shared obs::Telemetry the full stack instruments into —
+  /// notably flight_capacity, the flight-recorder ring size (long
+  /// campaigns need more than the 4096 default to keep early events).
+  obs::TelemetryConfig telemetry;
+
   SecuredWorksiteConfig();
 };
 
@@ -280,6 +285,8 @@ class SecuredWorksite {
   obs::Counter* c_reports_rejected_ = nullptr;
   obs::Counter* c_spoofed_accepted_ = nullptr;
   obs::Counter* c_estops_from_ids_ = nullptr;
+  /// Full-stack step wall time ("wall." prefix: full artifact only).
+  obs::Histogram* h_step_wall_ = nullptr;
 
   SafetyOutcome outcome_;
   safety::SotifAnalysis sotif_;

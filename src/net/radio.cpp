@@ -105,6 +105,15 @@ std::uint64_t grid_key(core::Vec2 pos, double cell, int dx = 0, int dy = 0) {
 }  // namespace
 
 void RadioMedium::build_broadcast_snapshot() {
+  // Constant-position-within-step assumption: node poses are sampled ONCE
+  // here, at the top of RadioMedium::step(), and every broadcast delivered
+  // during the step — whatever its deliver_at time within the step window —
+  // ranges against these frozen positions. That matches the simulator's
+  // kinematics (machines integrate once per 100 ms step, so positions
+  // genuinely do not change between step boundaries) and keeps range
+  // checks O(1) per candidate off one grid build. If sub-step mobility is
+  // ever modelled (continuous integration, faster platforms), delivery
+  // must re-sample poses per deliver_at instead of reusing this snapshot.
   bcast_nodes_.clear();
   bcast_grid_.clear();
   const double cell = std::max(config_.max_range_m, 1e-6);

@@ -153,10 +153,15 @@ const Counter* Registry::find_counter(std::string_view name) const {
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
-std::string Registry::to_json() const {
+std::string Registry::to_json(std::string_view exclude_prefix) const {
+  const auto excluded = [&exclude_prefix](std::string_view name) {
+    return !exclude_prefix.empty() && name.size() >= exclude_prefix.size() &&
+           name.substr(0, exclude_prefix.size()) == exclude_prefix;
+  };
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
+    if (excluded(name)) continue;
     if (!first) out.push_back(',');
     first = false;
     append_json_string(out, name);
@@ -166,6 +171,7 @@ std::string Registry::to_json() const {
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : gauges_) {
+    if (excluded(name)) continue;
     if (!first) out.push_back(',');
     first = false;
     append_json_string(out, name);
@@ -175,6 +181,7 @@ std::string Registry::to_json() const {
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms_) {
+    if (excluded(name)) continue;
     if (!first) out.push_back(',');
     first = false;
     append_json_string(out, name);

@@ -30,6 +30,13 @@ namespace agrarsec::obs {
 
 class Registry;
 
+/// Instruments whose name starts with this prefix carry wall-clock-derived
+/// values (step-duration histograms, timing gauges). They are machine- and
+/// timing-dependent by nature, so Telemetry::deterministic_json() excludes
+/// them from the deterministic export the parity tests compare; they still
+/// appear in the full artifact (Telemetry::to_json()).
+inline constexpr std::string_view kWallPrefix = "wall.";
+
 /// Monotonic counter. Hot path is a single indexed uint64 add.
 class Counter {
  public:
@@ -132,7 +139,10 @@ class Registry {
 
   /// Deterministic snapshot: {"counters":{...},"gauges":{...},
   /// "histograms":{...}} with name-sorted keys and stable field order.
-  [[nodiscard]] std::string to_json() const;
+  /// Instruments whose name starts with `exclude_prefix` are omitted
+  /// (empty prefix = include everything); the deterministic telemetry
+  /// view passes kWallPrefix to keep wall-clock instruments out.
+  [[nodiscard]] std::string to_json(std::string_view exclude_prefix = {}) const;
 
   template <typename Fn>
   void for_each_counter(Fn&& fn) const {

@@ -56,8 +56,10 @@ Telemetry::Telemetry(TelemetryConfig config)
     : registry_(config.lanes), tracer_(config.lanes), recorder_(config.flight_capacity) {}
 
 std::string Telemetry::deterministic_json() const {
+  // Wall-clock instruments (kWallPrefix) are timing-dependent; keep them
+  // out of the export the cross-thread-count parity checks compare.
   std::string out = "{\"metrics\":";
-  out += registry_.to_json();
+  out += registry_.to_json(kWallPrefix);
   out += ",\"flight\":";
   append_jsonl_as_array(out, recorder_.to_jsonl());
   out += ",\"flight_total\":" + std::to_string(recorder_.total_recorded());

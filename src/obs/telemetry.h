@@ -49,6 +49,9 @@ class Telemetry {
   }
 
   /// Deterministic view (registry + flight events, no wall clock).
+  /// Registry instruments named with kWallPrefix ("wall.") are excluded
+  /// here — they carry timing-derived samples and only appear in the full
+  /// artifact.
   [[nodiscard]] std::string deterministic_json() const;
 
   /// Full artifact: deterministic view + trace phases, shard busy time,

@@ -1,0 +1,168 @@
+#include "service/fleet_service.h"
+
+#include "core/rng.h"
+
+namespace agrarsec::service {
+
+namespace {
+/// fork_stream domain for session-seed derivation ("FLEET"): disjoint
+/// from every per-entity domain the worksite uses, so a derived session
+/// seed never correlates with any entity stream of any session.
+constexpr std::uint64_t kSessionSeedDomain = 0x464C454554ULL;
+}  // namespace
+
+FleetService::FleetService(FleetServiceConfig config) : config_(config) {
+  telemetry_ = std::make_unique<obs::Telemetry>(config_.telemetry);
+  obs::Registry& reg = telemetry_->registry();
+  c_created_ = &reg.counter("fleet.sessions_created");
+  c_destroyed_ = &reg.counter("fleet.sessions_destroyed");
+  c_session_steps_ = &reg.counter("fleet.session_steps");
+  g_active_ = &reg.gauge("fleet.sessions_active");
+  ph_batch_ = telemetry_->tracer().phase("fleet.step_batch");
+
+  if (config_.threads != 1) {
+    pool_ = std::make_unique<core::ThreadPool>(config_.threads);
+    // Observation-only busy-time tap, per-shard tracer lanes (same
+    // pattern as sim::Worksite).
+    pool_->set_shard_observer([this](std::size_t shard, std::uint64_t busy_ns) {
+      telemetry_->tracer().add_shard_busy(shard, busy_ns);
+    });
+  }
+  telemetry_->ensure_shards(shard_count());
+}
+
+FleetService::~FleetService() = default;
+
+std::size_t FleetService::shard_count() const {
+  return pool_ ? pool_->shard_count() : 1;
+}
+
+std::uint64_t FleetService::derive_session_seed(std::uint64_t fleet_seed,
+                                                std::uint64_t key) {
+  return core::Rng::fork_stream(fleet_seed, kSessionSeedDomain, key).next_u64();
+}
+
+SessionId FleetService::insert_session(integration::SecuredWorksiteConfig config) {
+  // The session is the unit of parallelism: its worksite must not spin up
+  // a nested pool inside a step_all work item. Its SecuredWorksite
+  // allocates its own telemetry from config.telemetry, so sessions share
+  // nothing observable — that isolation is the determinism contract.
+  config.worksite.threads = 1;
+  config.worksite.telemetry = nullptr;
+
+  const SessionId id = next_id_++;
+  auto session = std::make_unique<Session>();
+  session->id = id;
+  session->site = std::make_unique<integration::SecuredWorksite>(std::move(config));
+  sessions_.emplace(id, std::move(session));
+
+  c_created_->add();
+  g_active_->set(static_cast<double>(sessions_.size()));
+  telemetry_->recorder().record(0, "fleet", "session-created", id);
+  return id;
+}
+
+SessionId FleetService::create_session(integration::SecuredWorksiteConfig config) {
+  return insert_session(std::move(config));
+}
+
+SessionId FleetService::create_session_keyed(
+    integration::SecuredWorksiteConfig config, std::uint64_t key) {
+  config.seed = derive_session_seed(config_.fleet_seed, key);
+  return insert_session(std::move(config));
+}
+
+bool FleetService::destroy_session(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  retired_steps_ += it->second->steps;
+  sessions_.erase(it);
+  c_destroyed_->add();
+  g_active_->set(static_cast<double>(sessions_.size()));
+  telemetry_->recorder().record(0, "fleet", "session-destroyed", id);
+  return true;
+}
+
+void FleetService::step_all(std::uint64_t steps) {
+  if (steps == 0 || sessions_.empty()) return;
+  batch_.clear();
+  for (auto& [id, session] : sessions_) batch_.push_back(session.get());
+
+  obs::Tracer::Span span{telemetry_->tracer(), ph_batch_};
+  obs::Counter* session_steps = c_session_steps_;
+  const auto body = [this, steps, session_steps](std::size_t begin, std::size_t end,
+                                                 std::size_t shard) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Session& session = *batch_[i];
+      // The whole session steps on this shard: no other thread touches
+      // any of its state for the duration of the batch.
+      for (std::uint64_t s = 0; s < steps; ++s) session.site->step();
+      session.steps += steps;
+      session_steps->add(steps, shard);
+    }
+  };
+  if (pool_) {
+    pool_->parallel_for(batch_.size(), body);
+  } else {
+    body(0, batch_.size(), 0);
+  }
+}
+
+bool FleetService::step_session(SessionId id, std::uint64_t steps) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& session = *it->second;
+  for (std::uint64_t s = 0; s < steps; ++s) session.site->step();
+  session.steps += steps;
+  c_session_steps_->add(steps);
+  return true;
+}
+
+std::vector<SessionId> FleetService::session_ids() const {
+  std::vector<SessionId> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+integration::SecuredWorksite* FleetService::session(SessionId id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second->site.get();
+}
+
+const integration::SecuredWorksite* FleetService::session(SessionId id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second->site.get();
+}
+
+std::uint64_t FleetService::session_steps(SessionId id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0 : it->second->steps;
+}
+
+std::uint64_t FleetService::total_session_steps() const {
+  std::uint64_t total = retired_steps_;
+  for (const auto& [id, session] : sessions_) total += session->steps;
+  return total;
+}
+
+integration::SecurityMetrics FleetService::aggregate_security_metrics() const {
+  integration::SecurityMetrics total;
+  for (const auto& [id, session] : sessions_) {
+    const integration::SecurityMetrics m = session->site->security_metrics();
+    total.detection_reports_sent += m.detection_reports_sent;
+    total.detection_reports_accepted += m.detection_reports_accepted;
+    total.detection_reports_rejected += m.detection_reports_rejected;
+    total.spoofed_messages_accepted += m.spoofed_messages_accepted;
+    total.estops_from_ids += m.estops_from_ids;
+  }
+  return total;
+}
+
+std::string FleetService::session_deterministic_json(SessionId id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {};
+  return it->second->site->telemetry().deterministic_json();
+}
+
+}  // namespace agrarsec::service

@@ -1,0 +1,136 @@
+// FleetService: the multi-worksite session daemon of ROADMAP item 1. The
+// paper (§IV-B) argues that limited connectivity pushes forestry machines
+// into long-running on-site autonomy; covering an operational design
+// domain therefore means running MANY independent worksite configurations
+// concurrently, not one. The service owns N SecuredWorksite sessions
+// behind a create/step/teardown/query API and batches session stepping
+// across the core::ThreadPool at one-worksite-per-task granularity
+// (coarse-grained load balance; a session is the unit of parallelism, so
+// its own worksite always runs threads=1).
+//
+// Determinism contract (DESIGN.md §12): a session is fully self-contained
+// — its SecuredWorksite owns its RNG streams, radio, PKI and a private
+// obs::Telemetry — so a given (config, seed) produces a bit-identical
+// trajectory and deterministic telemetry export regardless of how many
+// other sessions run, how batches interleave, or the service thread
+// count. Session seeds can be derived from a fleet seed by stateless
+// fork_stream keying (derive_session_seed), so a session's stream is a
+// pure function of (fleet_seed, key), never of creation order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "integration/secured_worksite.h"
+#include "obs/telemetry.h"
+
+namespace agrarsec::service {
+
+/// Stable session handle; ids are never reused within a service lifetime.
+using SessionId = std::uint64_t;
+
+struct FleetServiceConfig {
+  /// Worker shards for step_all() batches. 1 = serial (default), 0 =
+  /// std::thread::hardware_concurrency(). Per-session results are
+  /// bit-identical for every value (the fleet parity tests enforce this).
+  std::size_t threads = 1;
+  /// Root seed for derive_session_seed()/create_session_keyed().
+  std::uint64_t fleet_seed = 1;
+  /// Shape of the service-level telemetry (batch phases, session
+  /// counters). Per-session telemetry lives inside each SecuredWorksite
+  /// and is configured per session instead.
+  obs::TelemetryConfig telemetry;
+};
+
+class FleetService {
+ public:
+  explicit FleetService(FleetServiceConfig config = {});
+  ~FleetService();
+
+  FleetService(const FleetService&) = delete;
+  FleetService& operator=(const FleetService&) = delete;
+
+  // --- session lifecycle ---
+  /// Creates a session from an explicit config (config.seed is used as
+  /// given). The session's worksite thread count is forced to 1: sessions
+  /// are the parallel grain, nested pools would only oversubscribe.
+  SessionId create_session(integration::SecuredWorksiteConfig config);
+  /// Creates a session whose seed is derived from (fleet_seed, key) by
+  /// stateless fork — the same key always yields the same session stream,
+  /// independent of how many sessions exist or their creation order.
+  SessionId create_session_keyed(integration::SecuredWorksiteConfig config,
+                                 std::uint64_t key);
+  /// Pure function of its inputs (core::Rng::fork_stream).
+  [[nodiscard]] static std::uint64_t derive_session_seed(std::uint64_t fleet_seed,
+                                                         std::uint64_t key);
+  /// Tears the session down (false when the id is unknown).
+  bool destroy_session(SessionId id);
+
+  // --- stepping ---
+  /// Advances every live session by `steps` full-stack steps. Sessions
+  /// are batched across the pool in ascending id order, one session per
+  /// work item; a session never splits across shards, so all its state
+  /// stays thread-local for the whole batch.
+  void step_all(std::uint64_t steps = 1);
+  /// Advances one session serially (false when the id is unknown).
+  bool step_session(SessionId id, std::uint64_t steps = 1);
+
+  // --- queries ---
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  /// Live ids in ascending order (the step_all batch order).
+  [[nodiscard]] std::vector<SessionId> session_ids() const;
+  /// Session access (nullptr when unknown). The pointer stays valid until
+  /// the session is destroyed; do not call while step_all is in flight.
+  [[nodiscard]] integration::SecuredWorksite* session(SessionId id);
+  [[nodiscard]] const integration::SecuredWorksite* session(SessionId id) const;
+  /// Steps taken by one session / summed over every session ever stepped
+  /// (destroyed sessions keep counting toward the total).
+  [[nodiscard]] std::uint64_t session_steps(SessionId id) const;
+  [[nodiscard]] std::uint64_t total_session_steps() const;
+  /// Security counters summed over live sessions in ascending id order.
+  [[nodiscard]] integration::SecurityMetrics aggregate_security_metrics() const;
+  /// Per-session deterministic export (empty string when unknown) — the
+  /// artifact the fleet determinism suite compares byte-for-byte.
+  [[nodiscard]] std::string session_deterministic_json(SessionId id) const;
+
+  /// Service-level telemetry: fleet counters, batch phase spans, shard
+  /// busy time. Wall-clock only beyond the counters; per-session
+  /// deterministic exports come from the sessions themselves.
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const { return *telemetry_; }
+  [[nodiscard]] const FleetServiceConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t shard_count() const;
+
+ private:
+  struct Session {
+    SessionId id = 0;
+    std::unique_ptr<integration::SecuredWorksite> site;
+    std::uint64_t steps = 0;
+  };
+
+  SessionId insert_session(integration::SecuredWorksiteConfig config);
+
+  FleetServiceConfig config_;
+  /// Declared before the pool: the shard observer instruments into it.
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<core::ThreadPool> pool_;
+  /// Ordered by id so every batch and every aggregate walks sessions in
+  /// the same deterministic order.
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+  std::uint64_t retired_steps_ = 0;  ///< steps of destroyed sessions
+  /// Dense batch view rebuilt by step_all (index -> session, id order).
+  std::vector<Session*> batch_;
+
+  obs::Counter* c_created_ = nullptr;
+  obs::Counter* c_destroyed_ = nullptr;
+  obs::Counter* c_session_steps_ = nullptr;  ///< bumped per shard lane
+  obs::Gauge* g_active_ = nullptr;
+  obs::PhaseId ph_batch_ = 0;
+};
+
+}  // namespace agrarsec::service

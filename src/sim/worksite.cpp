@@ -94,6 +94,13 @@ Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
   c_cycles_ = &reg.counter("worksite.completed_cycles");
   c_sep_queries_ = &reg.counter("worksite.separation_queries");
   g_delivered_ = &reg.gauge("worksite.delivered_m3");
+  // Coarse export view of the separation distribution (the full-resolution
+  // core::Histogram stays the close_encounters() source); the step
+  // wall-time histogram is excluded from the deterministic export by its
+  // "wall." prefix.
+  h_separation_ = &reg.histogram("worksite.separation_m", 0.0,
+                                 std::max(config_.separation_tracking_m, 1e-6), 25);
+  h_step_wall_ = &reg.histogram("wall.worksite_step_us", 0.0, 100000.0, 20);
   obs::Tracer& tracer = telemetry_->tracer();
   ph_step_ = tracer.phase("worksite.step");
   ph_weather_ = tracer.phase("worksite.weather");
@@ -102,6 +109,7 @@ Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
   ph_integrate_ = tracer.phase("worksite.integrate");
   ph_index_ = tracer.phase("worksite.index");
   ph_separation_ = tracer.phase("worksite.separation");
+  ph_follow_ = tracer.phase("worksite.follow");
   obs::wire_event_bus(bus_, *telemetry_);
 
   core::Rng terrain_rng = rng_.fork(0x7e44a1);
@@ -487,11 +495,15 @@ void Worksite::decide_drone(Machine& drone) {
   const Machine* anchor = machine(orbit.anchor);
   if (anchor == nullptr) return;
 
-  // Reads the anchor's start-of-step pose: machine kinematics all advance
-  // after the decide barrier, so this never races the anchor's movement
-  // (the serial loop used to see a post-step pose when the anchor had a
-  // lower id — a one-step lag on a 100 ms orbit update, not observable
-  // beyond the orbit tolerance).
+  // In the default decide phase this reads the anchor's start-of-step
+  // pose: machine kinematics all advance after the decide barrier, so it
+  // never races the anchor's movement (the serial loop used to see a
+  // post-step pose when the anchor had a lower id — a one-step lag on a
+  // 100 ms orbit update, not observable beyond the orbit tolerance).
+  // With config.drone_follow_post_integrate this instead runs from the
+  // serial follower phase after the integrate barrier, where the same
+  // read yields the anchor's current (post-step) pose and the lag is
+  // gone.
   orbit.phase += 0.35 * static_cast<double>(config_.step) / core::kSecond;
   const core::Vec2 target =
       anchor->position() +
@@ -512,7 +524,9 @@ void Worksite::decide_machine(std::size_t slot, std::size_t shard) {
       decide_forwarder(m, forwarder_states_.find(m.id().value())->second, fx);
       break;
     case MachineKind::kDrone:
-      decide_drone(m);
+      // Post-integrate followers are decided (and stepped) by
+      // follow_drones() after the integrate barrier instead.
+      if (!config_.drone_follow_post_integrate) decide_drone(m);
       break;
   }
 }
@@ -594,8 +608,17 @@ void Worksite::drain_separation_samples() {
       min_separation_ = std::min(min_separation_, d);
       separation_stats_.add(d);
       separation_hist_.add(d);
+      h_separation_->add(d);
       if (separation_exact_) separation_exact_->add(d);
     }
+  }
+}
+
+void Worksite::follow_drones() {
+  for (const auto& m : machines_) {
+    if (m->kind() != MachineKind::kDrone) continue;
+    decide_drone(*m);
+    m->step(config_.step);
   }
 }
 
@@ -651,6 +674,7 @@ void Worksite::step() {
   // Phase spans are observation-only wall-clock taps (obs::Tracer); no
   // value read here ever feeds back into sim state.
   obs::Tracer& tracer = telemetry_->tracer();
+  const std::uint64_t step_start_ns = obs::Tracer::now_ns();
   obs::Tracer::Span step_span = tracer.scoped(ph_step_);
   c_steps_->add();
   clock_.tick();
@@ -687,18 +711,30 @@ void Worksite::step() {
     // entity touches only itself (humans draw from their own streams).
     obs::Tracer::Span span = tracer.scoped(ph_integrate_);
     const std::size_t machine_count = machines_.size();
+    const bool defer_drones = config_.drone_follow_post_integrate;
     parallel_over(machine_count + humans_.size(),
-                  [this, machine_count](std::size_t begin, std::size_t end,
-                                        std::size_t shard) {
+                  [this, machine_count, defer_drones](std::size_t begin, std::size_t end,
+                                                      std::size_t shard) {
                     (void)shard;
                     for (std::size_t i = begin; i < end; ++i) {
                       if (i < machine_count) {
+                        if (defer_drones &&
+                            machines_[i]->kind() == MachineKind::kDrone) {
+                          continue;  // follower phase decides + steps these
+                        }
                         machines_[i]->step(config_.step);
                       } else {
                         humans_[i - machine_count]->step(config_.step);
                       }
                     }
                   });
+  }
+
+  if (config_.drone_follow_post_integrate) {
+    // Follower phase (serial, ascending slot order): drones orbit the
+    // post-step anchor pose, eliminating the decide-phase one-step lag.
+    obs::Tracer::Span span = tracer.scoped(ph_follow_);
+    follow_drones();
   }
 
   {
@@ -737,6 +773,9 @@ void Worksite::step() {
                   });
     drain_separation_samples();
   }
+
+  h_step_wall_->add(
+      static_cast<double>(obs::Tracer::now_ns() - step_start_ns) / 1000.0);
 }
 
 }  // namespace agrarsec::sim

@@ -80,6 +80,13 @@ struct WorksiteConfig {
   double windthrow_rate_per_hour = 0.0;
   double windthrow_radius_m = 12.0;
   core::SimDuration windthrow_duration = 10 * core::kMinute;
+  /// Drone orbit targets are normally computed in the decide phase from
+  /// the anchor's start-of-step pose — a deliberate one-step lag (see
+  /// decide_drone). Setting this runs drones in a serial follower phase
+  /// after the integrate barrier instead, so the orbit target tracks the
+  /// anchor's *current* (post-step) pose. Default off: the lag is within
+  /// orbit tolerance and the default trajectory is frozen by parity tests.
+  bool drone_follow_post_integrate = false;
   /// Telemetry sink for the worksite's counters, step-phase spans and
   /// flight events. When null the worksite owns a private instance, so
   /// instrumentation is always live; inject a shared one (SecuredWorksite
@@ -285,6 +292,10 @@ class Worksite {
   /// parallel sampling pass into min/stats/histogram in slot order, so
   /// the floating-point accumulation order is thread-count-invariant.
   void drain_separation_samples();
+  /// Serial post-integrate phase (only when
+  /// config.drone_follow_post_integrate): decide + step every drone in
+  /// ascending slot order against the anchors' post-step poses.
+  void follow_drones();
 
   /// route_machine body shared with the public id-based overload.
   void route_machine(Machine& machine, core::Vec2 goal);
@@ -356,6 +367,11 @@ class Worksite {
   obs::Counter* c_cycles_ = nullptr;
   obs::Counter* c_sep_queries_ = nullptr;  ///< bumped per shard in the sampling phase
   obs::Gauge* g_delivered_ = nullptr;
+  /// Separation distances (deterministic: fed in slot order by the serial
+  /// drain) and step wall-time ("wall." prefix keeps it out of the
+  /// deterministic export).
+  obs::Histogram* h_separation_ = nullptr;
+  obs::Histogram* h_step_wall_ = nullptr;
   obs::PhaseId ph_step_ = 0;
   obs::PhaseId ph_weather_ = 0;
   obs::PhaseId ph_decide_ = 0;
@@ -363,6 +379,7 @@ class Worksite {
   obs::PhaseId ph_integrate_ = 0;
   obs::PhaseId ph_index_ = 0;
   obs::PhaseId ph_separation_ = 0;
+  obs::PhaseId ph_follow_ = 0;
 
   double min_separation_ = 1e9;
   core::RunningStats separation_stats_;

@@ -27,6 +27,60 @@ void add_workers(SecuredWorksite& site, int count) {
   }
 }
 
+// Regression: the flight-recorder ring used to be a hard-coded 4096
+// default with no way through SecuredWorksiteConfig — long campaigns
+// silently dropped early events at a size nobody chose. The configured
+// capacity must reach the ring and govern wraparound.
+TEST(SecuredWorksite, FlightRecorderCapacityIsConfigurable) {
+  SecuredWorksiteConfig config = base_config(7);
+  config.telemetry.flight_capacity = 2;
+  SecuredWorksite site{config};
+  obs::FlightRecorder& rec = site.telemetry().recorder();
+  ASSERT_EQ(rec.capacity(), 2u);
+
+  const std::uint64_t base_total = rec.total_recorded();
+  rec.record(1, "test", "a");
+  rec.record(2, "test", "b");
+  rec.record(3, "test", "c");
+  EXPECT_EQ(rec.size(), 2u);  // capacity-2 ring wrapped as configured
+  EXPECT_EQ(rec.total_recorded(), base_total + 3);
+  EXPECT_GE(rec.dropped(), 1u);
+
+  // Default stays 4096.
+  SecuredWorksite default_site{base_config(7)};
+  EXPECT_EQ(default_site.telemetry().recorder().capacity(), 4096u);
+}
+
+// The production site must feed the obs histograms: separation distances
+// into the deterministic export, step wall time into the full artifact
+// (and ONLY the full artifact — "wall." instruments are timing-dependent).
+TEST(SecuredWorksite, TelemetryExportCarriesHistograms) {
+  SecuredWorksiteConfig config = base_config(8);
+  // Fast production so the forwarder starts moving (and passing the
+  // workers) well inside the short run.
+  config.worksite.harvester_output_m3_per_min = 30.0;
+  SecuredWorksite site{config};
+  add_workers(site, 3);
+  site.run_for(5 * core::kMinute);
+
+  const std::string det = site.telemetry().deterministic_json();
+  EXPECT_NE(det.find("\"worksite.separation_m\""), std::string::npos);
+  EXPECT_EQ(det.find("wall."), std::string::npos);
+
+  const std::string full = site.telemetry().to_json();
+  EXPECT_NE(full.find("\"worksite.separation_m\""), std::string::npos);
+  EXPECT_NE(full.find("\"wall.worksite_step_us\""), std::string::npos);
+  EXPECT_NE(full.find("\"wall.secured_step_us\""), std::string::npos);
+
+  // Both histograms actually received samples; the separation histogram
+  // saw exactly the samples the streaming stats did.
+  obs::Registry& reg = site.telemetry().registry();
+  EXPECT_EQ(reg.histogram("worksite.separation_m", 0, 1, 1).count(),
+            site.worksite().separation_stats().count());
+  EXPECT_GT(site.worksite().separation_stats().count(), 0u);
+  EXPECT_GT(reg.histogram("wall.secured_step_us", 0, 1, 1).count(), 0u);
+}
+
 TEST(SecuredWorksite, RunsAndMovesLogs) {
   SecuredWorksite site{base_config(1)};
   site.run_for(20 * core::kMinute);

@@ -202,6 +202,20 @@ TEST(TelemetryTest, DeterministicJsonGolden) {
             "\"flight_total\":1,\"flight_dropped\":0}");
 }
 
+TEST(TelemetryTest, WallPrefixedInstrumentsExcludedFromDeterministicView) {
+  Telemetry telemetry;
+  telemetry.registry().counter("steps").add(3);
+  telemetry.registry().histogram("wall.step_duration_us", 0.0, 1000.0, 4).add(17.5);
+  telemetry.registry().gauge("wall.last_step_us").set(17.5);
+  const std::string det = telemetry.deterministic_json();
+  EXPECT_EQ(det.find("wall."), std::string::npos);
+  EXPECT_NE(det.find("\"steps\":3"), std::string::npos);
+  // The full artifact keeps the wall-clock instruments.
+  const std::string full = telemetry.to_json();
+  EXPECT_NE(full.find("\"wall.step_duration_us\""), std::string::npos);
+  EXPECT_NE(full.find("\"wall.last_step_us\""), std::string::npos);
+}
+
 TEST(TelemetryTest, FullJsonCarriesPhasesAndWallAnnex) {
   Telemetry telemetry;
   const PhaseId phase = telemetry.tracer().phase("test.phase");

@@ -52,9 +52,10 @@ struct Snapshot {
 
 /// Builds the Figure-1-style mixed fleet, steps `steps` times at the given
 /// shard count, and snapshots everything the parity contract covers.
-Snapshot run_site(std::size_t threads, int steps) {
+Snapshot run_site(std::size_t threads, int steps, bool drone_follow = false) {
   WorksiteConfig config = fig1_site();
   config.threads = threads;
+  config.drone_follow_post_integrate = drone_follow;
   Worksite site{config, 1234};
 
   Snapshot snap;
@@ -137,6 +138,106 @@ TEST(WorksiteParallel, ZeroThreadsMeansHardwareConcurrency) {
   // threads=0 must resolve and still honour the parity contract.
   const Snapshot serial = run_site(1, 200);
   expect_identical(serial, run_site(0, 200), 0);
+}
+
+// The post-integrate follower phase is serial, but the drones it defers
+// are skipped by two parallel phases (decide, integrate) — the parity
+// contract must hold with the flag on too.
+TEST(WorksiteParallel, DroneFollowPostIntegrateThreadCountIsUnobservable) {
+  constexpr int kSteps = 300;
+  const Snapshot serial = run_site(1, kSteps, /*drone_follow=*/true);
+  ASSERT_FALSE(serial.events.empty());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    expect_identical(serial, run_site(threads, kSteps, /*drone_follow=*/true),
+                     threads);
+  }
+}
+
+// The flag only re-times the drone's orbit update: everything else on the
+// site — events, outcome metrics, every non-drone pose — is untouched,
+// while the drone trajectory itself changes (it now tracks the post-step
+// anchor pose).
+TEST(WorksiteParallel, DroneFollowFlagOnlyAffectsDroneTrajectory) {
+  constexpr int kSteps = 300;
+  const Snapshot off = run_site(1, kSteps, /*drone_follow=*/false);
+  const Snapshot on = run_site(1, kSteps, /*drone_follow=*/true);
+  ASSERT_EQ(off.events.size(), on.events.size());
+  EXPECT_EQ(off.human_poses, on.human_poses);
+  EXPECT_EQ(off.metrics.delivered_m3, on.metrics.delivered_m3);
+  EXPECT_EQ(off.metrics.completed_cycles, on.metrics.completed_cycles);
+  // Slot 5 is the drone (harvester + 4 forwarders precede it).
+  ASSERT_EQ(off.machine_poses.size(), 6u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(off.machine_poses[i], on.machine_poses[i]) << "machine " << i;
+  }
+  EXPECT_NE(off.machine_poses[5], on.machine_poses[5]);
+}
+
+/// Drives a forwarder with an orbiting drone far enough away that the
+/// drone never reaches its waypoint (so current_waypoint() stays exactly
+/// the orbit target decide_drone set this step), and returns, per step,
+/// the anchor's pre-step pose, post-step pose and the drone's waypoint.
+struct FollowTrace {
+  std::vector<core::Vec2> anchor_pre;
+  std::vector<core::Vec2> anchor_post;
+  std::vector<core::Vec2> drone_waypoint;
+  core::SimDuration step_ms = 0;
+};
+
+FollowTrace run_follow_trace(bool post_integrate, int steps) {
+  WorksiteConfig config = fig1_site();
+  config.windthrow_rate_per_hour = 0.0;
+  config.drone_follow_post_integrate = post_integrate;
+  Worksite site{config, 42};
+  const MachineId f = site.add_forwarder("f1", {60, 60});
+  const MachineId d = site.add_drone("d1", {350, 350});  // far: never arrives
+  site.set_drone_orbit(d, f, 25.0);
+  site.route_machine(f, {300, 300});  // keep the anchor moving
+
+  FollowTrace trace;
+  trace.step_ms = config.step;
+  for (int i = 0; i < steps; ++i) {
+    trace.anchor_pre.push_back(site.machine(f)->position());
+    site.step();
+    trace.anchor_post.push_back(site.machine(f)->position());
+    const auto wp = site.machine(d)->current_waypoint();
+    trace.drone_waypoint.push_back(wp.value_or(core::Vec2{-1, -1}));
+  }
+  return trace;
+}
+
+// Default path: the orbit target is computed in the decide phase from the
+// anchor's START-of-step pose — the documented one-step lag. This pins the
+// default behavior bit-exactly (the flag must not change it).
+TEST(WorksiteDroneFollow, DefaultDecidePhaseReadsPreStepPose) {
+  const FollowTrace trace = run_follow_trace(false, 25);
+  // The anchor must actually move, or pre == post and the test says nothing.
+  ASSERT_NE(trace.anchor_pre.back().x, trace.anchor_post.back().x);
+  double phase = 0.0;
+  for (std::size_t i = 0; i < trace.drone_waypoint.size(); ++i) {
+    phase += 0.35 * static_cast<double>(trace.step_ms) / core::kSecond;
+    const core::Vec2 expected =
+        trace.anchor_pre[i] +
+        core::Vec2{std::cos(phase), std::sin(phase)} * 25.0;
+    EXPECT_EQ(trace.drone_waypoint[i].x, expected.x) << "step " << i;
+    EXPECT_EQ(trace.drone_waypoint[i].y, expected.y) << "step " << i;
+  }
+}
+
+// Flag on: the follower phase runs after the integrate barrier, so the
+// same computation now sees the anchor's CURRENT pose — the lag is gone.
+TEST(WorksiteDroneFollow, PostIntegrateFollowerReadsPostStepPose) {
+  const FollowTrace trace = run_follow_trace(true, 25);
+  ASSERT_NE(trace.anchor_pre.back().x, trace.anchor_post.back().x);
+  double phase = 0.0;
+  for (std::size_t i = 0; i < trace.drone_waypoint.size(); ++i) {
+    phase += 0.35 * static_cast<double>(trace.step_ms) / core::kSecond;
+    const core::Vec2 expected =
+        trace.anchor_post[i] +
+        core::Vec2{std::cos(phase), std::sin(phase)} * 25.0;
+    EXPECT_EQ(trace.drone_waypoint[i].x, expected.x) << "step " << i;
+    EXPECT_EQ(trace.drone_waypoint[i].y, expected.y) << "step " << i;
+  }
 }
 
 // Per-entity streams: an entity's RNG-driven behaviour depends only on the
