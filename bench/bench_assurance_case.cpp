@@ -124,6 +124,7 @@ void print_summary() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_assurance_case.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_assurance_case"};
 

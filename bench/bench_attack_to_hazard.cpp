@@ -118,6 +118,7 @@ RunResult run(AttackKind attack, bool secure, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_attack_to_hazard.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_attack_to_hazard"};
 

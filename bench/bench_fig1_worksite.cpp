@@ -53,6 +53,7 @@ ShiftResult run_shift(bool secure, int workers, core::SimDuration duration,
 }  // namespace
 
 int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_fig1_worksite.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_fig1_worksite"};
 

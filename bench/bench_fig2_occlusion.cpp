@@ -79,6 +79,7 @@ CellResult run_cell(double occlusion_per_ha, bool drone, std::uint64_t seeds,
 }  // namespace
 
 int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_fig2_occlusion.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_fig2_occlusion"};
 

@@ -23,7 +23,8 @@
 
 using namespace agrarsec;
 
-int main() {
+int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_fig3_methodology.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_fig3_methodology"};
 

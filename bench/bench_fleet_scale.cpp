@@ -235,8 +235,8 @@ FleetRunResult run_fleet(std::size_t threads, std::size_t sessions,
     // Per-session telemetry artifacts for CI upload (capped: 64 sessions
     // would flood the artifact store; the first few cover the contract).
     if (k < artifact_count) {
-      fleet.session(ids[k])->telemetry().write_json(
-          "bench_fleet_scale.session" + std::to_string(k) + ".telemetry.json");
+      fleet.session(ids[k])->telemetry().write_json(obs::artifact_path(
+          "bench_fleet_scale.session" + std::to_string(k) + ".telemetry.json"));
     }
   }
   return r;
@@ -291,6 +291,7 @@ RadioResult run_radio(std::size_t nodes, std::uint64_t steps) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   bool quick = false;
   std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
   std::size_t sessions = 0;  // 0 = default per mode (64 full, 8 quick)

@@ -87,7 +87,8 @@ CorridorResult drive_corridor(const sensors::GnssAttack& attack, bool monitor_on
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_gnss_corridor.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_gnss_corridor"};
 

@@ -98,6 +98,7 @@ RocPoint measure(AttackClass attack, bool signatures, bool anomaly,
 }  // namespace
 
 int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_ids_roc.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_ids_roc"};
 

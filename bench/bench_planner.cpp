@@ -75,7 +75,8 @@ double run(const sim::PathPlanner& planner, const std::vector<Query>& queries,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // The cached planner mirrors its stats into this registry; the artifact
   // (bench_planner.telemetry.json) carries hit/miss/expansion counters
   // alongside the wall time.

@@ -76,6 +76,7 @@ Outcome engage(const Hardening& hardening, int attacker_level,
 }  // namespace
 
 int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_sl_resistance.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_sl_resistance"};
 

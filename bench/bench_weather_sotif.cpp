@@ -46,6 +46,7 @@ double detection_rate(sensors::Modality modality, sim::Weather weather,
 }  // namespace
 
 int main(int argc, char** argv) {
+  agrarsec::obs::consume_artifact_dir_flag(argc, argv);
   // Writes bench_weather_sotif.telemetry.json (registry + wall time) at exit.
   agrarsec::obs::BenchArtifact artifact{"bench_weather_sotif"};
 

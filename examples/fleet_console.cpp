@@ -1,0 +1,150 @@
+// Embedded operations console walkthrough: a FleetService running several
+// secured worksite sessions, with the on-machine console serving live
+// JSON snapshots over HTTP and the authenticated control plane driving
+// pause / single-step / attack injection / evidence export over our own
+// secure-channel records.
+//
+//   build/examples/fleet_console            # narrated walkthrough
+//   build/examples/fleet_console --smoke    # quiet, exits non-zero on any
+//                                           # failed round trip (CI smoke)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "crypto/random.h"
+#include "pki/identity.h"
+#include "pki/trust_store.h"
+#include "service/console.h"
+#include "service/fleet_service.h"
+
+using namespace agrarsec;
+
+namespace {
+
+integration::SecuredWorksiteConfig session_config(std::uint64_t seed) {
+  integration::SecuredWorksiteConfig config;
+  config.seed = seed;
+  config.worksite.forest.trees_per_hectare = 120;
+  config.worksite.forest.boulders_per_hectare = 20;
+  config.worksite.harvester_output_m3_per_min = 20.0;
+  config.worksite.load_time = 10 * core::kSecond;
+  return config;
+}
+
+bool fail(const char* what) {
+  std::fprintf(stderr, "fleet_console: FAILED: %s\n", what);
+  return false;
+}
+
+bool run(bool smoke) {
+  const bool chatty = !smoke;
+
+  // Site PKI: one root, a console identity on the machine, an operator
+  // station identity for the client side.
+  crypto::Drbg drbg{2026, "console-demo"};
+  auto root = pki::CertificateAuthority::create_root(
+      "site-root", drbg.generate32(), 0, 3650 * 24 * core::kHour);
+  pki::TrustStore trust;
+  if (!trust.add_root(root.certificate()).ok()) return fail("trust bootstrap");
+  auto console_id = pki::enroll(root, drbg, "console-01",
+                                pki::CertRole::kOperatorStation, 0,
+                                365 * 24 * core::kHour);
+  auto operator_id = pki::enroll(root, drbg, "operator-01",
+                                 pki::CertRole::kOperatorStation, 0,
+                                 365 * 24 * core::kHour);
+  if (!console_id.ok() || !operator_id.ok()) return fail("enrollment");
+
+  // Fleet: three keyed sessions, stepped a little so the snapshots carry
+  // real content.
+  service::FleetServiceConfig fleet_config;
+  fleet_config.threads = 2;
+  fleet_config.fleet_seed = 42;
+  service::FleetService fleet{fleet_config};
+  std::vector<service::SessionId> ids;
+  for (std::uint64_t key = 0; key < 3; ++key) {
+    ids.push_back(fleet.create_session_keyed(
+        session_config(service::FleetService::derive_session_seed(42, key)), key));
+  }
+  fleet.step_all(20);
+
+  service::ConsoleService console{fleet, console_id.value(), trust, 7};
+  if (!console.start().ok()) return fail("console start");
+  if (chatty) {
+    std::printf("console up: http://127.0.0.1:%u  control port %u\n\n",
+                console.http_port(), console.control_port());
+  }
+
+  // Read-only HTTP plane.
+  auto sessions = service::http_get_local(console.http_port(), "/sessions");
+  if (!sessions.ok()) return fail("GET /sessions");
+  if (chatty) std::printf("GET /sessions\n  %s\n\n", sessions.value().c_str());
+  auto metrics = service::http_get_local(console.http_port(), "/metrics");
+  if (!metrics.ok()) return fail("GET /metrics");
+  if (metrics.value().find("fleet.session_steps") == std::string::npos) {
+    return fail("/metrics missing fleet counters");
+  }
+  if (chatty) {
+    std::printf("GET /metrics -> %zu bytes of registry + traces\n",
+                metrics.value().size());
+    auto flight = service::http_get_local(
+        console.http_port(), "/flight/" + std::to_string(ids[0]) + "?n=3");
+    if (flight.ok()) std::printf("GET /flight/%llu?n=3\n  %s\n\n",
+                                 static_cast<unsigned long long>(ids[0]),
+                                 flight.value().c_str());
+  }
+
+  // Authenticated control plane: handshake, then sealed JSON-RPC records.
+  crypto::Drbg op_drbg{2027, "operator"};
+  auto client = service::ConsoleClient::connect(
+      console.control_port(), operator_id.value(), trust, op_drbg, "console-01");
+  if (!client.ok()) return fail("control handshake");
+  if (chatty) {
+    std::printf("control channel up, authenticated peer '%s'\n",
+                client.value().peer_subject().c_str());
+  }
+
+  auto paused = client.value().call("pause");
+  if (!paused.ok() || !fleet.paused()) return fail("pause");
+  const std::uint64_t steps_at_pause = fleet.total_session_steps();
+  fleet.step_all(50);  // driver keeps calling; the pause gates it
+  if (fleet.total_session_steps() != steps_at_pause) return fail("pause gating");
+
+  auto stepped = client.value().call("step", "{\"steps\":5}");
+  if (!stepped.ok()) return fail("step");
+  if (fleet.total_session_steps() != steps_at_pause + 5 * ids.size()) {
+    return fail("operator single-step count");
+  }
+  if (chatty) std::printf("paused fleet, operator-stepped 5: %s\n",
+                          stepped.value().c_str());
+
+  auto injected = client.value().call(
+      "inject-attack",
+      "{\"session\":" + std::to_string(ids[1]) + ",\"x\":60,\"y\":60,\"level\":2}");
+  if (!injected.ok()) return fail("inject-attack");
+
+  auto exported = client.value().call(
+      "export", "{\"session\":" + std::to_string(ids[0]) + "}");
+  if (!exported.ok()) return fail("export");
+  if (chatty) std::printf("exported session %llu evidence: %zu bytes\n",
+                          static_cast<unsigned long long>(ids[0]),
+                          exported.value().size());
+
+  if (!client.value().call("resume").ok() || fleet.paused()) return fail("resume");
+  fleet.step_all(5);
+
+  console.stop();
+  if (chatty) std::printf("\nconsole stopped cleanly\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (!run(smoke)) return 1;
+  if (smoke) std::printf("fleet_console smoke: OK\n");
+  return 0;
+}

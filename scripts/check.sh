@@ -14,6 +14,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== console smoke: live endpoints + authenticated control plane =="
+# Ephemeral ports, a raw-socket /metrics fetch, and a pause/step/resume
+# round trip over the secure control channel — the end-to-end path a CI
+# regression in the net/ or service/ layers would break first.
+./build/examples/fleet_console --smoke
+
 echo "== static analysis: agrarsec-lint over the committed models =="
 # Gate on NEW findings only: everything in the checked-in baseline is
 # known backlog; any un-baselined error finding fails the stage.
@@ -46,15 +52,16 @@ echo "== sanitizers: TSan over the parallel stepping paths =="
 # The suites that actually run worker threads: the thread pool itself,
 # the mutex-guarded logger under concurrent writers + sink swaps, the
 # telemetry registry's sharded lanes, the sharded worksite step at
-# threads > 1, and the fleet service batching whole sessions across the
-# pool. A data race in the decide/integrate/sample phases fails here even
-# though the parity tests (which compare outcomes, not interleavings)
-# might still pass.
+# threads > 1, the fleet service batching whole sessions across the
+# pool, and the console's HTTP + control server threads snapshotting and
+# pausing against concurrent step_all batches. A data race in the
+# decide/integrate/sample phases fails here even though the parity tests
+# (which compare outcomes, not interleavings) might still pass.
 cmake -B build-tsan -S . -DAGRARSEC_TSAN=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-tsan -j "$JOBS" --target core_test sim_test obs_test service_test
 ./build-tsan/tests/core_test --gtest_filter='ThreadPool*:LogThreadSafety*'
 ./build-tsan/tests/obs_test --gtest_filter='RegistryTest.MergeIsDeterministic*'
 ./build-tsan/tests/sim_test --gtest_filter='WorksiteParallel*'
-./build-tsan/tests/service_test --gtest_filter='FleetServiceParallel*'
+./build-tsan/tests/service_test --gtest_filter='FleetServiceParallel*:ConsoleParallel*'
 
 echo "== all checks passed =="

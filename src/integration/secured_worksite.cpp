@@ -52,6 +52,9 @@ SecuredWorksite::SecuredWorksite(SecuredWorksiteConfig config)
   c_reports_rejected_ = &reg.counter("secure.detection_reports_rejected");
   c_spoofed_accepted_ = &reg.counter("secure.spoofed_messages_accepted");
   c_estops_from_ids_ = &reg.counter("secure.estops_from_ids");
+  c_replay_rejected_ = &reg.counter("secure.records_replay_rejected");
+  c_too_old_rejected_ = &reg.counter("secure.records_too_old_rejected");
+  c_out_of_order_accepted_ = &reg.counter("secure.records_out_of_order_accepted");
   h_step_wall_ = &reg.histogram("wall.secured_step_us", 0.0, 100000.0, 20);
 
   worksite_ = std::make_unique<sim::Worksite>(config_.worksite, config_.seed);
@@ -306,10 +309,21 @@ void SecuredWorksite::on_forwarder_frame(ForwarderUnit& unit, const net::Frame& 
       c_reports_rejected_->add();
       return;
     }
+    const std::uint64_t ooo_before = unit.rx_session->out_of_order_accepted();
     auto opened = unit.rx_session->open(*record);
     if (!opened.ok()) {
       c_reports_rejected_->add();
+      // Split the rejection by anti-replay classification so the drop
+      // reasons are distinguishable in the telemetry export.
+      if (opened.error().code == "replay") {
+        c_replay_rejected_->add();
+      } else if (opened.error().code == "too_old") {
+        c_too_old_rejected_->add();
+      }
       return;
+    }
+    if (unit.rx_session->out_of_order_accepted() > ooo_before) {
+      c_out_of_order_accepted_->add();
     }
     const auto inner = net::Message::decode(opened.value());
     if (!inner) return;

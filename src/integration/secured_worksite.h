@@ -285,6 +285,13 @@ class SecuredWorksite {
   obs::Counter* c_reports_rejected_ = nullptr;
   obs::Counter* c_spoofed_accepted_ = nullptr;
   obs::Counter* c_estops_from_ids_ = nullptr;
+  /// Anti-replay classification of secure-record drops/acceptances
+  /// ("secure.records_*"): replay = true duplicate, too_old = behind the
+  /// sliding window, out_of_order = genuine record accepted below the
+  /// high-water mark (the min-heap radio queue reorders routinely).
+  obs::Counter* c_replay_rejected_ = nullptr;
+  obs::Counter* c_too_old_rejected_ = nullptr;
+  obs::Counter* c_out_of_order_accepted_ = nullptr;
   /// Full-stack step wall time ("wall." prefix: full artifact only).
   obs::Histogram* h_step_wall_ = nullptr;
 

@@ -1,0 +1,296 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace agrarsec::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// RFC 9110 token characters (header names, methods).
+bool is_token_char(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c)) != 0) return true;
+  return std::string_view{"!#$%&'*+-.^_`|~"}.find(c) != std::string_view::npos;
+}
+
+bool is_token(std::string_view s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), is_token_char);
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+// --- HttpRequest -----------------------------------------------------------
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return {};
+}
+
+std::string_view HttpRequest::path() const {
+  const std::string_view t = target;
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view HttpRequest::query_param(std::string_view key) const {
+  const std::string_view t = target;
+  const std::size_t q = t.find('?');
+  if (q == std::string_view::npos) return {};
+  std::string_view rest = t.substr(q + 1);
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    rest.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+// --- HttpResponse ----------------------------------------------------------
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += close_connection ? "\r\nConnection: close" : "\r\nConnection: keep-alive";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::json(std::string body) {
+  HttpResponse r;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "text/plain";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::error(int status, std::string_view code,
+                                 std::string_view message) {
+  HttpResponse r;
+  r.status = status;
+  r.body = "{\"error\":\"";
+  append_json_escaped(r.body, code);
+  r.body += "\",\"message\":\"";
+  append_json_escaped(r.body, message);
+  r.body += "\"}";
+  r.close_connection = status >= 400;
+  return r;
+}
+
+// --- HttpRequestParser -----------------------------------------------------
+
+HttpRequestParser::Status HttpRequestParser::poll(HttpRequest& request) {
+  // Request line.
+  const std::size_t line_end = buffer_.find("\r\n");
+  if (line_end == std::string::npos) {
+    return buffer_.size() > limits_.max_request_line ? fail(414) : Status::kNeedMore;
+  }
+  if (line_end > limits_.max_request_line) return fail(414);
+
+  const std::string_view line{buffer_.data(), line_end};
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return fail(400);
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!is_token(method)) return fail(400);
+  if (method != "GET" && method != "POST" && method != "HEAD") return fail(405);
+  // Origin-form targets only; strict enough for a console.
+  if (target.empty() || target.front() != '/') return fail(400);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return fail(400);
+
+  // Header block.
+  const std::size_t headers_begin = line_end + 2;
+  const std::size_t block_end = buffer_.find("\r\n\r\n", line_end);
+  if (block_end == std::string::npos) {
+    return buffer_.size() - headers_begin > limits_.max_header_bytes
+               ? fail(431)
+               : Status::kNeedMore;
+  }
+  if (block_end + 4 - headers_begin > limits_.max_header_bytes) return fail(431);
+
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::size_t pos = headers_begin;
+  while (pos < block_end) {
+    std::size_t eol = buffer_.find("\r\n", pos);
+    if (eol > block_end) eol = block_end;
+    const std::string_view header_line{buffer_.data() + pos, eol - pos};
+    pos = eol + 2;
+    const std::size_t colon = header_line.find(':');
+    if (colon == std::string_view::npos) return fail(400);
+    const std::string_view name = header_line.substr(0, colon);
+    if (!is_token(name)) return fail(400);  // also rejects obs-fold leading WS
+    if (headers.size() >= limits_.max_header_count) return fail(431);
+    headers.emplace_back(std::string(name),
+                         std::string(trim_ows(header_line.substr(colon + 1))));
+  }
+
+  // Body: Content-Length only. Transfer codings are out of scope for the
+  // console; reject instead of misinterpreting.
+  std::size_t content_length = 0;
+  for (const auto& [name, value] : headers) {
+    if (iequals(name, "Transfer-Encoding")) return fail(501);
+    if (iequals(name, "Content-Length")) {
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(),
+                       [](char c) { return std::isdigit(static_cast<unsigned char>(c)); }) ||
+          value.size() > 10) {
+        return fail(400);
+      }
+      content_length = static_cast<std::size_t>(std::stoull(value));
+      if (content_length > limits_.max_body_bytes) return fail(413);
+    }
+  }
+
+  const std::size_t body_begin = block_end + 4;
+  if (buffer_.size() - body_begin < content_length) return Status::kNeedMore;
+
+  request.method = std::string(method);
+  request.target = std::string(target);
+  request.version = std::string(version);
+  request.headers = std::move(headers);
+  request.body = buffer_.substr(body_begin, content_length);
+  buffer_.erase(0, body_begin + content_length);  // keep pipelined follow-ups
+  return Status::kComplete;
+}
+
+// --- HttpServer ------------------------------------------------------------
+
+core::Status HttpServer::start(Handler handler) {
+  if (running()) return core::make_error("running", "server already started");
+  if (!handler) return core::make_error("no_handler", "handler required");
+  handler_ = std::move(handler);
+  if (auto status = listener_.bind_and_listen(config_.port); !status.ok()) {
+    return status;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return core::Status::ok_status();
+}
+
+void HttpServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+}
+
+void HttpServer::serve_loop() {
+  // Short accept timeout so the stop flag is observed promptly; a live
+  // connection is bounded by io_timeout_ms per read and the per-connection
+  // request cap.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    TcpStream conn = listener_.accept_conn(50);
+    if (!conn.valid()) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    serve_connection(std::move(conn));
+  }
+}
+
+void HttpServer::serve_connection(TcpStream stream) {
+  HttpRequestParser parser{config_.limits};
+  std::uint8_t chunk[4096];
+  int served = 0;
+  while (!stop_.load(std::memory_order_relaxed) &&
+         served < config_.max_requests_per_connection) {
+    HttpRequest request;
+    const HttpRequestParser::Status st = parser.poll(request);
+    if (st == HttpRequestParser::Status::kError) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      const auto response = HttpResponse::error(parser.error_status(), "bad_request",
+                                                "malformed HTTP request");
+      (void)stream.write_all(response.serialize(), config_.io_timeout_ms);
+      return;
+    }
+    if (st == HttpRequestParser::Status::kNeedMore) {
+      const long n = stream.read_some(chunk, sizeof(chunk), config_.io_timeout_ms);
+      if (n <= 0) return;  // timeout, error or orderly close
+      parser.append(std::string_view{reinterpret_cast<const char*>(chunk),
+                                     static_cast<std::size_t>(n)});
+      continue;
+    }
+    HttpResponse response = handler_(request);
+    const bool head = request.method == "HEAD";
+    if (request.version == "HTTP/1.0" ||
+        iequals(request.header("Connection"), "close")) {
+      response.close_connection = true;
+    }
+    std::string wire = response.serialize();
+    if (head) wire.resize(wire.size() - response.body.size());
+    // Count before the write: a client that has read the response must
+    // already observe it in requests_served().
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!stream.write_all(wire, config_.io_timeout_ms)) return;
+    ++served;
+    if (response.close_connection) return;
+  }
+}
+
+}  // namespace agrarsec::net

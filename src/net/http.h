@@ -1,0 +1,152 @@
+// Embedded HTTP/1.1 server for the operations console. From scratch on
+// top of net::TcpListener (repo policy: std-library/POSIX only), sized
+// for an on-machine console, not the open internet:
+//  - one dedicated accept thread; connections are served to completion on
+//    that thread (the hard bound on concurrent connections is therefore
+//    1, and a stalled client is cut off by the I/O timeout, so a slow
+//    reader can delay — never wedge — the console);
+//  - a strict incremental request parser with explicit limits on request
+//    line, header count/size and body size; anything out of spec is
+//    answered with a 4xx and the connection closed;
+//  - keep-alive with pipelining: the parser consumes exactly one request
+//    from the buffer, so back-to-back requests on one connection are
+//    answered in order.
+// The server is transport-only — routing lives in the handler callback
+// (service::ConsoleService). Handlers run on the server thread; anything
+// they touch must be thread-safe against the simulation threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "net/stream.h"
+
+namespace agrarsec::net {
+
+struct HttpRequest {
+  std::string method;   ///< GET / POST / HEAD (parser rejects others)
+  std::string target;   ///< origin-form target, e.g. "/metrics?n=32"
+  std::string version;  ///< "HTTP/1.1" (parser rejects others)
+  std::vector<std::pair<std::string, std::string>> headers;  ///< order kept
+  std::string body;
+
+  /// Case-insensitive header lookup (first match); empty when absent.
+  [[nodiscard]] std::string_view header(std::string_view name) const;
+  /// Target path without the query string.
+  [[nodiscard]] std::string_view path() const;
+  /// Value of query parameter `key` ("" when absent; no %-decoding).
+  [[nodiscard]] std::string_view query_param(std::string_view key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool close_connection = false;
+
+  [[nodiscard]] std::string serialize() const;
+  static HttpResponse json(std::string body);
+  static HttpResponse text(int status, std::string body);
+  static HttpResponse error(int status, std::string_view code,
+                            std::string_view message);
+};
+
+/// Hard limits the parser enforces. Defaults fit console traffic with an
+/// order of magnitude of slack.
+struct HttpLimits {
+  std::size_t max_request_line = 4096;
+  std::size_t max_header_count = 64;
+  std::size_t max_header_bytes = 16384;  ///< total, incl. terminators
+  std::size_t max_body_bytes = 65536;
+};
+
+/// Incremental strict parser. Feed bytes with append(); poll() consumes
+/// at most one complete request from the front of the buffer, leaving any
+/// pipelined follow-up in place.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  enum class Status : std::uint8_t {
+    kNeedMore = 0,  ///< buffer holds no complete request yet
+    kComplete = 1,  ///< `request` filled, its bytes consumed
+    kError = 2,     ///< protocol violation; error_status() says which
+  };
+
+  void append(std::string_view bytes) { buffer_.append(bytes); }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  Status poll(HttpRequest& request);
+  /// HTTP status code to answer with after kError (e.g. 400, 431, 501).
+  [[nodiscard]] int error_status() const { return error_status_; }
+
+ private:
+  Status fail(int status) {
+    error_status_ = status;
+    return Status::kError;
+  }
+
+  HttpLimits limits_;
+  std::string buffer_;
+  int error_status_ = 0;
+};
+
+struct HttpServerConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  int io_timeout_ms = 2000;
+  int max_requests_per_connection = 128;
+  HttpLimits limits;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerConfig config = {}) : config_(config) {}
+  ~HttpServer() { stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and launches the accept thread. Fails if already running or
+  /// the port is taken.
+  core::Status start(Handler handler);
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  /// Bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Connections accepted / requests served / protocol errors answered —
+  /// wall-side observability for the console's own traffic.
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t protocol_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void serve_connection(TcpStream stream);
+
+  HttpServerConfig config_;
+  Handler handler_;
+  TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace agrarsec::net

@@ -1,0 +1,231 @@
+#include "net/stream.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace agrarsec::net {
+
+namespace {
+
+/// Polls one fd for `events`; true when ready, false on timeout/error.
+bool wait_ready(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return (p.revents & (events | POLLERR | POLLHUP)) != 0;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+}  // namespace
+
+// --- TcpStream -------------------------------------------------------------
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect_local(std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return TcpStream{};
+  set_cloexec(fd);
+  set_nonblocking(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return TcpStream{};
+  }
+  if (rc != 0) {
+    if (!wait_ready(fd, POLLOUT, timeout_ms)) {
+      ::close(fd);
+      return TcpStream{};
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return TcpStream{};
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream{fd};
+}
+
+long TcpStream::read_some(std::uint8_t* out, std::size_t max, int timeout_ms) {
+  if (fd_ < 0 || max == 0) return -1;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out, max, 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_ready(fd_, POLLIN, timeout_ms)) return -1;
+      continue;
+    }
+    return -1;
+  }
+}
+
+bool TcpStream::write_all(std::span<const std::uint8_t> data, int timeout_ms) {
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_ready(fd_, POLLOUT, timeout_ms)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool TcpStream::write_all(std::string_view text, int timeout_ms) {
+  return write_all(
+      std::span(reinterpret_cast<const std::uint8_t*>(text.data()), text.size()),
+      timeout_ms);
+}
+
+bool TcpStream::read_exact(std::uint8_t* out, std::size_t n, int timeout_ms) {
+  std::size_t off = 0;
+  while (off < n) {
+    const long got = read_some(out + off, n - off, timeout_ms);
+    if (got <= 0) return false;
+    off += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+// --- TcpListener -----------------------------------------------------------
+
+TcpListener::~TcpListener() { close(); }
+
+core::Status TcpListener::bind_and_listen(std::uint16_t port, int backlog) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return core::make_error("socket", std::strerror(errno));
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return core::make_error("bind", err);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return core::make_error("listen", err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return core::make_error("getsockname", err);
+  }
+  set_nonblocking(fd);
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return core::Status::ok_status();
+}
+
+TcpStream TcpListener::accept_conn(int timeout_ms) {
+  if (fd_ < 0) return TcpStream{};
+  if (!wait_ready(fd_, POLLIN, timeout_ms)) return TcpStream{};
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return TcpStream{};
+  set_cloexec(conn);
+  set_nonblocking(conn);
+  const int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream{conn};
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+// --- framing ---------------------------------------------------------------
+
+bool write_frame(TcpStream& stream, std::span<const std::uint8_t> payload,
+                 int timeout_ms) {
+  core::Bytes out;
+  out.reserve(4 + payload.size());
+  core::append_be32(out, static_cast<std::uint32_t>(payload.size()));
+  core::append(out, payload);
+  return stream.write_all(out, timeout_ms);
+}
+
+std::optional<core::Bytes> read_frame(TcpStream& stream, int timeout_ms,
+                                      std::size_t max_len) {
+  std::uint8_t prefix[4];
+  if (!stream.read_exact(prefix, 4, timeout_ms)) return std::nullopt;
+  const std::uint32_t len = core::load_be32(prefix);
+  if (len > max_len) return std::nullopt;
+  core::Bytes payload(len);
+  if (len > 0 && !stream.read_exact(payload.data(), len, timeout_ms)) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+}  // namespace agrarsec::net

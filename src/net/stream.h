@@ -1,0 +1,91 @@
+// Minimal TCP transport for the embedded operations console: a loopback
+// listener with poll-based accept (so server threads can observe a stop
+// flag instead of blocking forever in accept(2)), a stream wrapper with
+// bounded-timeout reads/writes, and be32 length-prefixed frame I/O for
+// the secure control channel. POSIX sockets only — the repo policy is no
+// third-party networking, and the console binds 127.0.0.1 by default (a
+// forestry machine exposes its console on the machine, not the forest).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/bytes.h"
+#include "core/result.h"
+
+namespace agrarsec::net {
+
+/// Owning wrapper around a connected socket. Move-only; closes on
+/// destruction. All operations take a timeout so a stalled peer can never
+/// wedge a server thread.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Connects to 127.0.0.1:port. Returns an invalid stream on failure.
+  static TcpStream connect_local(std::uint16_t port, int timeout_ms = 2000);
+
+  /// Reads up to `max` bytes; returns bytes read, 0 on orderly shutdown,
+  /// -1 on error/timeout.
+  [[nodiscard]] long read_some(std::uint8_t* out, std::size_t max, int timeout_ms);
+
+  /// Writes the whole span (looping over partial writes). False on
+  /// error/timeout.
+  [[nodiscard]] bool write_all(std::span<const std::uint8_t> data, int timeout_ms);
+  [[nodiscard]] bool write_all(std::string_view text, int timeout_ms);
+
+  /// Reads exactly `n` bytes or fails.
+  [[nodiscard]] bool read_exact(std::uint8_t* out, std::size_t n, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loopback listener. bind_and_listen(0) picks an ephemeral port, exposed
+/// via port() — the tests and the check.sh smoke run this way so parallel
+/// CI jobs never collide.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  core::Status bind_and_listen(std::uint16_t port, int backlog = 16);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool listening() const { return fd_ >= 0; }
+
+  /// Waits up to timeout_ms for a connection. Returns an invalid stream
+  /// on timeout or after close().
+  [[nodiscard]] TcpStream accept_conn(int timeout_ms);
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// be32 length-prefixed frames over a stream — the control channel's
+/// outer framing (handshake flights and sealed records both travel as one
+/// frame each). `max_len` bounds a malicious length prefix.
+[[nodiscard]] bool write_frame(TcpStream& stream, std::span<const std::uint8_t> payload,
+                               int timeout_ms);
+/// nullopt on timeout, orderly close, I/O error or oversized prefix.
+[[nodiscard]] std::optional<core::Bytes> read_frame(TcpStream& stream, int timeout_ms,
+                                                    std::size_t max_len = 1 << 20);
+
+}  // namespace agrarsec::net

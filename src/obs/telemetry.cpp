@@ -1,7 +1,10 @@
 #include "obs/telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <system_error>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -130,8 +133,63 @@ Telemetry& global() {
   return instance;
 }
 
+namespace {
+std::string& artifact_dir_override() {
+  static std::string dir;
+  return dir;
+}
+}  // namespace
+
+std::string artifact_dir() {
+  if (!artifact_dir_override().empty()) return artifact_dir_override();
+  if (const char* env = std::getenv("AGRARSEC_ARTIFACT_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#ifdef AGRARSEC_DEFAULT_ARTIFACT_DIR
+  return AGRARSEC_DEFAULT_ARTIFACT_DIR;
+#else
+  return ".";
+#endif
+}
+
+void set_artifact_dir(std::string dir) {
+  artifact_dir_override() = std::move(dir);
+}
+
+std::string artifact_path(const std::string& filename) {
+  const std::string dir = artifact_dir();
+  if (dir.empty() || dir == ".") return filename;
+  std::error_code ec;  // best effort: write_json reports the real failure
+  std::filesystem::create_directories(dir, ec);
+  return dir + "/" + filename;
+}
+
+bool consume_artifact_dir_flag(int& argc, char** argv) {
+  constexpr std::string_view kFlag = "--artifact-dir";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string dir;
+    int consumed = 0;
+    if (arg.rfind(kFlag, 0) == 0 && arg.size() > kFlag.size() &&
+        arg[kFlag.size()] == '=') {
+      dir = arg.substr(kFlag.size() + 1);
+      consumed = 1;
+    } else if (arg == kFlag && i + 1 < argc) {
+      dir = argv[i + 1];
+      consumed = 2;
+    }
+    if (consumed == 0) continue;
+    set_artifact_dir(std::move(dir));
+    for (int j = i + consumed; j < argc; ++j) argv[j - consumed] = argv[j];
+    argc -= consumed;
+    return true;
+  }
+  return false;
+}
+
 bool write_bench_artifact(const Telemetry& telemetry, const std::string& bench_name) {
-  return telemetry.write_json(bench_name + ".telemetry.json");
+  return telemetry.write_json(artifact_path(bench_name + ".telemetry.json"));
 }
 
 BenchArtifact::BenchArtifact(std::string name, Telemetry* telemetry)

@@ -78,7 +78,23 @@ core::EventBus::Subscription wire_event_bus(core::EventBus& bus, Telemetry& tele
 /// before exit-time writers run.
 Telemetry& global();
 
-/// Writes "<bench_name>.telemetry.json" in the working directory from the
+/// Directory bench artifacts land in. Resolution order: the last
+/// set_artifact_dir() call (benches wire this to --artifact-dir), the
+/// AGRARSEC_ARTIFACT_DIR environment variable, the compile-time default
+/// (the build tree's artifacts/ directory), the working directory — so an
+/// uninstrumented invocation from the repo root no longer litters it.
+[[nodiscard]] std::string artifact_dir();
+void set_artifact_dir(std::string dir);
+
+/// Joins artifact_dir() with `filename`, creating the directory if needed.
+[[nodiscard]] std::string artifact_path(const std::string& filename);
+
+/// Strips a `--artifact-dir=DIR` / `--artifact-dir DIR` flag out of argv
+/// (so bench flag loops never see it) and applies it via
+/// set_artifact_dir(). Returns true when the flag was present.
+bool consume_artifact_dir_flag(int& argc, char** argv);
+
+/// Writes "<bench_name>.telemetry.json" under artifact_dir() from the
 /// given telemetry. Returns false on I/O failure.
 bool write_bench_artifact(const Telemetry& telemetry, const std::string& bench_name);
 

@@ -49,15 +49,32 @@ Record Session::seal(std::span<const std::uint8_t> plaintext,
 
 core::Result<core::Bytes> Session::open(const Record& record,
                                         std::span<const std::uint8_t> aad) {
-  if (any_received_ && record.sequence <= highest_received_) {
-    ++replay_rejections_;
-    return core::make_error("replay", "record sequence " +
-                                          std::to_string(record.sequence) +
-                                          " not above high-water mark");
+  // Classify against the sliding window first: duplicate and too-old
+  // rejections are cheap and never touch the AEAD. Window *updates* are
+  // deferred until authentication succeeds, so a forged sequence number
+  // can neither mark a slot seen nor advance the high-water mark.
+  const std::uint64_t seq = record.sequence;
+  bool below_highest = false;
+  if (any_received_ && seq <= highest_received_) {
+    const std::uint64_t age = highest_received_ - seq;
+    if (age >= kReplayWindow) {
+      ++too_old_rejections_;
+      return core::make_error("too_old",
+                              "record sequence " + std::to_string(seq) +
+                                  " fell behind the replay window");
+    }
+    if ((window_bits_ >> age) & 1U) {
+      ++replay_rejections_;
+      return core::make_error("replay", "record sequence " +
+                                            std::to_string(seq) +
+                                            " already accepted");
+    }
+    below_highest = true;
   }
-  const auto nonce = nonce_for(record.sequence);
+
+  const auto nonce = nonce_for(seq);
   core::Bytes full_aad;
-  core::append_le64(full_aad, record.sequence);
+  core::append_le64(full_aad, seq);
   core::append(full_aad, aad);
 
   auto opened = crypto::aead_open(keys_.recv_key, nonce, full_aad, record.ciphertext);
@@ -65,8 +82,17 @@ core::Result<core::Bytes> Session::open(const Record& record,
     ++auth_failures_;
     return core::make_error("bad_record", "record failed authentication");
   }
-  highest_received_ = record.sequence;
-  any_received_ = true;
+
+  if (below_highest) {
+    window_bits_ |= 1ULL << (highest_received_ - seq);
+    ++out_of_order_accepted_;
+  } else {
+    const std::uint64_t advance = any_received_ ? seq - highest_received_ : 0;
+    window_bits_ = advance >= kReplayWindow ? 0 : window_bits_ << advance;
+    window_bits_ |= 1U;  // bit 0 = the new highest itself
+    highest_received_ = seq;
+    any_received_ = true;
+  }
   return opened;
 }
 

@@ -1,7 +1,21 @@
 // Authenticated record layer over an established session: per-direction
-// ChaCha20-Poly1305 keys, sequence-number nonces, strict anti-replay.
-// This is what turns the plaintext net::Message baseline into an
-// integrity- and confidentiality-protected link.
+// ChaCha20-Poly1305 keys, sequence-number nonces, and an RFC 4303-style
+// sliding-bitmap anti-replay window. This is what turns the plaintext
+// net::Message baseline into an integrity- and confidentiality-protected
+// link.
+//
+// Anti-replay design: the lossy RadioMedium delivers frames from a
+// min-heap keyed on (deliver_at, seq), so two records sealed in order can
+// legitimately arrive swapped whenever their propagation jitter differs.
+// A strict high-water-mark check (the original implementation) drops the
+// late-but-genuine record of every such swap. Instead we keep the highest
+// authenticated sequence plus a kReplayWindow-entry bitmap of the
+// sequences just below it: unseen in-window records are accepted out of
+// order, exact duplicates are rejected as replays, and records older than
+// the window are rejected as too old (an attacker holding a record back
+// longer than the window gains nothing; application-level freshness
+// covers the rest). The window only advances after AEAD authentication
+// succeeds, so forged sequence numbers cannot poison the window state.
 #pragma once
 
 #include <array>
@@ -32,20 +46,36 @@ struct Record {
 
 class Session {
  public:
+  /// Sliding anti-replay window size (highest accepted sequence plus the
+  /// kReplayWindow-1 sequences below it are tracked). 64 matches the
+  /// RFC 4303 minimum and comfortably covers the radio medium's
+  /// reordering depth (propagation jitter is bounded by a few steps).
+  static constexpr std::uint64_t kReplayWindow = 64;
+
   Session(SessionKeys keys, std::string peer_subject);
 
   /// Seals a payload; `aad` binds link metadata (e.g. message type).
   [[nodiscard]] Record seal(std::span<const std::uint8_t> plaintext,
                             std::span<const std::uint8_t> aad = {});
 
-  /// Opens a record. Rejects authentication failures and replays (records
-  /// at or below the highest sequence already accepted).
+  /// Opens a record. Rejects authentication failures ("bad_record"),
+  /// duplicates of already-accepted sequences ("replay") and records
+  /// older than the sliding window ("too_old"). Unseen sequences inside
+  /// the window are accepted even when they arrive out of order.
   [[nodiscard]] core::Result<core::Bytes> open(const Record& record,
                                                std::span<const std::uint8_t> aad = {});
 
   [[nodiscard]] const std::string& peer_subject() const { return peer_subject_; }
   [[nodiscard]] std::uint64_t sent_count() const { return send_sequence_; }
+  /// Records rejected as true duplicates (sequence already accepted).
   [[nodiscard]] std::uint64_t replay_rejections() const { return replay_rejections_; }
+  /// Records rejected because they fell behind the sliding window.
+  [[nodiscard]] std::uint64_t too_old_rejections() const { return too_old_rejections_; }
+  /// Genuine records accepted below the high-water mark (reordered
+  /// delivery the strict pre-window check would have dropped).
+  [[nodiscard]] std::uint64_t out_of_order_accepted() const {
+    return out_of_order_accepted_;
+  }
   [[nodiscard]] std::uint64_t auth_failures() const { return auth_failures_; }
 
  private:
@@ -54,9 +84,14 @@ class Session {
   SessionKeys keys_;
   std::string peer_subject_;
   std::uint64_t send_sequence_ = 0;
+  /// Highest sequence that passed authentication; bit i of window_bits_
+  /// set means sequence (highest_received_ - i) was accepted.
   std::uint64_t highest_received_ = 0;
+  std::uint64_t window_bits_ = 0;
   bool any_received_ = false;
   std::uint64_t replay_rejections_ = 0;
+  std::uint64_t too_old_rejections_ = 0;
+  std::uint64_t out_of_order_accepted_ = 0;
   std::uint64_t auth_failures_ = 0;
 };
 

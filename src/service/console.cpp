@@ -1,0 +1,393 @@
+#include "service/console.h"
+
+#include <algorithm>
+#include <charconv>
+#include <optional>
+#include <utility>
+
+#include "analysis/json.h"
+#include "secure/handshake.h"
+
+namespace agrarsec::service {
+
+namespace {
+
+std::span<const std::uint8_t> console_aad() {
+  return {reinterpret_cast<const std::uint8_t*>(kConsoleAad.data()),
+          kConsoleAad.size()};
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+  }
+}
+
+std::string rpc_error(std::uint64_t id, std::string_view code,
+                      std::string_view message) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"error\":{\"code\":\"";
+  append_json_escaped(out, code);
+  out += "\",\"message\":\"";
+  append_json_escaped(out, message);
+  out += "\"}}";
+  return out;
+}
+
+std::string rpc_result(std::uint64_t id, std::string_view result_json) {
+  return "{\"id\":" + std::to_string(id) + ",\"result\":" +
+         std::string(result_json) + "}";
+}
+
+/// Numeric param with default; nullopt when present but not a number.
+std::optional<double> param_number(const analysis::Json* params,
+                                   std::string_view key, double fallback) {
+  if (params == nullptr || !params->is(analysis::Json::Kind::kObject)) {
+    return fallback;
+  }
+  const analysis::Json* v = params->find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is(analysis::Json::Kind::kNumber)) return std::nullopt;
+  return v->as_number();
+}
+
+bool parse_session_id(std::string_view text, SessionId& out) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+// --- ConsoleService --------------------------------------------------------
+
+ConsoleService::ConsoleService(FleetService& fleet, pki::Identity identity,
+                               pki::TrustStore trust, std::uint64_t drbg_seed,
+                               ConsoleConfig config)
+    : fleet_(fleet),
+      identity_(std::move(identity)),
+      trust_(std::move(trust)),
+      drbg_(drbg_seed, "console-control"),
+      config_(std::move(config)),
+      http_(net::HttpServerConfig{.port = config_.http_port,
+                                  .io_timeout_ms = config_.io_timeout_ms,
+                                  .max_requests_per_connection = 128,
+                                  .limits = {}}) {}
+
+ConsoleService::~ConsoleService() { stop(); }
+
+core::Status ConsoleService::start() {
+  if (running()) return core::make_error("running", "console already started");
+  if (auto status = control_listener_.bind_and_listen(config_.control_port);
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = http_.start([this](const net::HttpRequest& request) {
+        return route(request);
+      });
+      !status.ok()) {
+    control_listener_.close();
+    return status;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  control_thread_ = std::thread([this] { control_loop(); });
+  return core::Status::ok_status();
+}
+
+void ConsoleService::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  http_.stop();
+  if (control_thread_.joinable()) control_thread_.join();
+  control_listener_.close();
+}
+
+net::HttpResponse ConsoleService::route(const net::HttpRequest& request) {
+  // The HTTP plane is read-only by construction; every mutating verb
+  // lives behind the secure control channel.
+  if (request.method == "POST") {
+    return net::HttpResponse::error(
+        405, "read_only",
+        "mutating verbs require the authenticated control channel");
+  }
+  const std::string_view path = request.path();
+  if (path == "/" || path == "/help") {
+    return net::HttpResponse::json(
+        "{\"endpoints\":[\"/metrics\",\"/sessions\",\"/utilization\","
+        "\"/flight/<session>?n=<events>\"]}");
+  }
+  if (path == "/metrics") return net::HttpResponse::json(fleet_.metrics_json());
+  if (path == "/sessions") return net::HttpResponse::json(fleet_.sessions_json());
+  if (path == "/utilization") {
+    return net::HttpResponse::json(fleet_.utilization_json());
+  }
+  if (constexpr std::string_view prefix = "/flight/"; path.starts_with(prefix)) {
+    SessionId id = 0;
+    if (!parse_session_id(path.substr(prefix.size()), id)) {
+      return net::HttpResponse::error(400, "bad_session", "non-numeric session id");
+    }
+    std::size_t n = config_.flight_tail_default;
+    if (const std::string_view q = request.query_param("n"); !q.empty()) {
+      SessionId parsed = 0;
+      if (!parse_session_id(q, parsed) || parsed == 0) {
+        return net::HttpResponse::error(400, "bad_param", "n must be a positive integer");
+      }
+      n = static_cast<std::size_t>(parsed);
+    }
+    std::string body = fleet_.flight_tail_json(id, n);
+    if (body.empty()) {
+      return net::HttpResponse::error(404, "unknown_session",
+                                      "no such session: " + std::to_string(id));
+    }
+    return net::HttpResponse::json(std::move(body));
+  }
+  return net::HttpResponse::error(404, "not_found", std::string(path));
+}
+
+void ConsoleService::control_loop() {
+  // Mirror of HttpServer::serve_loop: short accept timeout so stop() is
+  // observed promptly; one authenticated connection served at a time.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    net::TcpStream conn = control_listener_.accept_conn(50);
+    if (!conn.valid()) continue;
+    handle_control_connection(std::move(conn));
+  }
+}
+
+void ConsoleService::handle_control_connection(net::TcpStream stream) {
+  const int timeout = config_.io_timeout_ms;
+
+  // Handshake flights, one frame each. Any malformed flight closes the
+  // connection before a session exists — nothing to poison.
+  const auto frame1 = net::read_frame(stream, timeout);
+  if (!frame1) return;
+  const auto msg1 = secure::HandshakeMsg1::decode(*frame1);
+  if (!msg1) {
+    records_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  secure::Handshake handshake{identity_, trust_, config_.cert_validation_time};
+  auto msg2 = handshake.respond(*msg1, drbg_);
+  if (!msg2.ok()) {
+    records_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!net::write_frame(stream, msg2.value().encode(), timeout)) return;
+  const auto frame3 = net::read_frame(stream, timeout);
+  if (!frame3) return;
+  const auto msg3 = secure::HandshakeMsg3::decode(*frame3);
+  if (!msg3 || !handshake.finish(*msg3).ok()) {
+    records_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  secure::Session session = handshake.take_session();
+
+  if (!config_.allowed_subjects.empty()) {
+    const auto& allowed = config_.allowed_subjects;
+    if (std::find(allowed.begin(), allowed.end(), session.peer_subject()) ==
+        allowed.end()) {
+      return;  // authenticated but not authorized: drop the connection
+    }
+  }
+  sessions_established_.fetch_add(1, std::memory_order_relaxed);
+
+  int commands = 0;
+  while (!stop_.load(std::memory_order_relaxed) &&
+         commands < config_.max_commands_per_connection) {
+    const auto frame = net::read_frame(stream, timeout);
+    if (!frame) return;  // orderly close, timeout or oversized prefix
+    const auto record = secure::Record::decode(*frame);
+    if (!record) {
+      records_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // malformed framing: drop, never dispatch
+    }
+    auto opened = session.open(*record, console_aad());
+    if (!opened.ok()) {
+      // Forged, replayed or too-old record: authenticated-drop. The
+      // session window advanced only if authentication succeeded, so a
+      // flipped byte cannot desynchronize subsequent genuine records.
+      records_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::string response = dispatch(
+        std::string_view{reinterpret_cast<const char*>(opened.value().data()),
+                         opened.value().size()});
+    commands_dispatched_.fetch_add(1, std::memory_order_relaxed);
+    const secure::Record sealed = session.seal(
+        core::from_string(response), console_aad());
+    if (!net::write_frame(stream, sealed.encode(), timeout)) return;
+    ++commands;
+  }
+}
+
+std::string ConsoleService::dispatch(std::string_view plaintext) {
+  std::string parse_error;
+  const auto parsed = analysis::Json::parse(plaintext, &parse_error);
+  if (!parsed || !parsed->is(analysis::Json::Kind::kObject)) {
+    return rpc_error(0, "parse_error", parse_error.empty() ? "not an object"
+                                                           : parse_error);
+  }
+  std::uint64_t id = 0;
+  if (const analysis::Json* idv = parsed->find("id");
+      idv != nullptr && idv->is(analysis::Json::Kind::kNumber)) {
+    id = static_cast<std::uint64_t>(idv->as_number());
+  }
+  const analysis::Json* methodv = parsed->find("method");
+  if (methodv == nullptr || !methodv->is(analysis::Json::Kind::kString)) {
+    return rpc_error(id, "bad_request", "missing method");
+  }
+  const std::string& method = methodv->as_string();
+  const analysis::Json* params = parsed->find("params");
+
+  if (method == "ping") return rpc_result(id, "{\"pong\":true}");
+  if (method == "pause") {
+    fleet_.pause();
+    return rpc_result(id, "{\"paused\":true}");
+  }
+  if (method == "resume") {
+    fleet_.resume();
+    return rpc_result(id, "{\"paused\":false}");
+  }
+  if (method == "step") {
+    const auto steps = param_number(params, "steps", 1.0);
+    if (!steps || *steps < 1.0 || *steps > 100000.0) {
+      return rpc_error(id, "bad_param", "steps must be in [1, 100000]");
+    }
+    const std::size_t stepped =
+        fleet_.control_step(static_cast<std::uint64_t>(*steps));
+    return rpc_result(id, "{\"sessions_stepped\":" + std::to_string(stepped) + "}");
+  }
+  if (method == "inject-attack") {
+    const auto session = param_number(params, "session", -1.0);
+    const auto x = param_number(params, "x", 0.0);
+    const auto y = param_number(params, "y", 0.0);
+    const auto level = param_number(params, "level", 2.0);
+    if (!session || !x || !y || !level || *session < 0.0) {
+      return rpc_error(id, "bad_param", "need numeric session/x/y/level");
+    }
+    if (!fleet_.inject_attack(static_cast<SessionId>(*session), *x, *y,
+                              static_cast<int>(*level))) {
+      return rpc_error(id, "unknown_session",
+                       "no such session: " + std::to_string(
+                                                static_cast<SessionId>(*session)));
+    }
+    return rpc_result(id, "{\"injected\":true}");
+  }
+  if (method == "export") {
+    const auto session = param_number(params, "session", -1.0);
+    if (!session || *session < 0.0) {
+      return rpc_error(id, "bad_param", "need numeric session");
+    }
+    const std::string artifact =
+        fleet_.export_session_json(static_cast<SessionId>(*session));
+    if (artifact.empty()) {
+      return rpc_error(id, "unknown_session",
+                       "no such session: " + std::to_string(
+                                                static_cast<SessionId>(*session)));
+    }
+    return rpc_result(id, artifact);  // artifact is itself a JSON object
+  }
+  return rpc_error(id, "unknown_method", method);
+}
+
+// --- ConsoleClient ---------------------------------------------------------
+
+core::Result<ConsoleClient> ConsoleClient::connect(std::uint16_t control_port,
+                                                   const pki::Identity& identity,
+                                                   const pki::TrustStore& trust,
+                                                   crypto::Drbg& drbg,
+                                                   std::string expected_peer,
+                                                   int timeout_ms) {
+  net::TcpStream stream = net::TcpStream::connect_local(control_port, timeout_ms);
+  if (!stream.valid()) {
+    return core::make_error("connect", "cannot reach control port " +
+                                           std::to_string(control_port));
+  }
+  secure::Handshake handshake{identity, trust, 0, std::move(expected_peer)};
+  const secure::HandshakeMsg1 msg1 = handshake.start(drbg);
+  if (!net::write_frame(stream, msg1.encode(), timeout_ms)) {
+    return core::make_error("io", "failed to send handshake flight 1");
+  }
+  const auto frame2 = net::read_frame(stream, timeout_ms);
+  if (!frame2) return core::make_error("io", "no handshake flight 2");
+  const auto msg2 = secure::HandshakeMsg2::decode(*frame2);
+  if (!msg2) return core::make_error("bad_msg2", "malformed handshake flight 2");
+  auto msg3 = handshake.consume_msg2(*msg2);
+  if (!msg3.ok()) return msg3.error();
+  if (!net::write_frame(stream, msg3.value().encode(), timeout_ms)) {
+    return core::make_error("io", "failed to send handshake flight 3");
+  }
+  return ConsoleClient{std::move(stream), handshake.take_session(), timeout_ms};
+}
+
+core::Result<std::string> ConsoleClient::call(std::string_view method,
+                                              std::string_view params_json) {
+  std::string request = "{\"id\":" + std::to_string(next_id_++) +
+                        ",\"method\":\"";
+  append_json_escaped(request, method);
+  request += "\",\"params\":";
+  request += params_json;
+  request += "}";
+  const secure::Record sealed =
+      session_.seal(core::from_string(request), console_aad());
+  if (!net::write_frame(stream_, sealed.encode(), timeout_ms_)) {
+    return core::make_error("io", "failed to send command");
+  }
+  const auto frame = net::read_frame(stream_, timeout_ms_);
+  if (!frame) return core::make_error("io", "no response frame");
+  const auto record = secure::Record::decode(*frame);
+  if (!record) return core::make_error("bad_record", "malformed response record");
+  auto opened = session_.open(*record, console_aad());
+  if (!opened.ok()) return opened.error();
+  return std::string(reinterpret_cast<const char*>(opened.value().data()),
+                     opened.value().size());
+}
+
+bool ConsoleClient::send_raw_frame(std::span<const std::uint8_t> payload) {
+  return net::write_frame(stream_, payload, timeout_ms_);
+}
+
+// --- http_get_local --------------------------------------------------------
+
+core::Result<std::string> http_get_local(std::uint16_t port, std::string_view target,
+                                         int timeout_ms) {
+  net::TcpStream stream = net::TcpStream::connect_local(port, timeout_ms);
+  if (!stream.valid()) {
+    return core::make_error("connect", "cannot reach port " + std::to_string(port));
+  }
+  std::string request = "GET ";
+  request += target;
+  request += " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  if (!stream.write_all(request, timeout_ms)) {
+    return core::make_error("io", "failed to send request");
+  }
+  std::string response;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const long n = stream.read_some(chunk, sizeof(chunk), timeout_ms);
+    if (n < 0) return core::make_error("io", "read timeout");
+    if (n == 0) break;
+    response.append(reinterpret_cast<const char*>(chunk),
+                    static_cast<std::size_t>(n));
+    if (response.size() > (8u << 20)) {
+      return core::make_error("too_large", "response exceeds 8 MiB");
+    }
+  }
+  const std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos || !response.starts_with("HTTP/1.1 ")) {
+    return core::make_error("bad_response", "malformed HTTP response");
+  }
+  if (response.compare(9, 3, "200") != 0) {
+    return core::make_error("status", response.substr(9, 3));
+  }
+  return response.substr(body_at + 4);
+}
+
+}  // namespace agrarsec::service

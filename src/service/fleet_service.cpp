@@ -18,6 +18,9 @@ FleetService::FleetService(FleetServiceConfig config) : config_(config) {
   c_destroyed_ = &reg.counter("fleet.sessions_destroyed");
   c_session_steps_ = &reg.counter("fleet.session_steps");
   g_active_ = &reg.gauge("fleet.sessions_active");
+  // "wall." prefix: timing histogram, full artifact (/metrics) only —
+  // excluded from the deterministic view like the worksite step timer.
+  h_batch_wall_ = &reg.histogram("wall.fleet_batch_us", 0.0, 100000.0, 20);
   ph_batch_ = telemetry_->tracer().phase("fleet.step_batch");
 
   if (config_.threads != 1) {
@@ -50,6 +53,7 @@ SessionId FleetService::insert_session(integration::SecuredWorksiteConfig config
   config.worksite.threads = 1;
   config.worksite.telemetry = nullptr;
 
+  const std::lock_guard<std::mutex> lock(mu_);
   const SessionId id = next_id_++;
   auto session = std::make_unique<Session>();
   session->id = id;
@@ -73,6 +77,7 @@ SessionId FleetService::create_session_keyed(
 }
 
 bool FleetService::destroy_session(SessionId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   retired_steps_ += it->second->steps;
@@ -84,7 +89,14 @@ bool FleetService::destroy_session(SessionId id) {
 }
 
 void FleetService::step_all(std::uint64_t steps) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (paused_.load(std::memory_order_relaxed)) return;
+  step_batch_locked(steps);
+}
+
+void FleetService::step_batch_locked(std::uint64_t steps) {
   if (steps == 0 || sessions_.empty()) return;
+  const std::uint64_t batch_start_ns = obs::Tracer::now_ns();
   batch_.clear();
   for (auto& [id, session] : sessions_) batch_.push_back(session.get());
 
@@ -106,11 +118,15 @@ void FleetService::step_all(std::uint64_t steps) {
   } else {
     body(0, batch_.size(), 0);
   }
+  h_batch_wall_->add(
+      static_cast<double>(obs::Tracer::now_ns() - batch_start_ns) / 1000.0);
 }
 
 bool FleetService::step_session(SessionId id, std::uint64_t steps) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
+  if (paused_.load(std::memory_order_relaxed)) return true;
   Session& session = *it->second;
   for (std::uint64_t s = 0; s < steps; ++s) session.site->step();
   session.steps += steps;
@@ -118,7 +134,13 @@ bool FleetService::step_session(SessionId id, std::uint64_t steps) {
   return true;
 }
 
+std::size_t FleetService::session_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
 std::vector<SessionId> FleetService::session_ids() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<SessionId> ids;
   ids.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) ids.push_back(id);
@@ -126,27 +148,32 @@ std::vector<SessionId> FleetService::session_ids() const {
 }
 
 integration::SecuredWorksite* FleetService::session(SessionId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second->site.get();
 }
 
 const integration::SecuredWorksite* FleetService::session(SessionId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second->site.get();
 }
 
 std::uint64_t FleetService::session_steps(SessionId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
   return it == sessions_.end() ? 0 : it->second->steps;
 }
 
 std::uint64_t FleetService::total_session_steps() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = retired_steps_;
   for (const auto& [id, session] : sessions_) total += session->steps;
   return total;
 }
 
 integration::SecurityMetrics FleetService::aggregate_security_metrics() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   integration::SecurityMetrics total;
   for (const auto& [id, session] : sessions_) {
     const integration::SecurityMetrics m = session->site->security_metrics();
@@ -160,6 +187,120 @@ integration::SecurityMetrics FleetService::aggregate_security_metrics() const {
 }
 
 std::string FleetService::session_deterministic_json(SessionId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {};
+  return it->second->site->telemetry().deterministic_json();
+}
+
+// --- operations-console control plane --------------------------------------
+
+void FleetService::pause() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!paused_.exchange(true, std::memory_order_relaxed)) {
+    telemetry_->recorder().record(0, "fleet", "paused");
+  }
+}
+
+void FleetService::resume() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (paused_.exchange(false, std::memory_order_relaxed)) {
+    telemetry_->recorder().record(0, "fleet", "resumed");
+  }
+}
+
+std::size_t FleetService::control_step(std::uint64_t steps) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t stepped = sessions_.size();
+  step_batch_locked(steps);
+  return stepped;
+}
+
+bool FleetService::inject_attack(SessionId id, double x, double y, int level) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  it->second->site->add_attacker({x, y}, level);
+  telemetry_->recorder().record(0, "fleet", "attack-injected", id,
+                                static_cast<std::uint64_t>(level));
+  return true;
+}
+
+std::string FleetService::metrics_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return telemetry_->to_json();
+}
+
+std::string FleetService::sessions_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"paused\":";
+  out += paused_.load(std::memory_order_relaxed) ? "true" : "false";
+  out += ",\"session_count\":" + std::to_string(sessions_.size());
+  std::uint64_t total = retired_steps_;
+  out += ",\"sessions\":[";
+  bool first = true;
+  for (const auto& [id, session] : sessions_) {
+    total += session->steps;
+    const integration::SecurityMetrics m = session->site->security_metrics();
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"id\":" + std::to_string(id);
+    out += ",\"steps\":" + std::to_string(session->steps);
+    out += ",\"forwarders\":" + std::to_string(session->site->forwarder_count());
+    out += ",\"reports_accepted\":" + std::to_string(m.detection_reports_accepted);
+    out += ",\"reports_rejected\":" + std::to_string(m.detection_reports_rejected);
+    out += ",\"estops_from_ids\":" + std::to_string(m.estops_from_ids);
+    out.push_back('}');
+  }
+  out += "],\"total_session_steps\":" + std::to_string(total);
+  out.push_back('}');
+  return out;
+}
+
+std::string FleetService::utilization_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const obs::Tracer& tracer = telemetry_->tracer();
+  std::string out = "{\"shards\":[";
+  for (std::size_t shard = 0; shard < tracer.shard_count(); ++shard) {
+    if (shard != 0) out.push_back(',');
+    out += "{\"shard\":" + std::to_string(shard);
+    out += ",\"busy_ns\":" + std::to_string(tracer.shard_busy_ns(shard));
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FleetService::flight_tail_json(SessionId id,
+                                           std::size_t max_events) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {};
+  const obs::FlightRecorder& recorder = it->second->site->telemetry().recorder();
+  // Collect the JSONL lines, keep the newest max_events, emit as array.
+  std::vector<std::string> lines;
+  const std::string jsonl = recorder.to_jsonl();
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string::npos) nl = jsonl.size();
+    if (nl > pos) lines.push_back(jsonl.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  const std::size_t begin = lines.size() > max_events ? lines.size() - max_events : 0;
+  std::string out = "{\"session\":" + std::to_string(id);
+  out += ",\"total_recorded\":" + std::to_string(recorder.total_recorded());
+  out += ",\"events\":[";
+  for (std::size_t i = begin; i < lines.size(); ++i) {
+    if (i != begin) out.push_back(',');
+    out += lines[i];
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FleetService::export_session_json(SessionId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return {};
   return it->second->site->telemetry().deterministic_json();

@@ -18,9 +18,11 @@
 // pure function of (fleet_seed, key), never of creation order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -74,13 +76,49 @@ class FleetService {
   /// Advances every live session by `steps` full-stack steps. Sessions
   /// are batched across the pool in ascending id order, one session per
   /// work item; a session never splits across shards, so all its state
-  /// stays thread-local for the whole batch.
+  /// stays thread-local for the whole batch. No-op while paused.
   void step_all(std::uint64_t steps = 1);
   /// Advances one session serially (false when the id is unknown).
+  /// No-op (returning true) while paused.
   bool step_session(SessionId id, std::uint64_t steps = 1);
 
+  // --- operations-console control plane ---
+  // Thread-safety: every lifecycle/stepping/snapshot entry point
+  // serializes on an internal mutex, so the console's server threads can
+  // pause, inject and snapshot concurrently with a driver loop calling
+  // step_all. The lock is held for whole batches — console reads land
+  // between batches and never observe (or perturb) a half-stepped fleet;
+  // determinism is untouched because serialization changes no sim input.
+  /// Freezes step_all/step_session (they become no-ops) until resume().
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_.load(std::memory_order_relaxed); }
+  /// Steps every session even while paused — the operator's single-step.
+  /// Returns the number of sessions stepped.
+  std::size_t control_step(std::uint64_t steps = 1);
+  /// Drops an attacker radio into one session's medium (false when the
+  /// session id is unknown).
+  bool inject_attack(SessionId id, double x, double y, int level);
+
+  // --- console snapshots (each locks; safe against concurrent step_all) ---
+  /// Full fleet telemetry artifact (registry incl. "wall." instruments,
+  /// phases, shard busy time, flight recorder + wall annex).
+  [[nodiscard]] std::string metrics_json() const;
+  /// Per-session status table: id, steps and security counters per live
+  /// session in ascending id order, plus fleet totals.
+  [[nodiscard]] std::string sessions_json() const;
+  /// Per-shard busy-time table of the service pool.
+  [[nodiscard]] std::string utilization_json() const;
+  /// Tail of one session's flight recorder as a JSON array (newest-last,
+  /// at most `max_events` events; empty string when the id is unknown).
+  [[nodiscard]] std::string flight_tail_json(SessionId id,
+                                             std::size_t max_events = 64) const;
+  /// Locked variant of session_deterministic_json for the console's
+  /// export verb.
+  [[nodiscard]] std::string export_session_json(SessionId id) const;
+
   // --- queries ---
-  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t session_count() const;
   /// Live ids in ascending order (the step_all batch order).
   [[nodiscard]] std::vector<SessionId> session_ids() const;
   /// Session access (nullptr when unknown). The pointer stays valid until
@@ -113,8 +151,13 @@ class FleetService {
   };
 
   SessionId insert_session(integration::SecuredWorksiteConfig config);
+  void step_batch_locked(std::uint64_t steps);
 
   FleetServiceConfig config_;
+  /// Serializes lifecycle, stepping and console snapshots (see the
+  /// control-plane section above). Mutable: snapshot methods are const.
+  mutable std::mutex mu_;
+  std::atomic<bool> paused_{false};
   /// Declared before the pool: the shard observer instruments into it.
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<core::ThreadPool> pool_;
@@ -130,6 +173,7 @@ class FleetService {
   obs::Counter* c_destroyed_ = nullptr;
   obs::Counter* c_session_steps_ = nullptr;  ///< bumped per shard lane
   obs::Gauge* g_active_ = nullptr;
+  obs::Histogram* h_batch_wall_ = nullptr;  ///< "wall." prefix: full artifact only
   obs::PhaseId ph_batch_ = 0;
 };
 

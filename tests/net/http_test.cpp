@@ -1,0 +1,254 @@
+// Embedded HTTP server: strict parser limits, pipelining, and the
+// transport loop the operations console rides on. The parser tests are
+// pure (no sockets); the server tests run a real loopback listener on an
+// ephemeral port.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "net/http.h"
+#include "net/stream.h"
+
+namespace agrarsec::net {
+namespace {
+
+using Status = HttpRequestParser::Status;
+
+HttpRequest parse_one(HttpRequestParser& parser, std::string_view bytes) {
+  parser.append(bytes);
+  HttpRequest request;
+  EXPECT_EQ(parser.poll(request), Status::kComplete);
+  return request;
+}
+
+TEST(HttpParser, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  const HttpRequest r = parse_one(
+      parser,
+      "GET /flight/3?n=16&fmt=json HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Accept: application/json\r\n\r\n");
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/flight/3?n=16&fmt=json");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  EXPECT_EQ(r.path(), "/flight/3");
+  EXPECT_EQ(r.query_param("n"), "16");
+  EXPECT_EQ(r.query_param("fmt"), "json");
+  EXPECT_EQ(r.query_param("absent"), "");
+  EXPECT_EQ(r.header("host"), "127.0.0.1");  // case-insensitive
+  EXPECT_EQ(r.header("ACCEPT"), "application/json");
+  EXPECT_TRUE(r.body.empty());
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(HttpParser, TruncatedRequestLineNeedsMoreThenCompletes) {
+  HttpRequestParser parser;
+  HttpRequest request;
+  parser.append("GET /met");
+  EXPECT_EQ(parser.poll(request), Status::kNeedMore);
+  parser.append("rics HTTP/1.1\r\nHo");
+  EXPECT_EQ(parser.poll(request), Status::kNeedMore);
+  parser.append("st: x\r\n\r\n");
+  EXPECT_EQ(parser.poll(request), Status::kComplete);
+  EXPECT_EQ(request.target, "/metrics");
+}
+
+TEST(HttpParser, OversizedRequestLineRejectedEvenWithoutTerminator) {
+  HttpRequestParser parser;
+  HttpRequest request;
+  // No CRLF yet, but the line already exceeds the limit: a peer cannot
+  // force unbounded buffering by never terminating the request line.
+  parser.append("GET /" + std::string(HttpLimits{}.max_request_line, 'a'));
+  EXPECT_EQ(parser.poll(request), Status::kError);
+  EXPECT_EQ(parser.error_status(), 414);
+}
+
+TEST(HttpParser, TooManyHeadersRejected) {
+  HttpLimits limits;
+  limits.max_header_count = 4;
+  HttpRequestParser parser{limits};
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 5; ++i) {
+    raw += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  raw += "\r\n";
+  parser.append(raw);
+  HttpRequest request;
+  EXPECT_EQ(parser.poll(request), Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, OversizedHeaderBlockRejectedBeforeTerminator) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  HttpRequestParser parser{limits};
+  HttpRequest request;
+  parser.append("GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'p'));
+  EXPECT_EQ(parser.poll(request), Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, UnknownMethodRejectedWith405) {
+  HttpRequestParser parser;
+  HttpRequest request;
+  parser.append("DELETE /sessions HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(parser.poll(request), Status::kError);
+  EXPECT_EQ(parser.error_status(), 405);
+}
+
+TEST(HttpParser, NonTokenMethodRejectedWith400) {
+  HttpRequestParser parser;
+  HttpRequest request;
+  parser.append("G@T / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(parser.poll(request), Status::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParser, BadVersionAndAbsoluteFormRejected) {
+  {
+    HttpRequestParser parser;
+    HttpRequest request;
+    parser.append("GET / HTTP/2.0\r\n\r\n");
+    EXPECT_EQ(parser.poll(request), Status::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+  {
+    HttpRequestParser parser;
+    HttpRequest request;
+    parser.append("GET http://evil/ HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(parser.poll(request), Status::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+}
+
+TEST(HttpParser, TransferEncodingRejectedWith501) {
+  HttpRequestParser parser;
+  HttpRequest request;
+  parser.append("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(parser.poll(request), Status::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParser, BodyViaContentLength) {
+  HttpRequestParser parser;
+  HttpRequest request;
+  parser.append("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel");
+  EXPECT_EQ(parser.poll(request), Status::kNeedMore);  // body incomplete
+  parser.append("lo");
+  EXPECT_EQ(parser.poll(request), Status::kComplete);
+  EXPECT_EQ(request.body, "hello");
+}
+
+TEST(HttpParser, OversizedBodyRejectedWith413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  HttpRequestParser parser{limits};
+  HttpRequest request;
+  parser.append("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  EXPECT_EQ(parser.poll(request), Status::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, PipelinedRequestsConsumedOneAtATime) {
+  HttpRequestParser parser;
+  parser.append(
+      "GET /first HTTP/1.1\r\n\r\n"
+      "GET /second HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.poll(request), Status::kComplete);
+  EXPECT_EQ(request.target, "/first");
+  EXPECT_GT(parser.buffered(), 0u);  // second request still queued
+  ASSERT_EQ(parser.poll(request), Status::kComplete);
+  EXPECT_EQ(request.target, "/second");
+  EXPECT_EQ(parser.poll(request), Status::kNeedMore);
+}
+
+TEST(HttpResponseTest, SerializeCarriesLengthAndConnection) {
+  HttpResponse ok = HttpResponse::json("{\"a\":1}");
+  const std::string wire = ok.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive"), std::string::npos);
+
+  const HttpResponse err = HttpResponse::error(404, "not_found", "nope");
+  EXPECT_TRUE(err.close_connection);
+  EXPECT_NE(err.serialize().find("Connection: close"), std::string::npos);
+}
+
+// --- server over a real loopback socket ------------------------------------
+
+/// Reads until the peer closes or `timeout_ms` passes; returns all bytes.
+std::string drain(TcpStream& stream, int timeout_ms = 2000) {
+  std::string out;
+  std::uint8_t chunk[1024];
+  for (;;) {
+    const long n = stream.read_some(chunk, sizeof(chunk), timeout_ms);
+    if (n <= 0) break;
+    out.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+TEST(HttpServerTest, ServesPipelinedKeepAliveRequests) {
+  HttpServer server;
+  ASSERT_TRUE(server.start([](const HttpRequest& request) {
+    return HttpResponse::json("{\"path\":\"" + std::string(request.path()) + "\"}");
+  }).ok());
+  ASSERT_NE(server.port(), 0);
+
+  TcpStream conn = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(conn.valid());
+  ASSERT_TRUE(conn.write_all(std::string_view{
+      "GET /a HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /b HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"}, 2000));
+  // The second response closes the connection (HTTP/1.1 keep-alive by
+  // default; the server loop exits when a handler response says close) —
+  // except our handler never sets close, so rely on drain timeout being
+  // bounded by reading both bodies explicitly.
+  std::string got;
+  std::uint8_t chunk[1024];
+  while (got.find("{\"path\":\"/b\"}") == std::string::npos) {
+    const long n = conn.read_some(chunk, sizeof(chunk), 2000);
+    ASSERT_GT(n, 0) << "server stalled before both responses arrived";
+    got.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(got.find("{\"path\":\"/a\"}"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, AnswersMalformedRequestWithErrorAndCloses) {
+  HttpServer server;
+  ASSERT_TRUE(server.start([](const HttpRequest&) {
+    return HttpResponse::json("{}");
+  }).ok());
+
+  TcpStream conn = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(conn.valid());
+  ASSERT_TRUE(conn.write_all(std::string_view{"PATCH / HTTP/1.1\r\n\r\n"}, 2000));
+  const std::string got = drain(conn);
+  EXPECT_NE(got.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_EQ(server.protocol_errors(), 1u);
+  server.stop();
+}
+
+TEST(HttpServerTest, HeadStripsBodyButKeepsLength) {
+  HttpServer server;
+  ASSERT_TRUE(server.start([](const HttpRequest&) {
+    return HttpResponse::json("{\"k\":123}");
+  }).ok());
+
+  TcpStream conn = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(conn.valid());
+  ASSERT_TRUE(conn.write_all(
+      std::string_view{"HEAD /metrics HTTP/1.0\r\n\r\n"}, 2000));
+  const std::string got = drain(conn);  // HTTP/1.0 forces close -> EOF
+  EXPECT_NE(got.find("Content-Length: 9\r\n"), std::string::npos);
+  EXPECT_EQ(got.find("{\"k\":123}"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace agrarsec::net

@@ -1,6 +1,11 @@
 // Secure channel: handshake, record layer, replay protection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
 #include "crypto/random.h"
 #include "pki/identity.h"
 #include "pki/trust_store.h"
@@ -180,9 +185,9 @@ TEST(Session, ReplayIsRejected) {
   EXPECT_EQ(b.replay_rejections(), 1u);
 }
 
-TEST(Session, OldSequenceRejectedEvenUnseen) {
-  // Strictly monotonic acceptance: after record 3 arrives, records 1-2
-  // (e.g. delayed by an attacker for later replay) are refused.
+TEST(Session, ReorderedRecordsAccepted) {
+  // The radio medium's min-heap delivery legitimately swaps records whose
+  // propagation jitter differs; unseen in-window sequences must open.
   Fixture f;
   auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
   ASSERT_TRUE(pair.ok());
@@ -193,8 +198,162 @@ TEST(Session, OldSequenceRejectedEvenUnseen) {
   const Record r2 = a.seal(core::from_string("two"));
   const Record r3 = a.seal(core::from_string("three"));
   ASSERT_TRUE(b.open(r3).ok());
+  EXPECT_TRUE(b.open(r1).ok());
+  EXPECT_TRUE(b.open(r2).ok());
+  EXPECT_EQ(b.out_of_order_accepted(), 2u);
+  EXPECT_EQ(b.replay_rejections(), 0u);
+  // ...but each of them exactly once: the late arrivals are now marked in
+  // the window bitmap and replaying them is refused.
   EXPECT_FALSE(b.open(r1).ok());
   EXPECT_FALSE(b.open(r2).ok());
+  EXPECT_EQ(b.replay_rejections(), 2u);
+}
+
+TEST(Session, ShuffledDeliveryOrderRegression) {
+  // Regression for the strict high-water-mark check: seal a burst, deliver
+  // it in the jittered order a min-heap radio queue produces, and require
+  // every genuine record to open. The old `sequence <= highest_received_`
+  // rule provably drops records in this order (asserted below by
+  // simulating it), which is exactly the bug this pin protects against.
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Session& a = pair.value().initiator;
+  Session& b = pair.value().responder;
+
+  constexpr std::size_t kRecords = 32;
+  std::vector<Record> records;
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    records.push_back(a.seal(core::from_string("burst-" + std::to_string(i))));
+  }
+  // Deterministic per-record jitter, then stable sort by delivery time —
+  // the same (deliver_at, seq) ordering the radio heap pops in.
+  core::Rng jitter{2024};
+  std::vector<std::pair<std::uint64_t, std::size_t>> order;
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    order.emplace_back(i + jitter.next_below(6), i);
+  }
+  std::stable_sort(order.begin(), order.end());
+
+  std::uint64_t old_rule_high_water = 0;
+  std::uint64_t old_rule_drops = 0;
+  std::size_t swaps = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Record& r = records[order[i].second];
+    if (i > 0 && r.sequence < records[order[i - 1].second].sequence) ++swaps;
+    // What the pre-fix check would have done with this genuine record:
+    if (r.sequence <= old_rule_high_water) {
+      ++old_rule_drops;
+    } else {
+      old_rule_high_water = r.sequence;
+    }
+    const auto opened = b.open(r);
+    EXPECT_TRUE(opened.ok()) << "record seq " << r.sequence << " dropped: "
+                             << opened.error().to_string();
+  }
+  ASSERT_GT(swaps, 0u) << "jitter produced no reordering; regression vacuous";
+  EXPECT_GT(old_rule_drops, 0u)
+      << "the old high-water-mark rule would not have dropped anything here";
+  EXPECT_EQ(b.out_of_order_accepted(), old_rule_drops);
+  EXPECT_EQ(b.replay_rejections(), 0u);
+  EXPECT_EQ(b.too_old_rejections(), 0u);
+}
+
+TEST(Session, SequenceBehindWindowRejected) {
+  // Records that fall behind the sliding window are refused even when
+  // unseen: an attacker holding a record back past the window gains
+  // nothing (application freshness covers longer hold-backs).
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Session& a = pair.value().initiator;
+  Session& b = pair.value().responder;
+
+  std::vector<Record> records;
+  const std::size_t total = Session::kReplayWindow + 8;
+  for (std::size_t i = 0; i < total; ++i) {
+    records.push_back(a.seal(core::from_string("r")));
+  }
+  // Deliver the newest first: sequence `total` becomes the high-water mark.
+  ASSERT_TRUE(b.open(records.back()).ok());
+  // Sequence 1 is `total - 1` behind — outside the 64-entry window.
+  const auto too_old = b.open(records.front());
+  ASSERT_FALSE(too_old.ok());
+  EXPECT_EQ(too_old.error().code, "too_old");
+  EXPECT_EQ(b.too_old_rejections(), 1u);
+  EXPECT_EQ(b.replay_rejections(), 0u);
+  // The oldest still-in-window sequence (total - kReplayWindow + 1, at
+  // index total - kReplayWindow) is accepted.
+  EXPECT_TRUE(b.open(records[total - Session::kReplayWindow]).ok());
+  // One below it is not.
+  const auto behind = b.open(records[total - Session::kReplayWindow - 1]);
+  ASSERT_FALSE(behind.ok());
+  EXPECT_EQ(behind.error().code, "too_old");
+}
+
+TEST(Session, ForgedRecordCannotPoisonWindow) {
+  // The window must advance only after AEAD authentication succeeds. A
+  // forged record carrying a far-future sequence, interleaved between two
+  // reordered good ones, must neither advance the high-water mark (which
+  // would age genuine in-flight records out of the window) nor mark its
+  // slot as seen (which would make the real record a "replay").
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Session& a = pair.value().initiator;
+  Session& b = pair.value().responder;
+
+  const Record r1 = a.seal(core::from_string("one"));
+  const Record r2 = a.seal(core::from_string("two"));
+  const Record r3 = a.seal(core::from_string("three"));
+  ASSERT_TRUE(b.open(r1).ok());
+
+  // Forgery 1: far-future sequence, garbage ciphertext. If this advanced
+  // the window, r2/r3 would age out as "too_old".
+  Record forged_future = r3;
+  forged_future.sequence = r3.sequence + 500;
+  forged_future.ciphertext[0] ^= 1;
+  const auto f1 = b.open(forged_future);
+  ASSERT_FALSE(f1.ok());
+  EXPECT_EQ(f1.error().code, "bad_record");
+
+  // Forgery 2: the exact sequence of the still-in-flight r2. If this
+  // marked the slot seen, the genuine r2 would be rejected as a replay.
+  Record forged_dup = r1;
+  forged_dup.sequence = r2.sequence;
+  const auto f2 = b.open(forged_dup);
+  ASSERT_FALSE(f2.ok());
+  EXPECT_EQ(f2.error().code, "bad_record");
+  EXPECT_EQ(b.auth_failures(), 2u);
+
+  // Both reordered good records still open.
+  EXPECT_TRUE(b.open(r3).ok());
+  EXPECT_TRUE(b.open(r2).ok());
+  EXPECT_EQ(b.out_of_order_accepted(), 1u);
+  EXPECT_EQ(b.replay_rejections(), 0u);
+  EXPECT_EQ(b.too_old_rejections(), 0u);
+}
+
+TEST(Session, WindowSlidesAcrossLargeAdvance) {
+  // A jump larger than the window clears the bitmap instead of shifting
+  // garbage into it; the record at the new high-water mark still opens
+  // exactly once.
+  Fixture f;
+  auto pair = establish(f.forwarder, f.drone, f.trust, 10, f.drbg);
+  ASSERT_TRUE(pair.ok());
+  Session& a = pair.value().initiator;
+  Session& b = pair.value().responder;
+
+  std::vector<Record> records;
+  for (std::size_t i = 0; i < 200; ++i) {
+    records.push_back(a.seal(core::from_string("x")));
+  }
+  ASSERT_TRUE(b.open(records[0]).ok());
+  ASSERT_TRUE(b.open(records[199]).ok());  // advance of 199 > window
+  EXPECT_EQ(b.open(records[199]).error().code, "replay");
+  // In-window stragglers behind the new mark still open.
+  EXPECT_TRUE(b.open(records[198]).ok());
+  EXPECT_EQ(b.open(records[0]).error().code, "too_old");
 }
 
 TEST(Session, TamperedRecordRejected) {
