@@ -36,10 +36,21 @@ using namespace agrarsec;
 
 namespace {
 
-constexpr std::size_t kHarvesters = 2;
-constexpr std::size_t kForwarders = 12;
-constexpr std::size_t kDrones = 2;
-constexpr std::size_t kWorkers = 48;
+/// Population/extent preset for the worksite axis. The default preset is
+/// the 16-machine Figure-1-style site every baseline key gates on; the
+/// large preset (4x machines, 4x workers, 4x area) is the fleet-scale
+/// configuration the SoA/work-stealing work targets.
+struct SitePreset {
+  const char* name;
+  std::size_t harvesters;
+  std::size_t forwarders;
+  std::size_t drones;
+  std::size_t workers;
+  double extent_m;
+  std::size_t worker_cols;  ///< worker-anchor grid width (keeps anchors in bounds)
+};
+constexpr SitePreset kDefaultPreset{"default", 2, 12, 2, 48, 500.0, 8};
+constexpr SitePreset kLargePreset{"large", 4, 48, 8, 192, 1000.0, 16};
 
 // --- FNV-1a digests over simulation outcomes -------------------------------
 
@@ -57,9 +68,9 @@ struct Digest {
   void str(const std::string& s) { bytes(s.data(), s.size()); }
 };
 
-sim::WorksiteConfig site_config() {
+sim::WorksiteConfig site_config(const SitePreset& preset) {
   sim::WorksiteConfig config;
-  config.forest.bounds = {{0, 0}, {500, 500}};
+  config.forest.bounds = {{0, 0}, {preset.extent_m, preset.extent_m}};
   config.forest.trees_per_hectare = 250;
   config.landing_area = {40, 40};
   // Enough production and short enough handling times that the whole
@@ -74,26 +85,28 @@ sim::WorksiteConfig site_config() {
   return config;
 }
 
-void populate(sim::Worksite& site) {
+void populate(sim::Worksite& site, const SitePreset& preset) {
+  const double mid = preset.extent_m / 2.0;
   std::vector<MachineId> forwarders;
-  for (std::size_t i = 0; i < kHarvesters; ++i) {
+  for (std::size_t i = 0; i < preset.harvesters; ++i) {
     site.add_harvester("h" + std::to_string(i),
-                       {250.0 + 100.0 * static_cast<double>(i), 250.0});
+                       {mid + 100.0 * static_cast<double>(i % 4), mid});
   }
-  for (std::size_t i = 0; i < kForwarders; ++i) {
+  for (std::size_t i = 0; i < preset.forwarders; ++i) {
     forwarders.push_back(
         site.add_forwarder("f" + std::to_string(i),
                            {60.0 + 12.0 * static_cast<double>(i % 8),
                             60.0 + 15.0 * static_cast<double>(i / 8)}));
   }
-  for (std::size_t i = 0; i < kDrones; ++i) {
+  for (std::size_t i = 0; i < preset.drones; ++i) {
     const MachineId drone =
         site.add_drone("d" + std::to_string(i), {60.0 + 30.0 * static_cast<double>(i), 50.0});
     site.set_drone_orbit(drone, forwarders[i], 25.0);
   }
-  for (std::size_t i = 0; i < kWorkers; ++i) {
-    const core::Vec2 anchor{80.0 + 45.0 * static_cast<double>(i % 8),
-                            80.0 + 45.0 * static_cast<double>(i / 8)};
+  for (std::size_t i = 0; i < preset.workers; ++i) {
+    const core::Vec2 anchor{
+        80.0 + 45.0 * static_cast<double>(i % preset.worker_cols),
+        80.0 + 45.0 * static_cast<double>(i / preset.worker_cols)};
     site.add_worker("w" + std::to_string(i), anchor, anchor);
   }
 }
@@ -108,13 +121,21 @@ struct RunResult {
   /// clock) — must be byte-identical across thread counts.
   std::string telemetry_json;
   std::vector<std::uint64_t> shard_busy_ns;
-  std::uint64_t parallel_phase_ns = 0;  ///< wall time in sharded phases
+  std::uint64_t parallel_phase_ns = 0;  ///< span wall time of sharded phases
+  /// Dispatch-to-completion wall time summed over the actual parallel
+  /// jobs (ThreadPool job observer): excludes the serial work (effect
+  /// drains, index rebuilds) that runs inside the same phase spans, so it
+  /// is the correct utilization denominator. Always <= parallel_phase_ns.
+  std::uint64_t parallel_wall_ns = 0;
 };
 
 RunResult run_worksite(std::size_t threads, std::uint64_t steps,
+                       const SitePreset& preset = kDefaultPreset,
+                       sim::Scheduling scheduling = sim::Scheduling::kStatic,
                        bool write_artifact = false) {
-  sim::WorksiteConfig config = site_config();
+  sim::WorksiteConfig config = site_config(preset);
   config.threads = threads;
+  config.scheduling = scheduling;
   sim::Worksite site{config, 42};
 
   Digest events;
@@ -124,7 +145,7 @@ RunResult run_worksite(std::size_t threads, std::uint64_t steps,
     events.u64(e.origin);
     events.u64(static_cast<std::uint64_t>(e.time));
   });
-  populate(site);
+  populate(site, preset);
 
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t s = 0; s < steps; ++s) site.step();
@@ -178,10 +199,45 @@ RunResult run_worksite(std::size_t threads, std::uint64_t steps,
       r.parallel_phase_ns += tracer.stats(i).total_ns;
     }
   }
+  r.parallel_wall_ns = tracer.parallel_wall_ns();
   if (write_artifact) {
     obs::write_bench_artifact(site.telemetry(), "bench_fleet_scale");
   }
   return r;
+}
+
+/// Per-shard utilization: busy time each pool worker spent inside sharded
+/// job bodies, as a fraction of the wall time actually spent dispatched
+/// on parallel jobs (parallel_wall_ns, the job-observer sum). The earlier
+/// revision divided by the enclosing phase-span totals, which include the
+/// serial drains/index work running inside the same spans — that
+/// overstated idle fractions; utilization_accounting_ok() pins the fix.
+void print_utilization(const char* label, const RunResult& r) {
+  if (r.shard_busy_ns.size() <= 1 || r.parallel_wall_ns == 0) return;
+  std::printf("  per-shard utilization [%s] (%.1f ms in parallel jobs, "
+              "%.1f ms in parallel phases):\n",
+              label, static_cast<double>(r.parallel_wall_ns) / 1e6,
+              static_cast<double>(r.parallel_phase_ns) / 1e6);
+  for (std::size_t shard = 0; shard < r.shard_busy_ns.size(); ++shard) {
+    const double busy_ms = static_cast<double>(r.shard_busy_ns[shard]) / 1e6;
+    const double frac = static_cast<double>(r.shard_busy_ns[shard]) /
+                        static_cast<double>(r.parallel_wall_ns);
+    std::printf("    shard %2zu: %8.1f ms busy  %5.1f%%\n", shard, busy_ms,
+                100.0 * frac);
+  }
+}
+
+/// Regression assertion for the utilization denominator: the job-observer
+/// wall sum must be a strict subset of the enclosing phase spans (it
+/// excludes their serial segments), and no shard can be busier than the
+/// jobs were long. A violation counts as a parity mismatch — wrong
+/// utilization numbers have steered real scheduling decisions.
+bool utilization_accounting_ok(const RunResult& r) {
+  if (r.parallel_wall_ns > r.parallel_phase_ns) return false;
+  for (const std::uint64_t busy : r.shard_busy_ns) {
+    if (busy > r.parallel_wall_ns) return false;
+  }
+  return true;
 }
 
 // --- fleet-service --sessions axis -----------------------------------------
@@ -239,6 +295,74 @@ FleetRunResult run_fleet(std::size_t threads, std::size_t sessions,
           "bench_fleet_scale.session" + std::to_string(k) + ".telemetry.json"));
     }
   }
+  return r;
+}
+
+// --- batched line-of-sight micro-bench --------------------------------------
+
+struct LosResult {
+  double rays_per_sec = 0.0;
+  int mismatches = 0;  ///< batch result != per-ray result (spot check)
+};
+
+/// Streams perception-shaped sight-line bundles through
+/// Terrain::occlusion_cause_batch: 64 sensor frames (half ground-mast,
+/// half drone-altitude origins) x 96 targets over a dense stand. Every
+/// 17th ray is re-resolved through the per-ray entry point and compared —
+/// a batch that is fast but different is a parity failure, same contract
+/// as the step benchmarks.
+LosResult run_los(std::uint64_t rounds) {
+  sim::ForestConfig forest;  // defaults: 500x500, 400 stems/ha, 6 hills
+  core::Rng terrain_rng{99};
+  const sim::Terrain terrain = sim::Terrain::generate(forest, terrain_rng);
+
+  constexpr std::size_t kFrames = 64;
+  constexpr std::size_t kRays = 96;
+  core::Rng rng{1234};
+  std::vector<core::Vec2> origins(kFrames);
+  std::vector<double> agls(kFrames);
+  std::vector<std::vector<sim::Terrain::LosTarget>> bundles(kFrames);
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    origins[f] = {rng.uniform(40.0, 460.0), rng.uniform(40.0, 460.0)};
+    agls[f] = (f % 2 == 0) ? 2.5 : 40.0;  // forwarder mast / drone altitude
+    bundles[f].resize(kRays);
+    for (std::size_t i = 0; i < kRays; ++i) {
+      const double angle = rng.uniform(0.0, 6.283185307179586);
+      const double dist = rng.uniform(5.0, 90.0);
+      core::Vec2 to = origins[f] + core::Vec2{std::cos(angle), std::sin(angle)} * dist;
+      to = forest.bounds.clamp(to);
+      bundles[f][i] = {to, rng.uniform(1.0, 2.0)};
+    }
+  }
+
+  LosResult r;
+  std::vector<sim::Terrain::OcclusionCause> causes;
+  std::uint64_t resolved = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    for (std::size_t f = 0; f < kFrames; ++f) {
+      terrain.occlusion_cause_batch(origins[f], agls[f], bundles[f], causes);
+      resolved += causes.size();
+      if (round == 0) {
+        for (std::size_t i = 0; i < kRays; i += 17) {
+          if (causes[i] != terrain.occlusion_cause(origins[f], agls[f],
+                                                   bundles[f][i].to_xy,
+                                                   bundles[f][i].to_agl)) {
+            ++r.mismatches;
+            std::printf("  LOS MISMATCH: frame %zu ray %zu batch != per-ray\n",
+                        f, i);
+          }
+        }
+      }
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  r.rays_per_sec = static_cast<double>(resolved) / secs;
+  std::printf("  %zu frames x %zu rays x %llu rounds in %.3fs -> %.0f rays/sec"
+              " (%d spot-check mismatches)\n",
+              kFrames, kRays, static_cast<unsigned long long>(rounds), secs,
+              r.rays_per_sec, r.mismatches);
   return r;
 }
 
@@ -314,32 +438,28 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>((quick ? 2 : 10) * core::kMinute) / 100;
 
   std::printf("=== fleet-scale hot-loop benchmark ===\n\n");
-  std::printf("worksite: %zu machines (%zuh+%zuf+%zud) + %zu workers, %llu steps\n",
-              kHarvesters + kForwarders + kDrones, kHarvesters, kForwarders,
-              kDrones, kWorkers, static_cast<unsigned long long>(steps));
+  std::printf("worksite [default]: %zu machines (%zuh+%zuf+%zud) + %zu workers,"
+              " %llu steps\n",
+              kDefaultPreset.harvesters + kDefaultPreset.forwarders +
+                  kDefaultPreset.drones,
+              kDefaultPreset.harvesters, kDefaultPreset.forwarders,
+              kDefaultPreset.drones, kDefaultPreset.workers,
+              static_cast<unsigned long long>(steps));
 
   const RunResult serial = run_worksite(1, steps);
   std::printf("  threads=1:  %.0f steps/sec\n", serial.rate);
-  const RunResult sharded = run_worksite(threads, steps, /*write_artifact=*/true);
-  std::printf("  threads=%zu: %.0f steps/sec (%.2fx)\n", threads, sharded.rate,
-              sharded.rate / serial.rate);
+  const RunResult sharded =
+      run_worksite(threads, steps, kDefaultPreset, sim::Scheduling::kStatic,
+                   /*write_artifact=*/true);
+  std::printf("  threads=%zu: %.0f steps/sec (%.2fx) [static]\n", threads,
+              sharded.rate, sharded.rate / serial.rate);
+  const RunResult stealing =
+      run_worksite(threads, steps, kDefaultPreset, sim::Scheduling::kWorkStealing);
+  std::printf("  threads=%zu: %.0f steps/sec (%.2fx) [work-stealing]\n", threads,
+              stealing.rate, stealing.rate / serial.rate);
 
-  // Per-shard utilization from the trace spans: busy time each pool worker
-  // spent inside sharded phase bodies, as a fraction of the wall time the
-  // site spent in those phases. Low outliers mean shard imbalance.
-  if (sharded.shard_busy_ns.size() > 1 && sharded.parallel_phase_ns > 0) {
-    std::printf("  per-shard utilization (decide+integrate+separation, "
-                "%.1f ms total):\n",
-                static_cast<double>(sharded.parallel_phase_ns) / 1e6);
-    for (std::size_t shard = 0; shard < sharded.shard_busy_ns.size(); ++shard) {
-      const double busy_ms =
-          static_cast<double>(sharded.shard_busy_ns[shard]) / 1e6;
-      const double frac = static_cast<double>(sharded.shard_busy_ns[shard]) /
-                          static_cast<double>(sharded.parallel_phase_ns);
-      std::printf("    shard %2zu: %8.1f ms busy  %5.1f%%\n", shard, busy_ms,
-                  100.0 * frac);
-    }
-  }
+  print_utilization("static", sharded);
+  print_utilization("work-stealing", stealing);
   std::printf("  cross-check: delivered=%.1fm3 cycles=%llu min_sep=%.2fm"
               " windthrow=%llu reuses=%llu\n",
               serial.metrics.delivered_m3,
@@ -375,8 +495,51 @@ int main(int argc, char** argv) {
     ++mismatches;
     std::printf("  PARITY MISMATCH: deterministic telemetry export differs\n");
   }
+  // Work-stealing parity: the chunked self-scheduled assignment must be as
+  // bit-identical to the serial run as the static one is.
+  if (serial.metrics_digest != stealing.metrics_digest ||
+      serial.event_digest != stealing.event_digest ||
+      serial.pose_digest != stealing.pose_digest ||
+      serial.telemetry_json != stealing.telemetry_json) {
+    ++mismatches;
+    std::printf("  PARITY MISMATCH: work-stealing run differs from serial\n");
+  }
+  if (!utilization_accounting_ok(sharded) || !utilization_accounting_ok(stealing)) {
+    ++mismatches;
+    std::printf("  ACCOUNTING MISMATCH: parallel-job wall exceeds phase spans"
+                " (utilization denominator regressed)\n");
+  }
   std::printf("  parity: %d mismatches (threads=1 vs threads=%zu)\n", mismatches,
               threads);
+
+  // Large preset: the fleet-scale site the SoA layout and work stealing
+  // target. Serial rate gates in the baseline; the parallel run doubles
+  // as an adaptive-mode parity check at scale.
+  const std::uint64_t large_steps = quick ? 120 : 600;
+  std::printf("\nworksite [large]: %zu machines (%zuh+%zuf+%zud) + %zu workers,"
+              " %llu steps\n",
+              kLargePreset.harvesters + kLargePreset.forwarders + kLargePreset.drones,
+              kLargePreset.harvesters, kLargePreset.forwarders, kLargePreset.drones,
+              kLargePreset.workers, static_cast<unsigned long long>(large_steps));
+  const RunResult large_serial = run_worksite(1, large_steps, kLargePreset);
+  std::printf("  threads=1:  %.0f steps/sec\n", large_serial.rate);
+  const RunResult large_sharded =
+      run_worksite(threads, large_steps, kLargePreset, sim::Scheduling::kAdaptive);
+  std::printf("  threads=%zu: %.0f steps/sec (%.2fx) [adaptive]\n", threads,
+              large_sharded.rate, large_sharded.rate / large_serial.rate);
+  print_utilization("large adaptive", large_sharded);
+  if (large_serial.metrics_digest != large_sharded.metrics_digest ||
+      large_serial.event_digest != large_sharded.event_digest ||
+      large_serial.pose_digest != large_sharded.pose_digest ||
+      large_serial.telemetry_json != large_sharded.telemetry_json) {
+    ++mismatches;
+    std::printf("  PARITY MISMATCH: large-preset adaptive run differs from serial\n");
+  }
+  if (!utilization_accounting_ok(large_sharded)) {
+    ++mismatches;
+    std::printf("  ACCOUNTING MISMATCH: large-preset parallel-job wall exceeds"
+                " phase spans\n");
+  }
 
   // Fleet-service axis: N independent secured-worksite sessions batched
   // across the pool, one session per work item. Aggregate throughput is
@@ -412,6 +575,10 @@ int main(int argc, char** argv) {
               " cross-check)\n", fleet_mismatches, sessions, threads);
   mismatches += fleet_mismatches;
 
+  std::printf("\nbatched line-of-sight resolve, perception-shaped bundles:\n");
+  const LosResult los = run_los(quick ? 20 : 100);
+  mismatches += los.mismatches;
+
   std::printf("\nradio medium, jittered broadcast fan-out:\n");
   const RadioResult radio = run_radio(64, quick ? 2000 : 10000);
 
@@ -423,6 +590,11 @@ int main(int argc, char** argv) {
   // loss model cannot hide inside the perf tolerance.
   std::printf("\nBENCH worksite_steps_per_sec=%.0f\n", serial.rate);
   std::printf("BENCH worksite_steps_per_sec_parallel=%.0f\n", sharded.rate);
+  std::printf("BENCH worksite_steps_per_sec_parallel_ws=%.0f\n", stealing.rate);
+  std::printf("BENCH worksite_steps_per_sec_large=%.0f\n", large_serial.rate);
+  std::printf("BENCH worksite_steps_per_sec_large_parallel=%.0f\n",
+              large_sharded.rate);
+  std::printf("BENCH los_rays_per_sec=%.0f\n", los.rays_per_sec);
   std::printf("BENCH parity_mismatches=%d\n", mismatches);
   std::printf("BENCH fleet_session_steps_per_sec=%.0f\n", fleet_serial.rate);
   std::printf("BENCH fleet_session_steps_per_sec_parallel=%.0f\n",

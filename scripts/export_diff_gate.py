@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Semantic-diff gate over the pinned session export.
+
+Runs the session_export binary (one fixed (config, seed) FleetService
+session, 200 steps) and byte-compares its stdout against the committed
+golden. The deterministic export contains every registry counter and
+flight-recorder event of the full stack for that session, so ANY
+behaviour change — sim, sensors, radio, security, safety — shows up as a
+byte diff here and fails CI, even when every invariant-style test still
+passes. Intentional changes re-bless the golden:
+
+    python3 scripts/export_diff_gate.py --binary build/tools/session_export --update
+
+and the golden's diff is reviewed like any other contract change.
+
+Exit codes: 0 = match (or golden updated), 1 = mismatch / missing golden,
+2 = usage or binary failure.
+"""
+
+import argparse
+import difflib
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_GOLDEN = REPO_ROOT / "tests" / "golden" / "session_export.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the session_export binary")
+    parser.add_argument("--golden", default=str(DEFAULT_GOLDEN),
+                        help=f"golden file (default: {DEFAULT_GOLDEN})")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the golden from the current binary")
+    args = parser.parse_args()
+
+    try:
+        proc = subprocess.run([args.binary], capture_output=True, timeout=600)
+    except (OSError, subprocess.TimeoutExpired) as err:
+        print(f"export-diff: failed to run {args.binary}: {err}", file=sys.stderr)
+        return 2
+    if proc.returncode != 0:
+        sys.stderr.buffer.write(proc.stderr)
+        print(f"export-diff: {args.binary} exited {proc.returncode}",
+              file=sys.stderr)
+        return 2
+    current = proc.stdout
+
+    golden_path = pathlib.Path(args.golden)
+    if args.update:
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_bytes(current)
+        print(f"export-diff: blessed {len(current)} bytes -> {golden_path}")
+        return 0
+
+    if not golden_path.exists():
+        print(f"export-diff: golden {golden_path} missing; run with --update",
+              file=sys.stderr)
+        return 1
+
+    golden = golden_path.read_bytes()
+    if golden == current:
+        print(f"export-diff: OK ({len(current)} bytes, byte-identical)")
+        return 0
+
+    print("export-diff: MISMATCH against committed golden", file=sys.stderr)
+    diff = difflib.unified_diff(
+        golden.decode(errors="replace").splitlines(keepends=True),
+        current.decode(errors="replace").splitlines(keepends=True),
+        fromfile=str(golden_path),
+        tofile="session_export (current build)",
+    )
+    shown = 0
+    for line in diff:
+        sys.stderr.write(line)
+        shown += 1
+        if shown >= 200:
+            sys.stderr.write("... (diff truncated)\n")
+            break
+    print("export-diff: if this change is intentional, re-bless with "
+          "--update and commit the golden diff", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

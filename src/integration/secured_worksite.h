@@ -300,6 +300,10 @@ class SecuredWorksite {
 
   std::uint64_t drone_sequence_ = 0;
 
+  /// Zone-query scratch for track_ground_truth (human slots into the
+  /// worksite's SoA hot state; allocation-free after warmup).
+  std::vector<std::uint32_t> zone_slots_;
+
   static constexpr double kTrackAssociationM = 4.0;
 };
 

@@ -58,6 +58,14 @@ class PerceptionSensor {
   /// detectable when: within weather-adjusted range, inside the FOV, and
   /// with 3D line of sight from the sensor origin. Each visible human is
   /// detected with a distance-decaying probability.
+  ///
+  /// Implementation streams the worksite's SoA hot state and resolves all
+  /// of the frame's sight lines through Terrain::occlusion_cause_batch
+  /// (one bundle per frame) — bit-identical to the per-ray scan it
+  /// replaced: the range/FOV/LOS filters draw no randomness, and the
+  /// per-candidate RNG rolls still happen in ascending human-id order.
+  /// Uses mutable per-frame scratch, so a sensor instance is not
+  /// thread-safe (matches the rest of the simulation core).
   [[nodiscard]] std::vector<Detection> sense(const sim::Worksite& site,
                                              const sim::Machine& carrier,
                                              core::SimTime now, core::Rng& rng) const;
@@ -66,6 +74,13 @@ class PerceptionSensor {
   SensorId id_;
   PerceptionConfig config_;
   SensorAttack attack_;
+  // Per-frame scratch (allocation-free after warmup): candidate human
+  // slots surviving range+FOV, their precomputed distances, the bundled
+  // sight lines and their resolved causes.
+  mutable std::vector<std::uint32_t> slot_scratch_;
+  mutable std::vector<double> dist_scratch_;
+  mutable std::vector<sim::Terrain::LosTarget> ray_scratch_;
+  mutable std::vector<sim::Terrain::OcclusionCause> cause_scratch_;
 };
 
 }  // namespace agrarsec::sensors

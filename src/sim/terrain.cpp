@@ -8,6 +8,7 @@ namespace agrarsec::sim {
 Terrain::Terrain(core::Aabb bounds, std::vector<Obstacle> obstacles,
                  std::vector<Hill> hills)
     : bounds_(bounds), obstacles_(std::move(obstacles)), hills_(std::move(hills)) {
+  for (const Hill& hill : hills_) hills_height_sum_ += hill.height_m;
   build_index();
 }
 
@@ -118,8 +119,7 @@ double Terrain::ground_height(core::Vec2 p) const {
   return h;
 }
 
-std::vector<const Obstacle*> Terrain::obstacles_near_segment(core::Vec2 a, core::Vec2 b,
-                                                             double margin) const {
+void Terrain::collect_segment_candidates(core::Vec2 a, core::Vec2 b) const {
   // Expand the traversal by visiting the 3x3 neighbourhood of each crossed
   // cell so obstacles whose footprints straddle cell borders are found.
   // Generation stamps dedup obstacles seen from several cells.
@@ -140,8 +140,14 @@ std::vector<const Obstacle*> Terrain::obstacles_near_segment(core::Vec2 a, core:
     return true;
   });
 
-  // Ascending index order, matching the old std::set-based collection.
+  // Ascending index order, matching the old std::set-based collection
+  // (occlusion attribution returns the lowest-index blocker).
   std::sort(candidate_scratch_.begin(), candidate_scratch_.end());
+}
+
+std::vector<const Obstacle*> Terrain::obstacles_near_segment(core::Vec2 a, core::Vec2 b,
+                                                             double margin) const {
+  collect_segment_candidates(a, b);
   std::vector<const Obstacle*> out;
   for (std::uint32_t i : candidate_scratch_) {
     const Obstacle& o = obstacles_[i];
@@ -174,28 +180,36 @@ bool Terrain::segment_blocked(core::Vec2 a, core::Vec2 b, double margin) const {
   return hit;
 }
 
-Terrain::OcclusionCause Terrain::occlusion_cause(core::Vec2 from_xy, double from_agl,
-                                                 core::Vec2 to_xy,
-                                                 double to_agl) const {
-  const double z_from = ground_height(from_xy) + from_agl;
+Terrain::OcclusionCause Terrain::occlusion_cause_from(core::Vec2 from_xy,
+                                                      double z_from,
+                                                      core::Vec2 to_xy,
+                                                      double to_agl) const {
   const double z_to = ground_height(to_xy) + to_agl;
   const double planar_len = core::distance(from_xy, to_xy);
   if (planar_len < 1e-9) return OcclusionCause::kNone;
 
   // Obstacle occlusion: an obstacle blocks the ray when the ray's height
   // at the crossing point is below the obstacle's top (ground + height).
-  for (const Obstacle* o : obstacles_near_segment(from_xy, to_xy)) {
-    const core::Vec2 dir = (to_xy - from_xy) * (1.0 / planar_len);
-    const double t = std::clamp((o->footprint.center - from_xy).dot(dir), 0.0,
+  // Candidates come straight from the stamp walk (ascending index, exact
+  // distance predicate applied inline) — no per-ray result vector.
+  collect_segment_candidates(from_xy, to_xy);
+  const core::Vec2 dir = (to_xy - from_xy) * (1.0 / planar_len);
+  for (const std::uint32_t idx : candidate_scratch_) {
+    const Obstacle& o = obstacles_[idx];
+    if (core::point_segment_distance(o.footprint.center, from_xy, to_xy) >
+        o.footprint.radius) {
+      continue;
+    }
+    const double t = std::clamp((o.footprint.center - from_xy).dot(dir), 0.0,
                                 planar_len);
     // Skip obstacles essentially at an endpoint (the observer/target's own
     // immediate surroundings do not self-occlude).
     if (t < 0.5 || t > planar_len - 0.5) continue;
     const double ray_z = z_from + (z_to - z_from) * (t / planar_len);
     const core::Vec2 at = from_xy + dir * t;
-    const double top = ground_height(at) + o->height_m;
+    const double top = ground_height(at) + o.height_m;
     if (ray_z < top) {
-      switch (o->kind) {
+      switch (o.kind) {
         case ObstacleKind::kTree: return OcclusionCause::kTree;
         case ObstacleKind::kBoulder: return OcclusionCause::kBoulder;
         case ObstacleKind::kBrush: return OcclusionCause::kBrush;
@@ -203,7 +217,11 @@ Terrain::OcclusionCause Terrain::occlusion_cause(core::Vec2 from_xy, double from
     }
   }
 
-  // Terrain occlusion: sample the ground along the ray.
+  // Terrain occlusion: sample the ground along the ray — unless the ray's
+  // lowest endpoint already clears the summed hill amplitudes, in which
+  // case no sample could come within 1e-9 of the ray (the lerp stays
+  // within a few ulps of [min(z), max(z)], far inside that margin).
+  if (std::min(z_from, z_to) >= hills_height_sum_) return OcclusionCause::kNone;
   constexpr double kSample = 5.0;
   const int samples = std::max(2, static_cast<int>(planar_len / kSample));
   for (int i = 1; i < samples; ++i) {
@@ -213,6 +231,56 @@ Terrain::OcclusionCause Terrain::occlusion_cause(core::Vec2 from_xy, double from
     if (ray_z < ground_height(at) - 1e-9) return OcclusionCause::kTerrain;
   }
   return OcclusionCause::kNone;
+}
+
+Terrain::OcclusionCause Terrain::occlusion_cause(core::Vec2 from_xy, double from_agl,
+                                                 core::Vec2 to_xy,
+                                                 double to_agl) const {
+  return occlusion_cause_from(from_xy, ground_height(from_xy) + from_agl, to_xy,
+                              to_agl);
+}
+
+void Terrain::occlusion_cause_batch(core::Vec2 from_xy, double from_agl,
+                                    const LosTarget* targets, std::size_t count,
+                                    OcclusionCause* out) const {
+  if (count == 0) return;
+  // One origin ground sample serves the whole bundle (same expression as
+  // the per-ray path, so z_from is bit-identical).
+  const double z_from = ground_height(from_xy) + from_agl;
+  if (count == 1) {
+    out[0] = occlusion_cause_from(from_xy, z_from, targets[0].to_xy,
+                                  targets[0].to_agl);
+    return;
+  }
+
+  // Evaluate in direction-sorted order: consecutive rays then sweep
+  // adjacent corridors of the CSR grid, so the cell rows and obstacle
+  // records a walk touches are still cache-hot for the next ray. Results
+  // land at their original index; each ray's answer is independent of the
+  // evaluation order, so the sort is invisible to callers.
+  batch_order_.resize(count);
+  batch_key_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch_order_[i] = static_cast<std::uint32_t>(i);
+    const core::Vec2 d = targets[i].to_xy - from_xy;
+    batch_key_[i] = std::atan2(d.y, d.x);
+  }
+  std::sort(batch_order_.begin(), batch_order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return batch_key_[a] < batch_key_[b];
+            });
+  for (const std::uint32_t idx : batch_order_) {
+    out[idx] = occlusion_cause_from(from_xy, z_from, targets[idx].to_xy,
+                                    targets[idx].to_agl);
+  }
+}
+
+void Terrain::occlusion_cause_batch(core::Vec2 from_xy, double from_agl,
+                                    const std::vector<LosTarget>& targets,
+                                    std::vector<OcclusionCause>& out) const {
+  out.resize(targets.size());
+  occlusion_cause_batch(from_xy, from_agl, targets.data(), targets.size(),
+                        out.data());
 }
 
 bool Terrain::blocked(core::Vec2 p, double radius) const {

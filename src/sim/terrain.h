@@ -70,6 +70,32 @@ class Terrain {
   [[nodiscard]] OcclusionCause occlusion_cause(core::Vec2 from_xy, double from_agl,
                                                core::Vec2 to_xy, double to_agl) const;
 
+  /// One bundled sight line for occlusion_cause_batch: target planar
+  /// position plus its height above local ground.
+  struct LosTarget {
+    core::Vec2 to_xy;
+    double to_agl = 0.0;
+  };
+
+  /// Batched line-of-sight: resolves the occlusion cause of `count` rays
+  /// that share one origin (a sensor frame) into out[i], each exactly
+  /// equal to occlusion_cause(from_xy, from_agl, targets[i]...) — the
+  /// equivalence test in tests/sim/occlusion_batch_test.cpp pins this
+  /// bit-for-bit, degenerate rays included. The batch amortises what the
+  /// per-ray entry point redoes every call: the origin's ground height is
+  /// sampled once per bundle, the candidate walk reuses one shared
+  /// stamp/scratch state with no per-ray allocation, and rays are
+  /// evaluated in direction-sorted order so consecutive CSR grid walks
+  /// revisit warm cells. Uses the mutable query scratch — not
+  /// thread-safe, like every other terrain query.
+  void occlusion_cause_batch(core::Vec2 from_xy, double from_agl,
+                             const LosTarget* targets, std::size_t count,
+                             OcclusionCause* out) const;
+  /// Vector convenience overload; resizes `out` to targets.size().
+  void occlusion_cause_batch(core::Vec2 from_xy, double from_agl,
+                             const std::vector<LosTarget>& targets,
+                             std::vector<OcclusionCause>& out) const;
+
   /// 3D line-of-sight between two points given with heights *above ground*
   /// at their respective planar positions. Checks both obstacle occlusion
   /// and terrain (hill) occlusion.
@@ -99,6 +125,18 @@ class Terrain {
 
  private:
   void build_index();
+  /// Stamp-walk of the 3x3 cell neighbourhoods crossed by [a, b] into
+  /// candidate_scratch_ (deduped, sorted ascending) — the shared
+  /// candidate-collection core of obstacles_near_segment and the
+  /// occlusion paths.
+  void collect_segment_candidates(core::Vec2 a, core::Vec2 b) const;
+  /// Per-ray occlusion body with the origin's absolute height precomputed
+  /// (z_from = ground_height(from_xy) + from_agl). Shared by the single
+  /// and batched entry points so their results are identical by
+  /// construction.
+  [[nodiscard]] OcclusionCause occlusion_cause_from(core::Vec2 from_xy, double z_from,
+                                                    core::Vec2 to_xy,
+                                                    double to_agl) const;
   /// Dense-grid slot for a raw cell coordinate (the traverse_grid
   /// convention: floor(v / cell_size)); out-of-range coordinates clamp to
   /// the border, which only widens candidate sets — the exact distance
@@ -108,6 +146,12 @@ class Terrain {
   core::Aabb bounds_;
   std::vector<Obstacle> obstacles_;
   std::vector<Hill> hills_;
+  /// Upper bound on ground_height anywhere (sum of hill amplitudes):
+  /// rays whose lowest endpoint clears it can skip terrain sampling
+  /// entirely — exact, because the skipped test could never fire (the
+  /// occlusion margin is 1e-9 m, orders of magnitude above the lerp's
+  /// rounding error). This is what makes drone-altitude rays cheap.
+  double hills_height_sum_ = 0.0;
   double cell_size_ = 10.0;
 
   // CSR cell index over a dense grid: obstacles are static after
@@ -129,6 +173,9 @@ class Terrain {
   mutable std::vector<std::uint64_t> visit_stamp_;
   mutable std::uint64_t stamp_gen_ = 0;
   mutable std::vector<std::uint32_t> candidate_scratch_;
+  /// Batch scratch: ray evaluation order + angular sort keys.
+  mutable std::vector<std::uint32_t> batch_order_;
+  mutable std::vector<double> batch_key_;
 };
 
 }  // namespace agrarsec::sim

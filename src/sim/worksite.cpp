@@ -94,6 +94,7 @@ Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
   c_cycles_ = &reg.counter("worksite.completed_cycles");
   c_sep_queries_ = &reg.counter("worksite.separation_queries");
   g_delivered_ = &reg.gauge("worksite.delivered_m3");
+  g_work_stealing_ = &reg.gauge("wall.worksite_work_stealing");
   // Coarse export view of the separation distribution (the full-resolution
   // core::Histogram stays the close_encounters() source); the step
   // wall-time histogram is excluded from the deterministic export by its
@@ -128,6 +129,17 @@ Worksite::Worksite(WorksiteConfig config, std::uint64_t seed)
     pool_->set_shard_observer([this](std::size_t shard, std::uint64_t busy_ns) {
       telemetry_->tracer().add_shard_busy(shard, busy_ns);
     });
+    // Per-job wall-time tap (fires on the stepping thread between jobs):
+    // the exact utilization denominator — only spans where shards were
+    // actually dispatched.
+    pool_->set_job_observer([this](std::uint64_t wall_ns) {
+      telemetry_->tracer().add_parallel_wall(wall_ns);
+    });
+    if (config_.scheduling == Scheduling::kWorkStealing) {
+      pool_->set_assignment(core::ThreadPool::Assignment::kWorkStealing);
+      work_stealing_active_ = true;
+      g_work_stealing_->set(1.0);
+    }
   }
   const std::size_t shards = pool_ ? pool_->shard_count() : 1;
   telemetry_->ensure_shards(shards);
@@ -194,31 +206,43 @@ void Worksite::route_machine(MachineId id, core::Vec2 goal) {
   if (Machine* m = machine(id)) route_machine(*m, goal);
 }
 
-MachineId Worksite::add_forwarder(const std::string& name, core::Vec2 position,
-                                  MachineConfig config) {
-  const MachineId id = machine_ids_.next();
-  machine_slots_[id.value()] = machines_.size();
-  machines_.push_back(std::make_unique<Machine>(
-      id, MachineKind::kForwarder, name, position, config,
-      core::Rng::fork_stream(seed_, kMachineStreamDomain, id.value())));
-  forwarder_states_[id.value()] = ForwarderState{};
+MachineId Worksite::register_machine(std::unique_ptr<Machine> machine) {
+  const MachineId id = machine->id();
+  const std::size_t slot = machines_.size();
+  if (machine_slot_by_id_.size() <= id.value()) {
+    machine_slot_by_id_.resize(id.value() + 1, kNoSlot);
+  }
+  machine_slot_by_id_[id.value()] = slot;
+  machine_hot_.x.push_back(machine->position().x);
+  machine_hot_.y.push_back(machine->position().y);
+  machine_hot_.heading.push_back(machine->heading());
+  machine_hot_.speed.push_back(machine->speed());
+  machine_hot_.id.push_back(id.value());
+  machine_hot_.kind.push_back(machine->kind());
+  if (machine->kind() == MachineKind::kDrone) drone_slots_.push_back(slot);
+  machines_.push_back(std::move(machine));
   effects_.resize(machines_.size());
   separation_buffers_.resize(machines_.size());
   return id;
+}
+
+MachineId Worksite::add_forwarder(const std::string& name, core::Vec2 position,
+                                  MachineConfig config) {
+  const MachineId id = machine_ids_.next();
+  forwarder_states_[id.value()] = ForwarderState{};
+  return register_machine(std::make_unique<Machine>(
+      id, MachineKind::kForwarder, name, position, config,
+      core::Rng::fork_stream(seed_, kMachineStreamDomain, id.value())));
 }
 
 MachineId Worksite::add_harvester(const std::string& name, core::Vec2 position) {
   const MachineId id = machine_ids_.next();
   MachineConfig config;
   config.max_speed_mps = 1.5;  // harvesters crawl while working
-  machine_slots_[id.value()] = machines_.size();
-  machines_.push_back(std::make_unique<Machine>(
+  harvester_accum_m3_[id.value()] = 0.0;
+  return register_machine(std::make_unique<Machine>(
       id, MachineKind::kHarvester, name, position, config,
       core::Rng::fork_stream(seed_, kMachineStreamDomain, id.value())));
-  harvester_accum_m3_[id.value()] = 0.0;
-  effects_.resize(machines_.size());
-  separation_buffers_.resize(machines_.size());
-  return id;
 }
 
 MachineId Worksite::add_drone(const std::string& name, core::Vec2 position,
@@ -229,22 +253,25 @@ MachineId Worksite::add_drone(const std::string& name, core::Vec2 position,
   config.turn_rate_rps = 2.5;
   config.altitude_m = altitude_m;
   config.body_radius_m = 0.4;
-  machine_slots_[id.value()] = machines_.size();
-  machines_.push_back(std::make_unique<Machine>(
+  return register_machine(std::make_unique<Machine>(
       id, MachineKind::kDrone, name, position, config,
       core::Rng::fork_stream(seed_, kMachineStreamDomain, id.value())));
-  effects_.resize(machines_.size());
-  separation_buffers_.resize(machines_.size());
-  return id;
 }
 
 HumanId Worksite::add_worker(const std::string& name, core::Vec2 position,
                              core::Vec2 work_anchor, HumanConfig config) {
   const HumanId id = human_ids_.next();
-  human_slots_[id.value()] = humans_.size();
+  if (human_slot_by_id_.size() <= id.value()) {
+    human_slot_by_id_.resize(id.value() + 1, kNoSlot);
+  }
+  human_slot_by_id_[id.value()] = humans_.size();
   humans_.push_back(std::make_unique<Human>(
       id, name, position, work_anchor, config,
       core::Rng::fork_stream(seed_, kHumanStreamDomain, id.value())));
+  human_hot_.x.push_back(position.x);
+  human_hot_.y.push_back(position.y);
+  human_hot_.height.push_back(humans_.back()->height());
+  human_hot_.id.push_back(id.value());
   human_index_.insert(id.value(), position);
   return id;
 }
@@ -264,13 +291,15 @@ std::vector<const Machine*> Worksite::machines() const {
 }
 
 Machine* Worksite::machine(MachineId id) {
-  const auto it = machine_slots_.find(id.value());
-  return it == machine_slots_.end() ? nullptr : machines_[it->second].get();
+  if (id.value() >= machine_slot_by_id_.size()) return nullptr;
+  const std::size_t slot = machine_slot_by_id_[id.value()];
+  return slot == kNoSlot ? nullptr : machines_[slot].get();
 }
 
 const Machine* Worksite::machine(MachineId id) const {
-  const auto it = machine_slots_.find(id.value());
-  return it == machine_slots_.end() ? nullptr : machines_[it->second].get();
+  if (id.value() >= machine_slot_by_id_.size()) return nullptr;
+  const std::size_t slot = machine_slot_by_id_[id.value()];
+  return slot == kNoSlot ? nullptr : machines_[slot].get();
 }
 
 std::vector<Human*> Worksite::humans() {
@@ -288,8 +317,9 @@ std::vector<const Human*> Worksite::humans() const {
 }
 
 const Human* Worksite::human(HumanId id) const {
-  const auto it = human_slots_.find(id.value());
-  return it == human_slots_.end() ? nullptr : humans_[it->second].get();
+  if (id.value() >= human_slot_by_id_.size()) return nullptr;
+  const std::size_t slot = human_slot_by_id_[id.value()];
+  return slot == kNoSlot ? nullptr : humans_[slot].get();
 }
 
 std::vector<const Human*> Worksite::humans_within(core::Vec2 center,
@@ -300,9 +330,21 @@ std::vector<const Human*> Worksite::humans_within(core::Vec2 center,
   // Ascending id == insertion order, so downstream per-candidate RNG
   // consumption matches a brute-force scan over humans() exactly.
   for (const std::uint64_t id : query_buffer_) {
-    out.push_back(humans_[human_slots_.at(id)].get());
+    out.push_back(humans_[human_slot_by_id_[id]].get());
   }
   return out;
+}
+
+void Worksite::humans_within_slots(core::Vec2 center, double radius,
+                                   std::vector<std::uint32_t>& out) const {
+  human_index_.query_radius(center, radius, query_buffer_);
+  out.clear();
+  out.reserve(query_buffer_.size());
+  // Same set and ascending-id order as humans_within; slots index the
+  // SoA mirrors directly.
+  for (const std::uint64_t id : query_buffer_) {
+    out.push_back(static_cast<std::uint32_t>(human_slot_by_id_[id]));
+  }
 }
 
 ForwarderTask Worksite::task(MachineId id) const {
@@ -615,10 +657,51 @@ void Worksite::drain_separation_samples() {
 }
 
 void Worksite::follow_drones() {
-  for (const auto& m : machines_) {
-    if (m->kind() != MachineKind::kDrone) continue;
-    decide_drone(*m);
-    m->step(config_.step);
+  // A drone anchored on another drone chains through the serial walk's
+  // ascending-slot order (a later drone reads the earlier one's already-
+  // stepped pose); sharding would change what it reads. Everything else
+  // is pure per-drone: own orbit state, own route, anchors frozen after
+  // the integrate barrier.
+  bool anchored_on_drone = false;
+  for (const std::size_t slot : drone_slots_) {
+    const auto it = drone_orbits_.find(machines_[slot]->id().value());
+    if (it == drone_orbits_.end()) continue;
+    const Machine* anchor = machine(it->second.anchor);
+    if (anchor != nullptr && anchor->kind() == MachineKind::kDrone) {
+      anchored_on_drone = true;
+      break;
+    }
+  }
+  if (pool_ && !anchored_on_drone && drone_slots_.size() > 1) {
+    pool_->parallel_for(drone_slots_.size(),
+                        [this](std::size_t begin, std::size_t end, std::size_t shard) {
+                          (void)shard;
+                          for (std::size_t i = begin; i < end; ++i) {
+                            Machine& drone = *machines_[drone_slots_[i]];
+                            decide_drone(drone);
+                            drone.step(config_.step);
+                          }
+                        });
+    return;
+  }
+  for (const std::size_t slot : drone_slots_) {
+    decide_drone(*machines_[slot]);
+    machines_[slot]->step(config_.step);
+  }
+}
+
+void Worksite::refresh_hot_state() {
+  for (std::size_t slot = 0; slot < machines_.size(); ++slot) {
+    const Machine& m = *machines_[slot];
+    machine_hot_.x[slot] = m.position().x;
+    machine_hot_.y[slot] = m.position().y;
+    machine_hot_.heading[slot] = m.heading();
+    machine_hot_.speed[slot] = m.speed();
+  }
+  for (std::size_t slot = 0; slot < humans_.size(); ++slot) {
+    const Human& h = *humans_[slot];
+    human_hot_.x[slot] = h.position().x;
+    human_hot_.y[slot] = h.position().y;
   }
 }
 
@@ -739,12 +822,15 @@ void Worksite::step() {
 
   {
     // Index write-phase (serial): fold the new human poses into the grid,
-    // drop exhausted piles.
+    // drop exhausted piles, refresh the SoA mirrors (all pose mutations
+    // for this step are behind us now, so the mirrors match the entities
+    // bit-for-bit until the next step).
     obs::Tracer::Span span = tracer.scoped(ph_index_);
     for (const auto& h : humans_) {
       human_index_.update(h->id().value(), h->position());
     }
     compact_piles();
+    refresh_hot_state();
   }
 
   {
@@ -757,21 +843,45 @@ void Worksite::step() {
                   [this](std::size_t begin, std::size_t end, std::size_t shard) {
                     std::vector<std::uint64_t>& scratch = shard_query_[shard];
                     const double radius = config_.separation_tracking_m;
+                    // Pure SoA streaming: kind/speed/pose reads hit the
+                    // contiguous mirrors (refreshed in the index phase
+                    // just above), never the per-entity heap objects.
                     for (std::size_t i = begin; i < end; ++i) {
                       std::vector<double>& out = separation_buffers_[i];
                       out.clear();
-                      const Machine& m = *machines_[i];
-                      if (m.kind() != MachineKind::kForwarder) continue;
-                      if (m.speed() < 0.3) continue;
+                      if (machine_hot_.kind[i] != MachineKind::kForwarder) continue;
+                      if (machine_hot_.speed[i] < 0.3) continue;
+                      const core::Vec2 mpos = machine_hot_.position(i);
                       c_sep_queries_->add(1, shard);
-                      human_index_.query_radius(m.position(), radius, scratch);
+                      human_index_.query_radius(mpos, radius, scratch);
                       for (const std::uint64_t id : scratch) {
-                        const Human& h = *humans_[human_slots_.find(id)->second];
-                        out.push_back(core::distance(m.position(), h.position()));
+                        const std::size_t hs = human_slot_by_id_[id];
+                        out.push_back(core::distance(mpos, human_hot_.position(hs)));
                       }
                     }
                   });
     drain_separation_samples();
+  }
+
+  if (pool_ && config_.scheduling == Scheduling::kAdaptive && !work_stealing_active_) {
+    // Adaptive scheduling switch (serial context, end of step): when the
+    // pool's busy-imbalance EWMA stays above threshold for a sustained
+    // window, flip the assignment mode to work stealing for good. The
+    // signal is wall-clock, but outcomes are assignment-invariant (every
+    // shared effect is slot-buffered and drained in slot order), so the
+    // switch point is unobservable in deterministic exports — it is
+    // recorded only via the "wall."-prefixed gauge.
+    constexpr double kImbalanceThreshold = 1.75;
+    constexpr std::size_t kImbalanceWindow = 25;
+    if (pool_->busy_imbalance() > kImbalanceThreshold) {
+      if (++imbalance_streak_ >= kImbalanceWindow) {
+        pool_->set_assignment(core::ThreadPool::Assignment::kWorkStealing);
+        work_stealing_active_ = true;
+        g_work_stealing_->set(1.0);
+      }
+    } else {
+      imbalance_streak_ = 0;
+    }
   }
 
   h_step_wall_->add(

@@ -45,6 +45,50 @@ struct LogPile {
   std::uint64_t id = 0;
 };
 
+/// Structure-of-arrays mirror of the machines' hot read state (DESIGN.md
+/// §14). The entities in machines_ stay authoritative — external holders
+/// of Machine& (SafetyMonitor) rely on pointer stability — but the phases
+/// that only *read* poses at fleet scale (separation sampling, sensing,
+/// zone tracking) stream these contiguous arrays instead of chasing one
+/// heap allocation per entity. Values are bit-copies of the entity state,
+/// refreshed every step after the last pose mutation, so consumers get
+/// results identical to reading the entities. Indexed by machine slot.
+struct MachineHotState {
+  std::vector<double> x, y;
+  std::vector<double> heading;
+  std::vector<double> speed;
+  std::vector<std::uint64_t> id;     ///< written at spawn, immutable
+  std::vector<MachineKind> kind;     ///< written at spawn, immutable
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+  [[nodiscard]] core::Vec2 position(std::size_t slot) const {
+    return {x[slot], y[slot]};
+  }
+};
+
+/// Structure-of-arrays mirror of the humans' hot read state, indexed by
+/// human slot (= id - 1; humans are append-only).
+struct HumanHotState {
+  std::vector<double> x, y;
+  std::vector<double> height;        ///< written at spawn, immutable
+  std::vector<std::uint64_t> id;     ///< written at spawn, immutable
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+  [[nodiscard]] core::Vec2 position(std::size_t slot) const {
+    return {x[slot], y[slot]};
+  }
+};
+
+/// Work-assignment policy for the parallel step phases (DESIGN.md §14).
+enum class Scheduling : std::uint8_t {
+  kStatic = 0,        ///< contiguous shard ranges, fixed per (n, threads)
+  kWorkStealing = 1,  ///< chunked self-scheduling from step one
+  /// Start static; switch the pool to work stealing permanently once the
+  /// observed per-job busy imbalance stays high for a sustained window.
+  /// Outcomes are assignment-invariant (effects are slot-buffered), so
+  /// the timing-driven switch is unobservable in any deterministic
+  /// export — only the wall-clock utilization profile changes.
+  kAdaptive = 2,
+};
+
 struct WorksiteConfig {
   ForestConfig forest;
   core::Vec2 landing_area{30, 30};
@@ -70,6 +114,10 @@ struct WorksiteConfig {
   /// (default), 0 = std::thread::hardware_concurrency(). Results are
   /// bit-identical for every value (the parity tests enforce this).
   std::size_t threads = 1;
+  /// Shard-assignment policy for the parallel phases. Results are
+  /// bit-identical for every value (and for any point the adaptive mode
+  /// switches at); only wall-clock balance changes.
+  Scheduling scheduling = Scheduling::kAdaptive;
   /// Windthrow hazards: expected events per simulated hour at weather
   /// factor 1 (scaled by windthrow_weather_factor; storms fell trees,
   /// clear days rarely do). 0 disables the model. Each event blocks a
@@ -146,6 +194,20 @@ class Worksite {
   /// this is the query perception and separation tracking run per step.
   [[nodiscard]] std::vector<const Human*> humans_within(core::Vec2 center,
                                                         double radius) const;
+
+  /// Allocation-free variant of humans_within for the hot read paths:
+  /// fills `out` with human *slots* (ascending, same set/order) for use
+  /// against human_hot(). Serial contexts only (shares the worksite's
+  /// query scratch, like humans_within).
+  void humans_within_slots(core::Vec2 center, double radius,
+                           std::vector<std::uint32_t>& out) const;
+
+  /// SoA mirrors of the hot per-entity read state, valid from spawn and
+  /// refreshed every step() after the last pose mutation (so between
+  /// steps — where sensing and monitoring run — they match the entities
+  /// bit-for-bit).
+  [[nodiscard]] const MachineHotState& machine_hot() const { return machine_hot_; }
+  [[nodiscard]] const HumanHotState& human_hot() const { return human_hot_; }
 
   /// Forwarder mission status (only meaningful for forwarders).
   [[nodiscard]] ForwarderTask task(MachineId id) const;
@@ -292,11 +354,22 @@ class Worksite {
   /// parallel sampling pass into min/stats/histogram in slot order, so
   /// the floating-point accumulation order is thread-count-invariant.
   void drain_separation_samples();
-  /// Serial post-integrate phase (only when
-  /// config.drone_follow_post_integrate): decide + step every drone in
-  /// ascending slot order against the anchors' post-step poses.
+  /// Post-integrate follower phase (only when
+  /// config.drone_follow_post_integrate): decide + step every drone
+  /// against the anchors' post-step poses. The pass is pure per-drone
+  /// (own orbit state, own route; the slot-ordered effect buffer it
+  /// would drain is empty), so it shards across the pool whenever no
+  /// drone is anchored on another drone; a drone-on-drone anchor chain
+  /// falls back to the serial ascending-slot walk, whose order the
+  /// chained read depends on.
   void follow_drones();
+  /// Serial: copies the entities' post-step poses into the SoA mirrors
+  /// (contiguous writes, runs inside the index phase).
+  void refresh_hot_state();
 
+  /// Shared tail of the add_* spawners: slot bookkeeping, SoA append,
+  /// drone work-list, parallel-buffer growth.
+  MachineId register_machine(std::unique_ptr<Machine> machine);
   /// route_machine body shared with the public id-based overload.
   void route_machine(Machine& machine, core::Vec2 goal);
   /// Runs `fn(begin, end, shard)` over [0, n), on the pool when present.
@@ -332,12 +405,19 @@ class Worksite {
   std::unordered_map<std::uint64_t, DroneOrbit> drone_orbits_;
   std::unordered_map<std::uint64_t, double> harvester_accum_m3_;
 
-  // Hot-loop lookup structures: id -> slot maps (machines/humans are
-  // append-only; pile slots are fixed up on compaction) and uniform-grid
-  // indexes for the per-step range queries.
-  std::unordered_map<std::uint64_t, std::size_t> machine_slots_;
-  std::unordered_map<std::uint64_t, std::size_t> human_slots_;
+  // Hot-loop lookup structures: dense id -> slot arrays for machines and
+  // humans (ids are allocated 1, 2, ... and entities are append-only, so
+  // a flat vector beats hashing on every hot-path lookup; kNoSlot marks
+  // never-allocated ids), a slot map for piles (pile ids grow without
+  // bound while piles compact, so a dense array would leak), and
+  // uniform-grid indexes for the per-step range queries.
+  static constexpr std::size_t kNoSlot = ~std::size_t{0};
+  std::vector<std::size_t> machine_slot_by_id_;
+  std::vector<std::size_t> human_slot_by_id_;
   std::unordered_map<std::uint64_t, std::size_t> pile_slots_;
+  /// Machine slots holding drones, ascending (the follower phase's work
+  /// list).
+  std::vector<std::size_t> drone_slots_;
   SpatialIndex human_index_;
   SpatialIndex pile_index_;
   std::uint64_t next_pile_id_ = 1;
@@ -349,6 +429,18 @@ class Worksite {
   std::vector<MachineEffects> effects_;
   std::vector<std::vector<double>> separation_buffers_;
   std::vector<std::vector<std::uint64_t>> shard_query_;
+
+  // SoA mirrors of the hot read state (see MachineHotState); refreshed by
+  // refresh_hot_state() once per step.
+  MachineHotState machine_hot_;
+  HumanHotState human_hot_;
+
+  // Adaptive-scheduling state: consecutive steps the pool's busy-time
+  // imbalance EWMA stayed above threshold; once the streak is long
+  // enough the pool switches to work stealing for good (sticky — the
+  // imbalance signal itself degrades once stealing smooths it out).
+  std::size_t imbalance_streak_ = 0;
+  bool work_stealing_active_ = false;
 
   IdAllocator<MachineId> machine_ids_;
   IdAllocator<HumanId> human_ids_;
@@ -367,6 +459,9 @@ class Worksite {
   obs::Counter* c_cycles_ = nullptr;
   obs::Counter* c_sep_queries_ = nullptr;  ///< bumped per shard in the sampling phase
   obs::Gauge* g_delivered_ = nullptr;
+  /// 1 once work stealing engaged ("wall." prefix: the switch point is
+  /// timing-driven, so it must stay out of the deterministic export).
+  obs::Gauge* g_work_stealing_ = nullptr;
   /// Separation distances (deterministic: fed in slot order by the serial
   /// drain) and step wall-time ("wall." prefix keeps it out of the
   /// deterministic export).

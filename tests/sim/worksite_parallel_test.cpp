@@ -52,10 +52,12 @@ struct Snapshot {
 
 /// Builds the Figure-1-style mixed fleet, steps `steps` times at the given
 /// shard count, and snapshots everything the parity contract covers.
-Snapshot run_site(std::size_t threads, int steps, bool drone_follow = false) {
+Snapshot run_site(std::size_t threads, int steps, bool drone_follow = false,
+                  Scheduling scheduling = Scheduling::kAdaptive) {
   WorksiteConfig config = fig1_site();
   config.threads = threads;
   config.drone_follow_post_integrate = drone_follow;
+  config.scheduling = scheduling;
   Worksite site{config, 1234};
 
   Snapshot snap;
@@ -134,6 +136,37 @@ TEST(WorksiteParallel, ThreadCountIsUnobservable) {
   }
 }
 
+// Work stealing from step one: the chunked self-scheduled assignment must
+// honour the same bit-identical contract as the static split.
+TEST(WorksiteParallel, WorkStealingThreadCountIsUnobservable) {
+  constexpr int kSteps = 600;
+  const Snapshot serial =
+      run_site(1, kSteps, /*drone_follow=*/false, Scheduling::kWorkStealing);
+  ASSERT_FALSE(serial.events.empty());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    expect_identical(
+        serial,
+        run_site(threads, kSteps, /*drone_follow=*/false, Scheduling::kWorkStealing),
+        threads);
+  }
+}
+
+// The scheduling policy itself (and wherever the adaptive mode's timing-
+// driven switch lands, if it fires) must be unobservable: at a fixed
+// thread count, all three modes produce the same bytes.
+TEST(WorksiteParallel, SchedulingModeIsUnobservable) {
+  constexpr int kSteps = 400;
+  const Snapshot statics =
+      run_site(8, kSteps, /*drone_follow=*/false, Scheduling::kStatic);
+  ASSERT_FALSE(statics.events.empty());
+  expect_identical(
+      statics, run_site(8, kSteps, /*drone_follow=*/false, Scheduling::kWorkStealing),
+      8);
+  expect_identical(
+      statics, run_site(8, kSteps, /*drone_follow=*/false, Scheduling::kAdaptive),
+      8);
+}
+
 TEST(WorksiteParallel, ZeroThreadsMeansHardwareConcurrency) {
   // threads=0 must resolve and still honour the parity contract.
   const Snapshot serial = run_site(1, 200);
@@ -171,6 +204,166 @@ TEST(WorksiteParallel, DroneFollowFlagOnlyAffectsDroneTrajectory) {
     EXPECT_EQ(off.machine_poses[i], on.machine_poses[i]) << "machine " << i;
   }
   EXPECT_NE(off.machine_poses[5], on.machine_poses[5]);
+}
+
+// The follower phase shards across the pool when several drones are
+// anchored on non-drones: a multi-drone site must stay bit-identical
+// across thread counts with the flag on (regression for the serial ->
+// sharded follow_drones change).
+TEST(WorksiteParallel, MultiDroneFollowPostIntegrateParity) {
+  constexpr int kSteps = 300;
+  auto run_multi_drone = [](std::size_t threads) {
+    WorksiteConfig config = fig1_site();
+    config.threads = threads;
+    config.drone_follow_post_integrate = true;
+    Worksite site{config, 99};
+    Snapshot snap;
+    site.bus().subscribe_all([&snap](const core::Event& e) {
+      snap.events.push_back({e.topic, e.payload, e.origin, e.time});
+    });
+    site.add_harvester("h1", {250, 250});
+    std::vector<MachineId> forwarders;
+    for (int i = 0; i < 6; ++i) {
+      forwarders.push_back(
+          site.add_forwarder("f" + std::to_string(i), {60.0 + 18.0 * i, 60.0}));
+    }
+    for (int i = 0; i < 6; ++i) {
+      const MachineId drone =
+          site.add_drone("d" + std::to_string(i), {50.0 + 25.0 * i, 40.0});
+      site.set_drone_orbit(drone, forwarders[i], 20.0 + 2.0 * i);
+    }
+    for (int i = 0; i < 4; ++i) {
+      const core::Vec2 anchor{120.0 + 40.0 * i, 150.0};
+      site.add_worker("w" + std::to_string(i), anchor, anchor);
+    }
+    for (int i = 0; i < kSteps; ++i) site.step();
+    for (const Machine* m : site.machines()) {
+      snap.machine_poses.emplace_back(m->position().x, m->position().y,
+                                      m->heading(), m->speed(), m->load_m3());
+    }
+    snap.metrics = site.metrics();
+    snap.telemetry_json = site.telemetry().deterministic_json();
+    return snap;
+  };
+  const Snapshot serial = run_multi_drone(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const Snapshot sharded = run_multi_drone(threads);
+    ASSERT_EQ(serial.events.size(), sharded.events.size());
+    for (std::size_t i = 0; i < serial.events.size(); ++i) {
+      EXPECT_EQ(serial.events[i], sharded.events[i]) << "event " << i;
+    }
+    EXPECT_EQ(serial.machine_poses, sharded.machine_poses);
+    EXPECT_EQ(serial.telemetry_json, sharded.telemetry_json);
+  }
+}
+
+// A drone anchored on another drone forces the serial follower fallback
+// (the chained read depends on slot order); the site must still step and
+// stay deterministic across thread counts.
+TEST(WorksiteParallel, DroneOnDroneAnchorFallsBackSerially) {
+  auto run_chained = [](std::size_t threads) {
+    WorksiteConfig config = fig1_site();
+    config.threads = threads;
+    config.drone_follow_post_integrate = true;
+    config.windthrow_rate_per_hour = 0.0;
+    Worksite site{config, 17};
+    const MachineId f = site.add_forwarder("f1", {60, 60});
+    const MachineId d1 = site.add_drone("d1", {50, 40});
+    const MachineId d2 = site.add_drone("d2", {70, 40});
+    site.set_drone_orbit(d1, f, 25.0);
+    site.set_drone_orbit(d2, d1, 15.0);  // drone-on-drone chain
+    site.route_machine(f, {300, 300});
+    for (int i = 0; i < 200; ++i) site.step();
+    std::vector<std::pair<double, double>> poses;
+    for (const Machine* m : site.machines()) {
+      poses.emplace_back(m->position().x, m->position().y);
+    }
+    return poses;
+  };
+  const auto serial = run_chained(1);
+  EXPECT_EQ(serial, run_chained(2));
+  EXPECT_EQ(serial, run_chained(8));
+}
+
+// humans_within_slots is the allocation-free twin of humans_within: same
+// set, same ascending-id order, slots resolving to the same people via
+// the SoA mirror.
+TEST(WorksiteParallel, HumansWithinSlotsMatchesHumansWithin) {
+  WorksiteConfig config = fig1_site();
+  Worksite site{config, 31};
+  site.add_forwarder("f1", {60, 60});
+  for (int i = 0; i < 12; ++i) {
+    const core::Vec2 anchor{80.0 + 22.0 * (i % 6), 90.0 + 35.0 * (i / 6)};
+    site.add_worker("w" + std::to_string(i), anchor, anchor);
+  }
+  for (int i = 0; i < 150; ++i) site.step();
+
+  const HumanHotState& people = site.human_hot();
+  std::vector<std::uint32_t> slots;
+  for (const double radius : {0.0, 15.0, 60.0, 400.0}) {
+    for (const core::Vec2 center :
+         {core::Vec2{100, 100}, core::Vec2{60, 60}, core::Vec2{350, 350}}) {
+      const auto ptrs = site.humans_within(center, radius);
+      site.humans_within_slots(center, radius, slots);
+      ASSERT_EQ(ptrs.size(), slots.size())
+          << "radius " << radius << " center (" << center.x << "," << center.y << ")";
+      for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        EXPECT_EQ(ptrs[i]->id().value(), people.id[slots[i]]);
+        EXPECT_EQ(ptrs[i]->position().x, people.x[slots[i]]);
+        EXPECT_EQ(ptrs[i]->position().y, people.y[slots[i]]);
+        EXPECT_EQ(ptrs[i]->height(), people.height[slots[i]]);
+      }
+    }
+  }
+}
+
+// The SoA mirrors must match the entities bit-for-bit between steps —
+// from spawn (before any step) and after every refresh.
+TEST(WorksiteParallel, HotStateMirrorsEntitiesBetweenSteps) {
+  WorksiteConfig config = fig1_site();
+  Worksite site{config, 63};
+  site.add_harvester("h1", {250, 250});
+  const MachineId f = site.add_forwarder("f1", {60, 60});
+  const MachineId d = site.add_drone("d1", {50, 50});
+  site.set_drone_orbit(d, f, 25.0);
+  site.add_worker("w1", {150, 150}, {150, 150});
+  site.add_worker("w2", {180, 160}, {180, 160});
+
+  auto expect_mirrors_match = [&site] {
+    const MachineHotState& hot = site.machine_hot();
+    const auto machines = site.machines();
+    ASSERT_EQ(hot.size(), machines.size());
+    for (std::size_t slot = 0; slot < machines.size(); ++slot) {
+      const Machine& m = *machines[slot];
+      EXPECT_EQ(hot.x[slot], m.position().x);
+      EXPECT_EQ(hot.y[slot], m.position().y);
+      EXPECT_EQ(hot.heading[slot], m.heading());
+      EXPECT_EQ(hot.speed[slot], m.speed());
+      EXPECT_EQ(hot.id[slot], m.id().value());
+      EXPECT_EQ(hot.kind[slot], m.kind());
+    }
+    const HumanHotState& people = site.human_hot();
+    const auto humans = site.humans();
+    ASSERT_EQ(people.size(), humans.size());
+    for (std::size_t slot = 0; slot < humans.size(); ++slot) {
+      const Human& h = *humans[slot];
+      EXPECT_EQ(people.x[slot], h.position().x);
+      EXPECT_EQ(people.y[slot], h.position().y);
+      EXPECT_EQ(people.height[slot], h.height());
+      EXPECT_EQ(people.id[slot], h.id().value());
+    }
+  };
+
+  expect_mirrors_match();  // valid from spawn
+  for (int i = 0; i < 120; ++i) site.step();
+  expect_mirrors_match();
+  // Spawning mid-run extends the mirrors immediately.
+  site.add_worker("w3", {200, 200}, {200, 200});
+  site.add_forwarder("f2", {90, 60});
+  expect_mirrors_match();
+  for (int i = 0; i < 60; ++i) site.step();
+  expect_mirrors_match();
 }
 
 /// Drives a forwarder with an orbiting drone far enough away that the

@@ -1,0 +1,58 @@
+// Pinned-session exporter for the CI semantic-diff gate: runs one fixed
+// (config, seed) FleetService session for a fixed number of steps and
+// prints its deterministic telemetry export to stdout. The bytes are the
+// contract — scripts/export_diff_gate.py compares them against the
+// committed golden (tests/golden/session_export.json) and fails CI on
+// ANY byte change, so a behaviour drift in the sim/security/safety stack
+// cannot land silently as "just telemetry noise". Intentional behaviour
+// changes re-bless the golden with --update and the diff shows up in
+// review.
+#include <cstdio>
+#include <string>
+
+#include "service/fleet_service.h"
+
+using namespace agrarsec;
+
+namespace {
+
+/// The pinned session configuration: mirror of the bench fleet-session
+/// shape (thin stand, busy handling) with the worksite's parallel phases
+/// driven through the service pool at threads=2, so the export also
+/// witnesses the thread-count-invariance contract end to end.
+integration::SecuredWorksiteConfig pinned_session_config() {
+  integration::SecuredWorksiteConfig config;
+  config.worksite.forest.trees_per_hectare = 120;
+  config.worksite.harvester_output_m3_per_min = 30.0;
+  config.worksite.load_time = 15 * core::kSecond;
+  config.worksite.unload_time = 10 * core::kSecond;
+  config.worksite.windthrow_rate_per_hour = 4.0;
+  config.worksite.weather = sim::Weather::kRain;
+  return config;
+}
+
+constexpr std::uint64_t kFleetSeed = 4242;
+constexpr std::uint64_t kSessionKey = 7;
+constexpr std::uint64_t kSteps = 200;
+
+}  // namespace
+
+int main() {
+  service::FleetServiceConfig fleet_config;
+  fleet_config.threads = 2;
+  fleet_config.fleet_seed = kFleetSeed;
+  service::FleetService fleet{fleet_config};
+
+  const service::SessionId id =
+      fleet.create_session_keyed(pinned_session_config(), kSessionKey);
+  integration::SecuredWorksite& site = *fleet.session(id);
+  site.worksite().add_worker("w0", {75.0, 60.0}, {80, 80});
+  site.worksite().add_worker("w1", {85.0, 60.0}, {80, 80});
+
+  fleet.step_all(kSteps);
+
+  const std::string json = fleet.session_deterministic_json(id);
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
