@@ -1,17 +1,47 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/json.h"
 
 namespace agrarsec::analysis {
 
 std::vector<Diagnostic> Analyzer::analyze(const Model& model) const {
+  return analyze(model, nullptr);
+}
+
+std::vector<Diagnostic> Analyzer::analyze(const Model& model,
+                                          std::vector<PassStats>* stats) const {
+  using RunFn = void (*)(const Model&, const AnalyzerConfig&,
+                         std::vector<Diagnostic>&);
+  struct Pass {
+    const char* name;
+    RunFn run;
+  };
+  static constexpr Pass kPasses[] = {
+      {"zone-conduit", run_zone_rules}, {"tara", run_tara_rules},
+      {"gsn", run_gsn_rules},           {"pki", run_pki_rules},
+      {"semantic", run_semantic_rules}, {"coverage", run_coverage_rules},
+  };
+
   std::vector<Diagnostic> out;
-  run_zone_rules(model, config_, out);
-  run_tara_rules(model, config_, out);
-  run_gsn_rules(model, config_, out);
-  run_pki_rules(model, config_, out);
+  for (const Pass& pass : kPasses) {
+    const std::size_t before = out.size();
+    if (stats == nullptr) {
+      pass.run(model, config_, out);
+      continue;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    pass.run(model, config_, out);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    PassStats entry;
+    entry.pass = pass.name;
+    entry.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    entry.findings = out.size() - before;
+    stats->push_back(std::move(entry));
+  }
 
   std::sort(out.begin(), out.end(), diagnostic_less);
   out.erase(std::unique(out.begin(), out.end(),

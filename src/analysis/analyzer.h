@@ -5,6 +5,7 @@
 // model, which is what lets CI diff it against a baseline.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,13 +15,26 @@
 
 namespace agrarsec::analysis {
 
+/// Wall time and yield of one analyzer pass (--stats). Timing is a
+/// side-channel for the operator: it never enters the diagnostics, so the
+/// report stays a pure function of the model.
+struct PassStats {
+  std::string pass;
+  std::uint64_t wall_ns = 0;
+  std::size_t findings = 0;  ///< raw count before global sort/dedup
+};
+
 class Analyzer {
  public:
   explicit Analyzer(AnalyzerConfig config = {}) : config_(config) {}
 
   /// Runs every rule family; the result is sorted by (rule, entities,
-  /// message) and deduplicated — a pure function of the model.
+  /// message) and deduplicated — a pure function of the model. When
+  /// `stats` is non-null it receives one entry per pass in execution
+  /// order (the only place the analyzer reads a clock).
   [[nodiscard]] std::vector<Diagnostic> analyze(const Model& model) const;
+  [[nodiscard]] std::vector<Diagnostic> analyze(const Model& model,
+                                                std::vector<PassStats>* stats) const;
 
   [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
 

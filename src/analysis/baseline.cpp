@@ -70,6 +70,33 @@ std::vector<Diagnostic> Baseline::filter(std::vector<Diagnostic> diagnostics) co
   return diagnostics;
 }
 
+std::vector<std::string> Baseline::stale_keys(
+    const std::vector<Diagnostic>& diagnostics) const {
+  std::set<std::string> live;
+  for (const Diagnostic& d : diagnostics) live.insert(d.key());
+  std::vector<std::string> stale;
+  for (const std::string& key : keys_) {  // std::set: sorted, deterministic
+    if (live.contains(key)) continue;
+    // key = rule '\x1f' entity '\x1f' entity... -> "rule entity, entity".
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t separator = key.find('\x1f', start);
+      parts.push_back(key.substr(
+          start, separator == std::string::npos ? std::string::npos
+                                                : separator - start));
+      if (separator == std::string::npos) break;
+      start = separator + 1;
+    }
+    std::string rendered = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      rendered += (i == 1 ? " " : ", ") + parts[i];
+    }
+    stale.push_back(std::move(rendered));
+  }
+  return stale;
+}
+
 std::string Baseline::to_json() const {
   Json findings = Json::array();
   for (const std::string& key : keys_) {  // std::set: sorted, deterministic

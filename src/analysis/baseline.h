@@ -43,6 +43,13 @@ class Baseline {
   [[nodiscard]] std::vector<Diagnostic> filter(
       std::vector<Diagnostic> diagnostics) const;
 
+  /// Baseline keys no current diagnostic matches — suppressions that
+  /// outlived their finding. Rendered as "RULE entity, entity" strings,
+  /// sorted; the tool warns on them so fixed findings get un-suppressed
+  /// instead of silently masking future regressions.
+  [[nodiscard]] std::vector<std::string> stale_keys(
+      const std::vector<Diagnostic>& diagnostics) const;
+
   /// Deterministic serialization of the format above (sorted keys).
   [[nodiscard]] std::string to_json() const;
 

@@ -1,0 +1,49 @@
+// TARA -> IDS -> scenario coverage matrix (DESIGN.md §15.3). Three
+// artefacts claim to handle each threat: the TARA (risk treatment), the
+// IDS rule table (runtime detection, ids/rule_table.h), and the
+// executable attack scenarios in examples//bench/ (demonstration). The
+// coverage pass joins them on threat-catalogue names and reports the
+// holes: a treated threat nothing detects, a treated threat nothing
+// demonstrates, a detection rule watching for threats the TARA no longer
+// lists, a scenario exercising nothing catalogued.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/model.h"
+
+namespace agrarsec::analysis {
+
+/// The built-in scenario registry: every executable attack scenario this
+/// repository ships (examples/, bench/, tools/) with the threat names it
+/// exercises. Sorted by scenario name; kept in sync with the sources by
+/// tests/analysis/coverage_test.cpp.
+[[nodiscard]] const std::vector<ExecutableScenario>& scenario_registry();
+
+/// Join result for one assessed threat.
+struct ThreatCoverage {
+  std::string threat;
+  std::string treatment;                ///< treatment_name() of the decision
+  std::string cal;                      ///< cal_name() of the assigned CAL
+  std::vector<std::string> detections;  ///< IDS rule ids mapped to it
+  std::vector<std::string> scenarios;   ///< scenario names exercising it
+};
+
+/// The full matrix plus the reverse-direction leftovers.
+struct CoverageMatrix {
+  std::vector<ThreatCoverage> threats;      ///< sorted by threat name
+  std::vector<std::string> dead_rules;      ///< IDS rules mapping no live threat
+  std::vector<std::string> orphan_scenarios;  ///< scenarios exercising none
+};
+
+/// Builds the matrix from the model's TARA, IDS rule table and scenario
+/// registry (absent layers contribute empty columns). Deterministic.
+[[nodiscard]] CoverageMatrix build_coverage(const Model& model);
+
+/// Machine-readable report for --coverage-json:
+/// {"version":1,"threats":[...],"rules":[...],"scenarios":[...],"summary":{...}}.
+[[nodiscard]] std::string render_coverage_json(const CoverageMatrix& matrix,
+                                               const Model& model);
+
+}  // namespace agrarsec::analysis

@@ -14,6 +14,7 @@
 #include "assurance/evidence.h"
 #include "assurance/gsn.h"
 #include "core/time.h"
+#include "ids/rule_table.h"
 #include "pki/certificate.h"
 #include "pki/trust_store.h"
 #include "risk/catalog.h"
@@ -27,6 +28,17 @@ namespace agrarsec::analysis {
 struct PkiEndpoint {
   std::string name;
   std::vector<pki::Certificate> chain;
+};
+
+/// One executable attack scenario registered in `examples/` or `bench/`,
+/// with the TARA threat-catalogue names it exercises end to end. The
+/// coverage pass cross-references this registry against the threat
+/// catalogue: a treated threat no scenario exercises is a claim without a
+/// demonstration (`threat-without-executable-scenario`).
+struct ExecutableScenario {
+  std::string name;      ///< stable scenario id, e.g. "spoofed-estop"
+  std::string location;  ///< source anchor, e.g. "examples/attack_scenarios.cpp"
+  std::vector<std::string> threats;  ///< TARA threat names exercised
 };
 
 struct Model {
@@ -49,6 +61,10 @@ struct Model {
   const pki::TrustStore* trust = nullptr;
   const std::vector<PkiEndpoint>* endpoints = nullptr;
   core::SimTime now = 0;  ///< validity instant for chain validation
+
+  // Coverage layer (IDS rule table + executable scenario registry).
+  const std::vector<ids::DetectionRuleInfo>* ids_rules = nullptr;
+  const std::vector<ExecutableScenario>* scenarios = nullptr;
 };
 
 }  // namespace agrarsec::analysis

@@ -1,0 +1,111 @@
+#include "analysis/reachability.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace agrarsec::analysis {
+
+namespace {
+
+/// Predecessor on the current best entry path into a zone, per FR.
+struct Pred {
+  std::size_t from_zone = 0;
+  std::size_t via_conduit = 0;
+  bool set = false;  ///< false = direct entry is the best path
+};
+
+}  // namespace
+
+std::vector<ZoneReachability> compute_reachability(
+    const risk::ZoneModel& zones,
+    const std::vector<risk::Countermeasure>& catalogue) {
+  const auto& zone_list = zones.zones();
+  const auto& conduit_list = zones.conduits();
+  const std::size_t n = zone_list.size();
+
+  std::vector<ZoneReachability> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].zone = zone_list[i].id;
+    out[i].zone_name = zone_list[i].name;
+    out[i].local = zones.achieved(zone_list[i], catalogue);
+    out[i].effective = out[i].local;  // direct entry is always available
+  }
+
+  auto zone_index = [&](ZoneId id) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (zone_list[i].id == id) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
+
+  // Resolve conduit endpoints and barriers once.
+  struct Edge {
+    std::size_t u = 0;
+    std::size_t v = 0;
+    std::size_t conduit = 0;
+    risk::SlVector achieved{};
+  };
+  std::vector<Edge> edges;
+  for (std::size_t c = 0; c < conduit_list.size(); ++c) {
+    const std::ptrdiff_t u = zone_index(conduit_list[c].from);
+    const std::ptrdiff_t v = zone_index(conduit_list[c].to);
+    if (u < 0 || v < 0) continue;  // dangling endpoint: ZC001 reports it
+    Edge e;
+    e.u = static_cast<std::size_t>(u);
+    e.v = static_cast<std::size_t>(v);
+    e.conduit = c;
+    e.achieved = zones.achieved(conduit_list[c], catalogue);
+    edges.push_back(e);
+  }
+
+  // Minimax fixpoint: relax every edge in both directions until no FR
+  // improves. Each relaxation only lowers an effective level, and levels
+  // are bounded below by 0, so n sweeps always suffice.
+  std::vector<std::array<Pred, risk::kFrCount>> pred(n);
+  bool changed = true;
+  for (std::size_t sweep = 0; changed && sweep <= n; ++sweep) {
+    changed = false;
+    for (const Edge& e : edges) {
+      for (const auto [src, dst] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+        for (std::size_t fr = 0; fr < risk::kFrCount; ++fr) {
+          // Trusted-channel pivot: only the conduit gates this hop — the
+          // destination's perimeter does not re-gate authorized conduits.
+          const int candidate =
+              std::max(out[src].effective[fr], e.achieved[fr]);
+          if (candidate >= out[dst].effective[fr]) continue;
+          out[dst].effective[fr] = candidate;
+          pred[dst][fr] = {src, e.conduit, true};
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Reconstruct the witness path for every undercut (effective < local).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t fr = 0; fr < risk::kFrCount; ++fr) {
+      if (out[i].effective[fr] >= out[i].local[fr]) continue;
+      std::vector<std::string> hops;  // built back-to-front
+      std::size_t at = i;
+      for (std::size_t guard = 0; pred[at][fr].set && guard < n; ++guard) {
+        hops.push_back(conduit_list[pred[at][fr].via_conduit].name);
+        at = pred[at][fr].from_zone;
+        hops.push_back(zone_list[at].name);
+      }
+      std::reverse(hops.begin(), hops.end());
+      out[i].witness[fr] = std::move(hops);
+    }
+  }
+  return out;
+}
+
+std::string witness_to_string(const std::vector<std::string>& hops) {
+  std::string out;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += hops[i];
+  }
+  return out;
+}
+
+}  // namespace agrarsec::analysis

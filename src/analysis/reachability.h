@@ -1,0 +1,66 @@
+// Zone/conduit attack-path reachability dataflow. Extends the per-zone SL
+// gap analysis of risk/iec62443 (which only looks at a zone's OWN
+// countermeasures) with propagation of attacker capability across
+// conduits: the protection a zone really offers is bounded by the weakest
+// entry path into it, not by its local hardening.
+//
+// Semantics (per foundational requirement, independently):
+//   - Entering a zone directly from the site perimeter must defeat the
+//     zone's locally achieved SL-A (its installed countermeasures). Every
+//     zone is a potential entry point — a remote forestry site has no
+//     physically-guarded boundary an assessor may assume.
+//   - Crossing from a compromised zone u into zone v over a conduit c
+//     must defeat the CONDUIT's achieved SL-A only: an authorized conduit
+//     is inside v's trust boundary, so v's perimeter countermeasures do
+//     not re-gate traffic arriving over it (the classic trusted-channel
+//     pivot). The hop barrier is max(effective(u), achieved(c)) — the
+//     attacker must both hold u and beat the conduit. Conduits are
+//     traversable in both directions: conduit direction models data flow,
+//     not attacker movement.
+//   - A path's resistance is the maximum barrier along it (every barrier
+//     must fall); the attacker picks the weakest path, so the EFFECTIVE
+//     resistance of a zone is the minimax over direct entry and all
+//     conduit paths — a bottleneck-shortest-path fixpoint, always <= the
+//     local SL-A.
+//
+// The SA rule family is built on this: a CAL3/CAL4 asset in a zone whose
+// effective resistance falls below the zone's SL-T is reachable by an
+// attacker the architecture claims to exclude, even when the zone's own
+// countermeasure list looks complete.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "risk/iec62443.h"
+
+namespace agrarsec::analysis {
+
+/// Per-zone result of the attacker-capability dataflow.
+struct ZoneReachability {
+  ZoneId zone;
+  std::string zone_name;
+  /// SL-A from the zone's own countermeasures (entry barrier).
+  risk::SlVector local{};
+  /// Minimax resistance over all entry paths (<= local, per FR).
+  risk::SlVector effective{};
+  /// For each FR where effective < local: the undercutting entry path as
+  /// "zone -> conduit -> zone -> ... -> conduit" hop names ending at this
+  /// zone (this zone's name is not repeated). Empty when effective ==
+  /// local in that FR (direct entry is already the weakest path).
+  std::array<std::vector<std::string>, risk::kFrCount> witness;
+};
+
+/// Runs the fixpoint over the whole zone model. Deterministic: zones are
+/// relaxed in declaration order, conduits in declaration order, until no
+/// FR changes. Conduits referencing undeclared zones are skipped (ZC001
+/// reports those).
+[[nodiscard]] std::vector<ZoneReachability> compute_reachability(
+    const risk::ZoneModel& zones,
+    const std::vector<risk::Countermeasure>& catalogue);
+
+/// Renders a witness path for diagnostics: "a -> c1 -> b" (empty -> "").
+[[nodiscard]] std::string witness_to_string(const std::vector<std::string>& hops);
+
+}  // namespace agrarsec::analysis

@@ -4,29 +4,53 @@ namespace agrarsec::analysis {
 
 const std::vector<RuleInfo>& rule_catalogue() {
   static const std::vector<RuleInfo> kRules = {
-      {"GS001", Severity::kError, "gsn",
+      {"CM001", Severity::kError, "consistency", "semantic",
+       "avoided/reduced threat with no claiming GSN goal in the argument"},
+      {"CM002", Severity::kWarning, "consistency", "semantic",
+       "claiming goal's argument context never names the treated asset"},
+      {"CM003", Severity::kError, "consistency", "semantic",
+       "zone's retained residual risk exceeds its residual-risk budget"},
+      {"CM004", Severity::kWarning, "consistency", "semantic",
+       "treatment applied but residual risk still at the high-risk bar"},
+      {"CV001", Severity::kWarning, "coverage", "coverage",
+       "threat with no IDS detection rule mapped to it"},
+      {"CV002", Severity::kWarning, "coverage", "coverage",
+       "treated threat with no executable attack scenario exercising it"},
+      {"CV003", Severity::kInfo, "coverage", "coverage",
+       "IDS rule whose mapped threats are absent from the TARA"},
+      {"CV004", Severity::kInfo, "coverage", "coverage",
+       "registered scenario exercising no catalogued threat"},
+      {"GS001", Severity::kError, "gsn", "structural",
        "argument cycle through supported_by / in_context_of edges"},
-      {"GS002", Severity::kError, "gsn",
+      {"GS002", Severity::kError, "gsn", "structural",
        "solution with no bound evidence or a dangling EvidenceId"},
-      {"GS003", Severity::kWarning, "gsn",
+      {"GS003", Severity::kWarning, "gsn", "structural",
        "goal neither developed nor marked undeveloped"},
-      {"GS004", Severity::kError, "gsn",
+      {"GS004", Severity::kError, "gsn", "structural",
        "compliance requirement mapped to a nonexistent goal"},
-      {"PK001", Severity::kError, "pki",
+      {"PK001", Severity::kError, "pki", "structural",
        "endpoint certificate chain does not reach a trust-store root"},
-      {"TA001", Severity::kError, "tara",
+      {"SA001", Severity::kError, "attack-path", "semantic",
+       "high-CAL asset in a zone whose effective SL falls below SL-T"},
+      {"SA002", Severity::kWarning, "attack-path", "semantic",
+       "entry path over conduits undercuts a zone's local defences"},
+      {"SA003", Severity::kWarning, "attack-path", "semantic",
+       "zone SL-T below the floor its assets' CAL demands"},
+      {"SA004", Severity::kInfo, "attack-path", "semantic",
+       "conduit hardened beyond both endpoint zone targets"},
+      {"TA001", Severity::kError, "tara", "structural",
        "high-risk threat with no treatment decision"},
-      {"TA002", Severity::kError, "tara",
+      {"TA002", Severity::kError, "tara", "structural",
        "threat references an unknown asset or an uncatalogued control"},
-      {"TA003", Severity::kInfo, "tara",
+      {"TA003", Severity::kInfo, "tara", "structural",
        "threat catalogue characteristic never instantiated against any asset"},
-      {"ZC001", Severity::kError, "zone-conduit",
+      {"ZC001", Severity::kError, "zone-conduit", "structural",
        "conduit endpoint references an undeclared zone"},
-      {"ZC002", Severity::kWarning, "zone-conduit",
+      {"ZC002", Severity::kWarning, "zone-conduit", "structural",
        "achieved SL-A below target SL-T for a foundational requirement"},
-      {"ZC003", Severity::kWarning, "zone-conduit",
+      {"ZC003", Severity::kWarning, "zone-conduit", "structural",
        "conduit bridges an SL-T gap without a compensating countermeasure"},
-      {"ZC004", Severity::kWarning, "zone-conduit",
+      {"ZC004", Severity::kWarning, "zone-conduit", "structural",
        "item asset assigned to no zone"},
   };
   return kRules;

@@ -1,0 +1,40 @@
+#include "ids/rule_table.h"
+
+namespace agrarsec::ids {
+
+const std::vector<DetectionRuleInfo>& detection_rule_table() {
+  // Ordered by id; the threat names must match risk/catalog.cpp — the
+  // lint coverage pass flags any drift (unknown name => dead mapping).
+  static const std::vector<DetectionRuleInfo> kTable = {
+      {"flood", "signature",
+       "per-source frame rate above threshold",
+       {"detection-suppression", "disaster-window-attack"}},
+      {"malformed", "signature",
+       "undecodable message on the site channel",
+       {"rogue-node-join"}},
+      {"rate-anomaly", "anomaly",
+       "EWMA band violation on aggregate traffic (drop or surge)",
+       {"detection-suppression", "estop-suppression"}},
+      {"rate-shift", "anomaly",
+       "CUSUM drift on aggregate traffic",
+       {"detection-suppression", "estop-suppression"}},
+      {"replay", "signature",
+       "(sender, sequence) not strictly increasing",
+       {"estop-replay"}},
+      {"spoofed-position", "signature",
+       "telemetry kinematically impossible vs. last report",
+       {"telemetry-spoof", "gnss-spoof-walkoff"}},
+      {"stale-timestamp", "signature",
+       "message timestamp far behind site time (hold-back release)",
+       {"estop-replay"}},
+      {"unauthorized-estop", "signature",
+       "e-stop from a sender without e-stop authority",
+       {"rogue-node-join", "forged-mission"}},
+      {"unknown-sender", "signature",
+       "message from an id not in the site roster",
+       {"rogue-node-join"}},
+  };
+  return kTable;
+}
+
+}  // namespace agrarsec::ids

@@ -1,0 +1,31 @@
+// Machine-readable catalogue of the IDS detection rules: stable rule id,
+// engine kind, and the TARA threat scenarios (by catalogue name, see
+// risk/catalog.cpp) each rule can detect. This is the table the
+// agrarsec-lint coverage pass cross-references against the threat
+// catalogue — a new IDS rule lands here in the same commit that teaches
+// the engine to raise it, and a new TARA threat without a row in any
+// rule's `threats` list shows up as a `threat-without-detection` finding.
+//
+// Deliberately header-light (strings and vectors only): the static
+// analyzer links this table without pulling the radio/telemetry stack in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace agrarsec::ids {
+
+struct DetectionRuleInfo {
+  std::string id;           ///< stable rule id, matches Alert::rule
+  std::string kind;         ///< "signature" or "anomaly"
+  std::string description;  ///< what the rule fires on
+  /// TARA threat-catalogue names (risk::forestry_threats) whose execution
+  /// this rule can detect. Empty = the rule is not mapped to the
+  /// catalogue (agrarsec-lint flags it as a dead detection rule).
+  std::vector<std::string> threats;
+};
+
+/// All detection rules the engine (ids.cpp) can raise, ordered by id.
+[[nodiscard]] const std::vector<DetectionRuleInfo>& detection_rule_table();
+
+}  // namespace agrarsec::ids

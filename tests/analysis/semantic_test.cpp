@@ -1,0 +1,444 @@
+// Semantic-pass tests (SA + CM families): reachability dataflow
+// semantics, per-rule broken/repaired fixtures, determinism of the
+// rendered report, and the baseline round-trip over the new families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/analyzer.h"
+#include "analysis/baseline.h"
+#include "analysis/reachability.h"
+#include "assurance/gsn.h"
+#include "risk/iec62443.h"
+#include "risk/tara.h"
+
+namespace agrarsec::analysis {
+namespace {
+
+std::vector<Diagnostic> of_rule(const std::vector<Diagnostic>& diagnostics,
+                                const std::string& rule) {
+  std::vector<Diagnostic> out;
+  std::copy_if(diagnostics.begin(), diagnostics.end(), std::back_inserter(out),
+               [&](const Diagnostic& d) { return d.rule == rule; });
+  return out;
+}
+
+std::vector<Diagnostic> analyze(const Model& model) {
+  return Analyzer{}.analyze(model);
+}
+
+/// A countermeasure providing `level` in every FR.
+risk::Countermeasure blanket(const std::string& id, int level) {
+  risk::Countermeasure cm;
+  cm.id = id;
+  cm.description = "test countermeasure";
+  cm.provides.fill(level);
+  return cm;
+}
+
+/// A countermeasure providing `level` in SI only.
+risk::Countermeasure si_only(const std::string& id, int level) {
+  risk::Countermeasure cm;
+  cm.id = id;
+  cm.description = "test countermeasure";
+  cm.provides[static_cast<std::size_t>(risk::Fr::kSi)] = level;
+  return cm;
+}
+
+// --- reachability dataflow ------------------------------------------------
+
+struct ReachFixture {
+  risk::ZoneModel zones;
+  std::vector<risk::Countermeasure> catalogue{blanket("cm3", 3), blanket("cm1", 1)};
+};
+
+TEST(Reachability, EffectiveEqualsLocalWithoutConduits) {
+  ReachFixture f;
+  risk::Zone zone;
+  zone.name = "lonely";
+  zone.countermeasures = {"cm3"};
+  f.zones.add_zone(std::move(zone));
+
+  const auto reach = compute_reachability(f.zones, f.catalogue);
+  ASSERT_EQ(reach.size(), 1u);
+  for (std::size_t fr = 0; fr < risk::kFrCount; ++fr) {
+    EXPECT_EQ(reach[0].local[fr], 3);
+    EXPECT_EQ(reach[0].effective[fr], 3);
+    EXPECT_TRUE(reach[0].witness[fr].empty());
+  }
+}
+
+TEST(Reachability, TrustedConduitPivotUndercutsLocalDefences) {
+  // soft (local 0) --bare conduit--> hard (local 3): the attacker enters
+  // soft directly and pivots over the conduit, which the hard zone
+  // trusts; effective(hard) collapses to 0.
+  ReachFixture f;
+  risk::Zone soft;
+  soft.name = "soft";
+  risk::Zone hard;
+  hard.name = "hard";
+  hard.countermeasures = {"cm3"};
+  const ZoneId soft_id = f.zones.add_zone(std::move(soft));
+  const ZoneId hard_id = f.zones.add_zone(std::move(hard));
+  risk::Conduit bare;
+  bare.name = "bare";
+  bare.from = soft_id;
+  bare.to = hard_id;
+  f.zones.add_conduit(std::move(bare));
+
+  const auto reach = compute_reachability(f.zones, f.catalogue);
+  ASSERT_EQ(reach.size(), 2u);
+  EXPECT_EQ(reach[1].local[0], 3);
+  EXPECT_EQ(reach[1].effective[0], 0);
+  EXPECT_EQ(witness_to_string(reach[1].witness[0]), "soft -> bare");
+}
+
+TEST(Reachability, ConduitBarrierGatesThePivot) {
+  // Same topology but the conduit itself is hardened to 1: the path
+  // resistance is max(entry 0, conduit 1) = 1.
+  ReachFixture f;
+  risk::Zone soft;
+  soft.name = "soft";
+  risk::Zone hard;
+  hard.name = "hard";
+  hard.countermeasures = {"cm3"};
+  const ZoneId soft_id = f.zones.add_zone(std::move(soft));
+  const ZoneId hard_id = f.zones.add_zone(std::move(hard));
+  risk::Conduit guarded;
+  guarded.name = "guarded";
+  guarded.from = soft_id;
+  guarded.to = hard_id;
+  guarded.countermeasures = {"cm1"};
+  f.zones.add_conduit(std::move(guarded));
+
+  const auto reach = compute_reachability(f.zones, f.catalogue);
+  EXPECT_EQ(reach[1].effective[0], 1);
+}
+
+TEST(Reachability, MultiHopPathAndBidirectionalTraversal) {
+  // a (0) -> b (3) -> c (3), conduits bare. The attack on c pivots twice;
+  // the conduit into b is declared b->a, proving direction is ignored.
+  ReachFixture f;
+  risk::Zone a;
+  a.name = "a";
+  risk::Zone b;
+  b.name = "b";
+  b.countermeasures = {"cm3"};
+  risk::Zone c;
+  c.name = "c";
+  c.countermeasures = {"cm3"};
+  const ZoneId a_id = f.zones.add_zone(std::move(a));
+  const ZoneId b_id = f.zones.add_zone(std::move(b));
+  const ZoneId c_id = f.zones.add_zone(std::move(c));
+  risk::Conduit ab;
+  ab.name = "ab";
+  ab.from = b_id;  // declared against attacker movement
+  ab.to = a_id;
+  f.zones.add_conduit(std::move(ab));
+  risk::Conduit bc;
+  bc.name = "bc";
+  bc.from = b_id;
+  bc.to = c_id;
+  f.zones.add_conduit(std::move(bc));
+
+  const auto reach = compute_reachability(f.zones, f.catalogue);
+  EXPECT_EQ(reach[2].effective[0], 0);
+  EXPECT_EQ(witness_to_string(reach[2].witness[0]), "a -> ab -> b -> bc");
+}
+
+// --- SA fixtures ----------------------------------------------------------
+
+/// One asset, one severe threat => CAL4 under the adjacent vector; the
+/// zone holding it has SL-T `target_iac` on IAC and a soft neighbour.
+struct SaFixture {
+  risk::ItemDefinition item;
+  std::optional<risk::Tara> tara;
+  risk::ZoneModel zones;
+  std::vector<risk::Countermeasure> catalogue{blanket("cm3", 3), si_only("si3", 3)};
+
+  explicit SaFixture(bool harden_conduit) {
+    item.name = "test-item";
+    risk::Asset asset;
+    asset.id = AssetId{1};
+    asset.name = "estop";
+    asset.category = risk::AssetCategory::kControl;
+    asset.properties = {risk::SecurityProperty::kIntegrity};
+    item.assets.push_back(asset);
+
+    tara.emplace(item);
+    risk::ThreatScenario threat;
+    threat.id = ThreatId{1};
+    threat.asset = AssetId{1};
+    threat.name = "estop-spoof";
+    threat.damage.safety = risk::ImpactLevel::kSevere;
+    tara->add_threat(std::move(threat));
+    tara->assess({});
+
+    risk::Zone safety;
+    safety.name = "safety";
+    safety.assets = {AssetId{1}};
+    safety.target = {0, 0, 4, 0, 0, 0, 0};  // SI target 4
+    safety.countermeasures = {"si3"};       // local SI 3, nothing else
+    risk::Zone yard;
+    yard.name = "yard";  // no countermeasures: direct entry at 0
+    const ZoneId safety_id = zones.add_zone(std::move(safety));
+    const ZoneId yard_id = zones.add_zone(std::move(yard));
+    risk::Conduit link;
+    link.name = "link";
+    link.from = yard_id;
+    link.to = safety_id;
+    if (harden_conduit) link.countermeasures = {"cm3"};
+    zones.add_conduit(std::move(link));
+  }
+
+  [[nodiscard]] Model model() const {
+    Model m;
+    m.tara = &*tara;
+    m.zones = &zones;
+    m.countermeasures = &catalogue;
+    return m;
+  }
+};
+
+TEST(SemanticRules, SA001_HighCalAssetBelowTargetOnWeakestPath) {
+  const SaFixture broken(false);
+  const auto findings = of_rule(analyze(broken.model()), "SA001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"zone:safety", "fr:SI"}));
+  EXPECT_NE(findings[0].message.find("estop"), std::string::npos);
+  // The witness path names the pivot.
+  EXPECT_NE(findings[0].hint.find("yard -> link"), std::string::npos);
+}
+
+TEST(SemanticRules, SA002_PivotPathUndercutsLocalDefences) {
+  const SaFixture broken(false);
+  const auto findings = of_rule(analyze(broken.model()), "SA002");
+  ASSERT_EQ(findings.size(), 1u);  // only SI has local > 0
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"zone:safety", "fr:SI"}));
+
+  // Hardening the conduit to the local level removes the undercut (the
+  // SL-T 4 gap itself remains SA001's business).
+  const SaFixture repaired(true);
+  EXPECT_TRUE(of_rule(analyze(repaired.model()), "SA002").empty());
+}
+
+TEST(SemanticRules, SA003_ZoneTargetBelowCalFloor) {
+  // CAL4 demands SL-T 4 on the FR guarding the asset's property.
+  SaFixture fixture(true);
+  const auto findings = of_rule(analyze(fixture.model()), "SA003");
+  EXPECT_TRUE(findings.empty());  // SI target 4 == floor
+
+  SaFixture broken(true);
+  broken.zones = {};
+  risk::Zone soft_target;
+  soft_target.name = "safety";
+  soft_target.assets = {AssetId{1}};
+  soft_target.target = {0, 0, 3, 0, 0, 0, 0};  // SI target 3 < floor 4
+  soft_target.countermeasures = {"cm3"};
+  broken.zones.add_zone(std::move(soft_target));
+  const auto broken_findings = of_rule(analyze(broken.model()), "SA003");
+  ASSERT_EQ(broken_findings.size(), 1u);
+  EXPECT_EQ(broken_findings[0].entities,
+            (std::vector<std::string>{"zone:safety", "asset:estop", "fr:SI"}));
+}
+
+TEST(SemanticRules, SA004_OverProvisionedConduit) {
+  const SaFixture fixture(true);  // conduit cm3 vs targets 4 (safety) / 0 (yard)
+  // SI: conduit 3 <= safety target 4 => no finding on SI; but every other
+  // FR has conduit 3 > 0 targets on both ends.
+  const auto findings = of_rule(analyze(fixture.model()), "SA004");
+  ASSERT_FALSE(findings.empty());
+  for (const Diagnostic& d : findings) {
+    EXPECT_EQ(d.severity, Severity::kInfo);
+    EXPECT_EQ(d.entities[0], "conduit:link");
+    EXPECT_NE(d.entities[1], "fr:SI");
+  }
+}
+
+// --- CM fixtures ----------------------------------------------------------
+
+/// A treated threat plus a GSN argument that optionally claims it.
+struct CmFixture {
+  risk::ItemDefinition item;
+  std::optional<risk::Tara> tara;
+  assurance::ArgumentModel argument;
+
+  enum class Claim { kNone, kUnanchored, kAnchored };
+
+  explicit CmFixture(Claim claim) {
+    item.name = "test-item";
+    risk::Asset asset;
+    asset.id = AssetId{1};
+    asset.name = "radio-link";
+    asset.category = risk::AssetCategory::kCommunication;
+    item.assets.push_back(asset);
+
+    tara.emplace(item);
+    risk::ThreatScenario threat;
+    threat.id = ThreatId{1};
+    threat.asset = AssetId{1};
+    threat.name = "link-spoof";
+    threat.damage.safety = risk::ImpactLevel::kSevere;
+    tara->add_threat(std::move(threat));
+    tara->assess({});  // risk 5 + severe safety => kAvoid
+
+    const GsnId top =
+        argument.add(assurance::GsnType::kGoal, "G-top", "site secure");
+    if (claim == Claim::kNone) {
+      argument.mark_undeveloped(top);
+      return;
+    }
+    const GsnId goal = argument.add(assurance::GsnType::kGoal,
+                                    "G-threat-link-spoof", "spoofing mitigated");
+    argument.support(top, goal);
+    argument.mark_undeveloped(goal);
+    if (claim == Claim::kAnchored) {
+      const GsnId ctx = argument.add(assurance::GsnType::kContext,
+                                     "C-asset", "asset radio-link in scope");
+      argument.in_context(goal, ctx);
+    }
+  }
+
+  [[nodiscard]] Model model() const {
+    Model m;
+    m.tara = &*tara;
+    m.argument = &argument;
+    return m;
+  }
+};
+
+TEST(SemanticRules, CM001_TreatedThreatWithoutClaimingGoal) {
+  const CmFixture broken(CmFixture::Claim::kNone);
+  const auto findings = of_rule(analyze(broken.model()), "CM001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"threat:link-spoof",
+                                      "goal:G-threat-link-spoof"}));
+
+  const CmFixture repaired(CmFixture::Claim::kAnchored);
+  EXPECT_TRUE(of_rule(analyze(repaired.model()), "CM001").empty());
+}
+
+TEST(SemanticRules, CM002_ClaimingGoalNeverNamesTheAsset) {
+  const CmFixture broken(CmFixture::Claim::kUnanchored);
+  const auto findings = of_rule(analyze(broken.model()), "CM002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entities,
+            (std::vector<std::string>{"threat:link-spoof",
+                                      "goal:G-threat-link-spoof",
+                                      "asset:radio-link"}));
+
+  // Anchoring via an attached context clears it...
+  const CmFixture direct(CmFixture::Claim::kAnchored);
+  EXPECT_TRUE(of_rule(analyze(direct.model()), "CM002").empty());
+
+  // ...and so does an ancestor goal naming the asset (the cascade shape:
+  // G-threat-* nested under G-asset-*).
+  CmFixture ancestor(CmFixture::Claim::kNone);
+  assurance::ArgumentModel nested;
+  const GsnId top = nested.add(assurance::GsnType::kGoal, "G-top", "secure");
+  const GsnId asset_goal = nested.add(assurance::GsnType::kGoal,
+                                      "G-asset-radio-link", "asset defended");
+  const GsnId threat_goal = nested.add(assurance::GsnType::kGoal,
+                                       "G-threat-link-spoof", "mitigated");
+  nested.support(top, asset_goal);
+  nested.support(asset_goal, threat_goal);
+  nested.mark_undeveloped(threat_goal);
+  ancestor.argument = std::move(nested);
+  EXPECT_TRUE(of_rule(analyze(ancestor.model()), "CM002").empty());
+}
+
+TEST(SemanticRules, CM003_RetainedResidualRiskOverZoneBudget) {
+  // Three retained medium risks against one zone: sum 9 > budget 6.
+  risk::ItemDefinition item;
+  item.name = "test-item";
+  risk::Asset asset;
+  asset.id = AssetId{1};
+  asset.name = "telemetry";
+  asset.category = risk::AssetCategory::kCommunication;
+  item.assets.push_back(asset);
+
+  // Major impact at high feasibility is risk 4; threshold 5 leaves all
+  // three retained, so the zone accumulates residual 12 > budget 6.
+  risk::Tara tara{item, {.reduce_threshold = 5, .avoid_threshold = 6}};
+  for (int i = 0; i < 3; ++i) {
+    risk::ThreatScenario threat;
+    threat.id = ThreatId{static_cast<std::uint64_t>(i + 1)};
+    threat.asset = AssetId{1};
+    threat.name = "leak-" + std::to_string(i);
+    threat.damage.operational = risk::ImpactLevel::kMajor;
+    tara.add_threat(std::move(threat));
+  }
+  tara.assess({});
+
+  risk::ZoneModel zones;
+  risk::Zone zone;
+  zone.name = "data";
+  zone.assets = {AssetId{1}};
+  zones.add_zone(std::move(zone));
+  const std::vector<risk::Countermeasure> catalogue;
+
+  Model model;
+  model.tara = &tara;
+  model.zones = &zones;
+  model.countermeasures = &catalogue;
+  const auto findings = of_rule(analyze(model), "CM003");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].entities, (std::vector<std::string>{"zone:data"}));
+  EXPECT_NE(findings[0].message.find("residual risk 12"), std::string::npos);
+
+  // A raised documented budget accepts the accumulation.
+  const auto relaxed =
+      Analyzer{AnalyzerConfig{.zone_residual_budget = 12}}.analyze(model);
+  EXPECT_TRUE(of_rule(relaxed, "CM003").empty());
+}
+
+TEST(SemanticRules, CM004_TreatmentThatDidNotMoveTheNeedle) {
+  const CmFixture fixture(CmFixture::Claim::kAnchored);  // no controls: residual 5
+  const auto findings = of_rule(analyze(fixture.model()), "CM004");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].entities, (std::vector<std::string>{"threat:link-spoof"}));
+}
+
+// --- determinism + baseline over the new families -------------------------
+
+TEST(SemanticRules, ReportIsByteIdenticalAcrossRuns) {
+  auto render = [] {
+    const SaFixture fixture(false);
+    return render_json(analyze(fixture.model()));
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(SemanticRules, BaselineRoundTripSuppressesAndDetectsStale) {
+  const SaFixture fixture(false);
+  const auto findings = analyze(fixture.model());
+  ASSERT_FALSE(findings.empty());
+
+  // Suppress everything -> re-run -> clean, and the JSON survives a
+  // round-trip byte-identically.
+  const Baseline baseline = Baseline::from(findings);
+  std::string error;
+  const auto reparsed = Baseline::parse(baseline.to_json(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->to_json(), baseline.to_json());
+  EXPECT_TRUE(reparsed->filter(findings).empty());
+  EXPECT_TRUE(reparsed->stale_keys(findings).empty());
+
+  // Repairing the model leaves the suppressions stale, and stale keys
+  // name the rule first.
+  const SaFixture repaired(true);
+  const auto remaining = analyze(repaired.model());
+  const auto stale = reparsed->stale_keys(remaining);
+  ASSERT_FALSE(stale.empty());
+  EXPECT_EQ(stale[0].rfind("SA00", 0), 0u) << stale[0];
+}
+
+}  // namespace
+}  // namespace agrarsec::analysis

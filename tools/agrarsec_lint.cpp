@@ -8,16 +8,21 @@
 //
 //   agrarsec_lint [--model=risk|assurance|pki|all|defective]
 //                 [--format=text|json] [--baseline=FILE]
-//                 [--write-baseline=FILE] [--list-rules]
-//                 [--stats[=FILE]]
+//                 [--write-baseline=FILE] [--coverage-json[=FILE]]
+//                 [--list-rules] [--stats[=FILE]]
 //
 // --stats emits analyzer self-telemetry (rules run, findings per rule
-// family, analysis wall time) through the repo's obs registry — the same
+// family, per-pass wall time) through the repo's obs registry — the same
 // machinery the simulation exports — as JSON to FILE, or to stderr so
 // --format=json pipelines keep a clean stdout.
 //
+// --coverage-json writes the TARA->IDS->scenario coverage matrix
+// (DESIGN.md §15.3) to FILE, or to stdout when no findings report was
+// requested there.
+//
 // Exit codes: 0 = no error-severity findings beyond the baseline,
-//             1 = un-baselined error findings, 2 = usage/IO error.
+//             1 = un-baselined error findings, 2 = usage/IO error,
+//             3 = model construction failed.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,7 +34,9 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/baseline.h"
+#include "analysis/coverage.h"
 #include "assurance/cascade.h"
+#include "ids/rule_table.h"
 #include "assurance/compliance.h"
 #include "core/time.h"
 #include "crypto/random.h"
@@ -58,6 +65,8 @@ struct ModelBundle {
   std::optional<assurance::ComplianceMap> compliance;
   std::optional<pki::TrustStore> trust;
   std::vector<analysis::PkiEndpoint> endpoints;
+  std::vector<ids::DetectionRuleInfo> ids_rules;
+  std::vector<analysis::ExecutableScenario> scenarios;
 
   [[nodiscard]] analysis::Model view() const {
     analysis::Model model;
@@ -79,6 +88,8 @@ struct ModelBundle {
       model.trust = &*trust;
       model.endpoints = &endpoints;
     }
+    if (!ids_rules.empty()) model.ids_rules = &ids_rules;
+    if (!scenarios.empty()) model.scenarios = &scenarios;
     return model;
   }
 };
@@ -91,6 +102,9 @@ void add_risk_model(ModelBundle& bundle) {
   bundle.countermeasures = risk::countermeasure_catalogue();
   bundle.controls = risk::control_catalogue();
   bundle.characteristics = risk::table1_characteristics();
+  // Coverage layer: the shipped IDS rule table and scenario registry.
+  bundle.ids_rules = ids::detection_rule_table();
+  bundle.scenarios = analysis::scenario_registry();
 }
 
 /// The model examples/assurance_case.cpp assembles: CASCADE-generated SAC
@@ -194,6 +208,35 @@ void add_defective_model(ModelBundle& bundle) {
   dangling.to = ZoneId{999};
   bundle.zones->add_conduit(std::move(dangling));
   // ZC004: every asset except the first is unzoned.
+  // SA002: a locally hardened zone reachable over a bare conduit from the
+  // soft data zone — the trusted-channel pivot undercuts its defences.
+  // SA004: that conduit's crypto also exceeds both endpoint targets.
+  risk::Zone hardened_zone;
+  hardened_zone.name = "hardened";
+  hardened_zone.target = {1, 1, 1, 1, 1, 1, 1};
+  hardened_zone.countermeasures = {"secure-channel", "access-control"};
+  const ZoneId hardened_id = bundle.zones->add_zone(std::move(hardened_zone));
+  risk::Conduit pivot;
+  pivot.name = "pivot";
+  pivot.from = data_id;
+  pivot.to = hardened_id;
+  bundle.zones->add_conduit(std::move(pivot));
+  risk::Conduit gilded;
+  gilded.name = "gilded";
+  gilded.from = data_id;
+  gilded.to = hardened_id;
+  gilded.countermeasures = {"secure-channel"};
+  bundle.zones->add_conduit(std::move(gilded));
+
+  // CV003: a detection rule watching a threat the TARA never lists.
+  // CV004: a registered scenario exercising nothing catalogued.
+  bundle.ids_rules = ids::detection_rule_table();
+  bundle.ids_rules.push_back({"dead-rule", "signature",
+                              "watches a threat the catalogue dropped",
+                              {"no-such-threat"}});
+  bundle.scenarios = analysis::scenario_registry();
+  bundle.scenarios.push_back(
+      {"orphan-scenario", "examples/nowhere.cpp", {"uncatalogued-threat"}});
 
   // GS001..GS004: a cyclic, evidence-dangling, open-goal argument with a
   // compliance mapping into the void.
@@ -252,8 +295,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--model=risk|assurance|pki|all|defective]\n"
                "          [--format=text|json] [--baseline=FILE]\n"
-               "          [--write-baseline=FILE] [--list-rules]\n"
-               "          [--stats[=FILE]]\n",
+               "          [--write-baseline=FILE] [--coverage-json[=FILE]]\n"
+               "          [--list-rules] [--stats[=FILE]]\n",
                argv0);
   return 2;
 }
@@ -268,6 +311,8 @@ int main(int argc, char** argv) {
   bool list_rules = false;
   bool stats = false;
   std::string stats_path;
+  bool coverage = false;
+  std::string coverage_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -282,15 +327,23 @@ int main(int argc, char** argv) {
     else if (arg == "--list-rules") list_rules = true;
     else if (arg == "--stats") stats = true;
     else if (auto v5 = value_of("--stats=")) { stats = true; stats_path = *v5; }
+    else if (arg == "--coverage-json") coverage = true;
+    else if (auto v6 = value_of("--coverage-json=")) {
+      coverage = true;
+      coverage_path = *v6;
+    }
     else return usage(argv[0]);
   }
   if (format != "text" && format != "json") return usage(argv[0]);
 
   if (list_rules) {
+    std::printf("%-5s  %-7s  %-12s  %-10s  %s\n", "rule", "sev", "family",
+                "pass", "summary");
     for (const analysis::RuleInfo& rule : analysis::rule_catalogue()) {
-      std::printf("%s  %-7s  %-12s  %s\n", std::string(rule.id).c_str(),
+      std::printf("%s  %-7s  %-12s  %-10s  %s\n", std::string(rule.id).c_str(),
                   std::string(analysis::severity_name(rule.severity)).c_str(),
-                  std::string(rule.family).c_str(), std::string(rule.summary).c_str());
+                  std::string(rule.family).c_str(), std::string(rule.pass).c_str(),
+                  std::string(rule.summary).c_str());
     }
     return 0;
   }
@@ -314,16 +367,17 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "agrarsec_lint: model construction failed: %s\n", e.what());
-    return 2;
+    return 3;
   }
 
   obs::Telemetry telemetry;
   const analysis::Analyzer analyzer;
   const obs::PhaseId ph_analyze = telemetry.tracer().phase("lint.analyze");
   std::vector<analysis::Diagnostic> findings;
+  std::vector<analysis::PassStats> pass_stats;
   {
     const obs::Tracer::Span span{telemetry.tracer(), ph_analyze};
-    findings = analyzer.analyze(bundle.view());
+    findings = analyzer.analyze(bundle.view(), stats ? &pass_stats : nullptr);
   }
 
   if (stats) {
@@ -342,6 +396,11 @@ int main(int argc, char** argv) {
     const auto& analyze_stats = telemetry.tracer().stats(ph_analyze);
     reg.gauge("lint.analyze_wall_seconds")
         .set(static_cast<double>(analyze_stats.total_ns) / 1e9);
+    for (const analysis::PassStats& pass : pass_stats) {
+      reg.gauge("lint.pass." + pass.pass + ".wall_seconds")
+          .set(static_cast<double>(pass.wall_ns) / 1e9);
+      reg.counter("lint.pass." + pass.pass + ".findings").add(pass.findings);
+    }
     const std::string stats_json = telemetry.to_json();
     if (stats_path.empty()) {
       std::fputs(stats_json.c_str(), stderr);
@@ -362,6 +421,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (coverage) {
+    const std::string report = analysis::render_coverage_json(
+        analysis::build_coverage(bundle.view()), bundle.view());
+    if (coverage_path.empty()) {
+      std::fputs(report.c_str(), stdout);
+    } else if (!write_file(coverage_path, report)) {
+      std::fprintf(stderr, "agrarsec_lint: cannot write coverage '%s'\n",
+                   coverage_path.c_str());
+      return 2;
+    }
+  }
+
   analysis::Baseline baseline;
   if (!baseline_path.empty()) {
     const auto content = read_file(baseline_path);
@@ -378,6 +449,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     baseline = std::move(*parsed);
+    // A suppression nothing matches anymore is a fixed finding that never
+    // got un-suppressed: warn so the baseline shrinks back over time.
+    for (const std::string& stale : baseline.stale_keys(findings)) {
+      std::fprintf(stderr, "agrarsec_lint: stale baseline entry: %s\n",
+                   stale.c_str());
+    }
   }
 
   const std::vector<analysis::Diagnostic> fresh = baseline.filter(findings);
