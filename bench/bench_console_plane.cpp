@@ -1,0 +1,328 @@
+// Console observability-plane benchmark: throughput of the poll-driven
+// HTTP server and the SSE flight-recorder stream against a live
+// FleetService, on a connections x request-mix grid.
+//
+//  - HTTP axis: keep-alive clients doing sequential round trips over one
+//    connection (serial rates, gated by the baseline) and over 8
+//    concurrent connections (parallel rates, printed but untracked —
+//    they fold in the runner's core count). Request mixes: "sessions"
+//    (cheap snapshot), "flight" (recorder tail render), "mixed".
+//  - Stream axis: one subscriber draining a pre-filled flight recorder
+//    over /stream/flight/<id>. The reassembled payload must be
+//    byte-identical to the recorder's polled JSONL export — a fast
+//    stream that delivers different bytes is a parity failure, same
+//    contract as the step benchmarks. Drain rate is bounded by the
+//    server's poll tick x chunk size, so it gates the streaming plane's
+//    delivery pipeline, not the simulator.
+//
+// Lines of the form "BENCH name=value" are machine-readable; CI captures
+// them into BENCH_baseline.json and fails on large regressions
+// (scripts/bench_gate.py).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/random.h"
+#include "net/stream.h"
+#include "obs/telemetry.h"
+#include "pki/identity.h"
+#include "pki/trust_store.h"
+#include "service/console.h"
+#include "service/fleet_service.h"
+
+using namespace agrarsec;
+
+namespace {
+
+integration::SecuredWorksiteConfig session_config(std::uint64_t seed) {
+  integration::SecuredWorksiteConfig config;
+  config.seed = seed;
+  config.worksite.forest.trees_per_hectare = 120;
+  config.worksite.harvester_output_m3_per_min = 30.0;
+  config.worksite.load_time = 15 * core::kSecond;
+  return config;
+}
+
+/// One keep-alive round trip: writes `request`, consumes exactly one
+/// response (Content-Length framed) from `buf`. False on error/timeout.
+bool roundtrip(net::TcpStream& conn, const std::string& request, std::string& buf) {
+  if (!conn.write_all(std::string_view{request}, 5000)) return false;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const std::size_t hdr_end = buf.find("\r\n\r\n");
+    if (hdr_end != std::string::npos) {
+      const std::size_t cl = buf.find("Content-Length: ");
+      if (cl == std::string::npos || cl > hdr_end) return false;
+      const std::size_t body =
+          static_cast<std::size_t>(std::strtoull(buf.c_str() + cl + 16, nullptr, 10));
+      const std::size_t total = hdr_end + 4 + body;
+      if (buf.size() >= total) {
+        buf.erase(0, total);
+        return true;
+      }
+    }
+    const long n = conn.read_some(chunk, sizeof(chunk), 5000);
+    if (n <= 0) return false;
+    buf.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+}
+
+std::string get_line(const std::string& target) {
+  return "GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n";
+}
+
+/// `count` round trips on one fresh keep-alive connection; returns
+/// successful requests (== count unless the server misbehaved).
+std::uint64_t run_client(std::uint16_t port, const std::vector<std::string>& mix,
+                         std::uint64_t count) {
+  net::TcpStream conn = net::TcpStream::connect_local(port);
+  if (!conn.valid()) return 0;
+  std::string buf;
+  std::uint64_t ok = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!roundtrip(conn, mix[static_cast<std::size_t>(i % mix.size())], buf)) break;
+    ++ok;
+  }
+  return ok;
+}
+
+struct HttpAxisResult {
+  double rate = 0.0;
+  std::uint64_t failed = 0;
+};
+
+HttpAxisResult run_http_axis(std::uint16_t port, const std::vector<std::string>& mix,
+                             std::size_t connections, std::uint64_t per_connection) {
+  // The request budget per connection stays under the server's
+  // max_requests_per_connection (default 128) so keep-alive never cycles.
+  std::atomic<std::uint64_t> ok{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  if (connections == 1) {
+    ok += run_client(port, mix, per_connection);
+  } else {
+    std::vector<std::thread> clients;
+    clients.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      clients.emplace_back([&ok, port, &mix, per_connection] {
+        ok.fetch_add(run_client(port, mix, per_connection),
+                     std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  HttpAxisResult r;
+  r.rate = static_cast<double>(ok.load()) / secs;
+  r.failed = static_cast<std::uint64_t>(connections) * per_connection - ok.load();
+  return r;
+}
+
+struct StreamResult {
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  int mismatches = 0;
+};
+
+/// Drains a pre-filled flight recorder over SSE and checks the
+/// reassembled payload against the polled JSONL export byte-for-byte.
+StreamResult run_stream_drain(std::uint16_t port, service::SessionId id,
+                              const std::string& expected, std::uint64_t events) {
+  StreamResult r;
+  r.events = events;
+  net::TcpStream sub = net::TcpStream::connect_local(port);
+  if (!sub.valid()) {
+    ++r.mismatches;
+    return r;
+  }
+  const std::string get =
+      get_line("/stream/flight/" + std::to_string(id) + "?cursor=0");
+  if (!sub.write_all(std::string_view{get}, 5000)) {
+    ++r.mismatches;
+    return r;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string raw;
+  std::string payload;
+  std::size_t scanned = 0;
+  bool headers_done = false;
+  std::uint8_t chunk[8192];
+  while (payload.size() < expected.size()) {
+    const long n = sub.read_some(chunk, sizeof(chunk), 5000);
+    if (n <= 0) {
+      std::printf("  STREAM STALL: %zu/%zu payload bytes\n", payload.size(),
+                  expected.size());
+      ++r.mismatches;
+      return r;
+    }
+    raw.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+    if (!headers_done) {
+      const std::size_t end = raw.find("\r\n\r\n");
+      if (end == std::string::npos) continue;
+      scanned = end + 4;
+      headers_done = true;
+    }
+    for (;;) {
+      const std::size_t frame_end = raw.find("\n\n", scanned);
+      if (frame_end == std::string::npos) break;
+      const std::string_view frame =
+          std::string_view{raw}.substr(scanned, frame_end - scanned);
+      scanned = frame_end + 2;
+      const std::size_t data_at = frame.find("data: ");
+      if (data_at == std::string_view::npos) continue;
+      payload.append(frame.substr(data_at + 6));
+      payload.push_back('\n');
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_sec = static_cast<double>(events) / secs;
+  if (payload != expected) {
+    ++r.mismatches;
+    std::printf("  STREAM PARITY MISMATCH: SSE payload differs from polled"
+                " JSONL export (%zu vs %zu bytes)\n",
+                payload.size(), expected.size());
+  }
+  std::printf("  %llu events drained in %.3fs -> %.0f events/sec"
+              " (%d mismatches)\n",
+              static_cast<unsigned long long>(events), secs, r.events_per_sec,
+              r.mismatches);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::consume_artifact_dir_flag(argc, argv);
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  std::printf("=== console observability-plane benchmark ===\n\n");
+
+  // Live fleet + console, the same shape the ops examples use.
+  crypto::Drbg drbg{77, "bench-console"};
+  auto root = pki::CertificateAuthority::create_root("bench-root", drbg.generate32(),
+                                                     0, 1000 * core::kHour);
+  pki::TrustStore trust;
+  if (!trust.add_root(root.certificate()).ok()) return 1;
+  auto console_id = pki::enroll(root, drbg, "console-01",
+                                pki::CertRole::kOperatorStation, 0,
+                                1000 * core::kHour);
+  if (!console_id.ok()) return 1;
+
+  service::FleetServiceConfig fleet_config;
+  fleet_config.fleet_seed = 777;
+  service::FleetService fleet{fleet_config};
+  std::vector<service::SessionId> ids;
+  for (std::uint64_t key = 0; key < 2; ++key) {
+    ids.push_back(fleet.create_session_keyed(
+        session_config(service::FleetService::derive_session_seed(777, key)), key));
+  }
+  fleet.step_all(20);
+
+  service::ConsoleService console{fleet, console_id.value(), trust, 78};
+  if (!console.start().ok()) return 1;
+
+  const std::string flight_target = "/flight/" + std::to_string(ids[0]) + "?n=32";
+  const std::vector<std::string> mix_sessions{get_line("/sessions")};
+  const std::vector<std::string> mix_flight{get_line(flight_target)};
+  const std::vector<std::string> mix_mixed{get_line("/sessions"),
+                                           get_line(flight_target),
+                                           get_line("/ids")};
+
+  const std::uint64_t per_conn = quick ? 20 : 100;
+  // Best-of-N trials per cell: one scheduler stall (delayed ACK, core
+  // handoff) inside a ~0.1s measurement window craters a single trial by
+  // 3x on a small runner, and the gate tracks the server's capability,
+  // not the runner's noise floor.
+  const int trials = quick ? 2 : 3;
+  std::uint64_t failed = 0;
+  struct Cell {
+    const char* mix_name;
+    const std::vector<std::string>* mix;
+    double serial = 0.0;
+    double parallel8 = 0.0;
+  };
+  Cell cells[] = {{"sessions", &mix_sessions},
+                  {"flight", &mix_flight},
+                  {"mixed", &mix_mixed}};
+  std::printf("HTTP axis: %llu requests per connection, connections x mix,"
+              " best of %d trials\n",
+              static_cast<unsigned long long>(per_conn), trials);
+  for (Cell& cell : cells) {
+    for (int trial = 0; trial < trials; ++trial) {
+      const HttpAxisResult serial =
+          run_http_axis(console.http_port(), *cell.mix, 1, per_conn);
+      const HttpAxisResult parallel =
+          run_http_axis(console.http_port(), *cell.mix, 8, per_conn);
+      if (serial.rate > cell.serial) cell.serial = serial.rate;
+      if (parallel.rate > cell.parallel8) cell.parallel8 = parallel.rate;
+      failed += serial.failed + parallel.failed;
+    }
+    std::printf("  mix=%-8s  1 conn: %7.0f req/sec   8 conns: %7.0f req/sec\n",
+                cell.mix_name, cell.serial, cell.parallel8);
+  }
+
+  // Streaming axis: pre-fill a recorder with synthetic events so the
+  // drain measures the delivery pipeline (pump -> SSE framing -> socket),
+  // not the simulator's event production rate.
+  const std::uint64_t stream_events = quick ? 512 : 3000;
+  obs::FlightRecorder& recorder = fleet.session(ids[1])->telemetry().recorder();
+  for (std::uint64_t i = 0; i < stream_events; ++i) {
+    recorder.record(static_cast<core::SimTime>(i), "bench", "stream-fill", i);
+  }
+  const std::uint64_t total = recorder.total_recorded();
+  const std::uint64_t held = recorder.size();
+  const std::string expected = recorder.to_jsonl();
+  std::printf("\nSSE drain: %llu held events (%llu recorded) via"
+              " /stream/flight/%llu\n",
+              static_cast<unsigned long long>(held),
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(ids[1]));
+  const StreamResult stream =
+      run_stream_drain(console.http_port(), ids[1], expected, held);
+
+  const std::uint64_t http_errors = console.http().protocol_errors();
+  console.stop();
+  obs::write_bench_artifact(fleet.telemetry(), "bench_console_plane");
+
+  int mismatches = stream.mismatches;
+  if (failed != 0) {
+    ++mismatches;
+    std::printf("  HTTP MISMATCH: %llu round trips failed\n",
+                static_cast<unsigned long long>(failed));
+  }
+  if (http_errors != 0) {
+    ++mismatches;
+    std::printf("  HTTP MISMATCH: %llu protocol errors from well-formed"
+                " clients\n",
+                static_cast<unsigned long long>(http_errors));
+  }
+
+  // Serial rates and exact counters gate (BENCH_baseline.json); the
+  // *_parallel8 rates are visible in CI logs but untracked.
+  std::printf("\nBENCH console_http_requests_per_sec=%.0f\n", cells[0].serial);
+  std::printf("BENCH console_http_requests_per_sec_flight=%.0f\n", cells[1].serial);
+  std::printf("BENCH console_http_requests_per_sec_mixed=%.0f\n", cells[2].serial);
+  std::printf("BENCH console_http_requests_per_sec_parallel8=%.0f\n",
+              cells[0].parallel8);
+  std::printf("BENCH console_http_requests_per_sec_flight_parallel8=%.0f\n",
+              cells[1].parallel8);
+  std::printf("BENCH console_http_requests_per_sec_mixed_parallel8=%.0f\n",
+              cells[2].parallel8);
+  std::printf("BENCH console_sse_drain_events_per_sec=%.0f\n",
+              stream.events_per_sec);
+  std::printf("BENCH console_plane_mismatches=%d\n", mismatches);
+  if (!quick) {
+    std::printf("BENCH console_stream_events_exact=%llu\n",
+                static_cast<unsigned long long>(stream.events));
+  }
+  return mismatches == 0 ? 0 : 1;
+}

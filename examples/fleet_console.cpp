@@ -2,16 +2,25 @@
 // secured worksite sessions, with the on-machine console serving live
 // JSON snapshots over HTTP and the authenticated control plane driving
 // pause / single-step / attack injection / evidence export over our own
-// secure-channel records.
+// secure-channel records. The second half streams flight-recorder events
+// over SSE and then runs a scripted control-plane attack (handshake
+// bruteforce, replay burst, command flood) against the console's own IDS
+// sensor — the coverage analyzer's `console-control-plane-attack`
+// scenario points here.
 //
 //   build/examples/fleet_console            # narrated walkthrough
 //   build/examples/fleet_console --smoke    # quiet, exits non-zero on any
 //                                           # failed round trip (CI smoke)
 #include <cstdio>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <string>
 
+#include "core/bytes.h"
 #include "crypto/random.h"
+#include "net/stream.h"
+#include "secure/session.h"
 #include "pki/identity.h"
 #include "pki/trust_store.h"
 #include "service/console.h"
@@ -131,6 +140,89 @@ bool run(bool smoke) {
 
   if (!client.value().call("resume").ok() || fleet.paused()) return fail("resume");
   fleet.step_all(5);
+
+  // Streaming plane: subscribe to the session's flight recorder over SSE
+  // and check the live push carries real event frames with sequence ids.
+  {
+    net::TcpStream sub = net::TcpStream::connect_local(console.http_port());
+    if (!sub.valid()) return fail("SSE connect");
+    const std::string get = "GET /stream/flight/" + std::to_string(ids[0]) +
+                            "?cursor=0 HTTP/1.1\r\nHost: x\r\n\r\n";
+    if (!sub.write_all(std::string_view{get}, 2000)) return fail("SSE request");
+    std::string got;
+    std::uint8_t chunk[2048];
+    while (got.find("\ndata: {\"seq\":") == std::string::npos) {
+      const long n = sub.read_some(chunk, sizeof(chunk), 2000);
+      if (n <= 0) return fail("SSE stream stalled before first event");
+      got.append(reinterpret_cast<const char*>(chunk),
+                 static_cast<std::size_t>(n));
+    }
+    if (got.find("Content-Type: text/event-stream") == std::string::npos) {
+      return fail("SSE content type");
+    }
+    if (chatty) {
+      std::printf("SSE /stream/flight/%llu delivered live events (%zu bytes)\n",
+                  static_cast<unsigned long long>(ids[0]), got.size());
+    }
+  }
+
+  // Scripted control-plane attack against the console's own IDS sensor:
+  // the control plane is an attack surface, so its abuse must itself be a
+  // detected event (TARA threats console-handshake-bruteforce,
+  // console-replay-burst, console-command-flood).
+  {
+    // Handshake bruteforce: garbage first flights until the streak trips.
+    // The probes queue behind the operator's idle control connection, so
+    // the sensor count is awaited, not asserted immediately.
+    for (int i = 0; i < 5; ++i) {
+      net::TcpStream probe = net::TcpStream::connect_local(console.control_port());
+      if (!probe.valid()) return fail("bruteforce connect");
+      const core::Bytes garbage = core::from_string("definitely not msg1");
+      if (!net::write_frame(probe, garbage, 500)) return fail("bruteforce frame");
+      std::uint8_t sink[64];
+      while (probe.read_some(sink, sizeof(sink), 500) > 0) {
+      }
+    }
+    for (int waited = 0;
+         console.sensor_alert_count("control-bruteforce") == 0; waited += 50) {
+      if (waited > 8000) return fail("bruteforce undetected");
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // The bruteforce storm starved the operator's old connection; a fresh
+    // handshake is the operator's recovery path (same as after rotation).
+    client = service::ConsoleClient::connect(
+        console.control_port(), operator_id.value(), trust, op_drbg, "console-01");
+    if (!client.ok()) return fail("control re-handshake");
+
+    // Replay burst: forged sealed records on the authenticated session.
+    crypto::Drbg fuzz{2028, "fuzz"};
+    for (int i = 0; i < 8; ++i) {
+      secure::Record forged;
+      forged.sequence = 5000 + static_cast<std::uint64_t>(i);
+      forged.ciphertext = fuzz.generate(48);
+      if (!client.value().send_raw_frame(forged.encode())) {
+        return fail("replay frame");
+      }
+    }
+    if (!client.value().call("ping").ok()) return fail("post-replay ping");
+    if (console.sensor_alert_count("control-replay-burst") == 0) {
+      return fail("replay burst undetected");
+    }
+
+    // Command flood: hammer genuine dispatches past the rate threshold.
+    for (int i = 0; i < 31; ++i) {
+      if (!client.value().call("ping").ok()) return fail("flood ping");
+    }
+    if (console.sensor_alert_count("control-flood") == 0) {
+      return fail("command flood undetected");
+    }
+    if (chatty) {
+      auto ids_view = service::http_get_local(console.http_port(), "/ids");
+      std::printf("control-plane attack detected by the console sensor:\n  %s\n",
+                  ids_view.ok() ? ids_view.value().c_str() : "(/ids unavailable)");
+    }
+  }
 
   console.stop();
   if (chatty) std::printf("\nconsole stopped cleanly\n");

@@ -14,10 +14,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== console smoke: live endpoints + authenticated control plane =="
-# Ephemeral ports, a raw-socket /metrics fetch, and a pause/step/resume
-# round trip over the secure control channel — the end-to-end path a CI
-# regression in the net/ or service/ layers would break first.
+echo "== console smoke: live endpoints + control plane + streaming =="
+# Ephemeral ports, a raw-socket /metrics fetch, a pause/step/resume round
+# trip over the secure control channel, an SSE flight-recorder stream,
+# and a scripted control-plane attack that must trip the console's IDS
+# sensor — the end-to-end path a CI regression in the net/ or service/
+# layers would break first.
 ./build/examples/fleet_console --smoke
 
 echo "== static analysis: agrarsec-lint over the committed models =="
@@ -56,12 +58,17 @@ echo "== sanitizers: TSan over the parallel stepping paths =="
 # pool, and the console's HTTP + control server threads snapshotting and
 # pausing against concurrent step_all batches. A data race in the
 # decide/integrate/sample phases fails here even though the parity tests
-# (which compare outcomes, not interleavings) might still pass.
+# (which compare outcomes, not interleavings) might still pass. The
+# net_test torture suite and the ConsoleStream/ConsoleSensor suites add
+# the poll-driven HTTP server under concurrent clients, SSE subscribers
+# against a stepping fleet, and the control-plane IDS sensor written by
+# the control thread while /ids reads it.
 cmake -B build-tsan -S . -DAGRARSEC_TSAN=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
-cmake --build build-tsan -j "$JOBS" --target core_test sim_test obs_test service_test
+cmake --build build-tsan -j "$JOBS" --target core_test net_test sim_test obs_test service_test
 ./build-tsan/tests/core_test --gtest_filter='ThreadPool*:LogThreadSafety*'
+./build-tsan/tests/net_test --gtest_filter='HttpServerTorture*'
 ./build-tsan/tests/obs_test --gtest_filter='RegistryTest.MergeIsDeterministic*'
 ./build-tsan/tests/sim_test --gtest_filter='WorksiteParallel*'
-./build-tsan/tests/service_test --gtest_filter='FleetServiceParallel*:ConsoleParallel*'
+./build-tsan/tests/service_test --gtest_filter='FleetServiceParallel*:ConsoleParallel*:ConsoleStream*:ConsoleSensor*'
 
 echo "== all checks passed =="

@@ -16,6 +16,9 @@ const std::vector<ExecutableScenario>& scenario_registry() {
        {"detection-suppression", "estop-replay"}},
       {"channel-flood-vs-ids", "examples/attack_scenarios.cpp",
        {"detection-suppression"}},
+      {"console-control-plane-attack", "examples/fleet_console.cpp",
+       {"console-command-flood", "console-handshake-bruteforce",
+        "console-replay-burst"}},
       {"ghost-lidar", "examples/attack_scenarios.cpp", {"lidar-ghosting"}},
       {"gnss-corridor-walkoff", "bench/bench_gnss_corridor.cpp",
        {"gnss-spoof-walkoff"}},

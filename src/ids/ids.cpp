@@ -19,7 +19,10 @@ IntrusionDetectionSystem::IntrusionDetectionSystem(IdsConfig config,
                                                    obs::Telemetry* telemetry)
     : config_(config),
       ewma_(config.ewma_alpha, config.ewma_k),
-      cusum_(0.0, config.cusum_slack, config.cusum_threshold) {
+      cusum_(0.0, config.cusum_slack, config.cusum_threshold),
+      control_command_rate_(
+          config.control_flood_window >= 10 ? config.control_flood_window / 10 : 1,
+          10) {
   if (telemetry != nullptr) {
     telemetry_ = telemetry;
   } else {
@@ -166,6 +169,47 @@ void IntrusionDetectionSystem::tick(core::SimTime now) {
   if (cusum_.update(sample)) {
     raise(now, "rate-shift", AlertSeverity::kWarning, 0,
           "sustained aggregate rate shift detected");
+  }
+}
+
+void IntrusionDetectionSystem::observe_control(ControlPlaneEvent event,
+                                               core::SimTime now,
+                                               std::uint64_t subject) {
+  switch (event) {
+    case ControlPlaneEvent::kHandshakeOk:
+      control_fail_streak_ = 0;
+      break;
+    case ControlPlaneEvent::kHandshakeFailed:
+    case ControlPlaneEvent::kAuthzDenied:
+      // Streak counter, not a time window: a brute-force probe is a run of
+      // failures with no genuine session in between, however it is paced.
+      if (++control_fail_streak_ == config_.control_bruteforce_threshold) {
+        raise(now, "control-bruteforce", AlertSeverity::kCritical, subject,
+              std::to_string(control_fail_streak_) +
+                  " consecutive failed control-plane handshakes");
+        control_fail_streak_ = 0;
+      }
+      break;
+    case ControlPlaneEvent::kRecordRejected:
+      if (++control_reject_streak_ == config_.control_replay_threshold) {
+        raise(now, "control-replay-burst", AlertSeverity::kCritical, subject,
+              std::to_string(control_reject_streak_) +
+                  " rejected control records without a genuine one between");
+        control_reject_streak_ = 0;
+      }
+      break;
+    case ControlPlaneEvent::kRecordAccepted:
+      control_reject_streak_ = 0;
+      break;
+    case ControlPlaneEvent::kCommandDispatched:
+      control_command_rate_.add(now);
+      if (control_command_rate_.count(now) > config_.control_flood_threshold) {
+        raise(now, "control-flood", AlertSeverity::kWarning, subject,
+              "command rate above " +
+                  std::to_string(config_.control_flood_threshold) +
+                  " per flood window");
+      }
+      break;
   }
 }
 

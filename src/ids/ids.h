@@ -13,6 +13,13 @@
 //   "unauthorized-estop" e-stop from a sender without e-stop authority
 //   "rate-anomaly"     EWMA band violation on aggregate traffic
 //   "rate-shift"       CUSUM drift on aggregate traffic
+//
+// Control-plane sensor family (observe_control; fed by the operations
+// console, which is itself an attack surface — handshake failures,
+// rejected records and command rates are detectable events):
+//   "control-bruteforce"   consecutive failed handshakes/authz denials
+//   "control-replay-burst" rejected sealed records with no genuine one between
+//   "control-flood"        authenticated command rate above threshold
 #pragma once
 
 #include <functional>
@@ -43,6 +50,24 @@ struct IdsConfig {
   double cusum_slack = 5.0;
   double cusum_threshold = 120.0;
   std::size_t alert_capacity = 100000;   ///< ring buffer bound
+
+  // Control-plane sensor thresholds (observe_control). The streak-based
+  // rules are event-count triggers on purpose: they fire deterministically
+  // regardless of how fast the attacker (or a test) drives the channel.
+  std::uint64_t control_bruteforce_threshold = 5;  ///< consecutive failures
+  std::uint64_t control_replay_threshold = 8;      ///< rejects since last genuine record
+  std::uint64_t control_flood_threshold = 30;      ///< commands per flood window
+  core::SimDuration control_flood_window = 10 * core::kSecond;
+};
+
+/// One observable event on the console control plane.
+enum class ControlPlaneEvent : std::uint8_t {
+  kHandshakeOk = 0,        ///< authenticated + authorized session established
+  kHandshakeFailed = 1,    ///< handshake flight undecodable or crypto failure
+  kAuthzDenied = 2,        ///< authenticated subject not on the allow list
+  kRecordRejected = 3,     ///< sealed record undecodable / AEAD or replay reject
+  kRecordAccepted = 4,     ///< sealed record opened within the replay window
+  kCommandDispatched = 5,  ///< verb executed against the fleet
 };
 
 class IntrusionDetectionSystem {
@@ -62,6 +87,15 @@ class IntrusionDetectionSystem {
 
   /// Advances window-based detectors; call once per sim step.
   void tick(core::SimTime now);
+
+  /// Observes one control-plane event from the operations console
+  /// (first-class sensor: an attack on the control plane is itself a
+  /// detectable event). `subject` is the peer identity when known.
+  /// Timestamps are whatever clock the console runs on (wall ms there) —
+  /// only the flood rule is time-window based; the streak rules count
+  /// events.
+  void observe_control(ControlPlaneEvent event, core::SimTime now,
+                       std::uint64_t subject = 0);
 
   [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
   [[nodiscard]] std::uint64_t alert_count(const std::string& rule) const;
@@ -106,6 +140,11 @@ class IntrusionDetectionSystem {
   EwmaDetector ewma_;
   CusumDetector cusum_;
   std::uint64_t frames_this_tick_ = 0;
+
+  // Control-plane sensor state.
+  std::uint64_t control_fail_streak_ = 0;    ///< failures since last good handshake
+  std::uint64_t control_reject_streak_ = 0;  ///< rejects since last genuine record
+  RateWindow control_command_rate_;          ///< flood window (see IdsConfig)
 };
 
 }  // namespace agrarsec::ids

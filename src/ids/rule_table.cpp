@@ -6,6 +6,15 @@ const std::vector<DetectionRuleInfo>& detection_rule_table() {
   // Ordered by id; the threat names must match risk/catalog.cpp — the
   // lint coverage pass flags any drift (unknown name => dead mapping).
   static const std::vector<DetectionRuleInfo> kTable = {
+      {"control-bruteforce", "signature",
+       "consecutive failed control-plane handshakes/authz denials",
+       {"console-handshake-bruteforce"}},
+      {"control-flood", "signature",
+       "authenticated command rate above threshold on the console control plane",
+       {"console-command-flood"}},
+      {"control-replay-burst", "signature",
+       "burst of rejected sealed control records without a genuine one between",
+       {"console-replay-burst"}},
       {"flood", "signature",
        "per-source frame rate above threshold",
        {"detection-suppression", "disaster-window-attack"}},

@@ -1,7 +1,11 @@
 #include "net/http.h"
 
+#include <poll.h>
+
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <memory>
 
 namespace agrarsec::net {
 
@@ -60,6 +64,16 @@ void append_json_escaped(std::string& out, std::string_view s) {
         if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
     }
   }
+}
+
+/// Wall-clock now for connection deadlines and stream pacing. This layer
+/// is wall-side observability plumbing — nothing here feeds deterministic
+/// exports.
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -123,6 +137,24 @@ HttpResponse HttpResponse::text(int status, std::string body) {
   r.status = status;
   r.content_type = "text/plain";
   r.body = std::move(body);
+  return r;
+}
+
+std::string HttpResponse::serialize_stream_head() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  // No Content-Length: the payload is open-ended; the stream ends by
+  // disconnect (ours on pump exhaustion, or the subscriber hanging up).
+  out += "\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n";
+  return out;
+}
+
+HttpResponse HttpResponse::event_stream(StreamPump pump) {
+  HttpResponse r;
+  r.content_type = "text/event-stream";
+  r.stream = std::move(pump);
   return r;
 }
 
@@ -243,54 +275,170 @@ void HttpServer::stop() {
 }
 
 void HttpServer::serve_loop() {
-  // Short accept timeout so the stop flag is observed promptly; a live
-  // connection is bounded by io_timeout_ms per read and the per-connection
-  // request cap.
+  // Poll-driven connection set: one pollfd for the listener plus one per
+  // live connection. Every tick accepts pending connections (bounded by
+  // max_connections with a deterministic 503 beyond it), drains readable
+  // sockets through each connection's own parser, runs stream pumps, and
+  // flushes pending output — no connection can block another.
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<pollfd> fds;
   while (!stop_.load(std::memory_order_relaxed)) {
-    TcpStream conn = listener_.accept_conn(50);
-    if (!conn.valid()) continue;
-    connections_.fetch_add(1, std::memory_order_relaxed);
-    serve_connection(std::move(conn));
+    fds.clear();
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    for (const auto& conn : conns) {
+      short events = POLLIN;
+      if (conn->has_pending_out()) events |= POLLOUT;
+      fds.push_back(pollfd{conn->stream.fd(), events, 0});
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                          config_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) break;
+    const std::uint64_t now = wall_now_ns();
+
+    if ((fds[0].revents & POLLIN) != 0) accept_pending(conns, now);
+
+    // Service connections; fds[i + 1] corresponds to conns[i]. Accepts
+    // were appended after the fds snapshot, so a fresh connection gets
+    // its first input service on the next tick.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& conn = *conns[i];
+      bool keep = true;
+      const std::size_t fd_index = i + 1;
+      if (fd_index < fds.size() &&
+          (fds[fd_index].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        keep = service_input(conn, now);
+      }
+      if (keep) keep = service_output(conn, now);
+      if (keep) conns[kept++] = std::move(conns[i]);
+    }
+    conns.resize(kept);
   }
 }
 
-void HttpServer::serve_connection(TcpStream stream) {
-  HttpRequestParser parser{config_.limits};
-  std::uint8_t chunk[4096];
-  int served = 0;
-  while (!stop_.load(std::memory_order_relaxed) &&
-         served < config_.max_requests_per_connection) {
-    HttpRequest request;
-    const HttpRequestParser::Status st = parser.poll(request);
-    if (st == HttpRequestParser::Status::kError) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      const auto response = HttpResponse::error(parser.error_status(), "bad_request",
-                                                "malformed HTTP request");
+void HttpServer::accept_pending(
+    std::vector<std::unique_ptr<Connection>>& conns, std::uint64_t now) {
+  for (;;) {
+    TcpStream stream = listener_.accept_conn(0);
+    if (!stream.valid()) return;
+    if (conns.size() >= config_.max_connections) {
+      // Deterministic rejection: every over-limit connection gets the
+      // same 503 and an immediate close (tiny write into an empty socket
+      // buffer — never blocks the loop in practice).
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      const auto response = HttpResponse::error(
+          503, "overloaded", "console connection limit reached");
       (void)stream.write_all(response.serialize(), config_.io_timeout_ms);
-      return;
-    }
-    if (st == HttpRequestParser::Status::kNeedMore) {
-      const long n = stream.read_some(chunk, sizeof(chunk), config_.io_timeout_ms);
-      if (n <= 0) return;  // timeout, error or orderly close
-      parser.append(std::string_view{reinterpret_cast<const char*>(chunk),
-                                     static_cast<std::size_t>(n)});
       continue;
     }
-    HttpResponse response = handler_(request);
-    const bool head = request.method == "HEAD";
-    if (request.version == "HTTP/1.0" ||
-        iequals(request.header("Connection"), "close")) {
-      response.close_connection = true;
-    }
-    std::string wire = response.serialize();
-    if (head) wire.resize(wire.size() - response.body.size());
-    // Count before the write: a client that has read the response must
-    // already observe it in requests_served().
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!stream.write_all(wire, config_.io_timeout_ms)) return;
-    ++served;
-    if (response.close_connection) return;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    conns.push_back(
+        std::make_unique<Connection>(std::move(stream), config_.limits, now));
   }
+}
+
+bool HttpServer::service_input(Connection& conn, std::uint64_t now) {
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const long n = conn.stream.read_nowait(chunk, sizeof(chunk));
+    if (n == -1) break;   // drained for now
+    if (n == -2) return false;
+    if (n == 0) {
+      // Peer closed its write side. Flush whatever is queued, then drop;
+      // a mid-stream disconnect lands here too.
+      conn.close_after_flush = true;
+      return conn.has_pending_out();
+    }
+    conn.idle_since_ns = now;
+    if (conn.pump || conn.close_after_flush) continue;  // discard input
+    conn.parser.append(std::string_view{reinterpret_cast<const char*>(chunk),
+                                        static_cast<std::size_t>(n)});
+  }
+  while (!conn.pump && !conn.close_after_flush) {
+    HttpRequest request;
+    const HttpRequestParser::Status st = conn.parser.poll(request);
+    if (st == HttpRequestParser::Status::kNeedMore) break;
+    if (st == HttpRequestParser::Status::kError) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      const auto response = HttpResponse::error(
+          conn.parser.error_status(), "bad_request", "malformed HTTP request");
+      conn.outbuf += response.serialize();
+      conn.close_after_flush = true;
+      break;
+    }
+    answer(conn, request);
+  }
+  return true;
+}
+
+void HttpServer::answer(Connection& conn, const HttpRequest& request) {
+  HttpResponse response = handler_(request);
+  const bool head = request.method == "HEAD";
+  if (request.version == "HTTP/1.0" ||
+      iequals(request.header("Connection"), "close")) {
+    response.close_connection = true;
+  }
+  // Count before the flush: a client that has read the response must
+  // already observe it in requests_served().
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ++conn.served;
+  if (response.stream) {
+    conn.outbuf += response.serialize_stream_head();
+    if (head) {
+      conn.close_after_flush = true;
+      return;
+    }
+    streams_.fetch_add(1, std::memory_order_relaxed);
+    conn.pump = std::move(response.stream);
+    return;  // pipelined follow-ups after a stream are ignored
+  }
+  std::string wire = response.serialize();
+  if (head) wire.resize(wire.size() - response.body.size());
+  conn.outbuf += wire;
+  if (response.close_connection ||
+      conn.served >= config_.max_requests_per_connection) {
+    conn.close_after_flush = true;
+  }
+}
+
+bool HttpServer::service_output(Connection& conn, std::uint64_t now) {
+  if (conn.pump && !conn.close_after_flush) {
+    if (!conn.pump(conn.outbuf)) conn.close_after_flush = true;
+    if (conn.outbuf.size() - conn.out_off > config_.max_outbuf_bytes) {
+      // Bounded subscriber lag: the reader fell further behind than the
+      // output cap allows — cut it rather than buffer without limit.
+      overruns_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (conn.has_pending_out()) {
+    const long n = conn.stream.write_nowait(
+        std::string_view{conn.outbuf}.substr(conn.out_off));
+    if (n < 0) return false;
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      conn.idle_since_ns = now;
+    }
+    if (!conn.has_pending_out()) {
+      conn.outbuf.clear();
+      conn.out_off = 0;
+    }
+  }
+  if (conn.close_after_flush && !conn.has_pending_out()) return false;
+  // Idle / slow-loris cutoff (wall-clock deadline). Streaming connections
+  // are exempt: the server is the writer there.
+  if (!conn.pump && !conn.close_after_flush &&
+      now - conn.idle_since_ns >
+          static_cast<std::uint64_t>(config_.io_timeout_ms) * 1000000ull) {
+    if (conn.parser.buffered() > 0) {
+      const auto response = HttpResponse::error(
+          408, "timeout", "request not completed in time");
+      conn.outbuf += response.serialize();
+    }
+    conn.close_after_flush = true;
+    return conn.has_pending_out();
+  }
+  return true;
 }
 
 }  // namespace agrarsec::net

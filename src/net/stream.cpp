@@ -110,6 +110,29 @@ long TcpStream::read_some(std::uint8_t* out, std::size_t max, int timeout_ms) {
   }
 }
 
+long TcpStream::read_nowait(std::uint8_t* out, std::size_t max) {
+  if (fd_ < 0 || max == 0) return -2;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out, max, 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
+}
+
+long TcpStream::write_nowait(std::string_view text) {
+  if (fd_ < 0) return -1;
+  if (text.empty()) return 0;
+  for (;;) {
+    const ssize_t n = ::send(fd_, text.data(), text.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
 bool TcpStream::write_all(std::span<const std::uint8_t> data, int timeout_ms) {
   if (fd_ < 0) return false;
   std::size_t off = 0;

@@ -42,6 +42,15 @@ class TcpStream {
   /// -1 on error/timeout.
   [[nodiscard]] long read_some(std::uint8_t* out, std::size_t max, int timeout_ms);
 
+  /// Single non-blocking read attempt for poll-driven servers: returns
+  /// bytes read (>0), 0 on orderly shutdown, -1 when the socket has no
+  /// data right now (EAGAIN), -2 on a hard error.
+  [[nodiscard]] long read_nowait(std::uint8_t* out, std::size_t max);
+
+  /// Single non-blocking write attempt: returns bytes written (>= 0; 0
+  /// when the socket buffer is full) or -1 on a hard error.
+  [[nodiscard]] long write_nowait(std::string_view text);
+
   /// Writes the whole span (looping over partial writes). False on
   /// error/timeout.
   [[nodiscard]] bool write_all(std::span<const std::uint8_t> data, int timeout_ms);
@@ -67,6 +76,7 @@ class TcpListener {
 
   core::Status bind_and_listen(std::uint16_t port, int backlog = 16);
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return fd_; }
   [[nodiscard]] bool listening() const { return fd_ >= 0; }
 
   /// Waits up to timeout_ms for a connection. Returns an invalid stream

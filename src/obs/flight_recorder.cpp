@@ -30,6 +30,26 @@ void append_json_string(std::string& out, std::string_view s) {
   out.push_back('"');
 }
 
+/// The one serializer for a flight event line — to_jsonl() and
+/// read_since() both render through it, so streamed payloads are
+/// byte-identical to the polled export by construction.
+void append_event_line(std::string& out, const FlightEvent& e) {
+  out += "{\"seq\":" + std::to_string(e.seq);
+  out += ",\"t\":" + std::to_string(e.time);
+  out += ",\"cat\":";
+  append_json_string(out, e.category);
+  out += ",\"code\":";
+  append_json_string(out, e.code);
+  out += ",\"subject\":" + std::to_string(e.subject);
+  if (e.a != 0) out += ",\"a\":" + std::to_string(e.a);
+  if (e.b != 0) out += ",\"b\":" + std::to_string(e.b);
+  if (!e.detail.empty()) {
+    out += ",\"detail\":";
+    append_json_string(out, e.detail);
+  }
+  out += "}\n";
+}
+
 }  // namespace
 
 FlightRecorder::FlightRecorder(std::size_t capacity)
@@ -68,23 +88,30 @@ void FlightRecorder::record(core::SimTime time, std::string_view category,
 
 std::string FlightRecorder::to_jsonl() const {
   std::string out;
-  for_each([&out](const FlightEvent& e) {
-    out += "{\"seq\":" + std::to_string(e.seq);
-    out += ",\"t\":" + std::to_string(e.time);
-    out += ",\"cat\":";
-    append_json_string(out, e.category);
-    out += ",\"code\":";
-    append_json_string(out, e.code);
-    out += ",\"subject\":" + std::to_string(e.subject);
-    if (e.a != 0) out += ",\"a\":" + std::to_string(e.a);
-    if (e.b != 0) out += ",\"b\":" + std::to_string(e.b);
-    if (!e.detail.empty()) {
-      out += ",\"detail\":";
-      append_json_string(out, e.detail);
-    }
-    out += "}\n";
-  });
+  for_each([&out](const FlightEvent& e) { append_event_line(out, e); });
   return out;
+}
+
+FlightRecorder::ReadResult FlightRecorder::read_since(std::uint64_t cursor,
+                                                      std::size_t max_events,
+                                                      std::string& out) const {
+  ReadResult result;
+  const std::uint64_t oldest = next_seq_ - size();
+  if (cursor < oldest) {
+    result.dropped = oldest - cursor;
+    cursor = oldest;
+  }
+  result.next_cursor = cursor;
+  if (cursor >= next_seq_) return result;  // caught up
+  std::size_t index = static_cast<std::size_t>(cursor - oldest);
+  const std::size_t held = size();
+  while (index < held && result.events < max_events) {
+    append_event_line(out, at_oldest(index));
+    ++index;
+    ++result.events;
+  }
+  result.next_cursor = cursor + result.events;
+  return result;
 }
 
 std::string FlightRecorder::wall_annex_jsonl() const {

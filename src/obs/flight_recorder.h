@@ -64,6 +64,23 @@ class FlightRecorder {
   /// ("a"/"b" omitted when zero, "detail" omitted when empty). No wall clock.
   [[nodiscard]] std::string to_jsonl() const;
 
+  /// Result of a sequenced subscription read (read_since).
+  struct ReadResult {
+    std::size_t events = 0;        ///< events appended to `out`
+    std::uint64_t dropped = 0;     ///< events lost to wraparound before the cursor
+    std::uint64_t next_cursor = 0; ///< resume cursor: seq after the last event read
+  };
+
+  /// Sequenced subscription read: appends up to `max_events` held events
+  /// with seq >= `cursor` to `out`, one JSON object per line — the bytes
+  /// are identical to the corresponding to_jsonl() lines by construction
+  /// (both render through the same serializer). Events the ring already
+  /// overwrote are skipped and counted in `dropped`, so a subscriber's
+  /// lag is bounded by the ring capacity with explicit loss accounting.
+  /// Pass next_cursor back in to resume exactly after the last event.
+  ReadResult read_since(std::uint64_t cursor, std::size_t max_events,
+                        std::string& out) const;
+
   /// Wall-clock annex: {"seq":..,"wall_ns":..} per held event, oldest first.
   [[nodiscard]] std::string wall_annex_jsonl() const;
 

@@ -72,7 +72,8 @@ ItemDefinition forestry_item() {
       {SecurityProperty::kIntegrity, SecurityProperty::kAvailability});
   add("mission-control", "route/task assignment from the operator station",
       AssetCategory::kControl,
-      {SecurityProperty::kIntegrity, SecurityProperty::kAuthenticity});
+      {SecurityProperty::kIntegrity, SecurityProperty::kAuthenticity,
+       SecurityProperty::kAvailability});
   add("forwarder-firmware", "forwarder ECU software + boot chain",
       AssetCategory::kPlatform,
       {SecurityProperty::kIntegrity, SecurityProperty::kAuthenticity});
@@ -225,6 +226,27 @@ std::vector<ThreatScenario> forestry_threats(const ItemDefinition& item) {
       Stride::kSpoofing, SecurityProperty::kIntegrity,
       dmg(IL::kMajor, IL::kModerate, IL::kMajor, IL::kNegligible,
           "operator decisions based on false site picture"),
+      AttackPotential{1, 3, 0, 1, 0}, "Remote Monitoring and Control");
+  add("mission-control", "console-handshake-bruteforce",
+      "repeated forged handshakes probe the console's PKI-authenticated "
+      "control channel for weak or stolen operator credentials",
+      Stride::kSpoofing, SecurityProperty::kAuthenticity,
+      dmg(IL::kMajor, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "persistent probe pressure on the operator control plane"),
+      AttackPotential{1, 3, 3, 1, 0}, "Remote Monitoring and Control");
+  add("mission-control", "console-command-flood",
+      "authenticated-but-compromised peer floods control verbs to starve "
+      "the console and mask a concurrent physical attack",
+      Stride::kDenialOfService, SecurityProperty::kAvailability,
+      dmg(IL::kMajor, IL::kNegligible, IL::kMajor, IL::kNegligible,
+          "operator loses the console while machines keep running"),
+      AttackPotential{1, 3, 0, 1, 0}, "Remote Monitoring and Control");
+  add("mission-control", "console-replay-burst",
+      "captured sealed control records replayed in bursts to probe the "
+      "anti-replay window of the secure session",
+      Stride::kSpoofing, SecurityProperty::kAuthenticity,
+      dmg(IL::kMajor, IL::kModerate, IL::kMajor, IL::kNegligible,
+          "replayed pause/resume verbs would yank machines around"),
       AttackPotential{1, 3, 0, 1, 0}, "Remote Monitoring and Control");
   add("forwarder-firmware", "malicious-update",
       "unauthorized firmware pushed through the remote update path",

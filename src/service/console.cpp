@@ -6,11 +6,44 @@
 #include <utility>
 
 #include "analysis/json.h"
+#include "obs/trace.h"
 #include "secure/handshake.h"
 
 namespace agrarsec::service {
 
 namespace {
+
+/// Wall-clock milliseconds for the control-plane sensor. The sensor's
+/// telemetry is private to the console and never part of a deterministic
+/// export, so wall time is the honest clock here.
+core::SimTime sensor_now_ms() {
+  return static_cast<core::SimTime>(obs::Tracer::now_ns() / 1000000ull);
+}
+
+/// Appends one SSE frame: optional event name, optional id, and the
+/// payload split over `data:` lines (SSE forbids raw newlines in a frame;
+/// multi-line payloads arrive as consecutive data lines).
+void append_sse_event(std::string& out, std::string_view event,
+                      const std::uint64_t* id, std::string_view payload) {
+  if (!event.empty()) {
+    out += "event: ";
+    out += event;
+    out.push_back('\n');
+  }
+  if (id != nullptr) out += "id: " + std::to_string(*id) + "\n";
+  while (!payload.empty() && payload.back() == '\n') payload.remove_suffix(1);
+  std::size_t pos = 0;
+  while (pos <= payload.size()) {
+    std::size_t nl = payload.find('\n', pos);
+    if (nl == std::string_view::npos) nl = payload.size();
+    out += "data: ";
+    out.append(payload.data() + pos, nl - pos);
+    out.push_back('\n');
+    if (nl == payload.size()) break;
+    pos = nl + 1;
+  }
+  out.push_back('\n');
+}
 
 std::span<const std::uint8_t> console_aad() {
   return {reinterpret_cast<const std::uint8_t*>(kConsoleAad.data()),
@@ -80,7 +113,30 @@ ConsoleService::ConsoleService(FleetService& fleet, pki::Identity identity,
       http_(net::HttpServerConfig{.port = config_.http_port,
                                   .io_timeout_ms = config_.io_timeout_ms,
                                   .max_requests_per_connection = 128,
-                                  .limits = {}}) {}
+                                  .max_connections = config_.max_http_connections,
+                                  .limits = {}}),
+      sensor_([&] {
+        // Signature-only sensor with a private telemetry stack: its
+        // counters and flight events stay out of every fleet export.
+        ids::IdsConfig c = config_.sensor;
+        c.enable_anomaly = false;
+        return c;
+      }()) {}
+
+std::uint64_t ConsoleService::sensor_alert_count(const std::string& rule) const {
+  const std::lock_guard<std::mutex> lock(sensor_mu_);
+  return sensor_.alert_count(rule);
+}
+
+std::uint64_t ConsoleService::sensor_total_alerts() const {
+  const std::lock_guard<std::mutex> lock(sensor_mu_);
+  return sensor_.total_alerts();
+}
+
+void ConsoleService::sense(ids::ControlPlaneEvent event, std::uint64_t subject) {
+  const std::lock_guard<std::mutex> lock(sensor_mu_);
+  sensor_.observe_control(event, sensor_now_ms(), subject);
+}
 
 ConsoleService::~ConsoleService() { stop(); }
 
@@ -120,35 +176,147 @@ net::HttpResponse ConsoleService::route(const net::HttpRequest& request) {
   const std::string_view path = request.path();
   if (path == "/" || path == "/help") {
     return net::HttpResponse::json(
-        "{\"endpoints\":[\"/metrics\",\"/sessions\",\"/utilization\","
-        "\"/flight/<session>?n=<events>\"]}");
+        "{\"endpoints\":[\"/metrics\",\"/sessions\",\"/utilization\",\"/ids\","
+        "\"/flight/<session>?n=<events>&cursor=<seq>\","
+        "\"/stream/flight/<session>?cursor=<seq>\",\"/stream/metrics\"]}");
   }
   if (path == "/metrics") return net::HttpResponse::json(fleet_.metrics_json());
   if (path == "/sessions") return net::HttpResponse::json(fleet_.sessions_json());
   if (path == "/utilization") {
     return net::HttpResponse::json(fleet_.utilization_json());
   }
+  if (path == "/ids") return net::HttpResponse::json(ids_json());
+  if (path == "/stream/metrics") return route_stream_metrics();
+  if (constexpr std::string_view prefix = "/stream/flight/";
+      path.starts_with(prefix)) {
+    return route_stream_flight(request, path.substr(prefix.size()));
+  }
   if (constexpr std::string_view prefix = "/flight/"; path.starts_with(prefix)) {
-    SessionId id = 0;
-    if (!parse_session_id(path.substr(prefix.size()), id)) {
-      return net::HttpResponse::error(400, "bad_session", "non-numeric session id");
-    }
-    std::size_t n = config_.flight_tail_default;
-    if (const std::string_view q = request.query_param("n"); !q.empty()) {
-      SessionId parsed = 0;
-      if (!parse_session_id(q, parsed) || parsed == 0) {
-        return net::HttpResponse::error(400, "bad_param", "n must be a positive integer");
-      }
-      n = static_cast<std::size_t>(parsed);
-    }
-    std::string body = fleet_.flight_tail_json(id, n);
-    if (body.empty()) {
-      return net::HttpResponse::error(404, "unknown_session",
-                                      "no such session: " + std::to_string(id));
-    }
-    return net::HttpResponse::json(std::move(body));
+    return route_flight(request, path.substr(prefix.size()));
   }
   return net::HttpResponse::error(404, "not_found", std::string(path));
+}
+
+net::HttpResponse ConsoleService::route_flight(const net::HttpRequest& request,
+                                               std::string_view id_text) {
+  SessionId id = 0;
+  if (!parse_session_id(id_text, id)) {
+    return net::HttpResponse::error(400, "bad_session", "non-numeric session id");
+  }
+  std::size_t n = config_.flight_tail_default;
+  if (const std::string_view q = request.query_param("n"); !q.empty()) {
+    SessionId parsed = 0;
+    if (!parse_session_id(q, parsed) || parsed == 0) {
+      return net::HttpResponse::error(400, "bad_param", "n must be a positive integer");
+    }
+    n = static_cast<std::size_t>(parsed);
+  }
+  std::string body;
+  if (const std::string_view c = request.query_param("cursor"); !c.empty()) {
+    // Sequenced poll: resume exactly after the last event of the previous
+    // response (its "next_cursor") — repeated polls never overlap.
+    std::uint64_t cursor = 0;
+    if (!parse_session_id(c, cursor)) {
+      return net::HttpResponse::error(400, "bad_param",
+                                      "cursor must be a non-negative integer");
+    }
+    body = fleet_.flight_since_json(id, cursor, n);
+  } else {
+    body = fleet_.flight_tail_json(id, n);
+  }
+  if (body.empty()) {
+    return net::HttpResponse::error(404, "unknown_session",
+                                    "no such session: " + std::to_string(id));
+  }
+  return net::HttpResponse::json(std::move(body));
+}
+
+net::HttpResponse ConsoleService::route_stream_flight(
+    const net::HttpRequest& request, std::string_view id_text) {
+  SessionId id = 0;
+  if (!parse_session_id(id_text, id)) {
+    return net::HttpResponse::error(400, "bad_session", "non-numeric session id");
+  }
+  std::uint64_t cursor = 0;
+  if (const std::string_view c = request.query_param("cursor"); !c.empty()) {
+    if (!parse_session_id(c, cursor)) {
+      return net::HttpResponse::error(400, "bad_param",
+                                      "cursor must be a non-negative integer");
+    }
+  }
+  if (!fleet_.flight_read(id, cursor, 0).ok) {
+    return net::HttpResponse::error(404, "unknown_session",
+                                    "no such session: " + std::to_string(id));
+  }
+  // One SSE frame per flight event; `id:` carries the sequence number and
+  // the data line is byte-identical to the polled JSONL export's line.
+  // Ring overwrites are surfaced as an explicit "dropped" frame, so a
+  // lagging subscriber sees its loss instead of a silent gap.
+  const std::size_t chunk_events = config_.stream_chunk_events;
+  return net::HttpResponse::event_stream(
+      [this, id, cursor, chunk_events](std::string& out) mutable {
+        const FleetService::FlightChunk chunk =
+            fleet_.flight_read(id, cursor, chunk_events);
+        if (!chunk.ok) return false;  // session destroyed mid-stream
+        if (chunk.dropped > 0) {
+          append_sse_event(out, "dropped", nullptr,
+                           "{\"dropped\":" + std::to_string(chunk.dropped) + "}");
+        }
+        std::uint64_t seq = chunk.first_seq;
+        std::size_t pos = 0;
+        while (pos < chunk.jsonl.size()) {
+          std::size_t nl = chunk.jsonl.find('\n', pos);
+          if (nl == std::string::npos) nl = chunk.jsonl.size();
+          append_sse_event(out, {}, &seq,
+                           std::string_view{chunk.jsonl}.substr(pos, nl - pos));
+          ++seq;
+          pos = nl + 1;
+        }
+        cursor = chunk.next_cursor;
+        return true;
+      });
+}
+
+net::HttpResponse ConsoleService::route_stream_metrics() {
+  const auto interval_ns =
+      static_cast<std::uint64_t>(config_.stream_interval_ms) * 1000000ull;
+  return net::HttpResponse::event_stream(
+      [this, interval_ns, last_emit = std::uint64_t{0}](std::string& out) mutable {
+        const std::uint64_t now = obs::Tracer::now_ns();
+        if (last_emit != 0 && now - last_emit < interval_ns) return true;
+        last_emit = now;
+        append_sse_event(out, "sessions", nullptr, fleet_.sessions_json());
+        append_sse_event(out, "ids", nullptr, ids_json());
+        return true;
+      });
+}
+
+std::string ConsoleService::ids_json() const {
+  std::string out = "{\"sensor\":{\"alerts_total\":";
+  {
+    const std::lock_guard<std::mutex> lock(sensor_mu_);
+    out += std::to_string(sensor_.total_alerts());
+    for (const std::string_view rule :
+         {"control-bruteforce", "control-flood", "control-replay-burst"}) {
+      out += ",\"";
+      out += rule;
+      out += "\":" + std::to_string(sensor_.alert_count(std::string(rule)));
+    }
+  }
+  out += "},\"control\":{\"sessions_established\":" +
+         std::to_string(control_sessions_established());
+  out += ",\"commands_dispatched\":" + std::to_string(commands_dispatched());
+  out += ",\"records_rejected\":" + std::to_string(records_rejected());
+  out += ",\"rotations\":" + std::to_string(control_rotations());
+  out += "},\"http\":{\"connections_accepted\":" +
+         std::to_string(http_.connections_accepted());
+  out += ",\"connections_rejected\":" + std::to_string(http_.connections_rejected());
+  out += ",\"requests_served\":" + std::to_string(http_.requests_served());
+  out += ",\"protocol_errors\":" + std::to_string(http_.protocol_errors());
+  out += ",\"streams_opened\":" + std::to_string(http_.streams_opened());
+  out += ",\"streams_overrun\":" + std::to_string(http_.streams_overrun());
+  out += "}}";
+  return out;
 }
 
 void ConsoleService::control_loop() {
@@ -171,12 +339,14 @@ void ConsoleService::handle_control_connection(net::TcpStream stream) {
   const auto msg1 = secure::HandshakeMsg1::decode(*frame1);
   if (!msg1) {
     records_rejected_.fetch_add(1, std::memory_order_relaxed);
+    sense(ids::ControlPlaneEvent::kHandshakeFailed);
     return;
   }
   secure::Handshake handshake{identity_, trust_, config_.cert_validation_time};
   auto msg2 = handshake.respond(*msg1, drbg_);
   if (!msg2.ok()) {
     records_rejected_.fetch_add(1, std::memory_order_relaxed);
+    sense(ids::ControlPlaneEvent::kHandshakeFailed);
     return;
   }
   if (!net::write_frame(stream, msg2.value().encode(), timeout)) return;
@@ -185,6 +355,7 @@ void ConsoleService::handle_control_connection(net::TcpStream stream) {
   const auto msg3 = secure::HandshakeMsg3::decode(*frame3);
   if (!msg3 || !handshake.finish(*msg3).ok()) {
     records_rejected_.fetch_add(1, std::memory_order_relaxed);
+    sense(ids::ControlPlaneEvent::kHandshakeFailed);
     return;
   }
   secure::Session session = handshake.take_session();
@@ -193,10 +364,12 @@ void ConsoleService::handle_control_connection(net::TcpStream stream) {
     const auto& allowed = config_.allowed_subjects;
     if (std::find(allowed.begin(), allowed.end(), session.peer_subject()) ==
         allowed.end()) {
+      sense(ids::ControlPlaneEvent::kAuthzDenied);
       return;  // authenticated but not authorized: drop the connection
     }
   }
   sessions_established_.fetch_add(1, std::memory_order_relaxed);
+  sense(ids::ControlPlaneEvent::kHandshakeOk);
 
   int commands = 0;
   while (!stop_.load(std::memory_order_relaxed) &&
@@ -206,6 +379,7 @@ void ConsoleService::handle_control_connection(net::TcpStream stream) {
     const auto record = secure::Record::decode(*frame);
     if (!record) {
       records_rejected_.fetch_add(1, std::memory_order_relaxed);
+      sense(ids::ControlPlaneEvent::kRecordRejected);
       continue;  // malformed framing: drop, never dispatch
     }
     auto opened = session.open(*record, console_aad());
@@ -214,16 +388,26 @@ void ConsoleService::handle_control_connection(net::TcpStream stream) {
       // session window advanced only if authentication succeeded, so a
       // flipped byte cannot desynchronize subsequent genuine records.
       records_rejected_.fetch_add(1, std::memory_order_relaxed);
+      sense(ids::ControlPlaneEvent::kRecordRejected);
       continue;
     }
+    sense(ids::ControlPlaneEvent::kRecordAccepted);
     const std::string response = dispatch(
         std::string_view{reinterpret_cast<const char*>(opened.value().data()),
                          opened.value().size()});
     commands_dispatched_.fetch_add(1, std::memory_order_relaxed);
+    sense(ids::ControlPlaneEvent::kCommandDispatched);
     const secure::Record sealed = session.seal(
         core::from_string(response), console_aad());
     if (!net::write_frame(stream, sealed.encode(), timeout)) return;
     ++commands;
+    if (config_.rotate_after_commands > 0 &&
+        commands >= config_.rotate_after_commands) {
+      // Session rotation: close after N commands so long-lived operator
+      // sessions re-handshake onto fresh keys and a fresh replay window.
+      control_rotations_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 

@@ -7,12 +7,18 @@
 // Two planes, two listeners, two threads:
 //
 //  - HTTP plane (net::HttpServer, read-only): live JSON snapshots of the
-//    running fleet. GET /metrics (full fleet telemetry artifact incl.
-//    "wall." instruments), /sessions (per-session status + step counts),
+//    running fleet, served to N concurrent observers by the poll-driven
+//    server. GET /metrics (full fleet telemetry artifact incl. "wall."
+//    instruments), /sessions (per-session status + step counts),
 //    /utilization (per-shard busy-time table), /flight/<session>?n=K
-//    (flight-recorder tail). Strictly read-only by construction: every
-//    route maps to a const FleetService snapshot method and POST is
-//    refused outright.
+//    (flight-recorder tail; add ?cursor=C for sequenced non-overlapping
+//    polls), /ids (the console's own control-plane sensor counters), plus
+//    two Server-Sent-Events streams: /stream/flight/<session>?cursor=C
+//    (live flight-recorder events, payload bytes identical to the polled
+//    JSONL export, explicit `dropped` frames when a subscriber lags past
+//    the ring) and /stream/metrics (periodic snapshot push). Strictly
+//    read-only by construction: every route maps to a const FleetService
+//    snapshot method and POST is refused outright.
 //
 //  - Control plane (framed TCP + secure::Session): the mutating verbs —
 //    pause / resume / step / inject-attack / export — are reachable only
@@ -29,16 +35,25 @@
 // internal mutex — a snapshot lands between step batches, never inside
 // one, and determinism of the per-session exports is untouched by an
 // attached console (pinned by the console tests).
+//
+// The console is also a first-class IDS sensor: the control plane feeds
+// its own security-relevant events (handshake failures, authorization
+// denials, rejected records, command rates) into a private
+// ids::IntrusionDetectionSystem via observe_control — an attack on the
+// control plane is itself a detectable event. The sensor's alerts are
+// served at /ids and never touch the fleet's deterministic telemetry.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/result.h"
 #include "crypto/random.h"
+#include "ids/ids.h"
 #include "net/http.h"
 #include "net/stream.h"
 #include "pki/identity.h"
@@ -65,6 +80,21 @@ struct ConsoleConfig {
   /// Events returned by /flight/<session> when ?n= is absent.
   std::size_t flight_tail_default = 64;
   int max_commands_per_connection = 1024;
+  /// Control-session rotation: after this many dispatched commands the
+  /// server closes the control connection, forcing the operator client to
+  /// re-run the PKI handshake (fresh session keys + replay window). 0
+  /// disables rotation; the hard cap above still applies.
+  int rotate_after_commands = 256;
+  /// Concurrent HTTP connections served by the poll loop (beyond it,
+  /// deterministic 503).
+  std::size_t max_http_connections = 32;
+  /// Snapshot cadence of the /stream/metrics SSE push.
+  int stream_interval_ms = 200;
+  /// Max flight events forwarded per SSE pump tick and per connection.
+  std::size_t stream_chunk_events = 256;
+  /// Thresholds for the console's control-plane IDS sensor (anomaly
+  /// detectors are forced off — the sensor is signature-only).
+  ids::IdsConfig sensor;
 };
 
 class ConsoleService {
@@ -100,12 +130,30 @@ class ConsoleService {
   [[nodiscard]] std::uint64_t records_rejected() const {
     return records_rejected_.load(std::memory_order_relaxed);
   }
+  /// Control sessions closed by the rotation policy (the client must
+  /// re-handshake to continue).
+  [[nodiscard]] std::uint64_t control_rotations() const {
+    return control_rotations_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const net::HttpServer& http() const { return http_; }
+
+  /// Control-plane sensor alert count for one rule (e.g.
+  /// "control-bruteforce"); thread-safe against the control thread.
+  [[nodiscard]] std::uint64_t sensor_alert_count(const std::string& rule) const;
+  [[nodiscard]] std::uint64_t sensor_total_alerts() const;
 
  private:
   net::HttpResponse route(const net::HttpRequest& request);
+  net::HttpResponse route_flight(const net::HttpRequest& request,
+                                 std::string_view id_text);
+  net::HttpResponse route_stream_flight(const net::HttpRequest& request,
+                                        std::string_view id_text);
+  net::HttpResponse route_stream_metrics();
+  [[nodiscard]] std::string ids_json() const;
   void control_loop();
   void handle_control_connection(net::TcpStream stream);
+  /// Feeds one control-plane event into the IDS sensor (control thread).
+  void sense(ids::ControlPlaneEvent event, std::uint64_t subject = 0);
   /// Executes one authenticated command; returns the response JSON.
   std::string dispatch(std::string_view plaintext);
 
@@ -122,6 +170,12 @@ class ConsoleService {
   std::atomic<std::uint64_t> sessions_established_{0};
   std::atomic<std::uint64_t> commands_dispatched_{0};
   std::atomic<std::uint64_t> records_rejected_{0};
+  std::atomic<std::uint64_t> control_rotations_{0};
+
+  /// Control-plane sensor: written by the control thread, read by the
+  /// HTTP thread (/ids) — guarded by sensor_mu_, never by fleet state.
+  mutable std::mutex sensor_mu_;
+  ids::IntrusionDetectionSystem sensor_;
 };
 
 /// Operator-side control client: connects, runs the handshake as

@@ -271,31 +271,79 @@ std::string FleetService::utilization_json() const {
   return out;
 }
 
+namespace {
+
+/// Renders newline-terminated JSONL event lines as a JSON array body.
+void append_jsonl_as_array(std::string& out, const std::string& jsonl) {
+  out.push_back('[');
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string::npos) nl = jsonl.size();
+    if (nl > pos) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append(jsonl, pos, nl - pos);
+    }
+    pos = nl + 1;
+  }
+  out.push_back(']');
+}
+
+}  // namespace
+
+FleetService::FlightChunk FleetService::flight_read(SessionId id,
+                                                    std::uint64_t cursor,
+                                                    std::size_t max_events) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  FlightChunk chunk;
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return chunk;
+  const obs::FlightRecorder& recorder = it->second->site->telemetry().recorder();
+  const auto result = recorder.read_since(cursor, max_events, chunk.jsonl);
+  chunk.ok = true;
+  chunk.events = result.events;
+  chunk.dropped = result.dropped;
+  chunk.next_cursor = result.next_cursor;
+  chunk.first_seq = result.next_cursor - result.events;
+  chunk.total_recorded = recorder.total_recorded();
+  return chunk;
+}
+
+std::string FleetService::flight_since_json(SessionId id, std::uint64_t cursor,
+                                            std::size_t max_events) const {
+  const FlightChunk chunk = flight_read(id, cursor, max_events);
+  if (!chunk.ok) return {};
+  std::string out = "{\"session\":" + std::to_string(id);
+  out += ",\"total_recorded\":" + std::to_string(chunk.total_recorded);
+  out += ",\"dropped\":" + std::to_string(chunk.dropped);
+  out += ",\"next_cursor\":" + std::to_string(chunk.next_cursor);
+  out += ",\"events\":";
+  append_jsonl_as_array(out, chunk.jsonl);
+  out += "}";
+  return out;
+}
+
 std::string FleetService::flight_tail_json(SessionId id,
                                            std::size_t max_events) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return {};
   const obs::FlightRecorder& recorder = it->second->site->telemetry().recorder();
-  // Collect the JSONL lines, keep the newest max_events, emit as array.
-  std::vector<std::string> lines;
-  const std::string jsonl = recorder.to_jsonl();
-  std::size_t pos = 0;
-  while (pos < jsonl.size()) {
-    std::size_t nl = jsonl.find('\n', pos);
-    if (nl == std::string::npos) nl = jsonl.size();
-    if (nl > pos) lines.push_back(jsonl.substr(pos, nl - pos));
-    pos = nl + 1;
-  }
-  const std::size_t begin = lines.size() > max_events ? lines.size() - max_events : 0;
+  // Tail = a cursor read starting max_events before the newest event; the
+  // lines come from the same serializer as the polled JSONL export.
+  const std::uint64_t total = recorder.total_recorded();
+  const std::uint64_t start =
+      total > max_events ? total - max_events : 0;
+  std::string jsonl;
+  const auto result = recorder.read_since(start, max_events, jsonl);
   std::string out = "{\"session\":" + std::to_string(id);
-  out += ",\"total_recorded\":" + std::to_string(recorder.total_recorded());
-  out += ",\"events\":[";
-  for (std::size_t i = begin; i < lines.size(); ++i) {
-    if (i != begin) out.push_back(',');
-    out += lines[i];
-  }
-  out += "]}";
+  out += ",\"total_recorded\":" + std::to_string(total);
+  out += ",\"next_cursor\":" + std::to_string(result.next_cursor);
+  out += ",\"events\":";
+  append_jsonl_as_array(out, jsonl);
+  out += "}";
   return out;
 }
 

@@ -111,8 +111,30 @@ class FleetService {
   [[nodiscard]] std::string utilization_json() const;
   /// Tail of one session's flight recorder as a JSON array (newest-last,
   /// at most `max_events` events; empty string when the id is unknown).
+  /// Also carries "next_cursor" — pass it to flight_since_json (or back to
+  /// /flight/<id>?cursor=) to resume without overlapping tails.
   [[nodiscard]] std::string flight_tail_json(SessionId id,
                                              std::size_t max_events = 64) const;
+
+  /// One cursor-sequenced read from a session's flight recorder. The
+  /// JSONL payload is produced by FlightRecorder::read_since, so its
+  /// bytes match the polled to_jsonl() export line-for-line.
+  struct FlightChunk {
+    bool ok = false;               ///< false: unknown session id
+    std::uint64_t first_seq = 0;   ///< seq of the first event in `jsonl`
+    std::size_t events = 0;        ///< events in `jsonl`
+    std::uint64_t dropped = 0;     ///< ring overwrote these before the read
+    std::uint64_t next_cursor = 0; ///< resume cursor
+    std::uint64_t total_recorded = 0;
+    std::string jsonl;             ///< newline-terminated event lines
+  };
+  [[nodiscard]] FlightChunk flight_read(SessionId id, std::uint64_t cursor,
+                                        std::size_t max_events) const;
+  /// flight_read rendered for the polling endpoint:
+  /// {"session":..,"total_recorded":..,"dropped":..,"next_cursor":..,
+  ///  "events":[...]} (empty string when the id is unknown).
+  [[nodiscard]] std::string flight_since_json(SessionId id, std::uint64_t cursor,
+                                              std::size_t max_events = 64) const;
   /// Locked variant of session_deterministic_json for the console's
   /// export verb.
   [[nodiscard]] std::string export_session_json(SessionId id) const;

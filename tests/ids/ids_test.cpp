@@ -57,6 +57,70 @@ TEST(Ids, IncreasingSequencesClean) {
   EXPECT_EQ(ids.alert_count("replay"), 0u);
 }
 
+// --- control-plane sensor family (observe_control) -------------------------
+
+TEST(IdsControlPlane, BruteforceStreakRaisesOnceAtThreshold) {
+  IdsConfig config;
+  config.control_bruteforce_threshold = 3;
+  IntrusionDetectionSystem ids{config};
+  ids.observe_control(ControlPlaneEvent::kHandshakeFailed, 0, 42);
+  ids.observe_control(ControlPlaneEvent::kHandshakeFailed, 10, 42);
+  EXPECT_EQ(ids.alert_count("control-bruteforce"), 0u);
+  ids.observe_control(ControlPlaneEvent::kAuthzDenied, 20, 42);  // denials count too
+  EXPECT_EQ(ids.alert_count("control-bruteforce"), 1u);
+  // The streak resets after raising: two more failures stay quiet.
+  ids.observe_control(ControlPlaneEvent::kHandshakeFailed, 30, 42);
+  ids.observe_control(ControlPlaneEvent::kHandshakeFailed, 40, 42);
+  EXPECT_EQ(ids.alert_count("control-bruteforce"), 1u);
+}
+
+TEST(IdsControlPlane, GenuineHandshakeResetsBruteforceStreak) {
+  IdsConfig config;
+  config.control_bruteforce_threshold = 3;
+  IntrusionDetectionSystem ids{config};
+  ids.observe_control(ControlPlaneEvent::kHandshakeFailed, 0);
+  ids.observe_control(ControlPlaneEvent::kHandshakeFailed, 10);
+  ids.observe_control(ControlPlaneEvent::kHandshakeOk, 20);  // operator got in
+  ids.observe_control(ControlPlaneEvent::kHandshakeFailed, 30);
+  ids.observe_control(ControlPlaneEvent::kHandshakeFailed, 40);
+  EXPECT_EQ(ids.alert_count("control-bruteforce"), 0u);
+}
+
+TEST(IdsControlPlane, ReplayBurstCountsRejectsBetweenGenuineRecords) {
+  IdsConfig config;
+  config.control_replay_threshold = 4;
+  IntrusionDetectionSystem ids{config};
+  for (int i = 0; i < 3; ++i) {
+    ids.observe_control(ControlPlaneEvent::kRecordRejected, i * 10);
+  }
+  ids.observe_control(ControlPlaneEvent::kRecordAccepted, 30);  // streak broken
+  for (int i = 0; i < 3; ++i) {
+    ids.observe_control(ControlPlaneEvent::kRecordRejected, 40 + i * 10);
+  }
+  EXPECT_EQ(ids.alert_count("control-replay-burst"), 0u);
+  ids.observe_control(ControlPlaneEvent::kRecordRejected, 70);  // 4th in a row
+  EXPECT_EQ(ids.alert_count("control-replay-burst"), 1u);
+}
+
+TEST(IdsControlPlane, CommandFloodUsesRateWindow) {
+  IdsConfig config;
+  config.control_flood_threshold = 5;
+  config.control_flood_window = 1000;
+  IntrusionDetectionSystem ids{config};
+  // 5 commands inside one window: at the threshold, not above — quiet.
+  for (core::SimTime t = 0; t < 500; t += 100) {
+    ids.observe_control(ControlPlaneEvent::kCommandDispatched, t);
+  }
+  EXPECT_EQ(ids.alert_count("control-flood"), 0u);
+  ids.observe_control(ControlPlaneEvent::kCommandDispatched, 500);
+  EXPECT_EQ(ids.alert_count("control-flood"), 1u);
+  // The same pacing a full window later is fine again once the burst ages out.
+  for (core::SimTime t = 5000; t < 5500; t += 100) {
+    ids.observe_control(ControlPlaneEvent::kCommandDispatched, t);
+  }
+  EXPECT_EQ(ids.alert_count("control-flood"), 1u);
+}
+
 TEST(Ids, StaleTimestampFlagged) {
   IntrusionDetectionSystem ids;
   ids.register_node(7, false);

@@ -4,8 +4,10 @@
 // ephemeral port.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/http.h"
 #include "net/stream.h"
@@ -231,6 +233,182 @@ TEST(HttpServerTest, AnswersMalformedRequestWithErrorAndCloses) {
   const std::string got = drain(conn);
   EXPECT_NE(got.find("HTTP/1.1 405"), std::string::npos);
   EXPECT_EQ(server.protocol_errors(), 1u);
+  server.stop();
+}
+
+// --- connection-torture suite: the concurrent poll loop under abuse --------
+
+TEST(HttpServerTorture, ManyKeepAliveClientsServedConcurrently) {
+  HttpServer server;
+  ASSERT_TRUE(server.start([](const HttpRequest& request) {
+    return HttpResponse::json("{\"path\":\"" + std::string(request.path()) + "\"}");
+  }).ok());
+
+  constexpr int kClients = 8;
+  std::vector<TcpStream> conns;
+  conns.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    conns.push_back(TcpStream::connect_local(server.port()));
+    ASSERT_TRUE(conns.back().valid());
+  }
+  // Two keep-alive rounds: every client writes before anyone reads, so a
+  // serial-accept server would wedge here. Responses must arrive on all
+  // connections without any of them closing.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kClients; ++i) {
+      const std::string target = "/c" + std::to_string(i) + "r" + std::to_string(round);
+      ASSERT_TRUE(conns[static_cast<std::size_t>(i)].write_all(
+          std::string_view{"GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n"}, 2000));
+    }
+    for (int i = 0; i < kClients; ++i) {
+      const std::string want =
+          "{\"path\":\"/c" + std::to_string(i) + "r" + std::to_string(round) + "\"}";
+      std::string got;
+      std::uint8_t chunk[1024];
+      while (got.find(want) == std::string::npos) {
+        const long n = conns[static_cast<std::size_t>(i)].read_some(chunk, sizeof(chunk), 2000);
+        ASSERT_GT(n, 0) << "client " << i << " round " << round << " stalled";
+        got.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+      }
+    }
+  }
+  EXPECT_EQ(server.connections_accepted(), static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(server.requests_served(), static_cast<std::uint64_t>(kClients * 2));
+  server.stop();
+}
+
+TEST(HttpServerTorture, SlowLorisDoesNotBlockOthersAndGets408) {
+  HttpServerConfig config;
+  config.io_timeout_ms = 300;
+  HttpServer server{config};
+  ASSERT_TRUE(server.start([](const HttpRequest&) {
+    return HttpResponse::json("{\"ok\":true}");
+  }).ok());
+
+  // The loris trickles a request that never completes...
+  TcpStream loris = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(loris.valid());
+  ASSERT_TRUE(loris.write_all(std::string_view{"GET /metr"}, 2000));
+
+  // ...while a well-behaved client on another connection is served at
+  // once — the partial request holds only its own connection hostage.
+  TcpStream good = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(good.valid());
+  ASSERT_TRUE(good.write_all(std::string_view{
+      "GET /sessions HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"}, 2000));
+  EXPECT_NE(drain(good).find("{\"ok\":true}"), std::string::npos);
+
+  // Past the idle deadline the loris is answered 408 and cut.
+  const std::string verdict = drain(loris, 3000);
+  EXPECT_NE(verdict.find("HTTP/1.1 408"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerTorture, OverLimitConnectionRejectedWithDeterministic503) {
+  HttpServerConfig config;
+  config.max_connections = 2;
+  HttpServer server{config};
+  ASSERT_TRUE(server.start([](const HttpRequest&) {
+    return HttpResponse::json("{}");
+  }).ok());
+
+  TcpStream first = TcpStream::connect_local(server.port());
+  TcpStream second = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(first.valid());
+  ASSERT_TRUE(second.valid());
+  // Round-trip a request on both so they are registered in the poll set
+  // before the over-limit connection arrives.
+  for (TcpStream* conn : {&first, &second}) {
+    ASSERT_TRUE(conn->write_all(std::string_view{"GET / HTTP/1.1\r\nHost: x\r\n\r\n"}, 2000));
+    std::string got;
+    std::uint8_t chunk[256];
+    while (got.find("{}") == std::string::npos) {
+      const long n = conn->read_some(chunk, sizeof(chunk), 2000);
+      ASSERT_GT(n, 0);
+      got.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+    }
+  }
+
+  TcpStream third = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(third.valid());
+  const std::string got = drain(third);
+  EXPECT_NE(got.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(got.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(server.connections_rejected(), 1u);
+
+  // The two in-limit connections are still live keep-alive connections.
+  ASSERT_TRUE(first.write_all(std::string_view{"GET /again HTTP/1.1\r\nHost: x\r\n\r\n"}, 2000));
+  std::string again;
+  std::uint8_t chunk[256];
+  while (again.find("{}") == std::string::npos) {
+    const long n = first.read_some(chunk, sizeof(chunk), 2000);
+    ASSERT_GT(n, 0);
+    again.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+  server.stop();
+}
+
+TEST(HttpServerTorture, SseStreamSurvivesMidStreamClientDisconnect) {
+  HttpServer server;
+  ASSERT_TRUE(server.start([](const HttpRequest& request) {
+    if (request.path() == "/stream") {
+      auto counter = std::make_shared<int>(0);
+      return HttpResponse::event_stream([counter](std::string& out) {
+        out += "data: tick " + std::to_string((*counter)++) + "\n\n";
+        return true;  // stream forever; only the client ends it
+      });
+    }
+    return HttpResponse::json("{\"plain\":true}");
+  }).ok());
+
+  TcpStream sub = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(sub.valid());
+  ASSERT_TRUE(sub.write_all(std::string_view{"GET /stream HTTP/1.1\r\nHost: x\r\n\r\n"}, 2000));
+  std::string got;
+  std::uint8_t chunk[1024];
+  while (got.find("data: tick 2") == std::string::npos) {
+    const long n = sub.read_some(chunk, sizeof(chunk), 2000);
+    ASSERT_GT(n, 0) << "stream stalled before three events";
+    got.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(got.find("Content-Type: text/event-stream"), std::string::npos);
+  EXPECT_EQ(server.streams_opened(), 1u);
+
+  // Abrupt disconnect mid-stream: the server must shed the connection and
+  // keep serving. A fresh plain request proves neither crash nor wedge.
+  sub = TcpStream{};  // close
+  TcpStream probe = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(probe.valid());
+  ASSERT_TRUE(probe.write_all(std::string_view{
+      "GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"}, 2000));
+  EXPECT_NE(drain(probe).find("{\"plain\":true}"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerTorture, StalledSubscriberCutAtOutputCap) {
+  HttpServerConfig config;
+  config.max_outbuf_bytes = 4096;
+  HttpServer server{config};
+  ASSERT_TRUE(server.start([](const HttpRequest&) {
+    return HttpResponse::event_stream([](std::string& out) {
+      out.append(65536, 'x');  // far beyond the cap every tick
+      return true;
+    });
+  }).ok());
+
+  TcpStream sub = TcpStream::connect_local(server.port());
+  ASSERT_TRUE(sub.valid());
+  ASSERT_TRUE(sub.write_all(std::string_view{"GET /stream HTTP/1.1\r\nHost: x\r\n\r\n"}, 2000));
+  // Never read: the socket buffer fills, the server-side outbuf hits the
+  // cap, and the subscriber is cut instead of buffered without bound.
+  std::string got;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const long n = sub.read_some(chunk, sizeof(chunk), 5000);
+    if (n <= 0) break;  // EOF: the server dropped us
+    got.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(server.streams_overrun(), 1u);
   server.stop();
 }
 

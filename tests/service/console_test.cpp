@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/bytes.h"
 #include "core/rng.h"
 #include "crypto/random.h"
 #include "net/stream.h"
@@ -291,6 +293,280 @@ TEST(ConsoleControl, ClientRejectsWrongConsoleSubject) {
   auto client = ConsoleClient::connect(console.control_port(), f.operator_id,
                                        f.trust, client_drbg, "console-impostor");
   EXPECT_FALSE(client.ok());
+}
+
+// --- streaming plane --------------------------------------------------------
+
+/// Extracts "next_cursor":N from a console flight JSON body.
+std::uint64_t parse_next_cursor(const std::string& json) {
+  const std::size_t at = json.find("\"next_cursor\":");
+  EXPECT_NE(at, std::string::npos) << json;
+  if (at == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + at + 14, nullptr, 10);
+}
+
+TEST(ConsoleHttp, FlightCursorPollsDoNotOverlap) {
+  ConsoleFixture f;
+  FleetService fleet = ConsoleFixture::make_fleet();
+  const SessionId a = add_session(fleet, 0);
+  fleet.step_all(5);
+
+  ConsoleService console{fleet, f.console_id, f.trust, 41};
+  ASSERT_TRUE(console.start().ok());
+  const std::string base = "/flight/" + std::to_string(a);
+
+  // First sequenced poll drains everything recorded so far.
+  auto first = http_get_local(console.http_port(), base + "?cursor=0&n=100000");
+  ASSERT_TRUE(first.ok());
+  const std::uint64_t cursor = parse_next_cursor(first.value());
+  const std::uint64_t total =
+      fleet.session(a)->telemetry().recorder().total_recorded();
+  EXPECT_EQ(cursor, total);
+
+  // Caught up: the same cursor back and an empty event list — a repeated
+  // poll never re-serves the tail it already delivered.
+  auto empty = http_get_local(console.http_port(),
+                              base + "?cursor=" + std::to_string(cursor));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(parse_next_cursor(empty.value()), cursor);
+  EXPECT_NE(empty.value().find("\"events\":[]"), std::string::npos);
+
+  // New events, resumed poll: only fresh ones, starting exactly at the
+  // cursor — no overlap with the previous chunk. (Recorded directly: step
+  // count and flight-event count are deliberately not 1:1.)
+  fleet.session(a)->telemetry().recorder().record(9000, "test", "cursor-probe");
+  fleet.session(a)->telemetry().recorder().record(9001, "test", "cursor-probe");
+  auto next = http_get_local(console.http_port(),
+                             base + "?cursor=" + std::to_string(cursor) + "&n=100000");
+  ASSERT_TRUE(next.ok());
+  EXPECT_NE(next.value().find("\"seq\":" + std::to_string(cursor) + ","),
+            std::string::npos);
+  EXPECT_EQ(next.value().find("\"seq\":" + std::to_string(cursor - 1) + ","),
+            std::string::npos);
+  EXPECT_EQ(parse_next_cursor(next.value()),
+            fleet.session(a)->telemetry().recorder().total_recorded());
+
+  // Cursorless polls keep the legacy tail semantics (overlap allowed) and
+  // now carry the resume cursor too.
+  auto tail = http_get_local(console.http_port(), base + "?n=4");
+  ASSERT_TRUE(tail.ok());
+  EXPECT_NE(tail.value().find("\"next_cursor\":"), std::string::npos);
+  console.stop();
+}
+
+/// Reads the raw SSE byte stream until `want_payload_bytes` of flight
+/// data lines have been reassembled; returns the reassembled JSONL.
+/// Fails the test on stall, stream error, or any "dropped" frame.
+std::string collect_sse_flight(net::TcpStream& conn, std::size_t want_payload_bytes) {
+  std::string raw;
+  std::string payload;
+  std::size_t scanned = 0;  // frames before this offset are consumed
+  bool headers_done = false;
+  std::uint8_t chunk[4096];
+  while (payload.size() < want_payload_bytes) {
+    const long n = conn.read_some(chunk, sizeof(chunk), 5000);
+    EXPECT_GT(n, 0) << "SSE stream stalled at " << payload.size() << "/"
+                    << want_payload_bytes << " bytes";
+    if (n <= 0) break;
+    raw.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+    if (!headers_done) {
+      const std::size_t end = raw.find("\r\n\r\n");
+      if (end == std::string::npos) continue;
+      EXPECT_NE(raw.find("Content-Type: text/event-stream"), std::string::npos);
+      scanned = end + 4;
+      headers_done = true;
+    }
+    for (;;) {  // consume complete frames (blank-line terminated)
+      const std::size_t frame_end = raw.find("\n\n", scanned);
+      if (frame_end == std::string::npos) break;
+      const std::string_view frame =
+          std::string_view{raw}.substr(scanned, frame_end - scanned);
+      scanned = frame_end + 2;
+      EXPECT_EQ(frame.find("event: dropped"), std::string_view::npos)
+          << "subscriber lagged past the ring";
+      const std::size_t data_at = frame.find("data: ");
+      if (data_at == std::string_view::npos) continue;
+      payload.append(frame.substr(data_at + 6));
+      payload.push_back('\n');
+    }
+  }
+  return payload;
+}
+
+/// The acceptance gate of the streaming plane: under a stepping fleet at
+/// `threads` shards with concurrent console traffic on both planes, the
+/// SSE-streamed flight events reassemble to the exact bytes of the polled
+/// JSONL export.
+void expect_sse_matches_polled_export(std::size_t threads,
+                                      const ConsoleFixture& f,
+                                      std::uint64_t drbg_seed) {
+  FleetServiceConfig config;
+  config.threads = threads;
+  config.fleet_seed = 404;
+  FleetService fleet{config};
+  const SessionId a = add_session(fleet, 0);
+  add_session(fleet, 1);
+
+  ConsoleService console{fleet, f.console_id, f.trust, drbg_seed};
+  ASSERT_TRUE(console.start().ok());
+
+  // Subscribe before any stepping so cursor 0 sees every event live.
+  net::TcpStream sub = net::TcpStream::connect_local(console.http_port());
+  ASSERT_TRUE(sub.valid());
+  ASSERT_TRUE(sub.write_all(std::string_view{
+      "GET /stream/flight/" + std::to_string(a) +
+      "?cursor=0 HTTP/1.1\r\nHost: x\r\n\r\n"}, 2000));
+
+  // Concurrent console traffic on both planes while the fleet steps.
+  std::atomic<bool> done{false};
+  std::thread poller{[&] {
+    crypto::Drbg client_drbg{drbg_seed + 1, "poller"};
+    auto client = ConsoleClient::connect(console.control_port(), f.operator_id,
+                                         f.trust, client_drbg);
+    EXPECT_TRUE(client.ok());
+    while (!done.load(std::memory_order_relaxed)) {
+      EXPECT_TRUE(http_get_local(console.http_port(), "/sessions").ok());
+      EXPECT_TRUE(http_get_local(console.http_port(), "/ids").ok());
+      if (client.ok()) EXPECT_TRUE(client.value().call("ping").ok());
+    }
+  }};
+  for (int step = 0; step < 30; ++step) fleet.step_all(1);
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  const std::string expected =
+      fleet.session(a)->telemetry().recorder().to_jsonl();
+  ASSERT_FALSE(expected.empty());
+  const std::string streamed = collect_sse_flight(sub, expected.size());
+  EXPECT_EQ(streamed, expected)
+      << "streamed flight payload diverged from the polled export at threads="
+      << threads;
+  console.stop();
+}
+
+TEST(ConsoleStream, SseFlightPayloadMatchesPolledExportAcrossThreadCounts) {
+  ConsoleFixture f;
+  std::uint64_t drbg_seed = 200;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    expect_sse_matches_polled_export(threads, f, drbg_seed);
+    drbg_seed += 10;
+  }
+}
+
+TEST(ConsoleStream, MetricsStreamPushesSessionsAndIdsFrames) {
+  ConsoleFixture f;
+  FleetService fleet = ConsoleFixture::make_fleet();
+  add_session(fleet, 0);
+  fleet.step_all(2);
+  ConsoleService console{fleet, f.console_id, f.trust, 42};
+  ASSERT_TRUE(console.start().ok());
+
+  net::TcpStream sub = net::TcpStream::connect_local(console.http_port());
+  ASSERT_TRUE(sub.valid());
+  ASSERT_TRUE(sub.write_all(std::string_view{
+      "GET /stream/metrics HTTP/1.1\r\nHost: x\r\n\r\n"}, 2000));
+  std::string got;
+  std::uint8_t chunk[4096];
+  while (got.find("event: sessions") == std::string::npos ||
+         got.find("event: ids") == std::string::npos) {
+    const long n = sub.read_some(chunk, sizeof(chunk), 2000);
+    ASSERT_GT(n, 0) << "metrics stream stalled";
+    got.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(got.find("\"session_count\":1"), std::string::npos);
+  EXPECT_NE(got.find("\"sensor\":{\"alerts_total\":"), std::string::npos);
+  console.stop();
+}
+
+// --- control-session rotation ----------------------------------------------
+
+TEST(ConsoleControl, RotationForcesRehandshakeAfterNCommands) {
+  ConsoleFixture f;
+  FleetService fleet = ConsoleFixture::make_fleet();
+  add_session(fleet, 0);
+  ConsoleConfig config;
+  config.rotate_after_commands = 3;
+  config.io_timeout_ms = 500;  // keep the post-rotation failing call quick
+  ConsoleService console{fleet, f.console_id, f.trust, 43, config};
+  ASSERT_TRUE(console.start().ok());
+
+  crypto::Drbg client_drbg{51, "operator"};
+  auto client = ConsoleClient::connect(console.control_port(), f.operator_id,
+                                       f.trust, client_drbg);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto pong = client.value().call("ping");
+    ASSERT_TRUE(pong.ok()) << "command " << i << ": " << pong.error().to_string();
+  }
+  // The 3rd response was the last on this session: the console rotated.
+  EXPECT_FALSE(client.value().call("ping").ok());
+  EXPECT_EQ(console.control_rotations(), 1u);
+
+  // A re-handshake gets a fresh session and works immediately.
+  auto again = ConsoleClient::connect(console.control_port(), f.operator_id,
+                                      f.trust, client_drbg);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().call("ping").ok());
+  EXPECT_EQ(console.control_sessions_established(), 2u);
+}
+
+// --- control plane as IDS sensor -------------------------------------------
+
+TEST(ConsoleSensor, ScriptedControlPlaneAttackRaisesAlerts) {
+  ConsoleFixture f;
+  FleetService fleet = ConsoleFixture::make_fleet();
+  add_session(fleet, 0);
+  ConsoleConfig config;
+  config.io_timeout_ms = 500;
+  config.sensor.control_bruteforce_threshold = 3;
+  config.sensor.control_replay_threshold = 4;
+  config.sensor.control_flood_threshold = 5;
+  ConsoleService console{fleet, f.console_id, f.trust, 44, config};
+  ASSERT_TRUE(console.start().ok());
+
+  // Phase 1 — handshake bruteforce: garbage first flights, each one a
+  // failed handshake. The close (EOF on our side) sequences us with the
+  // server's sensor update.
+  for (int i = 0; i < 3; ++i) {
+    net::TcpStream probe = net::TcpStream::connect_local(console.control_port());
+    ASSERT_TRUE(probe.valid());
+    const core::Bytes garbage = core::from_string("not a handshake");
+    ASSERT_TRUE(net::write_frame(probe, garbage, 500));
+    std::uint8_t sink[64];
+    while (probe.read_some(sink, sizeof(sink), 500) > 0) {
+    }
+  }
+  EXPECT_EQ(console.sensor_alert_count("control-bruteforce"), 1u);
+
+  // Phase 2 — replay burst: an authenticated session spraying rejects.
+  crypto::Drbg client_drbg{52, "operator"};
+  auto client = ConsoleClient::connect(console.control_port(), f.operator_id,
+                                       f.trust, client_drbg);
+  ASSERT_TRUE(client.ok());
+  crypto::Drbg fuzz{53, "fuzz"};
+  for (int i = 0; i < 4; ++i) {
+    secure::Record forged;
+    forged.sequence = 2000 + static_cast<std::uint64_t>(i);
+    forged.ciphertext = fuzz.generate(48);
+    ASSERT_TRUE(client.value().send_raw_frame(forged.encode()));
+  }
+  // A genuine ping syncs with the server loop (all rejects processed).
+  ASSERT_TRUE(client.value().call("ping").ok());
+  EXPECT_EQ(console.sensor_alert_count("control-replay-burst"), 1u);
+
+  // Phase 3 — command flood: hammer dispatches past the rate threshold.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client.value().call("ping").ok());
+  }
+  EXPECT_GE(console.sensor_alert_count("control-flood"), 1u);
+  EXPECT_GE(console.sensor_total_alerts(), 3u);
+
+  // The /ids endpoint serves the same picture to observers.
+  auto ids = http_get_local(console.http_port(), "/ids");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_NE(ids.value().find("\"control-bruteforce\":1"), std::string::npos);
+  EXPECT_NE(ids.value().find("\"control-replay-burst\":1"), std::string::npos);
+  EXPECT_NE(ids.value().find("\"rotations\":0"), std::string::npos);
 }
 
 // --- determinism + TSan workload -------------------------------------------
